@@ -1,0 +1,353 @@
+//! The tile scheduler: executes the Fig. 4 loop nest on a bank of
+//! BISC-MVMs (or fixed-point MACs) and counts cycles.
+
+use crate::layer::{ConvGeometry, Tiling};
+use crate::memory::Traffic;
+use sc_core::mvm::{BiscMvm, BitParallelMvm};
+use sc_core::{Error, Precision};
+use sc_fixed::FixedMul;
+
+/// Which MAC arithmetic the accelerator instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccelArithmetic {
+    /// The proposed bit-serial BISC-MVM.
+    ProposedSerial,
+    /// The proposed bit-parallel BISC-MVM with parallelism `b`.
+    ProposedParallel(u32),
+    /// Fixed-point binary MACs (1 cycle per term).
+    Fixed,
+}
+
+/// Result of running one convolution layer through the accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRun {
+    /// Output counters, `[m][r][c]` row-major, in units of `2^-(N-1)`.
+    pub outputs: Vec<i64>,
+    /// Total cycles for the layer. For the proposed designs each tile
+    /// takes `max_m Σ_{z,i,j} ceil(|W[m][z][i][j]|/b)` cycles (the `T_M`
+    /// weight groups run in lock step, so the slowest group paces the
+    /// tile); fixed-point takes `d` cycles per tile.
+    pub cycles: u64,
+    /// Off-chip/buffer traffic accounting.
+    pub traffic: Traffic,
+}
+
+/// The accelerator: a bank of `T_M` vector units of `p = T_R·T_C` lanes.
+#[derive(Debug, Clone)]
+pub struct TileEngine {
+    n: Precision,
+    tiling: Tiling,
+    arithmetic: AccelArithmetic,
+    extra_bits: u32,
+}
+
+impl TileEngine {
+    /// Creates an engine at precision `n` with the given tiling and
+    /// arithmetic. `extra_bits` is the accumulator headroom `A`.
+    pub fn new(
+        n: Precision,
+        tiling: Tiling,
+        arithmetic: AccelArithmetic,
+        extra_bits: u32,
+    ) -> Self {
+        TileEngine { n, tiling, arithmetic, extra_bits }
+    }
+
+    /// The configured tiling.
+    pub fn tiling(&self) -> Tiling {
+        self.tiling
+    }
+
+    /// Runs one convolution layer. `input` is `[z][y][x]` row-major
+    /// (`z·in_h·in_w` codes), `weights` is `[m][z][i][j]` row-major.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CodeOutOfRange`] if any code exceeds the
+    /// precision, or [`Error::LengthMismatch`] if the buffers do not
+    /// match the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid.
+    pub fn run_layer(
+        &self,
+        g: &ConvGeometry,
+        input: &[i32],
+        weights: &[i32],
+    ) -> Result<LayerRun, Error> {
+        assert!(g.is_valid(), "invalid conv geometry");
+        if input.len() != g.z * g.in_h * g.in_w {
+            return Err(Error::LengthMismatch {
+                expected: g.z * g.in_h * g.in_w,
+                actual: input.len(),
+            });
+        }
+        if weights.len() != g.m * g.depth() {
+            return Err(Error::LengthMismatch {
+                expected: g.m * g.depth(),
+                actual: weights.len(),
+            });
+        }
+
+        let (r, c) = (g.r(), g.c());
+        let p = self.tiling.lanes();
+        let mut outputs = vec![0i64; g.m * r * c];
+        let mut cycles = 0u64;
+        let mut traffic = Traffic::default();
+
+        // Fig. 4: outer tile loops over (m1, r1, c1).
+        for m1 in (0..g.m).step_by(self.tiling.t_m) {
+            let m_hi = (m1 + self.tiling.t_m).min(g.m);
+            for r1 in (0..r).step_by(self.tiling.t_r) {
+                let r_hi = (r1 + self.tiling.t_r).min(r);
+                for c1 in (0..c).step_by(self.tiling.t_c) {
+                    let c_hi = (c1 + self.tiling.t_c).min(c);
+
+                    // The input patch this tile touches is loaded once
+                    // into the input buffer; weights stream per (m,z,i,j);
+                    // outputs are written back once as binary numbers
+                    // (this is the whole point of BISC).
+                    let patch_h = (r_hi - r1 - 1) * g.stride + g.k;
+                    let patch_w = (c_hi - c1 - 1) * g.stride + g.k;
+                    traffic.input_words += (g.z * patch_h * patch_w) as u64;
+                    traffic.weight_words += ((m_hi - m1) * g.depth()) as u64;
+                    traffic.output_words += ((m_hi - m1) * (r_hi - r1) * (c_hi - c1)) as u64;
+
+                    let tile_cycles = self.run_tile(
+                        g,
+                        input,
+                        weights,
+                        (m1, m_hi),
+                        (r1, r_hi),
+                        (c1, c_hi),
+                        p,
+                        &mut outputs,
+                    )?;
+                    cycles += tile_cycles;
+                }
+            }
+        }
+        Ok(LayerRun { outputs, cycles, traffic })
+    }
+
+    /// Executes one `(m1..m_hi, r1..r_hi, c1..c_hi)` tile; returns its
+    /// cycle count (the max over the `T_M` weight groups).
+    #[allow(clippy::too_many_arguments)]
+    fn run_tile(
+        &self,
+        g: &ConvGeometry,
+        input: &[i32],
+        weights: &[i32],
+        (m1, m_hi): (usize, usize),
+        (r1, r_hi): (usize, usize),
+        (c1, c_hi): (usize, usize),
+        p: usize,
+        outputs: &mut [i64],
+    ) -> Result<u64, Error> {
+        let (r, c) = (g.r(), g.c());
+        let mut xs = vec![0i32; p];
+        let mut tile_cycles = 0u64;
+
+        for m in m1..m_hi {
+            // One vector unit per output feature map in the tile; the
+            // T_M units run in parallel, so the tile's latency is the
+            // max of the per-unit latencies.
+            let mut unit_cycles = 0u64;
+            let mut run_unit = |accumulate: &mut dyn FnMut(i32, &[i32]) -> Result<u64, Error>|
+             -> Result<(), Error> {
+                for z in 0..g.z {
+                    for i in 0..g.k {
+                        for j in 0..g.k {
+                            let w = weights[(m * g.z + z) * g.k * g.k + i * g.k + j];
+                            // Gather the T_R·T_C input pixels (lanes
+                            // beyond the layer edge process x = 0, like
+                            // disabled PEs in hardware).
+                            for (lane, slot) in xs.iter_mut().enumerate() {
+                                let rr = r1 + lane / self.tiling.t_c;
+                                let cc = c1 + lane % self.tiling.t_c;
+                                *slot = if rr < r_hi && cc < c_hi {
+                                    let y = rr * g.stride + i;
+                                    let x = cc * g.stride + j;
+                                    input[(z * g.in_h + y) * g.in_w + x]
+                                } else {
+                                    0
+                                };
+                            }
+                            unit_cycles += accumulate(w, &xs)?;
+                        }
+                    }
+                }
+                Ok(())
+            };
+
+            let values: Vec<i64> = match self.arithmetic {
+                AccelArithmetic::ProposedSerial => {
+                    let mut mvm = BiscMvm::new(self.n, p, self.extra_bits);
+                    run_unit(&mut |w, xs| mvm.accumulate(w, xs))?;
+                    mvm.read()
+                }
+                AccelArithmetic::ProposedParallel(b) => {
+                    let mut mvm = BitParallelMvm::new(self.n, p, self.extra_bits, b)?;
+                    run_unit(&mut |w, xs| mvm.accumulate(w, xs))?;
+                    mvm.read()
+                }
+                AccelArithmetic::Fixed => {
+                    let mul = FixedMul::new(self.n);
+                    let mut accs =
+                        vec![sc_core::mac::SaturatingAccumulator::new(self.n, self.extra_bits); p];
+                    run_unit(&mut |w, xs| {
+                        for (acc, &x) in accs.iter_mut().zip(xs) {
+                            acc.add(mul.multiply(w, x)?);
+                        }
+                        Ok(1) // one cycle per term
+                    })?;
+                    accs.iter().map(|a| a.value()).collect()
+                }
+            };
+            tile_cycles = tile_cycles.max(unit_cycles);
+
+            for (lane, &v) in values.iter().enumerate() {
+                let rr = r1 + lane / self.tiling.t_c;
+                let cc = c1 + lane % self.tiling.t_c;
+                if rr < r_hi && cc < c_hi {
+                    outputs[(m * r + rr) * c + cc] = v;
+                }
+            }
+        }
+        Ok(tile_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::mac::{SaturatingAccumulator, SignedScMac};
+
+    fn small_geometry() -> ConvGeometry {
+        ConvGeometry { z: 2, in_h: 7, in_w: 7, m: 3, k: 3, stride: 1 }
+    }
+
+    fn test_data(g: &ConvGeometry, n: Precision) -> (Vec<i32>, Vec<i32>) {
+        let h = n.half_scale() as i32;
+        let input: Vec<i32> = (0..g.z * g.in_h * g.in_w)
+            .map(|i| ((i as i32 * 37 + 11) % (2 * h)) - h)
+            .collect();
+        let weights: Vec<i32> =
+            (0..g.m * g.depth()).map(|i| ((i as i32 * 13 + 5) % 21) - 10).collect();
+        (input, weights)
+    }
+
+    /// Golden model: per-output saturating sum of signed SC-MAC products.
+    fn golden(g: &ConvGeometry, n: Precision, input: &[i32], weights: &[i32], a: u32) -> Vec<i64> {
+        let mac = SignedScMac::new(n);
+        let (r, c) = (g.r(), g.c());
+        let mut out = vec![0i64; g.m * r * c];
+        for m in 0..g.m {
+            for rr in 0..r {
+                for cc in 0..c {
+                    let mut acc = SaturatingAccumulator::new(n, a);
+                    for z in 0..g.z {
+                        for i in 0..g.k {
+                            for j in 0..g.k {
+                                let w = weights[(m * g.z + z) * g.k * g.k + i * g.k + j];
+                                let x = input
+                                    [(z * g.in_h + rr * g.stride + i) * g.in_w + cc * g.stride + j];
+                                acc.add(mac.multiply(w, x).unwrap().value);
+                            }
+                        }
+                    }
+                    out[(m * r + rr) * c + cc] = acc.value();
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn engine_matches_golden_for_awkward_tilings() {
+        let g = small_geometry();
+        let n = Precision::new(7).unwrap();
+        let (input, weights) = test_data(&g, n);
+        let gold = golden(&g, n, &input, &weights, 8);
+        // Tile sizes that do and do not divide the output evenly.
+        for tiling in [
+            Tiling { t_m: 1, t_r: 1, t_c: 1 },
+            Tiling { t_m: 2, t_r: 2, t_c: 3 },
+            Tiling { t_m: 4, t_r: 5, t_c: 5 },
+            Tiling { t_m: 3, t_r: 4, t_c: 2 },
+        ] {
+            let engine = TileEngine::new(n, tiling, AccelArithmetic::ProposedSerial, 8);
+            let run = engine.run_layer(&g, &input, &weights).unwrap();
+            assert_eq!(run.outputs, gold, "tiling {tiling:?}");
+        }
+    }
+
+    #[test]
+    fn bit_parallel_engine_is_bit_exact_and_faster() {
+        let g = small_geometry();
+        let n = Precision::new(8).unwrap();
+        let (input, weights) = test_data(&g, n);
+        let tiling = Tiling { t_m: 2, t_r: 2, t_c: 2 };
+        let serial = TileEngine::new(n, tiling, AccelArithmetic::ProposedSerial, 8)
+            .run_layer(&g, &input, &weights)
+            .unwrap();
+        let parallel = TileEngine::new(n, tiling, AccelArithmetic::ProposedParallel(8), 8)
+            .run_layer(&g, &input, &weights)
+            .unwrap();
+        assert_eq!(serial.outputs, parallel.outputs);
+        assert!(parallel.cycles < serial.cycles, "{} vs {}", parallel.cycles, serial.cycles);
+        assert!(parallel.cycles >= serial.cycles / 8);
+    }
+
+    #[test]
+    fn fixed_engine_takes_d_cycles_per_unit() {
+        let g = small_geometry();
+        let n = Precision::new(8).unwrap();
+        let (input, weights) = test_data(&g, n);
+        let tiling = Tiling { t_m: 3, t_r: 5, t_c: 5 };
+        let run = TileEngine::new(n, tiling, AccelArithmetic::Fixed, 8)
+            .run_layer(&g, &input, &weights)
+            .unwrap();
+        // One tile in R/C (5×5 covers the whole output), one in M.
+        assert_eq!(run.cycles, g.depth() as u64);
+    }
+
+    #[test]
+    fn proposed_cycles_equal_max_group_weight_sum() {
+        let g = ConvGeometry { z: 1, in_h: 5, in_w: 5, m: 2, k: 3, stride: 1 };
+        let n = Precision::new(8).unwrap();
+        let input = vec![10i32; 25];
+        // Group 0 weights sum |w| = 9·2 = 18; group 1 sum = 9·5 = 45.
+        let mut weights = vec![2i32; 9];
+        weights.extend(vec![-5i32; 9]);
+        let tiling = Tiling { t_m: 2, t_r: 3, t_c: 3 };
+        let run = TileEngine::new(n, tiling, AccelArithmetic::ProposedSerial, 8)
+            .run_layer(&g, &input, &weights)
+            .unwrap();
+        assert_eq!(run.cycles, 45);
+    }
+
+    #[test]
+    fn traffic_accounting_counts_every_output_once() {
+        let g = small_geometry();
+        let n = Precision::new(6).unwrap();
+        let (input, weights) = test_data(&g, n);
+        let tiling = Tiling { t_m: 2, t_r: 2, t_c: 2 };
+        let run = TileEngine::new(n, tiling, AccelArithmetic::ProposedSerial, 8)
+            .run_layer(&g, &input, &weights)
+            .unwrap();
+        assert_eq!(run.traffic.output_words, (g.m * g.r() * g.c()) as u64);
+        assert!(run.traffic.input_words > 0);
+        assert!(run.traffic.weight_words >= (g.m * g.depth()) as u64);
+    }
+
+    #[test]
+    fn mismatched_buffers_rejected() {
+        let g = small_geometry();
+        let n = Precision::new(6).unwrap();
+        let engine = TileEngine::new(n, Tiling::default(), AccelArithmetic::Fixed, 2);
+        assert!(engine.run_layer(&g, &[0; 3], &[0; 54]).is_err());
+        assert!(engine.run_layer(&g, &[0; 98], &[0; 3]).is_err());
+    }
+}

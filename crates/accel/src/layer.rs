@@ -1,0 +1,133 @@
+//! Convolution layer geometry and the tiling of Fig. 4.
+
+/// Geometry of one convolution layer, in the paper's Fig. 4 notation:
+/// `Z` input channels of `H×W`, `M` output channels of `R×C`, `K×K`
+/// kernels, stride `S`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Input channels `Z`.
+    pub z: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Output feature maps `M`.
+    pub m: usize,
+    /// Kernel size `K`.
+    pub k: usize,
+    /// Stride `S`.
+    pub stride: usize,
+}
+
+impl ConvGeometry {
+    /// Output rows `R`.
+    pub fn r(&self) -> usize {
+        (self.in_h - self.k) / self.stride + 1
+    }
+
+    /// Output columns `C`.
+    pub fn c(&self) -> usize {
+        (self.in_w - self.k) / self.stride + 1
+    }
+
+    /// Accumulation depth per output: `d = K²·Z`.
+    pub fn depth(&self) -> usize {
+        self.k * self.k * self.z
+    }
+
+    /// Total MAC operations in the layer.
+    pub fn macs(&self) -> u64 {
+        (self.m * self.r() * self.c() * self.depth()) as u64
+    }
+
+    /// Validates the geometry (kernel fits, nonzero sizes).
+    pub fn is_valid(&self) -> bool {
+        self.z > 0
+            && self.m > 0
+            && self.k > 0
+            && self.stride > 0
+            && self.in_h >= self.k
+            && self.in_w >= self.k
+    }
+}
+
+/// The tiling `(T_M, T_R, T_C)` of Fig. 4: the three innermost loops are
+/// fully unrolled in hardware, so the accelerator instantiates
+/// `T_M · T_R · T_C` MACs, of which every `T_R·T_C` share one weight —
+/// exactly the sharing pattern of the BISC-MVM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tiling {
+    /// Output-feature-map tile `T_M`.
+    pub t_m: usize,
+    /// Output-row tile `T_R`.
+    pub t_r: usize,
+    /// Output-column tile `T_C`.
+    pub t_c: usize,
+}
+
+impl Tiling {
+    /// Number of BISC-MVM lanes: `p = T_R·T_C`.
+    pub fn lanes(&self) -> usize {
+        self.t_r * self.t_c
+    }
+
+    /// Total MAC units: `T_M·T_R·T_C`.
+    pub fn macs(&self) -> usize {
+        self.t_m * self.lanes()
+    }
+
+    /// Number of tiles needed to cover a layer (ceil divisions over M, R,
+    /// C).
+    pub fn tile_count(&self, g: &ConvGeometry) -> u64 {
+        let tm = g.m.div_ceil(self.t_m) as u64;
+        let tr = g.r().div_ceil(self.t_r) as u64;
+        let tc = g.c().div_ceil(self.t_c) as u64;
+        tm * tr * tc
+    }
+}
+
+impl Default for Tiling {
+    /// The paper's 256-MAC configuration with `T_M = 16`, `T_R·T_C = 16`.
+    fn default() -> Self {
+        Tiling { t_m: 16, t_r: 4, t_c: 4 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_derivations() {
+        // The MNIST-like conv1: 1×28×28 → 8×24×24, K = 5.
+        let g = ConvGeometry { z: 1, in_h: 28, in_w: 28, m: 8, k: 5, stride: 1 };
+        assert!(g.is_valid());
+        assert_eq!((g.r(), g.c()), (24, 24));
+        assert_eq!(g.depth(), 25);
+        assert_eq!(g.macs(), 8 * 24 * 24 * 25);
+    }
+
+    #[test]
+    fn strided_geometry() {
+        let g = ConvGeometry { z: 3, in_h: 11, in_w: 11, m: 4, k: 3, stride: 2 };
+        assert_eq!((g.r(), g.c()), (5, 5));
+    }
+
+    #[test]
+    fn invalid_geometries() {
+        let g = ConvGeometry { z: 1, in_h: 2, in_w: 8, m: 1, k: 3, stride: 1 };
+        assert!(!g.is_valid());
+        let g = ConvGeometry { z: 0, in_h: 8, in_w: 8, m: 1, k: 3, stride: 1 };
+        assert!(!g.is_valid());
+    }
+
+    #[test]
+    fn tiling_counts() {
+        let t = Tiling::default();
+        assert_eq!(t.lanes(), 16);
+        assert_eq!(t.macs(), 256);
+        let g = ConvGeometry { z: 1, in_h: 28, in_w: 28, m: 8, k: 5, stride: 1 };
+        // M: ceil(8/16)=1, R: ceil(24/4)=6, C: 6.
+        assert_eq!(t.tile_count(&g), 36);
+    }
+}

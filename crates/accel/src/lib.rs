@@ -1,0 +1,33 @@
+//! # sc-accel — the tiled SC-CNN accelerator (paper Sec. 3.2–3.3)
+//!
+//! The paper applies its BISC-MVM inside a conventional tiled CNN
+//! accelerator (same top level as Rahman et al., DATE'16): convolution is
+//! a 6-deep loop nest, tiled along output feature maps (`T_M`), output
+//! rows (`T_R`) and output columns (`T_C`) — Fig. 4 — with the three
+//! innermost loops fully unrolled in hardware. The BISC-MVM is configured
+//! with `p = T_R·T_C` lanes and accumulates `d = K²·Z` terms per output
+//! tile; its latency is the data-dependent `t = Σ |2^(N-1)·W|`.
+//!
+//! This crate executes that exact loop nest over real layer data:
+//!
+//! * [`layer`] — convolution layer geometry and tiling configuration;
+//! * [`engine`] — the tile scheduler driving one [`sc_core::mvm::BiscMvm`]
+//!   per `T_M` slot, producing both the **numerical outputs** (bit-exact
+//!   with the behavioural SC-MAC) and the **cycle count** of the whole
+//!   layer;
+//! * [`memory`] — the on-chip buffer model (input/weight/output buffer
+//!   sizing and off-chip traffic counting), which the paper keeps
+//!   identical across binary and SC designs to make comparisons fair;
+//! * [`report`] — per-layer latency/energy accounting combining the
+//!   engine's cycle counts with the `sc-hwmodel` array costs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod layer;
+pub mod memory;
+pub mod report;
+
+pub use engine::{AccelArithmetic, TileEngine};
+pub use layer::{ConvGeometry, Tiling};

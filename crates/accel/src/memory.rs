@@ -1,0 +1,97 @@
+//! On-chip buffer model and off-chip traffic accounting.
+//!
+//! The paper stresses that BISC keeps *memory* in binary: "the on-chip
+//! memory sizes for input/output/weight buffers are exactly the same" as
+//! the binary accelerator, which is what makes its comparison fair — and
+//! what a stochastic-storage design could never achieve (a `2^N`-bit SN
+//! occupies `2^N/N` times the space of the equivalent BN).
+
+use crate::layer::{ConvGeometry, Tiling};
+
+/// Word traffic between the buffers and off-chip memory for one layer.
+/// All words are `N`-bit binary numbers (BISC!).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Traffic {
+    /// Input feature-map words loaded.
+    pub input_words: u64,
+    /// Weight words loaded.
+    pub weight_words: u64,
+    /// Output feature-map words stored.
+    pub output_words: u64,
+}
+
+impl Traffic {
+    /// Total words moved.
+    pub fn total_words(&self) -> u64 {
+        self.input_words + self.weight_words + self.output_words
+    }
+
+    /// Total bits moved at an `N`-bit word size.
+    pub fn total_bits(&self, n_bits: u32) -> u64 {
+        self.total_words() * n_bits as u64
+    }
+
+    /// How many bits the same transfers would take if intermediate data
+    /// were stored as stochastic bitstreams (`2^N` bits per number) — the
+    /// exponential storage overhead BISC avoids (paper Sec. 1).
+    pub fn total_bits_if_stochastic(&self, n_bits: u32) -> u64 {
+        self.total_words() * (1u64 << n_bits)
+    }
+}
+
+/// On-chip buffer sizing for a layer/tiling pair, identical across binary
+/// and SC designs (paper Sec. 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferPlan {
+    /// Input-buffer capacity in words (one tile's input patch, all `Z`).
+    pub input_words: usize,
+    /// Weight-buffer capacity in words (`T_M` filters' worth per
+    /// (z,i,j)-stream: `T_M·K²·Z`).
+    pub weight_words: usize,
+    /// Output-buffer capacity in words (one tile of outputs).
+    pub output_words: usize,
+}
+
+impl BufferPlan {
+    /// Computes the plan for a geometry and tiling.
+    pub fn for_layer(g: &ConvGeometry, t: &Tiling) -> Self {
+        let patch_h = (t.t_r - 1) * g.stride + g.k;
+        let patch_w = (t.t_c - 1) * g.stride + g.k;
+        BufferPlan {
+            input_words: g.z * patch_h * patch_w,
+            weight_words: t.t_m * g.depth(),
+            output_words: t.t_m * t.t_r * t.t_c,
+        }
+    }
+
+    /// Total buffer bits at an `N`-bit word size.
+    pub fn total_bits(&self, n_bits: u32) -> u64 {
+        (self.input_words + self.weight_words + self.output_words) as u64 * n_bits as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_totals() {
+        let t = Traffic { input_words: 100, weight_words: 50, output_words: 25 };
+        assert_eq!(t.total_words(), 175);
+        assert_eq!(t.total_bits(8), 1400);
+        // The stochastic-storage blow-up: 2^8 bits per word.
+        assert_eq!(t.total_bits_if_stochastic(8), 175 * 256);
+        assert!(t.total_bits_if_stochastic(8) / t.total_bits(8) == 32); // 2^N / N
+    }
+
+    #[test]
+    fn buffer_plan_for_default_tiling() {
+        let g = ConvGeometry { z: 8, in_h: 12, in_w: 12, m: 16, k: 5, stride: 1 };
+        let t = Tiling::default(); // 16 × 4 × 4
+        let plan = BufferPlan::for_layer(&g, &t);
+        assert_eq!(plan.input_words, 8 * 8 * 8); // (4-1)·1+5 = 8
+        assert_eq!(plan.weight_words, 16 * 25 * 8);
+        assert_eq!(plan.output_words, 16 * 16);
+        assert!(plan.total_bits(9) > 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Ablation: the dynamic energy–quality trade-off (early termination) of
+//! the proposed SC-MAC — SC's "inherent advantage" the paper mentions but
+//! does not quantify. Sweeps the effective weight bits `s` and reports
+//! multiplier error, CNN accuracy, and the latency/energy reduction.
+//!
+//! `--quick` trains less.
+
+use sc_bench::cli;
+use sc_core::mac::{EarlyTerminationScMac, SignedScMac};
+use sc_core::stats::ErrorStats;
+use sc_core::Precision;
+use sc_neural::arith::QuantArith;
+use sc_neural::layers::ConvMode;
+use sc_neural::train::{evaluate, sample_tensor, train, TrainConfig};
+use std::sync::Arc;
+
+/// Builds a product table for the early-terminated multiplier.
+fn edt_arith(n: Precision, s: u32) -> Arc<QuantArith> {
+    QuantArith::proposed_sc_edt(n, s).expect("valid s")
+}
+
+fn main() {
+    let quick = cli::quick_mode();
+    let n = Precision::new(8).expect("valid precision");
+    let full = SignedScMac::new(n);
+
+    println!("Ablation: early-termination energy-quality trade-off (N = 8)");
+    println!("\nmultiplier-level error vs effective weight bits s:");
+    let header = format!(
+        "{:>3} | {:>9} | {:>10} | {:>10} | {:>8}",
+        "s", "speedup", "rms err", "max err", "avg cyc"
+    );
+    println!("{header}");
+    cli::rule(&header);
+    for s in (3..=8u32).rev() {
+        let edt = EarlyTerminationScMac::new(n, s).expect("valid s");
+        let mut stats = ErrorStats::new();
+        let mut cycles = 0u64;
+        let mut count = 0u64;
+        for w in -128..128 {
+            for x in -128..128 {
+                let out = edt.multiply(w, x).expect("in range");
+                stats.push(out.value as f64 - full.exact(w, x));
+                cycles += out.cycles;
+                count += 1;
+            }
+        }
+        println!(
+            "{:>3} | {:>8}x | {:>10.3} | {:>10.1} | {:>8.2}",
+            s,
+            edt.speedup(),
+            stats.rms(),
+            stats.max_abs(),
+            cycles as f64 / count as f64
+        );
+    }
+
+    let (train_n, test_n, epochs) = if quick { (400, 120, 2) } else { (2000, 400, 4) };
+    println!("\ntraining MNIST-like reference ({train_n} images, {epochs} epochs)...");
+    let train_set = sc_datasets::mnist_like(train_n, 42);
+    let test_set = sc_datasets::mnist_like(test_n, 43);
+    let mut net = sc_neural::zoo::mnist_net(42);
+    let cfg = TrainConfig { epochs, ..TrainConfig::default() };
+    train(&mut net, &train_set, &cfg);
+    let calib: Vec<_> = (0..16).map(|i| sample_tensor(&train_set, i).0).collect();
+    net.calibrate_io_scales(&calib);
+
+    println!("\nCNN accuracy and relative MAC-array energy vs s:");
+    let header = format!("{:>3} | {:>9} | {:>9} | {:>14}", "s", "accuracy", "speedup", "rel. energy");
+    println!("{header}");
+    cli::rule(&header);
+    for s in (3..=8u32).rev() {
+        let mut qnet = net.clone();
+        qnet.set_conv_mode(&ConvMode::Quantized { arith: edt_arith(n, s), extra_bits: 2 });
+        let acc = evaluate(&mut qnet, &test_set);
+        let speedup = 1u64 << (8 - s);
+        println!(
+            "{:>3} | {:>9.3} | {:>8}x | {:>13.1}%",
+            s,
+            acc,
+            speedup,
+            100.0 / speedup as f64
+        );
+    }
+    println!("\nexpected shape: accuracy holds for the first dropped bits, then falls —");
+    println!("each dropped bit halves latency (and hence compute energy at fixed power).");
+}

@@ -1,0 +1,70 @@
+//! Ablation: error resilience under transient faults — the paper's named
+//! future-work item. Injects per-MAC transient faults into the conv MAC
+//! chains at increasing rates and compares how fixed-point binary (one
+//! flipped product bit → damage up to half scale) and the proposed SC
+//! (one flipped stream bit → counter moves ±2) degrade.
+//!
+//! `--quick` trains less and evaluates fewer images.
+
+use sc_bench::cli;
+use sc_core::Precision;
+use sc_neural::arith::QuantArith;
+use sc_neural::fault::{FaultModel, FaultTarget};
+use sc_neural::layers::ConvMode;
+use sc_neural::train::{evaluate, sample_tensor, train, TrainConfig};
+
+fn main() {
+    let quick = cli::quick_mode();
+    let (train_n, test_n, epochs) = if quick { (400, 120, 2) } else { (2000, 400, 4) };
+    let n = Precision::new(8).expect("valid precision");
+
+    println!("Ablation: transient-fault resilience (N = 8, A = 2)");
+    println!("training MNIST-like reference ({train_n} images, {epochs} epochs)...");
+    let train_set = sc_datasets::mnist_like(train_n, 42);
+    let test_set = sc_datasets::mnist_like(test_n, 43);
+    let mut net = sc_neural::zoo::mnist_net(42);
+    let cfg = TrainConfig { epochs, ..TrainConfig::default() };
+    train(&mut net, &train_set, &cfg);
+    let calib: Vec<_> = (0..16).map(|i| sample_tensor(&train_set, i).0).collect();
+    net.calibrate_io_scales(&calib);
+
+    let configs = [
+        ("fixed + product-bit flips", QuantArith::fixed(n), FaultTarget::BinaryProductBit),
+        (
+            "proposed SC + stream-bit flips",
+            QuantArith::proposed_sc(n),
+            FaultTarget::StochasticStreamBit,
+        ),
+    ];
+
+    let rates = [0.0, 1e-4, 1e-3, 1e-2, 5e-2, 0.2];
+    let header = format!(
+        "{:>30} | {}",
+        "arithmetic + fault model",
+        rates.iter().map(|r| format!("{r:<9.0e}")).collect::<Vec<_>>().join("")
+    );
+    println!("\naccuracy vs per-MAC fault rate:");
+    println!("{header}");
+    cli::rule(&header);
+    for (name, arith, target) in configs {
+        let mut row = String::new();
+        for &rate in &rates {
+            let mut qnet = net.clone();
+            qnet.set_conv_mode(&ConvMode::Quantized {
+                arith: arith.clone(),
+                extra_bits: 2,
+            });
+            qnet.set_fault(if rate > 0.0 {
+                Some(FaultModel::new(rate, target, 7))
+            } else {
+                None
+            });
+            let acc = evaluate(&mut qnet, &test_set);
+            row.push_str(&format!("{acc:<9.3}"));
+        }
+        println!("{name:>30} | {row}");
+    }
+    println!("\nexpected shape: SC degrades gracefully (bounded ±2-LSB damage per fault),");
+    println!("binary falls off a cliff once MSB-adjacent product bits start flipping —");
+    println!("the error-tolerance argument of the paper's conclusion, quantified.");
+}

@@ -1,0 +1,51 @@
+//! Ablation: the fixed-point product-reduction mode. The paper says the
+//! binary baseline's product is "truncated before accumulation"; taken
+//! literally (floor truncation) every product is biased by −½ LSB, which
+//! after the hundreds of accumulations of a conv layer shifts outputs by
+//! dozens of LSBs and destroys the network. This ablation quantifies that
+//! — the evidence for this reproduction's round-to-nearest interpretation
+//! (DESIGN.md §3).
+//!
+//! `--quick` trains less.
+
+use sc_bench::cli;
+use sc_core::Precision;
+use sc_neural::arith::QuantArith;
+use sc_neural::layers::ConvMode;
+use sc_neural::train::{evaluate, sample_tensor, train, TrainConfig};
+
+fn main() {
+    let quick = cli::quick_mode();
+    let (train_n, test_n, epochs) = if quick { (400, 120, 2) } else { (2000, 400, 4) };
+
+    println!("Ablation: fixed-point product reduction — round-to-nearest vs floor truncation");
+    println!("training MNIST-like reference ({train_n} images, {epochs} epochs)...");
+    let train_set = sc_datasets::mnist_like(train_n, 42);
+    let test_set = sc_datasets::mnist_like(test_n, 43);
+    let mut net = sc_neural::zoo::mnist_net(42);
+    let cfg = TrainConfig { epochs, ..TrainConfig::default() };
+    train(&mut net, &train_set, &cfg);
+    let calib: Vec<_> = (0..16).map(|i| sample_tensor(&train_set, i).0).collect();
+    net.calibrate_io_scales(&calib);
+    let float_acc = evaluate(&mut net, &test_set);
+    println!("float reference accuracy: {float_acc:.3}\n");
+
+    let header = format!("{:>4} | {:>16} | {:>16}", "N", "round-to-nearest", "floor truncation");
+    println!("{header}");
+    cli::rule(&header);
+    for bits in [5u32, 7, 9] {
+        let n = Precision::new(bits).expect("valid precision");
+        let round = QuantArith::fixed(n);
+        let floor = QuantArith::fixed_floor(n);
+        let mut accs = Vec::new();
+        for arith in [round, floor] {
+            let mut qnet = net.clone();
+            qnet.set_conv_mode(&ConvMode::Quantized { arith, extra_bits: 2 });
+            accs.push(evaluate(&mut qnet, &test_set));
+        }
+        println!("{bits:>4} | {:>16.3} | {:>16.3}", accs[0], accs[1]);
+    }
+    println!("\nper-product bias of floor truncation is −0.5 LSB; over d = K²Z ≈ 25–200");
+    println!("accumulations that is a systematic shift of 12–100 LSBs — fatal. The");
+    println!("paper's working fixed-point baseline therefore implies rounding.");
+}

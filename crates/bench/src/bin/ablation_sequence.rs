@@ -1,0 +1,76 @@
+//! Ablation: what the low-discrepancy FSM sequence contributes
+//! (Sec. 2.3). The proposed datapath — feed the `x` bitstream into a
+//! counter gated for `k = |w|` cycles — also works with *any* SNG for
+//! `x`; this ablation swaps the FSM+MUX sequence for an LFSR-comparator
+//! sequence (and Halton) and measures the multiplier error statistics,
+//! isolating the contribution of the deterministic low-discrepancy code.
+
+use sc_core::sng::{BitstreamGenerator, FsmMuxSng, HaltonSng, LfsrSng};
+use sc_core::stats::ErrorStats;
+use sc_core::Precision;
+
+/// Runs the proposed *unsigned* datapath (count the first `k` stream
+/// bits) with an arbitrary generator for `x`, exhaustively over all
+/// `(x, w)` pairs, and returns the final-error statistics.
+fn sweep(gen: &mut dyn BitstreamGenerator) -> ErrorStats {
+    let n = gen.precision();
+    let size = n.stream_len() as u32;
+    let mut stats = ErrorStats::new();
+    for x in 0..size {
+        gen.reset();
+        // Stream once; record prefix counts so every w (= prefix length)
+        // is measured in one pass.
+        let mut ones = 0u64;
+        let mut prefix = Vec::with_capacity(size as usize + 1);
+        prefix.push(0u64);
+        for _ in 0..size {
+            ones += gen.next_bit(x) as u64;
+            prefix.push(ones);
+        }
+        for w in 0..size as u64 {
+            let exact = x as f64 * w as f64 / size as f64; // product in counter LSBs
+            stats.push(prefix[w as usize] as f64 - exact);
+        }
+    }
+    stats
+}
+
+fn main() {
+    println!("Ablation: sequence choice inside the proposed datapath (unsigned, exhaustive)");
+    for bits in [5u32, 8, 10] {
+        let n = Precision::new(bits).expect("valid precision");
+        println!("\n--- N = {bits} ---");
+        let header = format!(
+            "{:>22} | {:>10} | {:>10} | {:>10}",
+            "x-sequence", "std", "max abs", "mean"
+        );
+        println!("{header}");
+        println!("{}", "-".repeat(header.chars().count()));
+        let mut gens: Vec<(&str, Box<dyn BitstreamGenerator>)> = vec![
+            ("FSM+MUX (proposed)", Box::new(FsmMuxSng::new(n))),
+            ("LFSR + comparator", Box::new(LfsrSng::new(n, 0, 1).expect("poly exists"))),
+            ("Halton base 2", Box::new(HaltonSng::new(n, 2))),
+        ];
+        let mut results = Vec::new();
+        for (name, gen) in gens.iter_mut() {
+            let stats = sweep(gen.as_mut());
+            println!(
+                "{:>22} | {:>10.4} | {:>10.1} | {:>10.4}",
+                name,
+                stats.std_dev(),
+                stats.max_abs(),
+                stats.mean()
+            );
+            results.push((*name, stats));
+        }
+        let fsm = results[0].1.std_dev();
+        let lfsr = results[1].1.std_dev();
+        println!(
+            "FSM/LFSR error ratio: {:.3} (the Sec. 2.3 low-discrepancy code is the win)",
+            fsm / lfsr
+        );
+    }
+    println!("\nnote: Halton base 2 *is* a low-discrepancy sequence, so it comes close;");
+    println!("the FSM+MUX achieves the same (or better) with one mux and an N-state FSM");
+    println!("instead of a counter cascade and comparator (Table 2's area column).");
+}

@@ -1,0 +1,100 @@
+//! Layer-level accelerator study (paper Sec. 3.2–3.3): runs every conv
+//! layer of the trained MNIST-like network through the tiled SC-CNN
+//! accelerator (Fig. 4 loop nest, 256 MACs as `T_M = 16 × T_R·T_C = 16`)
+//! in all three arithmetics, reporting measured cycles, energy, and GOPS
+//! — the data-dependent latency `t = Σ|2^(N-1)·W|` made concrete.
+//!
+//! `--quick` trains less.
+
+use sc_accel::engine::{AccelArithmetic, TileEngine};
+use sc_accel::layer::{ConvGeometry, Tiling};
+use sc_accel::memory::BufferPlan;
+use sc_accel::report::report;
+use sc_bench::cli;
+use sc_core::Precision;
+use sc_neural::train::{sample_tensor, train, TrainConfig};
+
+fn main() {
+    let quick = cli::quick_mode();
+    let n = Precision::new(8).expect("valid precision");
+    let tiling = Tiling::default();
+
+    println!("SC-CNN accelerator layer study (N = 8, A = 2, 256 MACs: T_M=16, T_R=T_C=4)");
+    println!("\ntraining MNIST-like network...");
+    let data = sc_datasets::mnist_like(if quick { 300 } else { 1500 }, 42);
+    let mut net = sc_neural::zoo::mnist_net(42);
+    let cfg = TrainConfig { epochs: if quick { 1 } else { 3 }, ..TrainConfig::default() };
+    train(&mut net, &data, &cfg);
+
+    // The two conv layers of the MNIST-like net, with real trained
+    // weights and a real input image (both quantized to N bits).
+    let (image, _) = sample_tensor(&data, 0);
+    let geometries = [
+        ConvGeometry { z: 1, in_h: 28, in_w: 28, m: 8, k: 5, stride: 1 },
+        ConvGeometry { z: 8, in_h: 12, in_w: 12, m: 16, k: 5, stride: 1 },
+    ];
+    let conv_weights: Vec<Vec<i32>> = net
+        .conv_layers()
+        .map(|c| c.weights().iter().map(|&w| sc_fixed::quantize(w, n)).collect())
+        .collect();
+
+    // Layer-1 input: the quantized image. Layer-2 input: synthetic codes
+    // with a realistic post-ReLU distribution (the accelerator study only
+    // needs representative operand statistics).
+    let input1: Vec<i32> = image.data().iter().map(|&v| sc_fixed::quantize(v, n)).collect();
+    let input2: Vec<i32> = (0..8 * 12 * 12)
+        .map(|i| if i % 3 == 0 { 0 } else { ((i * 31) % 100) as i32 })
+        .collect();
+    let inputs = [input1, input2];
+
+    for (li, g) in geometries.iter().enumerate() {
+        println!("\n== conv{} : {}x{}x{} -> {}x{}x{} (K={}, d={}, {} MACs) ==",
+            li + 1, g.z, g.in_h, g.in_w, g.m, g.r(), g.c(), g.k, g.depth(), g.macs());
+        let plan = BufferPlan::for_layer(g, &tiling);
+        println!(
+            "buffers: in {} + w {} + out {} words ({} bits total, same for all designs)",
+            plan.input_words,
+            plan.weight_words,
+            plan.output_words,
+            plan.total_bits(n.bits())
+        );
+
+        let header = format!(
+            "{:>16} | {:>10} | {:>9} | {:>10} | {:>8}",
+            "arithmetic", "cycles", "time µs", "energy µJ", "GOPS"
+        );
+        println!("{header}");
+        cli::rule(&header);
+        let mut outputs: Vec<Vec<i64>> = Vec::new();
+        for (name, arithmetic) in [
+            ("fixed", AccelArithmetic::Fixed),
+            ("proposed serial", AccelArithmetic::ProposedSerial),
+            ("proposed 8b-par", AccelArithmetic::ProposedParallel(8)),
+        ] {
+            let engine = TileEngine::new(n, tiling, arithmetic, 2);
+            let run = engine
+                .run_layer(g, &inputs[li], &conv_weights[li])
+                .expect("geometry and buffers agree");
+            let rep = report(g, &tiling, n, arithmetic, &run);
+            println!(
+                "{:>16} | {:>10} | {:>9.2} | {:>10.4} | {:>8.1}",
+                name, rep.cycles, rep.time_us, rep.energy_uj, rep.gops
+            );
+            outputs.push(run.outputs);
+        }
+        // The two proposed variants are bit-exact with each other.
+        assert_eq!(outputs[1], outputs[2], "bit-parallel must be bit-exact");
+        println!("(proposed serial and 8b-parallel outputs verified bit-exact)");
+        let traffic = TileEngine::new(n, tiling, AccelArithmetic::Fixed, 2)
+            .run_layer(g, &inputs[li], &conv_weights[li])
+            .expect("runs")
+            .traffic;
+        println!(
+            "traffic: {} words binary ({} bits); stochastic storage would need {} bits ({}x)",
+            traffic.total_words(),
+            traffic.total_bits(n.bits()),
+            traffic.total_bits_if_stochastic(n.bits()),
+            traffic.total_bits_if_stochastic(n.bits()) / traffic.total_bits(n.bits())
+        );
+    }
+}

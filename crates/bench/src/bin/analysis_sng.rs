@@ -1,0 +1,55 @@
+//! SNG stream analysis: cross-correlation (SCC) of each conventional
+//! method's generator pair, prefix discrepancy of each sequence, and
+//! autocorrelation structure — the *why* behind Fig. 5's accuracy
+//! ordering.
+
+use sc_bench::cli;
+use sc_core::analysis::{mean_prefix_discrepancy, method_scc, JointStats};
+use sc_core::conventional::ConvScMethod;
+use sc_core::sng::{BitstreamGenerator, FsmMuxSng};
+use sc_core::Precision;
+
+fn main() {
+    let n = Precision::new(if cli::quick_mode() { 8 } else { 10 }).expect("valid precision");
+    println!("SNG stream analysis at N = {}\n", n.bits());
+
+    println!("cross-correlation (SCC) of each method's generator pair at p = 1/2:");
+    println!("(|SCC| → 0 means the AND/XNOR product is unbiased; ±1 means min/max behaviour)");
+    let header = format!("{:>8} | {:>9} | {:>22}", "method", "SCC", "AND-product bias");
+    println!("{header}");
+    cli::rule(&header);
+    for method in [ConvScMethod::Lfsr, ConvScMethod::Halton, ConvScMethod::Ed] {
+        let (mut gx, mut gw) = method.generator_pair(n).expect("supported");
+        let scc = method_scc(gx.as_mut(), gw.as_mut(), n);
+        let half = (n.stream_len() / 2) as u32;
+        let joint = JointStats::measure(gx.as_mut(), half, gw.as_mut(), half);
+        println!("{:>8} | {:>+9.4} | {:>+22.5}", method.name(), scc, joint.product_error());
+    }
+
+    println!("\nmean prefix discrepancy over all codes (bits):");
+    println!("(this is exactly the proposed multiplier's worst-case error source —");
+    println!(" its output is a prefix count of the x-sequence)");
+    let header = format!("{:>22} | {:>12}", "sequence", "mean disc.");
+    println!("{header}");
+    cli::rule(&header);
+    let mut rows: Vec<(&str, Box<dyn BitstreamGenerator>)> = vec![
+        ("FSM+MUX (proposed)", Box::new(FsmMuxSng::new(n))),
+        (
+            "LFSR + comparator",
+            Box::new(sc_core::sng::LfsrSng::new(n, 0, 1).expect("poly exists")),
+        ),
+        ("Halton base 2", Box::new(sc_core::sng::HaltonSng::new(n, 2))),
+        ("Halton base 3", Box::new(sc_core::sng::HaltonSng::new(n, 3))),
+        (
+            "ED primary",
+            Box::new(sc_core::sng::EdSng::new(n, sc_core::sng::EdVariant::Primary)),
+        ),
+    ];
+    for (name, gen) in rows.iter_mut() {
+        println!("{:>22} | {:>12.4}", name, mean_prefix_discrepancy(gen.as_mut()));
+    }
+
+    println!("\nreading: conventional multiply error tracks the *pair* SCC;");
+    println!("the proposed multiply error tracks the *single-stream* discrepancy,");
+    println!("which the FSM+MUX sequence minimizes by construction (Sec. 2.3).");
+}

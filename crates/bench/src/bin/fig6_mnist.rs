@@ -1,0 +1,23 @@
+//! Regenerates **Fig. 6(a)-(b)** of the paper: MNIST(-like) recognition
+//! accuracy vs multiplier precision (N = 5..10), for fixed-point binary,
+//! conventional LFSR-based SC, and the proposed SC — without and with
+//! fine-tuning. `--quick` runs a reduced sweep.
+
+use sc_bench::cli;
+use sc_bench::fig6::{print_result, run, Benchmark, Fig6Config};
+
+fn main() {
+    let mut cfg = Fig6Config::new(cli::quick_mode());
+    cfg.full_nets = std::env::args().any(|a| a == "--full-nets");
+    println!(
+        "Fig. 6(a)-(b): MNIST-like accuracy sweep (train {} / test {}, {} epochs, ft {} iters)",
+        cfg.train_n, cfg.test_n, cfg.epochs, cfg.ft_iters
+    );
+    let result = run(Benchmark::MnistLike, &cfg, |line| println!("  [{line}]"));
+    print_result("Fig. 6 MNIST-like", &cfg, &result);
+    if let Some(path) = cli::arg_value::<String>("csv") {
+        sc_bench::csv::write_csv(&path, sc_bench::csv::FIG6_HEADER, &sc_bench::csv::fig6_rows(&result))
+            .expect("csv write");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Regenerates **Fig. 7** of the paper: comparison of 256-MAC arrays —
+//! fixed-point binary ("FIX"), LFSR-based conventional SC ("Conv. SC"),
+//! and the proposed BISC-MVM in bit-serial ("Ours") and 8-bit-parallel
+//! ("Ours-8") versions — in area, average MAC latency, power, energy per
+//! MAC, and area-delay product. The proposed designs' latency is
+//! data-dependent, so the weight populations come from briefly trained
+//! networks (`--quick` trains less).
+//!
+//! Settings follow Sec. 4.3: N = 5 for MNIST, N = 8 and 9 for CIFAR-10;
+//! 256 MACs; A = 2; 1 GHz.
+
+use sc_bench::{cli, weights};
+use sc_core::conventional::ConvScMethod;
+use sc_core::Precision;
+use sc_hwmodel::array::quantize_weights;
+use sc_hwmodel::{MacArray, MacDesign};
+
+const ARRAY_SIZE: usize = 256;
+
+fn designs() -> Vec<(&'static str, MacDesign)> {
+    vec![
+        ("FIX", MacDesign::FixedPoint),
+        ("Conv. SC", MacDesign::ConventionalSc(ConvScMethod::Lfsr)),
+        ("Ours", MacDesign::ProposedSerial),
+        ("Ours-8", MacDesign::ProposedParallel(8)),
+    ]
+}
+
+fn print_panel(title: &str, bits: u32, float_weights: &[f32]) {
+    let n = Precision::new(bits).expect("valid precision");
+    let codes = quantize_weights(float_weights, n);
+    let (mean_abs, std, max_abs) = weights::describe(float_weights);
+    println!("\n== Fig. 7 panel: {title}, N = {bits} ==");
+    println!(
+        "(weights: mean|w| = {mean_abs:.4}, std = {std:.4}, max|w| = {max_abs:.4}, {} codes)",
+        codes.len()
+    );
+    let header = format!(
+        "{:>9} | {:>10} | {:>9} | {:>11} | {:>12} | {:>14}",
+        "design", "area mm²", "power mW", "avg cycles", "energy pJ/MAC", "ADP µm²·cyc"
+    );
+    println!("{header}");
+    cli::rule(&header);
+    let mut rows = Vec::new();
+    for (name, design) in designs() {
+        let arr = MacArray::new(design, n, ARRAY_SIZE);
+        let m = arr.metrics(&codes);
+        println!(
+            "{:>9} | {:>10.4} | {:>9.2} | {:>11.2} | {:>13.3} | {:>14.0}",
+            name,
+            m.area_um2 * 1e-6,
+            m.power_mw,
+            m.avg_mac_cycles,
+            m.energy_per_mac_pj,
+            m.adp
+        );
+        rows.push((name, m));
+    }
+    let find = |n: &str| rows.iter().find(|(name, _)| *name == n).unwrap().1;
+    let (fix, conv, ours, ours8) = (find("FIX"), find("Conv. SC"), find("Ours"), find("Ours-8"));
+    println!("\nheadline ratios (paper's claims in parentheses):");
+    println!(
+        "  energy: Conv.SC / Ours   = {:.0}x",
+        conv.energy_per_mac_pj / ours.energy_per_mac_pj
+    );
+    println!(
+        "  energy: Conv.SC / Ours-8 = {:.0}x  (paper: ~40x MNIST, 300-490x CIFAR)",
+        conv.energy_per_mac_pj / ours8.energy_per_mac_pj
+    );
+    println!(
+        "  energy: FIX / Ours-8     = {:.2}x  (paper: 1.10x MNIST, 1.23-1.29x CIFAR)",
+        fix.energy_per_mac_pj / ours8.energy_per_mac_pj
+    );
+    println!(
+        "  ADP:    Ours-8 / FIX     = {:.2}   (paper: 0.56-0.71, i.e. 29-44% lower)",
+        ours8.adp / fix.adp
+    );
+}
+
+fn main() {
+    let quick = cli::quick_mode();
+    println!("Fig. 7: MAC array comparison (256 MACs, A = 2, 1 GHz, TSMC-45nm-calibrated model)");
+
+    println!("\ntraining MNIST-like net for the N=5 weight population...");
+    let mnist_w = weights::trained_mnist_conv_weights(quick);
+    print_panel("MNIST (our trained weights)", 5, &mnist_w);
+
+    println!("\ntraining CIFAR-like net for the N=8/9 weight populations...");
+    let cifar_w = weights::trained_cifar_conv_weights(quick);
+    print_panel("CIFAR-10 (our trained weights)", 8, &cifar_w);
+    print_panel("CIFAR-10 (our trained weights)", 9, &cifar_w);
+
+    // The paper's full-size cifar10_quick net averages 7.7 bit-serial
+    // cycles at N = 9 (mean |w| ≈ 7.7/256 ≈ 0.030); our scaled-down net
+    // trains to larger weights, so we also report the array metrics in
+    // the paper's weight regime (see EXPERIMENTS.md).
+    let paper_w = weights::paper_regime_weights(7.7 / 256.0, 20_000, 7);
+    print_panel("CIFAR-10 (paper weight regime, mean|w| = 7.7/256)", 8, &paper_w);
+    print_panel("CIFAR-10 (paper weight regime, mean|w| = 7.7/256)", 9, &paper_w);
+}

@@ -1,0 +1,66 @@
+//! Regenerates **Table 2** of the paper: per-MAC area breakdown (µm²,
+//! TSMC 45 nm) for multiplier precisions 5 and 9 across all designs. At
+//! the anchor precisions the model reproduces the paper's numbers
+//! verbatim (that is the calibration); pass `--sweep` to also print the
+//! power-law-interpolated breakdowns for N = 5..10.
+
+use sc_bench::cli;
+use sc_core::conventional::ConvScMethod;
+use sc_core::Precision;
+use sc_hwmodel::components::{mac_breakdown, MacDesign};
+
+fn rows_for(bits: u32) -> Vec<(&'static str, MacDesign)> {
+    let mut rows: Vec<(&'static str, MacDesign)> = vec![
+        ("Binary", MacDesign::FixedPoint),
+        ("Conv. SC", MacDesign::ConventionalSc(ConvScMethod::Lfsr)),
+        ("Conv. SC", MacDesign::ConventionalSc(ConvScMethod::Halton)),
+    ];
+    if bits >= 9 {
+        rows.push(("Conv. SC", MacDesign::ConventionalSc(ConvScMethod::Ed)));
+    }
+    rows.push(("Proposed", MacDesign::ProposedSerial));
+    if bits >= 9 {
+        rows.push(("Proposed", MacDesign::ProposedParallel(8)));
+        rows.push(("Proposed", MacDesign::ProposedParallel(16)));
+        rows.push(("Proposed", MacDesign::ProposedParallel(32)));
+    }
+    rows
+}
+
+fn print_table(bits: u32) {
+    let n = Precision::new(bits).expect("valid precision");
+    println!("\n== Table 2: area breakdown of a MAC, MP = {bits} (µm²) ==");
+    let header = format!(
+        "{:>9} {:>12} | {:>8} {:>8} | {:>10} | {:>8} | {:>8} | {:>8}",
+        "case", "design", "SNG reg", "combi", "mult/down", "1s CNT", "accum", "total"
+    );
+    println!("{header}");
+    cli::rule(&header);
+    for (case, design) in rows_for(bits) {
+        let b = mac_breakdown(design, n);
+        println!(
+            "{:>9} {:>12} | {:>8.1} {:>8.1} | {:>10.1} | {:>8.1} | {:>8.1} | {:>8.1}",
+            case,
+            design.name(),
+            b.sng_reg,
+            b.sng_combi,
+            b.mult,
+            b.ones_cnt,
+            b.accum,
+            b.total()
+        );
+    }
+}
+
+fn main() {
+    println!("Table 2 (model anchored to the paper's synthesis results)");
+    print_table(5);
+    print_table(9);
+    if std::env::args().any(|a| a == "--sweep") {
+        for bits in [6u32, 7, 8, 10] {
+            print_table(bits);
+        }
+    }
+    println!("\nNote: at MP = 5 and MP = 9 these are the paper's Table 2 numbers by");
+    println!("construction; other precisions use per-component power-law interpolation.");
+}

@@ -1,0 +1,97 @@
+//! Minimal CSV output so figure data can be re-plotted with external
+//! tools.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes a header and rows to a CSV file (fields are escaped by
+/// doubling quotes and quoting fields containing separators).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    if let Some(dir) = path.as_ref().parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{}", header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","))?;
+    }
+    f.flush()
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Converts [`crate::error_stats::Fig5Point`]s into CSV rows.
+pub fn fig5_rows(points: &[crate::error_stats::Fig5Point]) -> Vec<Vec<String>> {
+    points
+        .iter()
+        .map(|p| {
+            vec![
+                p.method.clone(),
+                p.precision.to_string(),
+                p.snapshot.to_string(),
+                p.cycles.to_string(),
+                format!("{:e}", p.stats.std_dev()),
+                format!("{:e}", p.stats.max_abs()),
+                format!("{:e}", p.stats.mean()),
+            ]
+        })
+        .collect()
+}
+
+/// Header matching [`fig5_rows`].
+pub const FIG5_HEADER: &[&str] =
+    &["method", "precision", "snapshot", "cycles", "std", "max_abs", "mean"];
+
+/// Converts [`crate::fig6::Fig6Result`] points into CSV rows.
+pub fn fig6_rows(result: &crate::fig6::Fig6Result) -> Vec<Vec<String>> {
+    result
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.method.clone(),
+                p.precision.to_string(),
+                p.fine_tuned.to_string(),
+                format!("{:.4}", p.accuracy),
+            ]
+        })
+        .collect()
+}
+
+/// Header matching [`fig6_rows`].
+pub const FIG6_HEADER: &[&str] = &["method", "precision", "fine_tuned", "accuracy"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_rules() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn writes_file_with_header_and_rows() {
+        let path = std::env::temp_dir().join("scnn_csv_test.csv");
+        write_csv(&path, &["a", "b"], &[vec!["1".into(), "x,y".into()]]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,\"x,y\"\n");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,27 @@
+//! # sc-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1_signed` | Table 1 (signed multiply example) |
+//! | `fig5_error_stats` | Fig. 5 (multiplier error statistics) |
+//! | `fig6_mnist` / `fig6_cifar` | Fig. 6 (recognition accuracy) |
+//! | `fig7_mac_array` | Fig. 7 (MAC-array area/latency/energy) |
+//! | `table2_area` | Table 2 (MAC area breakdown) |
+//! | `table3_accelerators` | Table 3 (accelerator comparison) |
+//! | `ablation_*` | DESIGN.md §6 ablations |
+//!
+//! Every binary accepts `--quick` for a reduced-size run. This library
+//! hosts the shared pieces: the Fig. 5 error-statistics engine, the Fig. 6
+//! accuracy-sweep engine, and small CLI/table helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod csv;
+pub mod error_stats;
+pub mod fig6;
+pub mod weights;

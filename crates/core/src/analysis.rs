@@ -1,0 +1,240 @@
+//! Stream-level analysis tools: stochastic cross-correlation (SCC),
+//! autocorrelation, and prefix discrepancy.
+//!
+//! These are the standard instruments of the SC literature (Alaghi &
+//! Hayes' SCC in particular) used here to *explain* the Fig. 5 results:
+//! conventional multiplication accuracy is governed by the
+//! cross-correlation of the two operand streams, while the proposed
+//! multiplier's accuracy is governed by the prefix discrepancy of a
+//! single stream — which the FSM+MUX sequence makes deterministic.
+
+use crate::sng::BitstreamGenerator;
+use crate::Precision;
+
+/// Counts of the joint bit statistics of two equal-length streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JointStats {
+    /// Stream length.
+    pub len: u64,
+    /// Ones in stream A.
+    pub ones_a: u64,
+    /// Ones in stream B.
+    pub ones_b: u64,
+    /// Positions where both are 1.
+    pub overlap: u64,
+}
+
+impl JointStats {
+    /// Gathers joint statistics of two generators at the given codes over
+    /// one full `2^N`-bit period.
+    pub fn measure(
+        gen_a: &mut dyn BitstreamGenerator,
+        code_a: u32,
+        gen_b: &mut dyn BitstreamGenerator,
+        code_b: u32,
+    ) -> Self {
+        assert_eq!(
+            gen_a.precision(),
+            gen_b.precision(),
+            "generators must share a precision"
+        );
+        let len = gen_a.precision().stream_len();
+        gen_a.reset();
+        gen_b.reset();
+        let mut s = JointStats { len, ..Default::default() };
+        for _ in 0..len {
+            let a = gen_a.next_bit(code_a);
+            let b = gen_b.next_bit(code_b);
+            s.ones_a += a as u64;
+            s.ones_b += b as u64;
+            s.overlap += (a && b) as u64;
+        }
+        gen_a.reset();
+        gen_b.reset();
+        s
+    }
+
+    /// The stochastic cross-correlation (SCC) of Alaghi & Hayes:
+    /// 0 for independent streams, +1 for maximal overlap, −1 for minimal.
+    /// Returns 0 when either stream is constant.
+    pub fn scc(&self) -> f64 {
+        let n = self.len as f64;
+        let pa = self.ones_a as f64 / n;
+        let pb = self.ones_b as f64 / n;
+        let pab = self.overlap as f64 / n;
+        let delta = pab - pa * pb;
+        let bound = if delta > 0.0 {
+            pa.min(pb) - pa * pb
+        } else {
+            pa * pb - (pa + pb - 1.0).max(0.0)
+        };
+        if bound.abs() < 1e-15 {
+            0.0
+        } else {
+            delta / bound
+        }
+    }
+
+    /// The AND-gate product error in value units:
+    /// `overlap/len − (ones_a/len)·(ones_b/len)`.
+    pub fn product_error(&self) -> f64 {
+        let n = self.len as f64;
+        self.overlap as f64 / n - (self.ones_a as f64 / n) * (self.ones_b as f64 / n)
+    }
+}
+
+/// Maximum prefix discrepancy of a generator at a code: the worst
+/// deviation `max_k |ones(k) − k·p|` over all prefixes of the full
+/// period, in bit units. This is exactly the quantity that bounds the
+/// proposed multiplier's error (its output *is* a prefix count).
+pub fn prefix_discrepancy(gen: &mut dyn BitstreamGenerator, code: u32) -> f64 {
+    let n = gen.precision();
+    let len = n.stream_len();
+    let p = (code & (len - 1) as u32) as f64 / len as f64;
+    gen.reset();
+    let mut ones = 0u64;
+    let mut worst = 0.0f64;
+    for k in 1..=len {
+        ones += gen.next_bit(code) as u64;
+        worst = worst.max((ones as f64 - k as f64 * p).abs());
+    }
+    gen.reset();
+    worst
+}
+
+/// Mean prefix discrepancy over all codes of a precision — a single
+/// quality number per SNG.
+pub fn mean_prefix_discrepancy(gen: &mut dyn BitstreamGenerator) -> f64 {
+    let len = gen.precision().stream_len();
+    let mut total = 0.0;
+    for code in 0..len as u32 {
+        total += prefix_discrepancy(gen, code);
+    }
+    total / len as f64
+}
+
+/// Lag-`l` autocorrelation coefficient of a stream (bias-corrected,
+/// in [-1, 1]); near 0 for random-like streams.
+pub fn autocorrelation(gen: &mut dyn BitstreamGenerator, code: u32, lag: u64) -> f64 {
+    let len = gen.precision().stream_len();
+    assert!(lag < len, "lag must be shorter than the stream");
+    gen.reset();
+    let bits: Vec<bool> = (0..len).map(|_| gen.next_bit(code)).collect();
+    gen.reset();
+    let n = (len - lag) as f64;
+    let p = bits.iter().filter(|&&b| b).count() as f64 / len as f64;
+    if p == 0.0 || p == 1.0 {
+        return 0.0;
+    }
+    let mut cov = 0.0;
+    for i in 0..(len - lag) as usize {
+        cov += (bits[i] as u8 as f64 - p) * (bits[i + lag as usize] as u8 as f64 - p);
+    }
+    cov / n / (p * (1.0 - p))
+}
+
+/// Convenience: SCC between the two generators of a conventional-SC
+/// method at matched half-scale codes — a one-number decorrelation
+/// report.
+pub fn method_scc(
+    gen_a: &mut dyn BitstreamGenerator,
+    gen_b: &mut dyn BitstreamGenerator,
+    n: Precision,
+) -> f64 {
+    let half = (n.stream_len() / 2) as u32;
+    JointStats::measure(gen_a, half, gen_b, half).scc()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sng::{EdSng, EdVariant, FsmMuxSng, HaltonSng, LfsrSng};
+
+    fn p(bits: u32) -> Precision {
+        Precision::new(bits).unwrap()
+    }
+
+    #[test]
+    fn identical_streams_have_scc_one() {
+        let n = p(8);
+        let mut a = FsmMuxSng::new(n);
+        let mut b = FsmMuxSng::new(n);
+        let s = JointStats::measure(&mut a, 128, &mut b, 128);
+        assert!((s.scc() - 1.0).abs() < 1e-12, "scc {}", s.scc());
+    }
+
+    #[test]
+    fn decorrelated_pairs_have_low_scc() {
+        let n = p(10);
+        let mut hx = HaltonSng::new(n, 2);
+        let mut hw = HaltonSng::new(n, 3);
+        let scc_halton = method_scc(&mut hx, &mut hw, n).abs();
+        assert!(scc_halton < 0.1, "halton scc {scc_halton}");
+
+        let mut lx = LfsrSng::new(n, 0, 1).unwrap();
+        let mut lw = LfsrSng::new(n, 1, 513).unwrap();
+        let scc_lfsr = method_scc(&mut lx, &mut lw, n).abs();
+        assert!(scc_lfsr < 0.2, "lfsr scc {scc_lfsr}");
+
+        // The ED pair is the most correlated — which is exactly why it is
+        // the least accurate multiplier (Fig. 5(c)).
+        let mut ex = EdSng::new(n, EdVariant::Primary);
+        let mut ew = EdSng::new(n, EdVariant::Scrambled);
+        let scc_ed = method_scc(&mut ex, &mut ew, n).abs();
+        assert!(scc_ed > scc_halton, "ed {scc_ed} vs halton {scc_halton}");
+    }
+
+    #[test]
+    fn fsm_mux_has_minimal_prefix_discrepancy() {
+        let n = p(8);
+        let d_fsm = mean_prefix_discrepancy(&mut FsmMuxSng::new(n));
+        let d_lfsr = mean_prefix_discrepancy(&mut LfsrSng::new(n, 0, 1).unwrap());
+        let d_halton = mean_prefix_discrepancy(&mut HaltonSng::new(n, 2));
+        assert!(d_fsm < d_lfsr / 2.0, "fsm {d_fsm} vs lfsr {d_lfsr}");
+        assert!(d_fsm <= d_halton + 0.25, "fsm {d_fsm} vs halton {d_halton}");
+    }
+
+    #[test]
+    fn prefix_discrepancy_bounds_proposed_error() {
+        // The proposed multiplier's max error at code x over all weights
+        // equals the prefix discrepancy of its sequence at x.
+        let n = p(7);
+        let mac = crate::mac::UnsignedScMac::new(n);
+        for x in [1u32, 37, 64, 100, 127] {
+            let disc = prefix_discrepancy(&mut FsmMuxSng::new(n), x);
+            let mut worst = 0.0f64;
+            for w in 0..128u32 {
+                let out = mac.multiply(x, w).unwrap();
+                let exact = x as f64 * w as f64 / 128.0;
+                worst = worst.max((out.value as f64 - exact).abs());
+            }
+            assert!(
+                (worst - disc).abs() < 1e-9,
+                "x={x}: worst {worst} vs discrepancy {disc}"
+            );
+        }
+    }
+
+    #[test]
+    fn autocorrelation_detects_periodic_structure() {
+        let n = p(8);
+        // The FSM+MUX stream of the MSB-only code is 1010… — lag-1
+        // autocorrelation −1, lag-2 +1.
+        let mut gen = FsmMuxSng::new(n);
+        let msb = 128u32;
+        assert!((autocorrelation(&mut gen, msb, 1) + 1.0).abs() < 0.02);
+        assert!((autocorrelation(&mut gen, msb, 2) - 1.0).abs() < 0.02);
+        // LFSR streams look random: small autocorrelation at small lags.
+        let mut lfsr = LfsrSng::new(n, 0, 1).unwrap();
+        assert!(autocorrelation(&mut lfsr, 128, 1).abs() < 0.2);
+    }
+
+    #[test]
+    fn constant_streams_have_zero_scc() {
+        let n = p(6);
+        let mut a = FsmMuxSng::new(n);
+        let mut b = FsmMuxSng::new(n);
+        let s = JointStats::measure(&mut a, 0, &mut b, 32);
+        assert_eq!(s.scc(), 0.0);
+    }
+}

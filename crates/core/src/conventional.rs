@@ -1,0 +1,397 @@
+//! Conventional stochastic-computing multiplication (paper Sec. 2.1,
+//! Fig. 1(a)): two SNGs feed an AND gate (unipolar) or XNOR gate (bipolar),
+//! and a (up/down) counter converts the product stream back to binary over
+//! `2^N` cycles.
+
+use crate::sng::{
+    collect_stream_words, BitstreamGenerator, EdSng, EdVariant, HaltonSng, LfsrSng,
+};
+use crate::{Error, Precision};
+
+/// Which conventional SNG flavor drives the multiplier (the three baselines
+/// of the paper's Fig. 5 / Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConvScMethod {
+    /// LFSR + comparator (the workhorse conventional SNG).
+    Lfsr,
+    /// Halton low-discrepancy sequences, bases 2 (for `x`) and 3 (for `w`).
+    Halton,
+    /// Even-distribution low-discrepancy code, 32 bits/cycle.
+    Ed,
+}
+
+impl ConvScMethod {
+    /// Builds the decorrelated generator pair `(gen_x, gen_w)` for this
+    /// method at precision `n`.
+    ///
+    /// * LFSR: two *different* maximal polynomials (same-polynomial LFSRs
+    ///   are only phase-shifted copies, which would correlate the streams).
+    /// * Halton: bases 2 and 3, per footnote 3 of the paper.
+    /// * ED: primary and scrambled variants (see [`EdVariant`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::NoLfsrPolynomial`] for the LFSR method.
+    pub fn generator_pair(
+        self,
+        n: Precision,
+    ) -> Result<(Box<dyn BitstreamGenerator>, Box<dyn BitstreamGenerator>), Error> {
+        Ok(match self {
+            ConvScMethod::Lfsr => (
+                Box::new(LfsrSng::new(n, 0, 1)?),
+                Box::new(LfsrSng::new(n, 1, (n.stream_len() / 2) as u32 + 1)?),
+            ),
+            ConvScMethod::Halton => {
+                (Box::new(HaltonSng::new(n, 2)), Box::new(HaltonSng::new(n, 3)))
+            }
+            ConvScMethod::Ed => (
+                Box::new(EdSng::new(n, EdVariant::Primary)),
+                Box::new(EdSng::new(n, EdVariant::Scrambled)),
+            ),
+        })
+    }
+
+    /// Human-readable name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConvScMethod::Lfsr => "LFSR",
+            ConvScMethod::Halton => "Halton",
+            ConvScMethod::Ed => "ED",
+        }
+    }
+}
+
+/// A conventional SC multiplier: SNG pair + AND/XNOR gate + counter.
+///
+/// ```
+/// use sc_core::{Precision, conventional::{ConventionalMultiplier, ConvScMethod}};
+/// let n = Precision::new(8)?;
+/// let mut mul = ConventionalMultiplier::new(n, ConvScMethod::Halton)?;
+/// // Unipolar: 0.5 × 0.5 over 256 cycles; ideal ones count is 64.
+/// let ones = mul.multiply_unipolar(128, 128);
+/// assert!((ones as i64 - 64).abs() <= 4);
+/// # Ok::<(), sc_core::Error>(())
+/// ```
+pub struct ConventionalMultiplier {
+    gen_x: Box<dyn BitstreamGenerator>,
+    gen_w: Box<dyn BitstreamGenerator>,
+    n: Precision,
+    method: ConvScMethod,
+}
+
+impl std::fmt::Debug for ConventionalMultiplier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConventionalMultiplier")
+            .field("precision", &self.n)
+            .field("method", &self.method)
+            .finish()
+    }
+}
+
+impl ConventionalMultiplier {
+    /// Creates a multiplier at precision `n` using the given SNG method.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::NoLfsrPolynomial`] for the LFSR method.
+    pub fn new(n: Precision, method: ConvScMethod) -> Result<Self, Error> {
+        let (gen_x, gen_w) = method.generator_pair(n)?;
+        Ok(ConventionalMultiplier { gen_x, gen_w, n, method })
+    }
+
+    /// The operand precision.
+    pub fn precision(&self) -> Precision {
+        self.n
+    }
+
+    /// The SNG method of this multiplier.
+    pub fn method(&self) -> ConvScMethod {
+        self.method
+    }
+
+    /// Unipolar multiplication: counts 1s of `AND(stream_x, stream_w)` over
+    /// the full `2^N` cycles. The product value estimate is
+    /// `ones / 2^N ≈ (x/2^N)·(w/2^N)`.
+    pub fn multiply_unipolar(&mut self, x: u32, w: u32) -> u64 {
+        self.gen_x.reset();
+        self.gen_w.reset();
+        let mut ones = 0u64;
+        for _ in 0..self.n.stream_len() {
+            let bx = self.gen_x.next_bit(x);
+            let bw = self.gen_w.next_bit(w);
+            ones += (bx && bw) as u64;
+        }
+        ones
+    }
+
+    /// Unipolar multiplication with running snapshots: returns the AND-gate
+    /// ones count after each requested prefix length (ascending, each
+    /// `≤ 2^N`).
+    pub fn multiply_unipolar_snapshots(&mut self, x: u32, w: u32, prefixes: &[u64]) -> Vec<u64> {
+        self.gen_x.reset();
+        self.gen_w.reset();
+        let mut out = Vec::with_capacity(prefixes.len());
+        let mut ones = 0u64;
+        let mut t = 0u64;
+        for &p in prefixes {
+            debug_assert!(p >= t && p <= self.n.stream_len());
+            while t < p {
+                let bx = self.gen_x.next_bit(x);
+                let bw = self.gen_w.next_bit(w);
+                ones += (bx && bw) as u64;
+                t += 1;
+            }
+            out.push(ones);
+        }
+        out
+    }
+
+    /// Bipolar (signed) multiplication: XNOR gate + up/down counter over
+    /// `2^N` cycles. Inputs are two's-complement codes (value
+    /// `code / 2^(N-1)`); the returned counter value approximates
+    /// `2^N · v_x · v_w`.
+    pub fn multiply_bipolar(&mut self, x: i32, w: i32) -> i64 {
+        self.gen_x.reset();
+        self.gen_w.reset();
+        let half = self.n.half_scale() as i64;
+        // Bipolar threshold: P(1) = (v+1)/2 = (code + 2^(N-1)) / 2^N.
+        let tx = (x as i64 + half) as u32;
+        let tw = (w as i64 + half) as u32;
+        let mut counter = 0i64;
+        for _ in 0..self.n.stream_len() {
+            let bx = self.gen_x.next_bit(tx);
+            let bw = self.gen_w.next_bit(tw);
+            counter += if bx == bw { 1 } else { -1 }; // XNOR
+        }
+        counter
+    }
+}
+
+/// A precomputed lookup table for conventional-SC *signed* (bipolar)
+/// products at precision `N`, used by the CNN backends where millions of
+/// SC multiplications per image would otherwise require `2^N` simulated
+/// cycles each.
+///
+/// The table is exact with respect to stream-level simulation: entry
+/// `(x, w)` equals [`ConventionalMultiplier::multiply_bipolar`] for the
+/// same codes (verified by tests). Building uses packed bitstream words
+/// and popcount, so an `N = 10` table (1M entries) takes well under a
+/// second.
+#[derive(Debug, Clone)]
+pub struct SignedProductLut {
+    n: Precision,
+    method: ConvScMethod,
+    /// Row-major `[x_offset][w_offset]`, offsets = code + 2^(N-1).
+    table: Vec<i32>,
+}
+
+impl SignedProductLut {
+    /// Builds the table by exhaustive stream simulation (packed words).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::NoLfsrPolynomial`] for the LFSR method.
+    pub fn build(n: Precision, method: ConvScMethod) -> Result<Self, Error> {
+        Self::build_phased(n, method, 0)
+    }
+
+    /// Builds the table with the generators advanced by `phase` cycles
+    /// before the product stream starts.
+    ///
+    /// In a BISC MAC chain the SNGs free-run across consecutive products,
+    /// so each product of a dot product sees a different generator phase;
+    /// sampling a few phases and cycling through them models that
+    /// decorrelation (a fixed-phase table would make the per-pair error a
+    /// deterministic function of `(x, w)`, which correlates systematically
+    /// across a conv layer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::NoLfsrPolynomial`] for the LFSR method.
+    pub fn build_phased(n: Precision, method: ConvScMethod, phase: u64) -> Result<Self, Error> {
+        let (mut gen_x, mut gen_w) = method.generator_pair(n)?;
+        let size = n.stream_len() as usize;
+        let stream_len = n.stream_len();
+
+        // Packed stream for every bipolar threshold 0..2^N, starting
+        // `phase` cycles into the generator sequence.
+        let collect = |g: &mut dyn BitstreamGenerator, c: u32| -> Vec<u64> {
+            if phase == 0 {
+                return collect_stream_words(g, c);
+            }
+            g.reset();
+            for _ in 0..phase {
+                let _ = g.next_bit(c);
+            }
+            let words = stream_len.div_ceil(64) as usize;
+            let mut out = vec![0u64; words];
+            for t in 0..stream_len {
+                if g.next_bit(c) {
+                    out[(t / 64) as usize] |= 1u64 << (t % 64);
+                }
+            }
+            g.reset();
+            out
+        };
+        let sx: Vec<Vec<u64>> = (0..size as u32).map(|c| collect(gen_x.as_mut(), c)).collect();
+        let sw: Vec<Vec<u64>> = (0..size as u32).map(|c| collect(gen_w.as_mut(), c)).collect();
+
+        let mut table = vec![0i32; size * size];
+        for xo in 0..size {
+            let row = &sx[xo];
+            for wo in 0..size {
+                let col = &sw[wo];
+                // XNOR ones = 2^N − popcount(x ^ w); counter = 2·ones − 2^N.
+                let mut diff = 0u64;
+                for (a, b) in row.iter().zip(col) {
+                    diff += (a ^ b).count_ones() as u64;
+                }
+                table[xo * size + wo] = (stream_len as i64 - 2 * diff as i64) as i32;
+            }
+        }
+        Ok(SignedProductLut { n, method, table })
+    }
+
+    /// The precision of the table.
+    pub fn precision(&self) -> Precision {
+        self.n
+    }
+
+    /// The SNG method the table was built for.
+    pub fn method(&self) -> ConvScMethod {
+        self.method
+    }
+
+    /// Raw up/down counter value for signed codes `(x, w)` — approximately
+    /// `2^N · v_x · v_w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if a code is out of range for `N`.
+    #[inline]
+    pub fn counter(&self, x: i32, w: i32) -> i32 {
+        let half = self.n.half_scale() as i64;
+        let size = self.n.stream_len() as usize;
+        let xo = (x as i64 + half) as usize;
+        let wo = (w as i64 + half) as usize;
+        debug_assert!(xo < size && wo < size);
+        self.table[xo * size + wo]
+    }
+
+    /// Product in the same units as the proposed signed SC-MAC
+    /// (`≈ 2^(N-1) · v_x · v_w`): the counter halved with round-half-away
+    /// from zero (one extra output flip-flop in hardware).
+    #[inline]
+    pub fn product_scaled(&self, x: i32, w: i32) -> i32 {
+        let c = self.counter(x, w);
+        if c >= 0 {
+            (c + 1) / 2
+        } else {
+            (c - 1) / 2
+        }
+    }
+
+    /// Product as a real value `≈ v_x · v_w`.
+    pub fn value(&self, x: i32, w: i32) -> f64 {
+        self.counter(x, w) as f64 / self.n.stream_len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(bits: u32) -> Precision {
+        Precision::new(bits).unwrap()
+    }
+
+    #[test]
+    fn unipolar_zero_and_identity() {
+        for method in [ConvScMethod::Lfsr, ConvScMethod::Halton, ConvScMethod::Ed] {
+            let n = p(6);
+            let mut m = ConventionalMultiplier::new(n, method).unwrap();
+            assert_eq!(m.multiply_unipolar(0, 45), 0, "{method:?}");
+            assert_eq!(m.multiply_unipolar(45, 0), 0, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn unipolar_accuracy_is_reasonable() {
+        let n = p(8);
+        // ED is the least accurate conventional SNG (paper Fig. 5(c)),
+        // so it gets a looser threshold.
+        let cases = [
+            (ConvScMethod::Lfsr, 24.0),
+            (ConvScMethod::Halton, 12.0),
+            (ConvScMethod::Ed, 40.0),
+        ];
+        for (method, limit) in cases {
+            let mut m = ConventionalMultiplier::new(n, method).unwrap();
+            let mut worst = 0f64;
+            for &(x, w) in &[(64u32, 64u32), (128, 200), (255, 255), (30, 240)] {
+                let ones = m.multiply_unipolar(x, w);
+                let exact = x as f64 * w as f64 / 256.0;
+                worst = worst.max((ones as f64 - exact).abs());
+            }
+            // Random-fluctuation error is bounded well below full scale.
+            assert!(worst < limit, "{method:?} worst error {worst}");
+        }
+    }
+
+    #[test]
+    fn snapshots_are_monotone_and_match_full_run() {
+        let n = p(7);
+        let mut m = ConventionalMultiplier::new(n, ConvScMethod::Lfsr).unwrap();
+        let prefixes: Vec<u64> = (0..=7).map(|s| 1u64 << s).collect();
+        let snaps = m.multiply_unipolar_snapshots(90, 70, &prefixes);
+        assert!(snaps.windows(2).all(|w| w[0] <= w[1]));
+        let full = m.multiply_unipolar(90, 70);
+        assert_eq!(*snaps.last().unwrap(), full);
+    }
+
+    #[test]
+    fn bipolar_sign_behaviour() {
+        let n = p(8);
+        let mut m = ConventionalMultiplier::new(n, ConvScMethod::Halton).unwrap();
+        // (+0.5)·(+0.5) ≈ +0.25, (−0.5)·(+0.5) ≈ −0.25 (counter units 2^N).
+        let pp = m.multiply_bipolar(64, 64);
+        let np = m.multiply_bipolar(-64, 64);
+        assert!((pp - 64).abs() <= 16, "pp={pp}");
+        assert!((np + 64).abs() <= 16, "np={np}");
+    }
+
+    #[test]
+    fn lut_matches_stream_simulation() {
+        let n = p(5);
+        for method in [ConvScMethod::Lfsr, ConvScMethod::Halton, ConvScMethod::Ed] {
+            let lut = SignedProductLut::build(n, method).unwrap();
+            let mut m = ConventionalMultiplier::new(n, method).unwrap();
+            let (lo, hi) = n.signed_range();
+            for x in lo..=hi {
+                for w in lo..=hi {
+                    assert_eq!(
+                        lut.counter(x as i32, w as i32) as i64,
+                        m.multiply_bipolar(x as i32, w as i32),
+                        "{method:?} x={x} w={w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn product_scaled_halves_counter() {
+        let n = p(5);
+        let lut = SignedProductLut::build(n, ConvScMethod::Halton).unwrap();
+        assert_eq!(lut.product_scaled(15, 15), (lut.counter(15, 15) + 1) / 2);
+        let c = lut.counter(-16, 15);
+        assert_eq!(lut.product_scaled(-16, 15), (c - 1) / 2);
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(ConvScMethod::Lfsr.name(), "LFSR");
+        assert_eq!(ConvScMethod::Halton.name(), "Halton");
+        assert_eq!(ConvScMethod::Ed.name(), "ED");
+    }
+}

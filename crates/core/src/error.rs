@@ -1,0 +1,100 @@
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The requested multiplier precision is outside the supported range.
+    UnsupportedPrecision {
+        /// The precision that was requested.
+        requested: u32,
+        /// Minimum supported precision (bits).
+        min: u32,
+        /// Maximum supported precision (bits).
+        max: u32,
+    },
+    /// An operand code does not fit in the configured precision.
+    CodeOutOfRange {
+        /// The offending code value (sign-extended for signed codes).
+        code: i64,
+        /// The configured precision in bits.
+        precision: u32,
+    },
+    /// The requested degree of bit-parallelism is invalid (must be a power
+    /// of two between 1 and `2^N`).
+    InvalidParallelism {
+        /// The requested degree of parallelism.
+        requested: u32,
+        /// The configured precision in bits.
+        precision: u32,
+    },
+    /// A vector operation received slices of mismatched lengths.
+    LengthMismatch {
+        /// Expected number of lanes / elements.
+        expected: usize,
+        /// Actual number of lanes / elements supplied.
+        actual: usize,
+    },
+    /// No maximal-length LFSR polynomial is available for the requested width.
+    NoLfsrPolynomial {
+        /// The requested LFSR width in bits.
+        width: u32,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnsupportedPrecision { requested, min, max } => write!(
+                f,
+                "multiplier precision {requested} is outside the supported range {min}..={max}"
+            ),
+            Error::CodeOutOfRange { code, precision } => {
+                write!(f, "operand code {code} does not fit in {precision} bits")
+            }
+            Error::InvalidParallelism { requested, precision } => write!(
+                f,
+                "bit-parallelism {requested} is not a power of two dividing 2^{precision}"
+            ),
+            Error::LengthMismatch { expected, actual } => {
+                write!(f, "expected {expected} elements, got {actual}")
+            }
+            Error::NoLfsrPolynomial { width } => {
+                write!(f, "no maximal-length LFSR polynomial found for width {width}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = Error::UnsupportedPrecision { requested: 99, min: 2, max: 16 };
+        let s = e.to_string();
+        assert!(s.contains("99"));
+        assert!(s.contains("2..=16"));
+
+        let e = Error::CodeOutOfRange { code: -300, precision: 8 };
+        assert!(e.to_string().contains("-300"));
+
+        let e = Error::InvalidParallelism { requested: 3, precision: 8 };
+        assert!(e.to_string().contains('3'));
+
+        let e = Error::LengthMismatch { expected: 4, actual: 7 };
+        assert!(e.to_string().contains('4') && e.to_string().contains('7'));
+
+        let e = Error::NoLfsrPolynomial { width: 33 };
+        assert!(e.to_string().contains("33"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

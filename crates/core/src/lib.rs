@@ -1,0 +1,67 @@
+//! # sc-core — stochastic-computing multipliers for binary-interfaced SC
+//!
+//! This crate reproduces, from scratch, the arithmetic core of
+//! *"A New Stochastic Computing Multiplier with Application to Deep
+//! Convolutional Neural Networks"* (Sim & Lee, DAC 2017):
+//!
+//! * [`sng`] — stochastic number generators: the conventional
+//!   LFSR-plus-comparator SNG, the Halton low-discrepancy SNG, the
+//!   even-distribution (ED) SNG, and the paper's FSM+MUX low-discrepancy
+//!   bitstream generator.
+//! * [`conventional`] — conventional SC multiplication (AND gate for
+//!   unipolar, XNOR for bipolar encoding) over `2^N`-cycle bitstreams.
+//! * [`mac`] — the proposed low-latency SC multiplier / SC-MAC: unsigned
+//!   bit-serial, the signed two's-complement extension, the exact closed
+//!   form of the partial sum, and the bit-parallel variant.
+//! * [`mvm`] — the vectorized **BISC-MVM** (matrix-vector multiplier) with
+//!   a shared FSM and down counter, and its application to tiled
+//!   convolution loops.
+//! * [`stats`] — running error statistics (mean / standard deviation /
+//!   maximum absolute error) used to regenerate the paper's Fig. 5.
+//!
+//! ## Number formats
+//!
+//! *Multiplier precision* `N` (the paper's term) is the total operand width
+//! in bits **including** the sign bit for signed operands. Two fixed-point
+//! interpretations are used throughout:
+//!
+//! * **unipolar / unsigned**: an `N`-bit code `u` represents `u / 2^N ∈ [0, 1)`;
+//! * **bipolar / signed**: an `N`-bit two's-complement code `i` represents
+//!   `i / 2^(N-1) ∈ [-1, 1)`.
+//!
+//! ## Quick example
+//!
+//! Multiply two signed 8-bit fixed-point numbers with the proposed SC-MAC
+//! and observe that the result is within the paper's error bound while the
+//! latency is only `|w|·2^(N-1)` cycles (not `2^N`):
+//!
+//! ```
+//! use sc_core::{Precision, mac::SignedScMac};
+//!
+//! # fn main() -> Result<(), sc_core::Error> {
+//! let n = Precision::new(8)?;
+//! let mac = SignedScMac::new(n);
+//! // w = -0.25 (code -32), x = 0.5 (code 64)
+//! let out = mac.multiply(-32, 64)?;
+//! // Result is in product units of 2^(N-1): exact is -16 (= -0.125).
+//! assert!((out.value - (-16)).abs() <= 4); // within N/2 bound
+//! assert_eq!(out.cycles, 32);              // |w|·2^(N-1), not 2^8 = 256
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod conventional;
+mod error;
+pub mod mac;
+pub mod mvm;
+mod num;
+pub mod seq;
+pub mod sng;
+pub mod stats;
+
+pub use error::Error;
+pub use num::{Precision, SignedCode, UnsignedCode};

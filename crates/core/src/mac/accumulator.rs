@@ -1,0 +1,147 @@
+//! The saturating `N+A`-bit up/down counter used as the MAC accumulator
+//! (paper Sec. 4.2: "We use a saturating accumulator/up-down counter").
+
+use crate::Precision;
+
+/// A saturating two's-complement up/down counter of `N + A` bits.
+///
+/// `A` extra *accumulation bits* widen the counter beyond the product
+/// range so that multiple MAC results can be accumulated; when the running
+/// sum exceeds the representable range it saturates (clamps) instead of
+/// wrapping, as in the paper's RTL.
+///
+/// ```
+/// use sc_core::{Precision, mac::SaturatingAccumulator};
+/// let n = Precision::new(5)?;
+/// let mut acc = SaturatingAccumulator::new(n, 2); // 7-bit counter: [-64, 63]
+/// acc.add(50);
+/// acc.add(50);
+/// assert_eq!(acc.value(), 63); // saturated high
+/// acc.add(-200);
+/// assert_eq!(acc.value(), -64); // saturated low
+/// # Ok::<(), sc_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaturatingAccumulator {
+    value: i64,
+    min: i64,
+    max: i64,
+    saturated: bool,
+}
+
+impl SaturatingAccumulator {
+    /// Creates an accumulator of width `n.bits() + extra_bits` starting
+    /// at zero.
+    pub fn new(n: Precision, extra_bits: u32) -> Self {
+        Self::with_width(n.bits() + extra_bits)
+    }
+
+    /// Creates an accumulator with an explicit total width in bits (≥ 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in `2..=62`.
+    pub fn with_width(width: u32) -> Self {
+        assert!((2..=62).contains(&width), "accumulator width out of range");
+        let half = 1i64 << (width - 1);
+        SaturatingAccumulator { value: 0, min: -half, max: half - 1, saturated: false }
+    }
+
+    /// Adds (or subtracts) a step, clamping at the counter limits.
+    #[inline]
+    pub fn add(&mut self, step: i64) {
+        let sum = self.value + step;
+        if sum > self.max {
+            self.value = self.max;
+            self.saturated = true;
+        } else if sum < self.min {
+            self.value = self.min;
+            self.saturated = true;
+        } else {
+            self.value = sum;
+        }
+    }
+
+    /// Counts one stream bit: up on `true`, down on `false` — the hardware
+    /// up/down counter interface.
+    #[inline]
+    pub fn count(&mut self, bit: bool) {
+        self.add(if bit { 1 } else { -1 });
+    }
+
+    /// The current counter value.
+    #[inline]
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+
+    /// Whether saturation has occurred since the last reset.
+    pub fn has_saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// The inclusive representable range `(min, max)`.
+    pub fn range(&self) -> (i64, i64) {
+        (self.min, self.max)
+    }
+
+    /// Resets the counter to zero and clears the saturation flag.
+    pub fn reset(&mut self) {
+        self.value = 0;
+        self.saturated = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(bits: u32) -> Precision {
+        Precision::new(bits).unwrap()
+    }
+
+    #[test]
+    fn width_and_range() {
+        let acc = SaturatingAccumulator::new(p(8), 2);
+        assert_eq!(acc.range(), (-512, 511));
+    }
+
+    #[test]
+    fn saturates_high_and_low() {
+        let mut acc = SaturatingAccumulator::with_width(4); // [-8, 7]
+        for _ in 0..20 {
+            acc.count(true);
+        }
+        assert_eq!(acc.value(), 7);
+        assert!(acc.has_saturated());
+        for _ in 0..40 {
+            acc.count(false);
+        }
+        assert_eq!(acc.value(), -8);
+    }
+
+    #[test]
+    fn no_saturation_within_range() {
+        let mut acc = SaturatingAccumulator::with_width(8);
+        acc.add(100);
+        acc.add(-50);
+        assert_eq!(acc.value(), 50);
+        assert!(!acc.has_saturated());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut acc = SaturatingAccumulator::with_width(4);
+        acc.add(100);
+        assert!(acc.has_saturated());
+        acc.reset();
+        assert_eq!(acc.value(), 0);
+        assert!(!acc.has_saturated());
+    }
+
+    #[test]
+    #[should_panic(expected = "width out of range")]
+    fn invalid_width_panics() {
+        let _ = SaturatingAccumulator::with_width(63);
+    }
+}

@@ -1,0 +1,264 @@
+use crate::Error;
+
+/// Multiplier precision `N` in bits, as defined by the paper: the total
+/// operand width *including* the sign bit for signed operands.
+///
+/// The supported range is `2..=16`. The upper bound keeps exhaustive
+/// stream-level simulation (`2^N` cycles, `2^N × 2^N` input pairs) tractable;
+/// the paper evaluates `N ∈ 5..=10`.
+///
+/// ```
+/// use sc_core::Precision;
+/// let n = Precision::new(8)?;
+/// assert_eq!(n.bits(), 8);
+/// assert_eq!(n.stream_len(), 256);      // 2^N
+/// assert_eq!(n.signed_range(), (-128, 127));
+/// # Ok::<(), sc_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Precision(u32);
+
+/// Minimum supported multiplier precision in bits.
+pub const MIN_PRECISION: u32 = 2;
+/// Maximum supported multiplier precision in bits.
+pub const MAX_PRECISION: u32 = 16;
+
+impl Precision {
+    /// Creates a new precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnsupportedPrecision`] if `bits` is outside
+    /// `2..=16`.
+    pub fn new(bits: u32) -> Result<Self, Error> {
+        if (MIN_PRECISION..=MAX_PRECISION).contains(&bits) {
+            Ok(Precision(bits))
+        } else {
+            Err(Error::UnsupportedPrecision {
+                requested: bits,
+                min: MIN_PRECISION,
+                max: MAX_PRECISION,
+            })
+        }
+    }
+
+    /// The precision in bits.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// The bitstream length `2^N` of a conventional stochastic number at
+    /// this precision.
+    #[inline]
+    pub fn stream_len(self) -> u64 {
+        1u64 << self.0
+    }
+
+    /// `2^(N-1)`, the scale factor of signed (bipolar-range) codes and the
+    /// maximum down-counter load of the proposed signed SC-MAC.
+    #[inline]
+    pub fn half_scale(self) -> u64 {
+        1u64 << (self.0 - 1)
+    }
+
+    /// Inclusive range of signed two's-complement codes: `(-2^(N-1), 2^(N-1)-1)`.
+    #[inline]
+    pub fn signed_range(self) -> (i64, i64) {
+        let h = self.half_scale() as i64;
+        (-h, h - 1)
+    }
+
+    /// Exclusive upper bound of unsigned codes: `2^N`.
+    #[inline]
+    pub fn unsigned_bound(self) -> u64 {
+        self.stream_len()
+    }
+
+    /// Validates an unsigned code against this precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CodeOutOfRange`] if `code >= 2^N`.
+    pub fn check_unsigned(self, code: u64) -> Result<UnsignedCode, Error> {
+        if code < self.unsigned_bound() {
+            Ok(UnsignedCode { code: code as u32, precision: self })
+        } else {
+            Err(Error::CodeOutOfRange { code: code as i64, precision: self.0 })
+        }
+    }
+
+    /// Validates a signed two's-complement code against this precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CodeOutOfRange`] if `code` is outside
+    /// `[-2^(N-1), 2^(N-1))`.
+    pub fn check_signed(self, code: i64) -> Result<SignedCode, Error> {
+        let (lo, hi) = self.signed_range();
+        if (lo..=hi).contains(&code) {
+            Ok(SignedCode { code: code as i32, precision: self })
+        } else {
+            Err(Error::CodeOutOfRange { code, precision: self.0 })
+        }
+    }
+
+    /// Quantizes a real value in `[0, 1)` to the nearest unsigned code
+    /// (round to nearest, clamped to the representable range).
+    pub fn quantize_unsigned(self, value: f64) -> UnsignedCode {
+        let scaled = (value * self.stream_len() as f64).round();
+        let code = scaled.clamp(0.0, (self.unsigned_bound() - 1) as f64) as u32;
+        UnsignedCode { code, precision: self }
+    }
+
+    /// Quantizes a real value in `[-1, 1)` to the nearest signed code
+    /// (round to nearest, clamped to the representable range).
+    pub fn quantize_signed(self, value: f64) -> SignedCode {
+        let (lo, hi) = self.signed_range();
+        let scaled = (value * self.half_scale() as f64).round();
+        let code = scaled.clamp(lo as f64, hi as f64) as i32;
+        SignedCode { code, precision: self }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-bit", self.0)
+    }
+}
+
+/// An `N`-bit unsigned (unipolar-range) fixed-point code representing
+/// `code / 2^N ∈ [0, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UnsignedCode {
+    code: u32,
+    precision: Precision,
+}
+
+impl UnsignedCode {
+    /// The raw integer code.
+    #[inline]
+    pub fn code(self) -> u32 {
+        self.code
+    }
+
+    /// The precision this code was validated against.
+    #[inline]
+    pub fn precision(self) -> Precision {
+        self.precision
+    }
+
+    /// The real value `code / 2^N`.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.code as f64 / self.precision.stream_len() as f64
+    }
+}
+
+/// An `N`-bit signed two's-complement fixed-point code representing
+/// `code / 2^(N-1) ∈ [-1, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignedCode {
+    code: i32,
+    precision: Precision,
+}
+
+impl SignedCode {
+    /// The raw integer code.
+    #[inline]
+    pub fn code(self) -> i32 {
+        self.code
+    }
+
+    /// The precision this code was validated against.
+    #[inline]
+    pub fn precision(self) -> Precision {
+        self.precision
+    }
+
+    /// The real value `code / 2^(N-1)`.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.code as f64 / self.precision.half_scale() as f64
+    }
+
+    /// The sign-flipped (offset-binary) representation used by the proposed
+    /// signed SC-MAC: `code + 2^(N-1)` as an unsigned `N`-bit number.
+    ///
+    /// Flipping the sign bit of a two's-complement number is equivalent to
+    /// adding the offset `2^(N-1)`; the resulting unsigned code feeds the
+    /// FSM+MUX bitstream generator directly (paper Sec. 2.4).
+    #[inline]
+    pub fn to_offset_binary(self) -> u32 {
+        (self.code as i64 + self.precision.half_scale() as i64) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_bounds() {
+        assert!(Precision::new(1).is_err());
+        assert!(Precision::new(2).is_ok());
+        assert!(Precision::new(16).is_ok());
+        assert!(Precision::new(17).is_err());
+    }
+
+    #[test]
+    fn stream_len_and_ranges() {
+        let n = Precision::new(5).unwrap();
+        assert_eq!(n.stream_len(), 32);
+        assert_eq!(n.half_scale(), 16);
+        assert_eq!(n.signed_range(), (-16, 15));
+        assert_eq!(n.unsigned_bound(), 32);
+    }
+
+    #[test]
+    fn check_unsigned_accepts_and_rejects() {
+        let n = Precision::new(4).unwrap();
+        assert_eq!(n.check_unsigned(15).unwrap().code(), 15);
+        assert!(n.check_unsigned(16).is_err());
+    }
+
+    #[test]
+    fn check_signed_accepts_and_rejects() {
+        let n = Precision::new(4).unwrap();
+        assert_eq!(n.check_signed(-8).unwrap().code(), -8);
+        assert_eq!(n.check_signed(7).unwrap().code(), 7);
+        assert!(n.check_signed(8).is_err());
+        assert!(n.check_signed(-9).is_err());
+    }
+
+    #[test]
+    fn quantization_round_trips() {
+        let n = Precision::new(8).unwrap();
+        let u = n.quantize_unsigned(0.5);
+        assert_eq!(u.code(), 128);
+        assert!((u.value() - 0.5).abs() < 1e-12);
+
+        let s = n.quantize_signed(-0.25);
+        assert_eq!(s.code(), -32);
+        assert!((s.value() + 0.25).abs() < 1e-12);
+
+        // Clamping at the edges.
+        assert_eq!(n.quantize_signed(1.0).code(), 127);
+        assert_eq!(n.quantize_signed(-1.5).code(), -128);
+        assert_eq!(n.quantize_unsigned(2.0).code(), 255);
+    }
+
+    #[test]
+    fn offset_binary_flips_sign_bit() {
+        let n = Precision::new(4).unwrap();
+        // Table 1 of the paper: x = 0 -> 1000, x = 7 -> 1111, x = -8 -> 0000.
+        assert_eq!(n.check_signed(0).unwrap().to_offset_binary(), 0b1000);
+        assert_eq!(n.check_signed(7).unwrap().to_offset_binary(), 0b1111);
+        assert_eq!(n.check_signed(-8).unwrap().to_offset_binary(), 0b0000);
+    }
+
+    #[test]
+    fn display_precision() {
+        assert_eq!(Precision::new(8).unwrap().to_string(), "8-bit");
+    }
+}

@@ -1,0 +1,88 @@
+//! The proposed FSM+MUX bitstream generator (paper Sec. 2.3, Fig. 2(a)) as
+//! a [`BitstreamGenerator`], for apples-to-apples comparison with the
+//! conventional SNGs.
+
+use super::BitstreamGenerator;
+use crate::seq;
+use crate::Precision;
+
+/// The paper's FSM+MUX low-discrepancy generator.
+///
+/// Unlike comparator-based SNGs it needs no random-number source at all:
+/// an `N`-state FSM (a trailing-zero detector over a free-running cycle
+/// counter) drives a single `N:1` MUX over the operand bits. Its prefix
+/// sums satisfy `P_k = Σ round(k/2^i)·x_{N-i}` *deterministically* — see
+/// [`crate::seq::prefix_sum`] — which is what gives the proposed SC
+/// multiplier its guaranteed error bound.
+///
+/// ```
+/// use sc_core::{Precision, sng::{BitstreamGenerator, FsmMuxSng}};
+/// use sc_core::seq::prefix_sum;
+/// let n = Precision::new(8)?;
+/// let mut sng = FsmMuxSng::new(n);
+/// let code = 0b1011_0010;
+/// let mut ones = 0;
+/// for k in 1..=256u64 {
+///     ones += sng.next_bit(code) as u64;
+///     assert_eq!(ones, prefix_sum(code, n, k));
+/// }
+/// # Ok::<(), sc_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FsmMuxSng {
+    precision: Precision,
+    t: u64,
+}
+
+impl FsmMuxSng {
+    /// Creates the generator at precision `n`.
+    pub fn new(n: Precision) -> Self {
+        FsmMuxSng { precision: n, t: 0 }
+    }
+
+    /// The 1-based cycle index of the next bit.
+    pub fn next_cycle(&self) -> u64 {
+        self.t + 1
+    }
+}
+
+impl BitstreamGenerator for FsmMuxSng {
+    fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    fn next_bit(&mut self, code: u32) -> bool {
+        self.t += 1;
+        // Free-running: the FSM pattern repeats every 2^N cycles.
+        let period = self.precision.stream_len();
+        let t_in_period = (self.t - 1) % period + 1;
+        seq::stream_bit(code, self.precision, t_in_period)
+    }
+
+    fn reset(&mut self) {
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_around_after_full_period() {
+        let n = Precision::new(4).unwrap();
+        let mut sng = FsmMuxSng::new(n);
+        let first: Vec<bool> = (0..16).map(|_| sng.next_bit(0b1010)).collect();
+        let second: Vec<bool> = (0..16).map(|_| sng.next_bit(0b1010)).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn matches_sequence_module() {
+        let n = Precision::new(7).unwrap();
+        let mut sng = FsmMuxSng::new(n);
+        for t in 1..=128u64 {
+            assert_eq!(sng.next_bit(0x55), crate::seq::stream_bit(0x55, n, t));
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Halton low-discrepancy sequences and the Halton-based SNG
+//! (Alaghi & Hayes, *Fast and Accurate Computation Using Stochastic
+//! Circuits*, DATE'14 — reference [2] of the paper).
+
+use super::BitstreamGenerator;
+use crate::Precision;
+
+/// A Halton sequence generator for an arbitrary prime base.
+///
+/// The `t`-th element (`t ≥ 0`) is the radical inverse of `t` in base `b`:
+/// reverse the base-`b` digits of `t` around the radix point. In hardware
+/// this is a cascade of base-`b` digit counters wired in reverse
+/// significance order; here the digit reversal is computed exactly with
+/// integer arithmetic (numerator over `b^L`), so comparisons against an
+/// `N`-bit threshold are bias-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Halton {
+    base: u64,
+    t: u64,
+}
+
+impl Halton {
+    /// Creates a generator with the given base (≥ 2; typically a prime —
+    /// the paper uses 2 for `x` and 3 for `w`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base < 2`.
+    pub fn new(base: u64) -> Self {
+        assert!(base >= 2, "halton base must be at least 2");
+        Halton { base, t: 0 }
+    }
+
+    /// The base of this sequence.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Radical inverse of the current index as an exact fraction
+    /// `(numerator, denominator)`, then advances the index.
+    pub fn next_fraction(&mut self) -> (u64, u64) {
+        let mut num = 0u64;
+        let mut den = 1u64;
+        let mut t = self.t;
+        while t > 0 {
+            num = num * self.base + t % self.base;
+            den *= self.base;
+            t /= self.base;
+        }
+        self.t += 1;
+        (num, den)
+    }
+
+    /// Radical inverse of the current index as `f64`, then advances.
+    pub fn next_value(&mut self) -> f64 {
+        let (num, den) = self.next_fraction();
+        num as f64 / den as f64
+    }
+
+    /// Rewinds to index 0.
+    pub fn reset(&mut self) {
+        self.t = 0;
+    }
+}
+
+/// The Halton-based SNG: radical-inverse source + comparator.
+///
+/// The comparison `h_b(t) < code / 2^N` is evaluated exactly on integers
+/// (`num · 2^N < code · den`), matching a fixed-point hardware comparator
+/// of sufficient width.
+///
+/// ```
+/// use sc_core::{Precision, sng::{BitstreamGenerator, HaltonSng}};
+/// let n = Precision::new(8)?;
+/// let mut sng = HaltonSng::new(n, 2);
+/// let ones: u32 = (0..256).map(|_| sng.next_bit(64) as u32).sum();
+/// assert_eq!(ones, 64); // base-2 Halton over a full power-of-two period is exact
+/// # Ok::<(), sc_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HaltonSng {
+    halton: Halton,
+    precision: Precision,
+}
+
+impl HaltonSng {
+    /// Creates a Halton SNG at precision `n` with the given base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base < 2` (see [`Halton::new`]).
+    pub fn new(n: Precision, base: u64) -> Self {
+        HaltonSng { halton: Halton::new(base), precision: n }
+    }
+}
+
+impl BitstreamGenerator for HaltonSng {
+    fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    fn next_bit(&mut self, code: u32) -> bool {
+        let mask = (self.precision.stream_len() - 1) as u32;
+        let code = (code & mask) as u128;
+        let (num, den) = self.halton.next_fraction();
+        // h < code / 2^N  <=>  num · 2^N < code · den  (exact).
+        (num as u128) << self.precision.bits() < code * den as u128
+    }
+
+    fn reset(&mut self) {
+        self.halton.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base2_radical_inverse_is_bit_reversal() {
+        let mut h = Halton::new(2);
+        let expected = [
+            (0u64, 1u64), // 0
+            (1, 2),       // 0.1
+            (1, 4),       // 0.01
+            (3, 4),       // 0.11
+            (1, 8),
+            (5, 8),
+            (3, 8),
+            (7, 8),
+        ];
+        for &(n, d) in &expected {
+            let (num, den) = h.next_fraction();
+            assert_eq!((num, den), (n, d));
+        }
+    }
+
+    #[test]
+    fn base3_first_elements() {
+        let mut h = Halton::new(3);
+        let expected = [(0u64, 1u64), (1, 3), (2, 3), (1, 9), (4, 9), (7, 9)];
+        for &(n, d) in &expected {
+            assert_eq!(h.next_fraction(), (n, d));
+        }
+    }
+
+    #[test]
+    fn low_discrepancy_prefix_property() {
+        // Any prefix of length k has ones-count within O(log k) of k·p.
+        let n = Precision::new(10).unwrap();
+        let mut sng = HaltonSng::new(n, 2);
+        let code = 341u32; // p = 1/3 (ish)
+        let mut ones = 0f64;
+        for k in 1..=1024u64 {
+            ones += sng.next_bit(code) as u32 as f64;
+            let expect = k as f64 * code as f64 / 1024.0;
+            assert!(
+                (ones - expect).abs() <= 1.0 + (k as f64).log2(),
+                "k={k} ones={ones} expect={expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_period_base2_is_exact() {
+        let n = Precision::new(6).unwrap();
+        for code in 0..64u32 {
+            let mut sng = HaltonSng::new(n, 2);
+            let ones: u32 = (0..64).map(|_| sng.next_bit(code) as u32).sum();
+            assert_eq!(ones, code);
+        }
+    }
+
+    #[test]
+    fn reset_restarts_sequence() {
+        let mut h = Halton::new(3);
+        let a = h.next_value();
+        h.next_value();
+        h.reset();
+        assert_eq!(h.next_value(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "base must be at least 2")]
+    fn base_below_two_panics() {
+        let _ = Halton::new(1);
+    }
+}

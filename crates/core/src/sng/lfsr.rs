@@ -1,0 +1,254 @@
+//! Maximal-length Galois LFSRs and the conventional LFSR+comparator SNG.
+
+use super::BitstreamGenerator;
+use crate::{Error, Precision};
+
+/// A Galois linear-feedback shift register of width 2..=16 bits with a
+/// maximal-length (primitive) feedback polynomial.
+///
+/// The register never reaches the all-zero state, so it cycles through all
+/// `2^w − 1` nonzero states. This is the conventional random-number source
+/// of an SNG (paper Sec. 2.1) and inherits its well-known small bias: with
+/// a `< code` comparator the 1-probability is `(code − [seed ≤ code…]) /
+/// (2^w − 1)` rather than exactly `code / 2^w`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    width: u32,
+    mask: u32,
+    seed: u32,
+    state: u32,
+}
+
+impl Lfsr {
+    /// Creates an LFSR of the given width using the `index`-th maximal
+    /// feedback polynomial (in ascending mask order) and the given seed.
+    ///
+    /// Distinct `index` values give structurally different sequences —
+    /// required when two SNGs must be statistically uncorrelated, because
+    /// two same-polynomial LFSRs merely produce phase-shifted copies of one
+    /// sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoLfsrPolynomial`] if fewer than `index + 1`
+    /// maximal polynomials exist for this width (never happens for
+    /// `index ≤ 1` within the supported widths).
+    pub fn new(width: Precision, index: usize, seed: u32) -> Result<Self, Error> {
+        let w = width.bits();
+        let mask = maximal_mask(w, index)?;
+        let period_mask = ((1u64 << w) - 1) as u32;
+        let seed = {
+            let s = seed & period_mask;
+            if s == 0 {
+                1
+            } else {
+                s
+            }
+        };
+        Ok(Lfsr { width: w, mask, seed, state: seed })
+    }
+
+    /// The register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The current register state (never zero).
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Advances one clock and returns the *previous* state, i.e. the random
+    /// number the comparator sees this cycle.
+    #[inline]
+    pub fn next_value(&mut self) -> u32 {
+        let out = self.state;
+        let lsb = self.state & 1;
+        self.state >>= 1;
+        if lsb == 1 {
+            self.state ^= self.mask;
+        }
+        out
+    }
+
+    /// Rewinds to the seed state.
+    pub fn reset(&mut self) {
+        self.state = self.seed;
+    }
+}
+
+/// Finds the `index`-th (ascending) feedback mask giving a maximal-length
+/// Galois LFSR of width `w`.
+///
+/// A mask is valid when stepping from state 1 returns to 1 after exactly
+/// `2^w − 1` clocks. The search is exhaustive over masks with the top bit
+/// set (required so the feedback reaches the MSB) and is cached per width.
+fn maximal_mask(w: u32, index: usize) -> Result<u32, Error> {
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+    use std::sync::OnceLock;
+
+    static CACHE: OnceLock<Mutex<HashMap<(u32, usize), u32>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(&m) = cache.lock().unwrap().get(&(w, index)) {
+        return Ok(m);
+    }
+
+    let top = 1u32 << (w - 1);
+    let mut found = 0usize;
+    for mask in top..(top << 1) {
+        if is_maximal(w, mask) {
+            if found == index {
+                cache.lock().unwrap().insert((w, index), mask);
+                return Ok(mask);
+            }
+            found += 1;
+        }
+    }
+    Err(Error::NoLfsrPolynomial { width: w })
+}
+
+fn is_maximal(w: u32, mask: u32) -> bool {
+    let full = (1u64 << w) - 1;
+    let mut state = 1u32;
+    for step in 1..=full {
+        let lsb = state & 1;
+        state >>= 1;
+        if lsb == 1 {
+            state ^= mask;
+        }
+        if state == 1 {
+            return step == full;
+        }
+        if state == 0 {
+            return false;
+        }
+    }
+    false
+}
+
+/// The conventional SNG: a maximal-length [`Lfsr`] feeding an `N`-bit
+/// comparator (`bit = rand < code`), as in Fig. 1(a) of the paper.
+///
+/// ```
+/// use sc_core::{Precision, sng::{BitstreamGenerator, LfsrSng}};
+/// let n = Precision::new(8)?;
+/// let mut sng = LfsrSng::new(n, 0, 1)?;
+/// let ones: u32 = (0..256).map(|_| sng.next_bit(128) as u32).sum();
+/// // Roughly half the bits are 1 (LFSR bias makes it inexact).
+/// assert!((120..=136).contains(&ones));
+/// # Ok::<(), sc_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LfsrSng {
+    lfsr: Lfsr,
+    precision: Precision,
+}
+
+impl LfsrSng {
+    /// Creates an SNG at precision `n` using the `index`-th maximal
+    /// polynomial and the given seed (see [`Lfsr::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::NoLfsrPolynomial`] from [`Lfsr::new`].
+    pub fn new(n: Precision, index: usize, seed: u32) -> Result<Self, Error> {
+        Ok(LfsrSng { lfsr: Lfsr::new(n, index, seed)?, precision: n })
+    }
+}
+
+impl BitstreamGenerator for LfsrSng {
+    fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    fn next_bit(&mut self, code: u32) -> bool {
+        let mask = (self.precision.stream_len() - 1) as u32;
+        self.lfsr.next_value() < (code & mask)
+    }
+
+    fn reset(&mut self) {
+        self.lfsr.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(bits: u32) -> Precision {
+        Precision::new(bits).unwrap()
+    }
+
+    #[test]
+    fn lfsr_has_full_period() {
+        for w in 2..=10u32 {
+            let mut l = Lfsr::new(p(w), 0, 1).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..(1u64 << w) - 1 {
+                assert!(seen.insert(l.next_value()), "width {w}: repeated state early");
+            }
+            assert_eq!(seen.len() as u64, (1u64 << w) - 1);
+            assert!(!seen.contains(&0));
+        }
+    }
+
+    #[test]
+    fn different_indices_give_different_sequences() {
+        let mut a = Lfsr::new(p(8), 0, 1).unwrap();
+        let mut b = Lfsr::new(p(8), 1, 1).unwrap();
+        let sa: Vec<u32> = (0..255).map(|_| a.next_value()).collect();
+        let sb: Vec<u32> = (0..255).map(|_| b.next_value()).collect();
+        assert_ne!(sa, sb);
+        // And b is not a rotation of a (different polynomial, not just phase).
+        let doubled: Vec<u32> = sa.iter().chain(sa.iter()).copied().collect();
+        let rotated = doubled.windows(sa.len()).any(|w| w == sb.as_slice());
+        assert!(!rotated, "index-1 polynomial must not be a phase shift of index-0");
+    }
+
+    #[test]
+    fn zero_seed_is_coerced_to_nonzero() {
+        let mut l = Lfsr::new(p(6), 0, 0).unwrap();
+        assert_ne!(l.next_value(), 0);
+    }
+
+    #[test]
+    fn seed_is_masked_to_width() {
+        let mut a = Lfsr::new(p(4), 0, 0x13).unwrap();
+        let mut b = Lfsr::new(p(4), 0, 0x3).unwrap();
+        assert_eq!(a.next_value(), b.next_value());
+    }
+
+    #[test]
+    fn sng_ones_density_tracks_code() {
+        let n = p(8);
+        let mut sng = LfsrSng::new(n, 0, 7).unwrap();
+        for code in [0u32, 64, 128, 192, 255] {
+            sng.reset();
+            let ones: u32 = (0..256).map(|_| sng.next_bit(code) as u32).sum();
+            // Within the ±1 LFSR bias plus the missing all-zero state.
+            assert!(
+                (ones as i32 - code as i32).abs() <= 2,
+                "code={code} ones={ones}"
+            );
+        }
+    }
+
+    #[test]
+    fn sng_reset_reproduces_stream() {
+        let n = p(6);
+        let mut sng = LfsrSng::new(n, 0, 5).unwrap();
+        let s1: Vec<bool> = (0..64).map(|_| sng.next_bit(23)).collect();
+        sng.reset();
+        let s2: Vec<bool> = (0..64).map(|_| sng.next_bit(23)).collect();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn polynomial_search_is_deterministic_and_cached() {
+        let m1 = maximal_mask(12, 0).unwrap();
+        let m2 = maximal_mask(12, 0).unwrap();
+        assert_eq!(m1, m2);
+        assert!(is_maximal(12, m1));
+    }
+}

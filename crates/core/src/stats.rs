@@ -1,0 +1,188 @@
+//! Running error statistics — mean, standard deviation (Welford), and
+//! maximum absolute error — used to regenerate the paper's Fig. 5.
+
+/// Accumulates error samples and reports mean / standard deviation /
+/// extrema, numerically stable for millions of samples.
+///
+/// ```
+/// use sc_core::stats::ErrorStats;
+/// let mut s = ErrorStats::new();
+/// for e in [-1.0, 0.0, 1.0] {
+///     s.push(e);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert!(s.mean().abs() < 1e-12);
+/// assert!((s.std_dev() - (2.0f64 / 3.0).sqrt()).abs() < 1e-12); // population std dev
+/// assert_eq!(s.max_abs(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    max_abs: f64,
+    min: f64,
+    max: f64,
+}
+
+impl ErrorStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        ErrorStats { min: f64::INFINITY, max: f64::NEG_INFINITY, ..Default::default() }
+    }
+
+    /// Adds one error sample.
+    #[inline]
+    pub fn push(&mut self, err: f64) {
+        self.count += 1;
+        let delta = err - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (err - self.mean);
+        let a = err.abs();
+        if a > self.max_abs {
+            self.max_abs = a;
+        }
+        if err < self.min {
+            self.min = err;
+        }
+        if err > self.max {
+            self.max = err;
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &ErrorStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.max_abs = self.max_abs.max(other.max_abs);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples pushed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean error (bias; the paper's "mean" curves show zero bias for the
+    /// proposed scheme).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation of the error.
+    pub fn std_dev(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Root-mean-square error.
+    pub fn rms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            ((self.m2 / self.count as f64) + self.mean * self.mean).sqrt()
+        }
+    }
+
+    /// Maximum absolute error.
+    pub fn max_abs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max_abs
+        }
+    }
+
+    /// Smallest (most negative) error seen.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest (most positive) error seen.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = ErrorStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.max_abs(), 0.0);
+        assert_eq!(s.rms(), 0.0);
+    }
+
+    #[test]
+    fn matches_naive_computation() {
+        let samples = [0.3, -0.7, 1.2, 0.0, -2.5, 0.9, 0.4];
+        let mut s = ErrorStats::new();
+        for &e in &samples {
+            s.push(e);
+        }
+        let n = samples.len() as f64;
+        let mean: f64 = samples.iter().sum::<f64>() / n;
+        let var: f64 = samples.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / n;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.std_dev() - var.sqrt()).abs() < 1e-12);
+        assert_eq!(s.max_abs(), 2.5);
+        assert_eq!(s.min(), -2.5);
+        assert_eq!(s.max(), 1.2);
+        let rms = (samples.iter().map(|e| e * e).sum::<f64>() / n).sqrt();
+        assert!((s.rms() - rms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let a_samples = [0.1, -0.2, 0.3];
+        let b_samples = [1.0, -1.5, 0.7, 0.0];
+        let mut a = ErrorStats::new();
+        let mut b = ErrorStats::new();
+        let mut all = ErrorStats::new();
+        for &e in &a_samples {
+            a.push(e);
+            all.push(e);
+        }
+        for &e in &b_samples {
+            b.push(e);
+            all.push(e);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.std_dev() - all.std_dev()).abs() < 1e-12);
+        assert_eq!(a.max_abs(), all.max_abs());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = ErrorStats::new();
+        a.push(2.0);
+        let before = a;
+        a.merge(&ErrorStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = ErrorStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+}

@@ -1,0 +1,260 @@
+//! The CIFAR-like synthetic dataset: 32×32 RGB images of ten shape/texture
+//! classes with clutter and noise — hard enough that arithmetic precision
+//! visibly affects a small CNN's accuracy, like CIFAR-10.
+
+use crate::raster::add_noise;
+use crate::{Dataset, NUM_CLASSES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Output image side length.
+pub const SIDE: usize = 32;
+
+/// Generates `count` CIFAR-like samples with the given seed.
+///
+/// Each class is a distinct shape/texture family rendered with a
+/// class-characteristic (but jittered) hue, over a random gradient
+/// background, with a random distractor patch and pixel noise:
+///
+/// | class | pattern              | base hue |
+/// |-------|----------------------|----------|
+/// | 0     | filled disc          | red      |
+/// | 1     | filled square        | green    |
+/// | 2     | triangle             | blue     |
+/// | 3     | horizontal stripes   | yellow   |
+/// | 4     | vertical stripes     | magenta  |
+/// | 5     | checkerboard         | cyan     |
+/// | 6     | ring (annulus)       | orange   |
+/// | 7     | plus / cross         | violet   |
+/// | 8     | diagonal waves       | teal     |
+/// | 9     | blob cluster         | olive    |
+pub fn cifar_like(count: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6369_6661_725f_6c6b);
+    let mut images = Vec::with_capacity(count);
+    let mut labels = Vec::with_capacity(count);
+    for i in 0..count {
+        let class = (i % NUM_CLASSES) as u8;
+        images.push(render_class(class, &mut rng));
+        labels.push(class);
+    }
+    Dataset::new(images, labels, 3, SIDE, SIDE)
+}
+
+/// Class base colors (RGB in `[0, 1]`).
+const BASE_COLORS: [[f32; 3]; 10] = [
+    [0.85, 0.20, 0.20], // red
+    [0.20, 0.80, 0.25], // green
+    [0.25, 0.35, 0.90], // blue
+    [0.88, 0.85, 0.20], // yellow
+    [0.85, 0.25, 0.85], // magenta
+    [0.20, 0.85, 0.85], // cyan
+    [0.95, 0.55, 0.15], // orange
+    [0.55, 0.25, 0.85], // violet
+    [0.15, 0.60, 0.55], // teal
+    [0.55, 0.55, 0.20], // olive
+];
+
+fn render_class(class: u8, rng: &mut StdRng) -> Vec<f32> {
+    let s = SIDE as f32;
+    // Background: random two-corner gradient of a random dim color.
+    let bg_a: [f32; 3] = [rng.gen_range(0.0..0.45), rng.gen_range(0.0..0.45), rng.gen_range(0.0..0.45)];
+    let bg_b: [f32; 3] = [rng.gen_range(0.0..0.45), rng.gen_range(0.0..0.45), rng.gen_range(0.0..0.45)];
+    let horizontal_grad = rng.gen_bool(0.5);
+
+    // Foreground color: class base + jitter.
+    let base = BASE_COLORS[class as usize];
+    let jitter = |c: f32, rng: &mut StdRng| (c + rng.gen_range(-0.15f32..0.15)).clamp(0.05, 1.0);
+    let fg = [jitter(base[0], rng), jitter(base[1], rng), jitter(base[2], rng)];
+
+    // Shape placement.
+    let cx = rng.gen_range(0.35 * s..0.65 * s);
+    let cy = rng.gen_range(0.35 * s..0.65 * s);
+    let radius = rng.gen_range(0.22 * s..0.38 * s);
+    let angle = rng.gen_range(0.0f32..std::f32::consts::TAU);
+    let (sin, cos) = angle.sin_cos();
+    let stripe_period = rng.gen_range(3.0f32..6.0);
+    let phase = rng.gen_range(0.0f32..stripe_period);
+
+    // Blob cluster parameters (class 9).
+    let blobs: Vec<(f32, f32, f32)> = (0..5)
+        .map(|_| {
+            (
+                rng.gen_range(0.2 * s..0.8 * s),
+                rng.gen_range(0.2 * s..0.8 * s),
+                rng.gen_range(0.08 * s..0.16 * s),
+            )
+        })
+        .collect();
+
+    let mut chw = vec![0.0f32; 3 * SIDE * SIDE];
+    for y in 0..SIDE {
+        for x in 0..SIDE {
+            let (fx, fy) = (x as f32 + 0.5, y as f32 + 0.5);
+            let t = if horizontal_grad { fx / s } else { fy / s };
+            let mut px = [
+                bg_a[0] * (1.0 - t) + bg_b[0] * t,
+                bg_a[1] * (1.0 - t) + bg_b[1] * t,
+                bg_a[2] * (1.0 - t) + bg_b[2] * t,
+            ];
+
+            // Rotated local coordinates around the shape center.
+            let dx = fx - cx;
+            let dy = fy - cy;
+            let rx = dx * cos + dy * sin;
+            let ry = -dx * sin + dy * cos;
+
+            let coverage: f32 = match class {
+                0 => soft_step(radius - (dx * dx + dy * dy).sqrt()),
+                1 => soft_step(radius - rx.abs().max(ry.abs())),
+                2 => {
+                    // Upward triangle in rotated frame.
+                    let h = radius * 1.3;
+                    let inside = ry < h / 2.0
+                        && ry > -h / 2.0
+                        && rx.abs() < (ry + h / 2.0) / h * radius;
+                    if inside {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                3 => stripe(fy, stripe_period, phase),
+                4 => stripe(fx, stripe_period, phase),
+                5 => {
+                    let cell = stripe_period.max(4.0);
+                    let a = ((fx + phase) / cell).floor() as i64;
+                    let b = ((fy + phase) / cell).floor() as i64;
+                    if (a + b) % 2 == 0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                6 => {
+                    let r = (dx * dx + dy * dy).sqrt();
+                    soft_step(radius - r) * soft_step(r - radius * 0.55)
+                }
+                7 => {
+                    let arm = radius * 0.35;
+                    let in_cross = (rx.abs() < arm && ry.abs() < radius)
+                        || (ry.abs() < arm && rx.abs() < radius);
+                    if in_cross {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                8 => stripe(rx + ry, stripe_period * 1.4, phase),
+                _ => blobs
+                    .iter()
+                    .map(|&(bx, by, br)| {
+                        soft_step(br - ((fx - bx).powi(2) + (fy - by).powi(2)).sqrt())
+                    })
+                    .fold(0.0f32, f32::max),
+            };
+
+            for c in 0..3 {
+                px[c] = px[c] * (1.0 - coverage) + fg[c] * coverage;
+            }
+            for c in 0..3 {
+                chw[c * SIDE * SIDE + y * SIDE + x] = px[c];
+            }
+        }
+    }
+
+    // Distractor: a small random-colored rectangle that may occlude.
+    let dw = rng.gen_range(3..8usize);
+    let dh = rng.gen_range(3..8usize);
+    let dx0 = rng.gen_range(0..SIDE - dw);
+    let dy0 = rng.gen_range(0..SIDE - dh);
+    let dc: [f32; 3] = [rng.gen(), rng.gen(), rng.gen()];
+    for y in dy0..dy0 + dh {
+        for x in dx0..dx0 + dw {
+            for c in 0..3 {
+                let p = &mut chw[c * SIDE * SIDE + y * SIDE + x];
+                *p = 0.5 * *p + 0.5 * dc[c];
+            }
+        }
+    }
+
+    add_noise(&mut chw, 0.04, rng);
+    chw
+}
+
+#[inline]
+fn soft_step(d: f32) -> f32 {
+    // ~1 inside (d > 0), ~0 outside, 1-pixel soft edge.
+    (d + 0.5).clamp(0.0, 1.0)
+}
+
+#[inline]
+fn stripe(coord: f32, period: f32, phase: f32) -> f32 {
+    if ((coord + phase) / period).floor() as i64 % 2 == 0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = cifar_like(20, 42);
+        let b = cifar_like(20, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, cifar_like(20, 43));
+    }
+
+    #[test]
+    fn shape_and_range() {
+        let d = cifar_like(10, 1);
+        assert_eq!(d.shape(), (3, 32, 32));
+        for (img, _) in d.iter() {
+            assert!(img.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn labels_balanced() {
+        let d = cifar_like(50, 3);
+        let mut counts = [0usize; 10];
+        for &l in d.labels() {
+            counts[l as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn classes_are_visually_distinct_on_average() {
+        // Mean image of each class should differ pairwise (color prior).
+        let d = cifar_like(200, 7);
+        let px = 3 * SIDE * SIDE;
+        let mut means = vec![vec![0.0f64; px]; 10];
+        let mut counts = [0usize; 10];
+        for (img, label) in d.iter() {
+            counts[label as usize] += 1;
+            for (m, &v) in means[label as usize].iter_mut().zip(img) {
+                *m += v as f64;
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= c as f64;
+            }
+        }
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let dist: f64 = means[i]
+                    .iter()
+                    .zip(&means[j])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                assert!(dist > 1.0, "classes {i} and {j} too similar ({dist})");
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The in-memory labelled image dataset container.
+
+/// A labelled set of images stored as flat `f32` arrays in CHW order,
+/// pixel values in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Vec<Vec<f32>>,
+    labels: Vec<u8>,
+    channels: usize,
+    height: usize,
+    width: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths are inconsistent (images vs labels, or any image
+    /// not matching `channels·height·width`).
+    pub fn new(
+        images: Vec<Vec<f32>>,
+        labels: Vec<u8>,
+        channels: usize,
+        height: usize,
+        width: usize,
+    ) -> Self {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        let expect = channels * height * width;
+        assert!(
+            images.iter().all(|i| i.len() == expect),
+            "image size mismatch (expected {expect})"
+        );
+        Dataset { images, labels, channels, height, width }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Image shape as `(channels, height, width)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    /// Returns the `i`-th sample as `(pixels, label)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> (&[f32], u8) {
+        (&self.images[i], self.labels[i])
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[u8] {
+        &self.labels
+    }
+
+    /// Iterates over `(pixels, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f32], u8)> {
+        self.images.iter().map(Vec::as_slice).zip(self.labels.iter().copied())
+    }
+
+    /// Splits off the first `n` samples into a new dataset (e.g. a
+    /// validation split), leaving the rest in `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn split_off_front(&mut self, n: usize) -> Dataset {
+        assert!(n <= self.len());
+        let rest_images = self.images.split_off(n);
+        let rest_labels = self.labels.split_off(n);
+        let front = Dataset {
+            images: std::mem::replace(&mut self.images, rest_images),
+            labels: std::mem::replace(&mut self.labels, rest_labels),
+            channels: self.channels,
+            height: self.height,
+            width: self.width,
+        };
+        front
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::new(
+            vec![vec![0.0; 4], vec![0.5; 4], vec![1.0; 4]],
+            vec![0, 1, 2],
+            1,
+            2,
+            2,
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let d = tiny();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.shape(), (1, 2, 2));
+        let (img, label) = d.get(1);
+        assert_eq!(img, &[0.5; 4]);
+        assert_eq!(label, 1);
+        assert_eq!(d.iter().count(), 3);
+    }
+
+    #[test]
+    fn split_off_front() {
+        let mut d = tiny();
+        let front = d.split_off_front(2);
+        assert_eq!(front.len(), 2);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.get(0).1, 2);
+        assert_eq!(front.get(0).1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_labels_panic() {
+        let _ = Dataset::new(vec![vec![0.0; 4]], vec![0, 1], 1, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_size_panics() {
+        let _ = Dataset::new(vec![vec![0.0; 3]], vec![0], 1, 2, 2);
+    }
+}

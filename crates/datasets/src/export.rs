@@ -1,0 +1,104 @@
+//! Exporting samples as PGM/PPM images for visual inspection.
+
+use crate::Dataset;
+use std::io::{self, Write};
+
+/// Writes sample `i` of a dataset as a binary PGM (grayscale) or PPM
+/// (3-channel) image. A `&mut` writer can be passed.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Panics
+///
+/// Panics if `i` is out of bounds or the channel count is neither 1
+/// nor 3.
+pub fn write_pnm<W: Write>(data: &Dataset, i: usize, mut w: W) -> io::Result<()> {
+    let (c, h, width) = data.shape();
+    let (pixels, _) = data.get(i);
+    match c {
+        1 => {
+            writeln!(w, "P5\n{width} {h}\n255")?;
+            let bytes: Vec<u8> =
+                pixels.iter().map(|&p| (p.clamp(0.0, 1.0) * 255.0) as u8).collect();
+            w.write_all(&bytes)
+        }
+        3 => {
+            writeln!(w, "P6\n{width} {h}\n255")?;
+            // CHW → interleaved RGB.
+            let plane = h * width;
+            let mut bytes = Vec::with_capacity(3 * plane);
+            for p in 0..plane {
+                for ch in 0..3 {
+                    bytes.push((pixels[ch * plane + p].clamp(0.0, 1.0) * 255.0) as u8);
+                }
+            }
+            w.write_all(&bytes)
+        }
+        other => panic!("unsupported channel count {other} (expected 1 or 3)"),
+    }
+}
+
+/// Writes the first `count` samples to `dir` as `sample_<i>_class<l>.pgm`
+/// / `.ppm` files; creates the directory if needed. Returns the paths
+/// written.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn export_samples(
+    data: &Dataset,
+    count: usize,
+    dir: &std::path::Path,
+) -> io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let (c, _, _) = data.shape();
+    let ext = if c == 1 { "pgm" } else { "ppm" };
+    let mut paths = Vec::new();
+    for i in 0..count.min(data.len()) {
+        let (_, label) = data.get(i);
+        let path = dir.join(format!("sample_{i:03}_class{label}.{ext}"));
+        let file = std::fs::File::create(&path)?;
+        write_pnm(data, i, std::io::BufWriter::new(file))?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cifar_like, mnist_like};
+
+    #[test]
+    fn pgm_header_and_size() {
+        let d = mnist_like(1, 1);
+        let mut buf = Vec::new();
+        write_pnm(&d, 0, &mut buf).unwrap();
+        assert!(buf.starts_with(b"P5\n28 28\n255\n"));
+        assert_eq!(buf.len(), b"P5\n28 28\n255\n".len() + 28 * 28);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let d = cifar_like(1, 1);
+        let mut buf = Vec::new();
+        write_pnm(&d, 0, &mut buf).unwrap();
+        assert!(buf.starts_with(b"P6\n32 32\n255\n"));
+        assert_eq!(buf.len(), b"P6\n32 32\n255\n".len() + 3 * 32 * 32);
+    }
+
+    #[test]
+    fn export_writes_files() {
+        let d = mnist_like(3, 7);
+        let dir = std::env::temp_dir().join("scnn_export_test");
+        let paths = export_samples(&d, 3, &dir).unwrap();
+        assert_eq!(paths.len(), 3);
+        for p in &paths {
+            assert!(p.exists());
+            std::fs::remove_file(p).unwrap();
+        }
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

@@ -1,0 +1,44 @@
+//! # sc-datasets — deterministic synthetic image-classification datasets
+//!
+//! The paper evaluates its SC-CNN on MNIST and CIFAR-10. Those datasets
+//! are not redistributable inside this repository, so this crate provides
+//! **procedurally generated substitutes** with the properties that matter
+//! for the experiment (see DESIGN.md §3):
+//!
+//! * [`mnist_like`] — 28×28 grayscale images of ten distorted digit
+//!   glyphs: an "easy" task that a small CNN saturates quickly, like
+//!   MNIST.
+//! * [`cifar_like`] — 32×32 RGB images of ten colored shape/texture
+//!   classes with clutter, occlusion and noise: a "hard" task where
+//!   arithmetic error visibly moves accuracy, like CIFAR-10.
+//!
+//! Everything is seeded: the same seed always produces the same dataset,
+//! so experiments are exactly reproducible.
+//!
+//! ```
+//! use sc_datasets::{mnist_like, Dataset};
+//! let train: Dataset = mnist_like(100, 7);
+//! assert_eq!(train.len(), 100);
+//! assert_eq!(train.shape(), (1, 28, 28));
+//! let (image, label) = train.get(0);
+//! assert_eq!(image.len(), 28 * 28);
+//! assert!(label < 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cifar;
+mod dataset;
+pub mod export;
+mod glyphs;
+pub mod stats;
+mod mnist;
+mod raster;
+
+pub use cifar::cifar_like;
+pub use dataset::Dataset;
+pub use mnist::mnist_like;
+
+/// Number of classes in both synthetic datasets (as in MNIST / CIFAR-10).
+pub const NUM_CLASSES: usize = 10;

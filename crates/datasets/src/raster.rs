@@ -1,0 +1,134 @@
+//! Small rasterization helpers shared by the dataset generators: inverse
+//! affine sampling with bilinear interpolation, and noise.
+
+use rand::Rng;
+
+/// A 2D affine transform `output → source` (inverse mapping), i.e. for an
+/// output pixel `(x, y)` the sampled source coordinate is
+/// `(a·x + b·y + tx, c·x + d·y + ty)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Affine {
+    /// Row 1: `a, b, tx`.
+    pub a: f32,
+    /// Row 1 y-coefficient.
+    pub b: f32,
+    /// Row 1 translation.
+    pub tx: f32,
+    /// Row 2: `c, d, ty`.
+    pub c: f32,
+    /// Row 2 y-coefficient.
+    pub d: f32,
+    /// Row 2 translation.
+    pub ty: f32,
+}
+
+impl Affine {
+    /// Builds the inverse map for "rotate by `angle`, scale by `s`, then
+    /// translate so source center `(cx_src, cy_src)` lands at output
+    /// center `(cx_out, cy_out)`".
+    pub fn rotate_scale(
+        angle: f32,
+        s: f32,
+        cx_src: f32,
+        cy_src: f32,
+        cx_out: f32,
+        cy_out: f32,
+    ) -> Self {
+        // Inverse of rotate+scale is rotate(-angle)/s.
+        let (sin, cos) = angle.sin_cos();
+        let inv = 1.0 / s;
+        let (a, b) = (cos * inv, sin * inv);
+        let (c, d) = (-sin * inv, cos * inv);
+        Affine {
+            a,
+            b,
+            tx: cx_src - a * cx_out - b * cy_out,
+            c,
+            d,
+            ty: cy_src - c * cx_out - d * cy_out,
+        }
+    }
+
+    /// Maps an output coordinate to the source coordinate.
+    #[inline]
+    pub fn apply(&self, x: f32, y: f32) -> (f32, f32) {
+        (self.a * x + self.b * y + self.tx, self.c * x + self.d * y + self.ty)
+    }
+}
+
+/// Samples a source image (row-major `h × w`, values in `[0, 1]`) at a
+/// fractional coordinate with bilinear interpolation; out-of-bounds reads
+/// return 0.
+pub fn bilinear(src: &[f32], w: usize, h: usize, x: f32, y: f32) -> f32 {
+    let x0 = x.floor();
+    let y0 = y.floor();
+    let fx = x - x0;
+    let fy = y - y0;
+    let sample = |xi: i64, yi: i64| -> f32 {
+        if xi < 0 || yi < 0 || xi >= w as i64 || yi >= h as i64 {
+            0.0
+        } else {
+            src[yi as usize * w + xi as usize]
+        }
+    };
+    let (x0, y0) = (x0 as i64, y0 as i64);
+    let v00 = sample(x0, y0);
+    let v10 = sample(x0 + 1, y0);
+    let v01 = sample(x0, y0 + 1);
+    let v11 = sample(x0 + 1, y0 + 1);
+    (v00 * (1.0 - fx) + v10 * fx) * (1.0 - fy) + (v01 * (1.0 - fx) + v11 * fx) * fy
+}
+
+/// Adds approximately Gaussian noise (`σ = sigma`, Irwin–Hall of 4
+/// uniforms) to every pixel and clamps to `[0, 1]`.
+pub fn add_noise<R: Rng>(pixels: &mut [f32], sigma: f32, rng: &mut R) {
+    for p in pixels {
+        let g: f32 = (0..4).map(|_| rng.gen::<f32>()).sum::<f32>() - 2.0; // var 1/3
+        *p = (*p + g * sigma * 1.732_050_8).clamp(0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_affine_round_trips() {
+        let t = Affine::rotate_scale(0.0, 1.0, 5.0, 5.0, 5.0, 5.0);
+        let (x, y) = t.apply(3.0, 7.0);
+        assert!((x - 3.0).abs() < 1e-5 && (y - 7.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rotation_by_quarter_turn() {
+        // Output (1, 0) relative to center should sample source (0, -1)
+        // relative to center for a +90° rotation (inverse map is -90°).
+        let t = Affine::rotate_scale(std::f32::consts::FRAC_PI_2, 1.0, 0.0, 0.0, 0.0, 0.0);
+        let (x, y) = t.apply(1.0, 0.0);
+        assert!((x - 0.0).abs() < 1e-5, "x={x}");
+        assert!((y + 1.0).abs() < 1e-5, "y={y}");
+    }
+
+    #[test]
+    fn bilinear_interpolates() {
+        // 2×1 image [0, 1]: midpoint is 0.5.
+        let img = [0.0, 1.0];
+        assert!((bilinear(&img, 2, 1, 0.5, 0.0) - 0.5).abs() < 1e-6);
+        // Out of bounds is 0.
+        assert_eq!(bilinear(&img, 2, 1, -2.0, 0.0), 0.0);
+        assert_eq!(bilinear(&img, 2, 1, 0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn noise_is_bounded_and_seeded() {
+        let mut a = vec![0.5f32; 100];
+        let mut b = vec![0.5f32; 100];
+        add_noise(&mut a, 0.1, &mut StdRng::seed_from_u64(3));
+        add_noise(&mut b, 0.1, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!(a.iter().any(|&p| (p - 0.5).abs() > 1e-4));
+    }
+}

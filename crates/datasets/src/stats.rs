@@ -1,0 +1,141 @@
+//! Dataset statistics: per-class pixel means and inter-class separation —
+//! used to sanity-check that a generated dataset is learnable and that
+//! its classes are balanced in difficulty.
+
+use crate::Dataset;
+
+/// Per-class pixel statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStats {
+    /// Class label.
+    pub label: u8,
+    /// Number of samples of this class.
+    pub count: usize,
+    /// Mean pixel value over all samples and positions.
+    pub mean: f64,
+    /// Pixel standard deviation.
+    pub std: f64,
+    /// Mean image (per-pixel average across the class's samples).
+    pub mean_image: Vec<f64>,
+}
+
+/// Computes per-class statistics for a dataset.
+pub fn class_statistics(data: &Dataset) -> Vec<ClassStats> {
+    let (c, h, w) = data.shape();
+    let px = c * h * w;
+    let classes = data.labels().iter().copied().max().map(|m| m as usize + 1).unwrap_or(0);
+    let mut sums = vec![vec![0.0f64; px]; classes];
+    let mut sum = vec![0.0f64; classes];
+    let mut sum2 = vec![0.0f64; classes];
+    let mut counts = vec![0usize; classes];
+    for (img, label) in data.iter() {
+        let l = label as usize;
+        counts[l] += 1;
+        for (acc, &v) in sums[l].iter_mut().zip(img) {
+            *acc += v as f64;
+        }
+        for &v in img {
+            sum[l] += v as f64;
+            sum2[l] += (v as f64) * (v as f64);
+        }
+    }
+    (0..classes)
+        .map(|l| {
+            let n = (counts[l] * px).max(1) as f64;
+            let mean = sum[l] / n;
+            let var = (sum2[l] / n - mean * mean).max(0.0);
+            ClassStats {
+                label: l as u8,
+                count: counts[l],
+                mean,
+                std: var.sqrt(),
+                mean_image: sums[l].iter().map(|&s| s / counts[l].max(1) as f64).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Euclidean distance matrix between the class mean images — a proxy for
+/// class separability (larger = easier).
+pub fn class_separation(stats: &[ClassStats]) -> Vec<Vec<f64>> {
+    let k = stats.len();
+    let mut d = vec![vec![0.0; k]; k];
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let dist: f64 = stats[i]
+                .mean_image
+                .iter()
+                .zip(&stats[j].mean_image)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            d[i][j] = dist;
+            d[j][i] = dist;
+        }
+    }
+    d
+}
+
+/// The smallest pairwise class separation (the hardest class pair).
+pub fn min_separation(stats: &[ClassStats]) -> f64 {
+    let d = class_separation(stats);
+    let mut min = f64::INFINITY;
+    for i in 0..d.len() {
+        for j in (i + 1)..d.len() {
+            min = min.min(d[i][j]);
+        }
+    }
+    if min.is_finite() {
+        min
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cifar_like, mnist_like};
+
+    #[test]
+    fn statistics_cover_all_classes() {
+        let d = mnist_like(50, 3);
+        let stats = class_statistics(&d);
+        assert_eq!(stats.len(), 10);
+        for s in &stats {
+            assert_eq!(s.count, 5);
+            assert!(s.mean > 0.0 && s.mean < 1.0);
+            assert!(s.std > 0.0);
+            assert_eq!(s.mean_image.len(), 28 * 28);
+        }
+    }
+
+    #[test]
+    fn classes_are_separated() {
+        for ds in [mnist_like(100, 5), cifar_like(100, 5)] {
+            let stats = class_statistics(&ds);
+            let min = min_separation(&stats);
+            assert!(min > 0.5, "minimum class separation {min} too small");
+        }
+    }
+
+    #[test]
+    fn separation_matrix_is_symmetric_with_zero_diagonal() {
+        let d = cifar_like(30, 9);
+        let stats = class_statistics(&d);
+        let m = class_separation(&stats);
+        for i in 0..m.len() {
+            assert_eq!(m[i][i], 0.0);
+            for j in 0..m.len() {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dataset_yields_no_stats() {
+        let d = Dataset::new(vec![], vec![], 1, 2, 2);
+        assert!(class_statistics(&d).is_empty());
+        assert_eq!(min_separation(&[]), 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Property tests for the synthetic dataset generators.
+
+use proptest::prelude::*;
+use sc_datasets::{cifar_like, mnist_like};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed → identical dataset; different seed → different pixels.
+    #[test]
+    fn mnist_like_seeded_determinism(count in 1usize..=30, seed in any::<u64>()) {
+        let a = mnist_like(count, seed);
+        let b = mnist_like(count, seed);
+        prop_assert_eq!(&a, &b);
+        let c = mnist_like(count, seed.wrapping_add(1));
+        prop_assert_ne!(&a, &c);
+    }
+
+    /// All pixels stay in [0, 1] and labels in 0..10 for both datasets.
+    #[test]
+    fn pixel_and_label_ranges(count in 1usize..=20, seed in any::<u64>()) {
+        for ds in [mnist_like(count, seed), cifar_like(count, seed)] {
+            for (img, label) in ds.iter() {
+                prop_assert!(label < 10);
+                prop_assert!(img.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            }
+        }
+    }
+
+    /// Labels cycle round-robin, so any prefix is nearly class-balanced.
+    #[test]
+    fn labels_are_round_robin(count in 10usize..=50, seed in any::<u64>()) {
+        let ds = cifar_like(count, seed);
+        for (i, &l) in ds.labels().iter().enumerate() {
+            prop_assert_eq!(l as usize, i % 10);
+        }
+    }
+
+    /// A longer dataset starts with the same samples as a shorter one of
+    /// the same seed (generation is streaming, not global).
+    #[test]
+    fn prefix_stability(short in 1usize..=10, extra in 1usize..=10, seed in any::<u64>()) {
+        let a = mnist_like(short, seed);
+        let b = mnist_like(short + extra, seed);
+        for i in 0..short {
+            prop_assert_eq!(a.get(i), b.get(i), "sample {} differs", i);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # sc-fixed — the fixed-point binary baseline
+//!
+//! The paper compares its SC-CNN against *bitwidth-optimized fixed-point
+//! binary* implementations. This crate provides that baseline with the
+//! exact arithmetic conventions of the paper's Sec. 4.2:
+//!
+//! * operands are `N`-bit two's complement with `N−1` fractional bits
+//!   (value = `code / 2^(N-1) ∈ [-1, 1)`), the same *multiplier precision*
+//!   `N` as the SC designs;
+//! * "the multiplication result is **truncated** before accumulation" —
+//!   the `2(N−1)`-fraction full product is arithmetically shifted right to
+//!   `N−1` fraction bits;
+//! * accumulation uses the same **saturating** `N+A`-bit accumulator as
+//!   the SC designs ([`sc_core::mac::SaturatingAccumulator`]).
+//!
+//! With these conventions a fixed-point product lands in exactly the same
+//! units (`2^-(N-1)`) as the proposed SC-MAC's up/down counter value, so
+//! accuracy comparisons are apples-to-apples.
+//!
+//! ```
+//! use sc_core::Precision;
+//! use sc_fixed::FixedMul;
+//!
+//! # fn main() -> Result<(), sc_core::Error> {
+//! let n = Precision::new(8)?;
+//! let mul = FixedMul::new(n);
+//! // (-0.5) × 0.25 = -0.125 → code -16 at 2^7 scale.
+//! assert_eq!(mul.multiply(-64, 32)?, -16);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mac;
+mod mul;
+mod quant;
+
+pub use mac::FixedMac;
+pub use mul::FixedMul;
+pub use quant::{dequantize, dequantize_slice, quantize, quantize_slice};

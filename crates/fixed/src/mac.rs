@@ -1,0 +1,129 @@
+//! The fixed-point MAC: truncating multiplier + saturating accumulator.
+
+use crate::FixedMul;
+use sc_core::mac::SaturatingAccumulator;
+use sc_core::{Error, Precision};
+
+/// A fixed-point multiply-accumulate unit mirroring the paper's binary
+/// baseline MAC: each product is truncated to `N−1` fraction bits, then
+/// added into a saturating `N+A`-bit accumulator.
+///
+/// ```
+/// use sc_core::Precision;
+/// use sc_fixed::FixedMac;
+///
+/// # fn main() -> Result<(), sc_core::Error> {
+/// let n = Precision::new(8)?;
+/// let mut mac = FixedMac::new(n, 2);
+/// mac.mac(64, 64)?;  // +0.25 → +32
+/// mac.mac(-64, 32)?; // −0.125 → −16
+/// assert_eq!(mac.value(), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedMac {
+    mul: FixedMul,
+    acc: SaturatingAccumulator,
+}
+
+impl FixedMac {
+    /// Creates a MAC at precision `n` with `extra_bits` accumulation bits
+    /// (the paper's `A`, default 2 in the experiments).
+    pub fn new(n: Precision, extra_bits: u32) -> Self {
+        FixedMac { mul: FixedMul::new(n), acc: SaturatingAccumulator::new(n, extra_bits) }
+    }
+
+    /// The operand precision.
+    pub fn precision(&self) -> Precision {
+        self.mul.precision()
+    }
+
+    /// Multiplies `w·x` (truncating) and accumulates (saturating).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CodeOutOfRange`] if either code is out of range.
+    pub fn mac(&mut self, w: i32, x: i32) -> Result<(), Error> {
+        let prod = self.mul.multiply(w, x)?;
+        self.acc.add(prod);
+        Ok(())
+    }
+
+    /// The current accumulator value (units of `2^-(N-1)`).
+    pub fn value(&self) -> i64 {
+        self.acc.value()
+    }
+
+    /// Whether the accumulator has saturated since the last reset.
+    pub fn has_saturated(&self) -> bool {
+        self.acc.has_saturated()
+    }
+
+    /// Resets the accumulator.
+    pub fn reset(&mut self) {
+        self.acc.reset();
+    }
+
+    /// Computes a full dot product `Σ w_i·x_i` from scratch and returns the
+    /// accumulator value; the MAC is left holding the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if the slices differ in length;
+    /// code-range errors propagate.
+    pub fn dot(&mut self, ws: &[i32], xs: &[i32]) -> Result<i64, Error> {
+        if ws.len() != xs.len() {
+            return Err(Error::LengthMismatch { expected: ws.len(), actual: xs.len() });
+        }
+        self.reset();
+        for (&w, &x) in ws.iter().zip(xs) {
+            self.mac(w, x)?;
+        }
+        Ok(self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(bits: u32) -> Precision {
+        Precision::new(bits).unwrap()
+    }
+
+    #[test]
+    fn dot_product_matches_manual() {
+        let mut mac = FixedMac::new(p(8), 4);
+        let ws = [64i32, -64, 127];
+        let xs = [64i32, 32, -128];
+        let got = mac.dot(&ws, &xs).unwrap();
+        // 32 + (-16) + (127·-128)>>7 = 32 - 16 - 127 = -111
+        assert_eq!(got, -111);
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let mut mac = FixedMac::new(p(4), 0); // 4-bit acc: [-8, 7]
+        for _ in 0..10 {
+            mac.mac(7, 7).unwrap(); // each +(49>>3) = +6
+        }
+        assert_eq!(mac.value(), 7);
+        assert!(mac.has_saturated());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut mac = FixedMac::new(p(6), 2);
+        mac.mac(31, 31).unwrap();
+        mac.reset();
+        assert_eq!(mac.value(), 0);
+        assert!(!mac.has_saturated());
+    }
+
+    #[test]
+    fn length_mismatch() {
+        let mut mac = FixedMac::new(p(6), 2);
+        assert!(mac.dot(&[1, 2], &[1]).is_err());
+    }
+}

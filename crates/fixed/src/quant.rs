@@ -1,0 +1,77 @@
+//! Quantization between `f32` real values and `N`-bit signed codes.
+
+use sc_core::Precision;
+
+/// Quantizes a real value in `[-1, 1)` to the nearest `N`-bit signed code
+/// (round to nearest, saturating at the representable range).
+///
+/// ```
+/// use sc_core::Precision;
+/// use sc_fixed::quantize;
+/// let n = Precision::new(8)?;
+/// assert_eq!(quantize(0.5, n), 64);
+/// assert_eq!(quantize(-2.0, n), -128); // saturates
+/// assert_eq!(quantize(0.999, n), 127); // saturates at +max
+/// # Ok::<(), sc_core::Error>(())
+/// ```
+#[inline]
+pub fn quantize(value: f32, n: Precision) -> i32 {
+    let (lo, hi) = n.signed_range();
+    let scaled = (value as f64 * n.half_scale() as f64).round();
+    scaled.clamp(lo as f64, hi as f64) as i32
+}
+
+/// Dequantizes a signed code (or accumulator value) back to a real value:
+/// `code / 2^(N-1)`.
+#[inline]
+pub fn dequantize(code: i64, n: Precision) -> f32 {
+    (code as f64 / n.half_scale() as f64) as f32
+}
+
+/// Quantizes a slice of real values into a new code vector.
+pub fn quantize_slice(values: &[f32], n: Precision) -> Vec<i32> {
+    values.iter().map(|&v| quantize(v, n)).collect()
+}
+
+/// Dequantizes a slice of codes into a new real-value vector.
+pub fn dequantize_slice(codes: &[i64], n: Precision) -> Vec<f32> {
+    codes.iter().map(|&c| dequantize(c, n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(bits: u32) -> Precision {
+        Precision::new(bits).unwrap()
+    }
+
+    #[test]
+    fn round_trip_error_is_half_lsb() {
+        let n = p(8);
+        let lsb = 1.0 / 128.0;
+        for i in -100..100 {
+            let v = i as f32 * 0.009;
+            let q = quantize(v, n);
+            let back = dequantize(q as i64, n);
+            assert!((back - v).abs() <= lsb / 2.0 + 1e-6, "v={v} q={q} back={back}");
+        }
+    }
+
+    #[test]
+    fn saturation() {
+        let n = p(5);
+        assert_eq!(quantize(1.0, n), 15);
+        assert_eq!(quantize(-1.0, n), -16);
+        assert_eq!(quantize(10.0, n), 15);
+    }
+
+    #[test]
+    fn slices() {
+        let n = p(4);
+        let q = quantize_slice(&[0.0, 0.5, -0.5], n);
+        assert_eq!(q, vec![0, 4, -4]);
+        let d = dequantize_slice(&[0, 4, -4], n);
+        assert_eq!(d, vec![0.0, 0.5, -0.5]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the fixed-point baseline.
+
+use proptest::prelude::*;
+use sc_core::Precision;
+use sc_fixed::{dequantize, quantize, FixedMac, FixedMul};
+
+fn signed_code(bits: u32, raw: i32) -> i32 {
+    let h = 1i32 << (bits - 1);
+    raw.rem_euclid(2 * h) - h
+}
+
+proptest! {
+    /// Round-to-nearest product error is at most half an LSB.
+    #[test]
+    fn product_error_at_most_half_lsb(bits in 2u32..=16, w in any::<i32>(), x in any::<i32>()) {
+        let n = Precision::new(bits).unwrap();
+        let (w, x) = (signed_code(bits, w), signed_code(bits, x));
+        let mul = FixedMul::new(n);
+        let got = mul.multiply(w, x).unwrap() as f64;
+        prop_assert!((got - mul.exact(w, x)).abs() <= 0.5 + 1e-12);
+    }
+
+    /// The product is odd-symmetric: (−w)·x = −(w·x) under
+    /// round-half-away-from-zero.
+    #[test]
+    fn product_is_odd_symmetric(bits in 2u32..=16, w in any::<i32>(), x in any::<i32>()) {
+        let n = Precision::new(bits).unwrap();
+        let h = 1i32 << (bits - 1);
+        // Exclude −2^(N-1), which has no positive counterpart.
+        let w = signed_code(bits, w).max(-h + 1);
+        let x = signed_code(bits, x);
+        let mul = FixedMul::new(n);
+        prop_assert_eq!(
+            mul.multiply(-w, x).unwrap(),
+            -mul.multiply(w, x).unwrap()
+        );
+    }
+
+    /// Floor truncation never exceeds the rounded product and differs by
+    /// at most one LSB.
+    #[test]
+    fn floor_is_below_round_by_at_most_one(bits in 2u32..=16, w in any::<i32>(), x in any::<i32>()) {
+        let n = Precision::new(bits).unwrap();
+        let (w, x) = (signed_code(bits, w), signed_code(bits, x));
+        let mul = FixedMul::new(n);
+        let floor = mul.multiply_floor(w, x);
+        let round = mul.multiply(w, x).unwrap();
+        prop_assert!(floor <= round);
+        prop_assert!(round - floor <= 1);
+    }
+
+    /// Quantize/dequantize round-trips within half an LSB for in-range
+    /// values.
+    #[test]
+    fn quantize_round_trip(bits in 2u32..=16, v in -0.999f32..=0.99) {
+        let n = Precision::new(bits).unwrap();
+        let lsb = 1.0 / (1u64 << (bits - 1)) as f32;
+        // Values beyond the largest positive code (1 − lsb) clamp, so
+        // restrict the property to the representable range.
+        prop_assume!(v <= 1.0 - lsb);
+        let q = quantize(v, n);
+        let back = dequantize(q as i64, n);
+        prop_assert!((back - v).abs() <= lsb / 2.0 + 1e-6, "v={v} back={back}");
+    }
+
+    /// A MAC dot product equals the clamped sum of individual products
+    /// when no saturation occurs.
+    #[test]
+    fn mac_dot_equals_sum_without_saturation(bits in 4u32..=12, seed in any::<u64>()) {
+        let n = Precision::new(bits).unwrap();
+        let h = 1i32 << (bits - 1);
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            ((state >> 33) as i32).rem_euclid(2 * h) - h
+        };
+        let ws: Vec<i32> = (0..6).map(|_| next()).collect();
+        let xs: Vec<i32> = (0..6).map(|_| next()).collect();
+        let mut mac = FixedMac::new(n, 8); // wide headroom: no saturation
+        let got = mac.dot(&ws, &xs).unwrap();
+        let mul = FixedMul::new(n);
+        let expect: i64 = ws.iter().zip(&xs).map(|(&w, &x)| mul.multiply(w, x).unwrap()).sum();
+        prop_assert_eq!(got, expect);
+        prop_assert!(!mac.has_saturated());
+    }
+}

@@ -1,0 +1,267 @@
+//! The MAC-array model (256 MACs in the paper's Sec. 4.3) with the
+//! sharing rules of each design, producing the quantities of Fig. 7 and
+//! Table 3.
+
+use crate::components::{mac_breakdown, MacDesign};
+use crate::power;
+use sc_core::Precision;
+
+/// Clock frequency used throughout the paper's implementation study (GHz).
+pub const CLOCK_GHZ: f64 = 1.0;
+
+/// A MAC array of a given design, precision, and size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacArray {
+    design: MacDesign,
+    n: Precision,
+    size: usize,
+}
+
+/// Summary metrics for one array configuration, as plotted in Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayMetrics {
+    /// Total array area (µm²).
+    pub area_um2: f64,
+    /// Total array power (mW) at 1 GHz.
+    pub power_mw: f64,
+    /// Average latency of one MAC operation (cycles) — data-dependent for
+    /// the proposed designs.
+    pub avg_mac_cycles: f64,
+    /// Energy per MAC operation (pJ): `power × avg_cycles / (f · size)`.
+    pub energy_per_mac_pj: f64,
+    /// Area-delay product (µm² · cycles).
+    pub adp: f64,
+    /// Throughput in GOPS (1 MAC = 2 ops, per the paper's Table 3).
+    pub gops: f64,
+    /// Area efficiency (GOPS/mm²).
+    pub gops_per_mm2: f64,
+    /// Energy efficiency (GOPS/W).
+    pub gops_per_w: f64,
+}
+
+impl MacArray {
+    /// Creates an array of `size` MACs (the paper uses 256).
+    pub fn new(design: MacDesign, n: Precision, size: usize) -> Self {
+        MacArray { design, n, size }
+    }
+
+    /// The design.
+    pub fn design(&self) -> MacDesign {
+        self.design
+    }
+
+    /// The precision.
+    pub fn precision(&self) -> Precision {
+        self.n
+    }
+
+    /// Number of MACs.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Total array area (µm²) after sharing: shared components are
+    /// instantiated once, per-lane components `size` times.
+    pub fn area_um2(&self) -> f64 {
+        let b = mac_breakdown(self.design, self.n);
+        let (shared, lane) = b.split_shared(self.design);
+        shared.total() + lane.total() * self.size as f64
+    }
+
+    /// Array area without any resource sharing — `size` complete MACs.
+    /// The difference to [`area_um2`](Self::area_um2) is the sharing
+    /// saving the paper highlights ("our proposed scheme becomes more
+    /// cost-efficient when vectorized due to the sharing of the FSM and
+    /// down counter", Sec. 4.3.1).
+    pub fn area_unshared_um2(&self) -> f64 {
+        mac_breakdown(self.design, self.n).total() * self.size as f64
+    }
+
+    /// The fraction of per-MAC area eliminated by sharing at this array
+    /// size (`0.0` for designs with nothing shareable).
+    pub fn sharing_saving(&self) -> f64 {
+        let unshared = self.area_unshared_um2();
+        if unshared == 0.0 {
+            0.0
+        } else {
+            1.0 - self.area_um2() / unshared
+        }
+    }
+
+    /// Total array power (mW) at 1 GHz, with the same sharing.
+    pub fn power_mw(&self) -> f64 {
+        let b = mac_breakdown(self.design, self.n);
+        let (shared, lane) = b.split_shared(self.design);
+        power::power_mw(&shared, self.design)
+            + power::power_mw(&lane, self.design) * self.size as f64
+    }
+
+    /// Average cycles per MAC operation given the weight-code population
+    /// the array will process (signed codes at precision `n`). Fixed-point
+    /// needs 1 cycle, conventional SC `2^N`, the proposed designs
+    /// `E[ceil(|w|/b)]` (paper Sec. 3.2).
+    pub fn avg_mac_cycles(&self, weight_codes: &[i32]) -> f64 {
+        match self.design {
+            MacDesign::FixedPoint => 1.0,
+            MacDesign::ConventionalSc(_) => self.n.stream_len() as f64,
+            MacDesign::ProposedSerial => sc_core::mvm::average_mac_latency(weight_codes, 1),
+            MacDesign::ProposedParallel(b) => {
+                sc_core::mvm::average_mac_latency(weight_codes, b)
+            }
+        }
+    }
+
+    /// All Fig. 7 / Table 3 metrics for the given weight population.
+    pub fn metrics(&self, weight_codes: &[i32]) -> ArrayMetrics {
+        let area_um2 = self.area_um2();
+        let power_mw = self.power_mw();
+        let avg_mac_cycles = self.avg_mac_cycles(weight_codes).max(f64::MIN_POSITIVE);
+        // All `size` MACs operate in parallel: the array completes `size`
+        // MACs every `avg_mac_cycles` cycles.
+        let macs_per_sec = self.size as f64 * CLOCK_GHZ * 1e9 / avg_mac_cycles;
+        let gops = 2.0 * macs_per_sec / 1e9;
+        let energy_per_mac_pj = power_mw * 1e-3 / macs_per_sec * 1e12;
+        ArrayMetrics {
+            area_um2,
+            power_mw,
+            avg_mac_cycles,
+            energy_per_mac_pj,
+            adp: area_um2 * avg_mac_cycles,
+            gops,
+            gops_per_mm2: gops / (area_um2 * 1e-6),
+            gops_per_w: gops / (power_mw * 1e-3),
+        }
+    }
+}
+
+/// Quantizes a float weight population to signed codes at precision `n`
+/// (convenience for feeding trained-network weights into
+/// [`MacArray::avg_mac_cycles`]).
+pub fn quantize_weights(weights: &[f32], n: Precision) -> Vec<i32> {
+    weights.iter().map(|&w| sc_fixed_quantize(w, n)).collect()
+}
+
+#[inline]
+fn sc_fixed_quantize(value: f32, n: Precision) -> i32 {
+    let (lo, hi) = n.signed_range();
+    let scaled = (value as f64 * n.half_scale() as f64).round();
+    scaled.clamp(lo as f64, hi as f64) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::conventional::ConvScMethod;
+
+    fn p(bits: u32) -> Precision {
+        Precision::new(bits).unwrap()
+    }
+
+    /// A bell-shaped weight population like a trained conv layer
+    /// (std ≈ 0.1 full scale).
+    fn bell_weights(n: Precision) -> Vec<i32> {
+        let h = n.half_scale() as f64;
+        (0..4096)
+            .map(|i| {
+                // Deterministic pseudo-gaussian via sum of 4 hashed uniforms.
+                let mut acc = 0.0;
+                let mut s = i as u64 * 2654435761 + 12345;
+                for _ in 0..4 {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    acc += (s % 10_000) as f64 / 10_000.0;
+                }
+                let g = (acc - 2.0) / (1.0 / 3.0f64).sqrt() / 2.0; // ~N(0,0.5)
+                // std ≈ 0.025 full scale → avg |w·2^(N-1)| ≈ 5 at N = 9,
+                // matching the paper's "up to 7.7 cycles" average for its
+                // CIFAR-10 net.
+                ((g * 0.05 * h).round()).clamp(-h, h - 1.0) as i32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn table3_proposed_row_is_reproduced() {
+        // Proposed (9b-precision), 256 MACs: ~0.06 mm², ~25 mW,
+        // ~350 GOPS (Table 3 row: 0.06 / 25.06 / 351.55).
+        let n = p(9);
+        let arr = MacArray::new(MacDesign::ProposedParallel(8), n, 256);
+        let area_mm2 = arr.area_um2() * 1e-6;
+        assert!((0.045..=0.075).contains(&area_mm2), "area {area_mm2} mm²");
+        let power = arr.power_mw();
+        assert!((20.0..=32.0).contains(&power), "power {power} mW");
+        // The paper's GOPS implies avg ~1.46 cycles/MAC at b = 8, i.e.
+        // bit-serial avg |w| ≈ 7.7 (their CIFAR weights). Use a weight
+        // population with that average.
+        let weights = bell_weights(n);
+        let serial_avg = sc_core::mvm::average_mac_latency(&weights, 1);
+        let m = arr.metrics(&weights);
+        assert!(m.gops > 200.0, "gops {}", m.gops);
+        assert!(m.gops_per_mm2 > 3000.0, "gops/mm2 {}", m.gops_per_mm2);
+        assert!(serial_avg < 64.0, "serial avg {serial_avg}");
+    }
+
+    #[test]
+    fn energy_ratios_match_paper_shape_cifar() {
+        // Ours vs conventional SC at 9 bits: 300–490× more energy
+        // efficient (paper Sec. 4.3.2) — we accept a generous band around
+        // it since the exact factor depends on the weight distribution.
+        let n = p(9);
+        let weights = bell_weights(n);
+        let ours = MacArray::new(MacDesign::ProposedSerial, n, 256).metrics(&weights);
+        let conv =
+            MacArray::new(MacDesign::ConventionalSc(ConvScMethod::Lfsr), n, 256).metrics(&weights);
+        let ratio = conv.energy_per_mac_pj / ours.energy_per_mac_pj;
+        assert!((50.0..=2000.0).contains(&ratio), "energy ratio {ratio}");
+        assert!(ratio > 30.0);
+    }
+
+    #[test]
+    fn proposed_beats_fixed_adp_with_bell_weights() {
+        // Sec. 4.3.1: 29–44% lower ADP than fixed-point at the same
+        // accuracy, thanks to low average latency — true when the average
+        // |w| is small (bell-shaped weights); the 8b-parallel version
+        // suppresses the latency further.
+        let n = p(9);
+        let weights = bell_weights(n);
+        let ours8 = MacArray::new(MacDesign::ProposedParallel(8), n, 256).metrics(&weights);
+        let fix = MacArray::new(MacDesign::FixedPoint, n, 256).metrics(&weights);
+        assert!(
+            ours8.adp < fix.adp,
+            "ours-8 ADP {} vs fixed {}",
+            ours8.adp,
+            fix.adp
+        );
+    }
+
+    #[test]
+    fn sharing_shrinks_the_array() {
+        let n = p(9);
+        let per_mac = mac_breakdown(MacDesign::ProposedSerial, n).total();
+        let arr = MacArray::new(MacDesign::ProposedSerial, n, 256);
+        assert!(arr.area_um2() < per_mac * 256.0);
+        assert!((arr.area_unshared_um2() - per_mac * 256.0).abs() < 1e-6);
+        // The FSM + down counter are (60.9 + 80.6) of 256.7 µm² ≈ 55% of
+        // the MAC — at 256 lanes virtually all of that is saved.
+        let saving = arr.sharing_saving();
+        assert!((0.5..0.6).contains(&saving), "saving {saving}");
+        // Fixed-point shares nothing.
+        let fix = MacArray::new(MacDesign::FixedPoint, n, 256);
+        assert!(fix.sharing_saving().abs() < 1e-12);
+    }
+
+    #[test]
+    fn conventional_sc_latency_is_2_to_the_n() {
+        let n = p(8);
+        let arr = MacArray::new(MacDesign::ConventionalSc(ConvScMethod::Lfsr), n, 16);
+        assert_eq!(arr.avg_mac_cycles(&[1, 2, 3]), 256.0);
+    }
+
+    #[test]
+    fn quantize_weights_clamps() {
+        let n = p(4);
+        let q = quantize_weights(&[0.0, 0.5, -1.5, 0.99], n);
+        assert_eq!(q, vec![0, 4, -8, 7]);
+    }
+}

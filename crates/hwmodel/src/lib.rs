@@ -1,0 +1,36 @@
+//! # sc-hwmodel — synthesis-calibrated cost model for SC and binary MAC
+//! arrays
+//!
+//! The paper synthesized its MAC-array designs with Synopsys Design
+//! Compiler (TSMC 45 nm, 1 GHz) and reports a per-component area breakdown
+//! in its Table 2. This crate is the reproduction's synthesis substitute:
+//!
+//! * [`components`] — per-component area model **anchored to the paper's
+//!   own Table 2 numbers** at multiplier precisions 5 and 9, interpolated
+//!   and extrapolated across `N` by per-component power laws fit through
+//!   the two anchors (binary multipliers scale ~quadratically, counters
+//!   ~linearly — exactly the scaling arguments of Sec. 4.3.1);
+//! * [`power`] — area-proportional power with a calibrated logic density
+//!   and the paper's empirical exception that *LFSR registers dissipate
+//!   ~3× the power per area* (Sec. 4.3.2);
+//! * [`mod@array`] — the 256-MAC array generator with the paper's sharing
+//!   rules (conventional SC shares the weight SNG; the proposed design
+//!   shares the FSM and the down counter), producing area / power /
+//!   average-latency / energy / ADP / GOPS figures for Fig. 7 and
+//!   Tables 2–3;
+//! * [`table3`] — the literature comparison rows of Table 3.
+//!
+//! What this model preserves from the paper is the *ratios* — who is
+//! smaller, who wins ADP and energy, and by roughly what factor — because
+//! every absolute number at the anchor precisions is the paper's own.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod components;
+pub mod power;
+pub mod table3;
+
+pub use array::MacArray;
+pub use components::{AreaBreakdown, MacDesign};

@@ -1,0 +1,86 @@
+//! Area-proportional power model with the paper's LFSR exception.
+//!
+//! Sec. 4.3.2: "power dissipation as reported by the synthesis tool is
+//! largely proportional to the area result, with one exception. We found
+//! that LFSRs have unusually high power dissipation per area." The model
+//! therefore uses a single logic power density for everything except the
+//! SNG registers of LFSR-based designs, which get a 3× multiplier — the
+//! factor implied by the paper's observation that the conventional-SC MAC
+//! dissipates about as much power as the binary MAC despite being much
+//! smaller.
+//!
+//! The absolute density is calibrated so that the proposed 9-bit
+//! 8-bit-parallel 256-MAC array reproduces Table 3's 25.06 mW at its
+//! 0.06 mm² area.
+
+use crate::components::{AreaBreakdown, MacDesign};
+use sc_core::conventional::ConvScMethod;
+
+/// Baseline dynamic+leakage power density at 1 GHz, mW per µm²
+/// (calibrated to Table 3: 25.06 mW / ~56,000 µm²).
+pub const LOGIC_DENSITY_MW_PER_UM2: f64 = 4.45e-4;
+
+/// Power-density multiplier for LFSR registers (the paper's "unusually
+/// high power dissipation per area").
+pub const LFSR_DENSITY_FACTOR: f64 = 3.0;
+
+/// Power (mW) of one area breakdown under the given design's density
+/// rules.
+pub fn power_mw(breakdown: &AreaBreakdown, design: MacDesign) -> f64 {
+    let lfsr_regs = matches!(design, MacDesign::ConventionalSc(ConvScMethod::Lfsr));
+    let reg_density = if lfsr_regs {
+        LOGIC_DENSITY_MW_PER_UM2 * LFSR_DENSITY_FACTOR
+    } else {
+        LOGIC_DENSITY_MW_PER_UM2
+    };
+    breakdown.sng_reg * reg_density
+        + (breakdown.sng_combi + breakdown.mult + breakdown.ones_cnt + breakdown.accum)
+            * LOGIC_DENSITY_MW_PER_UM2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::mac_breakdown;
+    use sc_core::Precision;
+
+    #[test]
+    fn conventional_sc_power_is_near_binary_power() {
+        // The calibration target of Sec. 4.3.2.
+        let n = Precision::new(9).unwrap();
+        let fix = mac_breakdown(MacDesign::FixedPoint, n);
+        let sc = mac_breakdown(MacDesign::ConventionalSc(ConvScMethod::Lfsr), n);
+        let p_fix = power_mw(&fix, MacDesign::FixedPoint);
+        let p_sc = power_mw(&sc, MacDesign::ConventionalSc(ConvScMethod::Lfsr));
+        let ratio = p_sc / p_fix;
+        assert!((0.8..=1.3).contains(&ratio), "conv-SC/binary power ratio {ratio}");
+    }
+
+    #[test]
+    fn proposed_power_is_lowest() {
+        let n = Precision::new(9).unwrap();
+        let ours = power_mw(
+            &mac_breakdown(MacDesign::ProposedSerial, n),
+            MacDesign::ProposedSerial,
+        );
+        for other in [
+            MacDesign::FixedPoint,
+            MacDesign::ConventionalSc(ConvScMethod::Lfsr),
+            MacDesign::ConventionalSc(ConvScMethod::Halton),
+        ] {
+            let p = power_mw(&mac_breakdown(other, n), other);
+            assert!(ours < p, "{other:?}: ours {ours} vs {p}");
+        }
+    }
+
+    #[test]
+    fn power_scales_with_area() {
+        let b1 = AreaBreakdown { accum: 100.0, ..Default::default() };
+        let b2 = AreaBreakdown { accum: 200.0, ..Default::default() };
+        assert!(
+            (power_mw(&b2, MacDesign::FixedPoint) / power_mw(&b1, MacDesign::FixedPoint) - 2.0)
+                .abs()
+                < 1e-9
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Table 3 of the paper: comparison with previous neural-network
+//! accelerators. The literature rows are constants quoted from the paper;
+//! the "Proposed" row is computed from the array model.
+
+use crate::array::MacArray;
+use crate::components::MacDesign;
+use sc_core::Precision;
+
+/// One row of Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorRow {
+    /// Publication tag (e.g. "ASPLOS'14 \[5\]").
+    pub name: &'static str,
+    /// Binary ("Binary") or stochastic ("SC") computing.
+    pub category: &'static str,
+    /// Clock frequency (MHz).
+    pub frequency_mhz: f64,
+    /// Area in mm² (see `scope`).
+    pub area_mm2: f64,
+    /// Power in mW (see `scope`).
+    pub power_mw: f64,
+    /// Throughput in GOPS.
+    pub gops: f64,
+    /// Process node (nm).
+    pub tech_nm: u32,
+    /// What the area/power numbers cover.
+    pub scope: &'static str,
+}
+
+impl AcceleratorRow {
+    /// Area efficiency (GOPS/mm²).
+    pub fn gops_per_mm2(&self) -> f64 {
+        self.gops / self.area_mm2
+    }
+
+    /// Energy efficiency (GOPS/W).
+    pub fn gops_per_w(&self) -> f64 {
+        self.gops / (self.power_mw * 1e-3)
+    }
+}
+
+/// The literature rows of Table 3, verbatim from the paper.
+pub fn literature_rows() -> Vec<AcceleratorRow> {
+    vec![
+        AcceleratorRow {
+            name: "MWSCAS'12 [14]",
+            category: "Binary",
+            frequency_mhz: 400.0,
+            area_mm2: 12.50,
+            power_mw: 570.00,
+            gops: 160.00,
+            tech_nm: 45,
+            scope: "Total chip",
+        },
+        AcceleratorRow {
+            name: "ISSCC'15 [13]",
+            category: "Binary",
+            frequency_mhz: 200.0,
+            area_mm2: 10.00,
+            power_mw: 213.10,
+            gops: 411.30,
+            tech_nm: 65,
+            scope: "Total chip",
+        },
+        AcceleratorRow {
+            name: "ASPLOS'14 [5]",
+            category: "Binary",
+            frequency_mhz: 980.0,
+            area_mm2: 0.85,
+            power_mw: 132.00,
+            gops: 501.96,
+            tech_nm: 65,
+            scope: "NFU only",
+        },
+        AcceleratorRow {
+            name: "GLSVLSI'15 [4]",
+            category: "Binary",
+            frequency_mhz: 700.0,
+            area_mm2: 0.98,
+            power_mw: 236.59,
+            gops: 274.00,
+            tech_nm: 65,
+            scope: "SoP (≈ MAC) units only",
+        },
+        AcceleratorRow {
+            name: "ArXiv'15 [3]",
+            category: "SC",
+            frequency_mhz: 400.0,
+            area_mm2: 0.09,
+            power_mw: 14.90,
+            gops: 1.01,
+            tech_nm: 65,
+            scope: "One neuron",
+        },
+        AcceleratorRow {
+            name: "DAC'16 [8]",
+            category: "SC",
+            frequency_mhz: 1000.0,
+            area_mm2: 0.06,
+            power_mw: 3.60,
+            gops: 75.74,
+            tech_nm: 45,
+            scope: "One neuron with 200 inputs",
+        },
+    ]
+}
+
+/// Computes the "Proposed (9b-precision)" row from the array model:
+/// the 256-MAC, 8-bit-parallel array at 1 GHz, with the average MAC
+/// latency taken from the given weight-code population (the CIFAR-net
+/// conv weights in the paper).
+pub fn proposed_row(weight_codes: &[i32]) -> AcceleratorRow {
+    let n = Precision::new(9).expect("9 is a valid precision");
+    let arr = MacArray::new(MacDesign::ProposedParallel(8), n, 256);
+    let m = arr.metrics(weight_codes);
+    AcceleratorRow {
+        name: "Proposed (9b-precision)",
+        category: "SC",
+        frequency_mhz: 1000.0,
+        area_mm2: m.area_um2 * 1e-6,
+        power_mw: m.power_mw,
+        gops: m.gops,
+        tech_nm: 45,
+        scope: "MAC array (size: 256)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literature_ratios_match_paper() {
+        // Spot-check the derived columns against the paper's printed
+        // GOPS/mm² and GOPS/W values.
+        let rows = literature_rows();
+        let asplos = rows.iter().find(|r| r.name.contains("ASPLOS")).unwrap();
+        // (The paper's printed 592.94 implies an unrounded area slightly
+        // below the printed 0.85 mm².)
+        assert!((asplos.gops_per_mm2() - 592.94).abs() < 5.0);
+        assert!((asplos.gops_per_w() - 3802.73).abs() < 20.0);
+        let dac16 = rows.iter().find(|r| r.name.contains("DAC'16")).unwrap();
+        assert!((dac16.gops_per_w() - 21038.79).abs() < 100.0);
+    }
+
+    #[test]
+    fn proposed_has_highest_area_efficiency() {
+        // Weight population with small average magnitude (|w| ≈ 12/256).
+        let weights: Vec<i32> = (0..1000).map(|i| (i % 25) - 12).collect();
+        let ours = proposed_row(&weights);
+        for row in literature_rows() {
+            assert!(
+                ours.gops_per_mm2() > row.gops_per_mm2(),
+                "{} beats proposed in GOPS/mm²",
+                row.name
+            );
+        }
+    }
+
+    #[test]
+    fn proposed_row_matches_table3_scale() {
+        let weights: Vec<i32> = (0..1000).map(|i| (i % 25) - 12).collect();
+        let ours = proposed_row(&weights);
+        assert!((0.04..=0.08).contains(&ours.area_mm2), "area {}", ours.area_mm2);
+        assert!((18.0..=33.0).contains(&ours.power_mw), "power {}", ours.power_mw);
+        assert!(ours.gops > 200.0, "gops {}", ours.gops);
+    }
+}

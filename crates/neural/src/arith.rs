@@ -1,0 +1,286 @@
+//! Quantized MAC arithmetic backends for convolution layers.
+//!
+//! Every backend is an exhaustive `2^N × 2^N` signed-product lookup table
+//! whose entries are **bit-exact** with the corresponding reference
+//! implementation in [`sc_core`] / [`sc_fixed`]:
+//!
+//! * [`QuantArith::fixed`] — truncating fixed-point products
+//!   ([`sc_fixed::FixedMul`]);
+//! * [`QuantArith::proposed_sc`] — the paper's SC-MAC
+//!   ([`sc_core::mac::SignedScMac`], closed form = RTL);
+//! * [`QuantArith::conventional_sc`] — conventional bipolar SC over `2^N`
+//!   cycles ([`sc_core::conventional::SignedProductLut`]).
+//!
+//! Products are in units of `2^-(N-1)` (the operand LSB), so a dot product
+//! accumulates in the same `N+A`-bit saturating counter for every method —
+//! the common setting of the paper's Sec. 4.2/4.3.
+
+use sc_core::conventional::{ConvScMethod, SignedProductLut};
+use sc_core::mac::SignedScMac;
+use sc_core::{Error, Precision};
+use sc_fixed::FixedMul;
+use std::sync::Arc;
+
+/// Which arithmetic fills the product table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithKind {
+    /// Fixed-point binary with round-to-nearest product reduction (the
+    /// paper's "FIX" baseline as interpreted in DESIGN.md §3).
+    Fixed,
+    /// Fixed-point binary with literal floor truncation — kept for the
+    /// rounding-mode ablation (catastrophically biased at CNN depths).
+    FixedFloor,
+    /// The proposed SC-MAC (bit-serial/bit-parallel — identical results).
+    ProposedSc,
+    /// The proposed SC-MAC with early termination after `s` weight bits
+    /// (the dynamic energy–quality knob, see
+    /// [`sc_core::mac::EarlyTerminationScMac`]).
+    ProposedScEdt(u32),
+    /// Conventional SC with the given SNG method.
+    ConventionalSc(ConvScMethod),
+}
+
+impl ArithKind {
+    /// Short display name used in experiment tables.
+    pub fn name(self) -> String {
+        match self {
+            ArithKind::Fixed => "fixed".into(),
+            ArithKind::FixedFloor => "fixed-floor".into(),
+            ArithKind::ProposedSc => "proposed-sc".into(),
+            ArithKind::ProposedScEdt(s) => format!("proposed-sc-edt{s}"),
+            ArithKind::ConventionalSc(m) => format!("conv-sc-{}", m.name().to_lowercase()),
+        }
+    }
+}
+
+/// Number of generator phases sampled for conventional-SC tables (the
+/// SNGs free-run across a real MAC chain, so consecutive products see
+/// different phases; see [`SignedProductLut::build_phased`]). Too few
+/// phases leave the per-pair errors systematically correlated across a
+/// conv layer, which is harsher than real hardware.
+pub const CONV_SC_PHASES: usize = 16;
+
+/// A quantized signed-product table at precision `N`.
+///
+/// Deterministic methods (fixed, proposed SC) have one phase; the
+/// conventional-SC tables hold [`CONV_SC_PHASES`] phase variants that a
+/// MAC chain cycles through via [`product_at`](QuantArith::product_at).
+#[derive(Debug, Clone)]
+pub struct QuantArith {
+    kind: ArithKind,
+    n: Precision,
+    /// `phases` tables, each row-major `[x + 2^(N-1)][w + 2^(N-1)]`,
+    /// products in `2^-(N-1)` units.
+    tables: Vec<Vec<i32>>,
+}
+
+impl QuantArith {
+    /// Builds the fixed-point table.
+    pub fn fixed(n: Precision) -> Arc<Self> {
+        let mul = FixedMul::new(n);
+        Arc::new(Self::from_fn(ArithKind::Fixed, n, |w, x| {
+            mul.multiply_unchecked(w, x) as i32
+        }))
+    }
+
+    /// Builds the floor-truncation fixed-point table (the rounding-mode
+    /// ablation; see [`sc_fixed::FixedMul::multiply_floor`]).
+    pub fn fixed_floor(n: Precision) -> Arc<Self> {
+        let mul = FixedMul::new(n);
+        Arc::new(Self::from_fn(ArithKind::FixedFloor, n, |w, x| {
+            mul.multiply_floor(w, x) as i32
+        }))
+    }
+
+    /// Builds the proposed-SC table (closed form; bit-exact with the RTL
+    /// datapath).
+    pub fn proposed_sc(n: Precision) -> Arc<Self> {
+        let mac = SignedScMac::new(n);
+        Arc::new(Self::from_fn(ArithKind::ProposedSc, n, |w, x| {
+            mac.multiply(w, x).expect("codes in range").value as i32
+        }))
+    }
+
+    /// Builds the proposed-SC table with early termination after `s`
+    /// effective weight bits (see
+    /// [`sc_core::mac::EarlyTerminationScMac`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the range check on `s` (must be `1..=N`).
+    pub fn proposed_sc_edt(n: Precision, s: u32) -> Result<Arc<Self>, Error> {
+        let mac = sc_core::mac::EarlyTerminationScMac::new(n, s)?;
+        Ok(Arc::new(Self::from_fn(ArithKind::ProposedScEdt(s), n, |w, x| {
+            mac.multiply(w, x).expect("codes in range").value as i32
+        })))
+    }
+
+    /// Builds the conventional-SC tables ([`CONV_SC_PHASES`] generator
+    /// phases) by exhaustive stream simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::NoLfsrPolynomial`] for the LFSR method.
+    pub fn conventional_sc(n: Precision, method: ConvScMethod) -> Result<Arc<Self>, Error> {
+        let size = n.stream_len() as usize;
+        let half = n.half_scale() as i32;
+        let mut tables = Vec::with_capacity(CONV_SC_PHASES);
+        for p in 0..CONV_SC_PHASES {
+            // Spread the sampled phases over the LFSR period (2^N − 1).
+            let phase = p as u64 * (n.stream_len() - 1) / CONV_SC_PHASES as u64;
+            let lut = SignedProductLut::build_phased(n, method, phase)?;
+            let mut table = vec![0i32; size * size];
+            for xo in 0..size {
+                let x = xo as i32 - half;
+                for wo in 0..size {
+                    let w = wo as i32 - half;
+                    table[xo * size + wo] = lut.product_scaled(x, w);
+                }
+            }
+            tables.push(table);
+        }
+        Ok(Arc::new(QuantArith { kind: ArithKind::ConventionalSc(method), n, tables }))
+    }
+
+    fn from_fn(kind: ArithKind, n: Precision, f: impl Fn(i32, i32) -> i32) -> Self {
+        let size = n.stream_len() as usize;
+        let half = n.half_scale() as i32;
+        let mut table = vec![0i32; size * size];
+        for xo in 0..size {
+            let x = xo as i32 - half;
+            for wo in 0..size {
+                let w = wo as i32 - half;
+                table[xo * size + wo] = f(w, x);
+            }
+        }
+        QuantArith { kind, n, tables: vec![table] }
+    }
+
+    /// The arithmetic kind.
+    pub fn kind(&self) -> ArithKind {
+        self.kind
+    }
+
+    /// The operand precision `N`.
+    pub fn precision(&self) -> Precision {
+        self.n
+    }
+
+    /// Number of generator phases in this table.
+    pub fn phases(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The product of signed codes `(w, x)` in `2^-(N-1)` units, at
+    /// phase 0.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if a code is out of range (codes are produced by
+    /// quantization, which clamps).
+    #[inline]
+    pub fn product(&self, w: i32, x: i32) -> i32 {
+        self.product_at(0, w, x)
+    }
+
+    /// The product at the `index`-th position of a MAC chain (the phase
+    /// used is `index mod phases`).
+    #[inline]
+    pub fn product_at(&self, index: usize, w: i32, x: i32) -> i32 {
+        let half = self.n.half_scale() as i32;
+        let size = self.n.stream_len() as usize;
+        let xo = (x + half) as usize;
+        let wo = (w + half) as usize;
+        debug_assert!(xo < size && wo < size, "codes out of range: w={w} x={x}");
+        let table = &self.tables[index % self.tables.len()];
+        table[xo * size + wo]
+    }
+
+    /// Saturating dot product `Σ product(w_i, x_i)` in an `N+A`-bit
+    /// counter — one output-pixel MAC chain of a conv layer.
+    pub fn dot_saturating(&self, ws: &[i32], xs: &[i32], extra_bits: u32) -> i64 {
+        debug_assert_eq!(ws.len(), xs.len());
+        let width = self.n.bits() + extra_bits;
+        let max = (1i64 << (width - 1)) - 1;
+        let min = -(1i64 << (width - 1));
+        let mut acc = 0i64;
+        for (i, (&w, &x)) in ws.iter().zip(xs).enumerate() {
+            acc += self.product_at(i, w, x) as i64;
+            if acc > max {
+                acc = max;
+            } else if acc < min {
+                acc = min;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(bits: u32) -> Precision {
+        Precision::new(bits).unwrap()
+    }
+
+    #[test]
+    fn fixed_table_matches_fixed_mul() {
+        let n = p(5);
+        let a = QuantArith::fixed(n);
+        let mul = FixedMul::new(n);
+        for w in -16..16 {
+            for x in -16..16 {
+                assert_eq!(a.product(w, x) as i64, mul.multiply(w, x).unwrap());
+            }
+        }
+        assert_eq!(a.kind(), ArithKind::Fixed);
+    }
+
+    #[test]
+    fn proposed_table_matches_mac() {
+        let n = p(6);
+        let a = QuantArith::proposed_sc(n);
+        let mac = SignedScMac::new(n);
+        for w in -32..32 {
+            for x in -32..32 {
+                assert_eq!(a.product(w, x) as i64, mac.multiply(w, x).unwrap().value);
+            }
+        }
+    }
+
+    #[test]
+    fn conventional_table_matches_stream_lut() {
+        let n = p(5);
+        let a = QuantArith::conventional_sc(n, ConvScMethod::Lfsr).unwrap();
+        let lut = SignedProductLut::build(n, ConvScMethod::Lfsr).unwrap();
+        for w in -16..16 {
+            for x in -16..16 {
+                assert_eq!(a.product(w, x), lut.product_scaled(x, w));
+            }
+        }
+    }
+
+    #[test]
+    fn dot_saturating_clamps() {
+        let n = p(4);
+        let a = QuantArith::fixed(n);
+        // A = 0: counter range is [-8, 7]. Big positive products saturate.
+        let ws = vec![7i32; 10];
+        let xs = vec![7i32; 10];
+        let acc = a.dot_saturating(&ws, &xs, 0);
+        assert_eq!(acc, 7);
+        // With A = 4 the same dot does not saturate: 10·(49>>3) = 60.
+        assert_eq!(a.dot_saturating(&ws, &xs, 4), 60);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(ArithKind::Fixed.name(), "fixed");
+        assert_eq!(ArithKind::ProposedSc.name(), "proposed-sc");
+        assert_eq!(
+            ArithKind::ConventionalSc(ConvScMethod::Lfsr).name(),
+            "conv-sc-lfsr"
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Saving and loading trained parameters.
+//!
+//! A tiny self-describing binary format (magic + version + per-tensor
+//! length-prefixed `f32` blobs, little endian) so experiment binaries can
+//! cache trained networks between runs without pulling in a serialization
+//! dependency. Only *parameters* travel; the architecture is rebuilt from
+//! code (the zoo), and a shape check on load rejects mismatches.
+
+use crate::layers::LayerKind;
+use crate::net::Network;
+use std::fmt;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 8] = b"SCNNPAR1";
+
+/// Error type for parameter (de)serialization.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ParamIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream does not start with the expected magic/version.
+    BadMagic,
+    /// The parameter blob does not match the network's architecture.
+    ShapeMismatch {
+        /// Which tensor (in network order) mismatched.
+        tensor: usize,
+        /// Expected element count.
+        expected: usize,
+        /// Stored element count.
+        actual: usize,
+    },
+    /// The stream ended before all parameters were read.
+    Truncated,
+}
+
+impl fmt::Display for ParamIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamIoError::Io(e) => write!(f, "i/o error: {e}"),
+            ParamIoError::BadMagic => write!(f, "not a scnn parameter stream"),
+            ParamIoError::ShapeMismatch { tensor, expected, actual } => write!(
+                f,
+                "parameter tensor {tensor} has {actual} elements, network expects {expected}"
+            ),
+            ParamIoError::Truncated => write!(f, "parameter stream ended early"),
+        }
+    }
+}
+
+impl std::error::Error for ParamIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParamIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParamIoError {
+    fn from(e: std::io::Error) -> Self {
+        ParamIoError::Io(e)
+    }
+}
+
+/// Collects references to every parameter tensor of a network, in a
+/// stable order (layer order; weights before bias).
+fn param_tensors(net: &Network) -> Vec<Vec<f32>> {
+    let mut out = Vec::new();
+    for layer in net.layers() {
+        match layer {
+            LayerKind::Conv(c) => {
+                out.push(c.weights().to_vec());
+                out.push(c.bias().to_vec());
+            }
+            LayerKind::Dense(d) => {
+                out.push(d.weights_raw().to_vec());
+                out.push(d.bias_raw().to_vec());
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Writes all parameters of `net` to `w`. A `&mut` writer can be passed
+/// (e.g. `&mut file`).
+///
+/// # Errors
+///
+/// Returns [`ParamIoError::Io`] on write failure.
+pub fn save_params<W: Write>(net: &Network, mut w: W) -> Result<(), ParamIoError> {
+    w.write_all(MAGIC)?;
+    let tensors = param_tensors(net);
+    w.write_all(&(tensors.len() as u32).to_le_bytes())?;
+    for t in &tensors {
+        w.write_all(&(t.len() as u32).to_le_bytes())?;
+        for v in t {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads parameters from `r` into `net` (whose architecture must match
+/// the one the stream was saved from). A `&mut` reader can be passed.
+///
+/// # Errors
+///
+/// Returns [`ParamIoError::BadMagic`], [`ParamIoError::ShapeMismatch`],
+/// [`ParamIoError::Truncated`], or [`ParamIoError::Io`].
+pub fn load_params<R: Read>(net: &mut Network, mut r: R) -> Result<(), ParamIoError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(|_| ParamIoError::Truncated)?;
+    if &magic != MAGIC {
+        return Err(ParamIoError::BadMagic);
+    }
+    let mut count = [0u8; 4];
+    r.read_exact(&mut count).map_err(|_| ParamIoError::Truncated)?;
+    let count = u32::from_le_bytes(count) as usize;
+
+    // Read all tensors first, then validate against the network shape.
+    let mut tensors = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut len = [0u8; 4];
+        r.read_exact(&mut len).map_err(|_| ParamIoError::Truncated)?;
+        let len = u32::from_le_bytes(len) as usize;
+        let mut data = vec![0f32; len];
+        let mut buf = [0u8; 4];
+        for v in &mut data {
+            r.read_exact(&mut buf).map_err(|_| ParamIoError::Truncated)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        tensors.push(data);
+    }
+
+    let expected = param_tensors(net);
+    if tensors.len() != expected.len() {
+        return Err(ParamIoError::ShapeMismatch {
+            tensor: 0,
+            expected: expected.len(),
+            actual: tensors.len(),
+        });
+    }
+    for (i, (t, e)) in tensors.iter().zip(&expected).enumerate() {
+        if t.len() != e.len() {
+            return Err(ParamIoError::ShapeMismatch {
+                tensor: i,
+                expected: e.len(),
+                actual: t.len(),
+            });
+        }
+    }
+
+    let mut it = tensors.into_iter();
+    for layer in net.layers_mut() {
+        match layer {
+            LayerKind::Conv(c) => {
+                c.set_weights(it.next().expect("validated count"));
+                c.set_bias(it.next().expect("validated count"));
+            }
+            LayerKind::Dense(d) => {
+                d.set_weights(it.next().expect("validated count"));
+                d.set_bias(it.next().expect("validated count"));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use crate::zoo::mnist_net;
+
+    #[test]
+    fn round_trip_preserves_outputs() {
+        let mut net = mnist_net(3);
+        let x = Tensor::new((0..784).map(|i| (i % 97) as f32 / 97.0).collect(), &[1, 28, 28]);
+        let before = net.forward(&x);
+
+        let mut buf = Vec::new();
+        save_params(&net, &mut buf).unwrap();
+
+        let mut other = mnist_net(99); // different init
+        assert_ne!(other.forward(&x), before);
+        load_params(&mut other, buf.as_slice()).unwrap();
+        assert_eq!(other.forward(&x), before);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut net = mnist_net(1);
+        let err = load_params(&mut net, &b"NOTMAGIC\x00\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, ParamIoError::BadMagic));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let net5 = mnist_net(1);
+        let mut buf = Vec::new();
+        save_params(&net5, &mut buf).unwrap();
+        // Load into a different architecture.
+        let mut cifar = crate::zoo::cifar_net(1);
+        let err = load_params(&mut cifar, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ParamIoError::ShapeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let net = mnist_net(1);
+        let mut buf = Vec::new();
+        save_params(&net, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let mut other = mnist_net(2);
+        let err = load_params(&mut other, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ParamIoError::Truncated), "{err}");
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = ParamIoError::ShapeMismatch { tensor: 3, expected: 10, actual: 7 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains("10") && s.contains('7'));
+    }
+}

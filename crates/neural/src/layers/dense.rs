@@ -1,0 +1,181 @@
+//! The fully connected (inner-product) layer. Always float: the paper
+//! applies SC to convolution layers only (Sec. 3.3), leaving the rest of
+//! the network unconstrained.
+
+use crate::tensor::Tensor;
+
+/// A fully connected layer `y = W·flatten(x) + b`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    /// `[out_dim][in_dim]` row-major.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    grad_w: Vec<f32>,
+    grad_b: Vec<f32>,
+    vel_w: Vec<f32>,
+    vel_b: Vec<f32>,
+    cache_input: Option<Vec<f32>>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-initialized weights drawn from
+    /// the given deterministic stream.
+    pub fn new(in_dim: usize, out_dim: usize, init: &mut crate::zoo::InitRng) -> Self {
+        let std = (1.0 / in_dim as f32).sqrt();
+        let weights = (0..in_dim * out_dim).map(|_| init.normal() * std).collect();
+        Dense {
+            in_dim,
+            out_dim,
+            weights,
+            bias: vec![0.0; out_dim],
+            grad_w: vec![0.0; in_dim * out_dim],
+            grad_b: vec![0.0; out_dim],
+            vel_w: vec![0.0; in_dim * out_dim],
+            vel_b: vec![0.0; out_dim],
+            cache_input: None,
+        }
+    }
+
+    /// Immutable access to the weight matrix (row-major
+    /// `[out_dim][in_dim]`).
+    pub fn weights_raw(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Immutable access to the bias vector.
+    pub fn bias_raw(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Replaces the weights (parameter loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from `in_dim·out_dim`.
+    pub fn set_weights(&mut self, weights: Vec<f32>) {
+        assert_eq!(weights.len(), self.weights.len(), "weight count mismatch");
+        self.weights = weights;
+    }
+
+    /// Replaces the bias vector (parameter loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from `out_dim`.
+    pub fn set_bias(&mut self, bias: Vec<f32>) {
+        assert_eq!(bias.len(), self.bias.len(), "bias count mismatch");
+        self.bias = bias;
+    }
+
+    /// Forward pass; the input is flattened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flattened input length differs from `in_dim`.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.len(), self.in_dim, "dense input size mismatch");
+        let x = input.data();
+        self.cache_input = Some(x.to_vec());
+        let mut out = vec![0.0f32; self.out_dim];
+        for (o, (row, &b)) in
+            out.iter_mut().zip(self.weights.chunks_exact(self.in_dim).zip(&self.bias))
+        {
+            *o = b + row.iter().zip(x).map(|(&w, &v)| w * v).sum::<f32>();
+        }
+        Tensor::new(out, &[self.out_dim])
+    }
+
+    /// Backward pass; accumulates parameter gradients, returns the
+    /// (flattened) input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache_input.take().expect("backward before forward");
+        let g = grad_out.data();
+        assert_eq!(g.len(), self.out_dim);
+        let mut grad_in = vec![0.0f32; self.in_dim];
+        for (i, &gv) in g.iter().enumerate() {
+            self.grad_b[i] += gv;
+            let row = &self.weights[i * self.in_dim..(i + 1) * self.in_dim];
+            let grow = &mut self.grad_w[i * self.in_dim..(i + 1) * self.in_dim];
+            for j in 0..self.in_dim {
+                grow[j] += gv * x[j];
+                grad_in[j] += gv * row[j];
+            }
+        }
+        Tensor::new(grad_in, &[self.in_dim])
+    }
+
+    /// SGD-with-momentum update (gradients averaged over `batch`, then
+    /// cleared).
+    pub fn step(&mut self, lr: f32, momentum: f32, weight_decay: f32, batch: usize) {
+        let inv = 1.0 / batch.max(1) as f32;
+        // Element-wise gradient clipping keeps long SGD runs stable (a
+        // diverging float reference would invalidate every comparison).
+        const CLIP: f32 = 1.0;
+        for ((w, g), v) in self.weights.iter_mut().zip(&mut self.grad_w).zip(&mut self.vel_w) {
+            let grad = (*g * inv).clamp(-CLIP, CLIP) + weight_decay * *w;
+            *v = momentum * *v - lr * grad;
+            *w += *v;
+            *g = 0.0;
+        }
+        for ((b, g), v) in self.bias.iter_mut().zip(&mut self.grad_b).zip(&mut self.vel_b) {
+            *v = momentum * *v - lr * (*g * inv).clamp(-CLIP, CLIP);
+            *b += *v;
+            *g = 0.0;
+        }
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_w.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::InitRng;
+
+    #[test]
+    fn forward_known_values() {
+        let mut d = Dense::new(2, 2, &mut InitRng::new(1));
+        d.weights = vec![1.0, 2.0, 3.0, 4.0];
+        d.bias = vec![0.5, -0.5];
+        let y = d.forward(&Tensor::new(vec![1.0, 1.0], &[2]));
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut d = Dense::new(3, 2, &mut InitRng::new(2));
+        let x = Tensor::new(vec![0.3, -0.5, 0.9], &[3]);
+        d.forward(&x);
+        d.backward(&Tensor::new(vec![1.0, 1.0], &[2]));
+        let analytic = d.grad_w.clone();
+        let base = d.weights.clone();
+        let eps = 1e-3;
+        for i in 0..base.len() {
+            d.weights = base.clone();
+            d.weights[i] += eps;
+            let up: f32 = d.forward(&x).data().iter().sum();
+            d.weights = base.clone();
+            d.weights[i] -= eps;
+            let dn: f32 = d.forward(&x).data().iter().sum();
+            let num = (up - dn) / (2.0 * eps);
+            assert!((num - analytic[i]).abs() < 1e-2, "w[{i}]");
+        }
+    }
+
+    #[test]
+    fn flattens_input() {
+        let mut d = Dense::new(4, 1, &mut InitRng::new(3));
+        let y = d.forward(&Tensor::zeros(&[1, 2, 2]));
+        assert_eq!(y.shape(), &[1]);
+    }
+}

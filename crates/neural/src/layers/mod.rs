@@ -1,0 +1,73 @@
+//! Network layers: convolution (with pluggable MAC arithmetic), pooling,
+//! ReLU, and fully connected.
+
+mod conv;
+mod dense;
+mod pool;
+mod relu;
+
+pub use conv::{Conv2d, ConvMode};
+pub use dense::Dense;
+pub use pool::{AvgPool2d, MaxPool2d};
+pub use relu::Relu;
+
+use crate::tensor::Tensor;
+
+/// A layer of a sequential network.
+#[derive(Debug, Clone)]
+pub enum LayerKind {
+    /// 2D convolution (the only layer with quantized/SC arithmetic modes).
+    Conv(Conv2d),
+    /// Max pooling.
+    MaxPool(MaxPool2d),
+    /// Average pooling.
+    AvgPool(AvgPool2d),
+    /// Rectified linear unit.
+    Relu(Relu),
+    /// Fully connected (flattens its input).
+    Dense(Dense),
+}
+
+impl LayerKind {
+    /// Forward pass (caches what backward needs).
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        match self {
+            LayerKind::Conv(l) => l.forward(input),
+            LayerKind::MaxPool(l) => l.forward(input),
+            LayerKind::AvgPool(l) => l.forward(input),
+            LayerKind::Relu(l) => l.forward(input),
+            LayerKind::Dense(l) => l.forward(input),
+        }
+    }
+
+    /// Backward pass: consumes the output gradient, accumulates parameter
+    /// gradients, returns the input gradient.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match self {
+            LayerKind::Conv(l) => l.backward(grad_out),
+            LayerKind::MaxPool(l) => l.backward(grad_out),
+            LayerKind::AvgPool(l) => l.backward(grad_out),
+            LayerKind::Relu(l) => l.backward(grad_out),
+            LayerKind::Dense(l) => l.backward(grad_out),
+        }
+    }
+
+    /// SGD-with-momentum update; divides accumulated gradients by
+    /// `batch` and clears them.
+    pub fn step(&mut self, lr: f32, momentum: f32, weight_decay: f32, batch: usize) {
+        match self {
+            LayerKind::Conv(l) => l.step(lr, momentum, weight_decay, batch),
+            LayerKind::Dense(l) => l.step(lr, momentum, weight_decay, batch),
+            _ => {}
+        }
+    }
+
+    /// Clears accumulated parameter gradients.
+    pub fn zero_grad(&mut self) {
+        match self {
+            LayerKind::Conv(l) => l.zero_grad(),
+            LayerKind::Dense(l) => l.zero_grad(),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Max and average pooling layers.
+
+use crate::tensor::Tensor;
+
+/// 2D max pooling over square windows.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    k: usize,
+    stride: usize,
+    /// For backward: the flat input index of each output's maximum.
+    cache_argmax: Vec<usize>,
+    cache_in_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with window `k` and the given stride.
+    pub fn new(k: usize, stride: usize) -> Self {
+        MaxPool2d { k, stride, cache_argmax: Vec::new(), cache_in_shape: Vec::new() }
+    }
+
+    fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        // Caffe-style ceil mode (cifar10_quick uses 3×3 stride-2 pooling
+        // on 32×32, producing 16×16).
+        ((h - self.k).div_ceil(self.stride) + 1, (w - self.k).div_ceil(self.stride) + 1)
+    }
+
+    /// Forward pass over a CHW tensor.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let s = input.shape();
+        let (c, h, w) = (s[0], s[1], s[2]);
+        let (oh, ow) = self.output_hw(h, w);
+        self.cache_in_shape = s.to_vec();
+        self.cache_argmax.clear();
+        let x = input.data();
+        let mut out = Tensor::zeros(&[c, oh, ow]);
+        let o = out.data_mut();
+        for ch in 0..c {
+            let plane = &x[ch * h * w..(ch + 1) * h * w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..self.k {
+                        let iy = oy * self.stride + ky;
+                        if iy >= h {
+                            break;
+                        }
+                        for kx in 0..self.k {
+                            let ix = ox * self.stride + kx;
+                            if ix >= w {
+                                break;
+                            }
+                            let v = plane[iy * w + ix];
+                            if v > best {
+                                best = v;
+                                best_idx = ch * h * w + iy * w + ix;
+                            }
+                        }
+                    }
+                    o[ch * oh * ow + oy * ow + ox] = best;
+                    self.cache_argmax.push(best_idx);
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass: routes each output gradient to its argmax input.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::zeros(&self.cache_in_shape);
+        let gi = grad_in.data_mut();
+        for (&idx, &g) in self.cache_argmax.iter().zip(grad_out.data()) {
+            gi[idx] += g;
+        }
+        grad_in
+    }
+}
+
+/// 2D average pooling over square windows (Caffe-style ceil mode, window
+/// clipped at the border, divisor = full window size as in Caffe's
+/// default).
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    k: usize,
+    stride: usize,
+    cache_in_shape: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with window `k` and the given stride.
+    pub fn new(k: usize, stride: usize) -> Self {
+        AvgPool2d { k, stride, cache_in_shape: Vec::new() }
+    }
+
+    fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        ((h - self.k).div_ceil(self.stride) + 1, (w - self.k).div_ceil(self.stride) + 1)
+    }
+
+    /// Forward pass over a CHW tensor.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let s = input.shape();
+        let (c, h, w) = (s[0], s[1], s[2]);
+        let (oh, ow) = self.output_hw(h, w);
+        self.cache_in_shape = s.to_vec();
+        let x = input.data();
+        let mut out = Tensor::zeros(&[c, oh, ow]);
+        let o = out.data_mut();
+        let inv = 1.0 / (self.k * self.k) as f32;
+        for ch in 0..c {
+            let plane = &x[ch * h * w..(ch + 1) * h * w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut sum = 0.0;
+                    for ky in 0..self.k {
+                        let iy = oy * self.stride + ky;
+                        if iy >= h {
+                            break;
+                        }
+                        for kx in 0..self.k {
+                            let ix = ox * self.stride + kx;
+                            if ix >= w {
+                                break;
+                            }
+                            sum += plane[iy * w + ix];
+                        }
+                    }
+                    o[ch * oh * ow + oy * ow + ox] = sum * inv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass: spreads each output gradient uniformly over its
+    /// window.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (c, h, w) =
+            (self.cache_in_shape[0], self.cache_in_shape[1], self.cache_in_shape[2]);
+        let (oh, ow) = self.output_hw(h, w);
+        let mut grad_in = Tensor::zeros(&self.cache_in_shape);
+        let gi = grad_in.data_mut();
+        let g = grad_out.data();
+        let inv = 1.0 / (self.k * self.k) as f32;
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gv = g[ch * oh * ow + oy * ow + ox] * inv;
+                    for ky in 0..self.k {
+                        let iy = oy * self.stride + ky;
+                        if iy >= h {
+                            break;
+                        }
+                        for kx in 0..self.k {
+                            let ix = ox * self.stride + kx;
+                            if ix >= w {
+                                break;
+                            }
+                            gi[ch * h * w + iy * w + ix] += gv;
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_2x2() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], &[2, 2, 2]);
+        let y = p.forward(&x);
+        assert_eq!(y.shape(), &[2, 1, 1]);
+        assert_eq!(y.data(), &[4.0, 8.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::new(vec![1.0, 9.0, 3.0, 4.0], &[1, 2, 2]);
+        p.forward(&x);
+        let gi = p.backward(&Tensor::new(vec![2.5], &[1, 1, 1]));
+        assert_eq!(gi.data(), &[0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn ceil_mode_shapes() {
+        // 3×3 stride-2 over 32 → 16 (Caffe cifar10_quick).
+        let p = MaxPool2d::new(3, 2);
+        assert_eq!(p.output_hw(32, 32), (16, 16));
+        let a = AvgPool2d::new(3, 2);
+        assert_eq!(a.output_hw(16, 16), (8, 8));
+    }
+
+    #[test]
+    fn avg_pool_values_and_backward() {
+        let mut p = AvgPool2d::new(2, 2);
+        let x = Tensor::new(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]);
+        let y = p.forward(&x);
+        assert_eq!(y.data(), &[2.5]);
+        let gi = p.backward(&Tensor::new(vec![4.0], &[1, 1, 1]));
+        assert_eq!(gi.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Rectified linear unit.
+
+use crate::tensor::Tensor;
+
+/// Elementwise `max(0, x)`.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    cache_mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cache_mask = input.data().iter().map(|&v| v > 0.0).collect();
+        let data = input.data().iter().map(|&v| v.max(0.0)).collect();
+        Tensor::new(data, input.shape())
+    }
+
+    /// Backward pass: zeroes gradients where the input was non-positive.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(&self.cache_mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::new(data, grad_out.shape())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward() {
+        let mut r = Relu::new();
+        let x = Tensor::new(vec![-1.0, 0.0, 2.0], &[3]);
+        let y = r.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+        let g = r.backward(&Tensor::new(vec![5.0, 5.0, 5.0], &[3]));
+        assert_eq!(g.data(), &[0.0, 0.0, 5.0]);
+    }
+}

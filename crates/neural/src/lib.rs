@@ -1,0 +1,46 @@
+//! # sc-neural — CNN inference and training with pluggable MAC arithmetic
+//!
+//! The paper evaluates its SC multiplier inside convolutional neural
+//! networks by extending Caffe's convolution layer with fixed-point and SC
+//! arithmetic. This crate is the reproduction's Caffe substitute: a small,
+//! self-contained CNN framework where **convolution layers** (and only
+//! convolution layers, per paper Sec. 3.3) can run in one of four
+//! arithmetic modes:
+//!
+//! * float (`f32`) — the reference;
+//! * `N`-bit fixed-point binary (truncate-before-accumulate, saturating
+//!   accumulator) — the paper's binary baseline;
+//! * conventional LFSR-based SC (bipolar XNOR over `2^N` cycles);
+//! * the proposed SC-MAC (closed-form, bit-exact with the RTL model).
+//!
+//! All quantized modes are realized through exhaustive product lookup
+//! tables ([`arith::QuantArith`]), which are *bit-exact* with the
+//! stream-level simulations in [`sc_core`] (verified by tests) but fast
+//! enough to run whole-network inference and fine-tuning on one CPU core.
+//!
+//! Training is plain SGD with momentum; *fine-tuning* (paper Sec. 4.2)
+//! runs the quantized/SC forward pass with straight-through float
+//! gradients, exactly the practice the paper uses to recover accuracy at
+//! low precision.
+//!
+//! ```
+//! use sc_neural::{net::Network, tensor::Tensor};
+//! let mut net = sc_neural::zoo::mnist_net(42);
+//! let input = Tensor::zeros(&[1, 28, 28]);
+//! let logits = net.forward(&input);
+//! assert_eq!(logits.shape(), &[10]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod fault;
+pub mod io;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod net;
+pub mod tensor;
+pub mod train;
+pub mod zoo;

@@ -1,0 +1,89 @@
+//! Softmax cross-entropy loss.
+
+use crate::tensor::Tensor;
+
+/// Computes softmax cross-entropy of `logits` against the `label` class.
+/// Returns `(loss, grad_logits)`.
+///
+/// # Panics
+///
+/// Panics if `label` is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> (f32, Tensor) {
+    let z = logits.data();
+    assert!(label < z.len(), "label {label} out of range for {} classes", z.len());
+    let max = z.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let exps: Vec<f32> = z.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let probs: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+    let loss = -(probs[label].max(1e-12)).ln();
+    let grad: Vec<f32> = probs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| if i == label { p - 1.0 } else { p })
+        .collect();
+    (loss, Tensor::new(grad, logits.shape()))
+}
+
+/// Softmax probabilities of a logit vector.
+pub fn softmax(logits: &Tensor) -> Vec<f32> {
+    let z = logits.data();
+    let max = z.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let exps: Vec<f32> = z.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits() {
+        let logits = Tensor::new(vec![0.0; 4], &[4]);
+        let (loss, grad) = softmax_cross_entropy(&logits, 2);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-6);
+        assert!((grad.data()[2] - (0.25 - 1.0)).abs() < 1e-6);
+        assert!((grad.data()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::new(vec![10.0, -10.0], &[2]);
+        let (loss, _) = softmax_cross_entropy(&logits, 0);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let logits = Tensor::new(vec![1.0, -2.0, 0.5], &[3]);
+        let (_, grad) = softmax_cross_entropy(&logits, 1);
+        let s: f32 = grad.data().iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        let base = vec![0.7, -1.1, 0.2, 2.0];
+        let logits = Tensor::new(base.clone(), &[4]);
+        let (_, grad) = softmax_cross_entropy(&logits, 3);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut up = base.clone();
+            up[i] += eps;
+            let mut dn = base.clone();
+            dn[i] -= eps;
+            let (lu, _) = softmax_cross_entropy(&Tensor::new(up, &[4]), 3);
+            let (ld, _) = softmax_cross_entropy(&Tensor::new(dn, &[4]), 3);
+            let num = (lu - ld) / (2.0 * eps);
+            assert!((num - grad.data()[i]).abs() < 1e-3, "logit {i}");
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_distribution() {
+        let p = softmax(&Tensor::new(vec![3.0, 1.0, 0.2], &[3]));
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p.iter().all(|&v| v > 0.0));
+        assert!(p[0] > p[1] && p[1] > p[2]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Evaluation metrics beyond top-1 accuracy: the confusion matrix and
+//! per-class accuracies, useful for seeing *how* a low-precision or SC
+//! network fails (uniform noise vs class collapse).
+
+use crate::net::Network;
+use crate::train::sample_tensor;
+use sc_datasets::Dataset;
+use std::fmt;
+
+/// A confusion matrix over `k` classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    /// `counts[true][predicted]`.
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty `k × k` matrix.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0);
+        ConfusionMatrix { k, counts: vec![0; k * k] }
+    }
+
+    /// Records one `(true, predicted)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.k && predicted < self.k);
+        self.counts[truth * self.k + predicted] += 1;
+    }
+
+    /// The count at `(true, predicted)`.
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth * self.k + predicted]
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall top-1 accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.k).map(|i| self.count(i, i)).sum();
+        correct as f64 / self.total().max(1) as f64
+    }
+
+    /// Per-class recall (accuracy on each true class; 0 for unseen
+    /// classes).
+    pub fn per_class_recall(&self) -> Vec<f64> {
+        (0..self.k)
+            .map(|t| {
+                let row: u64 = (0..self.k).map(|p| self.count(t, p)).sum();
+                if row == 0 {
+                    0.0
+                } else {
+                    self.count(t, t) as f64 / row as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Whether predictions collapsed onto a single class (a common
+    /// failure mode of the conventional-SC network) — true when one
+    /// predicted column holds more than `threshold` of all samples.
+    pub fn is_collapsed(&self, threshold: f64) -> Option<usize> {
+        let total = self.total().max(1) as f64;
+        (0..self.k).find(|&p| {
+            let col: u64 = (0..self.k).map(|t| self.count(t, p)).sum();
+            col as f64 / total > threshold
+        })
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "true\\pred {}", (0..self.k).map(|p| format!("{p:>5}")).collect::<String>())?;
+        for t in 0..self.k {
+            write!(f, "{t:>9} ")?;
+            for p in 0..self.k {
+                write!(f, "{:>5}", self.count(t, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates a network on a dataset, returning the full confusion matrix.
+pub fn evaluate_confusion(net: &mut Network, data: &Dataset, classes: usize) -> ConfusionMatrix {
+    let mut cm = ConfusionMatrix::new(classes);
+    for i in 0..data.len() {
+        let (x, label) = sample_tensor(data, i);
+        let pred = net.predict(&x);
+        cm.record(label, pred.min(classes - 1));
+    }
+    cm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_and_recall() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        cm.record(1, 1);
+        cm.record(2, 0);
+        assert_eq!(cm.total(), 5);
+        assert!((cm.accuracy() - 3.0 / 5.0).abs() < 1e-12);
+        let r = cm.per_class_recall();
+        assert!((r[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r[1], 1.0);
+        assert_eq!(r[2], 0.0);
+    }
+
+    #[test]
+    fn collapse_detection() {
+        let mut cm = ConfusionMatrix::new(2);
+        for _ in 0..9 {
+            cm.record(0, 1);
+        }
+        cm.record(1, 1);
+        assert_eq!(cm.is_collapsed(0.9), Some(1));
+        assert_eq!(cm.is_collapsed(1.1), None);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 1);
+        let s = cm.to_string();
+        assert!(s.contains("true\\pred"));
+        assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    fn evaluate_confusion_runs() {
+        let data = sc_datasets::mnist_like(20, 3);
+        let mut net = crate::zoo::mnist_net(1);
+        let cm = evaluate_confusion(&mut net, &data, 10);
+        assert_eq!(cm.total(), 20);
+    }
+}

@@ -1,0 +1,158 @@
+//! Training (SGD with momentum), evaluation, and quantized/SC
+//! fine-tuning.
+
+use crate::loss::softmax_cross_entropy;
+use crate::net::Network;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sc_datasets::Dataset;
+
+/// Hyperparameters of a training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Number of epochs over the dataset.
+    pub epochs: usize,
+    /// Multiply `lr` by this factor after each epoch.
+    pub lr_decay: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            lr: 0.02,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            batch_size: 16,
+            epochs: 4,
+            lr_decay: 0.7,
+            seed: 0,
+        }
+    }
+}
+
+/// Converts dataset sample `i` into a CHW tensor and label.
+pub fn sample_tensor(data: &Dataset, i: usize) -> (Tensor, usize) {
+    let (c, h, w) = data.shape();
+    let (pixels, label) = data.get(i);
+    (Tensor::new(pixels.to_vec(), &[c, h, w]), label as usize)
+}
+
+/// Trains the network in its *current* conv mode (float for initial
+/// training; quantized/SC for fine-tuning — the forward pass then uses the
+/// quantized arithmetic while gradients flow straight-through in float,
+/// exactly the paper's fine-tuning setup). Returns the mean loss of each
+/// epoch.
+pub fn train(net: &mut Network, data: &Dataset, cfg: &TrainConfig) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut lr = cfg.lr;
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut total_loss = 0.0f64;
+        for batch in order.chunks(cfg.batch_size) {
+            net.zero_grad();
+            for &i in batch {
+                let (x, label) = sample_tensor(data, i);
+                let logits = net.forward(&x);
+                let (loss, grad) = softmax_cross_entropy(&logits, label);
+                total_loss += loss as f64;
+                net.backward(&grad);
+            }
+            net.step(lr, cfg.momentum, cfg.weight_decay, batch.len());
+        }
+        epoch_losses.push((total_loss / data.len() as f64) as f32);
+        lr *= cfg.lr_decay;
+    }
+    epoch_losses
+}
+
+/// Runs `iters` mini-batch updates (rather than whole epochs) — the shape
+/// of the paper's "fine-tuning for 5,000 iterations atop the original
+/// training". Returns the mean loss over all iterations.
+pub fn fine_tune(net: &mut Network, data: &Dataset, iters: usize, cfg: &TrainConfig) -> f32 {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xf17e);
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    order.shuffle(&mut rng);
+    let mut cursor = 0usize;
+    let mut total_loss = 0.0f64;
+    let mut count = 0usize;
+    for _ in 0..iters {
+        net.zero_grad();
+        for _ in 0..cfg.batch_size {
+            if cursor >= order.len() {
+                order.shuffle(&mut rng);
+                cursor = 0;
+            }
+            let (x, label) = sample_tensor(data, order[cursor]);
+            cursor += 1;
+            let logits = net.forward(&x);
+            let (loss, grad) = softmax_cross_entropy(&logits, label);
+            total_loss += loss as f64;
+            count += 1;
+            net.backward(&grad);
+        }
+        net.step(cfg.lr, cfg.momentum, cfg.weight_decay, cfg.batch_size);
+    }
+    (total_loss / count.max(1) as f64) as f32
+}
+
+/// Top-1 accuracy of the network (in its current conv mode) on a dataset.
+pub fn evaluate(net: &mut Network, data: &Dataset) -> f64 {
+    let mut correct = 0usize;
+    for i in 0..data.len() {
+        let (x, label) = sample_tensor(data, i);
+        if net.predict(&x) == label {
+            correct += 1;
+        }
+    }
+    correct as f64 / data.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::mnist_net;
+    use sc_datasets::mnist_like;
+
+    #[test]
+    fn training_reduces_loss_and_beats_chance() {
+        let data = mnist_like(200, 5);
+        let test = mnist_like(100, 99);
+        let mut net = mnist_net(1);
+        let cfg = TrainConfig { epochs: 2, ..TrainConfig::default() };
+        let losses = train(&mut net, &data, &cfg);
+        assert!(losses[1] < losses[0], "losses {losses:?}");
+        let acc = evaluate(&mut net, &test);
+        assert!(acc > 0.3, "accuracy {acc} not above chance");
+    }
+
+    #[test]
+    fn fine_tune_runs_and_returns_finite_loss() {
+        let data = mnist_like(64, 6);
+        let mut net = mnist_net(2);
+        let cfg = TrainConfig { batch_size: 8, lr: 0.01, ..TrainConfig::default() };
+        let loss = fine_tune(&mut net, &data, 4, &cfg);
+        assert!(loss.is_finite() && loss > 0.0);
+    }
+
+    #[test]
+    fn sample_tensor_shapes() {
+        let data = mnist_like(3, 1);
+        let (x, label) = sample_tensor(&data, 2);
+        assert_eq!(x.shape(), &[1, 28, 28]);
+        assert_eq!(label, 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! The two network architectures of the paper's evaluation (scaled to the
+//! synthetic datasets and a single CPU core — see DESIGN.md §3), plus the
+//! deterministic weight-init stream.
+
+use crate::layers::{AvgPool2d, Conv2d, Dense, LayerKind, MaxPool2d, Relu};
+use crate::net::Network;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic Gaussian stream for weight initialization.
+#[derive(Debug, Clone)]
+pub struct InitRng {
+    rng: StdRng,
+}
+
+impl InitRng {
+    /// Creates the stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        InitRng { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// A standard normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f32 {
+        let u1: f32 = self.rng.gen_range(1e-9f32..1.0);
+        let u2: f32 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+    }
+}
+
+/// The MNIST-like network — a LeNet-style net mirroring Caffe's `lenet`
+/// (conv-pool-conv-pool-fc-relu-fc), with channel counts scaled for the
+/// single-core reproduction:
+///
+/// `28×28×1 → conv5×5×8 → maxpool2 → conv5×5×16 → maxpool2 → fc64 → relu
+/// → fc10`.
+pub fn mnist_net(seed: u64) -> Network {
+    let mut rng = InitRng::new(seed);
+    Network::new(vec![
+        LayerKind::Conv(Conv2d::new(1, 8, 5, 1, 0, &mut rng)), // 28 → 24
+        LayerKind::MaxPool(MaxPool2d::new(2, 2)),              // 24 → 12
+        LayerKind::Conv(Conv2d::new(8, 16, 5, 1, 0, &mut rng)), // 12 → 8
+        LayerKind::MaxPool(MaxPool2d::new(2, 2)),              // 8 → 4
+        LayerKind::Dense(Dense::new(16 * 4 * 4, 64, &mut rng)),
+        LayerKind::Relu(Relu::new()),
+        LayerKind::Dense(Dense::new(64, 10, &mut rng)),
+    ])
+}
+
+/// The CIFAR-like network — mirroring Caffe's `cifar10_quick`
+/// (conv-pool-relu, conv-relu-avgpool, conv-relu-avgpool, fc-fc), with
+/// channel counts scaled for the single-core reproduction:
+///
+/// `32×32×3 → conv5×5×8(pad2) → maxpool3/2 → relu → conv5×5×8(pad2) →
+/// relu → avgpool3/2 → conv5×5×16(pad2) → relu → avgpool3/2 → fc32 →
+/// fc10`.
+pub fn cifar_net(seed: u64) -> Network {
+    let mut rng = InitRng::new(seed);
+    Network::new(vec![
+        LayerKind::Conv(Conv2d::new(3, 8, 5, 1, 2, &mut rng)), // 32 → 32
+        LayerKind::MaxPool(MaxPool2d::new(3, 2)),              // 32 → 16
+        LayerKind::Relu(Relu::new()),
+        LayerKind::Conv(Conv2d::new(8, 8, 5, 1, 2, &mut rng)), // 16 → 16
+        LayerKind::Relu(Relu::new()),
+        LayerKind::AvgPool(AvgPool2d::new(3, 2)), // 16 → 8
+        LayerKind::Conv(Conv2d::new(8, 16, 5, 1, 2, &mut rng)), // 8 → 8
+        LayerKind::Relu(Relu::new()),
+        LayerKind::AvgPool(AvgPool2d::new(3, 2)), // 8 → 4
+        LayerKind::Dense(Dense::new(16 * 4 * 4, 32, &mut rng)),
+        LayerKind::Relu(Relu::new()),
+        LayerKind::Dense(Dense::new(32, 10, &mut rng)),
+    ])
+}
+
+/// The **full-size** Caffe `lenet` architecture the paper actually used:
+/// `conv5×5×20 → maxpool2 → conv5×5×50 → maxpool2 → fc500 → relu → fc10`.
+/// ~15× the MACs of [`mnist_net`]; use when wall time permits.
+pub fn mnist_net_full(seed: u64) -> Network {
+    let mut rng = InitRng::new(seed);
+    Network::new(vec![
+        LayerKind::Conv(Conv2d::new(1, 20, 5, 1, 0, &mut rng)), // 28 → 24
+        LayerKind::MaxPool(MaxPool2d::new(2, 2)),               // 24 → 12
+        LayerKind::Conv(Conv2d::new(20, 50, 5, 1, 0, &mut rng)), // 12 → 8
+        LayerKind::MaxPool(MaxPool2d::new(2, 2)),               // 8 → 4
+        LayerKind::Dense(Dense::new(50 * 4 * 4, 500, &mut rng)),
+        LayerKind::Relu(Relu::new()),
+        LayerKind::Dense(Dense::new(500, 10, &mut rng)),
+    ])
+}
+
+/// The **full-size** Caffe `cifar10_quick` architecture the paper used:
+/// `conv5×5×32(pad2) → maxpool3/2 → relu → conv5×5×32(pad2) → relu →
+/// avgpool3/2 → conv5×5×64(pad2) → relu → avgpool3/2 → fc64 → fc10`.
+/// ~4× the MACs of [`cifar_net`].
+pub fn cifar_net_full(seed: u64) -> Network {
+    let mut rng = InitRng::new(seed);
+    Network::new(vec![
+        LayerKind::Conv(Conv2d::new(3, 32, 5, 1, 2, &mut rng)), // 32 → 32
+        LayerKind::MaxPool(MaxPool2d::new(3, 2)),               // 32 → 16
+        LayerKind::Relu(Relu::new()),
+        LayerKind::Conv(Conv2d::new(32, 32, 5, 1, 2, &mut rng)), // 16 → 16
+        LayerKind::Relu(Relu::new()),
+        LayerKind::AvgPool(AvgPool2d::new(3, 2)), // 16 → 8
+        LayerKind::Conv(Conv2d::new(32, 64, 5, 1, 2, &mut rng)), // 8 → 8
+        LayerKind::Relu(Relu::new()),
+        LayerKind::AvgPool(AvgPool2d::new(3, 2)), // 8 → 4
+        LayerKind::Dense(Dense::new(64 * 4 * 4, 64, &mut rng)),
+        LayerKind::Dense(Dense::new(64, 10, &mut rng)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn mnist_net_shapes() {
+        let mut net = mnist_net(1);
+        let y = net.forward(&Tensor::zeros(&[1, 28, 28]));
+        assert_eq!(y.shape(), &[10]);
+    }
+
+    #[test]
+    fn cifar_net_shapes() {
+        let mut net = cifar_net(1);
+        let y = net.forward(&Tensor::zeros(&[3, 32, 32]));
+        assert_eq!(y.shape(), &[10]);
+    }
+
+    #[test]
+    fn full_size_net_shapes() {
+        let mut m = mnist_net_full(1);
+        assert_eq!(m.forward(&Tensor::zeros(&[1, 28, 28])).shape(), &[10]);
+        let mut c = cifar_net_full(1);
+        assert_eq!(c.forward(&Tensor::zeros(&[3, 32, 32])).shape(), &[10]);
+        // Parameter counts match the Caffe definitions.
+        assert_eq!(m.conv_weights().len(), 20 * 25 + 50 * 20 * 25);
+        assert_eq!(c.conv_weights().len(), 32 * 3 * 25 + 32 * 32 * 25 + 64 * 32 * 25);
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let a = mnist_net(7).conv_weights();
+        let b = mnist_net(7).conv_weights();
+        assert_eq!(a, b);
+        let c = mnist_net(8).conv_weights();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn init_rng_roughly_standard_normal() {
+        let mut r = InitRng::new(3);
+        let n = 10_000;
+        let samples: Vec<f32> = (0..n).map(|_| r.normal()).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|&s| (s - mean) * (s - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

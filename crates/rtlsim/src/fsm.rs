@@ -1,0 +1,104 @@
+//! The low-discrepancy FSM of Fig. 2(a): a free-running `N`-bit cycle
+//! counter whose trailing-zero detector drives the bit-select MUX.
+
+use sc_core::Precision;
+
+/// The cycle-counter FSM. One instance is shared by all lanes of a
+/// BISC-MVM (its output is the common MUX select).
+///
+/// State: an `N`-bit counter register `t` (wrapping). Output (combinational
+/// on the *next* value of `t`): the select `ctz(t)`, or `None` for the one
+/// cycle per period where `ctz(t) ≥ N` (the MUX then outputs constant 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleFsm {
+    n: Precision,
+    /// Cycles issued so far (the hardware register is `t mod 2^N`).
+    t: u64,
+}
+
+impl CycleFsm {
+    /// Creates the FSM in its reset state.
+    pub fn new(n: Precision) -> Self {
+        CycleFsm { n, t: 0 }
+    }
+
+    /// The precision (number of MUX inputs).
+    pub fn precision(&self) -> Precision {
+        self.n
+    }
+
+    /// Number of clock edges since reset.
+    pub fn cycles(&self) -> u64 {
+        self.t
+    }
+
+    /// Advances one clock and returns this cycle's MUX select:
+    /// `Some(z)` selects operand bit `x_{N-1-z}`; `None` selects the
+    /// constant-0 input.
+    pub fn clock(&mut self) -> Option<u32> {
+        self.t += 1;
+        let period = self.n.stream_len();
+        let t_in_period = (self.t - 1) % period + 1;
+        let z = t_in_period.trailing_zeros();
+        if z < self.n.bits() {
+            Some(z)
+        } else {
+            None
+        }
+    }
+
+    /// Synchronous reset.
+    pub fn reset(&mut self) {
+        self.t = 0;
+    }
+}
+
+/// The operand MUX: selects bit `x_{N-1-z}` of the (offset-binary) operand
+/// register, or 0 when the FSM emits no select.
+#[inline]
+pub fn operand_mux(x: u32, n: Precision, select: Option<u32>) -> bool {
+    match select {
+        Some(z) => (x >> (n.bits() - 1 - z)) & 1 == 1,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::seq;
+
+    #[test]
+    fn fsm_matches_behavioural_sequence() {
+        let n = Precision::new(6).unwrap();
+        let mut fsm = CycleFsm::new(n);
+        for t in 1..=256u64 {
+            // Two full periods to check wrap-around.
+            let sel = fsm.clock();
+            let t_in = (t - 1) % 64 + 1;
+            assert_eq!(sel, seq::mux_select(t_in, n), "t={t}");
+        }
+    }
+
+    #[test]
+    fn mux_reproduces_stream_bits() {
+        let n = Precision::new(5).unwrap();
+        let x = 0b10110u32;
+        let mut fsm = CycleFsm::new(n);
+        for t in 1..=32u64 {
+            let bit = operand_mux(x, n, fsm.clock());
+            assert_eq!(bit, seq::stream_bit(x, n, t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn reset_restarts() {
+        let n = Precision::new(4).unwrap();
+        let mut fsm = CycleFsm::new(n);
+        let first = fsm.clock();
+        fsm.clock();
+        fsm.reset();
+        assert_eq!(fsm.cycles(), 0);
+        assert_eq!(fsm.clock(), first);
+    }
+}

@@ -1,0 +1,37 @@
+//! # sc-rtlsim — cycle-accurate RTL-level simulation of the SC datapaths
+//!
+//! The paper implemented and evaluated its designs in Verilog RTL. This
+//! crate is the reproduction's substitute: every datapath is modelled at
+//! the register-transfer level — explicit registers, per-cycle `clock()`
+//! semantics, and structural composition of the same blocks the paper
+//! names (LFSR, comparator, XNOR gate, MUX, trailing-zero FSM, down
+//! counter, up/down counter, ones counter).
+//!
+//! The test suites prove bit-exact equivalence between these RTL models
+//! and the behavioural closed forms in [`sc_core`] — exhaustively for
+//! small precisions and by property-style randomized sweeps for large
+//! ones. That is the functional-correctness evidence RTL simulation
+//! provides in the original paper.
+//!
+//! * [`fsm`] — the free-running cycle-counter FSM and MUX select logic.
+//! * [`mac`] — [`mac::ProposedMacRtl`], the bit-serial signed SC-MAC of
+//!   Fig. 1(c)/Sec. 2.4, and [`mac::ConventionalMacRtl`], the
+//!   LFSR-based bipolar multiplier of Fig. 1(a).
+//! * [`mvm`] — [`mvm::BiscMvmRtl`], the p-lane vector unit with a shared
+//!   FSM and shared down counter (Fig. 3).
+//! * [`parallel`] — [`parallel::BitParallelMacRtl`], the `b`-bits-per-cycle
+//!   datapath with its ones counter (Fig. 2(b)).
+//! * [`halton_rtl`] — the cascaded digit-counter Halton generator of the
+//!   DATE'14 baseline, proven equal to the behavioural sequence.
+//! * [`vcd`] — value-change-dump waveform output for inspecting runs in
+//!   standard viewers (GTKWave).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fsm;
+pub mod halton_rtl;
+pub mod mac;
+pub mod mvm;
+pub mod parallel;
+pub mod vcd;

@@ -1,0 +1,409 @@
+//! RTL models of a single MAC: the proposed bit-serial signed SC-MAC
+//! (Fig. 1(c) + Sec. 2.4) and the conventional LFSR-based bipolar
+//! multiplier (Fig. 1(a)).
+
+use crate::fsm::{operand_mux, CycleFsm};
+use sc_core::mac::SaturatingAccumulator;
+use sc_core::sng::{BitstreamGenerator, LfsrSng};
+use sc_core::{Error, Precision};
+
+/// The proposed signed SC-MAC datapath, clocked cycle-by-cycle.
+///
+/// Registers: the shared-able [`CycleFsm`], an operand register holding
+/// the sign-flipped `x` (offset binary), a sign flag for `w`, a down
+/// counter loaded with `|w|`, and the `N+A`-bit saturating up/down output
+/// counter. Combinational path per cycle: FSM select → operand MUX → XOR
+/// with `sign(w)` → up/down counter enable.
+///
+/// ```
+/// use sc_core::Precision;
+/// use sc_rtlsim::mac::ProposedMacRtl;
+/// # fn main() -> Result<(), sc_core::Error> {
+/// let n = Precision::new(4)?;
+/// let mut mac = ProposedMacRtl::new(n, 4);
+/// mac.load(-8, 7)?;             // Table 1, row 2
+/// let cycles = mac.run_to_done();
+/// assert_eq!(cycles, 8);
+/// assert_eq!(mac.value(), -8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProposedMacRtl {
+    n: Precision,
+    fsm: CycleFsm,
+    /// Offset-binary operand register (sign-flipped `x`).
+    x_reg: u32,
+    /// Sign flag of `w` (XOR control).
+    w_sign: bool,
+    /// Down counter gating the operation.
+    down: u64,
+    acc: SaturatingAccumulator,
+}
+
+impl ProposedMacRtl {
+    /// Creates the MAC at precision `n` with `extra_bits` accumulation
+    /// bits. The FSM starts at its reset state.
+    pub fn new(n: Precision, extra_bits: u32) -> Self {
+        ProposedMacRtl {
+            n,
+            fsm: CycleFsm::new(n),
+            x_reg: 0,
+            w_sign: false,
+            down: 0,
+            acc: SaturatingAccumulator::new(n, extra_bits),
+        }
+    }
+
+    /// The operand precision.
+    pub fn precision(&self) -> Precision {
+        self.n
+    }
+
+    /// Loads a new `(w, x)` pair: flips the sign bit of `x` into the
+    /// operand register, latches `sign(w)`, and loads the down counter
+    /// with `|w|`. The FSM restarts (as after reading out a result in the
+    /// single-MAC configuration). The output counter is *not* cleared —
+    /// consecutive loads accumulate, which is the "SC-MAC" behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CodeOutOfRange`] if a code is out of range.
+    pub fn load(&mut self, w: i32, x: i32) -> Result<(), Error> {
+        let wc = self.n.check_signed(w as i64)?;
+        let xc = self.n.check_signed(x as i64)?;
+        self.x_reg = xc.to_offset_binary();
+        self.w_sign = wc.code() < 0;
+        self.down = wc.code().unsigned_abs() as u64;
+        self.fsm.reset();
+        Ok(())
+    }
+
+    /// Whether the current multiplication has completed (down counter
+    /// expired).
+    pub fn done(&self) -> bool {
+        self.down == 0
+    }
+
+    /// Advances one clock cycle. No-op when [`done`](Self::done).
+    pub fn clock(&mut self) {
+        if self.down == 0 {
+            return;
+        }
+        let sel = self.fsm.clock();
+        let bit = operand_mux(self.x_reg, self.n, sel) ^ self.w_sign;
+        self.acc.count(bit);
+        self.down -= 1;
+    }
+
+    /// Clocks until done; returns the number of cycles consumed.
+    pub fn run_to_done(&mut self) -> u64 {
+        let mut c = 0;
+        while !self.done() {
+            self.clock();
+            c += 1;
+        }
+        c
+    }
+
+    /// The output up/down counter value.
+    pub fn value(&self) -> i64 {
+        self.acc.value()
+    }
+
+    /// Whether the output counter has saturated.
+    pub fn has_saturated(&self) -> bool {
+        self.acc.has_saturated()
+    }
+
+    /// Clears the output counter (reading out a BISC result).
+    pub fn clear_output(&mut self) {
+        self.acc.reset();
+    }
+}
+
+/// The conventional LFSR-based bipolar SC multiplier datapath of
+/// Fig. 1(a): two LFSR+comparator SNGs, an XNOR gate, and an up/down
+/// counter running for exactly `2^N` cycles.
+#[derive(Debug, Clone)]
+pub struct ConventionalMacRtl {
+    n: Precision,
+    sng_x: LfsrSng,
+    sng_w: LfsrSng,
+    /// Bipolar comparator thresholds.
+    tx: u32,
+    tw: u32,
+    remaining: u64,
+    acc: SaturatingAccumulator,
+}
+
+impl ConventionalMacRtl {
+    /// Creates the multiplier with the standard decorrelated LFSR pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::NoLfsrPolynomial`].
+    pub fn new(n: Precision, extra_bits: u32) -> Result<Self, Error> {
+        Ok(ConventionalMacRtl {
+            n,
+            sng_x: LfsrSng::new(n, 0, 1)?,
+            sng_w: LfsrSng::new(n, 1, (n.stream_len() / 2) as u32 + 1)?,
+            tx: 0,
+            tw: 0,
+            remaining: 0,
+            acc: SaturatingAccumulator::new(n, extra_bits),
+        })
+    }
+
+    /// Loads signed codes `(w, x)`; the SNGs restart and the stream length
+    /// counter is loaded with `2^N`. The output counter keeps accumulating
+    /// across loads (MAC behaviour).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CodeOutOfRange`] if a code is out of range.
+    pub fn load(&mut self, w: i32, x: i32) -> Result<(), Error> {
+        self.n.check_signed(w as i64)?;
+        self.n.check_signed(x as i64)?;
+        let half = self.n.half_scale() as i64;
+        self.tx = (x as i64 + half) as u32;
+        self.tw = (w as i64 + half) as u32;
+        self.sng_x.reset();
+        self.sng_w.reset();
+        self.remaining = self.n.stream_len();
+        Ok(())
+    }
+
+    /// Whether the `2^N`-cycle multiplication has completed.
+    pub fn done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Advances one clock cycle: SNG bits → XNOR → up/down counter.
+    pub fn clock(&mut self) {
+        if self.remaining == 0 {
+            return;
+        }
+        let bx = self.sng_x.next_bit(self.tx);
+        let bw = self.sng_w.next_bit(self.tw);
+        self.acc.count(bx == bw); // XNOR
+        self.remaining -= 1;
+    }
+
+    /// Clocks until done; returns the cycles consumed (always `2^N`).
+    pub fn run_to_done(&mut self) -> u64 {
+        let mut c = 0;
+        while !self.done() {
+            self.clock();
+            c += 1;
+        }
+        c
+    }
+
+    /// The output counter value (`≈ 2^N·v_w·v_x`).
+    pub fn value(&self) -> i64 {
+        self.acc.value()
+    }
+
+    /// Clears the output counter.
+    pub fn clear_output(&mut self) {
+        self.acc.reset();
+    }
+}
+
+/// The proposed *unsigned* (unipolar) SC multiplier datapath of
+/// Fig. 1(c) exactly as drawn: FSM+MUX bitstream for `x` into a plain
+/// bit counter, gated by a down counter loaded with `w`.
+#[derive(Debug, Clone)]
+pub struct UnsignedMacRtl {
+    n: Precision,
+    fsm: CycleFsm,
+    x_reg: u32,
+    down: u64,
+    counter: u64,
+}
+
+impl UnsignedMacRtl {
+    /// Creates the datapath at precision `n`.
+    pub fn new(n: Precision) -> Self {
+        UnsignedMacRtl { n, fsm: CycleFsm::new(n), x_reg: 0, down: 0, counter: 0 }
+    }
+
+    /// Loads unsigned codes `(x, w)`; the counter keeps accumulating
+    /// across loads (MAC behaviour).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CodeOutOfRange`] if a code is `≥ 2^N`.
+    pub fn load(&mut self, x: u32, w: u32) -> Result<(), Error> {
+        self.n.check_unsigned(x as u64)?;
+        self.n.check_unsigned(w as u64)?;
+        self.x_reg = x;
+        self.down = w as u64;
+        self.fsm.reset();
+        Ok(())
+    }
+
+    /// Whether the down counter has expired.
+    pub fn done(&self) -> bool {
+        self.down == 0
+    }
+
+    /// Advances one clock.
+    pub fn clock(&mut self) {
+        if self.down == 0 {
+            return;
+        }
+        let bit = operand_mux(self.x_reg, self.n, self.fsm.clock());
+        self.counter += bit as u64;
+        self.down -= 1;
+    }
+
+    /// Clocks until done; returns cycles consumed (`w`).
+    pub fn run_to_done(&mut self) -> u64 {
+        let mut c = 0;
+        while !self.done() {
+            self.clock();
+            c += 1;
+        }
+        c
+    }
+
+    /// The bit-counter value (product code, `N` fractional bits).
+    pub fn value(&self) -> u64 {
+        self.counter
+    }
+
+    /// Clears the output counter.
+    pub fn clear_output(&mut self) {
+        self.counter = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::conventional::{ConvScMethod, ConventionalMultiplier};
+    use sc_core::mac::SignedScMac;
+
+    fn p(bits: u32) -> Precision {
+        Precision::new(bits).unwrap()
+    }
+
+    #[test]
+    fn proposed_rtl_equals_behavioural_exhaustive() {
+        for bits in [3u32, 4, 5] {
+            let n = p(bits);
+            let gold = SignedScMac::new(n);
+            let h = 1i32 << (bits - 1);
+            for w in -h..h {
+                for x in -h..h {
+                    let mut rtl = ProposedMacRtl::new(n, 8);
+                    rtl.load(w, x).unwrap();
+                    let cycles = rtl.run_to_done();
+                    let expect = gold.multiply(w, x).unwrap();
+                    assert_eq!(rtl.value(), expect.value, "bits={bits} w={w} x={x}");
+                    assert_eq!(cycles, expect.cycles, "bits={bits} w={w} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn proposed_rtl_accumulates_across_loads() {
+        let n = p(8);
+        let gold = SignedScMac::new(n);
+        let pairs = [(100i32, -50i32), (-3, 127), (64, 64)];
+        let mut rtl = ProposedMacRtl::new(n, 8);
+        let mut expect = 0i64;
+        for &(w, x) in &pairs {
+            rtl.load(w, x).unwrap();
+            rtl.run_to_done();
+            expect += gold.multiply(w, x).unwrap().value;
+        }
+        assert_eq!(rtl.value(), expect);
+    }
+
+    #[test]
+    fn proposed_rtl_table1() {
+        let n = p(4);
+        let rows = [(-8, 0, 0i64), (-8, 7, -8), (-8, -8, 8), (7, 0, 1), (7, 7, 7), (7, -8, -7)];
+        for &(w, x, v) in &rows {
+            let mut rtl = ProposedMacRtl::new(n, 4);
+            rtl.load(w, x).unwrap();
+            rtl.run_to_done();
+            assert_eq!(rtl.value(), v, "w={w} x={x}");
+        }
+    }
+
+    #[test]
+    fn conventional_rtl_equals_behavioural() {
+        let n = p(6);
+        let mut gold = ConventionalMultiplier::new(n, ConvScMethod::Lfsr).unwrap();
+        for &(w, x) in &[(31i32, 31i32), (-32, 31), (0, 17), (-15, -15), (5, -27)] {
+            let mut rtl = ConventionalMacRtl::new(n, 8).unwrap();
+            rtl.load(w, x).unwrap();
+            assert_eq!(rtl.run_to_done(), 64);
+            // Note the operand order: ConventionalMultiplier takes (x, w).
+            assert_eq!(rtl.value(), gold.multiply_bipolar(x, w), "w={w} x={x}");
+        }
+    }
+
+    #[test]
+    fn unsigned_rtl_equals_behavioural_exhaustive() {
+        use sc_core::mac::UnsignedScMac;
+        for bits in [3u32, 5, 6] {
+            let n = Precision::new(bits).unwrap();
+            let gold = UnsignedScMac::new(n);
+            let m = 1u32 << bits;
+            for x in 0..m {
+                for w in 0..m {
+                    let mut rtl = UnsignedMacRtl::new(n);
+                    rtl.load(x, w).unwrap();
+                    let cycles = rtl.run_to_done();
+                    let expect = gold.multiply(x, w).unwrap();
+                    assert_eq!(rtl.value(), expect.value, "bits={bits} x={x} w={w}");
+                    assert_eq!(cycles, expect.cycles, "bits={bits} x={x} w={w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsigned_rtl_accumulates_and_clears() {
+        let n = Precision::new(8).unwrap();
+        let mut rtl = UnsignedMacRtl::new(n);
+        rtl.load(200, 100).unwrap();
+        rtl.run_to_done();
+        let first = rtl.value();
+        rtl.load(50, 60).unwrap();
+        rtl.run_to_done();
+        assert!(rtl.value() > first);
+        rtl.clear_output();
+        assert_eq!(rtl.value(), 0);
+        assert!(rtl.load(256, 0).is_err());
+    }
+
+    #[test]
+    fn clock_after_done_is_noop() {
+        let n = p(4);
+        let mut rtl = ProposedMacRtl::new(n, 4);
+        rtl.load(3, 5).unwrap();
+        rtl.run_to_done();
+        let v = rtl.value();
+        rtl.clock();
+        rtl.clock();
+        assert_eq!(rtl.value(), v);
+    }
+
+    #[test]
+    fn clear_output_resets_counter_only() {
+        let n = p(4);
+        let mut rtl = ProposedMacRtl::new(n, 4);
+        rtl.load(7, 7).unwrap();
+        rtl.run_to_done();
+        assert_ne!(rtl.value(), 0);
+        rtl.clear_output();
+        assert_eq!(rtl.value(), 0);
+    }
+}

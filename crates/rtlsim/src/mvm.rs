@@ -1,0 +1,179 @@
+//! RTL model of the BISC-MVM (Fig. 3): `p` lanes sharing one FSM and one
+//! down counter.
+
+use crate::fsm::{operand_mux, CycleFsm};
+use sc_core::mac::SaturatingAccumulator;
+use sc_core::{Error, Precision};
+
+/// The vectorized SC-MAC array at the register-transfer level.
+///
+/// Shared state: one [`CycleFsm`] (whose select fans out to every lane's
+/// MUX), one down counter loaded with `|w|`, one `sign(w)` flag (XOR
+/// control fanned out to all lanes). Per-lane state: the offset-binary
+/// operand register and the `N+A`-bit saturating up/down counter.
+///
+/// Loading a new `(w, x⃗)` pair while counters hold previous results
+/// performs the accumulation `Σ w_i·x⃗_i` with **no additional hardware**
+/// (paper Sec. 3.1).
+#[derive(Debug, Clone)]
+pub struct BiscMvmRtl {
+    n: Precision,
+    fsm: CycleFsm,
+    w_sign: bool,
+    down: u64,
+    x_regs: Vec<u32>,
+    accs: Vec<SaturatingAccumulator>,
+    total_cycles: u64,
+}
+
+impl BiscMvmRtl {
+    /// Creates a `p`-lane MVM at precision `n` with `extra_bits`
+    /// accumulation bits.
+    pub fn new(n: Precision, p: usize, extra_bits: u32) -> Self {
+        BiscMvmRtl {
+            n,
+            fsm: CycleFsm::new(n),
+            w_sign: false,
+            down: 0,
+            x_regs: vec![0; p],
+            accs: vec![SaturatingAccumulator::new(n, extra_bits); p],
+            total_cycles: 0,
+        }
+    }
+
+    /// The number of lanes `p`.
+    pub fn lanes(&self) -> usize {
+        self.x_regs.len()
+    }
+
+    /// Loads a scalar-vector term `(w, x⃗)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] if `xs.len() != p`;
+    /// [`Error::CodeOutOfRange`] if any code is out of range.
+    pub fn load(&mut self, w: i32, xs: &[i32]) -> Result<(), Error> {
+        if xs.len() != self.x_regs.len() {
+            return Err(Error::LengthMismatch { expected: self.x_regs.len(), actual: xs.len() });
+        }
+        let wc = self.n.check_signed(w as i64)?;
+        for (reg, &x) in self.x_regs.iter_mut().zip(xs) {
+            *reg = self.n.check_signed(x as i64)?.to_offset_binary();
+        }
+        self.w_sign = wc.code() < 0;
+        self.down = wc.code().unsigned_abs() as u64;
+        self.fsm.reset();
+        Ok(())
+    }
+
+    /// Whether the current term has been fully streamed.
+    pub fn done(&self) -> bool {
+        self.down == 0
+    }
+
+    /// Advances one clock: one shared FSM step, one shared down-counter
+    /// decrement, and one up/down step in every lane.
+    pub fn clock(&mut self) {
+        if self.down == 0 {
+            return;
+        }
+        let sel = self.fsm.clock();
+        for (acc, &x) in self.accs.iter_mut().zip(&self.x_regs) {
+            let bit = operand_mux(x, self.n, sel) ^ self.w_sign;
+            acc.count(bit);
+        }
+        self.down -= 1;
+        self.total_cycles += 1;
+    }
+
+    /// Clocks until the current term completes; returns cycles consumed.
+    pub fn run_to_done(&mut self) -> u64 {
+        let mut c = 0;
+        while !self.done() {
+            self.clock();
+            c += 1;
+        }
+        c
+    }
+
+    /// Reads all lane counters.
+    pub fn read(&self) -> Vec<i64> {
+        self.accs.iter().map(|a| a.value()).collect()
+    }
+
+    /// Total cycles since construction / the last
+    /// [`clear_outputs`](Self::clear_outputs).
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Clears every lane counter and the cycle count (result read-out).
+    pub fn clear_outputs(&mut self) {
+        for a in &mut self.accs {
+            a.reset();
+        }
+        self.total_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::mvm::BiscMvm;
+
+    #[test]
+    fn rtl_equals_behavioural_mvm() {
+        let n = Precision::new(6).unwrap();
+        let terms: Vec<(i32, Vec<i32>)> = vec![
+            (17, vec![1, -2, 30, -32]),
+            (-25, vec![15, 15, -15, 0]),
+            (0, vec![9, 9, 9, 9]),
+            (-32, vec![-1, -2, -3, -4]),
+        ];
+        let mut rtl = BiscMvmRtl::new(n, 4, 8);
+        let mut gold = BiscMvm::new(n, 4, 8);
+        for (w, xs) in &terms {
+            rtl.load(*w, xs).unwrap();
+            let c_rtl = rtl.run_to_done();
+            let c_gold = gold.accumulate_cycle_accurate(*w, xs).unwrap();
+            assert_eq!(c_rtl, c_gold);
+        }
+        assert_eq!(rtl.read(), gold.read());
+        assert_eq!(rtl.total_cycles(), gold.cycles());
+    }
+
+    #[test]
+    fn shared_fsm_lanes_match_independent_macs() {
+        use crate::mac::ProposedMacRtl;
+        let n = Precision::new(7).unwrap();
+        let w = -45i32;
+        let xs = [63i32, -64, 10, -10, 0];
+        let mut mvm = BiscMvmRtl::new(n, xs.len(), 8);
+        mvm.load(w, &xs).unwrap();
+        mvm.run_to_done();
+        for (j, &x) in xs.iter().enumerate() {
+            let mut mac = ProposedMacRtl::new(n, 8);
+            mac.load(w, x).unwrap();
+            mac.run_to_done();
+            assert_eq!(mvm.read()[j], mac.value(), "lane {j}");
+        }
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let n = Precision::new(5).unwrap();
+        let mut mvm = BiscMvmRtl::new(n, 3, 2);
+        assert!(mvm.load(1, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn clear_outputs_resets() {
+        let n = Precision::new(5).unwrap();
+        let mut mvm = BiscMvmRtl::new(n, 2, 2);
+        mvm.load(10, &[5, -5]).unwrap();
+        mvm.run_to_done();
+        mvm.clear_outputs();
+        assert_eq!(mvm.read(), vec![0, 0]);
+        assert_eq!(mvm.total_cycles(), 0);
+    }
+}

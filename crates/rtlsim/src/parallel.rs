@@ -1,0 +1,200 @@
+//! RTL model of the bit-parallel proposed SC-MAC (Fig. 2(b)): `b` stream
+//! bits are produced and counted per hardware cycle by a *ones counter*
+//! (an adder tree over the column bits), and the up/down counter advances
+//! by `2·ones − rows` per cycle.
+
+use sc_core::mac::SaturatingAccumulator;
+use sc_core::seq;
+use sc_core::{Error, Precision};
+
+/// The bit-parallel signed SC-MAC datapath.
+///
+/// Per cycle `j` the column generator exposes sequence bits
+/// `j·b+1 ..= j·b+rows` (`rows = min(b, remaining weight)`) — in hardware
+/// this is the fixed wiring of the rearranged bit matrix plus the small
+/// `2^N/b`-state column FSM; here each column bit is produced individually
+/// and summed through the modelled adder tree, so the per-cycle ones count
+/// is structural, not closed-form.
+#[derive(Debug, Clone)]
+pub struct BitParallelMacRtl {
+    n: Precision,
+    b: u32,
+    /// Offset-binary operand register.
+    x_reg: u32,
+    w_sign: bool,
+    /// Remaining weight (the down counter, decremented by up to `b`).
+    down: u64,
+    /// Column index register (the column FSM state).
+    column: u64,
+    acc: SaturatingAccumulator,
+    total_cycles: u64,
+}
+
+impl BitParallelMacRtl {
+    /// Creates the datapath with parallelism `b` (a power of two `≤ 2^N`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParallelism`] for an invalid `b`.
+    pub fn new(n: Precision, b: u32, extra_bits: u32) -> Result<Self, Error> {
+        if !b.is_power_of_two() || (b as u64) > n.stream_len() {
+            return Err(Error::InvalidParallelism { requested: b, precision: n.bits() });
+        }
+        Ok(BitParallelMacRtl {
+            n,
+            b,
+            x_reg: 0,
+            w_sign: false,
+            down: 0,
+            column: 0,
+            acc: SaturatingAccumulator::new(n, extra_bits),
+            total_cycles: 0,
+        })
+    }
+
+    /// The degree of bit-parallelism.
+    pub fn parallelism(&self) -> u32 {
+        self.b
+    }
+
+    /// Loads a `(w, x)` pair; the column FSM restarts, the output counter
+    /// keeps accumulating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CodeOutOfRange`] if a code is out of range.
+    pub fn load(&mut self, w: i32, x: i32) -> Result<(), Error> {
+        let wc = self.n.check_signed(w as i64)?;
+        let xc = self.n.check_signed(x as i64)?;
+        self.x_reg = xc.to_offset_binary();
+        self.w_sign = wc.code() < 0;
+        self.down = wc.code().unsigned_abs() as u64;
+        self.column = 0;
+        Ok(())
+    }
+
+    /// Whether the current multiplication has completed.
+    pub fn done(&self) -> bool {
+        self.down == 0
+    }
+
+    /// Advances one clock: counts the ones in (the top `rows` bits of) the
+    /// current column through the adder tree, steps the up/down counter by
+    /// `±`, decrements the weight by `rows`, advances the column FSM.
+    pub fn clock(&mut self) {
+        if self.down == 0 {
+            return;
+        }
+        let rows = self.down.min(self.b as u64);
+        let base = self.column * self.b as u64;
+        // Ones-counter adder tree: sum the individual column bits.
+        let mut ones = 0i64;
+        for r in 1..=rows {
+            let bit = seq::stream_bit(self.x_reg, self.n, base + r) ^ self.w_sign;
+            ones += bit as i64;
+        }
+        // Up/down counter processes `rows` stream bits at once:
+        // ups = ones, downs = rows − ones.
+        self.acc.add(2 * ones - rows as i64);
+        self.down -= rows;
+        self.column += 1;
+        self.total_cycles += 1;
+    }
+
+    /// Clocks until done; returns cycles consumed (`ceil(|w|/b)`).
+    pub fn run_to_done(&mut self) -> u64 {
+        let mut c = 0;
+        while !self.done() {
+            self.clock();
+            c += 1;
+        }
+        c
+    }
+
+    /// The output counter value.
+    pub fn value(&self) -> i64 {
+        self.acc.value()
+    }
+
+    /// Total cycles since construction / last clear.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Clears the output counter and the cycle count.
+    pub fn clear_output(&mut self) {
+        self.acc.reset();
+        self.total_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mac::ProposedMacRtl;
+    use sc_core::mac::BitParallelScMac;
+
+    #[test]
+    fn rtl_equals_behavioural_bit_parallel_exhaustive() {
+        for bits in [4u32, 5] {
+            let n = Precision::new(bits).unwrap();
+            let h = 1i32 << (bits - 1);
+            for b in [1u32, 2, 8] {
+                let gold = BitParallelScMac::new(n, b).unwrap();
+                for w in -h..h {
+                    for x in -h..h {
+                        let mut rtl = BitParallelMacRtl::new(n, b, 8).unwrap();
+                        rtl.load(w, x).unwrap();
+                        let cycles = rtl.run_to_done();
+                        let expect = gold.multiply_signed(w, x).unwrap();
+                        assert_eq!(rtl.value(), expect.value, "bits={bits} b={b} w={w} x={x}");
+                        assert_eq!(cycles, expect.cycles, "bits={bits} b={b} w={w} x={x}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_rtl_equals_serial_rtl() {
+        let n = Precision::new(9).unwrap();
+        for &(w, x) in &[(255i32, -100i32), (-256, 255), (3, 3), (-1, -1)] {
+            let mut ser = ProposedMacRtl::new(n, 8);
+            ser.load(w, x).unwrap();
+            ser.run_to_done();
+            let mut par = BitParallelMacRtl::new(n, 8, 8).unwrap();
+            par.load(w, x).unwrap();
+            par.run_to_done();
+            assert_eq!(par.value(), ser.value(), "w={w} x={x}");
+        }
+    }
+
+    #[test]
+    fn latency_reduction_factor() {
+        let n = Precision::new(9).unwrap();
+        let mut par = BitParallelMacRtl::new(n, 8, 8).unwrap();
+        par.load(-256, 100).unwrap();
+        assert_eq!(par.run_to_done(), 32); // 256 / 8
+    }
+
+    #[test]
+    fn invalid_parallelism_rejected() {
+        let n = Precision::new(5).unwrap();
+        assert!(BitParallelMacRtl::new(n, 3, 2).is_err());
+        assert!(BitParallelMacRtl::new(n, 64, 2).is_err());
+    }
+
+    #[test]
+    fn accumulates_across_loads() {
+        let n = Precision::new(8).unwrap();
+        let gold = BitParallelScMac::new(n, 16).unwrap();
+        let mut rtl = BitParallelMacRtl::new(n, 16, 8).unwrap();
+        let mut expect = 0i64;
+        for &(w, x) in &[(100i32, -50i32), (-3, 127), (64, 64)] {
+            rtl.load(w, x).unwrap();
+            rtl.run_to_done();
+            expect += gold.multiply_signed(w, x).unwrap().value;
+        }
+        assert_eq!(rtl.value(), expect);
+    }
+}

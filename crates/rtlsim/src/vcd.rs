@@ -1,0 +1,231 @@
+//! Value-change-dump (VCD) waveform output, so RTL-level runs can be
+//! inspected in standard waveform viewers (GTKWave etc.) — the debugging
+//! workflow a Verilog implementation would have.
+
+use std::io::{self, Write};
+
+/// A handle to one declared signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalId(usize);
+
+/// Writes a minimal, standards-conforming VCD stream: a header with
+/// signal declarations, then `#time` stamps and value changes. Values are
+/// tracked so unchanged signals emit nothing.
+#[derive(Debug)]
+pub struct VcdWriter<W: Write> {
+    out: W,
+    signals: Vec<Signal>,
+    header_done: bool,
+    time: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Signal {
+    name: String,
+    width: u32,
+    last: Option<u64>,
+}
+
+impl<W: Write> VcdWriter<W> {
+    /// Creates a writer over any `Write` (a `&mut Vec<u8>` or `&mut File`
+    /// can be passed).
+    pub fn new(out: W) -> Self {
+        VcdWriter { out, signals: Vec::new(), header_done: false, time: 0 }
+    }
+
+    /// Declares a signal before the first [`step`](Self::step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the header has been written, if `width` is
+    /// 0 or exceeds 64, or if the name is empty.
+    pub fn add_signal(&mut self, name: &str, width: u32) -> SignalId {
+        assert!(!self.header_done, "declare all signals before the first step");
+        assert!((1..=64).contains(&width), "signal width out of range");
+        assert!(!name.is_empty(), "signal name must be non-empty");
+        self.signals.push(Signal { name: name.to_string(), width, last: None });
+        SignalId(self.signals.len() - 1)
+    }
+
+    fn ident(i: usize) -> String {
+        // Printable-ASCII identifier, base-94 starting at '!'.
+        let mut i = i;
+        let mut s = String::new();
+        loop {
+            s.push((33 + (i % 94)) as u8 as char);
+            i /= 94;
+            if i == 0 {
+                break;
+            }
+        }
+        s
+    }
+
+    fn write_header(&mut self) -> io::Result<()> {
+        writeln!(self.out, "$timescale 1ns $end")?;
+        writeln!(self.out, "$scope module sc_rtlsim $end")?;
+        for (i, s) in self.signals.iter().enumerate() {
+            writeln!(self.out, "$var wire {} {} {} $end", s.width, Self::ident(i), s.name)?;
+        }
+        writeln!(self.out, "$upscope $end")?;
+        writeln!(self.out, "$enddefinitions $end")?;
+        self.header_done = true;
+        Ok(())
+    }
+
+    /// Records the values of all signals at the next timestep (one clock
+    /// cycle per step). Values are masked to the declared width; only
+    /// changed signals are emitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the number of declared
+    /// signals.
+    pub fn step(&mut self, values: &[u64]) -> io::Result<()> {
+        assert_eq!(values.len(), self.signals.len(), "one value per declared signal");
+        if !self.header_done {
+            self.write_header()?;
+        }
+        let mut stamped = false;
+        for (i, (&v, s)) in values.iter().zip(&mut self.signals).enumerate() {
+            let mask = if s.width == 64 { u64::MAX } else { (1u64 << s.width) - 1 };
+            let v = v & mask;
+            if s.last == Some(v) {
+                continue;
+            }
+            if !stamped {
+                writeln!(self.out, "#{}", self.time)?;
+                stamped = true;
+            }
+            if s.width == 1 {
+                writeln!(self.out, "{}{}", v, Self::ident(i))?;
+            } else {
+                writeln!(self.out, "b{:b} {}", v, Self::ident(i))?;
+            }
+            s.last = Some(v);
+        }
+        self.time += 1;
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if !self.header_done {
+            self.write_header()?;
+        }
+        writeln!(self.out, "#{}", self.time)?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Runs a [`crate::mac::ProposedMacRtl`] multiplication while dumping the
+/// datapath signals (down counter, MUX select validity, stream bit,
+/// up/down counter) to VCD. Returns the final counter value.
+///
+/// # Errors
+///
+/// Returns I/O errors from the writer; code-range errors panic (the
+/// caller validates inputs in this debug path).
+pub fn trace_proposed_mac<W: Write>(
+    n: sc_core::Precision,
+    w: i32,
+    x: i32,
+    out: W,
+) -> io::Result<i64> {
+    use sc_core::seq;
+    let wc = n.check_signed(w as i64).expect("w in range");
+    let xc = n.check_signed(x as i64).expect("x in range");
+    let u = xc.to_offset_binary();
+    let w_sign = wc.code() < 0;
+    let k = wc.code().unsigned_abs() as u64;
+
+    let mut vcd = VcdWriter::new(out);
+    let s_down = vcd.add_signal("down_counter", n.bits() + 1);
+    let s_bit = vcd.add_signal("stream_bit", 1);
+    let s_xor = vcd.add_signal("xor_out", 1);
+    let s_acc = vcd.add_signal("updown_counter", n.bits() + 3);
+    let order = [s_down, s_bit, s_xor, s_acc];
+    debug_assert_eq!(order[0].0, 0);
+
+    let mut acc = 0i64;
+    vcd.step(&[k, 0, 0, 0])?;
+    for t in 1..=k {
+        let bit = seq::stream_bit(u, n, t);
+        let xor = bit ^ w_sign;
+        acc += if xor { 1 } else { -1 };
+        let acc_bits = (acc as i64 as u64) & ((1u64 << (n.bits() + 3)) - 1);
+        vcd.step(&[k - t, bit as u64, xor as u64, acc_bits])?;
+    }
+    vcd.finish()?;
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::Precision;
+
+    #[test]
+    fn header_and_changes_are_well_formed() {
+        let mut buf = Vec::new();
+        {
+            let mut vcd = VcdWriter::new(&mut buf);
+            let _a = vcd.add_signal("clk_count", 4);
+            let _b = vcd.add_signal("bit", 1);
+            vcd.step(&[3, 1]).unwrap();
+            vcd.step(&[3, 0]).unwrap(); // only `bit` changes
+            vcd.step(&[4, 0]).unwrap(); // only `clk_count` changes
+            vcd.finish().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("$timescale 1ns $end"));
+        assert!(text.contains("$var wire 4 ! clk_count $end"));
+        assert!(text.contains("$var wire 1 \" bit $end"));
+        assert!(text.contains("$enddefinitions $end"));
+        assert!(text.contains("#0\nb11 !\n1\""), "initial dump:\n{text}");
+        // Step 2: only the bit line.
+        assert!(text.contains("#1\n0\""), "{text}");
+        // Step 3: only the counter line.
+        assert!(text.contains("#2\nb100 !"), "{text}");
+    }
+
+    #[test]
+    fn traced_mac_matches_behavioural_value() {
+        let n = Precision::new(6).unwrap();
+        let mac = sc_core::mac::SignedScMac::new(n);
+        for &(w, x) in &[(31i32, -20i32), (-32, 17), (5, 5)] {
+            let mut buf = Vec::new();
+            let traced = trace_proposed_mac(n, w, x, &mut buf).unwrap();
+            assert_eq!(traced, mac.multiply(w, x).unwrap().value, "w={w} x={x}");
+            let text = String::from_utf8(buf).unwrap();
+            // One timestamp per cycle plus the initial and final stamps.
+            let stamps = text.matches('#').count();
+            assert!(stamps >= w.unsigned_abs() as usize, "{stamps}");
+            assert!(text.contains("updown_counter"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per declared signal")]
+    fn mismatched_step_panics() {
+        let mut vcd = VcdWriter::new(Vec::new());
+        vcd.add_signal("a", 1);
+        let _ = vcd.step(&[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width out of range")]
+    fn zero_width_panics() {
+        let mut vcd = VcdWriter::new(Vec::new());
+        vcd.add_signal("a", 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # scnn — one-stop facade for the BISC-MVM SC-CNN reproduction
+//!
+//! This crate re-exports the public API of the whole workspace, which
+//! reproduces *"A New Stochastic Computing Multiplier with Application to
+//! Deep Convolutional Neural Networks"* (Sim & Lee, DAC 2017):
+//!
+//! * [`core`] ([`sc_core`]) — SNGs, the proposed SC-MAC, BISC-MVM;
+//! * [`fixed`] ([`sc_fixed`]) — the fixed-point binary baseline;
+//! * [`datasets`] ([`sc_datasets`]) — synthetic MNIST-like / CIFAR-like data;
+//! * [`neural`] ([`sc_neural`]) — the CNN framework with pluggable MAC
+//!   arithmetic;
+//! * [`hwmodel`] ([`sc_hwmodel`]) — the synthesis-calibrated cost model;
+//! * [`rtlsim`] ([`sc_rtlsim`]) — cycle-accurate RTL-level datapath models;
+//! * [`accel`] ([`sc_accel`]) — the tiled SC-CNN accelerator (Fig. 4 loop
+//!   nest driving the BISC-MVM).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use scnn::core::{mac::SignedScMac, Precision};
+//!
+//! # fn main() -> Result<(), scnn::core::Error> {
+//! let n = Precision::new(8)?;
+//! let mac = SignedScMac::new(n);
+//! let product = mac.multiply(-32, 64)?; // (-0.25)·(0.5)
+//! assert!((product.value - (-16)).abs() <= 4);
+//! assert_eq!(product.cycles, 32); // |w|·2^(N-1), not 2^N
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! the `sc-bench` crate for the binaries that regenerate every table and
+//! figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sc_accel as accel;
+pub use sc_core as core;
+pub use sc_datasets as datasets;
+pub use sc_fixed as fixed;
+pub use sc_hwmodel as hwmodel;
+pub use sc_neural as neural;
+pub use sc_rtlsim as rtlsim;

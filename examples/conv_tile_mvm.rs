@@ -1,0 +1,92 @@
+//! Accelerating a convolution tile with the BISC-MVM, exactly as in
+//! Sec. 3.2 of the paper: the array is configured with `p = T_R·T_C`
+//! lanes, accumulates `d = K²·Z` scalar-vector terms, and its latency is
+//! the data-dependent `t = Σ |2^(N-1)·W[m][z][i][j]|`.
+//!
+//! Run with: `cargo run --release --example conv_tile_mvm`
+
+use scnn::core::mvm::{dot_product_cycles, BiscMvm};
+use scnn::core::Precision;
+
+// Tile parameters (paper Fig. 4 notation).
+const T_R: usize = 4; // output rows per tile
+const T_C: usize = 4; // output cols per tile
+const K: usize = 3; // kernel size
+const Z: usize = 2; // input channels
+
+fn main() -> Result<(), scnn::core::Error> {
+    let n = Precision::new(8)?;
+    let p = T_R * T_C;
+    let d = K * K * Z;
+
+    // A synthetic input tile (with halo) and one output filter, in
+    // fixed-point codes. Bell-shaped weights like a trained layer.
+    let in_h = T_R + K - 1;
+    let in_w = T_C + K - 1;
+    let input: Vec<Vec<Vec<i32>>> = (0..Z)
+        .map(|z| {
+            (0..in_h)
+                .map(|y| {
+                    (0..in_w)
+                        .map(|x| (((x * 37 + y * 91 + z * 53) % 200) as i32) - 100)
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let weights: Vec<i32> =
+        (0..d).map(|i| ((i as i32 * 23 + 7) % 31) - 15).collect(); // small |w|
+
+    // Stream the d = K²Z terms through the MVM: term (z, i, j) multiplies
+    // weight W[z][i][j] with the vector of T_R·T_C input pixels it
+    // touches.
+    let mut mvm = BiscMvm::new(n, p, 4);
+    for z in 0..Z {
+        for i in 0..K {
+            for j in 0..K {
+                let w = weights[(z * K + i) * K + j];
+                let mut xs = Vec::with_capacity(T_R * T_C);
+                for r in 0..T_R {
+                    for c in 0..T_C {
+                        xs.push(input[z][r + i][c + j]);
+                    }
+                }
+                mvm.accumulate(w, &xs)?;
+            }
+        }
+    }
+
+    // Reference: exact fixed-point dot product per output pixel.
+    println!("BISC-MVM conv tile: p = {p} lanes, d = {d} terms, N = {}", n.bits());
+    println!("\noutput pixel | MVM counter | exact Σw·x/2^(N-1) | error");
+    let ys = mvm.read();
+    for r in 0..T_R {
+        for c in 0..T_C {
+            let mut exact = 0.0f64;
+            for z in 0..Z {
+                for i in 0..K {
+                    for j in 0..K {
+                        exact += weights[(z * K + i) * K + j] as f64
+                            * input[z][r + i][c + j] as f64
+                            / n.half_scale() as f64;
+                    }
+                }
+            }
+            let y = ys[r * T_C + c];
+            println!(
+                "   ({r}, {c})    | {y:>11} | {exact:>18.3} | {:+.3}",
+                y as f64 - exact
+            );
+        }
+    }
+
+    let cycles = mvm.cycles();
+    let conventional = d as u64 * n.stream_len();
+    println!("\nlatency: {cycles} cycles (Σ|w|) vs {conventional} for conventional SC ({}x less)",
+        conventional / cycles.max(1));
+    println!(
+        "8-bit-parallel version would take {} cycles",
+        dot_product_cycles(&weights, 8)
+    );
+    Ok(())
+}

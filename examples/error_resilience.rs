@@ -1,0 +1,48 @@
+//! Error resilience side by side: inject transient faults into the conv
+//! MAC chains and watch fixed-point binary and the proposed SC degrade —
+//! plus the confusion matrix showing *how* each fails.
+//!
+//! Run with: `cargo run --release --example error_resilience`
+
+use scnn::core::Precision;
+use scnn::neural::arith::QuantArith;
+use scnn::neural::fault::{FaultModel, FaultTarget};
+use scnn::neural::layers::ConvMode;
+use scnn::neural::metrics::evaluate_confusion;
+use scnn::neural::train::{sample_tensor, train, TrainConfig};
+
+fn main() -> Result<(), scnn::core::Error> {
+    let n = Precision::new(8)?;
+    let train_set = scnn::datasets::mnist_like(600, 1);
+    let test_set = scnn::datasets::mnist_like(150, 2);
+    let mut net = scnn::neural::zoo::mnist_net(1);
+    println!("training reference (600 images, 3 epochs)...");
+    train(&mut net, &train_set, &TrainConfig { epochs: 3, ..TrainConfig::default() });
+    let calib: Vec<_> = (0..16).map(|i| sample_tensor(&train_set, i).0).collect();
+    net.calibrate_io_scales(&calib);
+
+    let configs = [
+        ("fixed-point binary", QuantArith::fixed(n), FaultTarget::BinaryProductBit),
+        ("proposed SC", QuantArith::proposed_sc(n), FaultTarget::StochasticStreamBit),
+    ];
+    for rate in [0.0f64, 1e-3, 5e-2] {
+        println!("\n=== per-MAC fault rate {rate:.0e} ===");
+        for (name, arith, target) in &configs {
+            let mut qnet = net.clone();
+            qnet.set_conv_mode(&ConvMode::Quantized { arith: arith.clone(), extra_bits: 2 });
+            if rate > 0.0 {
+                qnet.set_fault(Some(FaultModel::new(rate, *target, 7)));
+            }
+            let cm = evaluate_confusion(&mut qnet, &test_set, 10);
+            print!("{name:>20}: accuracy {:.3}", cm.accuracy());
+            match cm.is_collapsed(0.5) {
+                Some(class) => println!("  (collapsed onto class {class})"),
+                None => println!(),
+            }
+        }
+    }
+    println!("\nthe binary multiplier's MSB-adjacent bits make single faults worth half");
+    println!("the product scale; the SC stream's faults are worth ±2 counter LSBs —");
+    println!("the representation itself is the error tolerance.");
+    Ok(())
+}

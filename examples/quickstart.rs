@@ -1,0 +1,58 @@
+//! Quickstart: multiply two fixed-point numbers with the proposed SC-MAC
+//! and compare accuracy and latency against conventional SC.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use scnn::core::conventional::{ConvScMethod, ConventionalMultiplier};
+use scnn::core::mac::{BitParallelScMac, SignedScMac};
+use scnn::core::Precision;
+
+fn main() -> Result<(), scnn::core::Error> {
+    let n = Precision::new(8)?;
+
+    // Two signed fixed-point operands (value = code / 2^(N-1)).
+    let w = n.quantize_signed(-0.40625); // code -52
+    let x = n.quantize_signed(0.71875); // code 92
+    let exact = w.value() * x.value();
+    println!("w = {} (code {}), x = {} (code {})", w.value(), w.code(), x.value(), x.code());
+    println!("exact product      = {exact:+.6}");
+
+    // The proposed SC-MAC: low latency, deterministic accuracy.
+    let mac = SignedScMac::new(n);
+    let out = mac.multiply(w.code(), x.code())?;
+    println!(
+        "proposed SC-MAC    = {:+.6}  ({} cycles; error {:+.6})",
+        out.to_f64(n),
+        out.cycles,
+        out.to_f64(n) - exact
+    );
+
+    // The bit-parallel version: same result, b× fewer cycles.
+    let par = BitParallelScMac::new(n, 8)?;
+    let pout = par.multiply_signed(w.code(), x.code())?;
+    assert_eq!(pout.value, out.value, "bit-parallel is bit-exact");
+    println!(
+        "8-bit-parallel     = {:+.6}  ({} cycles; bit-exact with bit-serial)",
+        pout.to_f64(n),
+        pout.cycles
+    );
+
+    // Conventional SC needs the full 2^N cycles and is noisier.
+    let mut conv = ConventionalMultiplier::new(n, ConvScMethod::Lfsr)?;
+    let counter = conv.multiply_bipolar(x.code(), w.code());
+    let conv_value = counter as f64 / n.stream_len() as f64;
+    println!(
+        "conventional SC    = {conv_value:+.6}  ({} cycles; error {:+.6})",
+        n.stream_len(),
+        conv_value - exact
+    );
+
+    println!(
+        "\nlatency: {} vs {} cycles ({}x fewer), and the proposed error bound is N/2^N = {:.4}",
+        out.cycles,
+        n.stream_len(),
+        n.stream_len() / out.cycles.max(1),
+        n.bits() as f64 / n.stream_len() as f64 / 2.0
+    );
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Cross-crate integration: the tiled accelerator (`sc-accel`) and the
+//! neural framework's quantized convolution (`sc-neural`) implement the
+//! same arithmetic — their outputs must agree exactly on a real trained
+//! layer.
+
+use scnn::accel::engine::{AccelArithmetic, TileEngine};
+use scnn::accel::layer::{ConvGeometry, Tiling};
+use scnn::core::Precision;
+use scnn::neural::arith::QuantArith;
+use scnn::neural::layers::{Conv2d, ConvMode};
+use scnn::neural::tensor::Tensor;
+use scnn::neural::zoo::InitRng;
+
+#[test]
+fn accelerator_matches_neural_quantized_conv() {
+    let n = Precision::new(8).unwrap();
+    let g = ConvGeometry { z: 2, in_h: 10, in_w: 10, m: 4, k: 5, stride: 1 };
+
+    // A conv layer with realistic weights (unpadded, like the MNIST-like
+    // net's layers), bias zeroed so the MAC-array outputs compare
+    // directly.
+    let mut conv = Conv2d::new(g.z, g.m, g.k, 1, 0, &mut InitRng::new(9));
+    conv.set_bias(vec![0.0; g.m]);
+    conv.set_mode(ConvMode::Quantized { arith: QuantArith::proposed_sc(n), extra_bits: 2 });
+
+    let input = Tensor::new(
+        (0..g.z * g.in_h * g.in_w).map(|i| ((i % 53) as f32 / 53.0) - 0.4).collect(),
+        &[g.z, g.in_h, g.in_w],
+    );
+    let neural_out = conv.forward(&input);
+
+    // Same data through the accelerator: quantize exactly as the conv
+    // layer does, then compare counter-for-counter.
+    let xq: Vec<i32> = input.data().iter().map(|&v| scnn::fixed::quantize(v, n)).collect();
+    let wq: Vec<i32> = conv.weights().iter().map(|&v| scnn::fixed::quantize(v, n)).collect();
+    let engine =
+        TileEngine::new(n, Tiling { t_m: 3, t_r: 2, t_c: 4 }, AccelArithmetic::ProposedSerial, 2);
+    let run = engine.run_layer(&g, &xq, &wq).unwrap();
+
+    let half = n.half_scale() as f32;
+    assert_eq!(run.outputs.len(), neural_out.len());
+    for (i, (&counter, &y)) in run.outputs.iter().zip(neural_out.data()).enumerate() {
+        let accel_value = counter as f32 / half;
+        assert!(
+            (accel_value - y).abs() < 1e-6,
+            "output {i}: accel {accel_value} vs neural {y}"
+        );
+    }
+
+    // And the data-dependent latency is far below conventional SC's
+    // d·2^N per tile.
+    let conv_sc_cycles = g.macs() / (3 * 2 * 4).min(g.m * g.r() * g.c()) as u64 * 256;
+    assert!(run.cycles < conv_sc_cycles / 2, "{} vs {}", run.cycles, conv_sc_cycles);
+}
+
+#[test]
+fn accelerator_matches_neural_fixed_conv() {
+    let n = Precision::new(7).unwrap();
+    let g = ConvGeometry { z: 1, in_h: 8, in_w: 8, m: 3, k: 3, stride: 1 };
+    let mut conv = Conv2d::new(g.z, g.m, g.k, 1, 0, &mut InitRng::new(4));
+    conv.set_bias(vec![0.0; g.m]);
+    conv.set_mode(ConvMode::Quantized { arith: QuantArith::fixed(n), extra_bits: 2 });
+
+    let input = Tensor::new(
+        (0..64).map(|i| ((i % 31) as f32 / 31.0) - 0.5).collect(),
+        &[1, 8, 8],
+    );
+    let neural_out = conv.forward(&input);
+
+    let xq: Vec<i32> = input.data().iter().map(|&v| scnn::fixed::quantize(v, n)).collect();
+    let wq: Vec<i32> = conv.weights().iter().map(|&v| scnn::fixed::quantize(v, n)).collect();
+    let engine = TileEngine::new(n, Tiling::default(), AccelArithmetic::Fixed, 2);
+    let run = engine.run_layer(&g, &xq, &wq).unwrap();
+
+    let half = n.half_scale() as f32;
+    for (&counter, &y) in run.outputs.iter().zip(neural_out.data()) {
+        assert!((counter as f32 / half - y).abs() < 1e-6);
+    }
+}

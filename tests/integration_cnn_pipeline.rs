@@ -1,0 +1,78 @@
+//! Cross-crate integration: datasets → neural training → quantized/SC
+//! inference → hardware model, i.e. the full experimental pipeline of the
+//! paper at miniature scale.
+
+use scnn::core::conventional::ConvScMethod;
+use scnn::core::Precision;
+use scnn::hwmodel::array::quantize_weights;
+use scnn::hwmodel::{MacArray, MacDesign};
+use scnn::neural::arith::QuantArith;
+use scnn::neural::layers::ConvMode;
+use scnn::neural::train::{evaluate, sample_tensor, train, TrainConfig};
+
+#[test]
+fn miniature_fig6_pipeline_orders_methods_correctly() {
+    let train_set = scnn::datasets::mnist_like(400, 11);
+    let test_set = scnn::datasets::mnist_like(150, 12);
+    let mut net = scnn::neural::zoo::mnist_net(11);
+    let cfg = TrainConfig { epochs: 3, ..TrainConfig::default() };
+    train(&mut net, &train_set, &cfg);
+    let calib: Vec<_> = (0..8).map(|i| sample_tensor(&train_set, i).0).collect();
+    net.calibrate_io_scales(&calib);
+
+    let float_acc = evaluate(&mut net, &test_set);
+    assert!(float_acc > 0.6, "float reference too weak: {float_acc}");
+
+    let n = Precision::new(9).unwrap();
+    let acc_of = |arith| {
+        let mut q = net.clone();
+        q.set_conv_mode(&ConvMode::Quantized { arith, extra_bits: 2 });
+        evaluate(&mut q, &test_set)
+    };
+    let fixed = acc_of(QuantArith::fixed(n));
+    let proposed = acc_of(QuantArith::proposed_sc(n));
+    let conv = acc_of(QuantArith::conventional_sc(n, ConvScMethod::Lfsr).unwrap());
+
+    // The paper's accuracy ordering at high precision: fixed ≈ proposed
+    // ≈ float, conventional SC far behind.
+    assert!(fixed > float_acc - 0.08, "fixed {fixed} vs float {float_acc}");
+    assert!(proposed > float_acc - 0.12, "proposed {proposed} vs float {float_acc}");
+    assert!(conv < proposed - 0.2, "conventional {conv} vs proposed {proposed}");
+}
+
+#[test]
+fn trained_weights_drive_the_latency_advantage() {
+    let train_set = scnn::datasets::mnist_like(200, 3);
+    let mut net = scnn::neural::zoo::mnist_net(3);
+    let cfg = TrainConfig { epochs: 1, ..TrainConfig::default() };
+    train(&mut net, &train_set, &cfg);
+
+    let n = Precision::new(8).unwrap();
+    let codes = quantize_weights(&net.conv_weights(), n);
+    let ours = MacArray::new(MacDesign::ProposedSerial, n, 256);
+    let conv = MacArray::new(MacDesign::ConventionalSc(ConvScMethod::Lfsr), n, 256);
+
+    let ours_cycles = ours.avg_mac_cycles(&codes);
+    let conv_cycles = conv.avg_mac_cycles(&codes);
+    // Bell-shaped weights make the data-dependent latency far below 2^N.
+    assert!(ours_cycles < conv_cycles / 4.0, "{ours_cycles} vs {conv_cycles}");
+
+    // And the energy advantage follows (Fig. 7's headline).
+    let m_ours = ours.metrics(&codes);
+    let m_conv = conv.metrics(&codes);
+    assert!(m_ours.energy_per_mac_pj * 10.0 < m_conv.energy_per_mac_pj);
+}
+
+#[test]
+fn dataset_determinism_end_to_end() {
+    // The whole pipeline is seeded: same seeds, same accuracy.
+    let run = || {
+        let train_set = scnn::datasets::mnist_like(120, 5);
+        let test_set = scnn::datasets::mnist_like(60, 6);
+        let mut net = scnn::neural::zoo::mnist_net(5);
+        let cfg = TrainConfig { epochs: 1, ..TrainConfig::default() };
+        train(&mut net, &train_set, &cfg);
+        evaluate(&mut net, &test_set)
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,103 @@
+//! Cross-crate integration: the behavioural SC-MAC (sc-core), the RTL
+//! datapath (sc-rtlsim), the fixed-point baseline (sc-fixed), and the
+//! neural product tables (sc-neural) must all agree with each other.
+
+use scnn::core::conventional::{ConvScMethod, SignedProductLut};
+use scnn::core::mac::{BitParallelScMac, SignedScMac};
+use scnn::core::Precision;
+use scnn::fixed::FixedMul;
+use scnn::neural::arith::QuantArith;
+use scnn::rtlsim::mac::ProposedMacRtl;
+use scnn::rtlsim::parallel::BitParallelMacRtl;
+
+#[test]
+fn proposed_mac_four_way_agreement() {
+    // Closed form == bit-serial sim == bit-parallel == RTL, exhaustively
+    // at N = 6.
+    let n = Precision::new(6).unwrap();
+    let mac = SignedScMac::new(n);
+    let par = BitParallelScMac::new(n, 8).unwrap();
+    for w in -32..32 {
+        for x in -32..32 {
+            let closed = mac.multiply(w, x).unwrap();
+            let serial = mac.multiply_serial(w, x).unwrap();
+            let parallel = par.multiply_signed(w, x).unwrap();
+            let mut rtl = ProposedMacRtl::new(n, 8);
+            rtl.load(w, x).unwrap();
+            rtl.run_to_done();
+            let mut rtl_par = BitParallelMacRtl::new(n, 8, 8).unwrap();
+            rtl_par.load(w, x).unwrap();
+            rtl_par.run_to_done();
+
+            assert_eq!(closed.value, serial.value, "w={w} x={x}");
+            assert_eq!(closed.value, parallel.value, "w={w} x={x}");
+            assert_eq!(closed.value, rtl.value(), "w={w} x={x}");
+            assert_eq!(closed.value, rtl_par.value(), "w={w} x={x}");
+        }
+    }
+}
+
+#[test]
+fn neural_product_tables_match_reference_implementations() {
+    let n = Precision::new(6).unwrap();
+    let fixed_table = QuantArith::fixed(n);
+    let proposed_table = QuantArith::proposed_sc(n);
+    let fixed = FixedMul::new(n);
+    let mac = SignedScMac::new(n);
+    for w in -32..32 {
+        for x in -32..32 {
+            assert_eq!(
+                fixed_table.product(w, x) as i64,
+                fixed.multiply(w, x).unwrap(),
+                "fixed w={w} x={x}"
+            );
+            assert_eq!(
+                proposed_table.product(w, x) as i64,
+                mac.multiply(w, x).unwrap().value,
+                "proposed w={w} x={x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn conventional_sc_table_phase_zero_matches_stream_lut() {
+    let n = Precision::new(5).unwrap();
+    let table = QuantArith::conventional_sc(n, ConvScMethod::Lfsr).unwrap();
+    let lut = SignedProductLut::build(n, ConvScMethod::Lfsr).unwrap();
+    for w in -16..16 {
+        for x in -16..16 {
+            assert_eq!(table.product_at(0, w, x), lut.product_scaled(x, w), "w={w} x={x}");
+        }
+    }
+    // Different phases give different (decorrelated) error patterns.
+    let differs = (-16..16).any(|w| {
+        (-16..16).any(|x| table.product_at(0, w, x) != table.product_at(1, w, x))
+    });
+    assert!(differs, "phase tables must not be identical");
+}
+
+#[test]
+fn error_ordering_proposed_beats_fixed_truncation_variance_budget() {
+    // At equal N, the proposed SC product error is bounded by N/2 LSBs
+    // while fixed-point rounding is bounded by 0.5 LSB — both far below
+    // conventional SC's stream noise. Verify the per-product max errors.
+    let n = Precision::new(8).unwrap();
+    let mac = SignedScMac::new(n);
+    let fixed = FixedMul::new(n);
+    let lut = SignedProductLut::build(n, ConvScMethod::Lfsr).unwrap();
+    let mut max_prop = 0.0f64;
+    let mut max_fix = 0.0f64;
+    let mut max_conv = 0.0f64;
+    for w in (-128..128).step_by(3) {
+        for x in (-128..128).step_by(3) {
+            let exact = mac.exact(w, x);
+            max_prop = max_prop.max((mac.multiply(w, x).unwrap().value as f64 - exact).abs());
+            max_fix = max_fix.max((fixed.multiply(w, x).unwrap() as f64 - exact).abs());
+            max_conv = max_conv.max((lut.product_scaled(x, w) as f64 - exact).abs());
+        }
+    }
+    assert!(max_fix <= 0.5 + 1e-9, "fixed max {max_fix}");
+    assert!(max_prop <= 4.0, "proposed max {max_prop}");
+    assert!(max_conv > max_prop, "conventional {max_conv} vs proposed {max_prop}");
+}
