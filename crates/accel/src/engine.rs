@@ -1,11 +1,41 @@
 //! The tile scheduler: executes the Fig. 4 loop nest on a bank of
 //! BISC-MVMs (or fixed-point MACs) and counts cycles.
 
+use std::sync::{Arc, OnceLock};
+
 use crate::layer::{ConvGeometry, Tiling};
 use crate::memory::Traffic;
 use sc_core::mvm::{BiscMvm, BitParallelMvm};
 use sc_core::{Error, Precision};
 use sc_fixed::FixedMul;
+use sc_telemetry::metrics::{counter, histogram, Counter, Histogram};
+
+/// One scalar-vector accumulate step `w · x⃗` of a vector unit; returns the
+/// cycles it took.
+type AccumulateFn<'a> = dyn FnMut(i32, &[i32]) -> Result<u64, Error> + 'a;
+
+/// Cached metric handles for the engine hot loops (name lookup happens
+/// once; recording is a flag check + relaxed atomic).
+struct EngineMetrics {
+    input_words: Counter,
+    weight_words: Counter,
+    output_words: Counter,
+    cycles: Counter,
+    tiles: Counter,
+    tile_cycles: Arc<Histogram>,
+}
+
+fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| EngineMetrics {
+        input_words: counter("accel.traffic.input_words"),
+        weight_words: counter("accel.traffic.weight_words"),
+        output_words: counter("accel.traffic.output_words"),
+        cycles: counter("accel.cycles"),
+        tiles: counter("accel.tiles"),
+        tile_cycles: histogram("accel.tile.cycles", &[16, 64, 256, 1024, 4096, 16384, 65536]),
+    })
+}
 
 /// Which MAC arithmetic the accelerator instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,12 +74,7 @@ pub struct TileEngine {
 impl TileEngine {
     /// Creates an engine at precision `n` with the given tiling and
     /// arithmetic. `extra_bits` is the accumulator headroom `A`.
-    pub fn new(
-        n: Precision,
-        tiling: Tiling,
-        arithmetic: AccelArithmetic,
-        extra_bits: u32,
-    ) -> Self {
+    pub fn new(n: Precision, tiling: Tiling, arithmetic: AccelArithmetic, extra_bits: u32) -> Self {
         TileEngine { n, tiling, arithmetic, extra_bits }
     }
 
@@ -84,10 +109,7 @@ impl TileEngine {
             });
         }
         if weights.len() != g.m * g.depth() {
-            return Err(Error::LengthMismatch {
-                expected: g.m * g.depth(),
-                actual: weights.len(),
-            });
+            return Err(Error::LengthMismatch { expected: g.m * g.depth(), actual: weights.len() });
         }
 
         let (r, c) = (g.r(), g.c());
@@ -95,6 +117,10 @@ impl TileEngine {
         let mut outputs = vec![0i64; g.m * r * c];
         let mut cycles = 0u64;
         let mut traffic = Traffic::default();
+
+        let arithmetic = self.arithmetic;
+        let _layer = sc_telemetry::span!("accel.layer", arithmetic, g.m, g.z, r, c);
+        let metrics = engine_metrics();
 
         // Fig. 4: outer tile loops over (m1, r1, c1).
         for m1 in (0..g.m).step_by(self.tiling.t_m) {
@@ -110,20 +136,33 @@ impl TileEngine {
                     // (this is the whole point of BISC).
                     let patch_h = (r_hi - r1 - 1) * g.stride + g.k;
                     let patch_w = (c_hi - c1 - 1) * g.stride + g.k;
-                    traffic.input_words += (g.z * patch_h * patch_w) as u64;
-                    traffic.weight_words += ((m_hi - m1) * g.depth()) as u64;
-                    traffic.output_words += ((m_hi - m1) * (r_hi - r1) * (c_hi - c1)) as u64;
+                    let tile_input = (g.z * patch_h * patch_w) as u64;
+                    let tile_weight = ((m_hi - m1) * g.depth()) as u64;
+                    let tile_output = ((m_hi - m1) * (r_hi - r1) * (c_hi - c1)) as u64;
+                    traffic.input_words += tile_input;
+                    traffic.weight_words += tile_weight;
+                    traffic.output_words += tile_output;
+                    metrics.input_words.incr(tile_input);
+                    metrics.weight_words.incr(tile_weight);
+                    metrics.output_words.incr(tile_output);
 
-                    let tile_cycles = self.run_tile(
-                        g,
-                        input,
-                        weights,
-                        (m1, m_hi),
-                        (r1, r_hi),
-                        (c1, c_hi),
-                        p,
-                        &mut outputs,
-                    )?;
+                    let tile_cycles = {
+                        let _tile = sc_telemetry::span!("accel.tile", m1, r1, c1);
+                        self.run_tile(
+                            g,
+                            input,
+                            weights,
+                            (m1, m_hi),
+                            (r1, r_hi),
+                            (c1, c_hi),
+                            p,
+                            &mut outputs,
+                        )?
+                    };
+                    metrics.tiles.incr(1);
+                    metrics.cycles.incr(tile_cycles);
+                    metrics.tile_cycles.record(tile_cycles);
+                    sc_telemetry::event!("accel.tile.done", m1, r1, c1, tile_cycles);
                     cycles += tile_cycles;
                 }
             }
@@ -154,8 +193,7 @@ impl TileEngine {
             // T_M units run in parallel, so the tile's latency is the
             // max of the per-unit latencies.
             let mut unit_cycles = 0u64;
-            let mut run_unit = |accumulate: &mut dyn FnMut(i32, &[i32]) -> Result<u64, Error>|
-             -> Result<(), Error> {
+            let mut run_unit = |accumulate: &mut AccumulateFn<'_>| -> Result<(), Error> {
                 for z in 0..g.z {
                     for i in 0..g.k {
                         for j in 0..g.k {
@@ -230,9 +268,8 @@ mod tests {
 
     fn test_data(g: &ConvGeometry, n: Precision) -> (Vec<i32>, Vec<i32>) {
         let h = n.half_scale() as i32;
-        let input: Vec<i32> = (0..g.z * g.in_h * g.in_w)
-            .map(|i| ((i as i32 * 37 + 11) % (2 * h)) - h)
-            .collect();
+        let input: Vec<i32> =
+            (0..g.z * g.in_h * g.in_w).map(|i| ((i as i32 * 37 + 11) % (2 * h)) - h).collect();
         let weights: Vec<i32> =
             (0..g.m * g.depth()).map(|i| ((i as i32 * 13 + 5) % 21) - 10).collect();
         (input, weights)

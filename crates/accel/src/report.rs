@@ -38,12 +38,17 @@ pub fn report(
     arithmetic: AccelArithmetic,
     run: &LayerRun,
 ) -> LayerReport {
+    let macs = g.macs();
+    // An empty run (no cycles) carries no time, energy, or throughput;
+    // guard all derived quantities the same way so none goes infinite.
+    if run.cycles == 0 {
+        return LayerReport { cycles: 0, time_us: 0.0, energy_uj: 0.0, gops: 0.0, macs };
+    }
     let array = MacArray::new(design_of(arithmetic), n, tiling.macs());
     let power_mw = array.power_mw();
     let time_us = run.cycles as f64 / 1e3; // 1 GHz → 1 cycle = 1 ns
     let energy_uj = power_mw * 1e-3 * time_us;
-    let macs = g.macs();
-    let gops = if run.cycles == 0 { 0.0 } else { 2.0 * macs as f64 / run.cycles as f64 };
+    let gops = 2.0 * macs as f64 / run.cycles as f64;
     LayerReport { cycles: run.cycles, time_us, energy_uj, gops, macs }
 }
 
@@ -60,8 +65,7 @@ mod tests {
         let input: Vec<i32> = (0..g.z * 81).map(|i| ((i as i32 * 29) % 200) - 100).collect();
         // Small weights: |w| ≤ 3 → avg latency ≈ 1.5 cycles/MAC, inside
         // the regime where the serial design's ~3x power advantage wins.
-        let weights: Vec<i32> =
-            (0..g.m * g.depth()).map(|i| ((i as i32 * 5) % 7) - 3).collect();
+        let weights: Vec<i32> = (0..g.m * g.depth()).map(|i| ((i as i32 * 5) % 7) - 3).collect();
 
         let prop_engine = TileEngine::new(n, tiling, AccelArithmetic::ProposedSerial, 8);
         let prop_run = prop_engine.run_layer(&g, &input, &weights).unwrap();
@@ -81,15 +85,26 @@ mod tests {
         let g = ConvGeometry { z: 1, in_h: 5, in_w: 5, m: 1, k: 3, stride: 1 };
         let tiling = Tiling { t_m: 1, t_r: 3, t_c: 3 };
         let n = Precision::new(6).unwrap();
-        let run_a = LayerRun {
-            outputs: vec![],
-            cycles: 100,
-            traffic: Default::default(),
-        };
+        let run_a = LayerRun { outputs: vec![], cycles: 100, traffic: Default::default() };
         let run_b = LayerRun { cycles: 200, ..run_a.clone() };
         let a = report(&g, &tiling, n, AccelArithmetic::Fixed, &run_a);
         let b = report(&g, &tiling, n, AccelArithmetic::Fixed, &run_b);
         assert!((b.energy_uj / a.energy_uj - 2.0).abs() < 1e-9);
         assert!((a.gops / b.gops - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycle_run_reports_all_zero_finite_fields() {
+        let g = ConvGeometry { z: 1, in_h: 5, in_w: 5, m: 1, k: 3, stride: 1 };
+        let tiling = Tiling { t_m: 1, t_r: 3, t_c: 3 };
+        let n = Precision::new(6).unwrap();
+        let run = LayerRun { outputs: vec![], cycles: 0, traffic: Default::default() };
+        let rep = report(&g, &tiling, n, AccelArithmetic::ProposedSerial, &run);
+        assert_eq!(rep.cycles, 0);
+        assert_eq!(rep.time_us, 0.0);
+        assert_eq!(rep.energy_uj, 0.0);
+        assert_eq!(rep.gops, 0.0);
+        assert_eq!(rep.macs, g.macs());
+        assert!(rep.time_us.is_finite() && rep.energy_uj.is_finite() && rep.gops.is_finite());
     }
 }

@@ -1,0 +1,83 @@
+//! Telemetry neutrality: instrumenting the tile engine must not change
+//! what it computes, and the counters it reports must agree with the
+//! engine's own `Traffic`/cycle accounting.
+//!
+//! Lives in its own integration-test binary so enabling the
+//! process-global metrics registry cannot race other tests that also
+//! drive `run_layer`.
+
+use std::sync::Arc;
+
+use sc_accel::engine::{AccelArithmetic, TileEngine};
+use sc_accel::layer::{ConvGeometry, Tiling};
+use sc_core::Precision;
+use sc_telemetry::span::{CollectingSubscriber, RecordKind};
+
+fn test_data(g: &ConvGeometry, n: Precision) -> (Vec<i32>, Vec<i32>) {
+    let h = n.half_scale() as i32;
+    let input: Vec<i32> =
+        (0..g.z * g.in_h * g.in_w).map(|i| ((i as i32 * 37 + 11) % (2 * h)) - h).collect();
+    let weights: Vec<i32> = (0..g.m * g.depth()).map(|i| ((i as i32 * 13 + 5) % 21) - 10).collect();
+    (input, weights)
+}
+
+#[test]
+fn outputs_identical_with_telemetry_on_and_counters_match_traffic() {
+    let g = ConvGeometry { z: 2, in_h: 7, in_w: 7, m: 3, k: 3, stride: 1 };
+    let n = Precision::new(7).unwrap();
+    let (input, weights) = test_data(&g, n);
+    let tiling = Tiling { t_m: 2, t_r: 3, t_c: 2 };
+    let engine = TileEngine::new(n, tiling, AccelArithmetic::ProposedSerial, 8);
+
+    // Telemetry off (the default): baseline run.
+    let off = engine.run_layer(&g, &input, &weights).unwrap();
+
+    // Telemetry on: metrics enabled, spans collected.
+    sc_telemetry::metrics::reset();
+    sc_telemetry::metrics::set_enabled(true);
+    let collector = Arc::new(CollectingSubscriber::new());
+    sc_telemetry::span::set_subscriber(collector.clone());
+    let on = engine.run_layer(&g, &input, &weights).unwrap();
+    sc_telemetry::span::clear_subscriber();
+    sc_telemetry::metrics::set_enabled(false);
+    let snap = sc_telemetry::metrics::snapshot();
+
+    // Bitwise-identical results (outputs, cycles, traffic).
+    assert_eq!(off, on);
+
+    // Counters agree with the engine's own accounting.
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+            .1
+    };
+    assert_eq!(counter("accel.traffic.input_words"), on.traffic.input_words);
+    assert_eq!(counter("accel.traffic.weight_words"), on.traffic.weight_words);
+    assert_eq!(counter("accel.traffic.output_words"), on.traffic.output_words);
+    assert_eq!(counter("accel.cycles"), on.cycles);
+
+    // The tile-cycle histogram saw exactly one record per tile.
+    let tiles = counter("accel.tiles");
+    let hist = &snap.histograms.iter().find(|(k, _)| k == "accel.tile.cycles").unwrap().1;
+    assert_eq!(hist.count, tiles);
+    assert_eq!(hist.sum, on.cycles);
+
+    // Spans: one layer span, one tile span per tile, nested under it.
+    let recs = collector.records();
+    let enters = |name: &str| {
+        recs.iter().filter(|r| r.kind == RecordKind::Enter && r.name == name).count() as u64
+    };
+    assert_eq!(enters("accel.layer"), 1);
+    assert_eq!(enters("accel.tile"), tiles);
+    assert!(recs
+        .iter()
+        .filter(|r| r.kind == RecordKind::Enter && r.name == "accel.tile")
+        .all(|r| r.depth == 1));
+    assert_eq!(
+        recs.iter().filter(|r| r.kind == RecordKind::Event && r.name == "accel.tile.done").count()
+            as u64,
+        tiles
+    );
+}

@@ -1,23 +1,17 @@
-//! Criterion bench for the Fig. 5 kernels: a strided error-statistics
-//! sweep for each SC multiplier at 8-bit precision.
+//! Micro-bench for the Fig. 5 kernels: a strided error-statistics sweep
+//! for each SC multiplier at 8-bit precision.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sc_bench::error_stats::{sweep_conventional, sweep_proposed};
+use sc_bench::microbench::Group;
 use sc_core::conventional::ConvScMethod;
 use sc_core::Precision;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let n = Precision::new(8).unwrap();
-    let mut g = c.benchmark_group("fig5_error_sweep_n8_stride4");
-    g.sample_size(10);
+    let mut g = Group::new("fig5_error_sweep_n8_stride4");
     for method in [ConvScMethod::Lfsr, ConvScMethod::Halton, ConvScMethod::Ed] {
-        g.bench_function(method.name(), |b| {
-            b.iter(|| sweep_conventional(n, method, 4))
-        });
+        g.bench(method.name(), || sweep_conventional(n, method, 4));
     }
-    g.bench_function("Proposed", |b| b.iter(|| sweep_proposed(n, 4)));
+    g.bench("Proposed", || sweep_proposed(n, 4));
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,41 +1,36 @@
-//! Criterion bench for the Fig. 6 kernel: one CNN forward pass per
+//! Micro-bench for the Fig. 6 kernel: one CNN forward pass per
 //! arithmetic backend (float / fixed / conventional SC / proposed SC) on
 //! the MNIST-like network.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sc_bench::microbench::Group;
 use sc_core::conventional::ConvScMethod;
 use sc_core::Precision;
 use sc_neural::arith::QuantArith;
 use sc_neural::layers::ConvMode;
 use sc_neural::train::sample_tensor;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let data = sc_datasets::mnist_like(4, 3);
     let (x, _) = sample_tensor(&data, 0);
     let n = Precision::new(8).unwrap();
     let base = sc_neural::zoo::mnist_net(1);
 
-    let mut g = c.benchmark_group("fig6_forward_pass_mnist_n8");
-    g.sample_size(20);
-    g.bench_function("float", |b| {
+    let mut g = Group::new("fig6_forward_pass_mnist_n8");
+    {
         let mut net = base.clone();
-        b.iter(|| net.forward(&x))
-    });
+        let x = x.clone();
+        g.bench("float", move || net.forward(&x));
+    }
     let modes = [
         ("fixed", QuantArith::fixed(n)),
         ("proposed-sc", QuantArith::proposed_sc(n)),
-        (
-            "conv-sc-lfsr",
-            QuantArith::conventional_sc(n, ConvScMethod::Lfsr).unwrap(),
-        ),
+        ("conv-sc-lfsr", QuantArith::conventional_sc(n, ConvScMethod::Lfsr).unwrap()),
     ];
     for (name, arith) in modes {
         let mut net = base.clone();
         net.set_conv_mode(&ConvMode::Quantized { arith, extra_bits: 2 });
-        g.bench_function(name, |b| b.iter(|| net.forward(&x)));
+        let x = x.clone();
+        g.bench(name, move || net.forward(&x));
     }
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

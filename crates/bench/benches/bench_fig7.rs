@@ -1,47 +1,38 @@
-//! Criterion bench for the Fig. 7 kernels: the BISC-MVM behavioural model
-//! vs the cycle-accurate RTL array, and the array cost-model evaluation.
+//! Micro-bench for the Fig. 7 kernels: the BISC-MVM behavioural model vs
+//! the cycle-accurate RTL array, and the array cost-model evaluation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sc_bench::microbench::Group;
 use sc_core::mvm::BiscMvm;
 use sc_core::Precision;
 use sc_hwmodel::{MacArray, MacDesign};
 use sc_rtlsim::mvm::BiscMvmRtl;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let n = Precision::new(8).unwrap();
     let lanes = 16;
     let xs: Vec<i32> = (0..lanes as i32).map(|i| i * 7 - 50).collect();
     let ws: Vec<i32> = vec![13, -40, 7, -3, 25, -90, 1, 64];
 
-    let mut g = c.benchmark_group("fig7_mvm_dot_product_16lane_8term");
-    g.bench_function("behavioural", |b| {
-        b.iter(|| {
-            let mut mvm = BiscMvm::new(n, lanes, 8);
-            for &w in &ws {
-                mvm.accumulate(w, &xs).unwrap();
-            }
-            mvm.read()
-        })
+    let mut g = Group::new("fig7_mvm_dot_product_16lane_8term");
+    g.bench("behavioural", || {
+        let mut mvm = BiscMvm::new(n, lanes, 8);
+        for &w in &ws {
+            mvm.accumulate(w, &xs).unwrap();
+        }
+        mvm.read()
     });
-    g.bench_function("rtl_cycle_accurate", |b| {
-        b.iter(|| {
-            let mut mvm = BiscMvmRtl::new(n, lanes, 8);
-            for &w in &ws {
-                mvm.load(w, &xs).unwrap();
-                mvm.run_to_done();
-            }
-            mvm.read()
-        })
+    g.bench("rtl_cycle_accurate", || {
+        let mut mvm = BiscMvmRtl::new(n, lanes, 8);
+        for &w in &ws {
+            mvm.load(w, &xs).unwrap();
+            mvm.run_to_done();
+        }
+        mvm.read()
     });
-    g.bench_function("cost_model_metrics", |b| {
-        let codes: Vec<i32> = (0..4096).map(|i| (i % 41) - 20).collect();
-        b.iter(|| {
-            let arr = MacArray::new(MacDesign::ProposedParallel(8), n, 256);
-            arr.metrics(&codes)
-        })
+    let codes: Vec<i32> = (0..4096).map(|i| (i % 41) - 20).collect();
+    g.bench("cost_model_metrics", || {
+        let arr = MacArray::new(MacDesign::ProposedParallel(8), n, 256);
+        arr.metrics(&codes)
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,54 +1,47 @@
-//! Criterion bench for the Table 1 kernel: one signed SC multiplication
+//! Micro-bench for the Table 1 kernel: one signed SC multiplication
 //! (closed form, cycle-level simulation, and RTL) at N = 4 and N = 8.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sc_bench::microbench::Group;
 use sc_core::mac::SignedScMac;
 use sc_core::Precision;
 use sc_rtlsim::mac::ProposedMacRtl;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_signed_multiply");
+fn main() {
+    let mut g = Group::new("table1_signed_multiply");
     for bits in [4u32, 8] {
         let n = Precision::new(bits).unwrap();
         let mac = SignedScMac::new(n);
         let h = n.half_scale() as i32;
-        g.bench_function(format!("closed_form_n{bits}"), |b| {
-            b.iter(|| {
-                let mut acc = 0i64;
-                for w in [-h, -h / 3, h / 5, h - 1] {
-                    for x in [-h, 0, h - 1] {
-                        acc += mac.multiply(black_box(w), black_box(x)).unwrap().value;
-                    }
+        g.bench(&format!("closed_form_n{bits}"), || {
+            let mut acc = 0i64;
+            for w in [-h, -h / 3, h / 5, h - 1] {
+                for x in [-h, 0, h - 1] {
+                    acc += mac.multiply(black_box(w), black_box(x)).unwrap().value;
                 }
-                acc
-            })
+            }
+            acc
         });
-        g.bench_function(format!("bit_serial_sim_n{bits}"), |b| {
-            b.iter(|| {
-                let mut acc = 0i64;
-                for w in [-h, -h / 3, h / 5, h - 1] {
-                    for x in [-h, 0, h - 1] {
-                        acc += mac.multiply_serial(black_box(w), black_box(x)).unwrap().value;
-                    }
+        g.bench(&format!("bit_serial_sim_n{bits}"), || {
+            let mut acc = 0i64;
+            for w in [-h, -h / 3, h / 5, h - 1] {
+                for x in [-h, 0, h - 1] {
+                    acc += mac.multiply_serial(black_box(w), black_box(x)).unwrap().value;
                 }
-                acc
-            })
+            }
+            acc
         });
-        g.bench_function(format!("rtl_n{bits}"), |b| {
-            b.iter(|| {
-                let mut rtl = ProposedMacRtl::new(n, 4);
-                for w in [-h, -h / 3, h / 5, h - 1] {
-                    for x in [-h, 0, h - 1] {
-                        rtl.load(black_box(w), black_box(x)).unwrap();
-                        rtl.run_to_done();
-                    }
+        g.bench(&format!("rtl_n{bits}"), || {
+            let mut rtl = ProposedMacRtl::new(n, 4);
+            for w in [-h, -h / 3, h / 5, h - 1] {
+                for x in [-h, 0, h - 1] {
+                    rtl.load(black_box(w), black_box(x)).unwrap();
+                    rtl.run_to_done();
                 }
-                rtl.value()
-            })
+            }
+            rtl.value()
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

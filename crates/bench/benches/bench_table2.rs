@@ -1,34 +1,31 @@
-//! Criterion bench for the Table 2 kernel: the per-component area-model
+//! Micro-bench for the Table 2 kernel: the per-component area-model
 //! evaluation across all designs and precisions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sc_bench::microbench::Group;
 use sc_core::conventional::ConvScMethod;
 use sc_core::Precision;
 use sc_hwmodel::components::{mac_breakdown, MacDesign};
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("table2_full_breakdown_sweep", |b| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for bits in 5..=10u32 {
-                let n = Precision::new(bits).unwrap();
-                for design in [
-                    MacDesign::FixedPoint,
-                    MacDesign::ConventionalSc(ConvScMethod::Lfsr),
-                    MacDesign::ConventionalSc(ConvScMethod::Halton),
-                    MacDesign::ConventionalSc(ConvScMethod::Ed),
-                    MacDesign::ProposedSerial,
-                    MacDesign::ProposedParallel(8),
-                    MacDesign::ProposedParallel(16),
-                    MacDesign::ProposedParallel(32),
-                ] {
-                    total += mac_breakdown(design, n).total();
-                }
+fn main() {
+    let mut g = Group::new("table2_area_model");
+    g.bench("table2_full_breakdown_sweep", || {
+        let mut total = 0.0;
+        for bits in 5..=10u32 {
+            let n = Precision::new(bits).unwrap();
+            for design in [
+                MacDesign::FixedPoint,
+                MacDesign::ConventionalSc(ConvScMethod::Lfsr),
+                MacDesign::ConventionalSc(ConvScMethod::Halton),
+                MacDesign::ConventionalSc(ConvScMethod::Ed),
+                MacDesign::ProposedSerial,
+                MacDesign::ProposedParallel(8),
+                MacDesign::ProposedParallel(16),
+                MacDesign::ProposedParallel(32),
+            ] {
+                total += mac_breakdown(design, n).total();
             }
-            total
-        })
+        }
+        total
     });
+    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,23 +1,20 @@
-//! Criterion bench for the Table 3 kernel: computing the proposed
+//! Micro-bench for the Table 3 kernel: computing the proposed
 //! accelerator row (array model + weight-population latency) and the
 //! derived efficiency columns for every row.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sc_bench::microbench::Group;
 use sc_hwmodel::table3::{literature_rows, proposed_row};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let codes: Vec<i32> = (0..20_000).map(|i| (i % 31) - 15).collect();
-    c.bench_function("table3_all_rows", |b| {
-        b.iter(|| {
-            let ours = proposed_row(&codes);
-            let mut acc = ours.gops_per_mm2() + ours.gops_per_w();
-            for r in literature_rows() {
-                acc += r.gops_per_mm2() + r.gops_per_w();
-            }
-            acc
-        })
+    let mut g = Group::new("table3_accelerator_rows");
+    g.bench("table3_all_rows", || {
+        let ours = proposed_row(&codes);
+        let mut acc = ours.gops_per_mm2() + ours.gops_per_w();
+        for r in literature_rows() {
+            acc += r.gops_per_mm2() + r.gops_per_w();
+        }
+        acc
     });
+    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

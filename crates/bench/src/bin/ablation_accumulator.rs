@@ -13,11 +13,22 @@ use sc_neural::layers::ConvMode;
 use sc_neural::train::{evaluate, sample_tensor, train, TrainConfig};
 
 fn main() {
-    let quick = cli::quick_mode();
+    sc_telemetry::bench_run(
+        "ablation_accumulator",
+        "Ablation: accumulator extra bits A (N = 8, saturating up/down counter)",
+        run,
+    );
+}
+
+fn run(ctx: &mut sc_telemetry::BenchCtx) {
+    let quick = ctx.quick();
     let (train_n, test_n, epochs) = if quick { (400, 120, 2) } else { (2000, 400, 4) };
     let n = Precision::new(8).expect("valid precision");
+    ctx.config("train_n", train_n);
+    ctx.config("epochs", epochs);
+    ctx.config("precision", n.bits());
+    ctx.seed(42);
 
-    println!("Ablation: accumulator extra bits A (N = 8, saturating up/down counter)");
     println!("training MNIST-like reference ({train_n} images, {epochs} epochs)...");
     let train_set = sc_datasets::mnist_like(train_n, 42);
     let test_set = sc_datasets::mnist_like(test_n, 43);

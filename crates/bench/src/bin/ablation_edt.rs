@@ -20,12 +20,22 @@ fn edt_arith(n: Precision, s: u32) -> Arc<QuantArith> {
 }
 
 fn main() {
-    let quick = cli::quick_mode();
+    sc_telemetry::bench_run(
+        "ablation_edt",
+        "Ablation: early-termination energy-quality trade-off (N = 8)",
+        run,
+    );
+}
+
+fn run(ctx: &mut sc_telemetry::BenchCtx) {
+    let quick = ctx.quick();
     let n = Precision::new(8).expect("valid precision");
+    ctx.config("precision", n.bits());
+    ctx.config("s_range", "3..=8");
+    ctx.seed(42);
     let full = SignedScMac::new(n);
 
-    println!("Ablation: early-termination energy-quality trade-off (N = 8)");
-    println!("\nmultiplier-level error vs effective weight bits s:");
+    println!("multiplier-level error vs effective weight bits s:");
     let header = format!(
         "{:>3} | {:>9} | {:>10} | {:>10} | {:>8}",
         "s", "speedup", "rms err", "max err", "avg cyc"
@@ -56,6 +66,8 @@ fn main() {
     }
 
     let (train_n, test_n, epochs) = if quick { (400, 120, 2) } else { (2000, 400, 4) };
+    ctx.config("train_n", train_n);
+    ctx.config("epochs", epochs);
     println!("\ntraining MNIST-like reference ({train_n} images, {epochs} epochs)...");
     let train_set = sc_datasets::mnist_like(train_n, 42);
     let test_set = sc_datasets::mnist_like(test_n, 43);
@@ -66,7 +78,8 @@ fn main() {
     net.calibrate_io_scales(&calib);
 
     println!("\nCNN accuracy and relative MAC-array energy vs s:");
-    let header = format!("{:>3} | {:>9} | {:>9} | {:>14}", "s", "accuracy", "speedup", "rel. energy");
+    let header =
+        format!("{:>3} | {:>9} | {:>9} | {:>14}", "s", "accuracy", "speedup", "rel. energy");
     println!("{header}");
     cli::rule(&header);
     for s in (3..=8u32).rev() {
@@ -74,13 +87,7 @@ fn main() {
         qnet.set_conv_mode(&ConvMode::Quantized { arith: edt_arith(n, s), extra_bits: 2 });
         let acc = evaluate(&mut qnet, &test_set);
         let speedup = 1u64 << (8 - s);
-        println!(
-            "{:>3} | {:>9.3} | {:>8}x | {:>13.1}%",
-            s,
-            acc,
-            speedup,
-            100.0 / speedup as f64
-        );
+        println!("{:>3} | {:>9.3} | {:>8}x | {:>13.1}%", s, acc, speedup, 100.0 / speedup as f64);
     }
     println!("\nexpected shape: accuracy holds for the first dropped bits, then falls —");
     println!("each dropped bit halves latency (and hence compute energy at fixed power).");

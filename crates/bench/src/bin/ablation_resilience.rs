@@ -14,11 +14,23 @@ use sc_neural::layers::ConvMode;
 use sc_neural::train::{evaluate, sample_tensor, train, TrainConfig};
 
 fn main() {
-    let quick = cli::quick_mode();
+    sc_telemetry::bench_run(
+        "ablation_resilience",
+        "Ablation: transient-fault resilience (N = 8, A = 2)",
+        run,
+    );
+}
+
+fn run(ctx: &mut sc_telemetry::BenchCtx) {
+    let quick = ctx.quick();
     let (train_n, test_n, epochs) = if quick { (400, 120, 2) } else { (2000, 400, 4) };
     let n = Precision::new(8).expect("valid precision");
+    ctx.config("train_n", train_n);
+    ctx.config("epochs", epochs);
+    ctx.config("precision", n.bits());
+    ctx.config("extra_bits", 2);
+    ctx.seed(42);
 
-    println!("Ablation: transient-fault resilience (N = 8, A = 2)");
     println!("training MNIST-like reference ({train_n} images, {epochs} epochs)...");
     let train_set = sc_datasets::mnist_like(train_n, 42);
     let test_set = sc_datasets::mnist_like(test_n, 43);
@@ -50,15 +62,8 @@ fn main() {
         let mut row = String::new();
         for &rate in &rates {
             let mut qnet = net.clone();
-            qnet.set_conv_mode(&ConvMode::Quantized {
-                arith: arith.clone(),
-                extra_bits: 2,
-            });
-            qnet.set_fault(if rate > 0.0 {
-                Some(FaultModel::new(rate, target, 7))
-            } else {
-                None
-            });
+            qnet.set_conv_mode(&ConvMode::Quantized { arith: arith.clone(), extra_bits: 2 });
+            qnet.set_fault(if rate > 0.0 { Some(FaultModel::new(rate, target, 7)) } else { None });
             let acc = evaluate(&mut qnet, &test_set);
             row.push_str(&format!("{acc:<9.3}"));
         }

@@ -15,10 +15,21 @@ use sc_neural::layers::ConvMode;
 use sc_neural::train::{evaluate, sample_tensor, train, TrainConfig};
 
 fn main() {
-    let quick = cli::quick_mode();
-    let (train_n, test_n, epochs) = if quick { (400, 120, 2) } else { (2000, 400, 4) };
+    sc_telemetry::bench_run(
+        "ablation_rounding",
+        "Ablation: fixed-point product reduction — round-to-nearest vs floor truncation",
+        run,
+    );
+}
 
-    println!("Ablation: fixed-point product reduction — round-to-nearest vs floor truncation");
+fn run(ctx: &mut sc_telemetry::BenchCtx) {
+    let quick = ctx.quick();
+    let (train_n, test_n, epochs) = if quick { (400, 120, 2) } else { (2000, 400, 4) };
+    ctx.config("train_n", train_n);
+    ctx.config("epochs", epochs);
+    ctx.config("precisions", "5,7,9");
+    ctx.seed(42);
+
     println!("training MNIST-like reference ({train_n} images, {epochs} epochs)...");
     let train_set = sc_datasets::mnist_like(train_n, 42);
     let test_set = sc_datasets::mnist_like(test_n, 43);

@@ -36,14 +36,20 @@ fn sweep(gen: &mut dyn BitstreamGenerator) -> ErrorStats {
 }
 
 fn main() {
-    println!("Ablation: sequence choice inside the proposed datapath (unsigned, exhaustive)");
+    sc_telemetry::bench_run(
+        "ablation_sequence",
+        "Ablation: sequence choice inside the proposed datapath (unsigned, exhaustive)",
+        run,
+    );
+}
+
+fn run(ctx: &mut sc_telemetry::BenchCtx) {
+    ctx.config("precisions", "5,8,10");
     for bits in [5u32, 8, 10] {
         let n = Precision::new(bits).expect("valid precision");
         println!("\n--- N = {bits} ---");
-        let header = format!(
-            "{:>22} | {:>10} | {:>10} | {:>10}",
-            "x-sequence", "std", "max abs", "mean"
-        );
+        let header =
+            format!("{:>22} | {:>10} | {:>10} | {:>10}", "x-sequence", "std", "max abs", "mean");
         println!("{header}");
         println!("{}", "-".repeat(header.chars().count()));
         let mut gens: Vec<(&str, Box<dyn BitstreamGenerator>)> = vec![

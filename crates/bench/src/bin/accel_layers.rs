@@ -15,12 +15,22 @@ use sc_core::Precision;
 use sc_neural::train::{sample_tensor, train, TrainConfig};
 
 fn main() {
-    let quick = cli::quick_mode();
+    sc_telemetry::bench_run(
+        "accel_layers",
+        "SC-CNN accelerator layer study (N = 8, A = 2, 256 MACs: T_M=16, T_R=T_C=4)",
+        run,
+    );
+}
+
+fn run(ctx: &mut sc_telemetry::BenchCtx) {
+    let quick = ctx.quick();
     let n = Precision::new(8).expect("valid precision");
     let tiling = Tiling::default();
+    ctx.config("precision", n.bits());
+    ctx.config("extra_bits", 2);
+    ctx.seed(42);
 
-    println!("SC-CNN accelerator layer study (N = 8, A = 2, 256 MACs: T_M=16, T_R=T_C=4)");
-    println!("\ntraining MNIST-like network...");
+    println!("training MNIST-like network...");
     let data = sc_datasets::mnist_like(if quick { 300 } else { 1500 }, 42);
     let mut net = sc_neural::zoo::mnist_net(42);
     let cfg = TrainConfig { epochs: if quick { 1 } else { 3 }, ..TrainConfig::default() };
@@ -42,14 +52,24 @@ fn main() {
     // with a realistic post-ReLU distribution (the accelerator study only
     // needs representative operand statistics).
     let input1: Vec<i32> = image.data().iter().map(|&v| sc_fixed::quantize(v, n)).collect();
-    let input2: Vec<i32> = (0..8 * 12 * 12)
-        .map(|i| if i % 3 == 0 { 0 } else { ((i * 31) % 100) as i32 })
-        .collect();
+    let input2: Vec<i32> =
+        (0..8 * 12 * 12).map(|i| if i % 3 == 0 { 0 } else { (i * 31) % 100 }).collect();
     let inputs = [input1, input2];
 
     for (li, g) in geometries.iter().enumerate() {
-        println!("\n== conv{} : {}x{}x{} -> {}x{}x{} (K={}, d={}, {} MACs) ==",
-            li + 1, g.z, g.in_h, g.in_w, g.m, g.r(), g.c(), g.k, g.depth(), g.macs());
+        println!(
+            "\n== conv{} : {}x{}x{} -> {}x{}x{} (K={}, d={}, {} MACs) ==",
+            li + 1,
+            g.z,
+            g.in_h,
+            g.in_w,
+            g.m,
+            g.r(),
+            g.c(),
+            g.k,
+            g.depth(),
+            g.macs()
+        );
         let plan = BufferPlan::for_layer(g, &tiling);
         println!(
             "buffers: in {} + w {} + out {} words ({} bits total, same for all designs)",

@@ -10,8 +10,13 @@ use sc_core::sng::{BitstreamGenerator, FsmMuxSng};
 use sc_core::Precision;
 
 fn main() {
-    let n = Precision::new(if cli::quick_mode() { 8 } else { 10 }).expect("valid precision");
-    println!("SNG stream analysis at N = {}\n", n.bits());
+    sc_telemetry::bench_run("analysis_sng", "SNG stream analysis", run);
+}
+
+fn run(ctx: &mut sc_telemetry::BenchCtx) {
+    let n = Precision::new(if ctx.quick() { 8 } else { 10 }).expect("valid precision");
+    ctx.config("precision", n.bits());
+    println!("analysis precision N = {}\n", n.bits());
 
     println!("cross-correlation (SCC) of each method's generator pair at p = 1/2:");
     println!("(|SCC| → 0 means the AND/XNOR product is unbiased; ±1 means min/max behaviour)");
@@ -34,16 +39,10 @@ fn main() {
     cli::rule(&header);
     let mut rows: Vec<(&str, Box<dyn BitstreamGenerator>)> = vec![
         ("FSM+MUX (proposed)", Box::new(FsmMuxSng::new(n))),
-        (
-            "LFSR + comparator",
-            Box::new(sc_core::sng::LfsrSng::new(n, 0, 1).expect("poly exists")),
-        ),
+        ("LFSR + comparator", Box::new(sc_core::sng::LfsrSng::new(n, 0, 1).expect("poly exists"))),
         ("Halton base 2", Box::new(sc_core::sng::HaltonSng::new(n, 2))),
         ("Halton base 3", Box::new(sc_core::sng::HaltonSng::new(n, 3))),
-        (
-            "ED primary",
-            Box::new(sc_core::sng::EdSng::new(n, sc_core::sng::EdVariant::Primary)),
-        ),
+        ("ED primary", Box::new(sc_core::sng::EdSng::new(n, sc_core::sng::EdVariant::Primary))),
     ];
     for (name, gen) in rows.iter_mut() {
         println!("{:>22} | {:>12.4}", name, mean_prefix_discrepancy(gen.as_mut()));

@@ -5,7 +5,6 @@
 //!
 //! `--quick` sub-samples the 10-bit input grid by 8 in each dimension.
 
-use sc_bench::cli;
 use sc_bench::error_stats::{sweep_conventional, sweep_proposed, Fig5Point};
 use sc_core::conventional::ConvScMethod;
 use sc_core::Precision;
@@ -26,10 +25,19 @@ fn print_points(points: &[Fig5Point]) {
 }
 
 fn main() {
-    let quick = cli::quick_mode();
-    let csv_path: Option<String> = cli::arg_value("csv");
+    sc_telemetry::bench_run(
+        "fig5_error_stats",
+        "Fig. 5: error statistics of SC multipliers (value-domain error)",
+        run,
+    );
+}
+
+fn run(ctx: &mut sc_telemetry::BenchCtx) {
+    let quick = ctx.quick();
+    let csv_path: Option<String> = ctx.arg_value("csv");
+    ctx.config("precisions", "5,10");
+    ctx.config("sweep", if quick { "strided" } else { "exhaustive" });
     let mut all_points: Vec<Fig5Point> = Vec::new();
-    println!("Fig. 5: error statistics of SC multipliers (value-domain error)");
     println!("(snapshots at cycle 2^s; exhaustive input sweep{})\n", {
         if quick {
             ", --quick: 10-bit grid strided by 8"
@@ -56,16 +64,11 @@ fn main() {
 
         // The paper's headline observations, extracted:
         let last_std = |name: &str| {
-            all.iter()
-                .filter(|p| p.method == name)
-                .next_back()
-                .map(|p| p.stats.std_dev())
-                .unwrap_or(f64::NAN)
+            all.iter().rfind(|p| p.method == name).map(|p| p.stats.std_dev()).unwrap_or(f64::NAN)
         };
         let ours_max = all
             .iter()
-            .filter(|p| p.method == "Proposed")
-            .next_back()
+            .rfind(|p| p.method == "Proposed")
             .map(|p| p.stats.max_abs())
             .unwrap_or(f64::NAN);
         println!("\nsummary @ N={bits} (end of stream):");
@@ -85,12 +88,7 @@ fn main() {
         );
     }
     if let Some(path) = csv_path {
-        sc_bench::csv::write_csv(
-            &path,
-            sc_bench::csv::FIG5_HEADER,
-            &sc_bench::csv::fig5_rows(&all_points),
-        )
-        .expect("csv write");
-        println!("wrote {path}");
+        ctx.write_csv(&path, sc_bench::csv::FIG5_HEADER, &sc_bench::csv::fig5_rows(&all_points))
+            .expect("csv write");
     }
 }

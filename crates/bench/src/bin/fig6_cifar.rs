@@ -5,27 +5,32 @@
 //! layers (the paper's "scale by 128", auto-calibrated per layer here).
 //! `--quick` runs a reduced sweep.
 
-use sc_bench::cli;
 use sc_bench::fig6::{print_result, run, Benchmark, Fig6Config};
 
 fn main() {
-    let mut cfg = Fig6Config::new(cli::quick_mode());
-    cfg.full_nets = std::env::args().any(|a| a == "--full-nets");
-    // The CIFAR-like net is ~3× the MACs of the MNIST-like one; keep the
-    // default wall time comparable.
-    if !cli::quick_mode() {
-        cfg.train_n = 2500;
-        cfg.epochs = 6;
-    }
-    println!(
-        "Fig. 6(c)-(d): CIFAR-like accuracy sweep (train {} / test {}, {} epochs, ft {} iters)",
-        cfg.train_n, cfg.test_n, cfg.epochs, cfg.ft_iters
-    );
-    let result = run(Benchmark::CifarLike, &cfg, |line| println!("  [{line}]"));
-    print_result("Fig. 6 CIFAR-like", &cfg, &result);
-    if let Some(path) = cli::arg_value::<String>("csv") {
-        sc_bench::csv::write_csv(&path, sc_bench::csv::FIG6_HEADER, &sc_bench::csv::fig6_rows(&result))
-            .expect("csv write");
-        println!("wrote {path}");
-    }
+    sc_telemetry::bench_run("fig6_cifar", "Fig. 6(c)-(d): CIFAR-like accuracy sweep", |ctx| {
+        let mut cfg = Fig6Config::new(ctx.quick());
+        cfg.full_nets = std::env::args().any(|a| a == "--full-nets");
+        // The CIFAR-like net is ~3× the MACs of the MNIST-like one; keep
+        // the default wall time comparable.
+        if !ctx.quick() {
+            cfg.train_n = 2500;
+            cfg.epochs = 6;
+        }
+        ctx.config("train_n", cfg.train_n);
+        ctx.config("test_n", cfg.test_n);
+        ctx.config("epochs", cfg.epochs);
+        ctx.config("ft_iters", cfg.ft_iters);
+        ctx.config("full_nets", cfg.full_nets);
+        println!(
+            "(train {} / test {}, {} epochs, ft {} iters)",
+            cfg.train_n, cfg.test_n, cfg.epochs, cfg.ft_iters
+        );
+        let result = run(Benchmark::CifarLike, &cfg, |line| println!("  [{line}]"));
+        print_result("Fig. 6 CIFAR-like", &cfg, &result);
+        if let Some(path) = ctx.arg_value::<String>("csv") {
+            ctx.write_csv(&path, sc_bench::csv::FIG6_HEADER, &sc_bench::csv::fig6_rows(&result))
+                .expect("csv write");
+        }
+    });
 }

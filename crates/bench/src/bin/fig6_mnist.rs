@@ -3,21 +3,26 @@
 //! conventional LFSR-based SC, and the proposed SC — without and with
 //! fine-tuning. `--quick` runs a reduced sweep.
 
-use sc_bench::cli;
 use sc_bench::fig6::{print_result, run, Benchmark, Fig6Config};
 
 fn main() {
-    let mut cfg = Fig6Config::new(cli::quick_mode());
-    cfg.full_nets = std::env::args().any(|a| a == "--full-nets");
-    println!(
-        "Fig. 6(a)-(b): MNIST-like accuracy sweep (train {} / test {}, {} epochs, ft {} iters)",
-        cfg.train_n, cfg.test_n, cfg.epochs, cfg.ft_iters
-    );
-    let result = run(Benchmark::MnistLike, &cfg, |line| println!("  [{line}]"));
-    print_result("Fig. 6 MNIST-like", &cfg, &result);
-    if let Some(path) = cli::arg_value::<String>("csv") {
-        sc_bench::csv::write_csv(&path, sc_bench::csv::FIG6_HEADER, &sc_bench::csv::fig6_rows(&result))
-            .expect("csv write");
-        println!("wrote {path}");
-    }
+    sc_telemetry::bench_run("fig6_mnist", "Fig. 6(a)-(b): MNIST-like accuracy sweep", |ctx| {
+        let mut cfg = Fig6Config::new(ctx.quick());
+        cfg.full_nets = std::env::args().any(|a| a == "--full-nets");
+        ctx.config("train_n", cfg.train_n);
+        ctx.config("test_n", cfg.test_n);
+        ctx.config("epochs", cfg.epochs);
+        ctx.config("ft_iters", cfg.ft_iters);
+        ctx.config("full_nets", cfg.full_nets);
+        println!(
+            "(train {} / test {}, {} epochs, ft {} iters)",
+            cfg.train_n, cfg.test_n, cfg.epochs, cfg.ft_iters
+        );
+        let result = run(Benchmark::MnistLike, &cfg, |line| println!("  [{line}]"));
+        print_result("Fig. 6 MNIST-like", &cfg, &result);
+        if let Some(path) = ctx.arg_value::<String>("csv") {
+            ctx.write_csv(&path, sc_bench::csv::FIG6_HEADER, &sc_bench::csv::fig6_rows(&result))
+                .expect("csv write");
+        }
+    });
 }

@@ -78,10 +78,20 @@ fn print_panel(title: &str, bits: u32, float_weights: &[f32]) {
 }
 
 fn main() {
-    let quick = cli::quick_mode();
-    println!("Fig. 7: MAC array comparison (256 MACs, A = 2, 1 GHz, TSMC-45nm-calibrated model)");
+    sc_telemetry::bench_run(
+        "fig7_mac_array",
+        "Fig. 7: MAC array comparison (256 MACs, A = 2, 1 GHz, TSMC-45nm-calibrated model)",
+        run,
+    );
+}
 
-    println!("\ntraining MNIST-like net for the N=5 weight population...");
+fn run(ctx: &mut sc_telemetry::BenchCtx) {
+    let quick = ctx.quick();
+    ctx.config("array_size", ARRAY_SIZE);
+    ctx.config("extra_bits", 2);
+    ctx.config("precisions", "5,8,9");
+
+    println!("training MNIST-like net for the N=5 weight population...");
     let mnist_w = weights::trained_mnist_conv_weights(quick);
     print_panel("MNIST (our trained weights)", 5, &mnist_w);
 

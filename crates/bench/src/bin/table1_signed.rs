@@ -8,14 +8,18 @@ use sc_core::Precision;
 use sc_rtlsim::mac::ProposedMacRtl;
 
 fn main() {
+    sc_telemetry::bench_run("table1_signed", "Table 1: Signed multiplication example (N = 4)", run);
+}
+
+fn run(ctx: &mut sc_telemetry::BenchCtx) {
     let n = Precision::new(4).expect("4 bits is valid");
+    ctx.config("precision", n.bits());
     let mac = SignedScMac::new(n);
 
     let header = format!(
         "{:>5} | {:>5} | {:>6} | {:>12} | {:>10} | {:>7} | {:>10}",
         "2^3·w", "2^3·x", "binary", "sign-flipped", "MUX out", "counter", "ref (2^3wx)"
     );
-    println!("Table 1: Signed multiplication example (N = 4)\n");
     println!("{header}");
     println!("{}", "-".repeat(header.chars().count()));
 
@@ -24,10 +28,8 @@ fn main() {
             let code = n.check_signed(x as i64).expect("in range");
             let u = code.to_offset_binary();
             let k = w.unsigned_abs() as usize;
-            let stream: String = FsmMuxSequence::new(u, n)
-                .take(k)
-                .map(|b| if b { '1' } else { '0' })
-                .collect();
+            let stream: String =
+                FsmMuxSequence::new(u, n).take(k).map(|b| if b { '1' } else { '0' }).collect();
 
             let behavioural = mac.multiply(w, x).expect("in range");
             let mut rtl = ProposedMacRtl::new(n, 4);

@@ -53,14 +53,22 @@ fn print_table(bits: u32) {
 }
 
 fn main() {
-    println!("Table 2 (model anchored to the paper's synthesis results)");
-    print_table(5);
-    print_table(9);
-    if std::env::args().any(|a| a == "--sweep") {
-        for bits in [6u32, 7, 8, 10] {
-            print_table(bits);
-        }
-    }
-    println!("\nNote: at MP = 5 and MP = 9 these are the paper's Table 2 numbers by");
-    println!("construction; other precisions use per-component power-law interpolation.");
+    sc_telemetry::bench_run(
+        "table2_area",
+        "Table 2 (model anchored to the paper's synthesis results)",
+        |ctx| {
+            let sweep = std::env::args().any(|a| a == "--sweep");
+            ctx.config("anchors", "5,9");
+            ctx.config("sweep", sweep);
+            print_table(5);
+            print_table(9);
+            if sweep {
+                for bits in [6u32, 7, 8, 10] {
+                    print_table(bits);
+                }
+            }
+            println!("\nNote: at MP = 5 and MP = 9 these are the paper's Table 2 numbers by");
+            println!("construction; other precisions use per-component power-law interpolation.");
+        },
+    );
 }

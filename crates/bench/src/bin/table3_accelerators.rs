@@ -26,11 +26,20 @@ fn print_row(r: &AcceleratorRow) {
 }
 
 fn main() {
-    let quick = cli::quick_mode();
-    println!("Table 3: comparison with previous neural network accelerators");
-    println!("\ntraining CIFAR-like net for the proposed row's weight population...");
+    sc_telemetry::bench_run(
+        "table3_accelerators",
+        "Table 3: comparison with previous neural network accelerators",
+        run,
+    );
+}
+
+fn run(ctx: &mut sc_telemetry::BenchCtx) {
+    let quick = ctx.quick();
+    println!("training CIFAR-like net for the proposed row's weight population...");
     let w = weights::trained_cifar_conv_weights(quick);
     let n = Precision::new(9).expect("valid");
+    ctx.config("precision", n.bits());
+    ctx.config("arithmetic", "proposed-serial");
     let codes = quantize_weights(&w, n);
     let mut ours = proposed_row(&codes);
     ours.name = "Proposed (our weights)";

@@ -1,37 +1,20 @@
-//! Minimal CSV output so figure data can be re-plotted with external
-//! tools.
+//! CSV output for figure data — a thin wrapper over the workspace CSV
+//! exporter in [`sc_telemetry::export`], plus the row converters for the
+//! figures this crate regenerates.
 
-use std::io::{self, Write};
+use std::io;
 use std::path::Path;
 
 /// Writes a header and rows to a CSV file (fields are escaped by
-/// doubling quotes and quoting fields containing separators).
+/// doubling quotes and quoting fields containing separators). Delegates
+/// to [`sc_telemetry::export::write_csv`] so the whole workspace shares
+/// one escaping implementation.
 ///
 /// # Errors
 ///
 /// Returns any underlying I/O error.
-pub fn write_csv<P: AsRef<Path>>(
-    path: P,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> io::Result<()> {
-    if let Some(dir) = path.as_ref().parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    writeln!(f, "{}", header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","))?;
-    for row in rows {
-        writeln!(f, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","))?;
-    }
-    f.flush()
-}
-
-fn escape(field: &str) -> String {
-    if field.contains(',') || field.contains('"') || field.contains('\n') {
-        format!("\"{}\"", field.replace('"', "\"\""))
-    } else {
-        field.to_string()
-    }
+pub fn write_csv<P: AsRef<Path>>(path: P, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    sc_telemetry::export::write_csv(path, header, rows)
 }
 
 /// Converts [`crate::error_stats::Fig5Point`]s into CSV rows.
@@ -78,13 +61,6 @@ pub const FIG6_HEADER: &[&str] = &["method", "precision", "fine_tuned", "accurac
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn escaping_rules() {
-        assert_eq!(escape("plain"), "plain");
-        assert_eq!(escape("a,b"), "\"a,b\"");
-        assert_eq!(escape("q\"q"), "\"q\"\"q\"");
-    }
 
     #[test]
     fn writes_file_with_header_and_rows() {

@@ -139,12 +139,7 @@ mod tests {
         let halton = sweep_conventional(n, ConvScMethod::Halton, 1);
         let ours = sweep_proposed(n, 1);
         let last = |v: &Vec<Fig5Point>| v.last().unwrap().stats.std_dev();
-        assert!(
-            last(&halton) < last(&lfsr),
-            "halton {} vs lfsr {}",
-            last(&halton),
-            last(&lfsr)
-        );
+        assert!(last(&halton) < last(&lfsr), "halton {} vs lfsr {}", last(&halton), last(&lfsr));
         assert!(
             last(&ours) < last(&halton) * 0.6,
             "ours {} vs halton {}",
@@ -165,19 +160,13 @@ mod tests {
         assert!(final_mean.abs() < 0.5 * lsb, "bias {final_mean}");
         let lfsr = sweep_conventional(n, ConvScMethod::Lfsr, 1);
         let lfsr_mean = lfsr.last().unwrap().stats.mean();
-        assert!(
-            final_mean.abs() < lfsr_mean.abs(),
-            "ours {final_mean} vs lfsr {lfsr_mean}"
-        );
+        assert!(final_mean.abs() < lfsr_mean.abs(), "ours {final_mean} vs lfsr {lfsr_mean}");
     }
 
     #[test]
     fn error_shrinks_with_cycles() {
         let n = p(7);
-        for pts in [
-            sweep_conventional(n, ConvScMethod::Halton, 1),
-            sweep_proposed(n, 1),
-        ] {
+        for pts in [sweep_conventional(n, ConvScMethod::Halton, 1), sweep_proposed(n, 1)] {
             let first = pts[1].stats.std_dev();
             let last = pts.last().unwrap().stats.std_dev();
             assert!(last < first, "{}: {first} -> {last}", pts[0].method);
@@ -210,8 +199,7 @@ mod tests {
         let n = p(8);
         let full = sweep_proposed(n, 1);
         let sub = sweep_proposed(n, 4);
-        let (a, b) =
-            (full.last().unwrap().stats.std_dev(), sub.last().unwrap().stats.std_dev());
+        let (a, b) = (full.last().unwrap().stats.std_dev(), sub.last().unwrap().stats.std_dev());
         assert!((a - b).abs() / a < 0.35, "full {a} vs strided {b}");
     }
 }

@@ -94,11 +94,7 @@ pub struct Fig6Result {
 
 /// The three quantized methods of Fig. 6.
 fn methods() -> Vec<ArithKind> {
-    vec![
-        ArithKind::Fixed,
-        ArithKind::ConventionalSc(ConvScMethod::Lfsr),
-        ArithKind::ProposedSc,
-    ]
+    vec![ArithKind::Fixed, ArithKind::ConventionalSc(ConvScMethod::Lfsr), ArithKind::ProposedSc]
 }
 
 fn build_arith(kind: ArithKind, n: Precision) -> std::sync::Arc<QuantArith> {
@@ -139,24 +135,15 @@ pub fn run(bench: Benchmark, cfg: &Fig6Config, mut log: impl FnMut(&str)) -> Fig
         ),
     };
 
-    let tcfg = TrainConfig {
-        epochs: cfg.epochs,
-        seed: cfg.seed,
-        ..TrainConfig::default()
-    };
-    log(&format!(
-        "training float net: {} images, {} epochs",
-        train_set.len(),
-        cfg.epochs
-    ));
+    let tcfg = TrainConfig { epochs: cfg.epochs, seed: cfg.seed, ..TrainConfig::default() };
+    log(&format!("training float net: {} images, {} epochs", train_set.len(), cfg.epochs));
     let losses = train(&mut net, &train_set, &tcfg);
     log(&format!("epoch losses: {losses:?}"));
 
     // Calibrate the per-layer activation scales (the paper's "scale by
     // 128" for CIFAR, generalized) on a few training images.
-    let calib: Vec<_> = (0..16.min(train_set.len()))
-        .map(|i| sample_tensor(&train_set, i).0)
-        .collect();
+    let calib: Vec<_> =
+        (0..16.min(train_set.len())).map(|i| sample_tensor(&train_set, i).0).collect();
     net.calibrate_io_scales(&calib);
     let scales: Vec<f32> = net.conv_layers().map(|c| c.io_scale()).collect();
     log(&format!("calibrated conv io scales: {scales:?}"));
@@ -177,8 +164,7 @@ pub fn run(bench: Benchmark, cfg: &Fig6Config, mut log: impl FnMut(&str)) -> Fig
         let ft_cfg = TrainConfig { lr: ft_lr, seed: cfg.seed, ..TrainConfig::default() };
         for kind in methods() {
             let arith = build_arith(kind, n);
-            let mode =
-                ConvMode::Quantized { arith, extra_bits: cfg.extra_bits };
+            let mode = ConvMode::Quantized { arith, extra_bits: cfg.extra_bits };
 
             // Without fine-tuning.
             let mut qnet = net.clone();
@@ -219,11 +205,7 @@ pub fn print_result(title: &str, cfg: &Fig6Config, result: &Fig6Result) {
         let header = format!(
             "{:>14} | {}",
             "method",
-            cfg.precisions
-                .iter()
-                .map(|p| format!("N={p:<2}  "))
-                .collect::<Vec<_>>()
-                .join("")
+            cfg.precisions.iter().map(|p| format!("N={p:<2}  ")).collect::<Vec<_>>().join("")
         );
         println!("{header}");
         crate::cli::rule(&header);
@@ -270,12 +252,7 @@ mod tests {
         // At N = 8 without fine-tuning, the proposed method should be at
         // least as accurate as conventional LFSR SC (paper's core claim).
         let get = |m: &str, ft: bool| {
-            result
-                .points
-                .iter()
-                .find(|p| p.method == m && p.fine_tuned == ft)
-                .unwrap()
-                .accuracy
+            result.points.iter().find(|p| p.method == m && p.fine_tuned == ft).unwrap().accuracy
         };
         assert!(
             get("proposed-sc", false) >= get("conv-sc-lfsr", false) - 0.05,

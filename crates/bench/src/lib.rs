@@ -24,4 +24,5 @@ pub mod cli;
 pub mod csv;
 pub mod error_stats;
 pub mod fig6;
+pub mod microbench;
 pub mod weights;

@@ -1,0 +1,129 @@
+//! A dependency-free micro-benchmark harness (the workspace builds
+//! offline, so Criterion is replaced by this ~100-line timer).
+//!
+//! Usage mirrors the Criterion shape the benches had before:
+//!
+//! ```no_run
+//! let mut g = sc_bench::microbench::Group::new("my_group");
+//! g.bench("kernel", || 2 + 2);
+//! g.finish();
+//! ```
+//!
+//! Each benchmark auto-calibrates its iteration count to a ~200 ms
+//! budget, reports mean/min over 5 timed batches, and uses
+//! [`std::hint::black_box`] to defeat dead-code elimination.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Timed batches per benchmark.
+const BATCHES: usize = 5;
+/// Target wall time per benchmark (all batches together).
+const BUDGET: Duration = Duration::from_millis(200);
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// Iterations per timed batch.
+    pub iters: u64,
+    /// Mean nanoseconds per iteration over all batches.
+    pub mean_ns: f64,
+    /// Fastest batch's nanoseconds per iteration.
+    pub min_ns: f64,
+}
+
+/// Measures `f`, auto-calibrating the iteration count.
+pub fn time_fn<T>(mut f: impl FnMut() -> T) -> Timing {
+    // Calibrate: grow iteration count until one batch takes ≥ 1/25 of
+    // the budget (so ~5 batches fit comfortably).
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed * 25 >= BUDGET || iters >= 1 << 30 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let mut per_iter = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min_ns = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    Timing { iters, mean_ns, min_ns }
+}
+
+/// A named group of benchmarks printed as a small table.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    results: Vec<(String, Timing)>,
+}
+
+impl Group {
+    /// Starts a group.
+    pub fn new(name: &str) -> Self {
+        println!("== bench group: {name} ==");
+        Group { name: name.to_string(), results: Vec::new() }
+    }
+
+    /// Runs and records one benchmark.
+    pub fn bench<T>(&mut self, name: &str, f: impl FnMut() -> T) {
+        let t = time_fn(f);
+        println!(
+            "{:>32}  mean {:>12}  min {:>12}  ({} iters/batch)",
+            name,
+            fmt_ns(t.mean_ns),
+            fmt_ns(t.min_ns),
+            t.iters
+        );
+        self.results.push((name.to_string(), t));
+    }
+
+    /// Ends the group (prints a trailing newline for readability).
+    pub fn finish(self) -> Vec<(String, Timing)> {
+        println!("== end group: {} ==\n", self.name);
+        self.results
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_is_positive_and_finite() {
+        let t = time_fn(|| (0..100u64).sum::<u64>());
+        assert!(t.mean_ns > 0.0 && t.mean_ns.is_finite());
+        assert!(t.min_ns <= t.mean_ns + 1e3);
+        assert!(t.iters >= 1);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert!(fmt_ns(5.0).ends_with("ns"));
+        assert!(fmt_ns(5_000.0).ends_with("µs"));
+        assert!(fmt_ns(5_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(5_000_000_000.0).ends_with('s'));
+    }
+}

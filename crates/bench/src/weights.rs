@@ -25,7 +25,8 @@ pub fn trained_cifar_conv_weights(quick: bool) -> Vec<f32> {
 }
 
 fn cache_path(tag: &str, quick: bool) -> PathBuf {
-    let mut p = PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()));
+    let mut p =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()));
     p.push("scnn-cache");
     p.push(format!("{tag}-{}.params", if quick { "quick" } else { "full" }));
     p
@@ -91,10 +92,7 @@ mod tests {
         let w = trained_mnist_conv_weights(true);
         assert!(!w.is_empty());
         let (mean_abs, _std, max_abs) = describe(&w);
-        assert!(
-            mean_abs < max_abs / 2.0,
-            "mean |w| {mean_abs} not far less than max {max_abs}"
-        );
+        assert!(mean_abs < max_abs / 2.0, "mean |w| {mean_abs} not far less than max {max_abs}");
     }
 
     #[test]

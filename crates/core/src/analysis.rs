@@ -33,11 +33,7 @@ impl JointStats {
         gen_b: &mut dyn BitstreamGenerator,
         code_b: u32,
     ) -> Self {
-        assert_eq!(
-            gen_a.precision(),
-            gen_b.precision(),
-            "generators must share a precision"
-        );
+        assert_eq!(gen_a.precision(), gen_b.precision(), "generators must share a precision");
         let len = gen_a.precision().stream_len();
         gen_a.reset();
         gen_b.reset();
@@ -63,11 +59,8 @@ impl JointStats {
         let pb = self.ones_b as f64 / n;
         let pab = self.overlap as f64 / n;
         let delta = pab - pa * pb;
-        let bound = if delta > 0.0 {
-            pa.min(pb) - pa * pb
-        } else {
-            pa * pb - (pa + pb - 1.0).max(0.0)
-        };
+        let bound =
+            if delta > 0.0 { pa.min(pb) - pa * pb } else { pa * pb - (pa + pb - 1.0).max(0.0) };
         if bound.abs() < 1e-15 {
             0.0
         } else {
@@ -208,10 +201,7 @@ mod tests {
                 let exact = x as f64 * w as f64 / 128.0;
                 worst = worst.max((out.value as f64 - exact).abs());
             }
-            assert!(
-                (worst - disc).abs() < 1e-9,
-                "x={x}: worst {worst} vs discrepancy {disc}"
-            );
+            assert!((worst - disc).abs() < 1e-9, "x={x}: worst {worst} vs discrepancy {disc}");
         }
     }
 

@@ -3,10 +3,11 @@
 //! and a (up/down) counter converts the product stream back to binary over
 //! `2^N` cycles.
 
-use crate::sng::{
-    collect_stream_words, BitstreamGenerator, EdSng, EdVariant, HaltonSng, LfsrSng,
-};
+use crate::sng::{collect_stream_words, BitstreamGenerator, EdSng, EdVariant, HaltonSng, LfsrSng};
 use crate::{Error, Precision};
+
+/// A decorrelated `(gen_x, gen_w)` generator pair driving one multiplier.
+pub type GeneratorPair = (Box<dyn BitstreamGenerator>, Box<dyn BitstreamGenerator>);
 
 /// Which conventional SNG flavor drives the multiplier (the three baselines
 /// of the paper's Fig. 5 / Table 2).
@@ -32,10 +33,7 @@ impl ConvScMethod {
     /// # Errors
     ///
     /// Propagates [`Error::NoLfsrPolynomial`] for the LFSR method.
-    pub fn generator_pair(
-        self,
-        n: Precision,
-    ) -> Result<(Box<dyn BitstreamGenerator>, Box<dyn BitstreamGenerator>), Error> {
+    pub fn generator_pair(self, n: Precision) -> Result<GeneratorPair, Error> {
         Ok(match self {
             ConvScMethod::Lfsr => (
                 Box::new(LfsrSng::new(n, 0, 1)?),
@@ -320,11 +318,8 @@ mod tests {
         let n = p(8);
         // ED is the least accurate conventional SNG (paper Fig. 5(c)),
         // so it gets a looser threshold.
-        let cases = [
-            (ConvScMethod::Lfsr, 24.0),
-            (ConvScMethod::Halton, 12.0),
-            (ConvScMethod::Ed, 40.0),
-        ];
+        let cases =
+            [(ConvScMethod::Lfsr, 24.0), (ConvScMethod::Halton, 12.0), (ConvScMethod::Ed, 40.0)];
         for (method, limit) in cases {
             let mut m = ConventionalMultiplier::new(n, method).unwrap();
             let mut worst = 0f64;

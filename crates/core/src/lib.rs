@@ -59,6 +59,7 @@ mod error;
 pub mod mac;
 pub mod mvm;
 mod num;
+pub mod rng;
 pub mod seq;
 pub mod sng;
 pub mod stats;

@@ -80,10 +80,7 @@ impl BiscMvm {
     /// [`Error::CodeOutOfRange`] if any code is out of range.
     pub fn accumulate(&mut self, w: i32, xs: &[i32]) -> Result<u64, Error> {
         if xs.len() != self.lanes.len() {
-            return Err(Error::LengthMismatch {
-                expected: self.lanes.len(),
-                actual: xs.len(),
-            });
+            return Err(Error::LengthMismatch { expected: self.lanes.len(), actual: xs.len() });
         }
         let mut k = 0;
         for (lane, &x) in self.lanes.iter_mut().zip(xs) {
@@ -104,10 +101,7 @@ impl BiscMvm {
     /// Same as [`accumulate`](Self::accumulate).
     pub fn accumulate_cycle_accurate(&mut self, w: i32, xs: &[i32]) -> Result<u64, Error> {
         if xs.len() != self.lanes.len() {
-            return Err(Error::LengthMismatch {
-                expected: self.lanes.len(),
-                actual: xs.len(),
-            });
+            return Err(Error::LengthMismatch { expected: self.lanes.len(), actual: xs.len() });
         }
         let wc = self.n.check_signed(w as i64)?;
         let offsets: Vec<u32> = xs
@@ -211,10 +205,7 @@ impl UnsignedBiscMvm {
     /// Returns [`Error::LengthMismatch`] or [`Error::CodeOutOfRange`].
     pub fn accumulate(&mut self, w: u32, xs: &[u32]) -> Result<u64, Error> {
         if xs.len() != self.lanes.len() {
-            return Err(Error::LengthMismatch {
-                expected: self.lanes.len(),
-                actual: xs.len(),
-            });
+            return Err(Error::LengthMismatch { expected: self.lanes.len(), actual: xs.len() });
         }
         self.n.check_unsigned(w as u64)?;
         for (lane, &x) in self.lanes.iter_mut().zip(xs) {
@@ -244,10 +235,7 @@ impl UnsignedBiscMvm {
 /// bit-serial design). This is the data-dependent latency term `t` of
 /// paper Sec. 3.2.
 pub fn dot_product_cycles(weights: &[i32], b: u32) -> u64 {
-    weights
-        .iter()
-        .map(|&w| (w.unsigned_abs() as u64).div_ceil(b as u64))
-        .sum()
+    weights.iter().map(|&w| (w.unsigned_abs() as u64).div_ceil(b as u64)).sum()
 }
 
 /// Average per-MAC latency (cycles) of the proposed design over a weight
@@ -455,8 +443,7 @@ mod tests {
             mvm.accumulate(w, &xs).unwrap();
         }
         for (j, &x) in xs.iter().enumerate() {
-            let expect: i64 =
-                ws.iter().map(|&w| mac.multiply(x, w).unwrap().value as i64).sum();
+            let expect: i64 = ws.iter().map(|&w| mac.multiply(x, w).unwrap().value as i64).sum();
             assert_eq!(mvm.read()[j], expect, "lane {j}");
         }
         assert_eq!(mvm.cycles(), ws.iter().map(|&w| w as u64).sum::<u64>());
@@ -478,7 +465,7 @@ mod tests {
     #[test]
     fn latency_helpers() {
         assert_eq!(dot_product_cycles(&[10, -20, 0, 7], 1), 37);
-        assert_eq!(dot_product_cycles(&[10, -20, 0, 7], 8), 2 + 3 + 0 + 1);
+        assert_eq!(dot_product_cycles(&[10, -20, 0, 7], 8), (2 + 3) + 1);
         assert!((average_mac_latency(&[10, -20, 0, 7], 1) - 9.25).abs() < 1e-12);
         assert_eq!(average_mac_latency(&[], 1), 0.0);
     }

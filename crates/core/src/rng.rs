@@ -1,0 +1,210 @@
+//! A small, self-contained pseudo-random number generator.
+//!
+//! The workspace must build without registry access, so instead of the
+//! `rand` crate every consumer (dataset synthesis, weight init, shuffle,
+//! randomized test sweeps) uses this xoshiro256++ generator seeded via
+//! SplitMix64. It is deterministic across platforms: the same seed always
+//! yields the same stream, which is what the reproducibility manifests
+//! record.
+
+use std::ops::Range;
+
+/// A deterministic xoshiro256++ PRNG (Blackman & Vigna), seeded from a
+/// `u64` through SplitMix64 so that small/sequential seeds still produce
+/// well-mixed states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        SmallRng { s: [next_sm(), next_sm(), next_sm(), next_sm()] }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32 uniformly random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `f32` in `[0, 1)`.
+    pub fn gen_f32(&mut self) -> f32 {
+        // 24 mantissa-width bits → exactly representable multiples of 2^-24.
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniform `f32` in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range_f32(&mut self, range: Range<f32>) -> f32 {
+        assert!(range.start < range.end, "empty range");
+        range.start + (range.end - range.start) * self.gen_f32()
+    }
+
+    /// A uniform `u64` in `[range.start, range.end)` (unbiased via
+    /// rejection of the overhang).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range_u64(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        // Lemire-style rejection: retry while in the biased overhang.
+        let zone = u64::MAX - u64::MAX % span;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return range.start + v % span;
+            }
+        }
+    }
+
+    /// A uniform `usize` in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range_usize(&mut self, range: Range<usize>) -> usize {
+        self.gen_range_u64(range.start as u64..range.end as u64) as usize
+    }
+
+    /// A uniform `i32` in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range_i32(&mut self, range: Range<i32>) -> i32 {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end as i64 - range.start as i64) as u64;
+        (range.start as i64 + self.gen_range_u64(0..span) as i64) as i32
+    }
+
+    /// A standard normal sample (Box–Muller).
+    pub fn normal_f32(&mut self) -> f32 {
+        let u1 = self.gen_range_f32(1e-9f32..1.0);
+        let u2 = self.gen_f32();
+        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range_usize(0..i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f32_in_unit_interval_and_well_spread() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let n = 10_000;
+        let mut sum = 0.0f64;
+        for _ in 0..n {
+            let v = r.gen_f32();
+            assert!((0.0..1.0).contains(&v));
+            sum += v as f64;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = r.gen_range_usize(3..9);
+            assert!((3..9).contains(&v));
+            let f = r.gen_range_f32(-2.0..5.0);
+            assert!((-2.0..5.0).contains(&f));
+            let i = r.gen_range_i32(-10..-2);
+            assert!((-10..-2).contains(&i));
+        }
+        // Every value of a small range is eventually hit.
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[r.gen_range_usize(0..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn normal_roughly_standard() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let n = 10_000;
+        let samples: Vec<f32> = (0..n).map(|_| r.normal_f32()).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|&s| (s - mean) * (s - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02, "{hits}");
+    }
+}

@@ -168,18 +168,15 @@ mod tests {
         // Paper Table 1: x = 0 (code 0000) sign-flipped to 1000 produces
         // the stream 10101010 over 8 cycles at N = 4.
         let n = p(4);
-        let seq: Vec<u8> =
-            FsmMuxSequence::new(0b1000, n).take(8).map(|b| b as u8).collect();
+        let seq: Vec<u8> = FsmMuxSequence::new(0b1000, n).take(8).map(|b| b as u8).collect();
         assert_eq!(seq, vec![1, 0, 1, 0, 1, 0, 1, 0]);
 
         // x = 7 -> 1111: all ones.
-        let seq: Vec<u8> =
-            FsmMuxSequence::new(0b1111, n).take(8).map(|b| b as u8).collect();
+        let seq: Vec<u8> = FsmMuxSequence::new(0b1111, n).take(8).map(|b| b as u8).collect();
         assert_eq!(seq, vec![1; 8]);
 
         // x = -8 -> 0000: all zeros.
-        let seq: Vec<u8> =
-            FsmMuxSequence::new(0b0000, n).take(8).map(|b| b as u8).collect();
+        let seq: Vec<u8> = FsmMuxSequence::new(0b0000, n).take(8).map(|b| b as u8).collect();
         assert_eq!(seq, vec![0; 8]);
     }
 
@@ -234,8 +231,7 @@ mod tests {
         for x in [0u32, 1, 13, 21, 31] {
             for lo in 0..=32u64 {
                 for hi in lo..=32u64 {
-                    let direct: u64 =
-                        ((lo + 1)..=hi).map(|t| stream_bit(x, n, t) as u64).sum();
+                    let direct: u64 = ((lo + 1)..=hi).map(|t| stream_bit(x, n, t) as u64).sum();
                     assert_eq!(range_sum(x, n, lo, hi), direct);
                 }
             }

@@ -227,10 +227,7 @@ mod tests {
             sng.reset();
             let ones: u32 = (0..256).map(|_| sng.next_bit(code) as u32).sum();
             // Within the ±1 LFSR bias plus the missing all-zero state.
-            assert!(
-                (ones as i32 - code as i32).abs() <= 2,
-                "code={code} ones={ones}"
-            );
+            assert!((ones as i32 - code as i32).abs() <= 2, "code={code} ones={ones}");
         }
     }
 

@@ -54,10 +54,7 @@ pub trait BitstreamGenerator {
 ///
 /// Packed streams make exhaustive conventional-SC simulation fast: the
 /// AND/XNOR product of two streams reduces to bitwise ops + popcount.
-pub fn collect_stream_words<G: BitstreamGenerator + ?Sized>(
-    gen: &mut G,
-    code: u32,
-) -> Vec<u64> {
+pub fn collect_stream_words<G: BitstreamGenerator + ?Sized>(gen: &mut G, code: u32) -> Vec<u64> {
     gen.reset();
     let len = gen.precision().stream_len();
     let words = len.div_ceil(64) as usize;

@@ -4,8 +4,7 @@
 
 use crate::raster::add_noise;
 use crate::{Dataset, NUM_CLASSES};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sc_core::rng::SmallRng;
 
 /// Output image side length.
 pub const SIDE: usize = 32;
@@ -29,7 +28,7 @@ pub const SIDE: usize = 32;
 /// | 8     | diagonal waves       | teal     |
 /// | 9     | blob cluster         | olive    |
 pub fn cifar_like(count: usize, seed: u64) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x6369_6661_725f_6c6b);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6369_6661_725f_6c6b);
     let mut images = Vec::with_capacity(count);
     let mut labels = Vec::with_capacity(count);
     for i in 0..count {
@@ -54,34 +53,37 @@ const BASE_COLORS: [[f32; 3]; 10] = [
     [0.55, 0.55, 0.20], // olive
 ];
 
-fn render_class(class: u8, rng: &mut StdRng) -> Vec<f32> {
+fn render_class(class: u8, rng: &mut SmallRng) -> Vec<f32> {
     let s = SIDE as f32;
     // Background: random two-corner gradient of a random dim color.
-    let bg_a: [f32; 3] = [rng.gen_range(0.0..0.45), rng.gen_range(0.0..0.45), rng.gen_range(0.0..0.45)];
-    let bg_b: [f32; 3] = [rng.gen_range(0.0..0.45), rng.gen_range(0.0..0.45), rng.gen_range(0.0..0.45)];
+    let bg_a: [f32; 3] =
+        [rng.gen_range_f32(0.0..0.45), rng.gen_range_f32(0.0..0.45), rng.gen_range_f32(0.0..0.45)];
+    let bg_b: [f32; 3] =
+        [rng.gen_range_f32(0.0..0.45), rng.gen_range_f32(0.0..0.45), rng.gen_range_f32(0.0..0.45)];
     let horizontal_grad = rng.gen_bool(0.5);
 
     // Foreground color: class base + jitter.
     let base = BASE_COLORS[class as usize];
-    let jitter = |c: f32, rng: &mut StdRng| (c + rng.gen_range(-0.15f32..0.15)).clamp(0.05, 1.0);
+    let jitter =
+        |c: f32, rng: &mut SmallRng| (c + rng.gen_range_f32(-0.15f32..0.15)).clamp(0.05, 1.0);
     let fg = [jitter(base[0], rng), jitter(base[1], rng), jitter(base[2], rng)];
 
     // Shape placement.
-    let cx = rng.gen_range(0.35 * s..0.65 * s);
-    let cy = rng.gen_range(0.35 * s..0.65 * s);
-    let radius = rng.gen_range(0.22 * s..0.38 * s);
-    let angle = rng.gen_range(0.0f32..std::f32::consts::TAU);
+    let cx = rng.gen_range_f32(0.35 * s..0.65 * s);
+    let cy = rng.gen_range_f32(0.35 * s..0.65 * s);
+    let radius = rng.gen_range_f32(0.22 * s..0.38 * s);
+    let angle = rng.gen_range_f32(0.0f32..std::f32::consts::TAU);
     let (sin, cos) = angle.sin_cos();
-    let stripe_period = rng.gen_range(3.0f32..6.0);
-    let phase = rng.gen_range(0.0f32..stripe_period);
+    let stripe_period = rng.gen_range_f32(3.0f32..6.0);
+    let phase = rng.gen_range_f32(0.0f32..stripe_period);
 
     // Blob cluster parameters (class 9).
     let blobs: Vec<(f32, f32, f32)> = (0..5)
         .map(|_| {
             (
-                rng.gen_range(0.2 * s..0.8 * s),
-                rng.gen_range(0.2 * s..0.8 * s),
-                rng.gen_range(0.08 * s..0.16 * s),
+                rng.gen_range_f32(0.2 * s..0.8 * s),
+                rng.gen_range_f32(0.2 * s..0.8 * s),
+                rng.gen_range_f32(0.08 * s..0.16 * s),
             )
         })
         .collect();
@@ -109,9 +111,8 @@ fn render_class(class: u8, rng: &mut StdRng) -> Vec<f32> {
                 2 => {
                     // Upward triangle in rotated frame.
                     let h = radius * 1.3;
-                    let inside = ry < h / 2.0
-                        && ry > -h / 2.0
-                        && rx.abs() < (ry + h / 2.0) / h * radius;
+                    let inside =
+                        ry < h / 2.0 && ry > -h / 2.0 && rx.abs() < (ry + h / 2.0) / h * radius;
                     if inside {
                         1.0
                     } else {
@@ -163,11 +164,11 @@ fn render_class(class: u8, rng: &mut StdRng) -> Vec<f32> {
     }
 
     // Distractor: a small random-colored rectangle that may occlude.
-    let dw = rng.gen_range(3..8usize);
-    let dh = rng.gen_range(3..8usize);
-    let dx0 = rng.gen_range(0..SIDE - dw);
-    let dy0 = rng.gen_range(0..SIDE - dh);
-    let dc: [f32; 3] = [rng.gen(), rng.gen(), rng.gen()];
+    let dw = rng.gen_range_usize(3..8);
+    let dh = rng.gen_range_usize(3..8);
+    let dx0 = rng.gen_range_usize(0..SIDE - dw);
+    let dy0 = rng.gen_range_usize(0..SIDE - dh);
+    let dc: [f32; 3] = [rng.gen_f32(), rng.gen_f32(), rng.gen_f32()];
     for y in dy0..dy0 + dh {
         for x in dx0..dx0 + dw {
             for c in 0..3 {

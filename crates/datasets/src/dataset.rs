@@ -78,14 +78,14 @@ impl Dataset {
         assert!(n <= self.len());
         let rest_images = self.images.split_off(n);
         let rest_labels = self.labels.split_off(n);
-        let front = Dataset {
+
+        Dataset {
             images: std::mem::replace(&mut self.images, rest_images),
             labels: std::mem::replace(&mut self.labels, rest_labels),
             channels: self.channels,
             height: self.height,
             width: self.width,
-        };
-        front
+        }
     }
 }
 
@@ -94,13 +94,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> Dataset {
-        Dataset::new(
-            vec![vec![0.0; 4], vec![0.5; 4], vec![1.0; 4]],
-            vec![0, 1, 2],
-            1,
-            2,
-            2,
-        )
+        Dataset::new(vec![vec![0.0; 4], vec![0.5; 4], vec![1.0; 4]], vec![0, 1, 2], 1, 2, 2)
     }
 
     #[test]

@@ -32,9 +32,9 @@ mod cifar;
 mod dataset;
 pub mod export;
 mod glyphs;
-pub mod stats;
 mod mnist;
 mod raster;
+pub mod stats;
 
 pub use cifar::cifar_like;
 pub use dataset::Dataset;

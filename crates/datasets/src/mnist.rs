@@ -4,8 +4,7 @@
 use crate::glyphs::{glyph, GLYPH_H, GLYPH_W};
 use crate::raster::{add_noise, bilinear, Affine};
 use crate::{Dataset, NUM_CLASSES};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sc_core::rng::SmallRng;
 
 /// Output image side length.
 pub const SIDE: usize = 28;
@@ -15,7 +14,7 @@ pub const SIDE: usize = 28;
 /// rotation (±15°), scale (0.75–1.15), translation (±2.5 px), per-image
 /// contrast, stroke blur, and pixel noise to the reference glyph.
 pub fn mnist_like(count: usize, seed: u64) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x6d6e_6973_745f_6c6b);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6d6e_6973_745f_6c6b);
     let mut images = Vec::with_capacity(count);
     let mut labels = Vec::with_capacity(count);
     for i in 0..count {
@@ -27,7 +26,7 @@ pub fn mnist_like(count: usize, seed: u64) -> Dataset {
 }
 
 /// Rasterizes one distorted digit.
-fn render_digit(digit: u8, rng: &mut StdRng) -> Vec<f32> {
+fn render_digit(digit: u8, rng: &mut SmallRng) -> Vec<f32> {
     // Up-sample the glyph bitmap to a smooth source image first
     // (2× with a soft edge) so that bilinear sampling gives anti-aliased
     // strokes like real handwriting scans.
@@ -49,11 +48,11 @@ fn render_digit(digit: u8, rng: &mut StdRng) -> Vec<f32> {
     // One box-blur pass softens stroke edges.
     let src = box_blur(&src, sw, sh);
 
-    let angle = rng.gen_range(-0.26f32..0.26); // ±15°
-    let scale = rng.gen_range(0.75f32..1.15);
-    let jx = rng.gen_range(-2.5f32..2.5);
-    let jy = rng.gen_range(-2.5f32..2.5);
-    let contrast = rng.gen_range(0.75f32..1.0);
+    let angle = rng.gen_range_f32(-0.26f32..0.26); // ±15°
+    let scale = rng.gen_range_f32(0.75f32..1.15);
+    let jx = rng.gen_range_f32(-2.5f32..2.5);
+    let jy = rng.gen_range_f32(-2.5f32..2.5);
+    let contrast = rng.gen_range_f32(0.75f32..1.0);
 
     // The glyph occupies sh source pixels and should span ~20 output
     // pixels at scale 1 (MNIST digits are ~20 px in the 28-px field).

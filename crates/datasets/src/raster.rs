@@ -1,7 +1,7 @@
 //! Small rasterization helpers shared by the dataset generators: inverse
 //! affine sampling with bilinear interpolation, and noise.
 
-use rand::Rng;
+use sc_core::rng::SmallRng;
 
 /// A 2D affine transform `output → source` (inverse mapping), i.e. for an
 /// output pixel `(x, y)` the sampled source coordinate is
@@ -81,9 +81,9 @@ pub fn bilinear(src: &[f32], w: usize, h: usize, x: f32, y: f32) -> f32 {
 
 /// Adds approximately Gaussian noise (`σ = sigma`, Irwin–Hall of 4
 /// uniforms) to every pixel and clamps to `[0, 1]`.
-pub fn add_noise<R: Rng>(pixels: &mut [f32], sigma: f32, rng: &mut R) {
+pub fn add_noise(pixels: &mut [f32], sigma: f32, rng: &mut SmallRng) {
     for p in pixels {
-        let g: f32 = (0..4).map(|_| rng.gen::<f32>()).sum::<f32>() - 2.0; // var 1/3
+        let g: f32 = (0..4).map(|_| rng.gen_f32()).sum::<f32>() - 2.0; // var 1/3
         *p = (*p + g * sigma * 1.732_050_8).clamp(0.0, 1.0);
     }
 }
@@ -91,8 +91,6 @@ pub fn add_noise<R: Rng>(pixels: &mut [f32], sigma: f32, rng: &mut R) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn identity_affine_round_trips() {
@@ -125,8 +123,8 @@ mod tests {
     fn noise_is_bounded_and_seeded() {
         let mut a = vec![0.5f32; 100];
         let mut b = vec![0.5f32; 100];
-        add_noise(&mut a, 0.1, &mut StdRng::seed_from_u64(3));
-        add_noise(&mut b, 0.1, &mut StdRng::seed_from_u64(3));
+        add_noise(&mut a, 0.1, &mut SmallRng::seed_from_u64(3));
+        add_noise(&mut b, 0.1, &mut SmallRng::seed_from_u64(3));
         assert_eq!(a, b);
         assert!(a.iter().all(|&p| (0.0..=1.0).contains(&p)));
         assert!(a.iter().any(|&p| (p - 0.5).abs() > 1e-4));

@@ -80,9 +80,9 @@ pub fn class_separation(stats: &[ClassStats]) -> Vec<Vec<f64>> {
 pub fn min_separation(stats: &[ClassStats]) -> f64 {
     let d = class_separation(stats);
     let mut min = f64::INFINITY;
-    for i in 0..d.len() {
-        for j in (i + 1)..d.len() {
-            min = min.min(d[i][j]);
+    for (i, row) in d.iter().enumerate() {
+        for &v in &row[(i + 1)..] {
+            min = min.min(v);
         }
     }
     if min.is_finite() {
@@ -124,10 +124,10 @@ mod tests {
         let d = cifar_like(30, 9);
         let stats = class_statistics(&d);
         let m = class_separation(&stats);
-        for i in 0..m.len() {
-            assert_eq!(m[i][i], 0.0);
-            for j in 0..m.len() {
-                assert_eq!(m[i][j], m[j][i]);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, m[j][i]);
             }
         }
     }

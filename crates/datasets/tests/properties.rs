@@ -1,49 +1,66 @@
-//! Property tests for the synthetic dataset generators.
+//! Property-style tests for the synthetic dataset generators, driven by
+//! a deterministic seeded sweep.
 
-use proptest::prelude::*;
+use sc_core::rng::SmallRng;
 use sc_datasets::{cifar_like, mnist_like};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Same seed → identical dataset; different seed → different pixels.
-    #[test]
-    fn mnist_like_seeded_determinism(count in 1usize..=30, seed in any::<u64>()) {
+/// Same seed → identical dataset; different seed → different pixels.
+#[test]
+fn mnist_like_seeded_determinism() {
+    let mut rng = SmallRng::seed_from_u64(0xd5_0001);
+    for _ in 0..8 {
+        let count = rng.gen_range_usize(1..31);
+        let seed = rng.next_u64();
         let a = mnist_like(count, seed);
         let b = mnist_like(count, seed);
-        prop_assert_eq!(&a, &b);
+        assert_eq!(a, b);
         let c = mnist_like(count, seed.wrapping_add(1));
-        prop_assert_ne!(&a, &c);
+        assert_ne!(a, c);
     }
+}
 
-    /// All pixels stay in [0, 1] and labels in 0..10 for both datasets.
-    #[test]
-    fn pixel_and_label_ranges(count in 1usize..=20, seed in any::<u64>()) {
+/// All pixels stay in [0, 1] and labels in 0..10 for both datasets.
+#[test]
+fn pixel_and_label_ranges() {
+    let mut rng = SmallRng::seed_from_u64(0xd5_0002);
+    for _ in 0..6 {
+        let count = rng.gen_range_usize(1..21);
+        let seed = rng.next_u64();
         for ds in [mnist_like(count, seed), cifar_like(count, seed)] {
             for (img, label) in ds.iter() {
-                prop_assert!(label < 10);
-                prop_assert!(img.iter().all(|&p| (0.0..=1.0).contains(&p)));
+                assert!(label < 10);
+                assert!(img.iter().all(|&p| (0.0..=1.0).contains(&p)));
             }
         }
     }
+}
 
-    /// Labels cycle round-robin, so any prefix is nearly class-balanced.
-    #[test]
-    fn labels_are_round_robin(count in 10usize..=50, seed in any::<u64>()) {
-        let ds = cifar_like(count, seed);
+/// Labels cycle round-robin, so any prefix is nearly class-balanced.
+#[test]
+fn labels_are_round_robin() {
+    let mut rng = SmallRng::seed_from_u64(0xd5_0003);
+    for _ in 0..8 {
+        let count = rng.gen_range_usize(10..51);
+        let ds = cifar_like(count, rng.next_u64());
         for (i, &l) in ds.labels().iter().enumerate() {
-            prop_assert_eq!(l as usize, i % 10);
+            assert_eq!(l as usize, i % 10);
         }
     }
+}
 
-    /// A longer dataset starts with the same samples as a shorter one of
-    /// the same seed (generation is streaming, not global).
-    #[test]
-    fn prefix_stability(short in 1usize..=10, extra in 1usize..=10, seed in any::<u64>()) {
+/// A longer dataset starts with the same samples as a shorter one of the
+/// same seed (generation is streaming, not global).
+#[test]
+fn prefix_stability() {
+    let mut rng = SmallRng::seed_from_u64(0xd5_0004);
+    for _ in 0..6 {
+        let short = rng.gen_range_usize(1..11);
+        let extra = rng.gen_range_usize(1..11);
+        let seed = rng.next_u64();
         let a = mnist_like(short, seed);
         let b = mnist_like(short + extra, seed);
         for i in 0..short {
-            prop_assert_eq!(a.get(i), b.get(i), "sample {} differs", i);
+            assert_eq!(a.get(i), b.get(i), "sample {i} differs");
         }
     }
 }

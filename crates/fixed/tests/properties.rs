@@ -1,86 +1,105 @@
-//! Property tests for the fixed-point baseline.
+//! Property-style tests for the fixed-point baseline, driven by a
+//! deterministic seeded sweep.
 
-use proptest::prelude::*;
+use sc_core::rng::SmallRng;
 use sc_core::Precision;
 use sc_fixed::{dequantize, quantize, FixedMac, FixedMul};
 
-fn signed_code(bits: u32, raw: i32) -> i32 {
+const CASES: usize = 128;
+
+fn signed_code(rng: &mut SmallRng, bits: u32) -> i32 {
     let h = 1i32 << (bits - 1);
-    raw.rem_euclid(2 * h) - h
+    rng.gen_range_i32(-h..h)
 }
 
-proptest! {
-    /// Round-to-nearest product error is at most half an LSB.
-    #[test]
-    fn product_error_at_most_half_lsb(bits in 2u32..=16, w in any::<i32>(), x in any::<i32>()) {
+/// Round-to-nearest product error is at most half an LSB.
+#[test]
+fn product_error_at_most_half_lsb() {
+    let mut rng = SmallRng::seed_from_u64(0xf1_0001);
+    for _ in 0..CASES {
+        let bits = rng.gen_range_u64(2..17) as u32;
         let n = Precision::new(bits).unwrap();
-        let (w, x) = (signed_code(bits, w), signed_code(bits, x));
+        let (w, x) = (signed_code(&mut rng, bits), signed_code(&mut rng, bits));
         let mul = FixedMul::new(n);
         let got = mul.multiply(w, x).unwrap() as f64;
-        prop_assert!((got - mul.exact(w, x)).abs() <= 0.5 + 1e-12);
+        assert!((got - mul.exact(w, x)).abs() <= 0.5 + 1e-12, "bits={bits} w={w} x={x}");
     }
+}
 
-    /// The product is odd-symmetric: (−w)·x = −(w·x) under
-    /// round-half-away-from-zero.
-    #[test]
-    fn product_is_odd_symmetric(bits in 2u32..=16, w in any::<i32>(), x in any::<i32>()) {
+/// The product is odd-symmetric: (−w)·x = −(w·x) under
+/// round-half-away-from-zero.
+#[test]
+fn product_is_odd_symmetric() {
+    let mut rng = SmallRng::seed_from_u64(0xf1_0002);
+    for _ in 0..CASES {
+        let bits = rng.gen_range_u64(2..17) as u32;
         let n = Precision::new(bits).unwrap();
         let h = 1i32 << (bits - 1);
         // Exclude −2^(N-1), which has no positive counterpart.
-        let w = signed_code(bits, w).max(-h + 1);
-        let x = signed_code(bits, x);
+        let w = signed_code(&mut rng, bits).max(-h + 1);
+        let x = signed_code(&mut rng, bits);
         let mul = FixedMul::new(n);
-        prop_assert_eq!(
+        assert_eq!(
             mul.multiply(-w, x).unwrap(),
-            -mul.multiply(w, x).unwrap()
+            -mul.multiply(w, x).unwrap(),
+            "bits={bits} w={w} x={x}"
         );
     }
+}
 
-    /// Floor truncation never exceeds the rounded product and differs by
-    /// at most one LSB.
-    #[test]
-    fn floor_is_below_round_by_at_most_one(bits in 2u32..=16, w in any::<i32>(), x in any::<i32>()) {
+/// Floor truncation never exceeds the rounded product and differs by at
+/// most one LSB.
+#[test]
+fn floor_is_below_round_by_at_most_one() {
+    let mut rng = SmallRng::seed_from_u64(0xf1_0003);
+    for _ in 0..CASES {
+        let bits = rng.gen_range_u64(2..17) as u32;
         let n = Precision::new(bits).unwrap();
-        let (w, x) = (signed_code(bits, w), signed_code(bits, x));
+        let (w, x) = (signed_code(&mut rng, bits), signed_code(&mut rng, bits));
         let mul = FixedMul::new(n);
         let floor = mul.multiply_floor(w, x);
         let round = mul.multiply(w, x).unwrap();
-        prop_assert!(floor <= round);
-        prop_assert!(round - floor <= 1);
+        assert!(floor <= round, "bits={bits} w={w} x={x}");
+        assert!(round - floor <= 1, "bits={bits} w={w} x={x}");
     }
+}
 
-    /// Quantize/dequantize round-trips within half an LSB for in-range
-    /// values.
-    #[test]
-    fn quantize_round_trip(bits in 2u32..=16, v in -0.999f32..=0.99) {
+/// Quantize/dequantize round-trips within half an LSB for in-range
+/// values.
+#[test]
+fn quantize_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0xf1_0004);
+    for _ in 0..CASES {
+        let bits = rng.gen_range_u64(2..17) as u32;
         let n = Precision::new(bits).unwrap();
         let lsb = 1.0 / (1u64 << (bits - 1)) as f32;
+        let v = rng.gen_range_f32(-0.999..0.99);
         // Values beyond the largest positive code (1 − lsb) clamp, so
         // restrict the property to the representable range.
-        prop_assume!(v <= 1.0 - lsb);
+        if v > 1.0 - lsb {
+            continue;
+        }
         let q = quantize(v, n);
         let back = dequantize(q as i64, n);
-        prop_assert!((back - v).abs() <= lsb / 2.0 + 1e-6, "v={v} back={back}");
+        assert!((back - v).abs() <= lsb / 2.0 + 1e-6, "bits={bits} v={v} back={back}");
     }
+}
 
-    /// A MAC dot product equals the clamped sum of individual products
-    /// when no saturation occurs.
-    #[test]
-    fn mac_dot_equals_sum_without_saturation(bits in 4u32..=12, seed in any::<u64>()) {
+/// A MAC dot product equals the clamped sum of individual products when
+/// no saturation occurs.
+#[test]
+fn mac_dot_equals_sum_without_saturation() {
+    let mut rng = SmallRng::seed_from_u64(0xf1_0005);
+    for _ in 0..CASES {
+        let bits = rng.gen_range_u64(4..13) as u32;
         let n = Precision::new(bits).unwrap();
-        let h = 1i32 << (bits - 1);
-        let mut state = seed;
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
-            ((state >> 33) as i32).rem_euclid(2 * h) - h
-        };
-        let ws: Vec<i32> = (0..6).map(|_| next()).collect();
-        let xs: Vec<i32> = (0..6).map(|_| next()).collect();
+        let ws: Vec<i32> = (0..6).map(|_| signed_code(&mut rng, bits)).collect();
+        let xs: Vec<i32> = (0..6).map(|_| signed_code(&mut rng, bits)).collect();
         let mut mac = FixedMac::new(n, 8); // wide headroom: no saturation
         let got = mac.dot(&ws, &xs).unwrap();
         let mul = FixedMul::new(n);
         let expect: i64 = ws.iter().zip(&xs).map(|(&w, &x)| mul.multiply(w, x).unwrap()).sum();
-        prop_assert_eq!(got, expect);
-        prop_assert!(!mac.has_saturated());
+        assert_eq!(got, expect, "bits={bits} ws={ws:?} xs={xs:?}");
+        assert!(!mac.has_saturated());
     }
 }

@@ -105,9 +105,7 @@ impl MacArray {
             MacDesign::FixedPoint => 1.0,
             MacDesign::ConventionalSc(_) => self.n.stream_len() as f64,
             MacDesign::ProposedSerial => sc_core::mvm::average_mac_latency(weight_codes, 1),
-            MacDesign::ProposedParallel(b) => {
-                sc_core::mvm::average_mac_latency(weight_codes, b)
-            }
+            MacDesign::ProposedParallel(b) => sc_core::mvm::average_mac_latency(weight_codes, b),
         }
     }
 
@@ -173,9 +171,9 @@ mod tests {
                     acc += (s % 10_000) as f64 / 10_000.0;
                 }
                 let g = (acc - 2.0) / (1.0 / 3.0f64).sqrt() / 2.0; // ~N(0,0.5)
-                // std ≈ 0.025 full scale → avg |w·2^(N-1)| ≈ 5 at N = 9,
-                // matching the paper's "up to 7.7 cycles" average for its
-                // CIFAR-10 net.
+                                                                   // std ≈ 0.025 full scale → avg |w·2^(N-1)| ≈ 5 at N = 9,
+                                                                   // matching the paper's "up to 7.7 cycles" average for its
+                                                                   // CIFAR-10 net.
                 ((g * 0.05 * h).round()).clamp(-h, h - 1.0) as i32
             })
             .collect()
@@ -227,12 +225,7 @@ mod tests {
         let weights = bell_weights(n);
         let ours8 = MacArray::new(MacDesign::ProposedParallel(8), n, 256).metrics(&weights);
         let fix = MacArray::new(MacDesign::FixedPoint, n, 256).metrics(&weights);
-        assert!(
-            ours8.adp < fix.adp,
-            "ours-8 ADP {} vs fixed {}",
-            ours8.adp,
-            fix.adp
-        );
+        assert!(ours8.adp < fix.adp, "ours-8 ADP {} vs fixed {}", ours8.adp, fix.adp);
     }
 
     #[test]

@@ -122,18 +122,15 @@ fn bd(sng_reg: f64, sng_combi: f64, mult: f64, ones_cnt: f64, accum: f64) -> Are
 /// Table 2 of the paper, verbatim (µm²).
 fn anchor(design: MacDesign) -> Anchor {
     match design {
-        MacDesign::FixedPoint => Anchor {
-            at5: bd(0.0, 0.0, 88.9, 0.0, 66.3),
-            at9: bd(0.0, 0.0, 305.0, 0.0, 110.1),
-        },
-        MacDesign::ConventionalSc(ConvScMethod::Lfsr) => Anchor {
-            at5: bd(51.5, 19.1, 1.8, 0.0, 64.9),
-            at9: bd(89.6, 37.0, 1.8, 0.0, 104.4),
-        },
-        MacDesign::ConventionalSc(ConvScMethod::Halton) => Anchor {
-            at5: bd(87.7, 18.3, 1.8, 0.0, 64.9),
-            at9: bd(203.7, 33.9, 1.8, 0.0, 108.0),
-        },
+        MacDesign::FixedPoint => {
+            Anchor { at5: bd(0.0, 0.0, 88.9, 0.0, 66.3), at9: bd(0.0, 0.0, 305.0, 0.0, 110.1) }
+        }
+        MacDesign::ConventionalSc(ConvScMethod::Lfsr) => {
+            Anchor { at5: bd(51.5, 19.1, 1.8, 0.0, 64.9), at9: bd(89.6, 37.0, 1.8, 0.0, 104.4) }
+        }
+        MacDesign::ConventionalSc(ConvScMethod::Halton) => {
+            Anchor { at5: bd(87.7, 18.3, 1.8, 0.0, 64.9), at9: bd(203.7, 33.9, 1.8, 0.0, 108.0) }
+        }
         // ED is reported at MP = 9 only; the MP = 5 anchor is synthesized
         // from the 9-bit numbers using the LFSR scaling exponents.
         MacDesign::ConventionalSc(ConvScMethod::Ed) => {
@@ -157,10 +154,9 @@ fn anchor(design: MacDesign) -> Anchor {
                 at9,
             }
         }
-        MacDesign::ProposedSerial => Anchor {
-            at5: bd(31.2, 6.0, 38.8, 0.0, 66.7),
-            at9: bd(60.9, 11.8, 80.6, 0.0, 103.4),
-        },
+        MacDesign::ProposedSerial => {
+            Anchor { at5: bd(31.2, 6.0, 38.8, 0.0, 66.7), at9: bd(60.9, 11.8, 80.6, 0.0, 103.4) }
+        }
         // The bit-parallel variants are reported at MP = 9 only; the
         // MP = 5 anchors reuse the bit-serial scaling exponents (the ones
         // counter scales with its width like the down counter does).
@@ -173,17 +169,12 @@ fn anchor(design: MacDesign) -> Anchor {
                 // linearly in b between the published points.
                 other => {
                     let o = other as f64;
-                    bd(
-                        38.6,
-                        0.0,
-                        78.7,
-                        108.5 * (o / 8.0).max(0.25),
-                        111.1,
-                    )
+                    bd(38.6, 0.0, 78.7, 108.5 * (o / 8.0).max(0.25), 111.1)
                 }
             };
             let ser = anchor(MacDesign::ProposedSerial);
-            let r = |c9: f64, s5: f64, s9: f64| if s9 > 0.0 { c9 * s5 / s9 } else { c9 * 5.0 / 9.0 };
+            let r =
+                |c9: f64, s5: f64, s9: f64| if s9 > 0.0 { c9 * s5 / s9 } else { c9 * 5.0 / 9.0 };
             Anchor {
                 at5: bd(
                     r(at9.sng_reg, ser.at5.sng_reg, ser.at9.sng_reg),
@@ -250,10 +241,7 @@ mod tests {
         ];
         for &(design, bits, total) in cases {
             let got = mac_breakdown(design, p(bits)).total();
-            assert!(
-                (got - total).abs() < 0.15,
-                "{design:?} MP{bits}: {got} vs paper {total}"
-            );
+            assert!((got - total).abs() < 0.15, "{design:?} MP{bits}: {got} vs paper {total}");
         }
     }
 
@@ -306,10 +294,7 @@ mod tests {
         ] {
             let b = mac_breakdown(design, p(9));
             let (shared, lane) = b.split_shared(design);
-            assert!(
-                (shared.total() + lane.total() - b.total()).abs() < 1e-9,
-                "{design:?}"
-            );
+            assert!((shared.total() + lane.total() - b.total()).abs() < 1e-9, "{design:?}");
         }
     }
 

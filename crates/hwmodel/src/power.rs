@@ -59,10 +59,8 @@ mod tests {
     #[test]
     fn proposed_power_is_lowest() {
         let n = Precision::new(9).unwrap();
-        let ours = power_mw(
-            &mac_breakdown(MacDesign::ProposedSerial, n),
-            MacDesign::ProposedSerial,
-        );
+        let ours =
+            power_mw(&mac_breakdown(MacDesign::ProposedSerial, n), MacDesign::ProposedSerial);
         for other in [
             MacDesign::FixedPoint,
             MacDesign::ConventionalSc(ConvScMethod::Lfsr),

@@ -1,7 +1,8 @@
-//! Property tests for the hardware cost model.
+//! Property-style tests for the hardware cost model, driven by a
+//! deterministic seeded sweep.
 
-use proptest::prelude::*;
 use sc_core::conventional::ConvScMethod;
+use sc_core::rng::SmallRng;
 use sc_core::Precision;
 use sc_hwmodel::components::{mac_breakdown, MacDesign};
 use sc_hwmodel::{MacArray, MacDesign as MD};
@@ -19,73 +20,80 @@ fn all_designs() -> Vec<MacDesign> {
     ]
 }
 
-proptest! {
-    /// Areas are positive and grow monotonically with precision for every
-    /// design.
-    #[test]
-    fn breakdowns_positive_and_monotone(bits in 5u32..=15) {
+/// Areas are positive and grow monotonically with precision for every
+/// design.
+#[test]
+fn breakdowns_positive_and_monotone() {
+    for bits in 5u32..=15 {
         let n0 = Precision::new(bits).unwrap();
         let n1 = Precision::new(bits + 1).unwrap();
         for d in all_designs() {
             let a0 = mac_breakdown(d, n0).total();
             let a1 = mac_breakdown(d, n1).total();
-            prop_assert!(a0 > 0.0, "{d:?}");
-            prop_assert!(a1 > a0, "{d:?}: {a1} <= {a0}");
+            assert!(a0 > 0.0, "{d:?}");
+            assert!(a1 > a0, "{d:?}: {a1} <= {a0}");
         }
     }
+}
 
-    /// Sharing split conserves area exactly for every design and
-    /// precision.
-    #[test]
-    fn sharing_conserves_area(bits in 5u32..=16) {
+/// Sharing split conserves area exactly for every design and precision.
+#[test]
+fn sharing_conserves_area() {
+    for bits in 5u32..=16 {
         let n = Precision::new(bits).unwrap();
         for d in all_designs() {
             let b = mac_breakdown(d, n);
             let (shared, lane) = b.split_shared(d);
-            prop_assert!((shared.total() + lane.total() - b.total()).abs() < 1e-9, "{d:?}");
+            assert!((shared.total() + lane.total() - b.total()).abs() < 1e-9, "{d:?}");
         }
     }
+}
 
-    /// Array area grows linearly-or-less in size (sharing can only help).
-    #[test]
-    fn array_area_subadditive(bits in 5u32..=12, size in 2usize..=512) {
+/// Array area grows linearly-or-less in size (sharing can only help).
+#[test]
+fn array_area_subadditive() {
+    let mut rng = SmallRng::seed_from_u64(0x44_0001);
+    for _ in 0..32 {
+        let bits = rng.gen_range_u64(5..13) as u32;
+        let size = rng.gen_range_usize(2..513);
         let n = Precision::new(bits).unwrap();
         for d in [MD::ProposedSerial, MD::ConventionalSc(ConvScMethod::Lfsr), MD::FixedPoint] {
             let one = MacArray::new(d, n, 1).area_um2();
             let many = MacArray::new(d, n, size).area_um2();
-            prop_assert!(many <= one * size as f64 + 1e-9, "{d:?}");
-            prop_assert!(many >= one, "{d:?}");
+            assert!(many <= one * size as f64 + 1e-9, "{d:?} size={size}");
+            assert!(many >= one, "{d:?} size={size}");
         }
     }
+}
 
-    /// Metrics are finite and consistent: ADP = area × cycles; GOPS and
-    /// energy are positive whenever the weight population is non-trivial.
-    #[test]
-    fn metrics_consistency(bits in 5u32..=12, seed in any::<u64>()) {
+/// Metrics are finite and consistent: ADP = area × cycles; GOPS and
+/// energy are positive whenever the weight population is non-trivial.
+#[test]
+fn metrics_consistency() {
+    let mut rng = SmallRng::seed_from_u64(0x44_0002);
+    for _ in 0..32 {
+        let bits = rng.gen_range_u64(5..13) as u32;
         let n = Precision::new(bits).unwrap();
-        let h = n.half_scale() as i64;
-        let mut state = seed;
-        let weights: Vec<i32> = (0..64).map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
-            (((state >> 33) as i64).rem_euclid(2 * h) - h) as i32
-        }).collect();
+        let h = n.half_scale() as i32;
+        let mut weights: Vec<i32> = (0..64).map(|_| rng.gen_range_i32(-h..h)).collect();
         // Ensure at least one nonzero weight.
-        let mut weights = weights;
         weights[0] = weights[0].max(1);
         for d in all_designs() {
             let arr = MacArray::new(d, n, 64);
             let m = arr.metrics(&weights);
-            prop_assert!((m.adp - m.area_um2 * m.avg_mac_cycles).abs() < 1e-6, "{d:?}");
-            prop_assert!(m.gops > 0.0 && m.gops.is_finite(), "{d:?}");
-            prop_assert!(m.energy_per_mac_pj > 0.0, "{d:?}");
-            prop_assert!(m.gops_per_w > 0.0, "{d:?}");
+            assert!((m.adp - m.area_um2 * m.avg_mac_cycles).abs() < 1e-6, "{d:?}");
+            assert!(m.gops > 0.0 && m.gops.is_finite(), "{d:?}");
+            assert!(m.energy_per_mac_pj > 0.0, "{d:?}");
+            assert!(m.gops_per_w > 0.0, "{d:?}");
         }
     }
+}
 
-    /// The proposed serial design is always the smallest SC design, and
-    /// smaller than binary from N = 6 up (the Table 2 trend).
-    #[test]
-    fn proposed_is_smallest(bits in 6u32..=16) {
+/// The proposed serial design is always the smallest SC design, and
+/// smaller than binary from N = 6 up (the Table 2 trend).
+#[test]
+fn proposed_is_smallest() {
+    for bits in 6u32..=16 {
         let n = Precision::new(bits).unwrap();
         let ours = mac_breakdown(MacDesign::ProposedSerial, n).total();
         for d in [
@@ -93,7 +101,7 @@ proptest! {
             MacDesign::ConventionalSc(ConvScMethod::Halton),
             MacDesign::ConventionalSc(ConvScMethod::Ed),
         ] {
-            prop_assert!(ours < mac_breakdown(d, n).total(), "{d:?} at N={bits}");
+            assert!(ours < mac_breakdown(d, n).total(), "{d:?} at N={bits}");
         }
     }
 }

@@ -78,18 +78,14 @@ impl QuantArith {
     /// Builds the fixed-point table.
     pub fn fixed(n: Precision) -> Arc<Self> {
         let mul = FixedMul::new(n);
-        Arc::new(Self::from_fn(ArithKind::Fixed, n, |w, x| {
-            mul.multiply_unchecked(w, x) as i32
-        }))
+        Arc::new(Self::from_fn(ArithKind::Fixed, n, |w, x| mul.multiply_unchecked(w, x) as i32))
     }
 
     /// Builds the floor-truncation fixed-point table (the rounding-mode
     /// ablation; see [`sc_fixed::FixedMul::multiply_floor`]).
     pub fn fixed_floor(n: Precision) -> Arc<Self> {
         let mul = FixedMul::new(n);
-        Arc::new(Self::from_fn(ArithKind::FixedFloor, n, |w, x| {
-            mul.multiply_floor(w, x) as i32
-        }))
+        Arc::new(Self::from_fn(ArithKind::FixedFloor, n, |w, x| mul.multiply_floor(w, x) as i32))
     }
 
     /// Builds the proposed-SC table (closed form; bit-exact with the RTL
@@ -278,9 +274,6 @@ mod tests {
     fn kind_names() {
         assert_eq!(ArithKind::Fixed.name(), "fixed");
         assert_eq!(ArithKind::ProposedSc.name(), "proposed-sc");
-        assert_eq!(
-            ArithKind::ConventionalSc(ConvScMethod::Lfsr).name(),
-            "conv-sc-lfsr"
-        );
+        assert_eq!(ArithKind::ConventionalSc(ConvScMethod::Lfsr).name(), "conv-sc-lfsr");
     }
 }

@@ -132,8 +132,8 @@ mod tests {
         let mut max_sc = 0i64;
         let mut max_bin = 0i64;
         for i in 0..10_000u64 {
-            max_sc = max_sc.max((sc.perturb(0, i, n) - 0).abs());
-            max_bin = max_bin.max((bin.perturb(0, i, n) - 0).abs());
+            max_sc = max_sc.max(sc.perturb(0, i, n).abs());
+            max_bin = max_bin.max(bin.perturb(0, i, n).abs());
         }
         assert_eq!(max_sc, 2);
         assert!(max_bin >= 1 << 10, "binary max damage {max_bin}");

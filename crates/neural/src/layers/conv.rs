@@ -210,12 +210,12 @@ impl Conv2d {
                             }
                             let row = &x_ic[iy as usize * w..(iy as usize + 1) * w];
                             let wrow = &w_ic[ky * k..(ky + 1) * k];
-                            for kx in 0..k {
+                            for (kx, &wv) in wrow.iter().enumerate() {
                                 let ix = (ox * self.stride + kx) as i64 - self.pad as i64;
                                 if ix < 0 || ix >= w as i64 {
                                     continue;
                                 }
-                                acc += wrow[kx] * row[ix as usize];
+                                acc += wv * row[ix as usize];
                             }
                         }
                     }
@@ -268,19 +268,17 @@ impl Conv2d {
                         for ky in 0..k {
                             let iy = (oy * self.stride + ky) as i64 - self.pad as i64;
                             let wrow = &w_ic[ky * k..(ky + 1) * k];
-                            for kx in 0..k {
+                            for (kx, &wcode) in wrow.iter().enumerate() {
                                 let ix = (ox * self.stride + kx) as i64 - self.pad as i64;
                                 // Zero padding feeds real x = 0 codes into
                                 // the MAC chain (SC products of 0 are not
                                 // exactly 0), faithful to the hardware.
-                                let code = if iy < 0 || iy >= h as i64 || ix < 0 || ix >= w as i64
-                                {
+                                let code = if iy < 0 || iy >= h as i64 || ix < 0 || ix >= w as i64 {
                                     0
                                 } else {
                                     x_ic[iy as usize * w + ix as usize]
                                 };
-                                let mut prod =
-                                    arith.product_at(mac_index, wrow[kx], code) as i64;
+                                let mut prod = arith.product_at(mac_index, wcode, code) as i64;
                                 if let Some(f) = fault {
                                     let idx = fault_epoch
                                         .wrapping_mul(0x5851_F42D_4C95_7F2D)
@@ -475,7 +473,7 @@ mod tests {
         let analytic_w = conv.grad_w.clone();
         // Numerical.
         let eps = 1e-3;
-        for i in 0..base_w.len() {
+        for (i, &aw) in analytic_w.iter().enumerate() {
             conv.weights = base_w.clone();
             conv.weights[i] += eps;
             let up = loss(&mut conv, &x);
@@ -483,7 +481,7 @@ mod tests {
             conv.weights[i] -= eps;
             let dn = loss(&mut conv, &x);
             let num = (up - dn) / (2.0 * eps);
-            assert!((num - analytic_w[i]).abs() < 1e-2, "w[{i}]: num {num} vs {}", analytic_w[i]);
+            assert!((num - aw).abs() < 1e-2, "w[{i}]: num {num} vs {aw}");
         }
         // Input gradient: each input pixel's gradient equals the sum of
         // the weights that touch it; spot-check the center pixel (touched

@@ -160,7 +160,7 @@ mod tests {
         let analytic = d.grad_w.clone();
         let base = d.weights.clone();
         let eps = 1e-3;
-        for i in 0..base.len() {
+        for (i, &a) in analytic.iter().enumerate() {
             d.weights = base.clone();
             d.weights[i] += eps;
             let up: f32 = d.forward(&x).data().iter().sum();
@@ -168,7 +168,7 @@ mod tests {
             d.weights[i] -= eps;
             let dn: f32 = d.forward(&x).data().iter().sum();
             let num = (up - dn) / (2.0 * eps);
-            assert!((num - analytic[i]).abs() < 1e-2, "w[{i}]");
+            assert!((num - a).abs() < 1e-2, "w[{i}]");
         }
     }
 

@@ -134,8 +134,7 @@ impl AvgPool2d {
     /// Backward pass: spreads each output gradient uniformly over its
     /// window.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (c, h, w) =
-            (self.cache_in_shape[0], self.cache_in_shape[1], self.cache_in_shape[2]);
+        let (c, h, w) = (self.cache_in_shape[0], self.cache_in_shape[1], self.cache_in_shape[2]);
         let (oh, ow) = self.output_hw(h, w);
         let mut grad_in = Tensor::zeros(&self.cache_in_shape);
         let gi = grad_in.data_mut();

@@ -16,11 +16,8 @@ pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> (f32, Tensor) {
     let sum: f32 = exps.iter().sum();
     let probs: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
     let loss = -(probs[label].max(1e-12)).ln();
-    let grad: Vec<f32> = probs
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| if i == label { p - 1.0 } else { p })
-        .collect();
+    let grad: Vec<f32> =
+        probs.iter().enumerate().map(|(i, &p)| if i == label { p - 1.0 } else { p }).collect();
     (loss, Tensor::new(grad, logits.shape()))
 }
 

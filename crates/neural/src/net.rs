@@ -197,7 +197,7 @@ mod tests {
     #[test]
     fn conv_weights_collected() {
         let net = tiny_net();
-        assert_eq!(net.conv_weights().len(), 2 * 1 * 3 * 3);
+        assert_eq!(net.conv_weights().len(), 2 * 3 * 3);
     }
 
     #[test]

@@ -1,13 +1,32 @@
 //! Training (SGD with momentum), evaluation, and quantized/SC
 //! fine-tuning.
 
+use std::sync::OnceLock;
+
 use crate::loss::softmax_cross_entropy;
 use crate::net::Network;
 use crate::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use sc_core::rng::SmallRng;
 use sc_datasets::Dataset;
+use sc_telemetry::metrics::{counter, gauge, Counter, Gauge};
+
+/// Cached telemetry handles for the training/eval loops.
+struct TrainMetrics {
+    epoch_loss: Gauge,
+    fine_tune_loss: Gauge,
+    accuracy: Gauge,
+    samples: Counter,
+}
+
+fn train_metrics() -> &'static TrainMetrics {
+    static METRICS: OnceLock<TrainMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| TrainMetrics {
+        epoch_loss: gauge("neural.train.epoch_loss"),
+        fine_tune_loss: gauge("neural.fine_tune.loss"),
+        accuracy: gauge("neural.eval.accuracy"),
+        samples: counter("neural.train.samples"),
+    })
+}
 
 /// Hyperparameters of a training run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,12 +74,15 @@ pub fn sample_tensor(data: &Dataset, i: usize) -> (Tensor, usize) {
 /// exactly the paper's fine-tuning setup). Returns the mean loss of each
 /// epoch.
 pub fn train(net: &mut Network, data: &Dataset, cfg: &TrainConfig) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..data.len()).collect();
     let mut lr = cfg.lr;
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
-    for _ in 0..cfg.epochs {
-        order.shuffle(&mut rng);
+    let _train = sc_telemetry::span!("neural.train", cfg.epochs, cfg.batch_size, cfg.seed);
+    let metrics = train_metrics();
+    for epoch in 0..cfg.epochs {
+        let _epoch = sc_telemetry::span!("neural.train.epoch", epoch, lr);
+        rng.shuffle(&mut order);
         let mut total_loss = 0.0f64;
         for batch in order.chunks(cfg.batch_size) {
             net.zero_grad();
@@ -73,7 +95,11 @@ pub fn train(net: &mut Network, data: &Dataset, cfg: &TrainConfig) -> Vec<f32> {
             }
             net.step(lr, cfg.momentum, cfg.weight_decay, batch.len());
         }
-        epoch_losses.push((total_loss / data.len() as f64) as f32);
+        let epoch_loss = (total_loss / data.len() as f64) as f32;
+        metrics.epoch_loss.set(epoch_loss as f64);
+        metrics.samples.incr(data.len() as u64);
+        sc_telemetry::event!("neural.train.epoch_done", epoch, epoch_loss);
+        epoch_losses.push(epoch_loss);
         lr *= cfg.lr_decay;
     }
     epoch_losses
@@ -83,9 +109,10 @@ pub fn train(net: &mut Network, data: &Dataset, cfg: &TrainConfig) -> Vec<f32> {
 /// of the paper's "fine-tuning for 5,000 iterations atop the original
 /// training". Returns the mean loss over all iterations.
 pub fn fine_tune(net: &mut Network, data: &Dataset, iters: usize, cfg: &TrainConfig) -> f32 {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xf17e);
+    let _span = sc_telemetry::span!("neural.fine_tune", iters, cfg.batch_size);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xf17e);
     let mut order: Vec<usize> = (0..data.len()).collect();
-    order.shuffle(&mut rng);
+    rng.shuffle(&mut order);
     let mut cursor = 0usize;
     let mut total_loss = 0.0f64;
     let mut count = 0usize;
@@ -93,7 +120,7 @@ pub fn fine_tune(net: &mut Network, data: &Dataset, iters: usize, cfg: &TrainCon
         net.zero_grad();
         for _ in 0..cfg.batch_size {
             if cursor >= order.len() {
-                order.shuffle(&mut rng);
+                rng.shuffle(&mut order);
                 cursor = 0;
             }
             let (x, label) = sample_tensor(data, order[cursor]);
@@ -106,11 +133,16 @@ pub fn fine_tune(net: &mut Network, data: &Dataset, iters: usize, cfg: &TrainCon
         }
         net.step(cfg.lr, cfg.momentum, cfg.weight_decay, cfg.batch_size);
     }
-    (total_loss / count.max(1) as f64) as f32
+    let metrics = train_metrics();
+    metrics.samples.incr(count as u64);
+    let mean_loss = (total_loss / count.max(1) as f64) as f32;
+    metrics.fine_tune_loss.set(mean_loss as f64);
+    mean_loss
 }
 
 /// Top-1 accuracy of the network (in its current conv mode) on a dataset.
 pub fn evaluate(net: &mut Network, data: &Dataset) -> f64 {
+    let _span = sc_telemetry::span!("neural.evaluate");
     let mut correct = 0usize;
     for i in 0..data.len() {
         let (x, label) = sample_tensor(data, i);
@@ -118,7 +150,9 @@ pub fn evaluate(net: &mut Network, data: &Dataset) -> f64 {
             correct += 1;
         }
     }
-    correct as f64 / data.len().max(1) as f64
+    let accuracy = correct as f64 / data.len().max(1) as f64;
+    train_metrics().accuracy.set(accuracy);
+    accuracy
 }
 
 #[cfg(test)]

@@ -4,26 +4,23 @@
 
 use crate::layers::{AvgPool2d, Conv2d, Dense, LayerKind, MaxPool2d, Relu};
 use crate::net::Network;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sc_core::rng::SmallRng;
 
 /// Deterministic Gaussian stream for weight initialization.
 #[derive(Debug, Clone)]
 pub struct InitRng {
-    rng: StdRng,
+    rng: SmallRng,
 }
 
 impl InitRng {
     /// Creates the stream from a seed.
     pub fn new(seed: u64) -> Self {
-        InitRng { rng: StdRng::seed_from_u64(seed) }
+        InitRng { rng: SmallRng::seed_from_u64(seed) }
     }
 
     /// A standard normal sample (Box–Muller).
     pub fn normal(&mut self) -> f32 {
-        let u1: f32 = self.rng.gen_range(1e-9f32..1.0);
-        let u2: f32 = self.rng.gen();
-        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+        self.rng.normal_f32()
     }
 }
 

@@ -1,8 +1,9 @@
-//! Property tests for the neural framework: quantized conv consistency,
-//! product-table agreement, loss gradients, and fault-injection bounds.
+//! Property-style tests for the neural framework: quantized conv
+//! consistency, product-table agreement, loss gradients, and
+//! fault-injection bounds — driven by a deterministic seeded sweep.
 
-use proptest::prelude::*;
 use sc_core::mac::SignedScMac;
+use sc_core::rng::SmallRng;
 use sc_core::Precision;
 use sc_fixed::FixedMul;
 use sc_neural::arith::QuantArith;
@@ -12,30 +13,36 @@ use sc_neural::loss::softmax_cross_entropy;
 use sc_neural::tensor::Tensor;
 use sc_neural::zoo::InitRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Product tables agree with their reference implementations on
-    /// random codes at random precisions.
-    #[test]
-    fn tables_match_references(bits in 4u32..=10, w in any::<i32>(), x in any::<i32>()) {
+/// Product tables agree with their reference implementations on random
+/// codes at random precisions.
+#[test]
+fn tables_match_references() {
+    let mut rng = SmallRng::seed_from_u64(0x2e_0001);
+    for _ in 0..16 {
+        let bits = rng.gen_range_u64(4..11) as u32;
         let n = Precision::new(bits).unwrap();
         let h = 1i32 << (bits - 1);
-        let (w, x) = (w.rem_euclid(2 * h) - h, x.rem_euclid(2 * h) - h);
-        prop_assert_eq!(
+        let (w, x) = (rng.gen_range_i32(-h..h), rng.gen_range_i32(-h..h));
+        assert_eq!(
             QuantArith::fixed(n).product(w, x) as i64,
-            FixedMul::new(n).multiply(w, x).unwrap()
+            FixedMul::new(n).multiply(w, x).unwrap(),
+            "bits={bits} w={w} x={x}"
         );
-        prop_assert_eq!(
+        assert_eq!(
             QuantArith::proposed_sc(n).product(w, x) as i64,
-            SignedScMac::new(n).multiply(w, x).unwrap().value
+            SignedScMac::new(n).multiply(w, x).unwrap().value,
+            "bits={bits} w={w} x={x}"
         );
     }
+}
 
-    /// Quantized conv at N = 10 with in-range weights approximates the
-    /// float conv within an analytic bound.
-    #[test]
-    fn quantized_conv_tracks_float(seed in any::<u64>()) {
+/// Quantized conv at N = 10 with in-range weights approximates the float
+/// conv within an analytic bound.
+#[test]
+fn quantized_conv_tracks_float() {
+    let mut rng = SmallRng::seed_from_u64(0x2e_0002);
+    for _ in 0..8 {
+        let seed = rng.next_u64();
         let n = Precision::new(10).unwrap();
         let mut conv = Conv2d::new(1, 2, 3, 1, 0, &mut InitRng::new(seed));
         // Scale weights into a safe range.
@@ -59,43 +66,58 @@ proptest! {
         // 9 products × (½ LSB rounding + quantization error ≈ 2 LSB).
         let bound = 9.0 * 2.5 / 512.0 + 1e-3;
         for (a, b) in y_float.data().iter().zip(y_q.data()) {
-            prop_assert!((a - b).abs() < bound, "{a} vs {b} (bound {bound})");
+            assert!((a - b).abs() < bound, "{a} vs {b} (bound {bound})");
         }
     }
+}
 
-    /// Softmax cross-entropy gradient always sums to zero and the loss is
-    /// non-negative.
-    #[test]
-    fn loss_gradient_sums_to_zero(logits in prop::collection::vec(-10.0f32..10.0, 2..10), label_raw in any::<usize>()) {
-        let label = label_raw % logits.len();
-        let t = Tensor::new(logits.clone(), &[logits.len()]);
+/// Softmax cross-entropy gradient always sums to zero and the loss is
+/// non-negative.
+#[test]
+fn loss_gradient_sums_to_zero() {
+    let mut rng = SmallRng::seed_from_u64(0x2e_0003);
+    for _ in 0..32 {
+        let len = rng.gen_range_usize(2..10);
+        let logits: Vec<f32> = (0..len).map(|_| rng.gen_range_f32(-10.0..10.0)).collect();
+        let label = rng.gen_range_usize(0..len);
+        let t = Tensor::new(logits, &[len]);
         let (loss, grad) = softmax_cross_entropy(&t, label);
-        prop_assert!(loss >= 0.0);
+        assert!(loss >= 0.0);
         let s: f32 = grad.data().iter().sum();
-        prop_assert!(s.abs() < 1e-5);
+        assert!(s.abs() < 1e-5);
     }
+}
 
-    /// Stochastic-stream faults move any product by at most ±2; binary
-    /// product-bit faults by at most half the product scale.
-    #[test]
-    fn fault_damage_bounds(product in -1000i64..1000, index in any::<u64>(), seed in any::<u64>()) {
+/// Stochastic-stream faults move any product by at most ±2; binary
+/// product-bit faults by at most half the product scale.
+#[test]
+fn fault_damage_bounds() {
+    let mut rng = SmallRng::seed_from_u64(0x2e_0004);
+    for _ in 0..32 {
+        let product = rng.gen_range_i32(-1000..1000) as i64;
+        let index = rng.next_u64();
+        let seed = rng.next_u64();
         let n = Precision::new(9).unwrap();
         let sc = FaultModel::new(1.0, FaultTarget::StochasticStreamBit, seed);
         let d = (sc.perturb(product, index, n) - product).abs();
-        prop_assert!(d == 2, "sc damage {d}");
+        assert!(d == 2, "sc damage {d}");
         let bin = FaultModel::new(1.0, FaultTarget::BinaryProductBit, seed);
         let d = (bin.perturb(product, index, n) - product).abs();
-        prop_assert!(d >= 1 && d <= 1 << 15, "binary damage {d}");
+        assert!((1..=1 << 15).contains(&d), "binary damage {d}");
     }
+}
 
-    /// Parameter save/load round-trips bit-exactly for any seed.
-    #[test]
-    fn param_io_round_trip(seed in any::<u64>()) {
+/// Parameter save/load round-trips bit-exactly for any seed.
+#[test]
+fn param_io_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0x2e_0005);
+    for _ in 0..4 {
+        let seed = rng.next_u64();
         let net = sc_neural::zoo::mnist_net(seed);
         let mut buf = Vec::new();
         sc_neural::io::save_params(&net, &mut buf).unwrap();
         let mut other = sc_neural::zoo::mnist_net(seed.wrapping_add(1));
         sc_neural::io::load_params(&mut other, buf.as_slice()).unwrap();
-        prop_assert_eq!(net.conv_weights(), other.conv_weights());
+        assert_eq!(net.conv_weights(), other.conv_weights());
     }
 }

@@ -35,3 +35,35 @@ pub mod mac;
 pub mod mvm;
 pub mod parallel;
 pub mod vcd;
+
+pub(crate) mod telemetry_hooks {
+    //! Cached metric handles for the simulation cycle loops. Cycle
+    //! counts are added in one batch per `run_to_done`, so the per-clock
+    //! path stays untouched.
+    use sc_telemetry::metrics::{counter, Counter};
+    use std::sync::OnceLock;
+
+    pub(crate) struct SimCounters {
+        /// Clock cycles consumed by single-MAC `run_to_done` loops.
+        pub(crate) mac_cycles: Counter,
+        /// Completed single-MAC multiplications.
+        pub(crate) mac_runs: Counter,
+        /// Clock cycles consumed by MVM `run_to_done` loops.
+        pub(crate) mvm_cycles: Counter,
+        /// Completed MVM term accumulations.
+        pub(crate) mvm_runs: Counter,
+        /// VCD timesteps written (equals the last `#time` stamp + 1).
+        pub(crate) vcd_steps: Counter,
+    }
+
+    pub(crate) fn sim_counters() -> &'static SimCounters {
+        static COUNTERS: OnceLock<SimCounters> = OnceLock::new();
+        COUNTERS.get_or_init(|| SimCounters {
+            mac_cycles: counter("rtlsim.mac.cycles"),
+            mac_runs: counter("rtlsim.mac.runs"),
+            mvm_cycles: counter("rtlsim.mvm.cycles"),
+            mvm_runs: counter("rtlsim.mvm.runs"),
+            vcd_steps: counter("rtlsim.vcd.steps"),
+        })
+    }
+}

@@ -103,6 +103,9 @@ impl ProposedMacRtl {
             self.clock();
             c += 1;
         }
+        let counters = crate::telemetry_hooks::sim_counters();
+        counters.mac_cycles.incr(c);
+        counters.mac_runs.incr(1);
         c
     }
 
@@ -197,6 +200,9 @@ impl ConventionalMacRtl {
             self.clock();
             c += 1;
         }
+        let counters = crate::telemetry_hooks::sim_counters();
+        counters.mac_cycles.incr(c);
+        counters.mac_runs.incr(1);
         c
     }
 
@@ -266,6 +272,9 @@ impl UnsignedMacRtl {
             self.clock();
             c += 1;
         }
+        let counters = crate::telemetry_hooks::sim_counters();
+        counters.mac_cycles.incr(c);
+        counters.mac_runs.incr(1);
         c
     }
 

@@ -93,6 +93,9 @@ impl BiscMvmRtl {
             self.clock();
             c += 1;
         }
+        let counters = crate::telemetry_hooks::sim_counters();
+        counters.mvm_cycles.incr(c);
+        counters.mvm_runs.incr(1);
         c
     }
 

@@ -108,6 +108,9 @@ impl BitParallelMacRtl {
             self.clock();
             c += 1;
         }
+        let counters = crate::telemetry_hooks::sim_counters();
+        counters.mac_cycles.incr(c);
+        counters.mac_runs.incr(1);
         c
     }
 

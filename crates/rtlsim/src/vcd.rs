@@ -90,6 +90,7 @@ impl<W: Write> VcdWriter<W> {
         if !self.header_done {
             self.write_header()?;
         }
+        crate::telemetry_hooks::sim_counters().vcd_steps.incr(1);
         let mut stamped = false;
         for (i, (&v, s)) in values.iter().zip(&mut self.signals).enumerate() {
             let mask = if s.width == 64 { u64::MAX } else { (1u64 << s.width) - 1 };
@@ -148,6 +149,7 @@ pub fn trace_proposed_mac<W: Write>(
     let w_sign = wc.code() < 0;
     let k = wc.code().unsigned_abs() as u64;
 
+    let _trace = sc_telemetry::span!("rtlsim.vcd.trace", w, x);
     let mut vcd = VcdWriter::new(out);
     let s_down = vcd.add_signal("down_counter", n.bits() + 1);
     let s_bit = vcd.add_signal("stream_bit", 1);
@@ -162,10 +164,13 @@ pub fn trace_proposed_mac<W: Write>(
         let bit = seq::stream_bit(u, n, t);
         let xor = bit ^ w_sign;
         acc += if xor { 1 } else { -1 };
-        let acc_bits = (acc as i64 as u64) & ((1u64 << (n.bits() + 3)) - 1);
+        let acc_bits = (acc as u64) & ((1u64 << (n.bits() + 3)) - 1);
         vcd.step(&[k - t, bit as u64, xor as u64, acc_bits])?;
     }
     vcd.finish()?;
+    // The VCD's final `#time` stamp equals `k + 1` steps; the mark lets a
+    // trace viewer line the waveform up against the telemetry stream.
+    sc_telemetry::event!("rtlsim.vcd.done", k, acc);
     Ok(acc)
 }
 

@@ -1,66 +1,65 @@
-//! Property tests: the RTL-level models agree with the behavioural golden
-//! models on random inputs at random precisions.
+//! Property-style tests: the RTL-level models agree with the behavioural
+//! golden models on seeded random inputs at random precisions.
 
-use proptest::prelude::*;
 use sc_core::mac::{BitParallelScMac, SignedScMac};
 use sc_core::mvm::BiscMvm;
+use sc_core::rng::SmallRng;
 use sc_core::Precision;
 use sc_rtlsim::mac::ProposedMacRtl;
 use sc_rtlsim::mvm::BiscMvmRtl;
 use sc_rtlsim::parallel::BitParallelMacRtl;
 
-fn signed_code(bits: u32, raw: i32) -> i32 {
+const CASES: usize = 64;
+
+fn signed_code(rng: &mut SmallRng, bits: u32) -> i32 {
     let h = 1i32 << (bits - 1);
-    raw.rem_euclid(2 * h) - h
+    rng.gen_range_i32(-h..h)
 }
 
-proptest! {
-    #[test]
-    fn rtl_mac_equals_closed_form(bits in 3u32..=12, w in any::<i32>(), x in any::<i32>()) {
+#[test]
+fn rtl_mac_equals_closed_form() {
+    let mut rng = SmallRng::seed_from_u64(0x27_1001);
+    for _ in 0..CASES {
+        let bits = rng.gen_range_u64(3..13) as u32;
         let n = Precision::new(bits).unwrap();
-        let (w, x) = (signed_code(bits, w), signed_code(bits, x));
+        let (w, x) = (signed_code(&mut rng, bits), signed_code(&mut rng, bits));
         let gold = SignedScMac::new(n).multiply(w, x).unwrap();
         let mut rtl = ProposedMacRtl::new(n, 8);
         rtl.load(w, x).unwrap();
         let cycles = rtl.run_to_done();
-        prop_assert_eq!(rtl.value(), gold.value);
-        prop_assert_eq!(cycles, gold.cycles);
+        assert_eq!(rtl.value(), gold.value, "bits={bits} w={w} x={x}");
+        assert_eq!(cycles, gold.cycles, "bits={bits} w={w} x={x}");
     }
+}
 
-    #[test]
-    fn rtl_bit_parallel_equals_behavioural(
-        bits in 4u32..=12,
-        w in any::<i32>(),
-        x in any::<i32>(),
-        bexp in 0u32..=5,
-    ) {
+#[test]
+fn rtl_bit_parallel_equals_behavioural() {
+    let mut rng = SmallRng::seed_from_u64(0x27_1002);
+    for _ in 0..CASES {
+        let bits = rng.gen_range_u64(4..13) as u32;
         let n = Precision::new(bits).unwrap();
-        let (w, x) = (signed_code(bits, w), signed_code(bits, x));
-        let b = 1u32 << bexp.min(bits);
+        let (w, x) = (signed_code(&mut rng, bits), signed_code(&mut rng, bits));
+        let b = 1u32 << (rng.gen_range_u64(0..6) as u32).min(bits);
         let gold = BitParallelScMac::new(n, b).unwrap().multiply_signed(w, x).unwrap();
         let mut rtl = BitParallelMacRtl::new(n, b, 8).unwrap();
         rtl.load(w, x).unwrap();
         let cycles = rtl.run_to_done();
-        prop_assert_eq!(rtl.value(), gold.value);
-        prop_assert_eq!(cycles, gold.cycles);
+        assert_eq!(rtl.value(), gold.value, "bits={bits} w={w} x={x} b={b}");
+        assert_eq!(cycles, gold.cycles, "bits={bits} w={w} x={x} b={b}");
     }
+}
 
-    #[test]
-    fn rtl_mvm_equals_behavioural_accumulation(
-        bits in 3u32..=9,
-        seed in any::<u64>(),
-        lanes in 1usize..=6,
-        terms in 1usize..=5,
-    ) {
+#[test]
+fn rtl_mvm_equals_behavioural_accumulation() {
+    let mut rng = SmallRng::seed_from_u64(0x27_1003);
+    for _ in 0..CASES {
+        let bits = rng.gen_range_u64(3..10) as u32;
         let n = Precision::new(bits).unwrap();
-        let h = 1i32 << (bits - 1);
-        let mut state = seed;
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as i32).rem_euclid(2 * h) - h
-        };
-        let xs: Vec<Vec<i32>> = (0..terms).map(|_| (0..lanes).map(|_| next()).collect()).collect();
-        let ws: Vec<i32> = (0..terms).map(|_| next()).collect();
+        let lanes = rng.gen_range_usize(1..7);
+        let terms = rng.gen_range_usize(1..6);
+        let xs: Vec<Vec<i32>> =
+            (0..terms).map(|_| (0..lanes).map(|_| signed_code(&mut rng, bits)).collect()).collect();
+        let ws: Vec<i32> = (0..terms).map(|_| signed_code(&mut rng, bits)).collect();
 
         let mut rtl = BiscMvmRtl::new(n, lanes, 16);
         let mut gold = BiscMvm::new(n, lanes, 16);
@@ -69,16 +68,20 @@ proptest! {
             rtl.run_to_done();
             gold.accumulate_cycle_accurate(*w, row).unwrap();
         }
-        prop_assert_eq!(rtl.read(), gold.read());
-        prop_assert_eq!(rtl.total_cycles(), gold.cycles());
+        assert_eq!(rtl.read(), gold.read(), "bits={bits} ws={ws:?}");
+        assert_eq!(rtl.total_cycles(), gold.cycles(), "bits={bits} ws={ws:?}");
     }
+}
 
-    /// Interrupting and resuming clocking (extra clock calls while done)
-    /// never corrupts state.
-    #[test]
-    fn rtl_clock_when_done_is_idempotent(bits in 3u32..=8, w in any::<i32>(), x in any::<i32>()) {
+/// Interrupting and resuming clocking (extra clock calls while done)
+/// never corrupts state.
+#[test]
+fn rtl_clock_when_done_is_idempotent() {
+    let mut rng = SmallRng::seed_from_u64(0x27_1004);
+    for _ in 0..CASES {
+        let bits = rng.gen_range_u64(3..9) as u32;
         let n = Precision::new(bits).unwrap();
-        let (w, x) = (signed_code(bits, w), signed_code(bits, x));
+        let (w, x) = (signed_code(&mut rng, bits), signed_code(&mut rng, bits));
         let mut rtl = ProposedMacRtl::new(n, 8);
         rtl.load(w, x).unwrap();
         rtl.run_to_done();
@@ -86,6 +89,6 @@ proptest! {
         for _ in 0..5 {
             rtl.clock();
         }
-        prop_assert_eq!(rtl.value(), v);
+        assert_eq!(rtl.value(), v, "bits={bits} w={w} x={x}");
     }
 }

@@ -1,0 +1,164 @@
+//! The shared bench harness.
+//!
+//! Every `sc-bench` binary wraps its body in [`bench_run`], which
+//! standardizes the preamble, `--quick`/`--<flag> <value>` parsing,
+//! tracing setup from `SC_TRACE`, metric collection, and — on exit —
+//! writes a [`RunManifest`] into `results/` next to whatever artifacts
+//! the run produced.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::manifest::RunManifest;
+use crate::metrics;
+use crate::span;
+
+/// Per-run context handed to the body of [`bench_run`].
+#[derive(Debug)]
+pub struct BenchCtx {
+    manifest: RunManifest,
+    out_dir: PathBuf,
+}
+
+impl BenchCtx {
+    fn new(name: &str, out_dir: &Path) -> BenchCtx {
+        BenchCtx { manifest: RunManifest::capture(name), out_dir: out_dir.to_path_buf() }
+    }
+
+    /// Whether `--quick` was passed (reduced-size run).
+    pub fn quick(&self) -> bool {
+        self.manifest.quick
+    }
+
+    /// Returns the value following `--<name>` parsed as `T`, if present.
+    pub fn arg_value<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        let flag = format!("--{name}");
+        let mut args = self.manifest.args.iter();
+        while let Some(a) = args.next() {
+            if *a == flag {
+                return args.next().and_then(|v| v.parse().ok());
+            }
+        }
+        None
+    }
+
+    /// Records a configuration key/value into the run manifest
+    /// (precision, arithmetic, sweep sizes, …).
+    pub fn config(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.manifest.set_config(key, value);
+    }
+
+    /// Records the PRNG seed into the run manifest.
+    pub fn seed(&mut self, seed: u64) {
+        self.manifest.seed = Some(seed);
+    }
+
+    /// Writes a CSV artifact and records it in the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_csv<P: AsRef<Path>>(
+        &mut self,
+        path: P,
+        header: &[&str],
+        rows: &[Vec<String>],
+    ) -> io::Result<()> {
+        crate::export::write_csv(&path, header, rows)?;
+        self.record_artifact(&path);
+        println!("wrote {}", path.as_ref().display());
+        Ok(())
+    }
+
+    /// Records an artifact path the run wrote through other means.
+    pub fn record_artifact<P: AsRef<Path>>(&mut self, path: P) {
+        self.manifest.artifacts.push(path.as_ref().display().to_string());
+    }
+
+    /// Where this run's manifest will be written.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.out_dir.join(format!("{}.manifest.json", self.manifest.bench))
+    }
+}
+
+/// Runs one bench binary body with telemetry around it.
+///
+/// * prints the standard preamble (`title`, underlined, with a
+///   `--quick` note when active),
+/// * installs the stderr tracer if `SC_TRACE=stderr`,
+/// * resets and enables metrics for the duration,
+/// * wraps the body in a top-level span named `name`,
+/// * and finally snapshots the metrics into a [`RunManifest`] written to
+///   `results/<name>.manifest.json`.
+pub fn bench_run(name: &'static str, title: &str, body: impl FnOnce(&mut BenchCtx)) {
+    bench_run_in(name, title, Path::new("results"), body);
+}
+
+/// [`bench_run`] with an explicit output directory (exposed for tests).
+#[doc(hidden)]
+pub fn bench_run_in(
+    name: &'static str,
+    title: &str,
+    out_dir: &Path,
+    body: impl FnOnce(&mut BenchCtx),
+) {
+    span::init_from_env();
+    metrics::reset();
+    metrics::set_enabled(true);
+
+    let mut ctx = BenchCtx::new(name, out_dir);
+    println!("{title}");
+    println!("{}", "=".repeat(title.chars().count().min(72)));
+    if ctx.quick() {
+        println!("(--quick: reduced-size run)");
+    }
+    println!();
+
+    {
+        let _run = crate::span!(name);
+        body(&mut ctx);
+    }
+
+    metrics::set_enabled(false);
+    ctx.manifest.metrics = metrics::snapshot();
+    let path = ctx.manifest_path();
+    match ctx.manifest.write(&path) {
+        Ok(()) => println!("\nmanifest: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write manifest {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_run_writes_manifest_with_metrics_and_artifacts() {
+        let _g = crate::test_guard();
+        let dir = std::env::temp_dir().join("sc_telemetry_bench_test");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        bench_run_in("unit_bench", "Unit bench", &dir, |ctx| {
+            ctx.config("precision", 8);
+            ctx.seed(42);
+            crate::counter("unit.bench.counter").incr(3);
+            ctx.write_csv(dir.join("unit.csv"), &["a"], &[vec!["1".to_string()]]).unwrap();
+        });
+
+        let m = RunManifest::read(dir.join("unit_bench.manifest.json")).unwrap();
+        assert_eq!(m.bench, "unit_bench");
+        assert_eq!(m.seed, Some(42));
+        assert!(m.config.iter().any(|(k, v)| k == "precision" && v == "8"));
+        assert_eq!(m.artifacts.len(), 1);
+        assert!(m.metrics.counters.iter().any(|(k, v)| k == "unit.bench.counter" && *v == 3));
+        assert!(!metrics::enabled(), "bench_run must disable metrics on exit");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn arg_value_parses_from_captured_args() {
+        let _g = crate::test_guard();
+        let ctx = BenchCtx::new("x", Path::new("results"));
+        assert_eq!(ctx.arg_value::<u32>("definitely-not-a-flag"), None);
+    }
+}

@@ -1,0 +1,168 @@
+//! Dependency-free CSV and JSON file writers.
+//!
+//! The CSV writer is the single escaping implementation for the whole
+//! workspace (`sc_bench::csv::write_csv` is a thin re-export of it), and
+//! metric snapshots serialize to [`crate::json::Json`] for embedding in
+//! run manifests.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::json::Json;
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+
+/// Escapes one CSV field: fields containing separators, quotes, or
+/// newlines are quoted, with embedded quotes doubled.
+pub fn escape_csv(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Writes a header and rows to a CSV file, creating parent directories
+/// as needed.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_csv<P: AsRef<Path>>(path: P, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    if let Some(dir) = path.as_ref().parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{}", header.iter().map(|h| escape_csv(h)).collect::<Vec<_>>().join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.iter().map(|c| escape_csv(c)).collect::<Vec<_>>().join(","))?;
+    }
+    f.flush()
+}
+
+/// Writes a JSON value to a file (pretty-printed), creating parent
+/// directories as needed.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_json<P: AsRef<Path>>(path: P, value: &Json) -> io::Result<()> {
+    if let Some(dir) = path.as_ref().parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, value.render_pretty())
+}
+
+/// Serializes a metrics snapshot to JSON.
+pub fn metrics_to_json(snap: &MetricsSnapshot) -> Json {
+    Json::obj(vec![
+        (
+            "counters",
+            Json::Obj(snap.counters.iter().map(|(k, v)| (k.clone(), Json::UInt(*v))).collect()),
+        ),
+        (
+            "gauges",
+            Json::Obj(snap.gauges.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect()),
+        ),
+        (
+            "histograms",
+            Json::Obj(
+                snap.histograms
+                    .iter()
+                    .map(|(k, h)| {
+                        (
+                            k.clone(),
+                            Json::obj(vec![
+                                (
+                                    "bounds",
+                                    Json::Arr(h.bounds.iter().map(|&b| Json::UInt(b)).collect()),
+                                ),
+                                (
+                                    "buckets",
+                                    Json::Arr(h.buckets.iter().map(|&b| Json::UInt(b)).collect()),
+                                ),
+                                ("count", Json::UInt(h.count)),
+                                ("sum", Json::UInt(h.sum)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Deserializes a metrics snapshot from the JSON written by
+/// [`metrics_to_json`]. Returns `None` on shape mismatch.
+pub fn metrics_from_json(json: &Json) -> Option<MetricsSnapshot> {
+    let obj_pairs = |v: &Json| match v {
+        Json::Obj(pairs) => Some(pairs.clone()),
+        _ => None,
+    };
+    let counters = obj_pairs(json.get("counters")?)?
+        .into_iter()
+        .map(|(k, v)| Some((k, v.as_u64()?)))
+        .collect::<Option<Vec<_>>>()?;
+    let gauges = obj_pairs(json.get("gauges")?)?
+        .into_iter()
+        .map(|(k, v)| Some((k, v.as_f64()?)))
+        .collect::<Option<Vec<_>>>()?;
+    let histograms = obj_pairs(json.get("histograms")?)?
+        .into_iter()
+        .map(|(k, v)| {
+            let u64s = |field: &str| -> Option<Vec<u64>> {
+                v.get(field)?.as_arr()?.iter().map(Json::as_u64).collect()
+            };
+            Some((
+                k,
+                HistogramSnapshot {
+                    bounds: u64s("bounds")?,
+                    buckets: u64s("buckets")?,
+                    count: v.get("count")?.as_u64()?,
+                    sum: v.get("sum")?.as_u64()?,
+                },
+            ))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(MetricsSnapshot { counters, gauges, histograms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_escaping_rules() {
+        assert_eq!(escape_csv("plain"), "plain");
+        assert_eq!(escape_csv("a,b"), "\"a,b\"");
+        assert_eq!(escape_csv("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn csv_writes_header_and_rows() {
+        let path = std::env::temp_dir().join("sc_telemetry_csv_test.csv");
+        write_csv(&path, &["a", "b"], &[vec!["1".into(), "x,y".into()]]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,\"x,y\"\n");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn metrics_snapshot_round_trips_through_json() {
+        let snap = MetricsSnapshot {
+            counters: vec![("accel.dram.words".into(), u64::MAX), ("cycles".into(), 42)],
+            gauges: vec![("train.loss".into(), 0.125)],
+            histograms: vec![(
+                "tile.cycles".into(),
+                HistogramSnapshot {
+                    bounds: vec![16, 256, 4096],
+                    buckets: vec![1, 0, 3, 2],
+                    count: 6,
+                    sum: 9001,
+                },
+            )],
+        };
+        let json = metrics_to_json(&snap);
+        let reparsed = Json::parse(&json.render_pretty()).unwrap();
+        assert_eq!(metrics_from_json(&reparsed), Some(snap));
+    }
+}

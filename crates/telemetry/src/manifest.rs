@@ -1,0 +1,248 @@
+//! Reproducible run manifests.
+//!
+//! A [`RunManifest`] is the provenance record written alongside every
+//! bench artifact in `results/`: what ran, with which configuration
+//! (precision, arithmetic, seed, CLI args), against which source tree
+//! (`git describe`), when, whether the tier-1 suite was passing, and the
+//! full metrics snapshot the run produced. Re-running the binary with
+//! the same manifest config must reproduce the artifact.
+
+use std::io;
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::export::{metrics_from_json, metrics_to_json, write_json};
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+
+/// Provenance record for one bench run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Bench binary name (e.g. `fig5_error_stats`).
+    pub bench: String,
+    /// Free-form configuration key/values (precision, arithmetic, sweep
+    /// sizes, …) in insertion order.
+    pub config: Vec<(String, String)>,
+    /// PRNG seed, when the run is seeded.
+    pub seed: Option<u64>,
+    /// Whether the run used `--quick` (reduced sizes).
+    pub quick: bool,
+    /// The command-line arguments after the binary name.
+    pub args: Vec<String>,
+    /// `git describe --always --dirty` of the source tree, or
+    /// `"unknown"` outside a git checkout.
+    pub git_describe: String,
+    /// Seconds since the Unix epoch at manifest creation.
+    pub timestamp_unix: u64,
+    /// Tier-1 suite status from the `SC_TIER1_STATUS` environment
+    /// variable (`"pass"`/`"fail"`), if the caller exported one.
+    pub tier1_status: Option<String>,
+    /// Artifact paths (CSVs, …) the run wrote.
+    pub artifacts: Vec<String>,
+    /// Metrics recorded during the run.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunManifest {
+    /// Creates a manifest for `bench`, capturing args, git state, the
+    /// timestamp, and `SC_TIER1_STATUS` from the environment.
+    pub fn capture(bench: &str) -> RunManifest {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        RunManifest {
+            bench: bench.to_string(),
+            config: Vec::new(),
+            seed: None,
+            quick: args.iter().any(|a| a == "--quick"),
+            args,
+            git_describe: git_describe(),
+            timestamp_unix: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            tier1_status: std::env::var("SC_TIER1_STATUS").ok(),
+            artifacts: Vec::new(),
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+
+    /// Records a configuration key/value (last write wins per key).
+    pub fn set_config(&mut self, key: &str, value: impl std::fmt::Display) {
+        let value = value.to_string();
+        if let Some(slot) = self.config.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.config.push((key.to_string(), value));
+        }
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("bench", Json::Str(self.bench.clone())),
+            (
+                "config",
+                Json::Obj(
+                    self.config.iter().map(|(k, v)| (k.clone(), Json::Str(v.clone()))).collect(),
+                ),
+            ),
+            ("seed", self.seed.map_or(Json::Null, Json::UInt)),
+            ("quick", Json::Bool(self.quick)),
+            ("args", Json::Arr(self.args.iter().map(|a| Json::Str(a.clone())).collect())),
+            ("git_describe", Json::Str(self.git_describe.clone())),
+            ("timestamp_unix", Json::UInt(self.timestamp_unix)),
+            (
+                "tier1_status",
+                self.tier1_status.as_ref().map_or(Json::Null, |s| Json::Str(s.clone())),
+            ),
+            ("artifacts", Json::Arr(self.artifacts.iter().map(|a| Json::Str(a.clone())).collect())),
+            ("metrics", metrics_to_json(&self.metrics)),
+        ])
+    }
+
+    /// Deserializes from the JSON written by [`RunManifest::to_json`].
+    /// Returns `None` on shape mismatch.
+    pub fn from_json(json: &Json) -> Option<RunManifest> {
+        let strings = |v: &Json| -> Option<Vec<String>> {
+            v.as_arr()?.iter().map(|s| s.as_str().map(str::to_string)).collect()
+        };
+        let config = match json.get("config")? {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Some((k.clone(), v.as_str()?.to_string())))
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
+        Some(RunManifest {
+            bench: json.get("bench")?.as_str()?.to_string(),
+            config,
+            seed: match json.get("seed")? {
+                Json::Null => None,
+                v => Some(v.as_u64()?),
+            },
+            quick: json.get("quick")?.as_bool()?,
+            args: strings(json.get("args")?)?,
+            git_describe: json.get("git_describe")?.as_str()?.to_string(),
+            timestamp_unix: json.get("timestamp_unix")?.as_u64()?,
+            tier1_status: match json.get("tier1_status")? {
+                Json::Null => None,
+                v => Some(v.as_str()?.to_string()),
+            },
+            artifacts: strings(json.get("artifacts")?)?,
+            metrics: metrics_from_json(json.get("metrics")?)?,
+        })
+    }
+
+    /// Writes the manifest (pretty JSON) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        write_json(path, &self.to_json())
+    }
+
+    /// Reads a manifest back from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error, or `InvalidData` if the file is not a
+    /// valid manifest.
+    pub fn read<P: AsRef<Path>>(path: P) -> io::Result<RunManifest> {
+        let text = std::fs::read_to_string(path)?;
+        let json = Json::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        RunManifest::from_json(&json)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "not a RunManifest"))
+    }
+}
+
+/// `git describe --always --dirty`, or `"unknown"` when git or the
+/// repository is unavailable.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSnapshot;
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            bench: "fig5_error_stats".to_string(),
+            config: vec![
+                ("precision".to_string(), "8".to_string()),
+                ("arithmetic".to_string(), "proposed".to_string()),
+            ],
+            seed: Some(0xDEAD_BEEF),
+            quick: true,
+            args: vec!["--quick".to_string(), "--csv".to_string()],
+            git_describe: "v0-12-gabc123-dirty".to_string(),
+            timestamp_unix: 1_754_000_000,
+            tier1_status: Some("pass".to_string()),
+            artifacts: vec!["results/fig5.csv".to_string()],
+            metrics: MetricsSnapshot {
+                counters: vec![("accel.traffic.input_words".to_string(), 1024)],
+                gauges: vec![("train.accuracy".to_string(), 0.97)],
+                histograms: vec![(
+                    "tile.cycles".to_string(),
+                    HistogramSnapshot {
+                        bounds: vec![64, 512],
+                        buckets: vec![5, 2, 0],
+                        count: 7,
+                        sum: 700,
+                    },
+                )],
+            },
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m = sample();
+        let reparsed = Json::parse(&m.to_json().render_pretty()).unwrap();
+        assert_eq!(RunManifest::from_json(&reparsed), Some(m));
+    }
+
+    #[test]
+    fn manifest_round_trips_through_a_file() {
+        let m = sample();
+        let path = std::env::temp_dir().join("sc_telemetry_manifest_test.json");
+        m.write(&path).unwrap();
+        assert_eq!(RunManifest::read(&path).unwrap(), m);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn null_fields_round_trip() {
+        let mut m = sample();
+        m.seed = None;
+        m.tier1_status = None;
+        let reparsed = Json::parse(&m.to_json().render()).unwrap();
+        assert_eq!(RunManifest::from_json(&reparsed), Some(m));
+    }
+
+    #[test]
+    fn set_config_is_last_write_wins() {
+        let mut m = sample();
+        m.set_config("precision", 16);
+        assert_eq!(m.config[0], ("precision".to_string(), "16".to_string()));
+        m.set_config("sweep", "full");
+        assert_eq!(m.config.len(), 3);
+    }
+
+    #[test]
+    fn capture_reads_environment() {
+        let m = RunManifest::capture("unit_test");
+        assert_eq!(m.bench, "unit_test");
+        assert!(!m.git_describe.is_empty());
+        assert!(m.timestamp_unix > 0);
+    }
+}

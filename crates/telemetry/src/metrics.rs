@@ -1,0 +1,327 @@
+//! A process-global metrics registry: named counters, gauges, and
+//! fixed-bucket histograms.
+//!
+//! Handles are `Arc`-backed and cheap to clone; instrumentation sites
+//! cache them in `OnceLock` statics so the name lookup happens once.
+//! Recording is gated on a global flag: when metrics are disabled (the
+//! default outside [`crate::bench::bench_run`]) every `incr`/`set`/
+//! `record` is a single relaxed atomic load and an early return, so
+//! instrumented hot loops cost ~nothing.
+//!
+//! Counters **wrap** on overflow (they are `u64` modular accumulators,
+//! like hardware cycle counters); gauges store the last value; histogram
+//! values above the last bucket bound land in an unbounded overflow
+//! bucket.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns metric recording on or off globally.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Release);
+}
+
+/// Whether metric recording is currently on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A monotonically increasing (modulo 2⁶⁴) counter.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n` (wrapping on overflow). No-op while metrics are
+    /// disabled.
+    #[inline]
+    pub fn incr(&self, n: u64) {
+        if enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the value. No-op while metrics are disabled.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if enabled() {
+            self.cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram over `u64` values.
+///
+/// Bucket `i` counts values `v ≤ bounds[i]` (and greater than the
+/// previous bound); one extra overflow bucket counts values above the
+/// last bound. The exact count and sum are tracked alongside.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. No-op while metrics are disabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// The configured bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// A point-in-time copy of the bucket counts (one extra overflow
+    /// slot), total count, and sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen histogram state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds.
+    pub bounds: Vec<u64>,
+    /// Counts per bucket; `buckets[bounds.len()]` is the overflow
+    /// bucket.
+    pub buckets: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of recorded values (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Returns (creating on first use) the counter named `name`.
+pub fn counter(name: &str) -> Counter {
+    registry()
+        .counters
+        .lock()
+        .unwrap()
+        .entry(name.to_string())
+        .or_insert_with(|| Counter { cell: Arc::new(AtomicU64::new(0)) })
+        .clone()
+}
+
+/// Returns (creating on first use) the gauge named `name`.
+pub fn gauge(name: &str) -> Gauge {
+    registry()
+        .gauges
+        .lock()
+        .unwrap()
+        .entry(name.to_string())
+        .or_insert_with(|| Gauge { cell: Arc::new(AtomicU64::new(0f64.to_bits())) })
+        .clone()
+}
+
+/// Returns (creating on first use) the histogram named `name` with the
+/// given bucket upper bounds. Bounds are fixed at creation; later calls
+/// with different bounds get the existing histogram.
+pub fn histogram(name: &str, bounds: &[u64]) -> Arc<Histogram> {
+    registry()
+        .histograms
+        .lock()
+        .unwrap()
+        .entry(name.to_string())
+        .or_insert_with(|| Arc::new(Histogram::new(bounds)))
+        .clone()
+}
+
+/// A frozen copy of every metric in the registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter name → value (sorted by name).
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value (sorted by name).
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram name → snapshot (sorted by name).
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Snapshots every registered metric.
+pub fn snapshot() -> MetricsSnapshot {
+    let r = registry();
+    MetricsSnapshot {
+        counters: r.counters.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+        gauges: r.gauges.lock().unwrap().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+        histograms: r
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect(),
+    }
+}
+
+/// Zeroes every registered metric (handles stay valid). Used by the
+/// bench harness so each run's manifest reflects only that run.
+pub fn reset() {
+    let r = registry();
+    for c in r.counters.lock().unwrap().values() {
+        c.cell.store(0, Ordering::Relaxed);
+    }
+    for g in r.gauges.lock().unwrap().values() {
+        g.cell.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+    for h in r.histograms.lock().unwrap().values() {
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.count.store(0, Ordering::Relaxed);
+        h.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let _g = crate::test_guard();
+        set_enabled(false);
+        let c = counter("test.disabled.counter");
+        c.incr(5);
+        assert_eq!(c.get(), 0);
+        let h = histogram("test.disabled.hist", &[1, 2]);
+        h.record(1);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn counter_incr_and_wrapping_overflow() {
+        let _g = crate::test_guard();
+        set_enabled(true);
+        let c = counter("test.counter.wrap");
+        c.incr(u64::MAX);
+        c.incr(2);
+        // Wraps modulo 2^64 rather than saturating or panicking.
+        assert_eq!(c.get(), 1);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let _g = crate::test_guard();
+        set_enabled(true);
+        let h = histogram("test.hist.bounds", &[10, 100, 1000]);
+        // On-boundary values land in the bucket whose bound they equal.
+        for v in [0, 10] {
+            h.record(v);
+        }
+        h.record(11); // second bucket
+        h.record(100); // second bucket (≤ 100)
+        h.record(101); // third
+        h.record(1000); // third
+        h.record(1001); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![2, 2, 2, 1]);
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 10 + 11 + 100 + 101 + 1000 + 1001);
+        assert!((s.mean() - s.sum as f64 / 7.0).abs() < 1e-12);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn gauge_last_value_wins() {
+        let _g = crate::test_guard();
+        set_enabled(true);
+        let g = gauge("test.gauge");
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(g.get(), -2.25);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn snapshot_and_reset() {
+        let _g = crate::test_guard();
+        set_enabled(true);
+        let c = counter("test.snapshot.counter");
+        c.incr(3);
+        let snap = snapshot();
+        assert!(snap.counters.iter().any(|(name, v)| name == "test.snapshot.counter" && *v >= 3));
+        reset();
+        assert_eq!(c.get(), 0);
+        set_enabled(false);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[5, 5]);
+    }
+}

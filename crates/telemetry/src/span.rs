@@ -1,0 +1,307 @@
+//! Structured span tracing with nesting, wall time, and a pluggable
+//! global subscriber.
+//!
+//! The fast path is engineered for instrumented hot loops: when no
+//! subscriber is installed (the default), [`Span::enter`] is one relaxed
+//! atomic load and returns an inert guard — no clock read, no
+//! formatting, no allocation. Field strings are built lazily only when a
+//! subscriber is active.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Whether any subscriber is installed (fast-path gate).
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// The installed subscriber, if any.
+static SUBSCRIBER: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
+
+thread_local! {
+    static DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Receives span and event notifications.
+pub trait Subscriber: Send + Sync {
+    /// A span was entered at nesting `depth` (0 = top level).
+    fn span_enter(&self, name: &str, fields: &str, depth: usize);
+    /// A span closed after `nanos` wall-clock nanoseconds.
+    fn span_exit(&self, name: &str, fields: &str, depth: usize, nanos: u128);
+    /// A point event fired inside the current span nesting.
+    fn event(&self, name: &str, fields: &str, depth: usize);
+}
+
+/// Installs `sub` as the global subscriber (replacing any previous one).
+pub fn set_subscriber(sub: Arc<dyn Subscriber>) {
+    *SUBSCRIBER.write().unwrap() = Some(sub);
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Removes the global subscriber; tracing returns to the inert fast
+/// path.
+pub fn clear_subscriber() {
+    ACTIVE.store(false, Ordering::Release);
+    *SUBSCRIBER.write().unwrap() = None;
+}
+
+/// Whether a subscriber is currently installed.
+#[inline]
+pub fn tracing_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Installs the subscriber named by the `SC_TRACE` environment variable
+/// (`stderr` → [`StderrSubscriber`]; anything else → none). Returns
+/// whether one was installed.
+pub fn init_from_env() -> bool {
+    match std::env::var("SC_TRACE").as_deref() {
+        Ok("stderr") => {
+            set_subscriber(Arc::new(StderrSubscriber));
+            true
+        }
+        _ => false,
+    }
+}
+
+fn with_subscriber(f: impl FnOnce(&dyn Subscriber)) {
+    if let Some(sub) = SUBSCRIBER.read().unwrap().as_ref() {
+        f(sub.as_ref());
+    }
+}
+
+/// An RAII span guard: notifies the subscriber on creation and, with the
+/// measured wall time, on drop.
+#[derive(Debug)]
+pub struct Span {
+    /// `None` when tracing is inactive (inert guard).
+    live: Option<LiveSpan>,
+}
+
+#[derive(Debug)]
+struct LiveSpan {
+    name: &'static str,
+    fields: String,
+    depth: usize,
+    start: Instant,
+}
+
+impl Span {
+    /// Enters a span. `fields` is built only if tracing is active.
+    pub fn enter(name: &'static str, fields: impl FnOnce() -> String) -> Span {
+        if !tracing_active() {
+            return Span { live: None };
+        }
+        let fields = fields();
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        with_subscriber(|s| s.span_enter(name, &fields, depth));
+        Span { live: Some(LiveSpan { name, fields, depth, start: Instant::now() }) }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(live) = self.live.take() {
+            let nanos = live.start.elapsed().as_nanos();
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            with_subscriber(|s| s.span_exit(live.name, &live.fields, live.depth, nanos));
+        }
+    }
+}
+
+/// Fires a point event. `fields` is built only if tracing is active.
+pub fn emit_event(name: &'static str, fields: impl FnOnce() -> String) {
+    if !tracing_active() {
+        return;
+    }
+    let fields = fields();
+    let depth = DEPTH.with(|d| d.get());
+    with_subscriber(|s| s.event(name, &fields, depth));
+}
+
+/// Opens a wall-clock-timed, nested span; the returned guard closes it
+/// on drop.
+///
+/// ```
+/// let _layer = sc_telemetry::span!("layer", 3usize);
+/// {
+///     let _tile = sc_telemetry::span!("tile"); // nested one level deeper
+/// }
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::Span::enter($name, String::new)
+    };
+    ($name:expr, $($field:expr),+ $(,)?) => {
+        $crate::span::Span::enter($name, || {
+            let mut s = String::new();
+            $(
+                if !s.is_empty() { s.push(' '); }
+                s.push_str(concat!(stringify!($field), "="));
+                s.push_str(&format!("{:?}", &$field));
+            )+
+            s
+        })
+    };
+}
+
+/// Fires a point event with optional fields (same syntax as [`span!`]).
+#[macro_export]
+macro_rules! event {
+    ($name:expr) => {
+        $crate::span::emit_event($name, String::new)
+    };
+    ($name:expr, $($field:expr),+ $(,)?) => {
+        $crate::span::emit_event($name, || {
+            let mut s = String::new();
+            $(
+                if !s.is_empty() { s.push(' '); }
+                s.push_str(concat!(stringify!($field), "="));
+                s.push_str(&format!("{:?}", &$field));
+            )+
+            s
+        })
+    };
+}
+
+/// Renders spans/events to stderr with indentation for nesting.
+#[derive(Debug, Default)]
+pub struct StderrSubscriber;
+
+impl Subscriber for StderrSubscriber {
+    fn span_enter(&self, name: &str, fields: &str, depth: usize) {
+        eprintln!("{:indent$}> {name} {fields}", "", indent = depth * 2);
+    }
+
+    fn span_exit(&self, name: &str, _fields: &str, depth: usize, nanos: u128) {
+        eprintln!("{:indent$}< {name} [{:.3} ms]", "", nanos as f64 / 1e6, indent = depth * 2);
+    }
+
+    fn event(&self, name: &str, fields: &str, depth: usize) {
+        eprintln!("{:indent$}* {name} {fields}", "", indent = depth * 2);
+    }
+}
+
+/// One record captured by [`CollectingSubscriber`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Record kind.
+    pub kind: RecordKind,
+    /// Span or event name.
+    pub name: String,
+    /// Formatted `key=value` fields.
+    pub fields: String,
+    /// Nesting depth at the time.
+    pub depth: usize,
+    /// Wall time in nanoseconds (exit records only, else 0).
+    pub nanos: u128,
+}
+
+/// What a [`SpanRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// Span entry.
+    Enter,
+    /// Span exit (carries wall time).
+    Exit,
+    /// Point event.
+    Event,
+}
+
+/// Collects records silently for later inspection (used by tests and by
+/// the bench harness to attach traces to artifacts).
+#[derive(Debug, Default)]
+pub struct CollectingSubscriber {
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+impl CollectingSubscriber {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy of everything collected so far.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.records.lock().unwrap().clone()
+    }
+
+    fn push(&self, kind: RecordKind, name: &str, fields: &str, depth: usize, nanos: u128) {
+        self.records.lock().unwrap().push(SpanRecord {
+            kind,
+            name: name.to_string(),
+            fields: fields.to_string(),
+            depth,
+            nanos,
+        });
+    }
+}
+
+impl Subscriber for CollectingSubscriber {
+    fn span_enter(&self, name: &str, fields: &str, depth: usize) {
+        self.push(RecordKind::Enter, name, fields, depth, 0);
+    }
+
+    fn span_exit(&self, name: &str, fields: &str, depth: usize, nanos: u128) {
+        self.push(RecordKind::Exit, name, fields, depth, nanos);
+    }
+
+    fn event(&self, name: &str, fields: &str, depth: usize) {
+        self.push(RecordKind::Event, name, fields, depth, nanos_zero());
+    }
+}
+
+fn nanos_zero() -> u128 {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_when_no_subscriber() {
+        let _g = crate::test_guard();
+        clear_subscriber();
+        let s = crate::span!("quiet", 1u32);
+        assert!(s.live.is_none());
+        drop(s);
+        crate::event!("nothing");
+    }
+
+    #[test]
+    fn collects_nested_spans_with_depth_and_time() {
+        let _g = crate::test_guard();
+        let collector = Arc::new(CollectingSubscriber::new());
+        set_subscriber(collector.clone());
+        {
+            let _outer = crate::span!("outer", 7u32);
+            {
+                let _inner = crate::span!("inner");
+                crate::event!("mark", 42u64);
+            }
+        }
+        clear_subscriber();
+        let recs = collector.records();
+        let names: Vec<(&RecordKind, &str, usize)> =
+            recs.iter().map(|r| (&r.kind, r.name.as_str(), r.depth)).collect();
+        assert_eq!(
+            names,
+            vec![
+                (&RecordKind::Enter, "outer", 0),
+                (&RecordKind::Enter, "inner", 1),
+                (&RecordKind::Event, "mark", 2),
+                (&RecordKind::Exit, "inner", 1),
+                (&RecordKind::Exit, "outer", 0),
+            ]
+        );
+        assert!(recs[0].fields.contains("7u32=7") || recs[0].fields.contains("=7"));
+        // Exit records carry a measured (possibly zero on coarse clocks)
+        // wall time; enters don't.
+        assert_eq!(recs[1].nanos, 0);
+    }
+}

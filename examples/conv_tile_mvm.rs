@@ -27,15 +27,12 @@ fn main() -> Result<(), scnn::core::Error> {
         .map(|z| {
             (0..in_h)
                 .map(|y| {
-                    (0..in_w)
-                        .map(|x| (((x * 37 + y * 91 + z * 53) % 200) as i32) - 100)
-                        .collect()
+                    (0..in_w).map(|x| (((x * 37 + y * 91 + z * 53) % 200) as i32) - 100).collect()
                 })
                 .collect()
         })
         .collect();
-    let weights: Vec<i32> =
-        (0..d).map(|i| ((i as i32 * 23 + 7) % 31) - 15).collect(); // small |w|
+    let weights: Vec<i32> = (0..d).map(|i| ((i as i32 * 23 + 7) % 31) - 15).collect(); // small |w|
 
     // Stream the d = K²Z terms through the MVM: term (z, i, j) multiplies
     // weight W[z][i][j] with the vector of T_R·T_C input pixels it
@@ -73,20 +70,16 @@ fn main() -> Result<(), scnn::core::Error> {
                 }
             }
             let y = ys[r * T_C + c];
-            println!(
-                "   ({r}, {c})    | {y:>11} | {exact:>18.3} | {:+.3}",
-                y as f64 - exact
-            );
+            println!("   ({r}, {c})    | {y:>11} | {exact:>18.3} | {:+.3}", y as f64 - exact);
         }
     }
 
     let cycles = mvm.cycles();
     let conventional = d as u64 * n.stream_len();
-    println!("\nlatency: {cycles} cycles (Σ|w|) vs {conventional} for conventional SC ({}x less)",
-        conventional / cycles.max(1));
     println!(
-        "8-bit-parallel version would take {} cycles",
-        dot_product_cycles(&weights, 8)
+        "\nlatency: {cycles} cycles (Σ|w|) vs {conventional} for conventional SC ({}x less)",
+        conventional / cycles.max(1)
     );
+    println!("8-bit-parallel version would take {} cycles", dot_product_cycles(&weights, 8));
     Ok(())
 }

@@ -15,10 +15,10 @@ fn main() -> Result<(), scnn::core::Error> {
     let mac = SignedScMac::new(n);
 
     println!("Signed SC multiplication at N = 4 (paper Table 1)\n");
-    for (w, x) in [(-8, 0), (-8, 7), (-8, -8), (7, 0), (7, 7), (7, -8)] {
+    for (w, x) in [(-8i32, 0), (-8, 7), (-8, -8), (7, 0), (7, 7), (7, -8)] {
         let xc = n.check_signed(x as i64)?;
         let u = xc.to_offset_binary();
-        let k = (w as i32).unsigned_abs() as usize;
+        let k = w.unsigned_abs() as usize;
 
         let stream: String =
             FsmMuxSequence::new(u, n).take(k).map(|b| if b { '1' } else { '0' }).collect();

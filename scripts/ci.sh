@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Local CI gate: run everything the hosted workflow runs.
+# Usage: scripts/ci.sh [--no-clippy]
+#
+# The workspace has zero external dependencies, so this works fully
+# offline. --no-clippy skips the lint step on toolchains without the
+# clippy component.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_clippy=1
+for arg in "$@"; do
+    case "$arg" in
+        --no-clippy) run_clippy=0 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+if [ "$run_clippy" -eq 1 ]; then
+    if cargo clippy --version >/dev/null 2>&1; then
+        echo "==> cargo clippy (-D warnings)"
+        cargo clippy --workspace --all-targets -- -D warnings
+    else
+        echo "==> clippy not installed, skipping (pass --no-clippy to silence)"
+    fi
+fi
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "CI gate passed."

@@ -41,10 +41,7 @@ fn accelerator_matches_neural_quantized_conv() {
     assert_eq!(run.outputs.len(), neural_out.len());
     for (i, (&counter, &y)) in run.outputs.iter().zip(neural_out.data()).enumerate() {
         let accel_value = counter as f32 / half;
-        assert!(
-            (accel_value - y).abs() < 1e-6,
-            "output {i}: accel {accel_value} vs neural {y}"
-        );
+        assert!((accel_value - y).abs() < 1e-6, "output {i}: accel {accel_value} vs neural {y}");
     }
 
     // And the data-dependent latency is far below conventional SC's
@@ -61,10 +58,7 @@ fn accelerator_matches_neural_fixed_conv() {
     conv.set_bias(vec![0.0; g.m]);
     conv.set_mode(ConvMode::Quantized { arith: QuantArith::fixed(n), extra_bits: 2 });
 
-    let input = Tensor::new(
-        (0..64).map(|i| ((i % 31) as f32 / 31.0) - 0.5).collect(),
-        &[1, 8, 8],
-    );
+    let input = Tensor::new((0..64).map(|i| ((i % 31) as f32 / 31.0) - 0.5).collect(), &[1, 8, 8]);
     let neural_out = conv.forward(&input);
 
     let xq: Vec<i32> = input.data().iter().map(|&v| scnn::fixed::quantize(v, n)).collect();

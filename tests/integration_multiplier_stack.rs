@@ -71,9 +71,8 @@ fn conventional_sc_table_phase_zero_matches_stream_lut() {
         }
     }
     // Different phases give different (decorrelated) error patterns.
-    let differs = (-16..16).any(|w| {
-        (-16..16).any(|x| table.product_at(0, w, x) != table.product_at(1, w, x))
-    });
+    let differs = (-16..16)
+        .any(|w| (-16..16).any(|x| table.product_at(0, w, x) != table.product_at(1, w, x)));
     assert!(differs, "phase tables must not be identical");
 }
 
