@@ -122,56 +122,76 @@ impl TileEngine {
         let _layer = sc_telemetry::span!("accel.layer", arithmetic, g.m, g.z, r, c);
         let metrics = engine_metrics();
 
-        // Fig. 4: outer tile loops over (m1, r1, c1).
+        // Fig. 4: outer tile loops over (m1, r1, c1), enumerated in the
+        // canonical nest order. Tiles are independent (disjoint output
+        // regions), so they run on the sc-par pool; every tile's result
+        // is then merged below in this fixed enumeration order, which
+        // keeps outputs, cycle totals, and traffic counters bitwise
+        // identical at any `SC_THREADS`.
+        let mut tiles: Vec<(usize, usize, usize)> = Vec::new();
         for m1 in (0..g.m).step_by(self.tiling.t_m) {
-            let m_hi = (m1 + self.tiling.t_m).min(g.m);
             for r1 in (0..r).step_by(self.tiling.t_r) {
-                let r_hi = (r1 + self.tiling.t_r).min(r);
                 for c1 in (0..c).step_by(self.tiling.t_c) {
-                    let c_hi = (c1 + self.tiling.t_c).min(c);
-
-                    // The input patch this tile touches is loaded once
-                    // into the input buffer; weights stream per (m,z,i,j);
-                    // outputs are written back once as binary numbers
-                    // (this is the whole point of BISC).
-                    let patch_h = (r_hi - r1 - 1) * g.stride + g.k;
-                    let patch_w = (c_hi - c1 - 1) * g.stride + g.k;
-                    let tile_input = (g.z * patch_h * patch_w) as u64;
-                    let tile_weight = ((m_hi - m1) * g.depth()) as u64;
-                    let tile_output = ((m_hi - m1) * (r_hi - r1) * (c_hi - c1)) as u64;
-                    traffic.input_words += tile_input;
-                    traffic.weight_words += tile_weight;
-                    traffic.output_words += tile_output;
-                    metrics.input_words.incr(tile_input);
-                    metrics.weight_words.incr(tile_weight);
-                    metrics.output_words.incr(tile_output);
-
-                    let tile_cycles = {
-                        let _tile = sc_telemetry::span!("accel.tile", m1, r1, c1);
-                        self.run_tile(
-                            g,
-                            input,
-                            weights,
-                            (m1, m_hi),
-                            (r1, r_hi),
-                            (c1, c_hi),
-                            p,
-                            &mut outputs,
-                        )?
-                    };
-                    metrics.tiles.incr(1);
-                    metrics.cycles.incr(tile_cycles);
-                    metrics.tile_cycles.record(tile_cycles);
-                    sc_telemetry::event!("accel.tile.done", m1, r1, c1, tile_cycles);
-                    cycles += tile_cycles;
+                    tiles.push((m1, r1, c1));
                 }
+            }
+        }
+
+        let pool = sc_par::Pool::global();
+        let results: Vec<Result<TileDone, Error>> = pool.parallel_map(tiles.len(), |t| {
+            let (m1, r1, c1) = tiles[t];
+            let m_hi = (m1 + self.tiling.t_m).min(g.m);
+            let r_hi = (r1 + self.tiling.t_r).min(r);
+            let c_hi = (c1 + self.tiling.t_c).min(c);
+            // The input patch this tile touches is loaded once into the
+            // input buffer; weights stream per (m,z,i,j); outputs are
+            // written back once as binary numbers (this is the whole
+            // point of BISC).
+            let patch_h = (r_hi - r1 - 1) * g.stride + g.k;
+            let patch_w = (c_hi - c1 - 1) * g.stride + g.k;
+            let (cycles, writes) =
+                self.run_tile(g, input, weights, (m1, m_hi), (r1, r_hi), (c1, c_hi), p)?;
+            Ok(TileDone {
+                input_words: (g.z * patch_h * patch_w) as u64,
+                weight_words: ((m_hi - m1) * g.depth()) as u64,
+                output_words: ((m_hi - m1) * (r_hi - r1) * (c_hi - c1)) as u64,
+                cycles,
+                writes,
+            })
+        });
+
+        // Deterministic merge: per-tile accumulators folded in tile
+        // order (metrics and trace events fire here, on the caller's
+        // thread, so telemetry layout does not depend on scheduling).
+        for (t, result) in results.into_iter().enumerate() {
+            let done = result?;
+            let (m1, r1, c1) = tiles[t];
+            traffic.input_words += done.input_words;
+            traffic.weight_words += done.weight_words;
+            traffic.output_words += done.output_words;
+            metrics.input_words.incr(done.input_words);
+            metrics.weight_words.incr(done.weight_words);
+            metrics.output_words.incr(done.output_words);
+            let tile_cycles = done.cycles;
+            metrics.tiles.incr(1);
+            metrics.cycles.incr(tile_cycles);
+            metrics.tile_cycles.record(tile_cycles);
+            sc_telemetry::event!("accel.tile.done", m1, r1, c1, tile_cycles);
+            cycles += tile_cycles;
+            for (index, value) in done.writes {
+                outputs[index] = value;
             }
         }
         Ok(LayerRun { outputs, cycles, traffic })
     }
 
     /// Executes one `(m1..m_hi, r1..r_hi, c1..c_hi)` tile; returns its
-    /// cycle count (the max over the `T_M` weight groups).
+    /// cycle count (the max over the `T_M` weight groups) and the
+    /// `(output index, value)` write-back list. Writes are returned
+    /// rather than applied so tiles can run on worker threads; the
+    /// caller applies them in deterministic tile order (regions are
+    /// disjoint, so order is cosmetic — but determinism is the
+    /// contract).
     #[allow(clippy::too_many_arguments)]
     fn run_tile(
         &self,
@@ -182,11 +202,11 @@ impl TileEngine {
         (r1, r_hi): (usize, usize),
         (c1, c_hi): (usize, usize),
         p: usize,
-        outputs: &mut [i64],
-    ) -> Result<u64, Error> {
+    ) -> Result<(u64, Vec<(usize, i64)>), Error> {
         let (r, c) = (g.r(), g.c());
         let mut xs = vec![0i32; p];
         let mut tile_cycles = 0u64;
+        let mut writes = Vec::with_capacity((m_hi - m1) * (r_hi - r1) * (c_hi - c1));
 
         for m in m1..m_hi {
             // One vector unit per output feature map in the tile; the
@@ -249,12 +269,22 @@ impl TileEngine {
                 let rr = r1 + lane / self.tiling.t_c;
                 let cc = c1 + lane % self.tiling.t_c;
                 if rr < r_hi && cc < c_hi {
-                    outputs[(m * r + rr) * c + cc] = v;
+                    writes.push(((m * r + rr) * c + cc, v));
                 }
             }
         }
-        Ok(tile_cycles)
+        Ok((tile_cycles, writes))
     }
+}
+
+/// Per-tile accumulator produced on a worker thread and merged by
+/// [`TileEngine::run_layer`] in deterministic tile order.
+struct TileDone {
+    input_words: u64,
+    weight_words: u64,
+    output_words: u64,
+    cycles: u64,
+    writes: Vec<(usize, i64)>,
 }
 
 #[cfg(test)]

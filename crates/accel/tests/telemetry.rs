@@ -64,20 +64,20 @@ fn outputs_identical_with_telemetry_on_and_counters_match_traffic() {
     assert_eq!(hist.count, tiles);
     assert_eq!(hist.sum, on.cycles);
 
-    // Spans: one layer span, one tile span per tile, nested under it.
+    // Spans: one layer span on the caller thread. Tiles run on the
+    // sc-par pool, so per-tile telemetry is a `accel.tile.done` event
+    // fired during the deterministic merge (one per tile, nested in the
+    // layer span) rather than a worker-side span whose interleaving
+    // would depend on scheduling.
     let recs = collector.records();
     let enters = |name: &str| {
         recs.iter().filter(|r| r.kind == RecordKind::Enter && r.name == name).count() as u64
     };
     assert_eq!(enters("accel.layer"), 1);
-    assert_eq!(enters("accel.tile"), tiles);
-    assert!(recs
+    let tile_done: Vec<_> = recs
         .iter()
-        .filter(|r| r.kind == RecordKind::Enter && r.name == "accel.tile")
-        .all(|r| r.depth == 1));
-    assert_eq!(
-        recs.iter().filter(|r| r.kind == RecordKind::Event && r.name == "accel.tile.done").count()
-            as u64,
-        tiles
-    );
+        .filter(|r| r.kind == RecordKind::Event && r.name == "accel.tile.done")
+        .collect();
+    assert_eq!(tile_done.len() as u64, tiles);
+    assert!(tile_done.iter().all(|r| r.depth == 1), "tile events merge inside the layer span");
 }

@@ -58,15 +58,29 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
     println!("\naccuracy vs per-MAC fault rate:");
     println!("{header}");
     cli::rule(&header);
-    for (name, arith, target) in configs {
-        let mut row = String::new();
-        for &rate in &rates {
-            let mut qnet = net.clone();
-            qnet.set_conv_mode(&ConvMode::Quantized { arith: arith.clone(), extra_bits: 2 });
-            qnet.set_fault(if rate > 0.0 { Some(FaultModel::new(rate, target, 7)) } else { None });
-            let acc = evaluate(&mut qnet, &test_set);
-            row.push_str(&format!("{acc:<9.3}"));
-        }
+    // The (config, rate) grid cells are independent trials, so they run
+    // on the sc-par pool. Each trial's fault model is seeded from its
+    // trial index — never from the worker that happens to run it — so
+    // the grid is reproducible at any thread count.
+    let cells = configs.len() * rates.len();
+    let accs = sc_par::Pool::global().parallel_map(cells, |t| {
+        let (name_idx, rate_idx) = (t / rates.len(), t % rates.len());
+        let (_, arith, target) = &configs[name_idx];
+        let rate = rates[rate_idx];
+        let mut qnet = net.clone();
+        qnet.set_conv_mode(&ConvMode::Quantized { arith: arith.clone(), extra_bits: 2 });
+        qnet.set_fault(if rate > 0.0 {
+            Some(FaultModel::new(rate, *target, 7 + t as u64))
+        } else {
+            None
+        });
+        evaluate(&mut qnet, &test_set)
+    });
+    for (ci, (name, _, _)) in configs.iter().enumerate() {
+        let row: String = accs[ci * rates.len()..(ci + 1) * rates.len()]
+            .iter()
+            .map(|acc| format!("{acc:<9.3}"))
+            .collect();
         println!("{name:>30} | {row}");
     }
     println!("\nexpected shape: SC degrades gracefully (bounded ±2-LSB damage per fault),");

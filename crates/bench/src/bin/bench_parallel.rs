@@ -1,0 +1,108 @@
+//! Serial-vs-parallel throughput of the accelerator tile loop.
+//!
+//! Times `TileEngine::run_layer` with the `sc-par` pool pinned to one
+//! worker (the inline path) against the configured thread count, checks
+//! the two runs are bit-exact, and appends the measured speedup to
+//! `results/parallel.json` so CI hardware accumulates a history of
+//! parallel-efficiency data points.
+//!
+//! `--quick` shrinks the layer.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use sc_accel::engine::{AccelArithmetic, TileEngine};
+use sc_accel::layer::{ConvGeometry, Tiling};
+use sc_bench::microbench::Group;
+use sc_core::Precision;
+use sc_telemetry::json::Json;
+
+fn main() {
+    sc_telemetry::bench_run(
+        "bench_parallel",
+        "Serial vs parallel tile-engine throughput (sc-par pool)",
+        run,
+    );
+}
+
+fn run(ctx: &mut sc_telemetry::BenchCtx) {
+    let quick = ctx.quick();
+    let n = Precision::new(8).expect("valid precision");
+    let tiling = Tiling::default();
+    let g = if quick {
+        ConvGeometry { z: 4, in_h: 12, in_w: 12, m: 8, k: 5, stride: 1 }
+    } else {
+        ConvGeometry { z: 8, in_h: 16, in_w: 16, m: 16, k: 5, stride: 1 }
+    };
+    let threads = sc_par::Pool::global().threads();
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    ctx.config("threads", threads);
+    ctx.config("host_parallelism", host);
+    ctx.config("geometry", format!("{}x{}x{} -> m={} k={}", g.z, g.in_h, g.in_w, g.m, g.k));
+    println!("layer: {} MACs, {} threads (host parallelism {host})\n", g.macs(), threads);
+
+    let half = n.half_scale() as i32;
+    let input: Vec<i32> =
+        (0..g.z * g.in_h * g.in_w).map(|i| ((i as i32 * 37 + 11) % (2 * half)) - half).collect();
+    let weights: Vec<i32> = (0..g.m * g.depth()).map(|i| ((i as i32 * 13 + 5) % 21) - 10).collect();
+    let engine = TileEngine::new(n, tiling, AccelArithmetic::ProposedSerial, 2);
+
+    // The determinism contract, checked before timing anything: one
+    // worker and `threads` workers must produce identical outputs,
+    // cycles, and traffic.
+    sc_par::set_threads(1);
+    let serial = engine.run_layer(&g, &input, &weights).expect("geometry and buffers agree");
+    sc_par::set_threads(threads);
+    let parallel = engine.run_layer(&g, &input, &weights).expect("geometry and buffers agree");
+    assert_eq!(serial, parallel, "parallel run must be bit-exact with serial");
+    println!("bit-exactness: serial and {threads}-thread runs identical\n");
+
+    let mut group = Group::new("engine_tile_loop");
+    let pair = group.bench_pair(
+        "serial",
+        "parallel",
+        "run_layer",
+        || {
+            sc_par::set_threads(1);
+            engine.run_layer(&g, &input, &weights).expect("runs").cycles
+        },
+        || {
+            sc_par::set_threads(threads);
+            engine.run_layer(&g, &input, &weights).expect("runs").cycles
+        },
+    );
+    group.finish();
+    sc_par::set_threads(0); // back to SC_THREADS / host default
+
+    let speedup = pair.speedup();
+    println!("speedup at {threads} threads: {speedup:.2}x");
+    if host <= 1 {
+        println!("(single-core host: ~1x expected; multi-core CI shows the real ratio)");
+    }
+
+    // Append this measurement to the running history.
+    let entry = Json::obj(vec![
+        ("git_describe", Json::Str(sc_telemetry::manifest::git_describe())),
+        (
+            "timestamp_unix",
+            Json::UInt(
+                SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0),
+            ),
+        ),
+        ("threads", Json::UInt(threads as u64)),
+        ("host_parallelism", Json::UInt(host as u64)),
+        ("serial_ns", Json::Num(pair.baseline.min_ns)),
+        ("parallel_ns", Json::Num(pair.contender.min_ns)),
+        ("speedup", Json::Num(speedup)),
+        ("quick", Json::Bool(quick)),
+    ]);
+    let path = "results/parallel.json";
+    let mut entries: Vec<Json> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| Json::parse(&t).ok())
+        .and_then(|j| j.as_arr().map(<[Json]>::to_vec))
+        .unwrap_or_default();
+    entries.push(entry);
+    sc_telemetry::export::write_json(path, &Json::Arr(entries)).expect("write parallel.json");
+    ctx.record_artifact(path);
+    println!("recorded -> {path}");
+}

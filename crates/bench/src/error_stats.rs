@@ -56,22 +56,37 @@ pub fn sweep_conventional(n: Precision, method: ConvScMethod, stride: usize) -> 
     let snapshots: Vec<u64> =
         (0..=bits).map(|s| ((1u64 << s) * bits_per_cycle).min(full)).collect();
 
-    let mut stats = vec![ErrorStats::new(); snapshots.len()];
     let denom = (full * full) as f64;
-    let mut and_words = vec![0u64; sx[0].len()];
-    for x in (0..size).step_by(stride) {
-        let row = &sx[x];
-        for w in (0..size).step_by(stride) {
-            let col = &sw[w];
-            for ((o, a), b) in and_words.iter_mut().zip(row).zip(col) {
-                *o = a & b;
+    // The (x, w) sweep is embarrassingly parallel: chunk the x values on
+    // the sc-par pool, accumulate per-chunk Welford statistics, and merge
+    // them in ascending chunk order. The chunk plan depends only on the
+    // number of x values, so the merged statistics are bitwise identical
+    // at any thread count.
+    let xs: Vec<usize> = (0..size).step_by(stride).collect();
+    let chunked = sc_par::Pool::global().parallel_chunks(xs.len(), |range| {
+        let mut stats = vec![ErrorStats::new(); snapshots.len()];
+        let mut and_words = vec![0u64; sx[0].len()];
+        for &x in &xs[range] {
+            let row = &sx[x];
+            for w in (0..size).step_by(stride) {
+                let col = &sw[w];
+                for ((o, a), b) in and_words.iter_mut().zip(row).zip(col) {
+                    *o = a & b;
+                }
+                let exact = (x as u64 * w as u64) as f64 / denom;
+                for (st, &p) in stats.iter_mut().zip(&snapshots) {
+                    let ones = count_ones_prefix(&and_words, p);
+                    let est = ones as f64 / p as f64;
+                    st.push(est - exact);
+                }
             }
-            let exact = (x as u64 * w as u64) as f64 / denom;
-            for (st, &p) in stats.iter_mut().zip(&snapshots) {
-                let ones = count_ones_prefix(&and_words, p);
-                let est = ones as f64 / p as f64;
-                st.push(est - exact);
-            }
+        }
+        stats
+    });
+    let mut stats = vec![ErrorStats::new(); snapshots.len()];
+    for part in chunked {
+        for (st, p) in stats.iter_mut().zip(&part) {
+            st.merge(p);
         }
     }
 
@@ -94,16 +109,28 @@ pub fn sweep_proposed(n: Precision, stride: usize) -> Vec<Fig5Point> {
     let bits = n.bits();
     let size = n.stream_len() as usize;
     let denom = (n.stream_len() * n.stream_len()) as f64;
-    let mut stats = vec![ErrorStats::new(); bits as usize + 1];
-    for x in (0..size as u32).step_by(stride) {
-        for w in (0..size as u64).step_by(stride) {
-            let exact = (x as u64 * w) as f64 / denom;
-            for s in 0..=bits {
-                let t = w >> (bits - s);
-                let p = prefix_sum(x, n, t);
-                let est = p as f64 / (1u64 << s) as f64;
-                stats[s as usize].push(est - exact);
+    // Chunked over x like `sweep_conventional`: per-chunk statistics
+    // merged in ascending chunk order keep the result thread-invariant.
+    let xs: Vec<u32> = (0..size as u32).step_by(stride).collect();
+    let chunked = sc_par::Pool::global().parallel_chunks(xs.len(), |range| {
+        let mut stats = vec![ErrorStats::new(); bits as usize + 1];
+        for &x in &xs[range] {
+            for w in (0..size as u64).step_by(stride) {
+                let exact = (x as u64 * w) as f64 / denom;
+                for s in 0..=bits {
+                    let t = w >> (bits - s);
+                    let p = prefix_sum(x, n, t);
+                    let est = p as f64 / (1u64 << s) as f64;
+                    stats[s as usize].push(est - exact);
+                }
             }
+        }
+        stats
+    });
+    let mut stats = vec![ErrorStats::new(); bits as usize + 1];
+    for part in chunked {
+        for (st, p) in stats.iter_mut().zip(&part) {
+            st.merge(p);
         }
     }
     stats

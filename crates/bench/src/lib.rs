@@ -12,6 +12,7 @@
 //! | `table2_area` | Table 2 (MAC area breakdown) |
 //! | `table3_accelerators` | Table 3 (accelerator comparison) |
 //! | `ablation_*` | DESIGN.md §6 ablations |
+//! | `bench_parallel` | serial vs parallel tile-loop throughput (DESIGN.md §8) |
 //!
 //! Every binary accepts `--quick` for a reduced-size run. This library
 //! hosts the shared pieces: the Fig. 5 error-statistics engine, the Fig. 6

@@ -20,6 +20,11 @@ use std::time::{Duration, Instant};
 const BATCHES: usize = 5;
 /// Target wall time per benchmark (all batches together).
 const BUDGET: Duration = Duration::from_millis(200);
+/// Hard ceiling on iterations per batch. Sub-nanosecond kernels (the
+/// timer resolution regime, where `elapsed` can stay 0 forever) would
+/// otherwise double the count without bound; 2^26 iterations of even a
+/// 1-cycle kernel still fits the budget on any realistic clock.
+const MAX_ITERS: u64 = 1 << 26;
 
 /// One benchmark's timing summary.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,10 +37,9 @@ pub struct Timing {
     pub min_ns: f64,
 }
 
-/// Measures `f`, auto-calibrating the iteration count.
-pub fn time_fn<T>(mut f: impl FnMut() -> T) -> Timing {
-    // Calibrate: grow iteration count until one batch takes ≥ 1/25 of
-    // the budget (so ~5 batches fit comfortably).
+/// Grows the iteration count until one batch takes ≥ 1/25 of the budget
+/// (so ~5 batches fit comfortably), clamped to [`MAX_ITERS`].
+fn calibrate<T>(f: &mut impl FnMut() -> T) -> u64 {
     let mut iters = 1u64;
     loop {
         let start = Instant::now();
@@ -43,11 +47,22 @@ pub fn time_fn<T>(mut f: impl FnMut() -> T) -> Timing {
             black_box(f());
         }
         let elapsed = start.elapsed();
-        if elapsed * 25 >= BUDGET || iters >= 1 << 30 {
+        if elapsed * 25 >= BUDGET {
             break;
         }
-        iters = iters.saturating_mul(2);
+        // `checked_mul` (not a plain shift) so a kernel the timer cannot
+        // resolve stops at the ceiling instead of wrapping to 0 iters.
+        iters = match iters.checked_mul(2) {
+            Some(next) if next <= MAX_ITERS => next,
+            _ => return MAX_ITERS,
+        };
     }
+    iters
+}
+
+/// Measures `f`, auto-calibrating the iteration count.
+pub fn time_fn<T>(mut f: impl FnMut() -> T) -> Timing {
+    let iters = calibrate(&mut f);
     let mut per_iter = Vec::with_capacity(BATCHES);
     for _ in 0..BATCHES {
         let start = Instant::now();
@@ -59,6 +74,26 @@ pub fn time_fn<T>(mut f: impl FnMut() -> T) -> Timing {
     let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
     let min_ns = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
     Timing { iters, mean_ns, min_ns }
+}
+
+/// Timings of a baseline/contender pair measured back to back by
+/// [`Group::bench_pair`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairTiming {
+    /// The reference implementation's timing.
+    pub baseline: Timing,
+    /// The implementation under comparison.
+    pub contender: Timing,
+}
+
+impl PairTiming {
+    /// How many times faster the contender ran than the baseline
+    /// (> 1 means the contender won). Compares the fastest batch of
+    /// each side — the mean is vulnerable to a single cold batch (page
+    /// faults, clock ramp-up) distorting short measurements.
+    pub fn speedup(&self) -> f64 {
+        self.baseline.min_ns / self.contender.min_ns
+    }
 }
 
 /// A named group of benchmarks printed as a small table.
@@ -75,8 +110,8 @@ impl Group {
         Group { name: name.to_string(), results: Vec::new() }
     }
 
-    /// Runs and records one benchmark.
-    pub fn bench<T>(&mut self, name: &str, f: impl FnMut() -> T) {
+    /// Runs and records one benchmark, returning its timing.
+    pub fn bench<T>(&mut self, name: &str, f: impl FnMut() -> T) -> Timing {
         let t = time_fn(f);
         println!(
             "{:>32}  mean {:>12}  min {:>12}  ({} iters/batch)",
@@ -86,6 +121,26 @@ impl Group {
             t.iters
         );
         self.results.push((name.to_string(), t));
+        t
+    }
+
+    /// Runs a baseline/contender pair back to back and reports the
+    /// speedup of the contender over the baseline (mean-over-mean).
+    /// Both timings are recorded in the group under
+    /// `"<name>/<baseline>"` and `"<name>/<contender>"`.
+    pub fn bench_pair<A, B>(
+        &mut self,
+        baseline: &str,
+        contender: &str,
+        name: &str,
+        fa: impl FnMut() -> A,
+        fb: impl FnMut() -> B,
+    ) -> PairTiming {
+        let a = self.bench(&format!("{name}/{baseline}"), fa);
+        let b = self.bench(&format!("{name}/{contender}"), fb);
+        let pair = PairTiming { baseline: a, contender: b };
+        println!("{:>32}  speedup {:.2}x ({contender} vs {baseline})", name, pair.speedup());
+        pair
     }
 
     /// Ends the group (prints a trailing newline for readability).
@@ -117,6 +172,35 @@ mod tests {
         assert!(t.mean_ns > 0.0 && t.mean_ns.is_finite());
         assert!(t.min_ns <= t.mean_ns + 1e3);
         assert!(t.iters >= 1);
+    }
+
+    #[test]
+    fn calibration_clamps_for_unresolvable_kernels() {
+        // A no-op closure is faster than the timer can resolve; before
+        // the clamp this doubled `iters` forever (and could overflow).
+        // The calibrated count must stop exactly at the ceiling.
+        let iters = calibrate(&mut || ());
+        assert!(iters <= MAX_ITERS, "iters {iters} above clamp");
+        let t = time_fn(|| ());
+        assert!(t.iters <= MAX_ITERS);
+        assert!(t.mean_ns >= 0.0 && t.mean_ns.is_finite());
+    }
+
+    #[test]
+    fn bench_pair_reports_speedup() {
+        let mut g = Group::new("pair_test");
+        let pair = g.bench_pair(
+            "slow",
+            "fast",
+            "sum",
+            || (0..2000u64).sum::<u64>(),
+            || (0..100u64).sum::<u64>(),
+        );
+        assert!(pair.speedup() > 1.0, "speedup {}", pair.speedup());
+        let results = g.finish();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].0, "sum/slow");
+        assert_eq!(results[1].0, "sum/fast");
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! The `sc-par` determinism contract, checked end to end: every
+//! parallelized pipeline — the accelerator tile loop, the conv layer's
+//! float and quantized forward/backward, and the Fig. 5 sweep — must be
+//! *bitwise* identical at `SC_THREADS` ∈ {1, 2, 7}.
+//!
+//! Lives in its own integration-test binary because it drives the
+//! process-global `sc_par::set_threads` override; sharing a binary with
+//! other tests that run layers would race on it.
+
+use std::sync::Arc;
+
+use sc_accel::engine::{AccelArithmetic, TileEngine};
+use sc_accel::layer::{ConvGeometry, Tiling};
+use sc_core::Precision;
+use sc_neural::arith::QuantArith;
+use sc_neural::layers::{Conv2d, ConvMode};
+use sc_neural::tensor::Tensor;
+
+/// Serializes tests: they all drive the same process-global thread-count
+/// override, so the harness's default parallel runner would race it.
+static THREADS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs `f` once per thread count and asserts every run fingerprints
+/// identically to the 1-thread run.
+fn with_threads<F: FnMut() -> Vec<u64>>(label: &str, mut f: F) {
+    let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut reference: Option<Vec<u64>> = None;
+    for threads in [1usize, 2, 7] {
+        sc_par::set_threads(threads);
+        let fp = f();
+        match &reference {
+            None => reference = Some(fp),
+            Some(r) => {
+                assert_eq!(r, &fp, "{label}: {threads}-thread run diverged from 1-thread run");
+            }
+        }
+    }
+    sc_par::set_threads(0);
+}
+
+fn conv_input() -> Tensor {
+    Tensor::new((0..3 * 9 * 9).map(|i| ((i as f32) * 0.37).sin() * 0.8).collect(), &[3, 9, 9])
+}
+
+fn conv_layer() -> Conv2d {
+    let mut init = sc_neural::zoo::InitRng::new(0xC0);
+    let mut conv = Conv2d::new(3, 5, 3, 1, 1, &mut init);
+    conv.set_io_scale(2.0);
+    conv
+}
+
+/// Bit-level fingerprint of a float slice.
+fn bits(v: &[f32]) -> Vec<u64> {
+    v.iter().map(|&x| x.to_bits() as u64).collect()
+}
+
+#[test]
+fn conv_float_forward_backward_identical_across_thread_counts() {
+    with_threads("conv float", || {
+        let mut conv = conv_layer();
+        let x = conv_input();
+        let y = conv.forward(&x);
+        let (oh, ow) = conv.output_hw(9, 9);
+        let grad = Tensor::new(
+            (0..5 * oh * ow).map(|i| ((i as f32) * 0.11).cos() * 0.5).collect(),
+            &[5, oh, ow],
+        );
+        let gin = conv.backward(&grad);
+        conv.step(0.05, 0.9, 1e-4, 1);
+        let mut fp = bits(y.data());
+        fp.extend(bits(gin.data()));
+        fp.extend(bits(conv.weights()));
+        fp.extend(bits(conv.bias()));
+        fp
+    });
+}
+
+#[test]
+fn conv_quantized_forward_identical_across_thread_counts() {
+    let n = Precision::new(8).unwrap();
+    for arith in [QuantArith::fixed(n), QuantArith::proposed_sc(n)] {
+        with_threads("conv quantized", || {
+            let mut conv = conv_layer();
+            conv.set_mode(ConvMode::Quantized { arith: Arc::clone(&arith), extra_bits: 2 });
+            let y = conv.forward(&conv_input());
+            bits(y.data())
+        });
+    }
+}
+
+#[test]
+fn accel_layer_identical_across_thread_counts() {
+    let g = ConvGeometry { z: 3, in_h: 9, in_w: 9, m: 5, k: 3, stride: 1 };
+    let n = Precision::new(7).unwrap();
+    let half = n.half_scale() as i32;
+    let input: Vec<i32> =
+        (0..g.z * g.in_h * g.in_w).map(|i| ((i as i32 * 37 + 11) % (2 * half)) - half).collect();
+    let weights: Vec<i32> = (0..g.m * g.depth()).map(|i| ((i as i32 * 13 + 5) % 21) - 10).collect();
+    let tiling = Tiling { t_m: 2, t_r: 3, t_c: 2 };
+    for arithmetic in [
+        AccelArithmetic::Fixed,
+        AccelArithmetic::ProposedSerial,
+        AccelArithmetic::ProposedParallel(8),
+    ] {
+        let engine = TileEngine::new(n, tiling, arithmetic, 8);
+        with_threads("accel layer", || {
+            let run = engine.run_layer(&g, &input, &weights).expect("valid geometry");
+            // Outputs, cycles, and traffic all participate in the
+            // fingerprint — the contract covers the counters, not just
+            // the math.
+            let mut fp: Vec<u64> = run.outputs.iter().map(|&v| v as u64).collect();
+            fp.push(run.cycles);
+            fp.push(run.traffic.input_words);
+            fp.push(run.traffic.weight_words);
+            fp.push(run.traffic.output_words);
+            fp
+        });
+    }
+}
+
+#[test]
+fn fig5_sweep_identical_across_thread_counts() {
+    let n = Precision::new(5).unwrap();
+    with_threads("fig5 proposed sweep", || {
+        sc_bench::error_stats::sweep_proposed(n, 1)
+            .iter()
+            .flat_map(|p| {
+                [p.stats.mean().to_bits(), p.stats.std_dev().to_bits(), p.stats.max_abs().to_bits()]
+            })
+            .collect()
+    });
+    with_threads("fig5 conventional sweep", || {
+        sc_bench::error_stats::sweep_conventional(n, sc_core::conventional::ConvScMethod::Lfsr, 1)
+            .iter()
+            .flat_map(|p| {
+                [p.stats.mean().to_bits(), p.stats.std_dev().to_bits(), p.stats.max_abs().to_bits()]
+            })
+            .collect()
+    });
+}

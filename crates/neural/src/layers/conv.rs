@@ -191,39 +191,51 @@ impl Conv2d {
 
     fn forward_float(&self, input: &Tensor, h: usize, w: usize) -> Tensor {
         let (oh, ow) = self.output_hw(h, w);
-        let mut out = Tensor::zeros(&[self.out_c, oh, ow]);
         let x = input.data();
-        let o = out.data_mut();
         let k = self.k;
-        for oc in 0..self.out_c {
-            let w_oc = &self.weights[oc * self.in_c * k * k..(oc + 1) * self.in_c * k * k];
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = self.bias[oc];
-                    for ic in 0..self.in_c {
-                        let w_ic = &w_oc[ic * k * k..(ic + 1) * k * k];
-                        let x_ic = &x[ic * h * w..(ic + 1) * h * w];
-                        for ky in 0..k {
-                            let iy = (oy * self.stride + ky) as i64 - self.pad as i64;
-                            if iy < 0 || iy >= h as i64 {
-                                continue;
-                            }
-                            let row = &x_ic[iy as usize * w..(iy as usize + 1) * w];
-                            let wrow = &w_ic[ky * k..(ky + 1) * k];
-                            for (kx, &wv) in wrow.iter().enumerate() {
-                                let ix = (ox * self.stride + kx) as i64 - self.pad as i64;
-                                if ix < 0 || ix >= w as i64 {
+        // Output channels are independent, so the oc loop runs on the
+        // sc-par pool in chunks; each chunk fills a contiguous slab of
+        // output planes that the merge below concatenates in chunk
+        // order. Per-channel arithmetic is untouched, so results are
+        // bitwise identical to the serial loop at any thread count.
+        let slabs = sc_par::Pool::global().parallel_chunks(self.out_c, |ocs| {
+            let mut slab = vec![0f32; ocs.len() * oh * ow];
+            for (slot, oc) in ocs.enumerate() {
+                let w_oc = &self.weights[oc * self.in_c * k * k..(oc + 1) * self.in_c * k * k];
+                let plane = &mut slab[slot * oh * ow..(slot + 1) * oh * ow];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = self.bias[oc];
+                        for ic in 0..self.in_c {
+                            let w_ic = &w_oc[ic * k * k..(ic + 1) * k * k];
+                            let x_ic = &x[ic * h * w..(ic + 1) * h * w];
+                            for ky in 0..k {
+                                let iy = (oy * self.stride + ky) as i64 - self.pad as i64;
+                                if iy < 0 || iy >= h as i64 {
                                     continue;
                                 }
-                                acc += wv * row[ix as usize];
+                                let row = &x_ic[iy as usize * w..(iy as usize + 1) * w];
+                                let wrow = &w_ic[ky * k..(ky + 1) * k];
+                                for (kx, &wv) in wrow.iter().enumerate() {
+                                    let ix = (ox * self.stride + kx) as i64 - self.pad as i64;
+                                    if ix < 0 || ix >= w as i64 {
+                                        continue;
+                                    }
+                                    acc += wv * row[ix as usize];
+                                }
                             }
                         }
+                        plane[oy * ow + ox] = acc;
                     }
-                    o[oc * oh * ow + oy * ow + ox] = acc;
                 }
             }
+            slab
+        });
+        let mut data = Vec::with_capacity(self.out_c * oh * ow);
+        for slab in slabs {
+            data.extend(slab);
         }
-        out
+        Tensor::new(data, &[self.out_c, oh, ow])
     }
 
     fn forward_quantized(
@@ -247,60 +259,73 @@ impl Conv2d {
         let wq: Vec<i32> = self.weights.iter().map(|&v| sc_fixed::quantize(v, n)).collect();
 
         let (oh, ow) = self.output_hw(h, w);
-        let mut out = Tensor::zeros(&[self.out_c, oh, ow]);
-        let o = out.data_mut();
         let k = self.k;
-        // Position in the layer's MAC stream: SNGs free-run across the
-        // whole layer in hardware, so the generator phase advances from
-        // product to product *and* from output to output.
-        let mut mac_index = 0usize;
+        // MAC-stream position per output channel: SNGs free-run across
+        // the whole layer in hardware, so the generator phase advances
+        // from product to product *and* from output to output —
+        // unconditionally, padded taps included. That makes `mac_index`
+        // a closed-form function of position, so each chunk of output
+        // channels seeds its stream at `ocs.start * macs_per_oc` and
+        // reproduces the serial product sequence exactly at any thread
+        // count.
+        let macs_per_oc = oh * ow * self.in_c * k * k;
         // Fault injection is deterministic per (seed, forward pass, MAC).
         let fault = self.fault;
         let fault_epoch = self.fault_epoch;
-        for oc in 0..self.out_c {
-            let w_oc = &wq[oc * self.in_c * k * k..(oc + 1) * self.in_c * k * k];
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc: i64 = 0;
-                    for ic in 0..self.in_c {
-                        let w_ic = &w_oc[ic * k * k..(ic + 1) * k * k];
-                        let x_ic = &xq[ic * h * w..(ic + 1) * h * w];
-                        for ky in 0..k {
-                            let iy = (oy * self.stride + ky) as i64 - self.pad as i64;
-                            let wrow = &w_ic[ky * k..(ky + 1) * k];
-                            for (kx, &wcode) in wrow.iter().enumerate() {
-                                let ix = (ox * self.stride + kx) as i64 - self.pad as i64;
-                                // Zero padding feeds real x = 0 codes into
-                                // the MAC chain (SC products of 0 are not
-                                // exactly 0), faithful to the hardware.
-                                let code = if iy < 0 || iy >= h as i64 || ix < 0 || ix >= w as i64 {
-                                    0
-                                } else {
-                                    x_ic[iy as usize * w + ix as usize]
-                                };
-                                let mut prod = arith.product_at(mac_index, wcode, code) as i64;
-                                if let Some(f) = fault {
-                                    let idx = fault_epoch
-                                        .wrapping_mul(0x5851_F42D_4C95_7F2D)
-                                        .wrapping_add(mac_index as u64);
-                                    prod = f.perturb(prod, idx, n);
-                                }
-                                acc += prod;
-                                mac_index += 1;
-                                if acc > acc_max {
-                                    acc = acc_max;
-                                } else if acc < acc_min {
-                                    acc = acc_min;
+        let slabs = sc_par::Pool::global().parallel_chunks(self.out_c, |ocs| {
+            let mut slab = vec![0f32; ocs.len() * oh * ow];
+            let mut mac_index = ocs.start * macs_per_oc;
+            for (slot, oc) in ocs.enumerate() {
+                let w_oc = &wq[oc * self.in_c * k * k..(oc + 1) * self.in_c * k * k];
+                let plane = &mut slab[slot * oh * ow..(slot + 1) * oh * ow];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc: i64 = 0;
+                        for ic in 0..self.in_c {
+                            let w_ic = &w_oc[ic * k * k..(ic + 1) * k * k];
+                            let x_ic = &xq[ic * h * w..(ic + 1) * h * w];
+                            for ky in 0..k {
+                                let iy = (oy * self.stride + ky) as i64 - self.pad as i64;
+                                let wrow = &w_ic[ky * k..(ky + 1) * k];
+                                for (kx, &wcode) in wrow.iter().enumerate() {
+                                    let ix = (ox * self.stride + kx) as i64 - self.pad as i64;
+                                    // Zero padding feeds real x = 0 codes into
+                                    // the MAC chain (SC products of 0 are not
+                                    // exactly 0), faithful to the hardware.
+                                    let code =
+                                        if iy < 0 || iy >= h as i64 || ix < 0 || ix >= w as i64 {
+                                            0
+                                        } else {
+                                            x_ic[iy as usize * w + ix as usize]
+                                        };
+                                    let mut prod = arith.product_at(mac_index, wcode, code) as i64;
+                                    if let Some(f) = fault {
+                                        let idx = fault_epoch
+                                            .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                                            .wrapping_add(mac_index as u64);
+                                        prod = f.perturb(prod, idx, n);
+                                    }
+                                    acc += prod;
+                                    mac_index += 1;
+                                    if acc > acc_max {
+                                        acc = acc_max;
+                                    } else if acc < acc_min {
+                                        acc = acc_min;
+                                    }
                                 }
                             }
                         }
+                        plane[oy * ow + ox] = acc as f32 / half * self.io_scale + self.bias[oc];
                     }
-                    o[oc * oh * ow + oy * ow + ox] =
-                        acc as f32 / half * self.io_scale + self.bias[oc];
                 }
             }
+            slab
+        });
+        let mut data = Vec::with_capacity(self.out_c * oh * ow);
+        for slab in slabs {
+            data.extend(slab);
         }
-        out
+        Tensor::new(data, &[self.out_c, oh, ow])
     }
 
     /// Backward pass (always float / straight-through). Accumulates
@@ -316,40 +341,71 @@ impl Conv2d {
         let (oh, ow) = self.output_hw(h, w);
         assert_eq!(grad_out.shape(), &[self.out_c, oh, ow]);
 
-        let mut grad_in = Tensor::zeros(&[self.in_c, h, w]);
-        let gi = grad_in.data_mut();
         let x = input.data();
         let g = grad_out.data();
         let k = self.k;
-        for oc in 0..self.out_c {
-            let base_w = oc * self.in_c * k * k;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let gv = g[oc * oh * ow + oy * ow + ox];
-                    if gv == 0.0 {
-                        continue;
-                    }
-                    self.grad_b[oc] += gv;
-                    for ic in 0..self.in_c {
-                        for ky in 0..k {
-                            let iy = (oy * self.stride + ky) as i64 - self.pad as i64;
-                            if iy < 0 || iy >= h as i64 {
-                                continue;
-                            }
-                            for kx in 0..k {
-                                let ix = (ox * self.stride + kx) as i64 - self.pad as i64;
-                                if ix < 0 || ix >= w as i64 {
+        let in_c = self.in_c;
+        let kk = in_c * k * k;
+        let weights = &self.weights;
+        // Each chunk of output channels owns a disjoint slice of the
+        // weight/bias gradients but scatters into the whole input
+        // gradient, so chunks return a private `grad_in` partial next to
+        // their gradient fragments. The merge below folds everything in
+        // ascending chunk order; the chunk plan is a function of `out_c`
+        // alone, so the fold association — and hence the float result —
+        // is identical at any thread count.
+        let parts = sc_par::Pool::global().parallel_chunks(self.out_c, |ocs| {
+            let mut gw = vec![0f32; ocs.len() * kk];
+            let mut gb = vec![0f32; ocs.len()];
+            let mut gi = vec![0f32; in_c * h * w];
+            for (slot, oc) in ocs.enumerate() {
+                let w_oc = &weights[oc * kk..(oc + 1) * kk];
+                let gw_oc = &mut gw[slot * kk..(slot + 1) * kk];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let gv = g[oc * oh * ow + oy * ow + ox];
+                        if gv == 0.0 {
+                            continue;
+                        }
+                        gb[slot] += gv;
+                        for ic in 0..in_c {
+                            for ky in 0..k {
+                                let iy = (oy * self.stride + ky) as i64 - self.pad as i64;
+                                if iy < 0 || iy >= h as i64 {
                                     continue;
                                 }
-                                let xi = ic * h * w + iy as usize * w + ix as usize;
-                                let wi = base_w + ic * k * k + ky * k + kx;
-                                self.grad_w[wi] += gv * x[xi];
-                                gi[xi] += gv * self.weights[wi];
+                                for kx in 0..k {
+                                    let ix = (ox * self.stride + kx) as i64 - self.pad as i64;
+                                    if ix < 0 || ix >= w as i64 {
+                                        continue;
+                                    }
+                                    let xi = ic * h * w + iy as usize * w + ix as usize;
+                                    let wi = ic * k * k + ky * k + kx;
+                                    gw_oc[wi] += gv * x[xi];
+                                    gi[xi] += gv * w_oc[wi];
+                                }
                             }
                         }
                     }
                 }
             }
+            (gw, gb, gi)
+        });
+        let mut grad_in = Tensor::zeros(&[self.in_c, h, w]);
+        let gi_out = grad_in.data_mut();
+        let mut oc0 = 0usize;
+        for (gw, gb, gi) in parts {
+            let nocs = gb.len();
+            for (i, v) in gw.into_iter().enumerate() {
+                self.grad_w[oc0 * kk + i] += v;
+            }
+            for (slot, v) in gb.into_iter().enumerate() {
+                self.grad_b[oc0 + slot] += v;
+            }
+            for (dst, v) in gi_out.iter_mut().zip(gi) {
+                *dst += v;
+            }
+            oc0 += nocs;
         }
         grad_in
     }

@@ -1,0 +1,444 @@
+//! # sc-par — deterministic host-side data parallelism
+//!
+//! The paper's accelerator owes its throughput to massive MAC-array
+//! parallelism; this crate gives the *host simulation* the same
+//! treatment without giving up reproducibility. It is a std-only scoped
+//! work-stealing thread pool (`std::thread::scope` + per-worker chunk
+//! deques) exposing [`Pool::parallel_for`], [`Pool::parallel_map`],
+//! [`Pool::parallel_chunks`], and an *ordered* [`Pool::parallel_reduce`].
+//!
+//! ## The determinism contract
+//!
+//! Every parallel call splits its index space into chunks whose
+//! boundaries are a function of **input length only** — never of the
+//! thread count, worker identity, or timing (see [`chunk_count`] /
+//! [`chunk_range`]). Workers race over which chunk they execute, but
+//! each chunk's result lands in a slot keyed by chunk index and the
+//! caller merges slots in ascending chunk order. Consequently:
+//!
+//! * `parallel_map` returns the exact element order a serial map would;
+//! * `parallel_reduce` folds chunk results in the same order and
+//!   association regardless of `SC_THREADS`, so even floating-point
+//!   reductions are **bitwise identical** at 1 and at 32 threads;
+//! * the single-thread path walks the *same* chunk plan inline, so
+//!   `SC_THREADS=1` is the reference every other thread count must match.
+//!
+//! Seeded Monte-Carlo loops built on the pool must derive their PRNG
+//! seed from the *trial index* (the loop index handed to the closure),
+//! never from a worker id — the worker a trial lands on is scheduling
+//! noise.
+//!
+//! ## Thread-count resolution
+//!
+//! [`Pool::global`] sizes itself from, in priority order: a programmatic
+//! [`set_threads`] override (used by tests and the `bench_parallel`
+//! comparator), the `SC_THREADS` environment variable, and the host's
+//! available parallelism. `SC_THREADS=1` (or one available core)
+//! degrades every call to inline execution with no queue or slot
+//! allocations and no threads spawned.
+//!
+//! ## Telemetry
+//!
+//! Each parallel region records `par.tasks` (chunks executed — thread
+//! count independent), `par.steals` (cross-worker steals), a
+//! `par.threads` gauge, and a `par.utilization` gauge (Σ worker busy
+//! time / (workers × wall time)). Per-worker counts are buffered locally
+//! and flushed as `par.worker` events in ascending worker order after
+//! the scope joins, so traces stay readable and deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use sc_telemetry::metrics::{counter, gauge, Counter, Gauge};
+
+/// Upper bound on chunks per parallel call. Small enough that per-chunk
+/// bookkeeping is negligible, large enough to load-balance any realistic
+/// `SC_THREADS` with work stealing.
+pub const TARGET_CHUNKS: usize = 128;
+
+/// Programmatic thread-count override (0 = none). See [`set_threads`].
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the pool size for subsequently created [`Pool::global`]
+/// pools; `0` clears the override and returns control to `SC_THREADS` /
+/// available parallelism. Intended for tests and serial-vs-parallel
+/// comparators — results are identical either way by contract.
+pub fn set_threads(threads: usize) {
+    OVERRIDE.store(threads, Ordering::Release);
+}
+
+/// The thread count [`Pool::global`] resolves to right now:
+/// [`set_threads`] override, else the `SC_THREADS` environment variable,
+/// else available parallelism (the rule shared with run manifests via
+/// [`sc_telemetry::manifest::default_par_threads`]).
+pub fn configured_threads() -> usize {
+    match OVERRIDE.load(Ordering::Acquire) {
+        0 => sc_telemetry::manifest::default_par_threads(),
+        n => n,
+    }
+}
+
+/// Number of chunks a `len`-element index space is split into. A pure
+/// function of `len` — **never** of the thread count — which is what
+/// makes every reduction order reproducible.
+pub fn chunk_count(len: usize) -> usize {
+    len.min(TARGET_CHUNKS)
+}
+
+/// Half-open index range of chunk `chunk` (balanced split; boundaries
+/// depend on `len` only).
+///
+/// # Panics
+///
+/// Panics if `chunk >= chunk_count(len)`.
+pub fn chunk_range(len: usize, chunk: usize) -> Range<usize> {
+    let n = chunk_count(len);
+    assert!(chunk < n, "chunk {chunk} out of {n}");
+    (chunk * len / n)..((chunk + 1) * len / n)
+}
+
+/// Cached metric handles (name lookup happens once per process).
+struct PoolMetrics {
+    tasks: Counter,
+    steals: Counter,
+    regions: Counter,
+    threads: Gauge,
+    utilization: Gauge,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        tasks: counter("par.tasks"),
+        steals: counter("par.steals"),
+        regions: counter("par.regions"),
+        threads: gauge("par.threads"),
+        utilization: gauge("par.utilization"),
+    })
+}
+
+/// What one worker did during a parallel region; buffered per worker and
+/// flushed in worker order after the scope joins.
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerStats {
+    tasks: u64,
+    steals: u64,
+    busy_ns: u64,
+}
+
+/// A scoped work-stealing pool of a fixed logical width. Creating one is
+/// free — threads are spawned per parallel region via
+/// `std::thread::scope`, so borrows of caller data need no `'static`
+/// bound and there is no global executor to shut down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool of exactly `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Pool {
+        Pool { threads: threads.max(1) }
+    }
+
+    /// The pool sized by the current [`configured_threads`] resolution.
+    pub fn global() -> Pool {
+        Pool::new(configured_threads())
+    }
+
+    /// Logical worker count of this pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `body(i)` for every `i in 0..len`. Iterations must be
+    /// independent (the borrow checker enforces `body: Fn + Sync`).
+    pub fn parallel_for(&self, len: usize, body: impl Fn(usize) + Sync) {
+        if len == 0 {
+            return;
+        }
+        let chunks = chunk_count(len);
+        self.run_chunks(chunks, &|c| {
+            for i in chunk_range(len, c) {
+                body(i);
+            }
+        });
+    }
+
+    /// Maps `f` over `0..len`, returning results in index order —
+    /// element-for-element identical to `(0..len).map(f).collect()`.
+    pub fn parallel_map<R: Send>(&self, len: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        let chunks = chunk_count(len);
+        if self.threads == 1 || chunks <= 1 {
+            // Inline path: same visit order, no slot allocation.
+            pool_metrics().tasks.incr(chunks as u64);
+            return (0..len).map(f).collect();
+        }
+        let parts = self.chunk_slots(chunks, &|c| chunk_range(len, c).map(&f).collect::<Vec<R>>());
+        let mut out = Vec::with_capacity(len);
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+
+    /// Runs `map` once per chunk of `0..len` (the deterministic
+    /// [`chunk_range`] plan) and returns the per-chunk results in
+    /// ascending chunk order. The building block for chunk-local
+    /// accumulators that a caller merges deterministically.
+    pub fn parallel_chunks<R: Send>(
+        &self,
+        len: usize,
+        map: impl Fn(Range<usize>) -> R + Sync,
+    ) -> Vec<R> {
+        let chunks = chunk_count(len);
+        if self.threads == 1 || chunks <= 1 {
+            pool_metrics().tasks.incr(chunks as u64);
+            return (0..chunks).map(|c| map(chunk_range(len, c))).collect();
+        }
+        self.chunk_slots(chunks, &|c| map(chunk_range(len, c)))
+    }
+
+    /// Ordered parallel reduction: computes `map` per chunk, then folds
+    /// the chunk results **in ascending chunk order** onto `init`.
+    /// Because the chunk plan is fixed by `len`, the fold order — and
+    /// thus every floating-point rounding — is identical at any thread
+    /// count.
+    pub fn parallel_reduce<R: Send>(
+        &self,
+        len: usize,
+        init: R,
+        map: impl Fn(Range<usize>) -> R + Sync,
+        reduce: impl FnMut(R, R) -> R,
+    ) -> R {
+        self.parallel_chunks(len, map).into_iter().fold(init, reduce)
+    }
+
+    /// Executes `job(c)` once for every chunk id, collecting each result
+    /// into its chunk-indexed slot, and returns the slots in order.
+    fn chunk_slots<R: Send>(&self, chunks: usize, job: &(dyn Fn(usize) -> R + Sync)) -> Vec<R> {
+        let slots: Vec<Mutex<Option<R>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+        self.run_chunks(chunks, &|c| {
+            let r = job(c);
+            *slots[c].lock().expect("slot poisoned") = Some(r);
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("slot poisoned").expect("chunk executed"))
+            .collect()
+    }
+
+    /// The execution core: runs `run(c)` for every chunk id in
+    /// `0..chunks`, inline when one worker suffices, else on scoped
+    /// workers with per-worker deques and back-end stealing.
+    fn run_chunks(&self, chunks: usize, run: &(dyn Fn(usize) + Sync)) {
+        if chunks == 0 {
+            return;
+        }
+        let m = pool_metrics();
+        let workers = self.threads.min(chunks);
+        if workers <= 1 {
+            for c in 0..chunks {
+                run(c);
+            }
+            m.tasks.incr(chunks as u64);
+            m.regions.incr(1);
+            m.threads.set(1.0);
+            return;
+        }
+
+        // Deal chunks round-robin into per-worker deques; owners pop
+        // from the front (low chunk ids first), thieves steal from the
+        // back. Assignment affects only scheduling, never results.
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|w| Mutex::new((w..chunks).step_by(workers).collect())).collect();
+        let stats: Vec<Mutex<WorkerStats>> =
+            (0..workers).map(|_| Mutex::new(WorkerStats::default())).collect();
+        let observe = sc_telemetry::metrics::enabled() || sc_telemetry::span::tracing_active();
+        let wall = Instant::now();
+
+        std::thread::scope(|s| {
+            for w in 1..workers {
+                let queues = &queues;
+                let stats = &stats;
+                s.spawn(move || worker_loop(w, queues, run, stats, observe));
+            }
+            worker_loop(0, &queues, run, &stats, observe);
+        });
+
+        // Per-worker buffers flushed in worker order (deterministic
+        // trace layout), then merged into the global counters.
+        let (mut tasks, mut steals, mut busy) = (0u64, 0u64, 0u64);
+        for (w, slot) in stats.iter().enumerate() {
+            let st = *slot.lock().expect("stats poisoned");
+            tasks += st.tasks;
+            steals += st.steals;
+            busy += st.busy_ns;
+            let (worker_tasks, worker_steals) = (st.tasks, st.steals);
+            sc_telemetry::event!("par.worker", w, worker_tasks, worker_steals);
+        }
+        m.tasks.incr(tasks);
+        m.steals.incr(steals);
+        m.regions.incr(1);
+        m.threads.set(workers as f64);
+        if observe {
+            let denom = wall.elapsed().as_nanos() as u64 * workers as u64;
+            if denom > 0 {
+                m.utilization.set(busy as f64 / denom as f64);
+            }
+        }
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::global()
+    }
+}
+
+/// One worker: drain the owned deque front-to-back, then steal from the
+/// backs of the other deques until everything is empty. Total work is
+/// fixed before the scope starts, so an empty full scan means done.
+fn worker_loop(
+    w: usize,
+    queues: &[Mutex<VecDeque<usize>>],
+    run: &(dyn Fn(usize) + Sync),
+    stats: &[Mutex<WorkerStats>],
+    observe: bool,
+) {
+    let start = observe.then(Instant::now);
+    let mut st = WorkerStats::default();
+    loop {
+        let mut job = queues[w].lock().expect("queue poisoned").pop_front().map(|c| (c, false));
+        if job.is_none() {
+            for off in 1..queues.len() {
+                let victim = (w + off) % queues.len();
+                if let Some(c) = queues[victim].lock().expect("queue poisoned").pop_back() {
+                    job = Some((c, true));
+                    break;
+                }
+            }
+        }
+        match job {
+            Some((c, stolen)) => {
+                run(c);
+                st.tasks += 1;
+                st.steals += u64::from(stolen);
+            }
+            None => break,
+        }
+    }
+    if let Some(t0) = start {
+        st.busy_ns = t0.elapsed().as_nanos() as u64;
+    }
+    *stats[w].lock().expect("stats poisoned") = st;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunk_plan_covers_every_index_exactly_once() {
+        for len in [0usize, 1, 2, 7, 127, 128, 129, 1000, 100_000] {
+            let mut covered = vec![0u32; len];
+            for c in 0..chunk_count(len) {
+                for i in chunk_range(len, c) {
+                    covered[i] += 1;
+                }
+            }
+            assert!(covered.iter().all(|&n| n == 1), "len {len}");
+            assert!(chunk_count(len) <= TARGET_CHUNKS);
+        }
+    }
+
+    #[test]
+    fn chunk_plan_ignores_thread_count() {
+        // The plan is derived from the length alone; creating pools of
+        // any width must not perturb it.
+        let before: Vec<Range<usize>> =
+            (0..chunk_count(1000)).map(|c| chunk_range(1000, c)).collect();
+        for t in [1, 2, 7, 32] {
+            let _ = Pool::new(t);
+            let after: Vec<Range<usize>> =
+                (0..chunk_count(1000)).map(|c| chunk_range(1000, c)).collect();
+            assert_eq!(before, after);
+        }
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_map_at_any_width() {
+        let serial: Vec<u64> = (0..1000u64).map(|i| i * i + 1).collect();
+        for t in [1, 2, 3, 7, 16] {
+            let got = Pool::new(t).parallel_map(1000, |i| (i as u64) * (i as u64) + 1);
+            assert_eq!(got, serial, "threads {t}");
+        }
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        for t in [1, 2, 7] {
+            let hits: Vec<AtomicU64> = (0..500).map(|_| AtomicU64::new(0)).collect();
+            Pool::new(t).parallel_for(500, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "threads {t}");
+        }
+    }
+
+    #[test]
+    fn ordered_reduce_is_bitwise_deterministic_for_floats() {
+        // A sum whose value depends on association: identical across
+        // widths because chunk boundaries and fold order are fixed.
+        let xs: Vec<f64> = (0..10_000).map(|i| ((i * 2_654_435_761usize) as f64).sin()).collect();
+        let reduce_at = |t: usize| {
+            Pool::new(t)
+                .parallel_reduce(xs.len(), 0.0f64, |r| r.map(|i| xs[i]).sum::<f64>(), |a, b| a + b)
+                .to_bits()
+        };
+        let base = reduce_at(1);
+        for t in [2, 3, 7, 13] {
+            assert_eq!(reduce_at(t), base, "threads {t}");
+        }
+    }
+
+    #[test]
+    fn parallel_chunks_returns_chunk_order() {
+        for t in [1, 4] {
+            let ranges = Pool::new(t).parallel_chunks(1000, |r| r);
+            let replay: Vec<Range<usize>> =
+                (0..chunk_count(1000)).map(|c| chunk_range(1000, c)).collect();
+            assert_eq!(ranges, replay, "threads {t}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let p = Pool::new(8);
+        assert_eq!(p.parallel_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(p.parallel_map(1, |i| i + 10), vec![10]);
+        p.parallel_for(0, |_| panic!("must not run"));
+        assert_eq!(p.parallel_reduce(0, 5i64, |_| unreachable!(), |a, b: i64| a + b), 5);
+    }
+
+    #[test]
+    fn override_controls_global_pool() {
+        set_threads(3);
+        assert_eq!(configured_threads(), 3);
+        assert_eq!(Pool::global().threads(), 3);
+        set_threads(0);
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_width_clamps_to_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+    }
+}

@@ -114,10 +114,12 @@ pub fn bench_run_in(
     }
     println!();
 
+    let started = std::time::Instant::now();
     {
         let _run = crate::span!(name);
         body(&mut ctx);
     }
+    ctx.manifest.elapsed_seconds = started.elapsed().as_secs_f64();
 
     metrics::set_enabled(false);
     ctx.manifest.metrics = metrics::snapshot();
@@ -147,6 +149,8 @@ mod tests {
 
         let m = RunManifest::read(dir.join("unit_bench.manifest.json")).unwrap();
         assert_eq!(m.bench, "unit_bench");
+        assert!(m.par_threads >= 1, "manifest must record the thread count");
+        assert!(m.elapsed_seconds >= 0.0 && m.elapsed_seconds < 60.0, "{}", m.elapsed_seconds);
         assert_eq!(m.seed, Some(42));
         assert!(m.config.iter().any(|(k, v)| k == "precision" && v == "8"));
         assert_eq!(m.artifacts.len(), 1);

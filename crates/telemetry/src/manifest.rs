@@ -34,6 +34,14 @@ pub struct RunManifest {
     pub git_describe: String,
     /// Seconds since the Unix epoch at manifest creation.
     pub timestamp_unix: u64,
+    /// Worker-thread count the run's `sc-par` pools use (the
+    /// `SC_THREADS` contract; see [`default_par_threads`]). Recorded so
+    /// perf numbers can be compared across machines.
+    pub par_threads: u64,
+    /// Wall-clock seconds the bench body took (filled in by
+    /// [`crate::bench::bench_run`] on exit; 0 in manifests written by
+    /// older versions).
+    pub elapsed_seconds: f64,
     /// Tier-1 suite status from the `SC_TIER1_STATUS` environment
     /// variable (`"pass"`/`"fail"`), if the caller exported one.
     pub tier1_status: Option<String>,
@@ -59,6 +67,8 @@ impl RunManifest {
                 .duration_since(UNIX_EPOCH)
                 .map(|d| d.as_secs())
                 .unwrap_or(0),
+            par_threads: default_par_threads() as u64,
+            elapsed_seconds: 0.0,
             tier1_status: std::env::var("SC_TIER1_STATUS").ok(),
             artifacts: Vec::new(),
             metrics: MetricsSnapshot::default(),
@@ -90,6 +100,8 @@ impl RunManifest {
             ("args", Json::Arr(self.args.iter().map(|a| Json::Str(a.clone())).collect())),
             ("git_describe", Json::Str(self.git_describe.clone())),
             ("timestamp_unix", Json::UInt(self.timestamp_unix)),
+            ("par_threads", Json::UInt(self.par_threads)),
+            ("elapsed_seconds", Json::Num(self.elapsed_seconds)),
             (
                 "tier1_status",
                 self.tier1_status.as_ref().map_or(Json::Null, |s| Json::Str(s.clone())),
@@ -123,6 +135,10 @@ impl RunManifest {
             args: strings(json.get("args")?)?,
             git_describe: json.get("git_describe")?.as_str()?.to_string(),
             timestamp_unix: json.get("timestamp_unix")?.as_u64()?,
+            // Absent in manifests written before the parallel-execution
+            // PR; default to 0 rather than rejecting them.
+            par_threads: json.get("par_threads").and_then(Json::as_u64).unwrap_or(0),
+            elapsed_seconds: json.get("elapsed_seconds").and_then(Json::as_f64).unwrap_or(0.0),
             tier1_status: match json.get("tier1_status")? {
                 Json::Null => None,
                 v => Some(v.as_str()?.to_string()),
@@ -153,6 +169,22 @@ impl RunManifest {
         RunManifest::from_json(&json)
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "not a RunManifest"))
     }
+}
+
+/// The `SC_THREADS` contract: the worker-thread count `sc-par` pools
+/// default to, and the value recorded as [`RunManifest::par_threads`] —
+/// `SC_THREADS` when set to a positive integer, otherwise the host's
+/// available parallelism (1 if that cannot be determined).
+///
+/// This lives here rather than in `sc-par` because the manifest writer
+/// must not depend on the pool; `sc-par` calls this function so the two
+/// always agree.
+pub fn default_par_threads() -> usize {
+    std::env::var("SC_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
 /// `git describe --always --dirty`, or `"unknown"` when git or the
@@ -186,6 +218,8 @@ mod tests {
             args: vec!["--quick".to_string(), "--csv".to_string()],
             git_describe: "v0-12-gabc123-dirty".to_string(),
             timestamp_unix: 1_754_000_000,
+            par_threads: 4,
+            elapsed_seconds: 1.25,
             tier1_status: Some("pass".to_string()),
             artifacts: vec!["results/fig5.csv".to_string()],
             metrics: MetricsSnapshot {
@@ -244,5 +278,26 @@ mod tests {
         assert_eq!(m.bench, "unit_test");
         assert!(!m.git_describe.is_empty());
         assert!(m.timestamp_unix > 0);
+        assert!(m.par_threads >= 1, "par_threads must resolve to at least one worker");
+        assert_eq!(m.elapsed_seconds, 0.0, "elapsed is filled in by bench_run on exit");
+    }
+
+    #[test]
+    fn manifests_without_parallel_fields_still_parse() {
+        // A pre-parallel-PR manifest: no par_threads / elapsed_seconds.
+        let mut m = sample();
+        let mut json = m.to_json();
+        if let Json::Obj(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "par_threads" && k != "elapsed_seconds");
+        }
+        let parsed = RunManifest::from_json(&json).expect("old manifests must stay readable");
+        m.par_threads = 0;
+        m.elapsed_seconds = 0.0;
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn default_par_threads_is_positive() {
+        assert!(default_par_threads() >= 1);
     }
 }

@@ -32,7 +32,10 @@ fi
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test"
-cargo test --workspace -q
+echo "==> cargo test (SC_THREADS=1)"
+SC_THREADS=1 cargo test --workspace -q
+
+echo "==> cargo test (SC_THREADS=4)"
+SC_THREADS=4 cargo test --workspace -q
 
 echo "CI gate passed."
