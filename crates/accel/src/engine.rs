@@ -4,15 +4,32 @@
 use std::sync::{Arc, OnceLock};
 
 use crate::layer::{ConvGeometry, Tiling};
-use crate::memory::Traffic;
+use crate::memory::{ParitySram, Traffic};
+use sc_core::mac::{EarlyTerminationScMac, SaturatingAccumulator};
 use sc_core::mvm::{BiscMvm, BitParallelMvm};
 use sc_core::{Error, Precision};
+use sc_fault::{FaultKind, FaultSite};
 use sc_fixed::FixedMul;
 use sc_telemetry::metrics::{counter, histogram, Counter, Histogram};
+
+/// Canonical `sc-fault` site names registered by this crate.
+pub mod sites {
+    /// Input-buffer SRAM words (see [`crate::memory::ParitySram`]).
+    pub const SRAM_INPUT: &str = "accel.sram.input";
+    /// Weight-buffer SRAM words.
+    pub const SRAM_WEIGHT: &str = "accel.sram.weight";
+    /// The tile output vector as it leaves the MAC array.
+    pub const TILE_OUTPUT: &str = "accel.tile.output";
+}
 
 /// One scalar-vector accumulate step `w · x⃗` of a vector unit; returns the
 /// cycles it took.
 type AccumulateFn<'a> = dyn FnMut(i32, &[i32]) -> Result<u64, Error> + 'a;
+
+/// A tile's verified result: total billed cycles, the accepted output
+/// writes, and whether they came from the degraded (truncated-stream)
+/// recompute.
+type VerifiedTile = (u64, Vec<(usize, i64)>, bool);
 
 /// Cached metric handles for the engine hot loops (name lookup happens
 /// once; recording is a flag check + relaxed atomic).
@@ -48,6 +65,29 @@ pub enum AccelArithmetic {
     Fixed,
 }
 
+/// How the engine reacts when tile verification keeps failing
+/// (`accel.tile.output` armed, see [`TileEngine::with_fault_policy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Recompute-and-compare retries after the first verification
+    /// attempt (default 2).
+    pub retries: u32,
+    /// `true` → after the retry budget the tile is recomputed in the
+    /// truncated-stream progressive-precision mode and accepted
+    /// (recorded in [`LayerRun::degraded_tiles`]); `false` → the layer
+    /// fails with [`Error::RetryExhausted`].
+    pub degrade: bool,
+    /// Effective weight bits `s` of the degraded recompute (clamped to
+    /// `1..=N` at use).
+    pub degrade_bits: u32,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy { retries: 2, degrade: true, degrade_bits: 5 }
+    }
+}
+
 /// Result of running one convolution layer through the accelerator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerRun {
@@ -56,10 +96,16 @@ pub struct LayerRun {
     /// Total cycles for the layer. For the proposed designs each tile
     /// takes `max_m Σ_{z,i,j} ceil(|W[m][z][i][j]|/b)` cycles (the `T_M`
     /// weight groups run in lock step, so the slowest group paces the
-    /// tile); fixed-point takes `d` cycles per tile.
+    /// tile); fixed-point takes `d` cycles per tile. Verification
+    /// replicas and degraded recomputes are billed here too.
     pub cycles: u64,
     /// Off-chip/buffer traffic accounting.
     pub traffic: Traffic,
+    /// Tile indices (in the canonical `(m1, r1, c1)` enumeration) whose
+    /// outputs exhausted the retry budget and were served from the
+    /// truncated-stream progressive-precision fallback. Empty whenever
+    /// `accel.tile.output` is disarmed.
+    pub degraded_tiles: Vec<usize>,
 }
 
 /// The accelerator: a bank of `T_M` vector units of `p = T_R·T_C` lanes.
@@ -69,13 +115,35 @@ pub struct TileEngine {
     tiling: Tiling,
     arithmetic: AccelArithmetic,
     extra_bits: u32,
+    policy: FaultPolicy,
+    fault_key: u64,
 }
 
 impl TileEngine {
     /// Creates an engine at precision `n` with the given tiling and
     /// arithmetic. `extra_bits` is the accumulator headroom `A`.
     pub fn new(n: Precision, tiling: Tiling, arithmetic: AccelArithmetic, extra_bits: u32) -> Self {
-        TileEngine { n, tiling, arithmetic, extra_bits }
+        TileEngine {
+            n,
+            tiling,
+            arithmetic,
+            extra_bits,
+            policy: FaultPolicy::default(),
+            fault_key: 0,
+        }
+    }
+
+    /// Overrides the fault-handling policy (retry budget / degradation).
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the fault-draw key decorrelating this engine's layers from
+    /// siblings (e.g. pass the layer index when running a network).
+    pub fn with_fault_key(mut self, key: u64) -> Self {
+        self.fault_key = key;
+        self
     }
 
     /// The configured tiling.
@@ -117,10 +185,23 @@ impl TileEngine {
         let mut outputs = vec![0i64; g.m * r * c];
         let mut cycles = 0u64;
         let mut traffic = Traffic::default();
+        let mut degraded_tiles = Vec::new();
 
         let arithmetic = self.arithmetic;
         let _layer = sc_telemetry::span!("accel.layer", arithmetic, g.m, g.z, r, c);
         let metrics = engine_metrics();
+
+        // When the SRAM sites are armed, the operand buffers are staged
+        // through the parity-protected banks once per layer (every word
+        // written, then read back through the scrubbing controller).
+        // Disarmed banks skip the staging entirely, leaving the borrowed
+        // slices — and the computed bits — untouched.
+        let staged_input = self.stage_codes("input", input, self.fault_key);
+        let input: &[i32] = staged_input.as_deref().unwrap_or(input);
+        let staged_weights =
+            self.stage_codes("weight", weights, self.fault_key ^ 0x9216_D5D9_8979_FB1B);
+        let weights: &[i32] = staged_weights.as_deref().unwrap_or(weights);
+        let tile_site = sc_fault::site(sites::TILE_OUTPUT);
 
         // Fig. 4: outer tile loops over (m1, r1, c1), enumerated in the
         // canonical nest order. Tiles are independent (disjoint output
@@ -149,14 +230,30 @@ impl TileEngine {
             // point of BISC).
             let patch_h = (r_hi - r1 - 1) * g.stride + g.k;
             let patch_w = (c_hi - c1 - 1) * g.stride + g.k;
-            let (cycles, writes) =
-                self.run_tile(g, input, weights, (m1, m_hi), (r1, r_hi), (c1, c_hi), p)?;
+            let clean =
+                self.run_tile(g, input, weights, (m1, m_hi), (r1, r_hi), (c1, c_hi), p, None)?;
+            let (cycles, writes, degraded) = match &tile_site {
+                Some(site) => self.verify_tile(
+                    site,
+                    t,
+                    clean,
+                    g,
+                    input,
+                    weights,
+                    (m1, m_hi),
+                    (r1, r_hi),
+                    (c1, c_hi),
+                    p,
+                )?,
+                None => (clean.0, clean.1, false),
+            };
             Ok(TileDone {
                 input_words: (g.z * patch_h * patch_w) as u64,
                 weight_words: ((m_hi - m1) * g.depth()) as u64,
                 output_words: ((m_hi - m1) * (r_hi - r1) * (c_hi - c1)) as u64,
                 cycles,
                 writes,
+                degraded,
             })
         });
 
@@ -177,12 +274,132 @@ impl TileEngine {
             metrics.cycles.incr(tile_cycles);
             metrics.tile_cycles.record(tile_cycles);
             sc_telemetry::event!("accel.tile.done", m1, r1, c1, tile_cycles);
+            if done.degraded {
+                degraded_tiles.push(t);
+                sc_telemetry::event!("accel.tile.degraded", m1, r1, c1);
+            }
             cycles += tile_cycles;
             for (index, value) in done.writes {
                 outputs[index] = value;
             }
         }
-        Ok(LayerRun { outputs, cycles, traffic })
+        Ok(LayerRun { outputs, cycles, traffic, degraded_tiles })
+    }
+
+    /// Stages a code buffer through a parity-protected SRAM bank when
+    /// its fault site is armed; `None` leaves the original buffer in
+    /// use. Scrub-on-read repairs what parity can see; masked
+    /// corruption is clamped into the code range (the operand register
+    /// physically holds `N` bits).
+    fn stage_codes(&self, bank: &str, codes: &[i32], key: u64) -> Option<Vec<i32>> {
+        sc_fault::site(&format!("accel.sram.{bank}"))?;
+        let bias = self.n.half_scale() as i64;
+        let (lo, hi) = self.n.signed_range();
+        let mut sram = ParitySram::new(bank, self.n.bits(), codes.len());
+        sram.set_fault_key(key);
+        for (addr, &code) in codes.iter().enumerate() {
+            sram.write(addr, (code as i64 + bias) as u64);
+        }
+        Some(
+            (0..codes.len())
+                .map(|addr| (sram.read(addr) as i64 - bias).clamp(lo, hi) as i32)
+                .collect(),
+        )
+    }
+
+    /// Verifies one tile's outputs under an armed `accel.tile.output`
+    /// site: each attempt computes two corrupted replicas of the clean
+    /// result (the MAC array is deterministic, so the replicas differ
+    /// only through fault draws), range-checks them against the
+    /// accumulator limits, and compares. Transient and starvation
+    /// faults draw per `(tile, attempt, replica)`, so retries see fresh
+    /// exposure; stuck-at faults draw per tile only — a permanent
+    /// defect corrupts both replicas identically and slips through
+    /// re-execution as `fault.masked`, exactly as in hardware.
+    ///
+    /// After `1 + retries` failed attempts the tile either degrades to
+    /// the truncated-stream progressive-precision recompute (accepted,
+    /// recorded, billed) or fails with [`Error::RetryExhausted`].
+    #[allow(clippy::too_many_arguments)]
+    fn verify_tile(
+        &self,
+        site: &FaultSite,
+        t: usize,
+        clean: (u64, Vec<(usize, i64)>),
+        g: &ConvGeometry,
+        input: &[i32],
+        weights: &[i32],
+        m_range: (usize, usize),
+        r_range: (usize, usize),
+        c_range: (usize, usize),
+        p: usize,
+    ) -> Result<VerifiedTile, Error> {
+        let (base_cycles, clean_writes) = clean;
+        let acc = SaturatingAccumulator::new(self.n, self.extra_bits);
+        let (lo, hi) = acc.range();
+        let width = acc.width();
+        let mut total_cycles = base_cycles;
+        let attempts = 1 + self.policy.retries;
+        for attempt in 0..attempts {
+            // The first attempt reuses the base compute as replica A;
+            // every comparison needs one more replica.
+            total_cycles += if attempt == 0 { base_cycles } else { 2 * base_cycles };
+            let a = self.corrupt_writes(site, t, attempt, 0, width, &clean_writes);
+            let b = self.corrupt_writes(site, t, attempt, 1, width, &clean_writes);
+            if a.iter().any(|&(_, v)| v < lo || v > hi) {
+                sc_fault::record_detected(1);
+                continue;
+            }
+            if a != b {
+                sc_fault::record_detected(1);
+                continue;
+            }
+            if a != clean_writes {
+                sc_fault::record_masked(1);
+            }
+            return Ok((total_cycles, a, false));
+        }
+        if !self.policy.degrade {
+            return Err(Error::RetryExhausted { what: format!("tile {t} outputs"), attempts });
+        }
+        sc_fault::record_degraded(1);
+        let s = self.policy.degrade_bits.clamp(1, self.n.bits());
+        let (deg_cycles, deg_writes) =
+            self.run_tile(g, input, weights, m_range, r_range, c_range, p, Some(s))?;
+        Ok((total_cycles + deg_cycles, deg_writes, true))
+    }
+
+    /// Applies the `accel.tile.output` fault draws to one replica of a
+    /// tile's write-back list.
+    fn corrupt_writes(
+        &self,
+        site: &FaultSite,
+        t: usize,
+        attempt: u32,
+        replica: u64,
+        width: u32,
+        writes: &[(usize, i64)],
+    ) -> Vec<(usize, i64)> {
+        let kind = site.kind();
+        let per_attempt = matches!(kind, FaultKind::Transient | FaultKind::Starve);
+        let mut instance = self.fault_key ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        if per_attempt {
+            instance ^= (attempt as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+            instance ^= (replica + 1).wrapping_mul(0x1656_67B1_9E37_79F9);
+        }
+        let mut out = writes.to_vec();
+        for (k, (_, v)) in out.iter_mut().enumerate() {
+            if let Some(entropy) = site.transient(instance, k as u64) {
+                let bit = (entropy >> 8) as u32 % width;
+                *v = match kind {
+                    FaultKind::Transient => flip_word_bit(*v, bit, width),
+                    FaultKind::StuckAt0 => force_word_bit(*v, bit, width, false),
+                    FaultKind::StuckAt1 => force_word_bit(*v, bit, width, true),
+                    FaultKind::Starve => 0,
+                };
+            }
+        }
+        out
     }
 
     /// Executes one `(m1..m_hi, r1..r_hi, c1..c_hi)` tile; returns its
@@ -191,7 +408,9 @@ impl TileEngine {
     /// rather than applied so tiles can run on worker threads; the
     /// caller applies them in deterministic tile order (regions are
     /// disjoint, so order is cosmetic — but determinism is the
-    /// contract).
+    /// contract). `edt_s = Some(s)` runs the degraded progressive-
+    /// precision mode: every MAC terminates after the top `s` weight
+    /// bits, whatever the configured arithmetic.
     #[allow(clippy::too_many_arguments)]
     fn run_tile(
         &self,
@@ -202,6 +421,7 @@ impl TileEngine {
         (r1, r_hi): (usize, usize),
         (c1, c_hi): (usize, usize),
         p: usize,
+        edt_s: Option<u32>,
     ) -> Result<(u64, Vec<(usize, i64)>), Error> {
         let (r, c) = (g.r(), g.c());
         let mut xs = vec![0i32; p];
@@ -239,28 +459,46 @@ impl TileEngine {
                 Ok(())
             };
 
-            let values: Vec<i64> = match self.arithmetic {
-                AccelArithmetic::ProposedSerial => {
-                    let mut mvm = BiscMvm::new(self.n, p, self.extra_bits);
-                    run_unit(&mut |w, xs| mvm.accumulate(w, xs))?;
-                    mvm.read()
-                }
-                AccelArithmetic::ProposedParallel(b) => {
-                    let mut mvm = BitParallelMvm::new(self.n, p, self.extra_bits, b)?;
-                    run_unit(&mut |w, xs| mvm.accumulate(w, xs))?;
-                    mvm.read()
-                }
-                AccelArithmetic::Fixed => {
-                    let mul = FixedMul::new(self.n);
-                    let mut accs =
-                        vec![sc_core::mac::SaturatingAccumulator::new(self.n, self.extra_bits); p];
-                    run_unit(&mut |w, xs| {
-                        for (acc, &x) in accs.iter_mut().zip(xs) {
-                            acc.add(mul.multiply(w, x)?);
-                        }
-                        Ok(1) // one cycle per term
-                    })?;
-                    accs.iter().map(|a| a.value()).collect()
+            let values: Vec<i64> = if let Some(s) = edt_s {
+                let edt = EarlyTerminationScMac::new(self.n, s)?;
+                let mut accs = vec![SaturatingAccumulator::new(self.n, self.extra_bits); p];
+                run_unit(&mut |w, xs| {
+                    let mut term_cycles = 0;
+                    for (acc, &x) in accs.iter_mut().zip(xs) {
+                        let product = edt.multiply(w, x)?;
+                        term_cycles = product.cycles;
+                        acc.add(product.value);
+                    }
+                    Ok(term_cycles)
+                })?;
+                accs.iter().map(|a| a.value()).collect()
+            } else {
+                match self.arithmetic {
+                    AccelArithmetic::ProposedSerial => {
+                        let mut mvm = BiscMvm::new(self.n, p, self.extra_bits);
+                        run_unit(&mut |w, xs| mvm.accumulate(w, xs))?;
+                        mvm.read()
+                    }
+                    AccelArithmetic::ProposedParallel(b) => {
+                        let mut mvm = BitParallelMvm::new(self.n, p, self.extra_bits, b)?;
+                        run_unit(&mut |w, xs| mvm.accumulate(w, xs))?;
+                        mvm.read()
+                    }
+                    AccelArithmetic::Fixed => {
+                        let mul = FixedMul::new(self.n);
+                        let mut accs =
+                            vec![
+                                sc_core::mac::SaturatingAccumulator::new(self.n, self.extra_bits);
+                                p
+                            ];
+                        run_unit(&mut |w, xs| {
+                            for (acc, &x) in accs.iter_mut().zip(xs) {
+                                acc.add(mul.multiply(w, x)?);
+                            }
+                            Ok(1) // one cycle per term
+                        })?;
+                        accs.iter().map(|a| a.value()).collect()
+                    }
                 }
             };
             tile_cycles = tile_cycles.max(unit_cycles);
@@ -285,6 +523,34 @@ struct TileDone {
     output_words: u64,
     cycles: u64,
     writes: Vec<(usize, i64)>,
+    degraded: bool,
+}
+
+/// Flips one flip-flop of a `width`-bit two's-complement word, staying
+/// sign-extended (mirrors `SaturatingAccumulator::flip_bit`, but on the
+/// write-back value, which may sit outside any live accumulator).
+fn flip_word_bit(value: i64, bit: u32, width: u32) -> i64 {
+    let mask = (1u64 << width) - 1;
+    let raw = (value as u64 ^ (1u64 << (bit % width))) & mask;
+    sign_extend(raw, width)
+}
+
+/// Forces one flip-flop of a `width`-bit two's-complement word.
+fn force_word_bit(value: i64, bit: u32, width: u32, high: bool) -> i64 {
+    let mask = (1u64 << width) - 1;
+    let select = 1u64 << (bit % width);
+    let raw = if high { value as u64 | select } else { value as u64 & !select } & mask;
+    sign_extend(raw, width)
+}
+
+fn sign_extend(raw: u64, width: u32) -> i64 {
+    let mask = (1u64 << width) - 1;
+    let sign = 1u64 << (width - 1);
+    if raw & sign != 0 {
+        (raw | !mask) as i64
+    } else {
+        raw as i64
+    }
 }
 
 #[cfg(test)]

@@ -17,9 +17,22 @@
 //!   layer;
 //! * [`memory`] — the on-chip buffer model (input/weight/output buffer
 //!   sizing and off-chip traffic counting), which the paper keeps
-//!   identical across binary and SC designs to make comparisons fair;
+//!   identical across binary and SC designs to make comparisons fair,
+//!   plus the parity-protected [`memory::ParitySram`] bank with
+//!   scrub-on-read;
 //! * [`report`] — per-layer latency/energy accounting combining the
 //!   engine's cycle counts with the `sc-hwmodel` array costs.
+//!
+//! ## Fault injection
+//!
+//! With an `SC_FAULTS` plan armed (see the `sc-fault` crate) the engine
+//! registers three sites: `accel.sram.input` / `accel.sram.weight`
+//! (operand buffers staged through [`memory::ParitySram`]) and
+//! `accel.tile.output` (tile write-back vectors, verified by bounded
+//! recompute-and-compare and degraded to the truncated-stream
+//! progressive-precision mode — see [`engine::FaultPolicy`]). Disarmed
+//! sites leave every datapath bitwise identical to the fault-free
+//! build.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,5 +42,6 @@ pub mod layer;
 pub mod memory;
 pub mod report;
 
-pub use engine::{AccelArithmetic, TileEngine};
+pub use engine::{AccelArithmetic, FaultPolicy, TileEngine};
 pub use layer::{ConvGeometry, Tiling};
+pub use memory::ParitySram;

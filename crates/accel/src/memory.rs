@@ -7,6 +7,8 @@
 //! occupies `2^N/N` times the space of the equivalent BN).
 
 use crate::layer::{ConvGeometry, Tiling};
+use sc_core::Error;
+use sc_fault::{FaultKind, FaultSite};
 
 /// Word traffic between the buffers and off-chip memory for one layer.
 /// All words are `N`-bit binary numbers (BISC!).
@@ -70,9 +72,167 @@ impl BufferPlan {
     }
 }
 
+/// A parity-protected on-chip SRAM bank with scrub-on-read.
+///
+/// Each word carries one even-parity bit computed at write time. Faults
+/// (site `accel.sram.<bank>`, armed via `SC_FAULTS`) strike the stored
+/// array on read:
+///
+/// * `flip` — upsets one bit, or an adjacent **pair** when the draw's
+///   burst bit is set (pair upsets defeat single parity and surface as
+///   `fault.masked`);
+/// * `stuck0` / `stuck1` — force one cell low/high;
+/// * `starve` — the word line misses its timing window and the sense
+///   amps read all zeros (the stored word is untouched).
+///
+/// [`read`](Self::read) models a scrubbing controller: a parity
+/// mismatch is counted as `fault.detected`, the word is rewritten from
+/// the write-time image, and the repair is counted as
+/// `fault.corrected`. [`read_checked`](Self::read_checked) is the
+/// non-scrubbing port: it surfaces the mismatch as
+/// [`Error::MemoryParity`] for callers that must fail fast.
+///
+/// With the site disarmed every read returns the written word and
+/// records nothing — the bank is bitwise transparent.
+#[derive(Debug, Clone)]
+pub struct ParitySram {
+    bank: String,
+    width: u32,
+    words: Vec<u64>,
+    golden: Vec<u64>,
+    parity: Vec<bool>,
+    site: Option<FaultSite>,
+    key: u64,
+    reads: u64,
+}
+
+impl ParitySram {
+    /// Creates a bank of `len` zeroed words of `width` bits, resolving
+    /// the `accel.sram.<bank>` fault site against the active plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in `1..=63`.
+    pub fn new(bank: &str, width: u32, len: usize) -> Self {
+        assert!((1..=63).contains(&width), "sram word width out of range");
+        ParitySram {
+            bank: bank.to_string(),
+            width,
+            words: vec![0; len],
+            golden: vec![0; len],
+            parity: vec![false; len],
+            site: sc_fault::site(&format!("accel.sram.{bank}")),
+            key: 0,
+            reads: 0,
+        }
+    }
+
+    /// Sets the fault-draw key decorrelating this bank from siblings.
+    pub fn set_fault_key(&mut self, key: u64) {
+        self.key = key;
+    }
+
+    /// Number of words in the bank.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the bank has zero words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Whether the bank's fault site is armed.
+    pub fn armed(&self) -> bool {
+        self.site.is_some()
+    }
+
+    fn parity_of(word: u64) -> bool {
+        word.count_ones() % 2 == 1
+    }
+
+    /// Writes a word and its parity bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` does not fit in the bank's width.
+    pub fn write(&mut self, addr: usize, word: u64) {
+        assert!(word < 1u64 << self.width, "word wider than the bank");
+        self.words[addr] = word;
+        self.golden[addr] = word;
+        self.parity[addr] = Self::parity_of(word);
+    }
+
+    /// One read's worth of fault exposure: possibly corrupts the stored
+    /// word, then returns what the sense amps observe.
+    fn observe(&mut self, addr: usize) -> u64 {
+        let index = self.reads;
+        self.reads += 1;
+        if let Some(site) = &self.site {
+            let instance = self.key ^ (addr as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            if let Some(entropy) = site.transient(instance, index) {
+                let word = self.words[addr];
+                let bit = (entropy >> 8) as u32 % self.width;
+                self.words[addr] = match site.kind() {
+                    FaultKind::Transient => {
+                        let flipped = word ^ (1u64 << bit);
+                        if entropy & (1 << 40) != 0 {
+                            // Burst upset: the adjacent cell flips too.
+                            flipped ^ (1u64 << ((bit + 1) % self.width))
+                        } else {
+                            flipped
+                        }
+                    }
+                    FaultKind::StuckAt0 => word & !(1u64 << bit),
+                    FaultKind::StuckAt1 => word | (1u64 << bit),
+                    FaultKind::Starve => return 0,
+                };
+            }
+        }
+        self.words[addr]
+    }
+
+    /// Reads a word through the scrubbing controller: parity mismatches
+    /// are detected, repaired from the write-time image, and the clean
+    /// word returned. Parity-clean corruption (even-bit upsets) passes
+    /// through and is recorded as masked.
+    pub fn read(&mut self, addr: usize) -> u64 {
+        let observed = self.observe(addr);
+        if Self::parity_of(observed) != self.parity[addr] {
+            sc_fault::record_detected(1);
+            self.words[addr] = self.golden[addr];
+            sc_fault::record_corrected(1);
+            return self.golden[addr];
+        }
+        if observed != self.golden[addr] {
+            sc_fault::record_masked(1);
+        }
+        observed
+    }
+
+    /// Reads a word through the fail-fast port (no scrub).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MemoryParity`] on a parity mismatch; the
+    /// corrupted word stays in the array.
+    pub fn read_checked(&mut self, addr: usize) -> Result<u64, Error> {
+        let observed = self.observe(addr);
+        if Self::parity_of(observed) != self.parity[addr] {
+            sc_fault::record_detected(1);
+            return Err(Error::MemoryParity { bank: self.bank.clone(), addr });
+        }
+        if observed != self.golden[addr] {
+            sc_fault::record_masked(1);
+        }
+        Ok(observed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sc_fault::FaultPlan;
 
     #[test]
     fn traffic_totals() {
@@ -93,5 +253,76 @@ mod tests {
         assert_eq!(plan.weight_words, 16 * 25 * 8);
         assert_eq!(plan.output_words, 16 * 16);
         assert!(plan.total_bits(9) > 0);
+    }
+
+    #[test]
+    fn disarmed_sram_is_transparent() {
+        let _g = sc_fault::scoped(FaultPlan::parse("").unwrap());
+        let mut sram = ParitySram::new("input", 9, 16);
+        assert!(!sram.armed());
+        for a in 0..16 {
+            sram.write(a, (a as u64 * 31) & 0x1FF);
+        }
+        for a in 0..16 {
+            let want = (a as u64 * 31) & 0x1FF;
+            assert_eq!(sram.read(a), want);
+            assert_eq!(sram.read_checked(a).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_are_detected_and_scrubbed() {
+        // Rate 1.0 pure single-bit flips would always trip parity; the
+        // burst bit makes some reads masked instead, so just require
+        // that every read returns either the clean word (scrubbed or
+        // untouched) or a parity-clean two-bit corruption.
+        let _g = sc_fault::scoped(FaultPlan::parse("accel.sram.weight:flip@1.0;seed=3").unwrap());
+        let words = 64;
+        let mut sram = ParitySram::new("weight", 9, words);
+        for a in 0..words {
+            sram.write(a, 0x155);
+        }
+        let (mut scrubbed, mut masked) = (0, 0);
+        for a in 0..words {
+            let got = sram.read(a);
+            if got == 0x155 {
+                scrubbed += 1;
+            } else {
+                assert_eq!((got ^ 0x155).count_ones(), 2, "masked reads are pair upsets");
+                masked += 1;
+            }
+        }
+        assert!(scrubbed > 0, "some single-bit upsets must be caught by parity");
+        assert!(masked > 0, "some burst upsets must defeat single parity");
+    }
+
+    #[test]
+    fn checked_port_surfaces_parity_errors() {
+        let _g = sc_fault::scoped(FaultPlan::parse("accel.sram.input:stuck1@1.0;seed=1").unwrap());
+        let mut sram = ParitySram::new("input", 9, 4);
+        // All-zero words: any stuck-at-1 cell flips parity.
+        let mut hits = 0;
+        for a in 0..4 {
+            match sram.read_checked(a) {
+                Err(Error::MemoryParity { bank, addr }) => {
+                    assert_eq!(bank, "input");
+                    assert_eq!(addr, a);
+                    hits += 1;
+                }
+                Ok(w) => assert_eq!(w, 0),
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert_eq!(hits, 4);
+    }
+
+    #[test]
+    fn starved_reads_observe_zero_and_scrub() {
+        let _g = sc_fault::scoped(FaultPlan::parse("accel.sram.input:starve@1.0;seed=2").unwrap());
+        let mut sram = ParitySram::new("input", 9, 2);
+        sram.write(0, 0b1); // odd parity: the all-zero observation trips it
+        sram.write(1, 0b11); // even parity: the zero read is masked
+        assert_eq!(sram.read(0), 0b1, "detected and scrubbed");
+        assert_eq!(sram.read(1), 0, "even-weight words mask the starved read");
     }
 }

@@ -85,7 +85,12 @@ mod tests {
         let g = ConvGeometry { z: 1, in_h: 5, in_w: 5, m: 1, k: 3, stride: 1 };
         let tiling = Tiling { t_m: 1, t_r: 3, t_c: 3 };
         let n = Precision::new(6).unwrap();
-        let run_a = LayerRun { outputs: vec![], cycles: 100, traffic: Default::default() };
+        let run_a = LayerRun {
+            outputs: vec![],
+            cycles: 100,
+            traffic: Default::default(),
+            degraded_tiles: vec![],
+        };
         let run_b = LayerRun { cycles: 200, ..run_a.clone() };
         let a = report(&g, &tiling, n, AccelArithmetic::Fixed, &run_a);
         let b = report(&g, &tiling, n, AccelArithmetic::Fixed, &run_b);
@@ -98,7 +103,12 @@ mod tests {
         let g = ConvGeometry { z: 1, in_h: 5, in_w: 5, m: 1, k: 3, stride: 1 };
         let tiling = Tiling { t_m: 1, t_r: 3, t_c: 3 };
         let n = Precision::new(6).unwrap();
-        let run = LayerRun { outputs: vec![], cycles: 0, traffic: Default::default() };
+        let run = LayerRun {
+            outputs: vec![],
+            cycles: 0,
+            traffic: Default::default(),
+            degraded_tiles: vec![],
+        };
         let rep = report(&g, &tiling, n, AccelArithmetic::ProposedSerial, &run);
         assert_eq!(rep.cycles, 0);
         assert_eq!(rep.time_us, 0.0);

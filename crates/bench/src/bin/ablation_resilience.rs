@@ -4,6 +4,11 @@
 //! flipped product bit → damage up to half scale) and the proposed SC
 //! (one flipped stream bit → counter moves ±2) degrade.
 //!
+//! The damage model lives in the workspace-wide `sc-fault` crate (see
+//! DESIGN.md §9 "Fault model & graceful degradation"); `fault_sweep`
+//! runs the complementary multiplier-level sweep through the RTL
+//! injection sites, while this study measures end-to-end CNN accuracy.
+//!
 //! `--quick` trains less and evaluates fewer images.
 
 use sc_bench::cli;

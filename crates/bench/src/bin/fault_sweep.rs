@@ -1,0 +1,218 @@
+//! Fault sweep: multiplier-level error vs fault rate × injection site,
+//! across the proposed BISC MAC, conventional SC (LFSR and Halton SNGs),
+//! and the fixed-point binary multiplier.
+//!
+//! Each cell arms one `sc-fault` site at one rate (via a scoped plan —
+//! the process-global `SC_FAULTS` mechanism, so this sweep exercises the
+//! exact injection paths the RTL models register) and measures the
+//! output error against the same arithmetic's fault-free result, so
+//! quantization noise cancels and only fault damage remains. The
+//! fixed-point multiplier has no cycle loop to strike; its cell uses the
+//! `sc_fault` damage model (one flipped bit of the `2(N−1)`-bit product
+//! per faulted MAC). Note the exposure asymmetry runs *against* the SC
+//! designs: a per-cycle rate `r` strikes a `|w|`- or `2^N`-cycle stream
+//! `|w|`·`r` times per multiply, versus `r` faults per multiply for
+//! binary — and SC still degrades orders of magnitude more slowly,
+//! because each strike is worth ±2 counter LSBs instead of `2^j`.
+//!
+//! Emits `results/fault_sweep.json` (one row per cell) plus the usual
+//! run manifest, whose metrics snapshot records the `fault.injected` /
+//! `fault.detected` counter totals. `--quick` shrinks the operand grid.
+
+use sc_bench::cli;
+use sc_core::Precision;
+use sc_fault::{FaultModel, FaultPlan, FaultTarget};
+use sc_fixed::FixedMul;
+use sc_rtlsim::mac::{ConventionalMacRtl, ProposedMacRtl};
+use sc_telemetry::json::Json;
+
+/// Which multiplier a sweep cell drives.
+#[derive(Clone, Copy, PartialEq)]
+enum Arith {
+    Proposed,
+    ConvLfsr,
+    ConvHalton,
+    Fixed,
+}
+
+struct Cell {
+    arith: Arith,
+    arith_name: &'static str,
+    site: &'static str,
+}
+
+fn main() {
+    sc_telemetry::bench_run(
+        "fault_sweep",
+        "Fault sweep: error vs rate x site (BISC, conventional SC, fixed-point)",
+        run,
+    );
+}
+
+fn run(ctx: &mut sc_telemetry::BenchCtx) {
+    let quick = ctx.quick();
+    let n = Precision::new(8).expect("valid precision");
+    // Binary draws are one `perturb` call each, so the fixed cell gets
+    // far more repetitions: at rate 1e-3 the expected fault count must
+    // sit well above zero or the rmse estimate collapses to 0.
+    let (pairs, reps_sc, reps_fixed) = if quick { (48, 2, 512) } else { (128, 4, 1024) };
+    let seed = 1234u64;
+    ctx.config("precision", n.bits());
+    ctx.config("pairs", pairs);
+    ctx.config("reps_sc", reps_sc);
+    ctx.config("reps_fixed", reps_fixed);
+    ctx.seed(seed);
+
+    let rates = [0.0, 1e-4, 1e-3, 1e-2, 1e-1];
+    let cells = [
+        Cell { arith: Arith::Proposed, arith_name: "proposed", site: "rtlsim.mac.stream" },
+        Cell { arith: Arith::Proposed, arith_name: "proposed", site: "rtlsim.mac.acc" },
+        Cell { arith: Arith::Proposed, arith_name: "proposed", site: "rtlsim.fsm.state" },
+        Cell { arith: Arith::ConvLfsr, arith_name: "conv-lfsr", site: "rtlsim.mac.stream" },
+        Cell { arith: Arith::ConvHalton, arith_name: "conv-halton", site: "rtlsim.mac.stream" },
+        Cell { arith: Arith::ConvHalton, arith_name: "conv-halton", site: "rtlsim.halton.state" },
+        Cell { arith: Arith::Fixed, arith_name: "fixed", site: "binary.product" },
+    ];
+
+    // Deterministic operand grid (dense weights so streams are long
+    // enough for per-cycle sites to matter).
+    let half = n.half_scale() as i32;
+    let operands: Vec<(i32, i32)> = (0..pairs)
+        .map(|i| {
+            let w = ((i * 73 + 29) % (2 * half)) - half;
+            let x = ((i * 41 + 7) % (2 * half)) - half;
+            (w.clamp(-half, half - 1), x.clamp(-half, half - 1))
+        })
+        .collect();
+
+    println!(
+        "{} operand pairs, {} SC keys + {} binary draws per pair, seed {seed}\n",
+        pairs, reps_sc, reps_fixed
+    );
+    let header = format!("{:>12} {:>20} | {}", "arithmetic", "site", "rmse/half-scale per rate");
+    println!("{header}");
+    cli::rule(&header);
+
+    let mut rows: Vec<Json> = Vec::new();
+    let mut grid = vec![vec![0.0f64; rates.len()]; cells.len()];
+    // Cells run serially: each installs a process-global scoped plan.
+    for (ci, cell) in cells.iter().enumerate() {
+        let mut line = String::new();
+        for (ri, &rate) in rates.iter().enumerate() {
+            let rmse = measure(cell, n, rate, seed, &operands, reps_sc, reps_fixed);
+            let normalized = rmse / n.half_scale() as f64;
+            grid[ci][ri] = normalized;
+            if rate == 0.0 {
+                assert_eq!(rmse, 0.0, "zero-rate cell must be bitwise fault-free");
+            }
+            rows.push(Json::obj(vec![
+                ("arithmetic", Json::Str(cell.arith_name.to_string())),
+                ("site", Json::Str(cell.site.to_string())),
+                ("rate", Json::Num(rate)),
+                ("rmse_counter_units", Json::Num(rmse)),
+                ("rmse_normalized", Json::Num(normalized)),
+            ]));
+            line.push_str(&format!("{normalized:<10.2e}"));
+        }
+        println!("{:>12} {:>20} | {line}", cell.arith_name, cell.site);
+    }
+
+    // The acceptance gate: at every rate >= 1e-3 the proposed SC stream
+    // path degrades strictly more slowly than the fixed-point binary
+    // multiplier, despite its per-cycle (not per-MAC) exposure.
+    let proposed = &grid[0];
+    let fixed = &grid[cells.len() - 1];
+    for (ri, &rate) in rates.iter().enumerate() {
+        if rate >= 1e-3 {
+            assert!(
+                proposed[ri] < fixed[ri],
+                "proposed SC must degrade more slowly than fixed at rate {rate}: \
+                 {} vs {}",
+                proposed[ri],
+                fixed[ri]
+            );
+        }
+    }
+    println!("\ncheck: proposed-SC rmse < fixed-point rmse at every rate >= 1e-3  [ok]");
+
+    let path = "results/fault_sweep.json";
+    sc_telemetry::export::write_json(path, &Json::Arr(rows)).expect("write fault_sweep.json");
+    ctx.record_artifact(path);
+    println!("wrote {path}");
+}
+
+/// Measures one cell's RMS fault damage in counter units.
+fn measure(
+    cell: &Cell,
+    n: Precision,
+    rate: f64,
+    seed: u64,
+    operands: &[(i32, i32)],
+    reps_sc: usize,
+    reps_fixed: usize,
+) -> f64 {
+    let mut sq_sum = 0.0f64;
+    let mut count = 0u64;
+    match cell.arith {
+        Arith::Fixed => {
+            // Damage model on the binary product word; reference is the
+            // unperturbed product, so the fault rate alone drives rmse.
+            let mul = FixedMul::new(n);
+            let model = FaultModel::new(rate, FaultTarget::BinaryProductBit, seed);
+            for (i, &(w, x)) in operands.iter().enumerate() {
+                let clean = mul.multiply(w, x).expect("codes in range");
+                for rep in 0..reps_fixed {
+                    let index = (i * reps_fixed + rep) as u64;
+                    let err = model.perturb(clean, index, n) - clean;
+                    sq_sum += (err * err) as f64;
+                    count += 1;
+                }
+            }
+        }
+        _ => {
+            let spec = format!("{}:flip@{rate};seed={seed}", cell.site);
+            let clean_vals: Vec<i64> = {
+                let _g = sc_fault::scoped(FaultPlan::parse("").expect("empty plan"));
+                operands.iter().map(|&(w, x)| run_sc(cell.arith, n, 0, w, x)).collect()
+            };
+            let _g = sc_fault::scoped(FaultPlan::parse(&spec).expect("valid sweep spec"));
+            for (i, &(w, x)) in operands.iter().enumerate() {
+                for rep in 0..reps_sc {
+                    let key = (i * reps_sc + rep) as u64;
+                    let err = run_sc(cell.arith, n, key, w, x) - clean_vals[i];
+                    sq_sum += (err * err) as f64;
+                    count += 1;
+                }
+            }
+        }
+    }
+    (sq_sum / count as f64).sqrt()
+}
+
+/// One multiply through the selected RTL datapath under the armed plan.
+fn run_sc(arith: Arith, n: Precision, key: u64, w: i32, x: i32) -> i64 {
+    match arith {
+        Arith::Proposed => {
+            let mut mac = ProposedMacRtl::new(n, 8);
+            mac.set_fault_key(key);
+            mac.load(w, x).expect("codes in range");
+            mac.run_to_done();
+            mac.value()
+        }
+        Arith::ConvLfsr => {
+            let mut mac = ConventionalMacRtl::new(n, 8).expect("lfsr mac");
+            mac.set_fault_key(key);
+            mac.load(w, x).expect("codes in range");
+            mac.run_to_done();
+            mac.value()
+        }
+        Arith::ConvHalton => {
+            let mut mac = ConventionalMacRtl::new_halton(n, 8);
+            mac.set_fault_key(key);
+            mac.load(w, x).expect("codes in range");
+            mac.run_to_done();
+            mac.value()
+        }
+        Arith::Fixed => unreachable!("fixed path handled by the damage model"),
+    }
+}

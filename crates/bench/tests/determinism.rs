@@ -119,6 +119,55 @@ fn accel_layer_identical_across_thread_counts() {
 }
 
 #[test]
+fn accel_layer_under_faults_identical_across_thread_counts() {
+    let g = ConvGeometry { z: 3, in_h: 9, in_w: 9, m: 5, k: 3, stride: 1 };
+    let n = Precision::new(7).unwrap();
+    let half = n.half_scale() as i32;
+    let input: Vec<i32> =
+        (0..g.z * g.in_h * g.in_w).map(|i| ((i as i32 * 37 + 11) % (2 * half)) - half).collect();
+    let weights: Vec<i32> = (0..g.m * g.depth()).map(|i| ((i as i32 * 13 + 5) % 21) - 10).collect();
+    let engine =
+        TileEngine::new(n, Tiling { t_m: 2, t_r: 3, t_c: 2 }, AccelArithmetic::ProposedSerial, 8);
+    let fingerprint = |run: &sc_accel::engine::LayerRun| {
+        let mut fp: Vec<u64> = run.outputs.iter().map(|&v| v as u64).collect();
+        fp.push(run.cycles);
+        fp.push(run.traffic.input_words);
+        fp.push(run.traffic.output_words);
+        fp.extend(run.degraded_tiles.iter().map(|&t| t as u64));
+        fp
+    };
+    // The plan is scoped *inside* the closure so it is only armed while
+    // THREADS_LOCK is held — other tests in this binary drive the same
+    // accel sites and must never observe it.
+    let run_with = |spec: &str| {
+        let _s = sc_fault::scoped(sc_fault::FaultPlan::parse(spec).unwrap());
+        fingerprint(&engine.run_layer(&g, &input, &weights).expect("valid geometry"))
+    };
+    // Fault-free reference, then the zero-rate identity: an armed plan
+    // with rate 0 must be bitwise invisible at every thread count.
+    let mut clean: Option<Vec<u64>> = None;
+    with_threads("accel layer unarmed", || {
+        let fp = run_with("");
+        clean.get_or_insert_with(|| fp.clone());
+        fp
+    });
+    let clean = clean.unwrap();
+    with_threads("accel layer zero-rate", || {
+        let fp = run_with("accel.*:flip@0;seed=99");
+        assert_eq!(fp, clean, "zero-rate plan must be bitwise identical to unarmed");
+        fp
+    });
+    // Fixed spec + seed: the faulted run (SRAM scrubs, tile retries,
+    // degradations) is itself bitwise reproducible across thread counts.
+    with_threads("accel layer faulted", || {
+        run_with(
+            "accel.sram.input:flip@0.01;accel.sram.weight:flip@0.01;\
+             accel.tile.output:flip@0.05;seed=99",
+        )
+    });
+}
+
+#[test]
 fn fig5_sweep_identical_across_thread_counts() {
     let n = Precision::new(5).unwrap();
     with_threads("fig5 proposed sweep", || {

@@ -40,6 +40,29 @@ pub enum Error {
         /// The requested LFSR width in bits.
         width: u32,
     },
+    /// An `SC_FAULTS` fault-plan spec string failed to parse.
+    FaultSpecParse {
+        /// The offending entry (or fragment) of the spec.
+        entry: String,
+        /// Why the entry was rejected.
+        reason: String,
+    },
+    /// A parity-protected memory word failed its parity check and no
+    /// correction path (scrub) was available.
+    MemoryParity {
+        /// Name of the memory bank that detected the mismatch.
+        bank: String,
+        /// Word address within the bank.
+        addr: usize,
+    },
+    /// A verified computation kept failing its check after exhausting the
+    /// configured recompute-and-compare retry budget.
+    RetryExhausted {
+        /// What was being recomputed (e.g. a tile identifier).
+        what: String,
+        /// Number of attempts made (initial compute + retries).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -61,6 +84,15 @@ impl fmt::Display for Error {
             }
             Error::NoLfsrPolynomial { width } => {
                 write!(f, "no maximal-length LFSR polynomial found for width {width}")
+            }
+            Error::FaultSpecParse { entry, reason } => {
+                write!(f, "invalid fault spec entry `{entry}`: {reason}")
+            }
+            Error::MemoryParity { bank, addr } => {
+                write!(f, "uncorrectable parity mismatch in memory bank `{bank}` at word {addr}")
+            }
+            Error::RetryExhausted { what, attempts } => {
+                write!(f, "verification of {what} still failing after {attempts} attempts")
             }
         }
     }
@@ -90,6 +122,31 @@ mod tests {
 
         let e = Error::NoLfsrPolynomial { width: 33 };
         assert!(e.to_string().contains("33"));
+
+        let e = Error::FaultSpecParse { entry: "mac:flip@x".into(), reason: "bad rate".into() };
+        assert!(e.to_string().contains("mac:flip@x") && e.to_string().contains("bad rate"));
+
+        let e = Error::MemoryParity { bank: "weights".into(), addr: 17 };
+        assert!(e.to_string().contains("weights") && e.to_string().contains("17"));
+
+        let e = Error::RetryExhausted { what: "tile (0,0,0)".into(), attempts: 3 };
+        assert!(e.to_string().contains("tile (0,0,0)") && e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn fault_variants_round_trip_through_clone_and_eq() {
+        let variants = [
+            Error::FaultSpecParse { entry: "a".into(), reason: "b".into() },
+            Error::MemoryParity { bank: "sram0".into(), addr: 0 },
+            Error::RetryExhausted { what: "tile".into(), attempts: 2 },
+        ];
+        for e in &variants {
+            let cloned = e.clone();
+            assert_eq!(&cloned, e);
+            // Display stays stable across the clone (round-trip).
+            assert_eq!(cloned.to_string(), e.to_string());
+            assert!(!e.to_string().is_empty());
+        }
     }
 
     #[test]

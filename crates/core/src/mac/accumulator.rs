@@ -90,6 +90,33 @@ impl SaturatingAccumulator {
         self.value = 0;
         self.saturated = false;
     }
+
+    /// The counter width in bits (including the sign bit).
+    pub fn width(&self) -> u32 {
+        (self.max + 1).trailing_zeros() + 1
+    }
+
+    /// Forces the raw register to `value`, clamping into the representable
+    /// range — a fault-injection hook modelling a single-event upset of the
+    /// counter flip-flops. Does not touch the saturation flag.
+    pub fn force_value(&mut self, value: i64) {
+        self.value = value.clamp(self.min, self.max);
+    }
+
+    /// Flips bit `bit` of the counter's two's-complement register —
+    /// models a transient bit-flip of one counter flip-flop. The register
+    /// is reinterpreted at its native width, so flipping the top bit
+    /// toggles the sign. `bit` is taken modulo the register width.
+    pub fn flip_bit(&mut self, bit: u32) {
+        let width = self.width();
+        let bit = bit % width;
+        let mask = (1u64 << width) - 1;
+        let raw = (self.value as u64 ^ (1u64 << bit)) & mask;
+        // Sign-extend the width-bit register back to i64.
+        let sign = 1u64 << (width - 1);
+        let extended = if raw & sign != 0 { (raw | !mask) as i64 } else { raw as i64 };
+        self.value = extended;
+    }
 }
 
 #[cfg(test)]
@@ -143,5 +170,35 @@ mod tests {
     #[should_panic(expected = "width out of range")]
     fn invalid_width_panics() {
         let _ = SaturatingAccumulator::with_width(63);
+    }
+
+    #[test]
+    fn width_reports_total_bits() {
+        assert_eq!(SaturatingAccumulator::with_width(7).width(), 7);
+        assert_eq!(SaturatingAccumulator::new(p(8), 2).width(), 10);
+    }
+
+    #[test]
+    fn force_value_clamps_into_range() {
+        let mut acc = SaturatingAccumulator::with_width(4); // [-8, 7]
+        acc.force_value(100);
+        assert_eq!(acc.value(), 7);
+        acc.force_value(-3);
+        assert_eq!(acc.value(), -3);
+        assert!(!acc.has_saturated());
+    }
+
+    #[test]
+    fn flip_bit_toggles_one_register_bit() {
+        let mut acc = SaturatingAccumulator::with_width(8);
+        acc.add(0b100);
+        acc.flip_bit(1);
+        assert_eq!(acc.value(), 0b110);
+        acc.flip_bit(1);
+        assert_eq!(acc.value(), 0b100);
+        // Flipping the sign bit of 4 in an 8-bit register gives 4 - 128,
+        // inside range, no clamping needed.
+        acc.flip_bit(7);
+        assert_eq!(acc.value(), 4 - 128);
     }
 }

@@ -1,0 +1,73 @@
+//! Property tests for the damage bounds the fault model encodes
+//! (ISSUE 3): a stochastic stream-bit flip always moves the counter by
+//! exactly ±2, while a binary product-bit flip can reach `2^(2N-3)`.
+
+use sc_core::Precision;
+use sc_fault::{FaultModel, FaultTarget};
+
+fn p(bits: u32) -> Precision {
+    Precision::new(bits).unwrap()
+}
+
+#[test]
+fn stream_bit_flip_moves_counter_by_exactly_two_at_every_precision() {
+    for bits in 4..=10 {
+        let n = p(bits);
+        let m = FaultModel::new(1.0, FaultTarget::StochasticStreamBit, 11 + bits as u64);
+        let mut saw_plus = false;
+        let mut saw_minus = false;
+        for index in 0..5_000u64 {
+            // Sweep products across the counter range too — the damage
+            // must be value-independent.
+            let product = (index as i64 % 101) - 50;
+            let delta = m.perturb(product, index, n) - product;
+            assert!(
+                delta == 2 || delta == -2,
+                "N={bits}: stream-bit flip moved counter by {delta}, expected ±2"
+            );
+            saw_plus |= delta == 2;
+            saw_minus |= delta == -2;
+        }
+        assert!(saw_plus && saw_minus, "N={bits}: both damage directions must occur");
+        assert_eq!(m.max_damage(n), 2);
+    }
+}
+
+#[test]
+fn binary_product_bit_flip_reaches_half_scale() {
+    for bits in 4..=10 {
+        let n = p(bits);
+        let m = FaultModel::new(1.0, FaultTarget::BinaryProductBit, 13 + bits as u64);
+        // Worst case: the MSB of the 2(N-1)-bit product flips, damage
+        // 2^(2N-3). Starting from product 0 every flip is +2^j.
+        let bound = 1i64 << (2 * (bits - 1) - 1);
+        let mut max_seen = 0i64;
+        for index in 0..20_000u64 {
+            let delta = m.perturb(0, index, n).abs();
+            assert!(delta > 0, "rate-1.0 model must always fire");
+            assert!(delta.count_ones() == 1, "single-bit flip damage must be a power of two");
+            assert!(delta <= bound, "N={bits}: damage {delta} exceeds bound {bound}");
+            max_seen = max_seen.max(delta);
+        }
+        assert_eq!(
+            max_seen, bound,
+            "N={bits}: the MSB flip (damage 2^(2N-3) = {bound}) must be reachable"
+        );
+        assert_eq!(m.max_damage(n), bound);
+    }
+}
+
+#[test]
+fn damage_ratio_grows_with_precision() {
+    // The resilience argument sharpens with precision: binary worst-case
+    // damage doubles per extra bit while SC stays at ±2.
+    let mut prev = 0i64;
+    for bits in 4..=10 {
+        let n = p(bits);
+        let bin = FaultModel::new(1.0, FaultTarget::BinaryProductBit, 1).max_damage(n);
+        let sc = FaultModel::new(1.0, FaultTarget::StochasticStreamBit, 1).max_damage(n);
+        assert_eq!(sc, 2);
+        assert!(bin > prev, "binary damage bound must grow with N");
+        prev = bin;
+    }
+}

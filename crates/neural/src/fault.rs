@@ -4,8 +4,8 @@
 //! "for future technologies in which variability and noise are expected
 //! to grow, the advantages of SC may be greater".
 //!
-//! The fault model captures the *representation* difference between the
-//! two arithmetics:
+//! The damage model captures the *representation* difference between
+//! the two arithmetics:
 //!
 //! * **Binary multiplier** — a transient fault flips one bit of the
 //!   `2(N−1)`-bit product; the damage is `±2^j`, i.e. potentially half
@@ -16,128 +16,11 @@
 //!   down). Damage is bounded regardless of where the fault lands — SC's
 //!   inherent error tolerance.
 //!
-//! Faults are injected per MAC operation with probability `rate`, using a
-//! counter-based deterministic RNG so runs are reproducible.
+//! The implementation lives in the workspace-wide `sc-fault` crate
+//! ([`sc_fault::damage`]), which also provides the named-site injection
+//! plans (`SC_FAULTS`) used by `sc-rtlsim` and `sc-accel`; this module
+//! re-exports the damage model so existing `sc_neural::fault` callers —
+//! and the `ablation_resilience` study — keep their exact behaviour
+//! (the perturbation math is bit-identical, draw for draw).
 
-use sc_core::Precision;
-
-/// Which datapath the fault hits (determines the damage model).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FaultTarget {
-    /// One random bit of the binary product word (`2(N−1)` bits).
-    BinaryProductBit,
-    /// One random bit of the stochastic product stream (counter moves
-    /// ±2).
-    StochasticStreamBit,
-}
-
-/// A seeded transient-fault injector.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct FaultModel {
-    /// Fault probability per MAC operation.
-    pub rate: f64,
-    /// Damage model.
-    pub target: FaultTarget,
-    /// RNG seed.
-    pub seed: u64,
-}
-
-impl FaultModel {
-    /// Creates a fault model.
-    pub fn new(rate: f64, target: FaultTarget, seed: u64) -> Self {
-        FaultModel { rate, target, seed }
-    }
-
-    /// Perturbs one product value (in `2^-(N-1)` counter units) as the
-    /// `index`-th MAC of a run. Deterministic in `(seed, index)`.
-    #[inline]
-    pub fn perturb(&self, product: i64, index: u64, n: Precision) -> i64 {
-        let r = split_mix(self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        // Top 53 bits → uniform in [0,1).
-        let u = (r >> 11) as f64 / (1u64 << 53) as f64;
-        if u >= self.rate {
-            return product;
-        }
-        let r2 = split_mix(r);
-        match self.target {
-            FaultTarget::BinaryProductBit => {
-                // Flip one bit of the 2(N−1)-bit product magnitude.
-                let bits = 2 * (n.bits() - 1);
-                let j = (r2 % bits as u64) as u32;
-                product ^ (1i64 << j)
-            }
-            FaultTarget::StochasticStreamBit => {
-                // One stream-bit flip: the up/down counter moves by ±2.
-                if r2 & 1 == 0 {
-                    product + 2
-                } else {
-                    product - 2
-                }
-            }
-        }
-    }
-
-    /// Worst-case damage of a single fault in counter units.
-    pub fn max_damage(&self, n: Precision) -> i64 {
-        match self.target {
-            FaultTarget::BinaryProductBit => 1i64 << (2 * (n.bits() - 1) - 1),
-            FaultTarget::StochasticStreamBit => 2,
-        }
-    }
-}
-
-#[inline]
-fn split_mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn p(bits: u32) -> Precision {
-        Precision::new(bits).unwrap()
-    }
-
-    #[test]
-    fn zero_rate_is_identity() {
-        let m = FaultModel::new(0.0, FaultTarget::BinaryProductBit, 1);
-        for i in 0..1000u64 {
-            assert_eq!(m.perturb(42, i, p(8)), 42);
-        }
-    }
-
-    #[test]
-    fn deterministic_in_seed_and_index() {
-        let m = FaultModel::new(0.5, FaultTarget::BinaryProductBit, 7);
-        assert_eq!(m.perturb(100, 3, p(8)), m.perturb(100, 3, p(8)));
-    }
-
-    #[test]
-    fn observed_rate_matches_configured() {
-        let m = FaultModel::new(0.1, FaultTarget::StochasticStreamBit, 9);
-        let hits = (0..100_000u64).filter(|&i| m.perturb(0, i, p(8)) != 0).count();
-        let rate = hits as f64 / 100_000.0;
-        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
-    }
-
-    #[test]
-    fn stochastic_damage_is_bounded_binary_is_not() {
-        let n = p(9);
-        let sc = FaultModel::new(1.0, FaultTarget::StochasticStreamBit, 3);
-        let bin = FaultModel::new(1.0, FaultTarget::BinaryProductBit, 3);
-        let mut max_sc = 0i64;
-        let mut max_bin = 0i64;
-        for i in 0..10_000u64 {
-            max_sc = max_sc.max(sc.perturb(0, i, n).abs());
-            max_bin = max_bin.max(bin.perturb(0, i, n).abs());
-        }
-        assert_eq!(max_sc, 2);
-        assert!(max_bin >= 1 << 10, "binary max damage {max_bin}");
-        assert_eq!(sc.max_damage(n), 2);
-        assert_eq!(bin.max_damage(n), 1 << 15);
-    }
-}
+pub use sc_fault::{FaultModel, FaultTarget};

@@ -37,6 +37,19 @@
 //! degrades every call to inline execution with no queue or slot
 //! allocations and no threads spawned.
 //!
+//! ## Panic propagation
+//!
+//! A panicking task fails the whole region, never hangs it and never
+//! silently drops chunks: each worker catches unwinds around its task
+//! and keeps draining the queue (chunks are bounded work — finishing
+//! them costs no more than a successful region and keeps the failure
+//! deterministic), and once every worker has joined, the panic
+//! belonging to the **lowest chunk id** is rethrown on the caller
+//! thread with its original payload. That is exactly the panic the
+//! serial path would have hit first, regardless of worker timing. Pool
+//! locks recover from poisoning, so a failed region leaves the pool
+//! fully reusable.
+//!
 //! ## Telemetry
 //!
 //! Each parallel region records `par.tasks` (chunks executed — thread
@@ -49,10 +62,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::any::Any;
 use std::collections::VecDeque;
 use std::ops::Range;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
 use sc_telemetry::metrics::{counter, gauge, Counter, Gauge};
@@ -226,11 +241,11 @@ impl Pool {
         let slots: Vec<Mutex<Option<R>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
         self.run_chunks(chunks, &|c| {
             let r = job(c);
-            *slots[c].lock().expect("slot poisoned") = Some(r);
+            *lock_recovered(&slots[c]) = Some(r);
         });
         slots
             .into_iter()
-            .map(|s| s.into_inner().expect("slot poisoned").expect("chunk executed"))
+            .map(|s| s.into_inner().unwrap_or_else(|p| p.into_inner()).expect("chunk executed"))
             .collect()
     }
 
@@ -260,6 +275,7 @@ impl Pool {
             (0..workers).map(|w| Mutex::new((w..chunks).step_by(workers).collect())).collect();
         let stats: Vec<Mutex<WorkerStats>> =
             (0..workers).map(|_| Mutex::new(WorkerStats::default())).collect();
+        let region = RegionPanic::default();
         let observe = sc_telemetry::metrics::enabled() || sc_telemetry::span::tracing_active();
         let wall = Instant::now();
 
@@ -267,16 +283,22 @@ impl Pool {
             for w in 1..workers {
                 let queues = &queues;
                 let stats = &stats;
-                s.spawn(move || worker_loop(w, queues, run, stats, observe));
+                let region = &region;
+                s.spawn(move || worker_loop(w, queues, run, stats, region, observe));
             }
-            worker_loop(0, &queues, run, &stats, observe);
+            worker_loop(0, &queues, run, &stats, &region, observe);
         });
+
+        // All workers have joined; if any task panicked, fail the
+        // region on the caller thread with the first (lowest-chunk-id)
+        // payload.
+        region.rethrow();
 
         // Per-worker buffers flushed in worker order (deterministic
         // trace layout), then merged into the global counters.
         let (mut tasks, mut steals, mut busy) = (0u64, 0u64, 0u64);
         for (w, slot) in stats.iter().enumerate() {
-            let st = *slot.lock().expect("stats poisoned");
+            let st = *lock_recovered(slot);
             tasks += st.tasks;
             steals += st.steals;
             busy += st.busy_ns;
@@ -302,24 +324,59 @@ impl Default for Pool {
     }
 }
 
+/// Locks a mutex, recovering the data if a panicking task poisoned it —
+/// panics are reported once via [`RegionPanic`], not amplified into
+/// poison errors.
+fn lock_recovered<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The first panic of a region, keyed by chunk id so "first" is
+/// deterministic: every chunk still runs, and the kept payload is the
+/// one the serial path would have hit first, regardless of worker
+/// timing.
+#[derive(Default)]
+struct RegionPanic {
+    first: Mutex<Option<(usize, Box<dyn Any + Send>)>>,
+}
+
+impl RegionPanic {
+    fn record(&self, chunk: usize, payload: Box<dyn Any + Send>) {
+        let mut slot = lock_recovered(&self.first);
+        if slot.as_ref().is_none_or(|(c, _)| chunk < *c) {
+            *slot = Some((chunk, payload));
+        }
+    }
+
+    fn rethrow(&self) {
+        if let Some((_, payload)) = lock_recovered(&self.first).take() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
 /// One worker: drain the owned deque front-to-back, then steal from the
 /// backs of the other deques until everything is empty. Total work is
 /// fixed before the scope starts, so an empty full scan means done.
+/// A panicking task is caught here and recorded in `region` — the
+/// worker keeps going so every chunk is attempted and the region's
+/// failure is deterministic.
 fn worker_loop(
     w: usize,
     queues: &[Mutex<VecDeque<usize>>],
     run: &(dyn Fn(usize) + Sync),
     stats: &[Mutex<WorkerStats>],
+    region: &RegionPanic,
     observe: bool,
 ) {
     let start = observe.then(Instant::now);
     let mut st = WorkerStats::default();
     loop {
-        let mut job = queues[w].lock().expect("queue poisoned").pop_front().map(|c| (c, false));
+        let mut job = lock_recovered(&queues[w]).pop_front().map(|c| (c, false));
         if job.is_none() {
             for off in 1..queues.len() {
                 let victim = (w + off) % queues.len();
-                if let Some(c) = queues[victim].lock().expect("queue poisoned").pop_back() {
+                if let Some(c) = lock_recovered(&queues[victim]).pop_back() {
                     job = Some((c, true));
                     break;
                 }
@@ -327,7 +384,9 @@ fn worker_loop(
         }
         match job {
             Some((c, stolen)) => {
-                run(c);
+                if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(|| run(c))) {
+                    region.record(c, payload);
+                }
                 st.tasks += 1;
                 st.steals += u64::from(stolen);
             }
@@ -337,7 +396,7 @@ fn worker_loop(
     if let Some(t0) = start {
         st.busy_ns = t0.elapsed().as_nanos() as u64;
     }
-    *stats[w].lock().expect("stats poisoned") = st;
+    *lock_recovered(&stats[w]) = st;
 }
 
 #[cfg(test)]
@@ -440,5 +499,59 @@ mod tests {
     #[test]
     fn pool_width_clamps_to_one() {
         assert_eq!(Pool::new(0).threads(), 1);
+    }
+
+    /// Regression (ISSUE 3 satellite): a panicking task must fail the
+    /// region — original payload rethrown on the caller thread, no hang,
+    /// no silently dropped chunks — and leave the pool reusable.
+    #[test]
+    fn panicking_task_fails_region_with_original_payload() {
+        for t in [1, 4] {
+            let pool = Pool::new(t);
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.parallel_map(1000, |i| {
+                    if i == 613 {
+                        panic!("task 613 exploded");
+                    }
+                    i
+                })
+            }));
+            let payload = result.expect_err("region must fail");
+            let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert_eq!(msg, "task 613 exploded", "threads {t}");
+            // The pool (and its poisoning-free locks) must remain fully
+            // usable after a failed region.
+            let ok = pool.parallel_map(100, |i| i * 2);
+            assert_eq!(ok, (0..100).map(|i| i * 2).collect::<Vec<_>>(), "threads {t}");
+        }
+    }
+
+    #[test]
+    fn first_panic_by_chunk_order_is_rethrown() {
+        // Every chunk panics; the deterministic winner is chunk 0 —
+        // what the serial path would have hit first — not whichever
+        // worker lost the race.
+        for t in [2, 7] {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                Pool::new(t).parallel_chunks(1000, |r: Range<usize>| {
+                    panic!("chunk starting at {}", r.start);
+                })
+            }));
+            let payload = result.expect_err("region must fail");
+            let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert_eq!(msg, "chunk starting at 0", "threads {t}");
+        }
+    }
+
+    #[test]
+    fn panic_in_parallel_for_propagates() {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Pool::new(3).parallel_for(64, |i| {
+                if i % 2 == 1 {
+                    panic!("odd index");
+                }
+            })
+        }));
+        assert!(result.is_err());
     }
 }

@@ -51,6 +51,13 @@ impl CycleFsm {
     pub fn reset(&mut self) {
         self.t = 0;
     }
+
+    /// Fault-injection hook: flips bit `bit % N` of the `N`-bit state
+    /// register (the hardware register is `t mod 2^N`, so only the low
+    /// `N` bits physically exist). Used by the `rtlsim.fsm.state` site.
+    pub fn inject_state_flip(&mut self, bit: u32) {
+        self.t ^= 1u64 << (bit % self.n.bits());
+    }
 }
 
 /// The operand MUX: selects bit `x_{N-1-z}` of the (offset-binary) operand
@@ -89,6 +96,23 @@ mod tests {
             let bit = operand_mux(x, n, fsm.clock());
             assert_eq!(bit, seq::stream_bit(x, n, t), "t={t}");
         }
+    }
+
+    #[test]
+    fn state_flip_changes_then_reset_recovers() {
+        let n = Precision::new(4).unwrap();
+        let mut clean = CycleFsm::new(n);
+        let mut hit = CycleFsm::new(n);
+        let a = clean.clock();
+        let b = hit.clock();
+        assert_eq!(a, b);
+        hit.inject_state_flip(0);
+        // The upset perturbs the select sequence relative to the clean
+        // FSM (state 1 -> 0; next clock yields select for t=1 again).
+        assert_eq!(hit.clock(), a);
+        hit.reset();
+        clean.reset();
+        assert_eq!(hit.clock(), clean.clock());
     }
 
     #[test]

@@ -11,14 +11,26 @@
 
 use sc_core::sng::BitstreamGenerator;
 use sc_core::Precision;
+use sc_fault::{FaultKind, FaultSite};
 
 /// A cascaded digit-counter Halton generator with comparator output.
+///
+/// Registers the `rtlsim.halton.state` fault site: an armed plan
+/// perturbs one digit register per fired cycle (`flip` randomizes it,
+/// `stuck0`/`stuck1` force it to 0 / `base−1`, `starve` makes the
+/// cascade miss its increment), corrupting the radical-inverse sequence
+/// from that point on — a generator-state fault, not a stream-bit one.
 #[derive(Debug, Clone)]
 pub struct HaltonRtl {
     n: Precision,
     base: u32,
     /// Digit registers, least significant first.
     digits: Vec<u32>,
+    fault: Option<FaultSite>,
+    fault_key: u64,
+    /// Monotone draw index (never reset: transient faults are a
+    /// property of time, not of the restarted stream).
+    ticks: u64,
 }
 
 impl HaltonRtl {
@@ -37,7 +49,20 @@ impl HaltonRtl {
             cap *= base as u64;
             l += 1;
         }
-        HaltonRtl { n, base, digits: vec![0; l.max(1) as usize] }
+        HaltonRtl {
+            n,
+            base,
+            digits: vec![0; l.max(1) as usize],
+            fault: sc_fault::site(crate::faults::sites::HALTON_STATE),
+            fault_key: 0,
+            ticks: 0,
+        }
+    }
+
+    /// Sets the fault-draw key decorrelating this generator from its
+    /// siblings.
+    pub fn set_fault_key(&mut self, key: u64) {
+        self.fault_key = key;
     }
 
     /// Number of digit registers (the Table 2 "SNG Reg" cost driver).
@@ -78,11 +103,27 @@ impl BitstreamGenerator for HaltonRtl {
     }
 
     fn next_bit(&mut self, code: u32) -> bool {
+        let mut starve = false;
+        if let Some(site) = &self.fault {
+            let idx = self.ticks;
+            self.ticks += 1;
+            if let Some(entropy) = site.transient(self.fault_key, idx) {
+                let d = (entropy as usize) % self.digits.len();
+                match site.kind() {
+                    FaultKind::Transient => self.digits[d] = (entropy >> 32) as u32 % self.base,
+                    FaultKind::StuckAt0 => self.digits[d] = 0,
+                    FaultKind::StuckAt1 => self.digits[d] = self.base - 1,
+                    FaultKind::Starve => starve = true,
+                }
+            }
+        }
         let mask = (self.n.stream_len() - 1) as u32;
         let code = (code & mask) as u128;
         let (num, den) = self.value_fraction();
         let bit = (num as u128) << self.n.bits() < code * den as u128;
-        self.tick();
+        if !starve {
+            self.tick();
+        }
         bit
     }
 

@@ -25,10 +25,15 @@
 //!   DATE'14 baseline, proven equal to the behavioural sequence.
 //! * [`vcd`] — value-change-dump waveform output for inspecting runs in
 //!   standard viewers (GTKWave).
+//! * [`faults`] — the named `sc-fault` injection sites these models
+//!   register (`rtlsim.mac.stream`, `rtlsim.mac.acc`, `rtlsim.fsm.state`,
+//!   `rtlsim.halton.state`, `rtlsim.mvm.lane`). With no `SC_FAULTS` plan
+//!   armed every datapath is bit-identical to the fault-free model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod fsm;
 pub mod halton_rtl;
 pub mod mac;

@@ -2,7 +2,9 @@
 //! (Fig. 1(c) + Sec. 2.4) and the conventional LFSR-based bipolar
 //! multiplier (Fig. 1(a)).
 
+use crate::faults::MacFaults;
 use crate::fsm::{operand_mux, CycleFsm};
+use crate::halton_rtl::HaltonRtl;
 use sc_core::mac::SaturatingAccumulator;
 use sc_core::sng::{BitstreamGenerator, LfsrSng};
 use sc_core::{Error, Precision};
@@ -39,11 +41,14 @@ pub struct ProposedMacRtl {
     /// Down counter gating the operation.
     down: u64,
     acc: SaturatingAccumulator,
+    faults: MacFaults,
 }
 
 impl ProposedMacRtl {
     /// Creates the MAC at precision `n` with `extra_bits` accumulation
-    /// bits. The FSM starts at its reset state.
+    /// bits. The FSM starts at its reset state. Fault sites
+    /// (`rtlsim.mac.stream`, `rtlsim.mac.acc`, `rtlsim.fsm.state`) are
+    /// resolved against the active `SC_FAULTS` plan here.
     pub fn new(n: Precision, extra_bits: u32) -> Self {
         ProposedMacRtl {
             n,
@@ -52,12 +57,20 @@ impl ProposedMacRtl {
             w_sign: false,
             down: 0,
             acc: SaturatingAccumulator::new(n, extra_bits),
+            faults: MacFaults::resolve(),
         }
     }
 
     /// The operand precision.
     pub fn precision(&self) -> Precision {
         self.n
+    }
+
+    /// Sets the fault-draw key decorrelating this MAC instance from its
+    /// siblings (e.g. a trial or lane index). No effect on disarmed
+    /// runs.
+    pub fn set_fault_key(&mut self, key: u64) {
+        self.faults.set_key(key);
     }
 
     /// Loads a new `(w, x)` pair: flips the sign bit of `x` into the
@@ -90,9 +103,20 @@ impl ProposedMacRtl {
         if self.down == 0 {
             return;
         }
-        let sel = self.fsm.clock();
-        let bit = operand_mux(self.x_reg, self.n, sel) ^ self.w_sign;
-        self.acc.count(bit);
+        if self.faults.armed() {
+            let idx = self.faults.next_cycle();
+            self.faults.fsm_upset(idx, &mut self.fsm);
+            let sel = self.fsm.clock();
+            let bit = operand_mux(self.x_reg, self.n, sel) ^ self.w_sign;
+            if let Some(b) = self.faults.stream_bit(idx, bit) {
+                self.acc.count(b);
+            }
+            self.faults.acc_upset(idx, &mut self.acc);
+        } else {
+            let sel = self.fsm.clock();
+            let bit = operand_mux(self.x_reg, self.n, sel) ^ self.w_sign;
+            self.acc.count(bit);
+        }
         self.down -= 1;
     }
 
@@ -125,19 +149,51 @@ impl ProposedMacRtl {
     }
 }
 
-/// The conventional LFSR-based bipolar SC multiplier datapath of
-/// Fig. 1(a): two LFSR+comparator SNGs, an XNOR gate, and an up/down
-/// counter running for exactly `2^N` cycles.
+/// One conventional stream generator: either an LFSR+comparator SNG or
+/// the cascaded digit-counter Halton generator. A concrete enum (not a
+/// trait object) keeps the datapath `Clone` and allocation-free.
+#[derive(Debug, Clone)]
+enum ConvSng {
+    Lfsr(LfsrSng),
+    Halton(HaltonRtl),
+}
+
+impl ConvSng {
+    fn next_bit(&mut self, code: u32) -> bool {
+        match self {
+            ConvSng::Lfsr(g) => g.next_bit(code),
+            ConvSng::Halton(g) => g.next_bit(code),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            ConvSng::Lfsr(g) => g.reset(),
+            ConvSng::Halton(g) => g.reset(),
+        }
+    }
+
+    fn set_fault_key(&mut self, key: u64) {
+        if let ConvSng::Halton(g) = self {
+            g.set_fault_key(key);
+        }
+    }
+}
+
+/// The conventional bipolar SC multiplier datapath of Fig. 1(a): two
+/// decorrelated SNGs (LFSR pair, or Halton bases 2/3), an XNOR gate,
+/// and an up/down counter running for exactly `2^N` cycles.
 #[derive(Debug, Clone)]
 pub struct ConventionalMacRtl {
     n: Precision,
-    sng_x: LfsrSng,
-    sng_w: LfsrSng,
+    sng_x: ConvSng,
+    sng_w: ConvSng,
     /// Bipolar comparator thresholds.
     tx: u32,
     tw: u32,
     remaining: u64,
     acc: SaturatingAccumulator,
+    faults: MacFaults,
 }
 
 impl ConventionalMacRtl {
@@ -149,13 +205,38 @@ impl ConventionalMacRtl {
     pub fn new(n: Precision, extra_bits: u32) -> Result<Self, Error> {
         Ok(ConventionalMacRtl {
             n,
-            sng_x: LfsrSng::new(n, 0, 1)?,
-            sng_w: LfsrSng::new(n, 1, (n.stream_len() / 2) as u32 + 1)?,
+            sng_x: ConvSng::Lfsr(LfsrSng::new(n, 0, 1)?),
+            sng_w: ConvSng::Lfsr(LfsrSng::new(n, 1, (n.stream_len() / 2) as u32 + 1)?),
             tx: 0,
             tw: 0,
             remaining: 0,
             acc: SaturatingAccumulator::new(n, extra_bits),
+            faults: MacFaults::resolve(),
         })
+    }
+
+    /// Creates the multiplier with the Halton low-discrepancy SNG pair
+    /// (bases 2 for `x` and 3 for `w`, per the paper's footnote 3) —
+    /// the DATE'14 baseline at the register-transfer level.
+    pub fn new_halton(n: Precision, extra_bits: u32) -> Self {
+        ConventionalMacRtl {
+            n,
+            sng_x: ConvSng::Halton(HaltonRtl::new(n, 2)),
+            sng_w: ConvSng::Halton(HaltonRtl::new(n, 3)),
+            tx: 0,
+            tw: 0,
+            remaining: 0,
+            acc: SaturatingAccumulator::new(n, extra_bits),
+            faults: MacFaults::resolve(),
+        }
+    }
+
+    /// Sets the fault-draw key for this instance (also fans out to the
+    /// Halton generators' `rtlsim.halton.state` site, when present).
+    pub fn set_fault_key(&mut self, key: u64) {
+        self.faults.set_key(key);
+        self.sng_x.set_fault_key(key ^ 0x5851_F42D_4C95_7F2D);
+        self.sng_w.set_fault_key(key ^ 0x1405_7B7E_F767_814F);
     }
 
     /// Loads signed codes `(w, x)`; the SNGs restart and the stream length
@@ -189,7 +270,16 @@ impl ConventionalMacRtl {
         }
         let bx = self.sng_x.next_bit(self.tx);
         let bw = self.sng_w.next_bit(self.tw);
-        self.acc.count(bx == bw); // XNOR
+        let bit = bx == bw; // XNOR
+        if self.faults.armed() {
+            let idx = self.faults.next_cycle();
+            if let Some(b) = self.faults.stream_bit(idx, bit) {
+                self.acc.count(b);
+            }
+            self.faults.acc_upset(idx, &mut self.acc);
+        } else {
+            self.acc.count(bit);
+        }
         self.remaining -= 1;
     }
 
@@ -354,6 +444,19 @@ mod tests {
             rtl.load(w, x).unwrap();
             assert_eq!(rtl.run_to_done(), 64);
             // Note the operand order: ConventionalMultiplier takes (x, w).
+            assert_eq!(rtl.value(), gold.multiply_bipolar(x, w), "w={w} x={x}");
+        }
+    }
+
+    #[test]
+    fn conventional_halton_rtl_equals_behavioural() {
+        let n = p(6);
+        let mut gold = ConventionalMultiplier::new(n, ConvScMethod::Halton).unwrap();
+        for &(w, x) in &[(31i32, 31i32), (-32, 31), (0, 17), (-15, -15), (5, -27)] {
+            let mut rtl = ConventionalMacRtl::new_halton(n, 8);
+            rtl.load(w, x).unwrap();
+            assert_eq!(rtl.run_to_done(), 64);
+            // Operand order: ConventionalMultiplier takes (x, w).
             assert_eq!(rtl.value(), gold.multiply_bipolar(x, w), "w={w} x={x}");
         }
     }

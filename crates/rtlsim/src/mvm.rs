@@ -1,9 +1,11 @@
 //! RTL model of the BISC-MVM (Fig. 3): `p` lanes sharing one FSM and one
 //! down counter.
 
+use crate::faults::MacFaults;
 use crate::fsm::{operand_mux, CycleFsm};
 use sc_core::mac::SaturatingAccumulator;
 use sc_core::{Error, Precision};
+use sc_fault::{FaultKind, FaultSite};
 
 /// The vectorized SC-MAC array at the register-transfer level.
 ///
@@ -24,13 +26,19 @@ pub struct BiscMvmRtl {
     x_regs: Vec<u32>,
     accs: Vec<SaturatingAccumulator>,
     total_cycles: u64,
+    faults: MacFaults,
+    lane_site: Option<FaultSite>,
+    /// Persistent per-lane defects drawn from `rtlsim.mvm.lane`
+    /// (`true` = this lane is defective for the instance's lifetime).
+    lane_faulty: Vec<bool>,
 }
 
 impl BiscMvmRtl {
     /// Creates a `p`-lane MVM at precision `n` with `extra_bits`
-    /// accumulation bits.
+    /// accumulation bits. Per-lane persistent faults (`rtlsim.mvm.lane`)
+    /// are drawn here; per-cycle sites resolve like the single MAC's.
     pub fn new(n: Precision, p: usize, extra_bits: u32) -> Self {
-        BiscMvmRtl {
+        let mut mvm = BiscMvmRtl {
             n,
             fsm: CycleFsm::new(n),
             w_sign: false,
@@ -38,12 +46,39 @@ impl BiscMvmRtl {
             x_regs: vec![0; p],
             accs: vec![SaturatingAccumulator::new(n, extra_bits); p],
             total_cycles: 0,
+            faults: MacFaults::resolve(),
+            lane_site: sc_fault::site(crate::faults::sites::MVM_LANE),
+            lane_faulty: vec![false; p],
+        };
+        mvm.redraw_lanes(0);
+        mvm
+    }
+
+    /// Sets the fault-draw key for this instance; persistent lane
+    /// defects are redrawn under the new key.
+    pub fn set_fault_key(&mut self, key: u64) {
+        self.faults.set_key(key);
+        self.redraw_lanes(key);
+    }
+
+    fn redraw_lanes(&mut self, key: u64) {
+        if let Some(site) = &self.lane_site {
+            for (j, faulty) in self.lane_faulty.iter_mut().enumerate() {
+                *faulty =
+                    site.persistent(key ^ (j as u64).wrapping_mul(0xA24B_AED4_963E_E407)).is_some();
+            }
         }
     }
 
     /// The number of lanes `p`.
     pub fn lanes(&self) -> usize {
         self.x_regs.len()
+    }
+
+    /// Which lanes drew a persistent defect (all `false` when the
+    /// `rtlsim.mvm.lane` site is disarmed).
+    pub fn faulty_lanes(&self) -> &[bool] {
+        &self.lane_faulty
     }
 
     /// Loads a scalar-vector term `(w, x⃗)`.
@@ -77,13 +112,49 @@ impl BiscMvmRtl {
         if self.down == 0 {
             return;
         }
-        let sel = self.fsm.clock();
-        for (acc, &x) in self.accs.iter_mut().zip(&self.x_regs) {
-            let bit = operand_mux(x, self.n, sel) ^ self.w_sign;
-            acc.count(bit);
+        if self.faults.armed() || self.lane_site.is_some() {
+            self.clock_faulted();
+        } else {
+            let sel = self.fsm.clock();
+            for (acc, &x) in self.accs.iter_mut().zip(&self.x_regs) {
+                let bit = operand_mux(x, self.n, sel) ^ self.w_sign;
+                acc.count(bit);
+            }
         }
         self.down -= 1;
         self.total_cycles += 1;
+    }
+
+    /// The armed-path clock: shared-FSM upset first (it corrupts every
+    /// lane at once — the flip side of the shared-hardware economy),
+    /// then per-lane MUX/XOR with persistent lane defects applied at
+    /// the lane output, then per-lane counter upsets. Lane defects
+    /// follow the armed kind: `stuck0`/`stuck1` force the lane's stream
+    /// bit, `flip` inverts it (an inverted driver), `starve` disables
+    /// the lane's counter enable.
+    fn clock_faulted(&mut self) {
+        let idx = self.faults.next_cycle();
+        self.faults.fsm_upset(idx, &mut self.fsm);
+        let sel = self.fsm.clock();
+        let lane_kind = self.lane_site.as_ref().map(|s| s.kind());
+        for (j, (acc, &x)) in self.accs.iter_mut().zip(&self.x_regs).enumerate() {
+            let mut bit = operand_mux(x, self.n, sel) ^ self.w_sign;
+            if self.lane_faulty[j] {
+                match lane_kind.expect("faulty lane implies armed lane site") {
+                    FaultKind::Transient => bit = !bit,
+                    FaultKind::StuckAt0 => bit = false,
+                    FaultKind::StuckAt1 => bit = true,
+                    FaultKind::Starve => continue,
+                }
+            }
+            if let Some(b) = self.faults.stream_bit_lane(idx, j as u64, bit) {
+                acc.count(b);
+            }
+        }
+        if let Some(entropy) = self.faults.acc_entropy(idx) {
+            let lane = (entropy >> 32) as usize % self.accs.len();
+            self.accs[lane].flip_bit((entropy & 0xFFFF) as u32);
+        }
     }
 
     /// Clocks until the current term completes; returns cycles consumed.

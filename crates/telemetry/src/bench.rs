@@ -107,6 +107,13 @@ pub fn bench_run_in(
     metrics::set_enabled(true);
 
     let mut ctx = BenchCtx::new(name, out_dir);
+    // A result produced under fault injection must say so: the spec is
+    // recorded verbatim (sc-fault reads the same variable), keeping
+    // faulted manifests attributable. Empty/zero-rate specs still
+    // record — the run is bitwise clean, but the intent is visible.
+    if let Ok(spec) = std::env::var("SC_FAULTS") {
+        ctx.config("sc_faults", spec);
+    }
     println!("{title}");
     println!("{}", "=".repeat(title.chars().count().min(72)));
     if ctx.quick() {

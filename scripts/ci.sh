@@ -38,4 +38,43 @@ SC_THREADS=1 cargo test --workspace -q
 echo "==> cargo test (SC_THREADS=4)"
 SC_THREADS=4 cargo test --workspace -q
 
+echo "==> fault gate: workspace suite under a nonzero SC_FAULTS plan"
+# Tests that depend on clean arithmetic install their own scoped plans
+# (which override the env), so the suite must stay green with ambient
+# faults armed; this catches any path that forgot to resolve its sites.
+SC_FAULTS="rtlsim.mvm.lane:stuck0@0.001;seed=1" SC_THREADS=4 \
+    cargo test --workspace -q
+
+echo "==> fault gate: fault_sweep --quick"
+# Self-asserting: zero-rate cells are bitwise fault-free, and the
+# proposed SC degrades strictly more slowly than fixed-point binary at
+# every rate >= 1e-3.
+cargo run --release -q -p sc-bench --bin fault_sweep -- --quick
+
+echo "==> fault gate: manifests record injection/detection/degradation"
+python3 - <<'EOF'
+import json
+c = json.load(open("results/fault_sweep.manifest.json"))["metrics"]["counters"]
+assert c.get("fault.injected", 0) > 0, "fault_sweep manifest missing fault.injected"
+EOF
+SC_FAULTS="accel.sram.input:flip@0.005;accel.tile.output:flip@0.02;seed=3" \
+    cargo run --release -q -p sc-bench --bin accel_layers -- --quick >/dev/null
+python3 - <<'EOF'
+import json
+m = json.load(open("results/accel_layers.manifest.json"))
+c = m["metrics"]["counters"]
+assert "sc_faults" in m["config"], "manifest must record the SC_FAULTS spec"
+for k in ("fault.injected", "fault.detected", "fault.corrected"):
+    assert c.get(k, 0) > 0, f"accel_layers manifest missing {k}"
+EOF
+
+echo "==> fault gate: zero-rate plan is bitwise identical to no plan"
+# The determinism suite asserts unarmed == zero-rate fingerprints and
+# faulted-run reproducibility at SC_THREADS in {1, 2, 7}; run it under
+# both CI thread counts so the identity holds at 1 and 4 workers too.
+SC_THREADS=1 cargo test -q -p sc-bench --test determinism \
+    accel_layer_under_faults_identical_across_thread_counts
+SC_THREADS=4 cargo test -q -p sc-bench --test determinism \
+    accel_layer_under_faults_identical_across_thread_counts
+
 echo "CI gate passed."
