@@ -156,20 +156,47 @@ impl TileEngine {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::CodeOutOfRange`] if any code exceeds the
+    /// Returns [`Error::InvalidGeometry`] if the geometry fails
+    /// validation, [`Error::CodeOutOfRange`] if any code exceeds the
     /// precision, or [`Error::LengthMismatch`] if the buffers do not
     /// match the geometry.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the geometry is invalid.
     pub fn run_layer(
         &self,
         g: &ConvGeometry,
         input: &[i32],
         weights: &[i32],
     ) -> Result<LayerRun, Error> {
-        assert!(g.is_valid(), "invalid conv geometry");
+        self.run_layer_at(g, input, weights, None)
+    }
+
+    /// [`run_layer`](TileEngine::run_layer) at a reduced quality tier:
+    /// `effective_bits = Some(s)` runs **every** MAC in the
+    /// truncated-stream progressive-precision mode (top `s` weight bits,
+    /// `2^(N−s)`-fold shorter streams — see
+    /// [`sc_core::mac::EarlyTerminationScMac`]), whatever the configured
+    /// arithmetic. This is the serving layer's overload-degradation
+    /// entry point: the same fallback PR 3 uses per-tile after retry
+    /// exhaustion, applied layer-wide up front. `None` is the
+    /// full-precision path, bitwise identical to `run_layer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_layer`](TileEngine::run_layer), plus
+    /// [`Error::UnsupportedPrecision`] if `s` is 0 or exceeds `N`.
+    pub fn run_layer_at(
+        &self,
+        g: &ConvGeometry,
+        input: &[i32],
+        weights: &[i32],
+        effective_bits: Option<u32>,
+    ) -> Result<LayerRun, Error> {
+        if !g.is_valid() {
+            return Err(Error::InvalidGeometry { geometry: format!("{g:?}") });
+        }
+        if let Some(s) = effective_bits {
+            // Validate before any tile work is spawned.
+            EarlyTerminationScMac::new(self.n, s)?;
+        }
         if input.len() != g.z * g.in_h * g.in_w {
             return Err(Error::LengthMismatch {
                 expected: g.z * g.in_h * g.in_w,
@@ -230,8 +257,16 @@ impl TileEngine {
             // point of BISC).
             let patch_h = (r_hi - r1 - 1) * g.stride + g.k;
             let patch_w = (c_hi - c1 - 1) * g.stride + g.k;
-            let clean =
-                self.run_tile(g, input, weights, (m1, m_hi), (r1, r_hi), (c1, c_hi), p, None)?;
+            let clean = self.run_tile(
+                g,
+                input,
+                weights,
+                (m1, m_hi),
+                (r1, r_hi),
+                (c1, c_hi),
+                p,
+                effective_bits,
+            )?;
             let (cycles, writes, degraded) = match &tile_site {
                 Some(site) => self.verify_tile(
                     site,
@@ -244,6 +279,7 @@ impl TileEngine {
                     (r1, r_hi),
                     (c1, c_hi),
                     p,
+                    effective_bits,
                 )?,
                 None => (clean.0, clean.1, false),
             };
@@ -333,6 +369,7 @@ impl TileEngine {
         r_range: (usize, usize),
         c_range: (usize, usize),
         p: usize,
+        effective_bits: Option<u32>,
     ) -> Result<VerifiedTile, Error> {
         let (base_cycles, clean_writes) = clean;
         let acc = SaturatingAccumulator::new(self.n, self.extra_bits);
@@ -363,7 +400,13 @@ impl TileEngine {
             return Err(Error::RetryExhausted { what: format!("tile {t} outputs"), attempts });
         }
         sc_fault::record_degraded(1);
-        let s = self.policy.degrade_bits.clamp(1, self.n.bits());
+        // Under a layer-wide quality tier the degraded recompute never
+        // runs *above* the tier it is rescuing.
+        let s = self
+            .policy
+            .degrade_bits
+            .clamp(1, self.n.bits())
+            .min(effective_bits.unwrap_or(u32::MAX));
         let (deg_cycles, deg_writes) =
             self.run_tile(g, input, weights, m_range, r_range, c_range, p, Some(s))?;
         Ok((total_cycles + deg_cycles, deg_writes, true))
@@ -673,6 +716,70 @@ mod tests {
         assert_eq!(run.traffic.output_words, (g.m * g.r() * g.c()) as u64);
         assert!(run.traffic.input_words > 0);
         assert!(run.traffic.weight_words >= (g.m * g.depth()) as u64);
+    }
+
+    #[test]
+    fn invalid_geometry_is_an_error_not_a_panic() {
+        let n = Precision::new(6).unwrap();
+        let engine = TileEngine::new(n, Tiling::default(), AccelArithmetic::Fixed, 2);
+        // Kernel larger than the input plane: a malformed request must
+        // surface as a serving-path error.
+        let g = ConvGeometry { z: 1, in_h: 2, in_w: 8, m: 1, k: 3, stride: 1 };
+        match engine.run_layer(&g, &[0; 16], &[0; 9]) {
+            Err(Error::InvalidGeometry { .. }) => {}
+            other => panic!("expected InvalidGeometry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_tier_is_bitwise_identical_to_run_layer() {
+        let g = small_geometry();
+        let n = Precision::new(7).unwrap();
+        let (input, weights) = test_data(&g, n);
+        let engine = TileEngine::new(
+            n,
+            Tiling { t_m: 2, t_r: 2, t_c: 3 },
+            AccelArithmetic::ProposedSerial,
+            8,
+        );
+        let full = engine.run_layer(&g, &input, &weights).unwrap();
+        let tier_n = engine.run_layer_at(&g, &input, &weights, Some(n.bits())).unwrap();
+        // s = N early termination is exactly the full multiplier, but
+        // EDT latency is ⌊|w|⌋ per term with no shift — cycles may
+        // differ from the lock-step MVM; outputs must not.
+        assert_eq!(full.outputs, tier_n.outputs);
+    }
+
+    #[test]
+    fn degraded_tiers_shorten_streams_and_bound_error() {
+        let g = small_geometry();
+        let n = Precision::new(8).unwrap();
+        let (input, weights) = test_data(&g, n);
+        let engine = TileEngine::new(
+            n,
+            Tiling { t_m: 2, t_r: 2, t_c: 2 },
+            AccelArithmetic::ProposedSerial,
+            8,
+        );
+        let full = engine.run_layer(&g, &input, &weights).unwrap();
+        let mut prev_cycles = full.cycles;
+        for s in [6u32, 4, 2] {
+            let run = engine.run_layer_at(&g, &input, &weights, Some(s)).unwrap();
+            // Streams shrink geometrically (to zero once 2^(N−s) exceeds
+            // every |w|), so cycles are monotone and below full.
+            assert!(run.cycles < full.cycles, "s={s}: {} !< {}", run.cycles, full.cycles);
+            assert!(run.cycles <= prev_cycles, "s={s}: {} > {prev_cycles}", run.cycles);
+            prev_cycles = run.cycles;
+            // Per-output error vs the full-precision run is bounded by
+            // depth × (EDT bound + the SC-MAC's own N/2 bound).
+            let bound = g.depth() as f64
+                * (EarlyTerminationScMac::new(n, s).unwrap().error_bound() + n.bits() as f64 / 2.0);
+            for (a, b) in run.outputs.iter().zip(&full.outputs) {
+                assert!(((a - b).abs() as f64) <= bound, "s={s}: |{a} - {b}| > {bound}");
+            }
+        }
+        assert!(engine.run_layer_at(&g, &input, &weights, Some(0)).is_err());
+        assert!(engine.run_layer_at(&g, &input, &weights, Some(9)).is_err());
     }
 
     #[test]

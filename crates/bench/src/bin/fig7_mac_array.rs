@@ -56,7 +56,9 @@ fn print_panel(title: &str, bits: u32, float_weights: &[f32]) {
         );
         rows.push((name, m));
     }
-    let find = |n: &str| rows.iter().find(|(name, _)| *name == n).unwrap().1;
+    let find = |n: &str| {
+        rows.iter().find(|(name, _)| *name == n).expect("all four designs were just measured").1
+    };
     let (fix, conv, ours, ours8) = (find("FIX"), find("Conv. SC"), find("Ours"), find("Ours-8"));
     println!("\nheadline ratios (paper's claims in parentheses):");
     println!(

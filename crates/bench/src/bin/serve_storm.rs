@@ -1,0 +1,369 @@
+//! Serving-layer storm bench: overload and fault resilience of
+//! `sc-serve` in front of the BISC-MVM accelerator, on the virtual
+//! clock.
+//!
+//! Three storms, all bitwise reproducible:
+//!
+//! * **ramp** — arrival spacing shrinks from comfortable to far past
+//!   saturation; shows the degradation ladder engaging tier by tier.
+//! * **spike** — a burst many times the queue capacity lands at once on
+//!   a steady background; run twice, once through a *naive* front-end
+//!   (queue big enough to hold everyone, no shedding pressure, no
+//!   degradation) and once through the *protected* one (small
+//!   shed-by-deadline queue + truncated-stream degradation), to show the
+//!   protection bounding tail latency and raising goodput.
+//! * **faulted** — the spike against a backend whose calls fail with
+//!   probability 0.9 (scoped `serve.backend` plan): retries, backoff,
+//!   and the circuit breaker failing fast.
+//!
+//! Also checked here: the zero-rate fault identity (a `@0` plan is
+//! bitwise invisible), the truncated-stream quality bound for every
+//! degradation tier, and full-tier neural serving agreeing exactly with
+//! full-precision inference. Emits `results/serve_storm.json` plus the
+//! usual manifest; `--quick` shrinks the traces.
+
+use sc_accel::{AccelArithmetic, ConvGeometry, TileEngine, Tiling};
+use sc_bench::cli;
+use sc_core::mac::EarlyTerminationScMac;
+use sc_core::Precision;
+use sc_neural::layers::{Conv2d, LayerKind, Relu};
+use sc_neural::net::Network;
+use sc_neural::tensor::Tensor;
+use sc_serve::{
+    AccelBackend, AccelPayload, Backend, BreakerConfig, DegradePolicy, DegradeTier, NeuralBackend,
+    Request, RetryPolicy, Server, ServerConfig, ShedPolicy,
+};
+use sc_telemetry::json::Json;
+
+const N_BITS: u32 = 8;
+const QUEUE_CAPACITY: usize = 16;
+
+fn precision() -> Precision {
+    Precision::new(N_BITS).expect("valid precision")
+}
+
+/// Degradation ladder: deeper queue → fewer effective weight bits.
+fn ladder() -> DegradePolicy {
+    DegradePolicy::new(vec![
+        DegradeTier { occupancy: 0.5, effective_bits: 6 },
+        DegradeTier { occupancy: 0.75, effective_bits: 4 },
+        DegradeTier { occupancy: 0.9, effective_bits: 2 },
+    ])
+}
+
+fn protected_config() -> ServerConfig {
+    ServerConfig {
+        queue_capacity: QUEUE_CAPACITY,
+        shed_policy: ShedPolicy::ShedByDeadline,
+        retry: RetryPolicy { max_attempts: 3, base: 256, cap: 4096, seed: 0x5EED },
+        breaker: BreakerConfig { failure_threshold: 4, cooldown: 8192 },
+        degrade: ladder(),
+        failure_ticks: 64,
+    }
+}
+
+/// The no-protection baseline: a queue big enough to never shed, no
+/// degradation. Deadlines and retries stay the same.
+fn naive_config(requests: usize) -> ServerConfig {
+    ServerConfig {
+        queue_capacity: requests.max(1),
+        shed_policy: ShedPolicy::RejectNewest,
+        degrade: DegradePolicy::none(),
+        ..protected_config()
+    }
+}
+
+/// Workload payloads of different sizes, so service time is
+/// data-dependent per request.
+fn payloads() -> Vec<AccelPayload> {
+    [(2usize, 7usize, 3usize), (3, 9, 5), (2, 11, 4)]
+        .iter()
+        .map(|&(z, hw, m)| {
+            let geometry = ConvGeometry { z, in_h: hw, in_w: hw, m, k: 3, stride: 1 };
+            let input: Vec<i32> =
+                (0..z * hw * hw).map(|i| ((i as i32 * 37 + 11) % 33) - 16).collect();
+            let weights: Vec<i32> =
+                (0..m * geometry.depth()).map(|i| ((i as i32 * 13 + 5) % 25) - 12).collect();
+            AccelPayload { geometry, input, weights }
+        })
+        .collect()
+}
+
+fn backend() -> AccelBackend {
+    let engine = TileEngine::new(
+        precision(),
+        Tiling { t_m: 2, t_r: 4, t_c: 4 },
+        AccelArithmetic::ProposedSerial,
+        4,
+    );
+    AccelBackend::new(engine, payloads())
+}
+
+/// Ramp trace: spacing falls from `2s` to `s/8` over the run.
+fn ramp_trace(n: u64, s: u64) -> Vec<Request> {
+    let mut t = 0u64;
+    (0..n)
+        .map(|i| {
+            let spacing = (2 * s).saturating_sub(i * (2 * s - s / 8) / n.max(1)).max(s / 8);
+            t += spacing;
+            Request { id: i, arrival: t, deadline: t + 6 * s, payload: (i % 3) as usize }
+        })
+        .collect()
+}
+
+/// Spike trace: a steady background with a burst of `burst` requests
+/// landing on one tick.
+fn spike_trace(background: u64, burst: u64, s: u64) -> Vec<Request> {
+    let mut reqs: Vec<Request> = (0..background)
+        .map(|i| {
+            let t = (i + 1) * 2 * s;
+            Request { id: i, arrival: t, deadline: t + 6 * s, payload: (i % 3) as usize }
+        })
+        .collect();
+    let spike_at = 8 * s;
+    reqs.extend((0..burst).map(|i| {
+        let id = background + i;
+        Request { id, arrival: spike_at, deadline: spike_at + 6 * s, payload: (id % 3) as usize }
+    }));
+    reqs
+}
+
+struct ScenarioRow {
+    name: &'static str,
+    requests: usize,
+    report: sc_serve::ServeReport,
+}
+
+impl ScenarioRow {
+    fn to_json(&self) -> Json {
+        let r = &self.report;
+        Json::obj(vec![
+            ("scenario", Json::Str(self.name.to_string())),
+            ("requests", Json::UInt(self.requests as u64)),
+            ("completed", Json::UInt(r.completed())),
+            (
+                "completed_by_tier",
+                Json::Arr(r.completed_by_tier.iter().map(|&c| Json::UInt(c)).collect()),
+            ),
+            ("degraded", Json::UInt(r.degraded())),
+            ("shed", Json::UInt(r.shed)),
+            ("timed_out", Json::UInt(r.timed_out)),
+            ("failed", Json::UInt(r.failed)),
+            ("breaker_rejected", Json::UInt(r.breaker_rejected)),
+            ("breaker_trips", Json::UInt(r.breaker_trips)),
+            ("retries", Json::UInt(r.retries)),
+            ("max_queue_depth", Json::UInt(r.max_queue_depth as u64)),
+            ("p50_ticks", Json::UInt(r.latency_percentile(50.0))),
+            ("p95_ticks", Json::UInt(r.latency_percentile(95.0))),
+            ("p99_ticks", Json::UInt(r.latency_percentile(99.0))),
+            ("horizon_ticks", Json::UInt(r.horizon)),
+        ])
+    }
+}
+
+fn print_row(row: &ScenarioRow) {
+    let r = &row.report;
+    println!(
+        "{:>16} | {:>4} | {:>5} {:>5} {:>4} {:>5} {:>4} {:>5} | {:>5} | {:>8} {:>8}",
+        row.name,
+        row.requests,
+        r.completed(),
+        r.degraded(),
+        r.shed,
+        r.timed_out,
+        r.failed,
+        r.breaker_rejected,
+        r.max_queue_depth,
+        r.latency_percentile(95.0),
+        r.latency_percentile(99.0),
+    );
+}
+
+fn main() {
+    sc_telemetry::bench_run(
+        "serve_storm",
+        "Serving-layer storms: backpressure, deadlines, retries, breaker, degradation",
+        run,
+    );
+}
+
+fn run(ctx: &mut sc_telemetry::BenchCtx) {
+    let quick = ctx.quick();
+    let (ramp_n, background, burst) = if quick { (40, 12, 48) } else { (120, 24, 96) };
+    let n = precision();
+
+    // Calibrate the virtual time scale: one full-precision service of
+    // the mid-size payload.
+    let s = backend().serve(1, None).expect("clean backend serves").cycles;
+    ctx.config("precision", n.bits());
+    ctx.config("service_ticks", s);
+    ctx.config("queue_capacity", QUEUE_CAPACITY);
+    ctx.config("ramp_requests", ramp_n);
+    ctx.config("spike_requests", background + burst);
+    ctx.config("shed_policy", ShedPolicy::ShedByDeadline.name());
+    println!("full-precision service time: {s} ticks; queue capacity {QUEUE_CAPACITY}\n");
+
+    let header = format!(
+        "{:>16} | {:>4} | {:>5} {:>5} {:>4} {:>5} {:>4} {:>5} | {:>5} | {:>8} {:>8}",
+        "scenario", "reqs", "done", "degr", "shed", "tout", "fail", "brkr", "depth", "p95", "p99"
+    );
+    println!("{header}");
+    cli::rule(&header);
+
+    let mut rows: Vec<ScenarioRow> = Vec::new();
+
+    // Ramp: the ladder engages as load crosses saturation.
+    let ramp = ramp_trace(ramp_n, s);
+    let report = Server::new(protected_config()).run(&mut backend(), ramp.clone());
+    assert_eq!(report.responses.len(), ramp.len(), "every request finalized exactly once");
+    assert!(report.max_queue_depth <= QUEUE_CAPACITY, "queue growth is bounded");
+    rows.push(ScenarioRow { name: "ramp", requests: ramp.len(), report });
+    print_row(rows.last().unwrap());
+
+    // Spike, naive vs protected.
+    let spike = spike_trace(background, burst, s);
+    let naive = Server::new(naive_config(spike.len())).run(&mut backend(), spike.clone());
+    rows.push(ScenarioRow { name: "spike-naive", requests: spike.len(), report: naive });
+    print_row(rows.last().unwrap());
+
+    let protected = Server::new(protected_config()).run(&mut backend(), spike.clone());
+    assert_eq!(protected.responses.len(), spike.len());
+    assert!(protected.max_queue_depth <= QUEUE_CAPACITY, "queue growth is bounded");
+    rows.push(ScenarioRow { name: "spike-protected", requests: spike.len(), report: protected });
+    print_row(rows.last().unwrap());
+
+    // Faulted spike: most backend calls fail; the breaker fails fast.
+    let faulted = {
+        let _g = sc_fault::scoped(
+            sc_fault::FaultPlan::parse("serve.backend:flip@0.9;seed=7").expect("valid spec"),
+        );
+        Server::new(protected_config()).run(&mut backend(), spike.clone())
+    };
+    assert!(faulted.retries > 0, "a mostly-dead backend must drive retries");
+    assert!(faulted.breaker_trips >= 1, "sustained failures must trip the breaker");
+    rows.push(ScenarioRow { name: "spike-faulted", requests: spike.len(), report: faulted });
+    print_row(rows.last().unwrap());
+
+    // The headline resilience claims, asserted (not just printed).
+    let find = |name: &str| &rows.iter().find(|r| r.name == name).unwrap().report;
+    let (naive, protected) = (find("spike-naive"), find("spike-protected"));
+    assert!(
+        protected.completed() > naive.completed(),
+        "protection must raise spike goodput: {} vs {}",
+        protected.completed(),
+        naive.completed()
+    );
+    assert!(
+        protected.latency_percentile(99.0) <= naive.latency_percentile(99.0),
+        "protection must bound spike p99: {} vs {}",
+        protected.latency_percentile(99.0),
+        naive.latency_percentile(99.0)
+    );
+    assert!(protected.degraded() > 0, "the spike must engage the degradation ladder");
+    println!(
+        "\ncheck: protected spike goodput {} > naive {}; p99 {} <= {}  [ok]",
+        protected.completed(),
+        naive.completed(),
+        protected.latency_percentile(99.0),
+        naive.latency_percentile(99.0)
+    );
+
+    // Zero-rate identity: a @0 serve fault plan is bitwise invisible.
+    let run_scoped = |spec: &str| {
+        let _g = sc_fault::scoped(sc_fault::FaultPlan::parse(spec).expect("valid spec"));
+        Server::new(protected_config()).run(&mut backend(), spike.clone()).fingerprint()
+    };
+    assert_eq!(
+        run_scoped(""),
+        run_scoped("serve.backend:flip@0;seed=7"),
+        "zero-rate plan must be bitwise identical to unarmed"
+    );
+    println!("check: zero-rate serve.backend plan is bitwise invisible  [ok]");
+
+    // Every degradation tier honours the truncated-stream error bound.
+    quality_bounds(n);
+    println!("check: every tier within the EDT error bound  [ok]");
+
+    // Neural serving: the full tier agrees exactly with full-precision
+    // inference; degraded tiers report their agreement.
+    let agreement = neural_agreement(ctx, quick);
+
+    let json = Json::obj(vec![
+        ("service_ticks", Json::UInt(s)),
+        ("scenarios", Json::Arr(rows.iter().map(ScenarioRow::to_json).collect())),
+        ("neural_agreement", agreement),
+    ]);
+    let path = "results/serve_storm.json";
+    sc_telemetry::export::write_json(path, &json).expect("write serve_storm.json");
+    ctx.record_artifact(path);
+    println!("\nwrote {path}");
+}
+
+/// Degraded outputs stay within `depth × (EDT bound + N/2)` of the
+/// full-precision outputs, per tier — the same bound the accelerator's
+/// per-tile degraded recompute honours.
+fn quality_bounds(n: Precision) {
+    let mut b = backend();
+    for payload in 0..b.payloads() {
+        let full = b.serve(payload, None).expect("clean serve");
+        let depth = b.payload(payload).geometry.depth() as f64;
+        for tier in ladder().tiers().to_vec() {
+            let s = tier.effective_bits;
+            let run = b.serve(payload, Some(s)).expect("degraded serve");
+            let bound = EarlyTerminationScMac::new(n, s).expect("valid s").error_bound();
+            let allowed = depth * (bound + n.bits() as f64 / 2.0);
+            for (i, (&d, &f)) in run.outputs.iter().zip(&full.outputs).enumerate() {
+                let err = (d - f).abs() as f64;
+                assert!(
+                    err <= allowed,
+                    "payload {payload} s={s} output {i}: |{d} - {f}| > {allowed}"
+                );
+            }
+        }
+    }
+}
+
+/// Serves a small network at every tier; returns per-tier agreement with
+/// the full-precision prediction and asserts the full tier is exact.
+fn neural_agreement(ctx: &mut sc_telemetry::BenchCtx, quick: bool) -> Json {
+    let n = precision();
+    let samples_n = if quick { 8 } else { 16 };
+    let net = || {
+        let mut rng = sc_neural::zoo::InitRng::new(0xD17);
+        Network::new(vec![
+            LayerKind::Conv(Conv2d::new(1, 6, 3, 1, 1, &mut rng)),
+            LayerKind::Relu(Relu::default()),
+            LayerKind::Conv(Conv2d::new(6, 10, 8, 1, 0, &mut rng)),
+        ])
+    };
+    let samples: Vec<Tensor> = (0..samples_n)
+        .map(|k| {
+            Tensor::new(
+                (0..64).map(|i| (((i + 13 * k) as f32) * 0.61).sin() * 0.7).collect(),
+                &[1, 8, 8],
+            )
+        })
+        .collect();
+    ctx.config("neural_samples", samples_n);
+
+    let mut b = NeuralBackend::new(net(), n, 2, 16, samples);
+    let full: Vec<i64> =
+        (0..samples_n).map(|p| b.predicted_class(p, None).expect("full serve")).collect();
+    // s = N is the exact multiplier: serving "degraded" at the full bit
+    // width must reproduce full-precision predictions bit for bit.
+    for (p, &f) in full.iter().enumerate() {
+        let exact = b.predicted_class(p, Some(N_BITS)).expect("s=N serve");
+        assert_eq!(exact, f, "s=N tier must agree exactly with full precision");
+    }
+    let mut pairs: Vec<(String, Json)> = Vec::new();
+    println!("\nneural agreement with full precision ({samples_n} samples):");
+    for s in [N_BITS, 6, 4, 2] {
+        let agree = (0..samples_n)
+            .filter(|&p| b.predicted_class(p, Some(s)).expect("serve") == full[p])
+            .count();
+        let frac = agree as f64 / samples_n as f64;
+        println!("  s={s}: {agree}/{samples_n} = {frac:.2}");
+        pairs.push((format!("s{s}"), Json::Num(frac)));
+    }
+    Json::Obj(pairs)
+}

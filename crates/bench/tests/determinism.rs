@@ -168,6 +168,72 @@ fn accel_layer_under_faults_identical_across_thread_counts() {
 }
 
 #[test]
+fn serve_layer_identical_across_thread_counts() {
+    use sc_serve::{
+        AccelBackend, AccelPayload, BreakerConfig, DegradePolicy, DegradeTier, Request,
+        RetryPolicy, Server, ServerConfig, ShedPolicy,
+    };
+    let n = Precision::new(8).unwrap();
+    let geometry = ConvGeometry { z: 2, in_h: 7, in_w: 7, m: 3, k: 3, stride: 1 };
+    let payload = AccelPayload {
+        input: (0..geometry.z * geometry.in_h * geometry.in_w)
+            .map(|i| ((i as i32 * 37 + 11) % 33) - 16)
+            .collect(),
+        weights: (0..geometry.m * geometry.depth())
+            .map(|i| ((i as i32 * 13 + 5) % 25) - 12)
+            .collect(),
+        geometry,
+    };
+    let backend = || {
+        let engine = TileEngine::new(
+            n,
+            Tiling { t_m: 2, t_r: 3, t_c: 3 },
+            AccelArithmetic::ProposedSerial,
+            4,
+        );
+        AccelBackend::new(engine, vec![payload.clone()])
+    };
+    // An overloading burst so shedding, degradation, retries, and the
+    // breaker all participate in the fingerprint.
+    let trace: Vec<Request> = (0..40)
+        .map(|i| Request { id: i, arrival: 100 + (i / 8) * 50, deadline: 40_000, payload: 0 })
+        .collect();
+    let config = || ServerConfig {
+        queue_capacity: 8,
+        shed_policy: ShedPolicy::ShedByDeadline,
+        retry: RetryPolicy { max_attempts: 3, base: 128, cap: 1024, seed: 0xA5 },
+        breaker: BreakerConfig { failure_threshold: 4, cooldown: 2048 },
+        degrade: DegradePolicy::new(vec![
+            DegradeTier { occupancy: 0.5, effective_bits: 6 },
+            DegradeTier { occupancy: 0.9, effective_bits: 3 },
+        ]),
+        failure_ticks: 32,
+    };
+    // Scoped inside the closure: armed only while THREADS_LOCK is held.
+    let run_with = |spec: &str| {
+        let _s = sc_fault::scoped(sc_fault::FaultPlan::parse(spec).unwrap());
+        Server::new(config()).run(&mut backend(), trace.clone()).fingerprint()
+    };
+    let mut clean: Option<Vec<u64>> = None;
+    with_threads("serve unarmed", || {
+        let fp = run_with("");
+        clean.get_or_insert_with(|| fp.clone());
+        fp
+    });
+    let clean = clean.unwrap();
+    with_threads("serve zero-rate", || {
+        let fp = run_with("serve.backend:flip@0;seed=4");
+        assert_eq!(fp, clean, "zero-rate serve plan must be bitwise identical to unarmed");
+        fp
+    });
+    // Injected backend faults drive the retry/backoff/breaker ladder;
+    // the whole response trace must still be bitwise reproducible.
+    with_threads("serve faulted", || {
+        run_with("serve.backend:flip@0.3;accel.sram.input:flip@0.005;seed=4")
+    });
+}
+
+#[test]
 fn fig5_sweep_identical_across_thread_counts() {
     let n = Precision::new(5).unwrap();
     with_threads("fig5 proposed sweep", || {

@@ -28,6 +28,12 @@ pub enum Error {
         /// The configured precision in bits.
         precision: u32,
     },
+    /// A convolution geometry failed validation (zero dimension, zero
+    /// stride, or a kernel larger than the input plane).
+    InvalidGeometry {
+        /// Human-readable rendering of the rejected geometry.
+        geometry: String,
+    },
     /// A vector operation received slices of mismatched lengths.
     LengthMismatch {
         /// Expected number of lanes / elements.
@@ -79,6 +85,9 @@ impl fmt::Display for Error {
                 f,
                 "bit-parallelism {requested} is not a power of two dividing 2^{precision}"
             ),
+            Error::InvalidGeometry { geometry } => {
+                write!(f, "invalid convolution geometry: {geometry}")
+            }
             Error::LengthMismatch { expected, actual } => {
                 write!(f, "expected {expected} elements, got {actual}")
             }
@@ -119,6 +128,9 @@ mod tests {
 
         let e = Error::LengthMismatch { expected: 4, actual: 7 };
         assert!(e.to_string().contains('4') && e.to_string().contains('7'));
+
+        let e = Error::InvalidGeometry { geometry: "k=3 in_h=2".into() };
+        assert!(e.to_string().contains("k=3 in_h=2"));
 
         let e = Error::NoLfsrPolynomial { width: 33 };
         assert!(e.to_string().contains("33"));

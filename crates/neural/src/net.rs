@@ -83,6 +83,36 @@ impl Network {
         }
     }
 
+    /// Data-dependent proposed-SC cycle count for one inference on
+    /// `input`: the sum of every conv layer's
+    /// [`Conv2d::proposed_sc_cycles`] on a `lanes`-wide MAC array, with
+    /// streams truncated to the top `effective_bits` weight bits
+    /// (`None` = full precision). Shapes are propagated by executing
+    /// the layers, so pooling/stride geometry needs no separate model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sc_core::Error::UnsupportedPrecision`] if
+    /// `effective_bits` is `Some(0)` or exceeds `n.bits()`.
+    pub fn proposed_sc_cycles(
+        &mut self,
+        input: &Tensor,
+        n: sc_core::Precision,
+        effective_bits: Option<u32>,
+        lanes: usize,
+    ) -> Result<u64, sc_core::Error> {
+        let mut x = input.clone();
+        let mut total = 0u64;
+        for layer in &mut self.layers {
+            if let LayerKind::Conv(c) = layer {
+                let (h, w) = (x.shape()[1], x.shape()[2]);
+                total += c.proposed_sc_cycles(h, w, n, effective_bits, lanes)?;
+            }
+            x = layer.forward(&x);
+        }
+        Ok(total)
+    }
+
     /// Iterates over the convolution layers.
     pub fn conv_layers(&self) -> impl Iterator<Item = &Conv2d> {
         self.layers.iter().filter_map(|l| match l {

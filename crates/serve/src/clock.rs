@@ -1,0 +1,61 @@
+//! Simulated time for the serving layer.
+//!
+//! The serving loop never consults `std::time::Instant`: time is a `u64`
+//! tick counter in the same units as accelerator cycles, advanced only
+//! by the discrete-event loop. A request's service time *is* the
+//! data-dependent cycle count its backend run reports, so latency
+//! numbers are hardware-model latencies, and an identical workload
+//! replays to bitwise-identical decisions on any machine at any thread
+//! count.
+
+/// Monotone virtual clock in accelerator-cycle ticks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now: u64,
+}
+
+impl VirtualClock {
+    /// A clock at tick 0.
+    pub fn new() -> Self {
+        VirtualClock { now: 0 }
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past — the event loop must only move
+    /// forward; a backwards jump means a mis-ordered event queue.
+    pub fn advance_to(&mut self, t: u64) {
+        assert!(t >= self.now, "virtual clock moved backwards: {} -> {t}", self.now);
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), 0);
+        c.advance_to(5);
+        c.advance_to(5);
+        c.advance_to(9);
+        assert_eq!(c.now(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn rejects_backwards_jumps() {
+        let mut c = VirtualClock::new();
+        c.advance_to(10);
+        c.advance_to(9);
+    }
+}

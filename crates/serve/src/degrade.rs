@@ -1,0 +1,136 @@
+//! Overload-triggered graceful degradation tiers.
+//!
+//! The SC literature's core selling point is the latency/quality dial:
+//! the proposed multiplier's latency is proportional to stream length,
+//! and truncating the stream (top `s` weight bits, see
+//! [`sc_core::mac::EarlyTerminationScMac`]) trades a bounded amount of
+//! accuracy for a `2^(N−s)`-fold speedup. The serving layer turns that
+//! dial *by queue pressure*: as occupancy crosses each tier's threshold,
+//! requests are served at progressively shorter streams, so the backend
+//! drains faster exactly when the queue is deepest — graceful
+//! degradation in the paper's own terms rather than a binary
+//! accept/drop.
+
+/// One degradation tier: at or above `occupancy`, serve with
+/// `effective_bits` weight bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeTier {
+    /// Queue occupancy (`len / capacity`, sampled at dispatch) at which
+    /// this tier engages.
+    pub occupancy: f64,
+    /// Effective weight bits `s` for the truncated-stream run.
+    pub effective_bits: u32,
+}
+
+/// The tier ladder. Tier 0 is always full precision; configured tiers
+/// stack above it in occupancy order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradePolicy {
+    tiers: Vec<DegradeTier>,
+}
+
+impl DegradePolicy {
+    /// No degradation: every request is served at full precision.
+    pub fn none() -> Self {
+        DegradePolicy { tiers: Vec::new() }
+    }
+
+    /// A ladder of tiers, sorted by occupancy threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a threshold is outside `(0, 1]` or if effective bits do
+    /// not strictly decrease as occupancy rises (a deeper queue must
+    /// never *raise* quality — that would invert the dial).
+    pub fn new(mut tiers: Vec<DegradeTier>) -> Self {
+        tiers.sort_by(|a, b| a.occupancy.partial_cmp(&b.occupancy).expect("finite thresholds"));
+        for pair in tiers.windows(2) {
+            assert!(
+                pair[1].effective_bits < pair[0].effective_bits,
+                "effective bits must strictly decrease with occupancy"
+            );
+        }
+        for t in &tiers {
+            assert!(
+                t.occupancy > 0.0 && t.occupancy <= 1.0,
+                "threshold {} not in (0, 1]",
+                t.occupancy
+            );
+        }
+        DegradePolicy { tiers }
+    }
+
+    /// Number of tiers including the full-precision tier 0.
+    pub fn tier_count(&self) -> usize {
+        self.tiers.len() + 1
+    }
+
+    /// The configured tiers above tier 0.
+    pub fn tiers(&self) -> &[DegradeTier] {
+        &self.tiers
+    }
+
+    /// The tier for a queue of `depth` entries out of `capacity`:
+    /// returns `(tier index, effective bits)` where tier 0 / `None` is
+    /// full precision.
+    pub fn tier_for(&self, depth: usize, capacity: usize) -> (usize, Option<u32>) {
+        let occupancy = depth as f64 / capacity as f64;
+        let mut chosen = (0, None);
+        for (i, t) in self.tiers.iter().enumerate() {
+            if occupancy >= t.occupancy {
+                chosen = (i + 1, Some(t.effective_bits));
+            }
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> DegradePolicy {
+        DegradePolicy::new(vec![
+            DegradeTier { occupancy: 0.5, effective_bits: 6 },
+            DegradeTier { occupancy: 0.8, effective_bits: 4 },
+        ])
+    }
+
+    #[test]
+    fn tier_selection_follows_occupancy() {
+        let p = ladder();
+        assert_eq!(p.tier_count(), 3);
+        assert_eq!(p.tier_for(0, 10), (0, None));
+        assert_eq!(p.tier_for(4, 10), (0, None));
+        assert_eq!(p.tier_for(5, 10), (1, Some(6)));
+        assert_eq!(p.tier_for(7, 10), (1, Some(6)));
+        assert_eq!(p.tier_for(8, 10), (2, Some(4)));
+        assert_eq!(p.tier_for(10, 10), (2, Some(4)));
+    }
+
+    #[test]
+    fn none_never_degrades() {
+        let p = DegradePolicy::none();
+        assert_eq!(p.tier_count(), 1);
+        assert_eq!(p.tier_for(10, 10), (0, None));
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let p = DegradePolicy::new(vec![
+            DegradeTier { occupancy: 0.9, effective_bits: 2 },
+            DegradeTier { occupancy: 0.3, effective_bits: 7 },
+        ]);
+        assert_eq!(p.tier_for(3, 10), (1, Some(7)));
+        assert_eq!(p.tier_for(9, 10), (2, Some(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly decrease")]
+    fn rising_quality_with_depth_is_rejected() {
+        DegradePolicy::new(vec![
+            DegradeTier { occupancy: 0.3, effective_bits: 4 },
+            DegradeTier { occupancy: 0.9, effective_bits: 6 },
+        ]);
+    }
+}

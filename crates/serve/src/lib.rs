@@ -1,0 +1,80 @@
+//! # sc-serve — a deterministic resilient serving layer for SC inference
+//!
+//! The ROADMAP's north star is a production system serving heavy traffic,
+//! but everything above the accelerator was a batch harness: PR 3 gave
+//! fault detection/recovery *inside* a layer run, yet nothing bounded
+//! queueing, enforced deadlines, or shed load when the backend was slow
+//! or faulting. This crate is that missing layer — a request server in
+//! front of [`sc_accel`] / [`sc_neural`] inference built entirely on a
+//! **virtual clock**, so every serving decision (admission, shedding,
+//! scheduling, retry timing, breaker transitions) is a pure function of
+//! the workload and configuration: bitwise reproducible at any
+//! `SC_THREADS`, with no `Instant` anywhere in the decision path.
+//!
+//! The pieces, one module each:
+//!
+//! * [`clock`] — the virtual clock (ticks = accelerator cycles);
+//! * [`queue`] — bounded admission queue with explicit backpressure and
+//!   three load-shedding policies (reject-newest, reject-oldest,
+//!   shed-by-deadline);
+//! * [`retry`] — capped exponential backoff with deterministic
+//!   counter-based jitter (the `sc-fault` SplitMix64 draw discipline);
+//! * [`breaker`] — a per-backend circuit breaker
+//!   (closed → open → half-open) that fails fast on consecutive backend
+//!   errors instead of letting the queue collapse;
+//! * [`degrade`] — overload-triggered graceful degradation tiers that
+//!   shorten SC stream length (`2^N` → truncated early-termination
+//!   streams), the paper-faithful latency/quality dial: Sim & Lee's
+//!   multiplier finishes early at reduced stream length, and the serving
+//!   layer downshifts exactly that knob under pressure;
+//! * [`server`] — the discrete-event serving loop tying it together;
+//! * [`backend`] — [`Backend`] implementations over the tiled
+//!   accelerator ([`AccelBackend`]) and whole-network quantized
+//!   inference ([`NeuralBackend`]);
+//! * [`report`] — per-run outcome accounting and latency percentiles.
+//!
+//! ## Fault injection
+//!
+//! The serving path registers the [`sites::BACKEND`] injection site:
+//! with `SC_FAULTS="serve.backend:flip@0.1"` armed, dispatches fail
+//! deterministically per `(request, attempt)`. Backend-internal sites
+//! (`accel.*`) compose naturally: arm `accel.tile.output` with a
+//! non-degrading [`sc_accel::FaultPolicy`] and tile-verification
+//! exhaustion surfaces as [`sc_core::Error::RetryExhausted`], which the
+//! server retries, and — if failures persist — trips the breaker.
+//!
+//! ## Telemetry
+//!
+//! Every state transition lands in `serve.*` counters and events
+//! (admission, sheds by policy, timeouts, retries, breaker trips/rejects/
+//! probes/closes, per-tier completions, a virtual-latency histogram), so
+//! bench manifests record the full resilience ladder.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod breaker;
+pub mod clock;
+pub mod degrade;
+pub mod queue;
+pub mod report;
+pub mod retry;
+pub mod server;
+
+pub use backend::{AccelBackend, AccelPayload, NeuralBackend};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use clock::VirtualClock;
+pub use degrade::{DegradePolicy, DegradeTier};
+pub use queue::{AdmissionQueue, ShedPolicy};
+pub use report::{Outcome, Response, ServeReport};
+pub use retry::RetryPolicy;
+pub use server::{Backend, BackendReply, Request, Server, ServerConfig};
+
+/// Canonical `sc-fault` site names registered by this crate.
+pub mod sites {
+    /// Transient backend unavailability in the serving path: when armed,
+    /// each dispatch draws per `(request id, attempt)` and a firing draw
+    /// fails the call before it reaches the backend.
+    pub const BACKEND: &str = "serve.backend";
+}

@@ -1,0 +1,222 @@
+//! Per-run outcome accounting.
+//!
+//! The server finalizes every request exactly once; the report holds the
+//! full response list (finalization order, which is deterministic) plus
+//! the aggregates a load study needs: outcome counts, per-tier
+//! completions, virtual-latency percentiles, and the peak queue depth.
+//! [`ServeReport::fingerprint`] flattens all of it into a `Vec<u64>` for
+//! bitwise-reproducibility assertions.
+
+/// Terminal outcome of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served successfully at the given degradation tier (0 = full
+    /// precision).
+    Completed {
+        /// Degradation tier the response was served at.
+        tier: usize,
+    },
+    /// Dropped by admission control (queue full).
+    Shed,
+    /// Deadline expired — while queued, waiting out a backoff, or
+    /// mid-service.
+    TimedOut,
+    /// Retry budget exhausted against an open breaker (failed fast).
+    BreakerOpen,
+    /// Backend kept failing until the retry budget ran out.
+    Failed,
+}
+
+impl Outcome {
+    /// Stable small code for fingerprints and JSON.
+    pub fn code(&self) -> u64 {
+        match self {
+            Outcome::Completed { .. } => 0,
+            Outcome::Shed => 1,
+            Outcome::TimedOut => 2,
+            Outcome::BreakerOpen => 3,
+            Outcome::Failed => 4,
+        }
+    }
+
+    /// Short name used in tables and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Outcome::Completed { .. } => "completed",
+            Outcome::Shed => "shed",
+            Outcome::TimedOut => "timed-out",
+            Outcome::BreakerOpen => "breaker-open",
+            Outcome::Failed => "failed",
+        }
+    }
+}
+
+/// One finalized request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Request id.
+    pub id: u64,
+    /// Payload index the request named.
+    pub payload: usize,
+    /// Terminal outcome.
+    pub outcome: Outcome,
+    /// Attempts made (0 if the request never reached a dispatch).
+    pub attempts: u32,
+    /// Virtual tick at which the request was finalized.
+    pub finished_at: u64,
+    /// `finished_at − arrival`: sojourn time in ticks (for completed
+    /// requests, the serving latency).
+    pub latency: u64,
+}
+
+/// Aggregated result of one [`crate::Server::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Every request's terminal record, in finalization order.
+    pub responses: Vec<Response>,
+    /// Completions per degradation tier (index = tier).
+    pub completed_by_tier: Vec<u64>,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Requests whose deadline expired.
+    pub timed_out: u64,
+    /// Requests failed fast against an open breaker.
+    pub breaker_rejected: u64,
+    /// Requests that exhausted their retry budget on backend errors.
+    pub failed: u64,
+    /// Retry dispatches performed (attempts beyond each request's
+    /// first).
+    pub retries: u64,
+    /// Times the breaker tripped open.
+    pub breaker_trips: u64,
+    /// Peak admission-queue depth observed.
+    pub max_queue_depth: usize,
+    /// Virtual tick at which the last event was processed.
+    pub horizon: u64,
+}
+
+impl ServeReport {
+    /// Total completions across tiers.
+    pub fn completed(&self) -> u64 {
+        self.completed_by_tier.iter().sum()
+    }
+
+    /// Completions at degraded tiers (tier ≥ 1).
+    pub fn degraded(&self) -> u64 {
+        self.completed_by_tier.iter().skip(1).sum()
+    }
+
+    /// The `p`-th percentile (0 < p ≤ 100, nearest-rank) of completed
+    /// requests' virtual latencies; 0 when nothing completed.
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        let mut lat: Vec<u64> = self
+            .responses
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Completed { .. }))
+            .map(|r| r.latency)
+            .collect();
+        if lat.is_empty() {
+            return 0;
+        }
+        lat.sort_unstable();
+        let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
+        lat[rank.clamp(1, lat.len()) - 1]
+    }
+
+    /// Flattens the whole report — aggregates and every response — into
+    /// a `Vec<u64>` for bitwise-determinism assertions.
+    pub fn fingerprint(&self) -> Vec<u64> {
+        let mut fp = vec![
+            self.shed,
+            self.timed_out,
+            self.breaker_rejected,
+            self.failed,
+            self.retries,
+            self.breaker_trips,
+            self.max_queue_depth as u64,
+            self.horizon,
+        ];
+        fp.extend(self.completed_by_tier.iter().copied());
+        for r in &self.responses {
+            let tier = match r.outcome {
+                Outcome::Completed { tier } => tier as u64,
+                _ => u64::MAX,
+            };
+            fp.extend([r.id, r.outcome.code(), tier, r.attempts as u64, r.finished_at, r.latency]);
+        }
+        fp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completed(id: u64, latency: u64) -> Response {
+        Response {
+            id,
+            payload: 0,
+            outcome: Outcome::Completed { tier: 0 },
+            attempts: 1,
+            finished_at: latency,
+            latency,
+        }
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let report = ServeReport {
+            responses: (1..=100).map(|i| completed(i, i * 10)).collect(),
+            completed_by_tier: vec![100],
+            shed: 0,
+            timed_out: 0,
+            breaker_rejected: 0,
+            failed: 0,
+            retries: 0,
+            breaker_trips: 0,
+            max_queue_depth: 1,
+            horizon: 1000,
+        };
+        assert_eq!(report.latency_percentile(50.0), 500);
+        assert_eq!(report.latency_percentile(99.0), 990);
+        assert_eq!(report.latency_percentile(100.0), 1000);
+        assert_eq!(report.completed(), 100);
+        assert_eq!(report.degraded(), 0);
+    }
+
+    #[test]
+    fn empty_report_percentile_is_zero() {
+        let report = ServeReport {
+            responses: vec![],
+            completed_by_tier: vec![0],
+            shed: 0,
+            timed_out: 0,
+            breaker_rejected: 0,
+            failed: 0,
+            retries: 0,
+            breaker_trips: 0,
+            max_queue_depth: 0,
+            horizon: 0,
+        };
+        assert_eq!(report.latency_percentile(99.0), 0);
+    }
+
+    #[test]
+    fn fingerprint_covers_responses() {
+        let mut a = ServeReport {
+            responses: vec![completed(1, 10)],
+            completed_by_tier: vec![1],
+            shed: 0,
+            timed_out: 0,
+            breaker_rejected: 0,
+            failed: 0,
+            retries: 0,
+            breaker_trips: 0,
+            max_queue_depth: 1,
+            horizon: 10,
+        };
+        let fp = a.fingerprint();
+        a.responses[0].latency = 11;
+        assert_ne!(fp, a.fingerprint());
+    }
+}

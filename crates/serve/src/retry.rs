@@ -1,0 +1,85 @@
+//! Retry with capped exponential backoff and deterministic jitter.
+//!
+//! Jitter matters under storms — synchronized retries re-spike the queue
+//! — but wall-clock randomness would break replay. The draw reuses the
+//! workspace's counter-based discipline ([`sc_fault::split_mix`]): the
+//! backoff for `(request, attempt)` is a pure function of the policy
+//! seed and those two counters, so a retried storm replays bitwise at
+//! any thread count, yet distinct requests decorrelate.
+
+use sc_fault::split_mix;
+
+/// Retry policy: how many attempts a request gets and how long it waits
+/// between them (virtual ticks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in ticks.
+    pub base: u64,
+    /// Cap on the exponential backoff, in ticks.
+    pub cap: u64,
+    /// Jitter seed (decorrelates deployments, not requests).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, base: 256, cap: 4096, seed: 0 }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (1-based: `attempt = 1`
+    /// follows the first failure) of `request_id`: capped exponential
+    /// `min(cap, base·2^(attempt−1))`, then "equal jitter" — half the
+    /// window fixed, half drawn deterministically — keeping every wait
+    /// in `[window/2, window]`.
+    pub fn backoff(&self, request_id: u64, attempt: u32) -> u64 {
+        let exp = attempt.saturating_sub(1).min(62);
+        let window = self.base.saturating_mul(1u64 << exp).min(self.cap).max(1);
+        let draw = split_mix(
+            self.seed
+                ^ request_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (attempt as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+        );
+        window / 2 + draw % (window - window / 2 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_jittered() {
+        let p = RetryPolicy::default();
+        for id in 0..50u64 {
+            for attempt in 1..=4u32 {
+                assert_eq!(p.backoff(id, attempt), p.backoff(id, attempt));
+            }
+        }
+        // Distinct requests decorrelate: not all first backoffs equal.
+        let first: Vec<u64> = (0..50).map(|id| p.backoff(id, 1)).collect();
+        assert!(first.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_within_the_cap() {
+        let p = RetryPolicy { max_attempts: 8, base: 100, cap: 1600, seed: 7 };
+        for id in 0..20u64 {
+            for attempt in 1..=8u32 {
+                let window = (100u64 << (attempt - 1)).min(1600);
+                let b = p.backoff(id, attempt);
+                assert!(b >= window / 2 && b <= window, "attempt {attempt}: {b} vs {window}");
+            }
+        }
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate_at_the_cap() {
+        let p = RetryPolicy { max_attempts: u32::MAX, base: 3, cap: 1000, seed: 1 };
+        let b = p.backoff(9, 200);
+        assert!((500..=1000).contains(&b));
+    }
+}

@@ -1,0 +1,540 @@
+//! The deterministic serving loop.
+//!
+//! [`Server::run`] is a single-server discrete-event simulation on the
+//! virtual clock: time is accelerator cycles, service time is the
+//! backend's data-dependent cycle count, and every decision — admission,
+//! shedding, EDF dispatch, degradation tier, retry backoff, breaker
+//! transition — is a pure function of the request trace, the
+//! configuration, and the armed fault plan. Re-running the same trace
+//! therefore reproduces the same [`ServeReport`] bitwise, at any
+//! `SC_THREADS` setting, which is what makes overload behaviour and
+//! fault storms regression-testable.
+//!
+//! Event order within a tick is fixed: the in-flight completion first,
+//! then expiry of queued deadlines, then arrivals, then dispatch. The
+//! server dispatches at most one request at a time (the backend models
+//! one accelerator); retried requests re-enter the admission queue
+//! behind a backoff gate and compete for capacity like everyone else.
+
+use std::sync::{Arc, OnceLock};
+
+use sc_telemetry::metrics::{counter, histogram, Counter, Histogram};
+
+use crate::breaker::CircuitBreaker;
+use crate::clock::VirtualClock;
+use crate::degrade::DegradePolicy;
+use crate::queue::{AdmissionQueue, Queued, ShedPolicy};
+use crate::report::{Outcome, Response, ServeReport};
+use crate::retry::RetryPolicy;
+
+/// One inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Unique id; ties in every scheduling decision break on it.
+    pub id: u64,
+    /// Arrival tick on the virtual clock.
+    pub arrival: u64,
+    /// Absolute deadline tick; at `deadline` the request is dead.
+    pub deadline: u64,
+    /// Index of the payload (workload item) the backend should serve.
+    pub payload: usize,
+}
+
+/// What a backend returns for one served request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendReply {
+    /// The inference outputs (layer outputs or a predicted class).
+    pub outputs: Vec<i64>,
+    /// Data-dependent SC cycle count — the request's service time.
+    pub cycles: u64,
+}
+
+/// An inference backend the server fronts.
+pub trait Backend {
+    /// Number of distinct payloads this backend can serve
+    /// (`Request::payload` must be below this).
+    fn payloads(&self) -> usize;
+
+    /// Serves one payload, optionally at a degraded precision
+    /// (`effective_bits` = top `s` weight bits for the truncated-stream
+    /// run; `None` = full precision).
+    fn serve(
+        &mut self,
+        payload: usize,
+        effective_bits: Option<u32>,
+    ) -> Result<BackendReply, sc_core::Error>;
+}
+
+/// Serving-layer tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Who gets shed when the queue is full.
+    pub shed_policy: ShedPolicy,
+    /// Retry/backoff policy.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker tuning.
+    pub breaker: crate::breaker::BreakerConfig,
+    /// Overload degradation ladder.
+    pub degrade: DegradePolicy,
+    /// Virtual ticks a failed backend call burns before the failure is
+    /// detected (fault-detection latency).
+    pub failure_ticks: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 64,
+            shed_policy: ShedPolicy::RejectNewest,
+            retry: RetryPolicy::default(),
+            breaker: crate::breaker::BreakerConfig::default(),
+            degrade: DegradePolicy::none(),
+            failure_ticks: 64,
+        }
+    }
+}
+
+struct ServeMetrics {
+    admitted: Counter,
+    shed: Counter,
+    timeout: Counter,
+    retry: Counter,
+    completed: Counter,
+    degraded: Counter,
+    failed: Counter,
+    breaker_final: Counter,
+    latency: Arc<Histogram>,
+}
+
+fn metrics() -> &'static ServeMetrics {
+    static M: OnceLock<ServeMetrics> = OnceLock::new();
+    M.get_or_init(|| ServeMetrics {
+        admitted: counter("serve.admitted"),
+        shed: counter("serve.shed"),
+        timeout: counter("serve.timeout"),
+        retry: counter("serve.retry"),
+        completed: counter("serve.completed"),
+        degraded: counter("serve.degraded"),
+        failed: counter("serve.failed"),
+        breaker_final: counter("serve.breaker_open"),
+        latency: histogram(
+            "serve.latency",
+            &[64, 256, 1024, 4096, 16_384, 65_536, 262_144, 1_048_576],
+        ),
+    })
+}
+
+/// The request currently occupying the backend.
+struct Inflight {
+    entry: Queued,
+    tier: usize,
+    finish_at: u64,
+    /// `None` = the call succeeded; `Some(e)` = it failed (injected or
+    /// surfaced by the backend) and the failure is detected at
+    /// `finish_at`.
+    error: Option<sc_core::Error>,
+}
+
+/// The deterministic serving front-end. See the module docs for the
+/// event model.
+#[derive(Debug, Clone)]
+pub struct Server {
+    config: ServerConfig,
+}
+
+impl Server {
+    /// A server with the given tuning.
+    pub fn new(config: ServerConfig) -> Self {
+        Server { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Serves `requests` against `backend` to completion and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request names a payload the backend does not have.
+    pub fn run(&self, backend: &mut dyn Backend, mut requests: Vec<Request>) -> ServeReport {
+        let m = metrics();
+        for r in &requests {
+            assert!(
+                r.payload < backend.payloads(),
+                "request {} names payload {} but the backend has {}",
+                r.id,
+                r.payload,
+                backend.payloads()
+            );
+        }
+        requests.sort_by_key(|r| (r.arrival, r.id));
+
+        let mut clock = VirtualClock::new();
+        let mut queue = AdmissionQueue::new(self.config.queue_capacity, self.config.shed_policy);
+        let mut breaker = CircuitBreaker::new(self.config.breaker);
+        let fault = sc_fault::site(crate::sites::BACKEND);
+
+        let mut inflight: Option<Inflight> = None;
+        let mut next_arrival = 0usize;
+        let mut responses: Vec<Response> = Vec::with_capacity(requests.len());
+        let mut completed_by_tier = vec![0u64; self.config.degrade.tier_count()];
+        let mut shed = 0u64;
+        let mut timed_out = 0u64;
+        let mut breaker_rejected = 0u64;
+        let mut failed = 0u64;
+        let mut retries = 0u64;
+        let mut max_queue_depth = 0usize;
+
+        let mut finalize = |entry: &Queued, outcome: Outcome, now: u64| {
+            let latency = now.saturating_sub(entry.req.arrival);
+            match outcome {
+                Outcome::Completed { tier } => {
+                    completed_by_tier[tier] += 1;
+                    m.completed.incr(1);
+                    if tier > 0 {
+                        m.degraded.incr(1);
+                    }
+                    m.latency.record(latency);
+                }
+                Outcome::Shed => {
+                    shed += 1;
+                    m.shed.incr(1);
+                }
+                Outcome::TimedOut => {
+                    timed_out += 1;
+                    m.timeout.incr(1);
+                }
+                Outcome::BreakerOpen => {
+                    breaker_rejected += 1;
+                    m.breaker_final.incr(1);
+                }
+                Outcome::Failed => {
+                    failed += 1;
+                    m.failed.incr(1);
+                }
+            }
+            responses.push(Response {
+                id: entry.req.id,
+                payload: entry.req.payload,
+                outcome,
+                attempts: entry.attempts,
+                finished_at: now,
+                latency,
+            });
+        };
+
+        loop {
+            // Next event: the in-flight completion, the next arrival, or
+            // (while idle) a queued entry's backoff expiring; queued
+            // deadlines always count so timeouts fire on time.
+            let mut event: Option<u64> = None;
+            let mut consider = |t: u64| event = Some(event.map_or(t, |e: u64| e.min(t)));
+            if let Some(inf) = &inflight {
+                consider(inf.finish_at);
+            }
+            if let Some(r) = requests.get(next_arrival) {
+                consider(r.arrival);
+            }
+            if inflight.is_none() {
+                if let Some(t) = queue.next_ready_at() {
+                    consider(t);
+                }
+            }
+            if let Some(t) = queue.next_deadline_at() {
+                consider(t);
+            }
+            let Some(t) = event else { break };
+            let now = t.max(clock.now());
+            clock.advance_to(now);
+
+            // 1. Completion (before arrivals at the same tick).
+            if let Some(inf) = inflight.take_if(|inf| inf.finish_at <= now) {
+                let mut entry = inf.entry;
+                match inf.error {
+                    None => {
+                        breaker.on_success(now);
+                        if now >= entry.req.deadline {
+                            finalize(&entry, Outcome::TimedOut, now);
+                        } else {
+                            finalize(&entry, Outcome::Completed { tier: inf.tier }, now);
+                        }
+                    }
+                    Some(e) => {
+                        breaker.on_failure(now);
+                        sc_telemetry::event!("serve.attempt_failed", now, e);
+                        if entry.attempts >= self.config.retry.max_attempts {
+                            finalize(&entry, Outcome::Failed, now);
+                        } else {
+                            let wait = self.config.retry.backoff(entry.req.id, entry.attempts);
+                            entry.not_before = now + wait;
+                            if entry.not_before >= entry.req.deadline {
+                                finalize(&entry, Outcome::TimedOut, now);
+                            } else if let Some(victim) = queue.push(entry) {
+                                finalize(&victim, Outcome::Shed, now);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // 2. Expired deadlines among the queued.
+            for dead in queue.drop_expired(now) {
+                finalize(&dead, Outcome::TimedOut, now);
+            }
+
+            // 3. Arrivals at this tick.
+            while requests.get(next_arrival).is_some_and(|r| r.arrival <= now) {
+                let req = requests[next_arrival];
+                next_arrival += 1;
+                let entry = Queued::fresh(req);
+                if req.deadline <= now {
+                    finalize(&entry, Outcome::TimedOut, now);
+                    continue;
+                }
+                m.admitted.incr(1);
+                if let Some(victim) = queue.push(entry) {
+                    finalize(&victim, Outcome::Shed, now);
+                }
+                max_queue_depth = max_queue_depth.max(queue.len());
+            }
+
+            // 4. Dispatch while the backend is idle and someone is
+            // ready. The degradation tier is sampled from occupancy
+            // before the pop, so the dispatched request itself counts
+            // toward the pressure it is served under.
+            while inflight.is_none() {
+                let (tier, bits) = self.config.degrade.tier_for(queue.len(), queue.capacity());
+                let Some(mut entry) = queue.pop_ready(now) else { break };
+                entry.attempts += 1;
+                if entry.attempts > 1 {
+                    retries += 1;
+                    m.retry.incr(1);
+                }
+                if !breaker.admits(now) {
+                    if entry.attempts >= self.config.retry.max_attempts {
+                        finalize(&entry, Outcome::BreakerOpen, now);
+                    } else {
+                        let wait = self.config.retry.backoff(entry.req.id, entry.attempts);
+                        entry.not_before = now + wait;
+                        if entry.not_before >= entry.req.deadline {
+                            finalize(&entry, Outcome::TimedOut, now);
+                        } else {
+                            // Space is guaranteed: we just popped.
+                            let victim = queue.push(entry);
+                            debug_assert!(victim.is_none());
+                        }
+                    }
+                    continue;
+                }
+                let injected = fault
+                    .as_ref()
+                    .and_then(|s| s.transient(entry.req.id, entry.attempts as u64))
+                    .map(|_| sc_core::Error::RetryExhausted {
+                        what: format!("injected backend fault (request {})", entry.req.id),
+                        attempts: entry.attempts,
+                    });
+                let result = match injected {
+                    Some(e) => Err(e),
+                    None => backend.serve(entry.req.payload, bits),
+                };
+                inflight = Some(match result {
+                    Ok(reply) => {
+                        Inflight { finish_at: now + reply.cycles.max(1), entry, tier, error: None }
+                    }
+                    Err(e) => Inflight {
+                        finish_at: now + self.config.failure_ticks.max(1),
+                        entry,
+                        tier,
+                        error: Some(e),
+                    },
+                });
+            }
+        }
+
+        ServeReport {
+            responses,
+            completed_by_tier,
+            shed,
+            timed_out,
+            breaker_rejected,
+            failed,
+            retries,
+            breaker_trips: breaker.trips(),
+            max_queue_depth,
+            horizon: clock.now(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degrade::DegradeTier;
+
+    /// Fixed-service-time backend that fails its first `fail_first`
+    /// calls, and serves degraded requests proportionally faster.
+    struct MockBackend {
+        cycles: u64,
+        fail_first: u32,
+        calls: u32,
+    }
+
+    impl MockBackend {
+        fn healthy(cycles: u64) -> Self {
+            MockBackend { cycles, fail_first: 0, calls: 0 }
+        }
+    }
+
+    impl Backend for MockBackend {
+        fn payloads(&self) -> usize {
+            4
+        }
+
+        fn serve(
+            &mut self,
+            payload: usize,
+            effective_bits: Option<u32>,
+        ) -> Result<BackendReply, sc_core::Error> {
+            self.calls += 1;
+            if self.calls <= self.fail_first {
+                return Err(sc_core::Error::RetryExhausted {
+                    what: format!("payload {payload}"),
+                    attempts: 1,
+                });
+            }
+            let cycles = match effective_bits {
+                Some(s) => self.cycles >> (8 - s.min(8)),
+                None => self.cycles,
+            };
+            Ok(BackendReply { outputs: vec![payload as i64], cycles })
+        }
+    }
+
+    fn trace(n: u64, spacing: u64, deadline: u64) -> Vec<Request> {
+        (0..n)
+            .map(|i| Request {
+                id: i,
+                arrival: i * spacing,
+                deadline: i * spacing + deadline,
+                payload: (i % 4) as usize,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn underloaded_server_completes_everything_at_full_precision() {
+        let server = Server::new(ServerConfig::default());
+        let report = server.run(&mut MockBackend::healthy(100), trace(10, 200, 1_000));
+        assert_eq!(report.completed(), 10);
+        assert_eq!(report.degraded(), 0);
+        assert_eq!(report.shed + report.timed_out + report.failed, 0);
+        // Service is 100 ticks and arrivals are 200 apart: zero queueing.
+        assert_eq!(report.latency_percentile(100.0), 100);
+        assert_eq!(report.max_queue_depth, 1);
+    }
+
+    #[test]
+    fn run_is_bitwise_reproducible() {
+        let server = Server::new(ServerConfig {
+            queue_capacity: 4,
+            shed_policy: ShedPolicy::ShedByDeadline,
+            degrade: DegradePolicy::new(vec![DegradeTier { occupancy: 0.5, effective_bits: 4 }]),
+            ..ServerConfig::default()
+        });
+        let a = server.run(&mut MockBackend::healthy(300), trace(40, 50, 900));
+        let b = server.run(&mut MockBackend::healthy(300), trace(40, 50, 900));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.responses.len(), 40, "every request finalized exactly once");
+    }
+
+    #[test]
+    fn overload_sheds_and_degrades_instead_of_queueing_unboundedly() {
+        let server = Server::new(ServerConfig {
+            queue_capacity: 8,
+            shed_policy: ShedPolicy::RejectNewest,
+            degrade: DegradePolicy::new(vec![
+                DegradeTier { occupancy: 0.5, effective_bits: 6 },
+                DegradeTier { occupancy: 0.875, effective_bits: 4 },
+            ]),
+            ..ServerConfig::default()
+        });
+        // Service 400 ≫ inter-arrival 20: heavy overload.
+        let report = server.run(&mut MockBackend::healthy(400), trace(100, 20, 4_000));
+        assert_eq!(report.responses.len(), 100);
+        assert!(report.shed > 0, "full queue must shed");
+        assert!(report.degraded() > 0, "deep queue must downshift quality");
+        assert!(report.max_queue_depth <= 8, "queue growth is bounded");
+    }
+
+    #[test]
+    fn transient_backend_failures_are_retried_to_success() {
+        let server = Server::new(ServerConfig {
+            retry: RetryPolicy { max_attempts: 4, base: 32, cap: 128, seed: 9 },
+            failure_ticks: 8,
+            ..ServerConfig::default()
+        });
+        let mut backend = MockBackend { cycles: 50, fail_first: 2, calls: 0 };
+        let report = server
+            .run(&mut backend, vec![Request { id: 0, arrival: 0, deadline: 5_000, payload: 0 }]);
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.responses[0].attempts, 3);
+        assert_eq!(report.breaker_trips, 0, "two failures stay under the threshold");
+    }
+
+    #[test]
+    fn dead_backend_trips_the_breaker_and_fails_fast() {
+        let server = Server::new(ServerConfig {
+            retry: RetryPolicy { max_attempts: 3, base: 16, cap: 64, seed: 1 },
+            breaker: crate::breaker::BreakerConfig { failure_threshold: 3, cooldown: 10_000 },
+            failure_ticks: 8,
+            ..ServerConfig::default()
+        });
+        let mut backend = MockBackend { cycles: 50, fail_first: u32::MAX, calls: 0 };
+        let report = server.run(&mut backend, trace(20, 10, 50_000));
+        assert_eq!(report.completed(), 0);
+        assert!(report.breaker_trips >= 1);
+        assert!(
+            report.breaker_rejected > 0,
+            "after the trip, requests fail fast without touching the backend"
+        );
+        // The breaker bounds backend calls: without it every request
+        // would burn its whole retry budget against the dead backend.
+        assert!((backend.calls as u64) < 3 * 20, "breaker saved backend calls: {}", backend.calls);
+        assert_eq!(report.responses.len(), 20);
+    }
+
+    #[test]
+    fn slow_service_past_the_deadline_times_out() {
+        let server = Server::new(ServerConfig::default());
+        let report = server.run(
+            &mut MockBackend::healthy(500),
+            vec![Request { id: 0, arrival: 0, deadline: 100, payload: 0 }],
+        );
+        assert_eq!(report.timed_out, 1);
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.responses[0].finished_at, 500);
+    }
+
+    #[test]
+    fn queued_requests_past_their_deadline_expire_on_time() {
+        let server = Server::new(ServerConfig::default());
+        // Request 1 arrives while 0 occupies the backend and its
+        // deadline passes before the backend frees up.
+        let report = server.run(
+            &mut MockBackend::healthy(1_000),
+            vec![
+                Request { id: 0, arrival: 0, deadline: 10_000, payload: 0 },
+                Request { id: 1, arrival: 10, deadline: 400, payload: 1 },
+            ],
+        );
+        let r1 = report.responses.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(r1.outcome, Outcome::TimedOut);
+        assert_eq!(r1.finished_at, 400, "expiry fires at the deadline tick, not later");
+        assert_eq!(report.completed(), 1);
+    }
+}

@@ -31,13 +31,33 @@ impl BenchCtx {
     }
 
     /// Returns the value following `--<name>` parsed as `T`, if present.
+    ///
+    /// An absent flag is silently `None`; a flag whose value is missing
+    /// or fails to parse is *also* `None` but warns on stderr — a typo'd
+    /// `--samples 10O` must not silently run with the built-in default.
     pub fn arg_value<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
         let flag = format!("--{name}");
         let mut args = self.manifest.args.iter();
         while let Some(a) = args.next() {
-            if *a == flag {
-                return args.next().and_then(|v| v.parse().ok());
+            if *a != flag {
+                continue;
             }
+            return match args.next() {
+                None => {
+                    eprintln!("warning: {flag} is missing its value; using the default");
+                    None
+                }
+                Some(v) => match v.parse() {
+                    Ok(parsed) => Some(parsed),
+                    Err(_) => {
+                        eprintln!(
+                            "warning: could not parse {flag} value {v:?} as {}; using the default",
+                            std::any::type_name::<T>()
+                        );
+                        None
+                    }
+                },
+            };
         }
         None
     }
@@ -171,5 +191,32 @@ mod tests {
         let _g = crate::test_guard();
         let ctx = BenchCtx::new("x", Path::new("results"));
         assert_eq!(ctx.arg_value::<u32>("definitely-not-a-flag"), None);
+    }
+
+    #[test]
+    fn arg_value_handles_well_formed_malformed_and_truncated_flags() {
+        let _g = crate::test_guard();
+        let mut ctx = BenchCtx::new("x", Path::new("results"));
+        ctx.manifest.args = vec![
+            "--samples".to_string(),
+            "100".to_string(),
+            "--rate".to_string(),
+            "not-a-number".to_string(),
+            "--negative".to_string(),
+            "-3".to_string(),
+            "--dangling".to_string(),
+        ];
+        assert_eq!(ctx.arg_value::<u32>("samples"), Some(100));
+        // Malformed for the requested type: None (with a warning), not a
+        // silent fall-through to some other arg.
+        assert_eq!(ctx.arg_value::<u64>("rate"), None);
+        assert_eq!(ctx.arg_value::<f64>("rate"), None);
+        // Parseable under a different type: the caller's type decides.
+        assert_eq!(ctx.arg_value::<u32>("negative"), None);
+        assert_eq!(ctx.arg_value::<i32>("negative"), Some(-3));
+        // Flag at the end of the line with no value.
+        assert_eq!(ctx.arg_value::<u32>("dangling"), None);
+        // Absent flag stays quietly None.
+        assert_eq!(ctx.arg_value::<u32>("absent"), None);
     }
 }

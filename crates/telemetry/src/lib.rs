@@ -47,7 +47,7 @@ pub mod metrics;
 pub mod span;
 
 pub use bench::{bench_run, BenchCtx};
-pub use manifest::RunManifest;
+pub use manifest::{RunManifest, MANIFEST_SCHEMA_VERSION};
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
 
 /// Serializes tests that flip the process-global subscriber/metrics

@@ -15,9 +15,17 @@ use crate::export::{metrics_from_json, metrics_to_json, write_json};
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 
+/// The manifest schema version written by this build. Bump it whenever
+/// a field is added, removed, or changes meaning; consumers (`scripts/
+/// ci.sh`, external tooling) key their expectations on it. Version 1 is
+/// the pre-versioning era: manifests with no `schema_version` field.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 2;
+
 /// Provenance record for one bench run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunManifest {
+    /// Schema version of this record (see [`MANIFEST_SCHEMA_VERSION`]).
+    pub schema_version: u64,
     /// Bench binary name (e.g. `fig5_error_stats`).
     pub bench: String,
     /// Free-form configuration key/values (precision, arithmetic, sweep
@@ -57,6 +65,7 @@ impl RunManifest {
     pub fn capture(bench: &str) -> RunManifest {
         let args: Vec<String> = std::env::args().skip(1).collect();
         RunManifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
             bench: bench.to_string(),
             config: Vec::new(),
             seed: None,
@@ -88,6 +97,7 @@ impl RunManifest {
     /// Serializes to JSON.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
+            ("schema_version", Json::UInt(self.schema_version)),
             ("bench", Json::Str(self.bench.clone())),
             (
                 "config",
@@ -125,6 +135,9 @@ impl RunManifest {
             _ => return None,
         };
         Some(RunManifest {
+            // Manifests written before versioning carry no field: they
+            // are schema version 1 by definition.
+            schema_version: json.get("schema_version").and_then(Json::as_u64).unwrap_or(1),
             bench: json.get("bench")?.as_str()?.to_string(),
             config,
             seed: match json.get("seed")? {
@@ -208,6 +221,7 @@ mod tests {
 
     fn sample() -> RunManifest {
         RunManifest {
+            schema_version: MANIFEST_SCHEMA_VERSION,
             bench: "fig5_error_stats".to_string(),
             config: vec![
                 ("precision".to_string(), "8".to_string()),
@@ -288,12 +302,26 @@ mod tests {
         let mut m = sample();
         let mut json = m.to_json();
         if let Json::Obj(pairs) = &mut json {
-            pairs.retain(|(k, _)| k != "par_threads" && k != "elapsed_seconds");
+            pairs.retain(|(k, _)| {
+                k != "par_threads" && k != "elapsed_seconds" && k != "schema_version"
+            });
         }
         let parsed = RunManifest::from_json(&json).expect("old manifests must stay readable");
         m.par_threads = 0;
         m.elapsed_seconds = 0.0;
+        m.schema_version = 1;
         assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn capture_stamps_the_current_schema_version() {
+        let m = RunManifest::capture("unit_test");
+        assert_eq!(m.schema_version, MANIFEST_SCHEMA_VERSION);
+        let json = Json::parse(&m.to_json().render()).unwrap();
+        assert_eq!(
+            json.get("schema_version").and_then(Json::as_u64),
+            Some(MANIFEST_SCHEMA_VERSION)
+        );
     }
 
     #[test]

@@ -9,6 +9,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Stamp for the manifest gate at the end: every manifest (re)emitted
+# after this point must carry the current schema version. Committed
+# manifests from before schema versioning are grandfathered until their
+# bench next runs.
+CI_STAMP="$(mktemp)"
+export CI_STAMP
+trap 'rm -f "$CI_STAMP"' EXIT
+
 run_clippy=1
 for arg in "$@"; do
     case "$arg" in
@@ -66,6 +74,59 @@ c = m["metrics"]["counters"]
 assert "sc_faults" in m["config"], "manifest must record the SC_FAULTS spec"
 for k in ("fault.injected", "fault.detected", "fault.corrected"):
     assert c.get(k, 0) > 0, f"accel_layers manifest missing {k}"
+EOF
+
+echo "==> serve gate: serve_storm --quick, clean twice, bitwise-identical metrics"
+# The serving layer is a discrete-event simulation on a virtual clock:
+# a clean rerun must reproduce every serve.*, accel.*, and fault.*
+# metric bit for bit (par.steals/par.utilization are scheduling noise
+# by design and excluded). The bin itself asserts the resilience
+# claims: bounded queue depth, protected-vs-naive spike goodput/p99,
+# per-tier EDT error bounds, and the zero-rate fault identity.
+SC_THREADS=4 cargo run --release -q -p sc-bench --bin serve_storm -- --quick >/dev/null
+python3 - <<'EOF'
+import json
+m = json.load(open("results/serve_storm.manifest.json"))["metrics"]
+m["counters"] = [kv for kv in m["counters"].items() if not kv[0].startswith("par.")]
+m["gauges"] = [kv for kv in m["gauges"].items() if not kv[0].startswith("par.")]
+json.dump(m, open("results/.serve_storm.metrics.run1.json", "w"), sort_keys=True)
+EOF
+SC_THREADS=4 cargo run --release -q -p sc-bench --bin serve_storm -- --quick >/dev/null
+python3 - <<'EOF'
+import json
+m = json.load(open("results/serve_storm.manifest.json"))["metrics"]
+m["counters"] = [kv for kv in m["counters"].items() if not kv[0].startswith("par.")]
+m["gauges"] = [kv for kv in m["gauges"].items() if not kv[0].startswith("par.")]
+first = json.load(open("results/.serve_storm.metrics.run1.json"))
+second = json.loads(json.dumps(m, sort_keys=True))
+assert first == second, "serve_storm clean rerun diverged: the serving layer is not deterministic"
+c = dict(m["counters"])
+for k in ("serve.completed", "serve.degraded", "serve.shed", "serve.retry", "serve.breaker.trip"):
+    assert c.get(k, 0) > 0, f"serve_storm manifest missing {k}"
+EOF
+rm -f results/.serve_storm.metrics.run1.json
+
+echo "==> serve gate: serve_storm --quick under ambient serve-backend faults"
+SC_FAULTS="serve.backend:flip@0.05;seed=11" SC_THREADS=4 \
+    cargo run --release -q -p sc-bench --bin serve_storm -- --quick >/dev/null
+python3 - <<'EOF'
+import json
+m = json.load(open("results/serve_storm.manifest.json"))
+assert "sc_faults" in m["config"], "manifest must record the SC_FAULTS spec"
+c = m["metrics"]["counters"]
+assert c.get("fault.injected.serve.backend", 0) > 0, "serve faults were not injected"
+EOF
+
+echo "==> manifest gate: every emitted manifest carries the current schema version"
+python3 - <<'EOF'
+import glob, json, os
+stamp = os.path.getmtime(os.environ["CI_STAMP"])
+paths = sorted(p for p in glob.glob("results/*.manifest.json") if os.path.getmtime(p) >= stamp)
+assert paths, "no manifests emitted this run; bench gates did not execute"
+for p in paths:
+    v = json.load(open(p)).get("schema_version")
+    assert v == 2, f"{p}: schema_version {v!r} != 2 (bump MANIFEST_SCHEMA_VERSION consumers together)"
+print(f"    {len(paths)} manifest(s) emitted this run, all at schema version 2")
 EOF
 
 echo "==> fault gate: zero-rate plan is bitwise identical to no plan"
