@@ -11,6 +11,7 @@ use sc_core::{Error, Precision};
 use sc_fault::{FaultKind, FaultSite};
 use sc_fixed::FixedMul;
 use sc_telemetry::metrics::{counter, histogram, Counter, Histogram};
+use sc_telemetry::TileProfile;
 
 /// Canonical `sc-fault` site names registered by this crate.
 pub mod sites {
@@ -26,10 +27,15 @@ pub mod sites {
 /// cycles it took.
 type AccumulateFn<'a> = dyn FnMut(i32, &[i32]) -> Result<u64, Error> + 'a;
 
-/// A tile's verified result: total billed cycles, the accepted output
+/// A tile's verified result: the cycle breakdown, the accepted output
 /// writes, and whether they came from the degraded (truncated-stream)
 /// recompute.
-type VerifiedTile = (u64, Vec<(usize, i64)>, bool);
+type VerifiedTile = (TileProfile, Vec<(usize, i64)>, bool);
+
+/// A tile's raw compute result: billed cycles, cycles the truncated
+/// stream saved versus the full serial schedule (0 outside EDT mode),
+/// and the write-back list.
+type ComputedTile = (u64, u64, Vec<(usize, i64)>);
 
 /// Cached metric handles for the engine hot loops (name lookup happens
 /// once; recording is a flag check + relaxed atomic).
@@ -40,6 +46,9 @@ struct EngineMetrics {
     cycles: Counter,
     tiles: Counter,
     tile_cycles: Arc<Histogram>,
+    verify_cycles: Counter,
+    degraded_cycles: Counter,
+    edt_saved: Counter,
 }
 
 fn engine_metrics() -> &'static EngineMetrics {
@@ -51,6 +60,9 @@ fn engine_metrics() -> &'static EngineMetrics {
         cycles: counter("accel.cycles"),
         tiles: counter("accel.tiles"),
         tile_cycles: histogram("accel.tile.cycles", &[16, 64, 256, 1024, 4096, 16384, 65536]),
+        verify_cycles: counter("accel.cycles.verify"),
+        degraded_cycles: counter("accel.cycles.degraded"),
+        edt_saved: counter("accel.edt.saved_cycles"),
     })
 }
 
@@ -106,6 +118,10 @@ pub struct LayerRun {
     /// truncated-stream progressive-precision fallback. Empty whenever
     /// `accel.tile.output` is disarmed.
     pub degraded_tiles: Vec<usize>,
+    /// Per-tile cycle breakdown (compute / DMR verify / EDT recompute /
+    /// EDT savings), in the same canonical tile order. Tile totals sum
+    /// to [`LayerRun::cycles`].
+    pub tiles: Vec<TileProfile>,
 }
 
 /// The accelerator: a bank of `T_M` vector units of `p = T_R·T_C` lanes.
@@ -213,6 +229,7 @@ impl TileEngine {
         let mut cycles = 0u64;
         let mut traffic = Traffic::default();
         let mut degraded_tiles = Vec::new();
+        let mut tile_profiles = Vec::new();
 
         let arithmetic = self.arithmetic;
         let _layer = sc_telemetry::span!("accel.layer", arithmetic, g.m, g.z, r, c);
@@ -267,7 +284,7 @@ impl TileEngine {
                 p,
                 effective_bits,
             )?;
-            let (cycles, writes, degraded) = match &tile_site {
+            let (profile, writes, degraded) = match &tile_site {
                 Some(site) => self.verify_tile(
                     site,
                     t,
@@ -281,13 +298,17 @@ impl TileEngine {
                     p,
                     effective_bits,
                 )?,
-                None => (clean.0, clean.1, false),
+                None => (
+                    TileProfile { compute: clean.0, verify: 0, recompute: 0, edt_saved: clean.1 },
+                    clean.2,
+                    false,
+                ),
             };
             Ok(TileDone {
                 input_words: (g.z * patch_h * patch_w) as u64,
                 weight_words: ((m_hi - m1) * g.depth()) as u64,
                 output_words: ((m_hi - m1) * (r_hi - r1) * (c_hi - c1)) as u64,
-                cycles,
+                profile,
                 writes,
                 degraded,
             })
@@ -305,21 +326,25 @@ impl TileEngine {
             metrics.input_words.incr(done.input_words);
             metrics.weight_words.incr(done.weight_words);
             metrics.output_words.incr(done.output_words);
-            let tile_cycles = done.cycles;
+            let tile_cycles = done.profile.cycles();
             metrics.tiles.incr(1);
             metrics.cycles.incr(tile_cycles);
             metrics.tile_cycles.record(tile_cycles);
+            metrics.verify_cycles.incr(done.profile.verify);
+            metrics.degraded_cycles.incr(done.profile.recompute);
+            metrics.edt_saved.incr(done.profile.edt_saved);
             sc_telemetry::event!("accel.tile.done", m1, r1, c1, tile_cycles);
             if done.degraded {
                 degraded_tiles.push(t);
                 sc_telemetry::event!("accel.tile.degraded", m1, r1, c1);
             }
             cycles += tile_cycles;
+            tile_profiles.push(done.profile);
             for (index, value) in done.writes {
                 outputs[index] = value;
             }
         }
-        Ok(LayerRun { outputs, cycles, traffic, degraded_tiles })
+        Ok(LayerRun { outputs, cycles, traffic, degraded_tiles, tiles: tile_profiles })
     }
 
     /// Stages a code buffer through a parity-protected SRAM bank when
@@ -361,7 +386,7 @@ impl TileEngine {
         &self,
         site: &FaultSite,
         t: usize,
-        clean: (u64, Vec<(usize, i64)>),
+        clean: ComputedTile,
         g: &ConvGeometry,
         input: &[i32],
         weights: &[i32],
@@ -371,16 +396,17 @@ impl TileEngine {
         p: usize,
         effective_bits: Option<u32>,
     ) -> Result<VerifiedTile, Error> {
-        let (base_cycles, clean_writes) = clean;
+        let (base_cycles, base_saved, clean_writes) = clean;
         let acc = SaturatingAccumulator::new(self.n, self.extra_bits);
         let (lo, hi) = acc.range();
         let width = acc.width();
-        let mut total_cycles = base_cycles;
+        let mut profile =
+            TileProfile { compute: base_cycles, verify: 0, recompute: 0, edt_saved: base_saved };
         let attempts = 1 + self.policy.retries;
         for attempt in 0..attempts {
             // The first attempt reuses the base compute as replica A;
             // every comparison needs one more replica.
-            total_cycles += if attempt == 0 { base_cycles } else { 2 * base_cycles };
+            profile.verify += if attempt == 0 { base_cycles } else { 2 * base_cycles };
             let a = self.corrupt_writes(site, t, attempt, 0, width, &clean_writes);
             let b = self.corrupt_writes(site, t, attempt, 1, width, &clean_writes);
             if a.iter().any(|&(_, v)| v < lo || v > hi) {
@@ -394,7 +420,7 @@ impl TileEngine {
             if a != clean_writes {
                 sc_fault::record_masked(1);
             }
-            return Ok((total_cycles, a, false));
+            return Ok((profile, a, false));
         }
         if !self.policy.degrade {
             return Err(Error::RetryExhausted { what: format!("tile {t} outputs"), attempts });
@@ -407,9 +433,11 @@ impl TileEngine {
             .degrade_bits
             .clamp(1, self.n.bits())
             .min(effective_bits.unwrap_or(u32::MAX));
-        let (deg_cycles, deg_writes) =
+        let (deg_cycles, deg_saved, deg_writes) =
             self.run_tile(g, input, weights, m_range, r_range, c_range, p, Some(s))?;
-        Ok((total_cycles + deg_cycles, deg_writes, true))
+        profile.recompute = deg_cycles;
+        profile.edt_saved += deg_saved;
+        Ok((profile, deg_writes, true))
     }
 
     /// Applies the `accel.tile.output` fault draws to one replica of a
@@ -453,7 +481,9 @@ impl TileEngine {
     /// disjoint, so order is cosmetic — but determinism is the
     /// contract). `edt_s = Some(s)` runs the degraded progressive-
     /// precision mode: every MAC terminates after the top `s` weight
-    /// bits, whatever the configured arithmetic.
+    /// bits, whatever the configured arithmetic; the returned savings
+    /// are the cycles truncation shaved off the full-precision serial
+    /// schedule (`max_m Σ|w|`) for this tile.
     #[allow(clippy::too_many_arguments)]
     fn run_tile(
         &self,
@@ -465,10 +495,11 @@ impl TileEngine {
         (c1, c_hi): (usize, usize),
         p: usize,
         edt_s: Option<u32>,
-    ) -> Result<(u64, Vec<(usize, i64)>), Error> {
+    ) -> Result<ComputedTile, Error> {
         let (r, c) = (g.r(), g.c());
         let mut xs = vec![0i32; p];
         let mut tile_cycles = 0u64;
+        let mut tile_full = 0u64;
         let mut writes = Vec::with_capacity((m_hi - m1) * (r_hi - r1) * (c_hi - c1));
 
         for m in m1..m_hi {
@@ -502,10 +533,14 @@ impl TileEngine {
                 Ok(())
             };
 
+            let mut unit_full = 0u64;
             let values: Vec<i64> = if let Some(s) = edt_s {
                 let edt = EarlyTerminationScMac::new(self.n, s)?;
                 let mut accs = vec![SaturatingAccumulator::new(self.n, self.extra_bits); p];
                 run_unit(&mut |w, xs| {
+                    // What the full-precision serial schedule would have
+                    // billed for this term: |w| cycles.
+                    unit_full += w.unsigned_abs() as u64;
                     let mut term_cycles = 0;
                     for (acc, &x) in accs.iter_mut().zip(xs) {
                         let product = edt.multiply(w, x)?;
@@ -545,6 +580,7 @@ impl TileEngine {
                 }
             };
             tile_cycles = tile_cycles.max(unit_cycles);
+            tile_full = tile_full.max(unit_full);
 
             for (lane, &v) in values.iter().enumerate() {
                 let rr = r1 + lane / self.tiling.t_c;
@@ -554,7 +590,8 @@ impl TileEngine {
                 }
             }
         }
-        Ok((tile_cycles, writes))
+        // Outside EDT mode tile_full stays 0, so savings read 0.
+        Ok((tile_cycles, tile_full.saturating_sub(tile_cycles), writes))
     }
 }
 
@@ -564,7 +601,7 @@ struct TileDone {
     input_words: u64,
     weight_words: u64,
     output_words: u64,
-    cycles: u64,
+    profile: TileProfile,
     writes: Vec<(usize, i64)>,
     degraded: bool,
 }
@@ -780,6 +817,38 @@ mod tests {
         }
         assert!(engine.run_layer_at(&g, &input, &weights, Some(0)).is_err());
         assert!(engine.run_layer_at(&g, &input, &weights, Some(9)).is_err());
+    }
+
+    #[test]
+    fn tile_profiles_sum_to_layer_cycles_and_track_edt_savings() {
+        let g = small_geometry();
+        let n = Precision::new(8).unwrap();
+        let (input, weights) = test_data(&g, n);
+        let engine = TileEngine::new(
+            n,
+            Tiling { t_m: 2, t_r: 2, t_c: 2 },
+            AccelArithmetic::ProposedSerial,
+            8,
+        );
+        let full = engine.run_layer(&g, &input, &weights).unwrap();
+        assert!(!full.tiles.is_empty());
+        assert_eq!(full.tiles.iter().map(TileProfile::cycles).sum::<u64>(), full.cycles);
+        // Clean full-precision run: pure compute, nothing saved.
+        for tp in &full.tiles {
+            assert_eq!(tp.verify, 0);
+            assert_eq!(tp.recompute, 0);
+            assert_eq!(tp.edt_saved, 0);
+            assert_eq!(tp.compute, tp.cycles());
+        }
+        // A truncated tier saves cycles versus the full serial schedule,
+        // and the savings account exactly for the latency gap per tile.
+        let tier = engine.run_layer_at(&g, &input, &weights, Some(4)).unwrap();
+        assert_eq!(tier.tiles.iter().map(TileProfile::cycles).sum::<u64>(), tier.cycles);
+        let saved: u64 = tier.tiles.iter().map(|t| t.edt_saved).sum();
+        assert!(saved > 0, "s=4 must shorten streams on this data");
+        for (tp, fp) in tier.tiles.iter().zip(&full.tiles) {
+            assert_eq!(tp.compute + tp.edt_saved, fp.compute, "savings + billed = full schedule");
+        }
     }
 
     #[test]

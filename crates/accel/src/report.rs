@@ -90,6 +90,7 @@ mod tests {
             cycles: 100,
             traffic: Default::default(),
             degraded_tiles: vec![],
+            tiles: vec![],
         };
         let run_b = LayerRun { cycles: 200, ..run_a.clone() };
         let a = report(&g, &tiling, n, AccelArithmetic::Fixed, &run_a);
@@ -108,6 +109,7 @@ mod tests {
             cycles: 0,
             traffic: Default::default(),
             degraded_tiles: vec![],
+            tiles: vec![],
         };
         let rep = report(&g, &tiling, n, AccelArithmetic::ProposedSerial, &run);
         assert_eq!(rep.cycles, 0);

@@ -135,10 +135,7 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
     }
     println!("\ncheck: proposed-SC rmse < fixed-point rmse at every rate >= 1e-3  [ok]");
 
-    let path = "results/fault_sweep.json";
-    sc_telemetry::export::write_json(path, &Json::Arr(rows)).expect("write fault_sweep.json");
-    ctx.record_artifact(path);
-    println!("wrote {path}");
+    ctx.results_json(&Json::Arr(rows)).expect("write fault_sweep.json");
 }
 
 /// Measures one cell's RMS fault damage in counter units.

@@ -1,0 +1,84 @@
+//! `sc_report` — the perf-regression gate.
+//!
+//! Diffs the current `results/*.manifest.json` against the committed
+//! baselines in `results/baseline/`, prints a per-metric delta table,
+//! writes it to `results/report.txt`, appends one trajectory row per
+//! compared bench to `results/BENCH_<bench>.json`, and exits nonzero on
+//! any regression — which is what `scripts/ci.sh` gates on.
+//!
+//! ```text
+//! sc_report [--baseline DIR] [--results DIR] [--tolerance F] [--all]
+//! ```
+//!
+//! `--tolerance` is a relative band (`|cur − base| ≤ F·max(|base|, 1)`;
+//! default 0: the benches are deterministic, so exact is the norm).
+//! `--all` additionally fails when a baselined bench has no current
+//! manifest, for use after a full bench sweep.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sc_bench::report::{append_trajectory, compare_dirs, render_table};
+use sc_telemetry::RunManifest;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline =
+        PathBuf::from(arg_value(&args, "--baseline").unwrap_or_else(|| "results/baseline".into()));
+    let results = PathBuf::from(arg_value(&args, "--results").unwrap_or_else(|| "results".into()));
+    let tolerance: f64 = match arg_value(&args, "--tolerance").map(|v| v.parse()) {
+        None => 0.0,
+        Some(Ok(t)) => t,
+        Some(Err(e)) => {
+            eprintln!("sc_report: bad --tolerance value: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let require_all = args.iter().any(|a| a == "--all");
+
+    if !baseline.is_dir() {
+        eprintln!(
+            "sc_report: baseline directory {} does not exist; run scripts/update_baseline.sh \
+             to seed it",
+            baseline.display()
+        );
+        return ExitCode::from(2);
+    }
+    let report = match compare_dirs(&baseline, &results, tolerance, require_all) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sc_report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let table = render_table(&report);
+    print!("{table}");
+    let report_path = results.join("report.txt");
+    if let Err(e) = std::fs::write(&report_path, &table) {
+        eprintln!("sc_report: could not write {}: {e}", report_path.display());
+        return ExitCode::from(2);
+    }
+    println!("wrote {}", report_path.display());
+
+    for cmp in &report.comparisons {
+        let manifest_path = results.join(format!("{}.manifest.json", cmp.bench));
+        match RunManifest::read(&manifest_path) {
+            Ok(m) => match append_trajectory(&results, &m, cmp.regressions()) {
+                Ok(path) => println!("appended trajectory row to {}", path.display()),
+                Err(e) => eprintln!("sc_report: trajectory for {}: {e}", cmp.bench),
+            },
+            Err(e) => eprintln!("sc_report: reread {}: {e}", manifest_path.display()),
+        }
+    }
+
+    if report.regressions() > 0 {
+        eprintln!("sc_report: {} regression(s) against baseline", report.regressions());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -19,8 +19,12 @@
 //! Also checked here: the zero-rate fault identity (a `@0` plan is
 //! bitwise invisible), the truncated-stream quality bound for every
 //! degradation tier, and full-tier neural serving agreeing exactly with
-//! full-precision inference. Emits `results/serve_storm.json` plus the
-//! usual manifest; `--quick` shrinks the traces.
+//! full-precision inference — and that every response's span tree
+//! validates with its cycle attribution summing exactly to latency,
+//! covering ≥95% of total request cycles. Emits
+//! `results/serve_storm.json`, a Perfetto-loadable
+//! `results/serve_storm.trace.json` (one process per scenario), plus
+//! the usual manifest; `--quick` shrinks the traces.
 
 use sc_accel::{AccelArithmetic, ConvGeometry, TileEngine, Tiling};
 use sc_bench::cli;
@@ -59,6 +63,7 @@ fn protected_config() -> ServerConfig {
         breaker: BreakerConfig { failure_threshold: 4, cooldown: 8192 },
         degrade: ladder(),
         failure_ticks: 64,
+        trace_seed: 0xACE5,
     }
 }
 
@@ -135,8 +140,23 @@ struct ScenarioRow {
 }
 
 impl ScenarioRow {
+    /// Merged per-category cycle attribution across the scenario's
+    /// responses.
+    fn attribution(&self) -> sc_telemetry::CycleAttribution {
+        let mut attr = sc_telemetry::CycleAttribution::new();
+        for r in &self.report.responses {
+            attr.merge(&r.attribution);
+        }
+        attr
+    }
+
     fn to_json(&self) -> Json {
         let r = &self.report;
+        let attribution = self
+            .attribution()
+            .iter()
+            .map(|(c, cycles)| (c.name().to_string(), Json::UInt(cycles)))
+            .collect();
         Json::obj(vec![
             ("scenario", Json::Str(self.name.to_string())),
             ("requests", Json::UInt(self.requests as u64)),
@@ -157,6 +177,7 @@ impl ScenarioRow {
             ("p95_ticks", Json::UInt(r.latency_percentile(95.0))),
             ("p99_ticks", Json::UInt(r.latency_percentile(99.0))),
             ("horizon_ticks", Json::UInt(r.horizon)),
+            ("attribution", Json::Obj(attribution)),
         ])
     }
 }
@@ -268,6 +289,33 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
         naive.latency_percentile(99.0)
     );
 
+    // Causal tracing: every scenario's span trees are structurally
+    // valid, attribute every latency cycle exactly, and export together
+    // as one Perfetto-loadable Chrome trace.
+    let mut traced_total = 0u64;
+    let mut traced_leaves = 0u64;
+    for row in &rows {
+        assert_eq!(row.report.traces.len(), row.report.responses.len());
+        for (resp, tree) in row.report.responses.iter().zip(&row.report.traces) {
+            tree.validate().unwrap_or_else(|e| panic!("{}: bad span tree: {e}", row.name));
+            assert_eq!(
+                resp.attribution.total(),
+                resp.latency,
+                "{}: request {} attribution must sum to its latency",
+                row.name,
+                resp.id
+            );
+            traced_total += tree.total_cycles();
+            traced_leaves += tree.leaf_cycles();
+        }
+    }
+    let coverage = if traced_total == 0 { 1.0 } else { traced_leaves as f64 / traced_total as f64 };
+    assert!(coverage >= 0.95, "span trees must cover >=95% of request cycles, got {coverage}");
+    let processes: Vec<(&str, &[sc_telemetry::SpanTree])> =
+        rows.iter().map(|r| (r.name, r.report.traces.as_slice())).collect();
+    ctx.write_trace(&processes).expect("write chrome trace");
+    println!("check: span trees cover {:.1}% of request cycles  [ok]", coverage * 100.0);
+
     // Zero-rate identity: a @0 serve fault plan is bitwise invisible.
     let run_scoped = |spec: &str| {
         let _g = sc_fault::scoped(sc_fault::FaultPlan::parse(spec).expect("valid spec"));
@@ -293,10 +341,7 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
         ("scenarios", Json::Arr(rows.iter().map(ScenarioRow::to_json).collect())),
         ("neural_agreement", agreement),
     ]);
-    let path = "results/serve_storm.json";
-    sc_telemetry::export::write_json(path, &json).expect("write serve_storm.json");
-    ctx.record_artifact(path);
-    println!("\nwrote {path}");
+    ctx.results_json(&json).expect("write serve_storm.json");
 }
 
 /// Degraded outputs stay within `depth × (EDT bound + N/2)` of the

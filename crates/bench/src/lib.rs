@@ -26,4 +26,5 @@ pub mod csv;
 pub mod error_stats;
 pub mod fig6;
 pub mod microbench;
+pub mod report;
 pub mod weights;

@@ -208,6 +208,7 @@ fn serve_layer_identical_across_thread_counts() {
             DegradeTier { occupancy: 0.9, effective_bits: 3 },
         ]),
         failure_ticks: 32,
+        trace_seed: 0x17,
     };
     // Scoped inside the closure: armed only while THREADS_LOCK is held.
     let run_with = |spec: &str| {
@@ -231,6 +232,79 @@ fn serve_layer_identical_across_thread_counts() {
     with_threads("serve faulted", || {
         run_with("serve.backend:flip@0.3;accel.sram.input:flip@0.005;seed=4")
     });
+}
+
+/// The tracing contract: trace ids, complete span trees, and per-request
+/// cycle attribution are bitwise identical at every `SC_THREADS`, clean
+/// and with `serve.backend` faults armed — and each request's
+/// attribution sums *exactly* to its latency (no lost or double-counted
+/// cycles).
+#[test]
+fn span_trees_and_attribution_identical_and_exact_across_thread_counts() {
+    use sc_serve::{
+        AccelBackend, AccelPayload, BreakerConfig, DegradePolicy, DegradeTier, Request,
+        RetryPolicy, Server, ServerConfig, ShedPolicy,
+    };
+    use sc_telemetry::TraceId;
+    let n = Precision::new(8).unwrap();
+    let geometry = ConvGeometry { z: 2, in_h: 7, in_w: 7, m: 3, k: 3, stride: 1 };
+    let payload = AccelPayload {
+        input: (0..geometry.z * geometry.in_h * geometry.in_w)
+            .map(|i| ((i as i32 * 29 + 3) % 33) - 16)
+            .collect(),
+        weights: (0..geometry.m * geometry.depth())
+            .map(|i| ((i as i32 * 17 + 7) % 25) - 12)
+            .collect(),
+        geometry,
+    };
+    let backend = || {
+        let engine = TileEngine::new(
+            n,
+            Tiling { t_m: 2, t_r: 3, t_c: 3 },
+            AccelArithmetic::ProposedSerial,
+            4,
+        );
+        AccelBackend::new(engine, vec![payload.clone()])
+    };
+    const TRACE_SEED: u64 = 0xBEE5;
+    let config = || ServerConfig {
+        queue_capacity: 6,
+        shed_policy: ShedPolicy::ShedByDeadline,
+        retry: RetryPolicy { max_attempts: 3, base: 128, cap: 1024, seed: 0x51 },
+        breaker: BreakerConfig { failure_threshold: 4, cooldown: 2048 },
+        degrade: DegradePolicy::new(vec![DegradeTier { occupancy: 0.5, effective_bits: 5 }]),
+        failure_ticks: 32,
+        trace_seed: TRACE_SEED,
+    };
+    let trace: Vec<Request> = (0..32)
+        .map(|i| Request { id: i, arrival: 100 + (i / 6) * 40, deadline: 35_000, payload: 0 })
+        .collect();
+    // The fingerprint covers only the trees and attributions, so a
+    // divergence here is unambiguously a tracing bug (not a scheduling
+    // one); validity and the sum-to-latency invariant are asserted on
+    // every run along the way.
+    let run_with = |spec: &str| {
+        let _s = sc_fault::scoped(sc_fault::FaultPlan::parse(spec).unwrap());
+        let report = Server::new(config()).run(&mut backend(), trace.clone());
+        assert_eq!(report.traces.len(), report.responses.len());
+        let mut fp = Vec::new();
+        for (resp, tree) in report.responses.iter().zip(&report.traces) {
+            tree.validate().expect("span trees must stay well-formed");
+            assert_eq!(tree.trace_id(), TraceId::derive(TRACE_SEED, resp.id));
+            assert_eq!(
+                resp.attribution.total(),
+                resp.latency,
+                "request {}: attribution must sum exactly to latency",
+                resp.id
+            );
+            assert_eq!(tree.attribution(), resp.attribution);
+            fp.extend(tree.fingerprint());
+            fp.extend(resp.attribution.fingerprint());
+        }
+        fp
+    };
+    with_threads("span trees clean", || run_with(""));
+    with_threads("span trees faulted", || run_with("serve.backend:flip@0.3;seed=11"));
 }
 
 #[test]

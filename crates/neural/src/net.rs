@@ -101,16 +101,39 @@ impl Network {
         effective_bits: Option<u32>,
         lanes: usize,
     ) -> Result<u64, sc_core::Error> {
+        Ok(self
+            .proposed_sc_cycles_per_layer(input, n, effective_bits, lanes)?
+            .into_iter()
+            .map(|(_, c)| c)
+            .sum())
+    }
+
+    /// Per-conv-layer breakdown of [`Network::proposed_sc_cycles`]:
+    /// `(layer index, cycles)` for each convolution, in network order.
+    /// The cycle-attribution profiler uses this to bill each layer's
+    /// share of an inference separately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sc_core::Error::UnsupportedPrecision`] if
+    /// `effective_bits` is `Some(0)` or exceeds `n.bits()`.
+    pub fn proposed_sc_cycles_per_layer(
+        &mut self,
+        input: &Tensor,
+        n: sc_core::Precision,
+        effective_bits: Option<u32>,
+        lanes: usize,
+    ) -> Result<Vec<(usize, u64)>, sc_core::Error> {
         let mut x = input.clone();
-        let mut total = 0u64;
-        for layer in &mut self.layers {
+        let mut per_layer = Vec::new();
+        for (idx, layer) in self.layers.iter_mut().enumerate() {
             if let LayerKind::Conv(c) = layer {
                 let (h, w) = (x.shape()[1], x.shape()[2]);
-                total += c.proposed_sc_cycles(h, w, n, effective_bits, lanes)?;
+                per_layer.push((idx, c.proposed_sc_cycles(h, w, n, effective_bits, lanes)?));
             }
             x = layer.forward(&x);
         }
-        Ok(total)
+        Ok(per_layer)
     }
 
     /// Iterates over the convolution layers.

@@ -59,6 +59,16 @@ pub(crate) mod telemetry_hooks {
         pub(crate) mvm_runs: Counter,
         /// VCD timesteps written (equals the last `#time` stamp + 1).
         pub(crate) vcd_steps: Counter,
+        /// Stream bits produced by the generation stage (FSM+MUX bits,
+        /// or SNG comparator bits — two per cycle in the conventional
+        /// two-generator datapath). The generator-stage share of the
+        /// cycle budget, per Zhang et al. 2019.
+        pub(crate) sng_bits: Counter,
+        /// Select-logic steps of the (shareable) cycle-counter FSM.
+        pub(crate) fsm_steps: Counter,
+        /// Output up/down-counter update operations (one per lane per
+        /// cycle; the counting/accumulation stage).
+        pub(crate) acc_updates: Counter,
     }
 
     pub(crate) fn sim_counters() -> &'static SimCounters {
@@ -69,6 +79,9 @@ pub(crate) mod telemetry_hooks {
             mvm_cycles: counter("rtlsim.mvm.cycles"),
             mvm_runs: counter("rtlsim.mvm.runs"),
             vcd_steps: counter("rtlsim.vcd.steps"),
+            sng_bits: counter("rtlsim.sng.bits"),
+            fsm_steps: counter("rtlsim.fsm.steps"),
+            acc_updates: counter("rtlsim.acc.updates"),
         })
     }
 }

@@ -130,6 +130,10 @@ impl ProposedMacRtl {
         let counters = crate::telemetry_hooks::sim_counters();
         counters.mac_cycles.incr(c);
         counters.mac_runs.incr(1);
+        // Per cycle: one FSM select, one MUX stream bit, one counter step.
+        counters.fsm_steps.incr(c);
+        counters.sng_bits.incr(c);
+        counters.acc_updates.incr(c);
         c
     }
 
@@ -293,6 +297,9 @@ impl ConventionalMacRtl {
         let counters = crate::telemetry_hooks::sim_counters();
         counters.mac_cycles.incr(c);
         counters.mac_runs.incr(1);
+        // Two decorrelated SNGs each emit a bit per cycle; no FSM.
+        counters.sng_bits.incr(2 * c);
+        counters.acc_updates.incr(c);
         c
     }
 
@@ -365,6 +372,9 @@ impl UnsignedMacRtl {
         let counters = crate::telemetry_hooks::sim_counters();
         counters.mac_cycles.incr(c);
         counters.mac_runs.incr(1);
+        counters.fsm_steps.incr(c);
+        counters.sng_bits.incr(c);
+        counters.acc_updates.incr(c);
         c
     }
 

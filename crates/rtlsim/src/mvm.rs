@@ -167,6 +167,12 @@ impl BiscMvmRtl {
         let counters = crate::telemetry_hooks::sim_counters();
         counters.mvm_cycles.incr(c);
         counters.mvm_runs.incr(1);
+        // One shared FSM step per cycle fans out to every lane's MUX
+        // (one stream bit and one counter step per lane per cycle).
+        let lanes = self.accs.len() as u64;
+        counters.fsm_steps.incr(c);
+        counters.sng_bits.incr(c * lanes);
+        counters.acc_updates.incr(c * lanes);
         c
     }
 

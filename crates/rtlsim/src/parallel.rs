@@ -103,6 +103,7 @@ impl BitParallelMacRtl {
 
     /// Clocks until done; returns cycles consumed (`ceil(|w|/b)`).
     pub fn run_to_done(&mut self) -> u64 {
+        let bits = self.down;
         let mut c = 0;
         while !self.done() {
             self.clock();
@@ -111,6 +112,11 @@ impl BitParallelMacRtl {
         let counters = crate::telemetry_hooks::sim_counters();
         counters.mac_cycles.incr(c);
         counters.mac_runs.incr(1);
+        // The ones-counter column consumes `b` stream bits per cycle
+        // (fewer on the final partial column): `|w|` bits total, one
+        // batched up/down-counter add per cycle.
+        counters.sng_bits.incr(bits);
+        counters.acc_updates.incr(c);
         c
     }
 

@@ -16,6 +16,7 @@ use sc_neural::arith::QuantArith;
 use sc_neural::layers::ConvMode;
 use sc_neural::net::Network;
 use sc_neural::tensor::Tensor;
+use sc_telemetry::{BackendProfile, LayerProfile, TileProfile};
 
 use crate::server::{Backend, BackendReply};
 
@@ -74,7 +75,10 @@ impl Backend for AccelBackend {
     ) -> Result<BackendReply, Error> {
         let p = &self.payloads[payload];
         let run = self.engine.run_layer_at(&p.geometry, &p.input, &p.weights, effective_bits)?;
-        Ok(BackendReply { outputs: run.outputs, cycles: run.cycles })
+        // Tile totals sum to `run.cycles`, so the server can graft this
+        // profile into the request's span tree exactly.
+        let profile = BackendProfile::single_layer("conv", run.tiles);
+        Ok(BackendReply { outputs: run.outputs, cycles: run.cycles, profile })
     }
 }
 
@@ -91,7 +95,7 @@ pub struct NeuralBackend {
     lanes: usize,
     samples: Vec<Tensor>,
     arith: BTreeMap<u32, Arc<QuantArith>>,
-    served: BTreeMap<(usize, u32), (i64, u64)>,
+    served: BTreeMap<(usize, u32), (i64, u64, BackendProfile)>,
 }
 
 impl NeuralBackend {
@@ -144,8 +148,12 @@ impl Backend for NeuralBackend {
         effective_bits: Option<u32>,
     ) -> Result<BackendReply, Error> {
         let s = effective_bits.unwrap_or(self.n.bits());
-        if let Some(&(class, cycles)) = self.served.get(&(payload, s)) {
-            return Ok(BackendReply { outputs: vec![class], cycles });
+        if let Some((class, cycles, profile)) = self.served.get(&(payload, s)) {
+            return Ok(BackendReply {
+                outputs: vec![*class],
+                cycles: *cycles,
+                profile: profile.clone(),
+            });
         }
         let arith = match self.arith.get(&s) {
             Some(a) => Arc::clone(a),
@@ -157,10 +165,24 @@ impl Backend for NeuralBackend {
         };
         self.net.set_conv_mode(&ConvMode::Quantized { arith, extra_bits: self.extra_bits });
         let sample = self.samples[payload].clone();
-        let cycles = self.net.proposed_sc_cycles(&sample, self.n, Some(s), self.lanes)?;
+        let per_layer =
+            self.net.proposed_sc_cycles_per_layer(&sample, self.n, Some(s), self.lanes)?;
+        let cycles: u64 = per_layer.iter().map(|&(_, c)| c).sum();
+        // One profiled layer per conv layer, in network order; the
+        // cycle model has no per-tile breakdown here, so each layer is
+        // one compute-only tile.
+        let profile = BackendProfile {
+            layers: per_layer
+                .iter()
+                .map(|&(idx, c)| LayerProfile {
+                    name: format!("conv{idx}"),
+                    tiles: vec![TileProfile { compute: c, ..TileProfile::default() }],
+                })
+                .collect(),
+        };
         let class = self.net.predict(&sample) as i64;
-        self.served.insert((payload, s), (class, cycles));
-        Ok(BackendReply { outputs: vec![class], cycles })
+        self.served.insert((payload, s), (class, cycles, profile.clone()));
+        Ok(BackendReply { outputs: vec![class], cycles, profile })
     }
 }
 
@@ -198,6 +220,9 @@ mod tests {
         let fast = b.serve(0, Some(4)).unwrap();
         assert_eq!(full.outputs.len(), fast.outputs.len());
         assert!(fast.cycles < full.cycles, "{} !< {}", fast.cycles, full.cycles);
+        // The per-tile profile accounts for every service cycle.
+        assert_eq!(full.profile.cycles(), full.cycles);
+        assert_eq!(fast.profile.cycles(), fast.cycles);
         // Full precision is reproducible.
         assert_eq!(b.serve(0, None).unwrap(), full);
     }
@@ -220,6 +245,9 @@ mod tests {
         let fast = b.serve(0, Some(3)).unwrap();
         assert_eq!(full.outputs.len(), 1);
         assert!(fast.cycles < full.cycles);
+        // One profiled layer per conv layer, summing to the total.
+        assert_eq!(full.profile.layers.len(), 2);
+        assert_eq!(full.profile.cycles(), full.cycles);
         // Cached and fresh answers agree.
         assert_eq!(b.serve(0, None).unwrap(), full);
         let mut fresh = NeuralBackend::new(

@@ -8,6 +8,7 @@
 //! tie-break on request id, so the queue's behaviour is a pure function
 //! of its inputs.
 
+use crate::report::RequestAcct;
 use crate::server::Request;
 
 /// Who gets shed when a request arrives at a full queue.
@@ -45,12 +46,15 @@ pub struct Queued {
     /// Earliest tick this entry may be dispatched (backoff gate; 0 for
     /// fresh arrivals).
     pub not_before: u64,
+    /// The cycle-accounting timeline behind the request's span tree.
+    pub acct: RequestAcct,
 }
 
 impl Queued {
     /// Wraps a fresh arrival.
     pub fn fresh(req: Request) -> Self {
-        Queued { req, attempts: 0, not_before: 0 }
+        let acct = RequestAcct::new(req.arrival);
+        Queued { req, attempts: 0, not_before: 0, acct }
     }
 }
 

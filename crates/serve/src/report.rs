@@ -6,6 +6,65 @@
 //! completions, virtual-latency percentiles, and the peak queue depth.
 //! [`ServeReport::fingerprint`] flattens all of it into a `Vec<u64>` for
 //! bitwise-reproducibility assertions.
+//!
+//! Since the tracing PR every response also carries its
+//! [`CycleAttribution`] and the report the full [`SpanTree`] list, both
+//! derived from the [`RequestAcct`] timeline the server keeps per
+//! request.
+
+use sc_telemetry::{BackendProfile, CycleAttribution, SpanTree};
+
+/// One accounted slice of a request's lifetime, recorded by the server
+/// as events happen and replayed into a [`SpanTree`] at finalization.
+/// Segments are contiguous on the virtual clock by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Segment {
+    /// Time spent waiting in the admission queue: backoff gate first
+    /// (`[start, boundary)`), then dispatchable queue wait
+    /// (`[boundary, end)`). Either half may be empty.
+    Wait {
+        /// First waiting tick.
+        start: u64,
+        /// Backoff-gate expiry, clamped into `[start, end]`.
+        boundary: u64,
+        /// Tick the wait ended (dispatch, expiry, or shed).
+        end: u64,
+    },
+    /// One backend occupation window: a successful service window
+    /// (`ok`) or a failed attempt burning its fault-detection latency.
+    Attempt {
+        /// Dispatch tick.
+        start: u64,
+        /// Completion / failure-detection tick.
+        end: u64,
+        /// Whether the backend call succeeded.
+        ok: bool,
+        /// The backend's cycle breakdown, when the call produced one.
+        profile: Option<BackendProfile>,
+    },
+    /// A circuit-breaker fail-fast decision (instantaneous).
+    Breaker {
+        /// The decision tick.
+        at: u64,
+    },
+}
+
+/// The per-request timeline the server accumulates while a request is
+/// alive: the last accounted tick plus the closed segments so far.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestAcct {
+    /// First tick not yet covered by a segment (starts at arrival).
+    pub marker: u64,
+    /// Closed, contiguous segments.
+    pub segments: Vec<Segment>,
+}
+
+impl RequestAcct {
+    /// An empty timeline starting at `arrival`.
+    pub fn new(arrival: u64) -> Self {
+        RequestAcct { marker: arrival, segments: Vec::new() }
+    }
+}
 
 /// Terminal outcome of one request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +126,10 @@ pub struct Response {
     /// `finished_at − arrival`: sojourn time in ticks (for completed
     /// requests, the serving latency).
     pub latency: u64,
+    /// Where every cycle of `latency` went, bucketed by
+    /// [`sc_telemetry::CycleCategory`]. The non-structural buckets sum
+    /// exactly to `latency` (the span-tree tiling invariant).
+    pub attribution: CycleAttribution,
 }
 
 /// Aggregated result of one [`crate::Server::run`].
@@ -93,6 +156,9 @@ pub struct ServeReport {
     pub max_queue_depth: usize,
     /// Virtual tick at which the last event was processed.
     pub horizon: u64,
+    /// One causal span tree per request, in finalization order (same
+    /// order as `responses`).
+    pub traces: Vec<SpanTree>,
 }
 
 impl ServeReport {
@@ -143,6 +209,10 @@ impl ServeReport {
                 _ => u64::MAX,
             };
             fp.extend([r.id, r.outcome.code(), tier, r.attempts as u64, r.finished_at, r.latency]);
+            fp.extend(r.attribution.fingerprint());
+        }
+        for t in &self.traces {
+            fp.extend(t.fingerprint());
         }
         fp
     }
@@ -160,6 +230,7 @@ mod tests {
             attempts: 1,
             finished_at: latency,
             latency,
+            attribution: CycleAttribution::new(),
         }
     }
 
@@ -176,6 +247,7 @@ mod tests {
             breaker_trips: 0,
             max_queue_depth: 1,
             horizon: 1000,
+            traces: vec![],
         };
         assert_eq!(report.latency_percentile(50.0), 500);
         assert_eq!(report.latency_percentile(99.0), 990);
@@ -197,6 +269,7 @@ mod tests {
             breaker_trips: 0,
             max_queue_depth: 0,
             horizon: 0,
+            traces: vec![],
         };
         assert_eq!(report.latency_percentile(99.0), 0);
     }
@@ -214,6 +287,7 @@ mod tests {
             breaker_trips: 0,
             max_queue_depth: 1,
             horizon: 10,
+            traces: vec![],
         };
         let fp = a.fingerprint();
         a.responses[0].latency = 11;

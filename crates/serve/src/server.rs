@@ -18,13 +18,14 @@
 
 use std::sync::{Arc, OnceLock};
 
-use sc_telemetry::metrics::{counter, histogram, Counter, Histogram};
+use sc_telemetry::metrics::{counter, histogram, log2_bounds, Counter, Histogram};
+use sc_telemetry::{BackendProfile, CycleCategory, SpanId, SpanTree, TraceId};
 
 use crate::breaker::CircuitBreaker;
 use crate::clock::VirtualClock;
 use crate::degrade::DegradePolicy;
 use crate::queue::{AdmissionQueue, Queued, ShedPolicy};
-use crate::report::{Outcome, Response, ServeReport};
+use crate::report::{Outcome, Response, Segment, ServeReport};
 use crate::retry::RetryPolicy;
 
 /// One inference request.
@@ -47,6 +48,9 @@ pub struct BackendReply {
     pub outputs: Vec<i64>,
     /// Data-dependent SC cycle count — the request's service time.
     pub cycles: u64,
+    /// Where the cycles went, per layer and tile. When its total equals
+    /// `cycles` the server grafts it into the request's span tree.
+    pub profile: BackendProfile,
 }
 
 /// An inference backend the server fronts.
@@ -81,6 +85,9 @@ pub struct ServerConfig {
     /// Virtual ticks a failed backend call burns before the failure is
     /// detected (fault-detection latency).
     pub failure_ticks: u64,
+    /// Seed mixed into every [`TraceId`] minted at admission; two runs
+    /// with the same seed produce bitwise-identical trace ids.
+    pub trace_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +99,7 @@ impl Default for ServerConfig {
             breaker: crate::breaker::BreakerConfig::default(),
             degrade: DegradePolicy::none(),
             failure_ticks: 64,
+            trace_seed: 0,
         }
     }
 }
@@ -119,10 +127,9 @@ fn metrics() -> &'static ServeMetrics {
         degraded: counter("serve.degraded"),
         failed: counter("serve.failed"),
         breaker_final: counter("serve.breaker_open"),
-        latency: histogram(
-            "serve.latency",
-            &[64, 256, 1024, 4096, 16_384, 65_536, 262_144, 1_048_576],
-        ),
+        // Power-of-two buckets so the histogram supports nearest-rank
+        // quantiles (p50/p90/p99) within a 2× bound.
+        latency: histogram("serve.latency", &log2_bounds(24)),
     })
 }
 
@@ -135,6 +142,105 @@ struct Inflight {
     /// surfaced by the backend) and the failure is detected at
     /// `finish_at`.
     error: Option<sc_core::Error>,
+    /// The successful reply's cycle breakdown (`None` on failure).
+    profile: Option<BackendProfile>,
+}
+
+/// Closes the open wait interval `[marker, now)` on `entry` as a
+/// [`Segment::Wait`], split at the backoff-gate expiry: the portion
+/// before `not_before` was backoff, the rest dispatchable queue wait.
+fn settle_wait(entry: &mut Queued, now: u64) {
+    let start = entry.acct.marker;
+    if now <= start {
+        return;
+    }
+    let boundary = entry.not_before.clamp(start, now);
+    entry.acct.segments.push(Segment::Wait { start, boundary, end: now });
+    entry.acct.marker = now;
+}
+
+/// Replays a finalized request's accounting timeline into its causal
+/// span tree. Segments are contiguous on the virtual clock by
+/// construction, so the tree satisfies [`SpanTree::validate`]'s tiling
+/// invariant and its attribution sums exactly to the request's latency.
+fn build_trace(trace_seed: u64, entry: &Queued, now: u64) -> SpanTree {
+    let trace = TraceId::derive(trace_seed, entry.req.id);
+    let mut tree = SpanTree::new(
+        trace,
+        format!("request {}", entry.req.id),
+        CycleCategory::Request,
+        entry.req.arrival,
+        now,
+    );
+    let root = tree.root().id;
+    for seg in &entry.acct.segments {
+        match seg {
+            Segment::Wait { start, boundary, end } => {
+                if boundary > start {
+                    tree.add(root, "backoff", CycleCategory::BackoffWait, *start, *boundary);
+                }
+                if end > boundary {
+                    tree.add(root, "queue wait", CycleCategory::QueueWait, *boundary, *end);
+                }
+            }
+            Segment::Breaker { at } => {
+                tree.add(root, "breaker reject", CycleCategory::Breaker, *at, *at);
+            }
+            Segment::Attempt { start, end, ok: false, .. } => {
+                tree.add(root, "failed attempt", CycleCategory::FailureDetect, *start, *end);
+            }
+            Segment::Attempt { start, end, ok: true, profile } => {
+                let svc = tree.add(root, "service", CycleCategory::Service, *start, *end);
+                graft_profile(&mut tree, svc, profile.as_ref(), *start, *end);
+            }
+        }
+    }
+    tree
+}
+
+/// Lays the backend's layer/tile breakdown out contiguously inside the
+/// service window when its total matches the window exactly; otherwise
+/// (mock backends, the `.max(1)` service floor) bills the whole window
+/// as one MAC-stream leaf so the tiling invariant still holds.
+fn graft_profile(
+    tree: &mut SpanTree,
+    svc: SpanId,
+    profile: Option<&BackendProfile>,
+    start: u64,
+    end: u64,
+) {
+    let matching = profile.filter(|p| p.cycles() == end - start && p.cycles() > 0);
+    let Some(p) = matching else {
+        if end > start {
+            tree.add(svc, "mac stream", CycleCategory::MacStream, start, end);
+        }
+        return;
+    };
+    let mut cursor = start;
+    for layer in &p.layers {
+        let layer_end = cursor + layer.cycles();
+        let lid = tree.add(svc, layer.name.clone(), CycleCategory::Layer, cursor, layer_end);
+        let mut tile_cursor = cursor;
+        for (i, t) in layer.tiles.iter().enumerate() {
+            let tile_end = tile_cursor + t.cycles();
+            let tid =
+                tree.add(lid, format!("tile {i}"), CycleCategory::Tile, tile_cursor, tile_end);
+            let mut c = tile_cursor;
+            if t.compute > 0 {
+                tree.add(tid, "mac stream", CycleCategory::MacStream, c, c + t.compute);
+                c += t.compute;
+            }
+            if t.verify > 0 {
+                tree.add(tid, "dmr verify", CycleCategory::DmrVerify, c, c + t.verify);
+                c += t.verify;
+            }
+            if t.recompute > 0 {
+                tree.add(tid, "edt recompute", CycleCategory::EdtRecompute, c, c + t.recompute);
+            }
+            tile_cursor = tile_end;
+        }
+        cursor = layer_end;
+    }
 }
 
 /// The deterministic serving front-end. See the module docs for the
@@ -188,8 +294,13 @@ impl Server {
         let mut failed = 0u64;
         let mut retries = 0u64;
         let mut max_queue_depth = 0usize;
+        let mut traces: Vec<SpanTree> = Vec::with_capacity(requests.len());
+        let trace_seed = self.config.trace_seed;
 
-        let mut finalize = |entry: &Queued, outcome: Outcome, now: u64| {
+        let mut finalize = |entry: &mut Queued, outcome: Outcome, now: u64| {
+            // Close the open wait interval so the accounting timeline
+            // covers the request's whole lifetime.
+            settle_wait(entry, now);
             let latency = now.saturating_sub(entry.req.arrival);
             match outcome {
                 Outcome::Completed { tier } => {
@@ -217,6 +328,21 @@ impl Server {
                     m.failed.incr(1);
                 }
             }
+            let tree = build_trace(trace_seed, entry, now);
+            debug_assert_eq!(
+                tree.validate(),
+                Ok(()),
+                "span tree for request {} is malformed",
+                entry.req.id
+            );
+            let attribution = tree.attribution();
+            debug_assert_eq!(
+                attribution.total(),
+                latency,
+                "request {}: attribution must sum to latency",
+                entry.req.id
+            );
+            sc_telemetry::record_attribution(&attribution);
             responses.push(Response {
                 id: entry.req.id,
                 payload: entry.req.payload,
@@ -224,7 +350,9 @@ impl Server {
                 attempts: entry.attempts,
                 finished_at: now,
                 latency,
+                attribution,
             });
+            traces.push(tree);
         };
 
         loop {
@@ -254,27 +382,37 @@ impl Server {
             // 1. Completion (before arrivals at the same tick).
             if let Some(inf) = inflight.take_if(|inf| inf.finish_at <= now) {
                 let mut entry = inf.entry;
+                // The backend occupation window [marker, now) is one
+                // attempt segment — a service window or a failure
+                // burning its detection latency.
+                entry.acct.segments.push(Segment::Attempt {
+                    start: entry.acct.marker,
+                    end: now,
+                    ok: inf.error.is_none(),
+                    profile: inf.profile,
+                });
+                entry.acct.marker = now;
                 match inf.error {
                     None => {
                         breaker.on_success(now);
                         if now >= entry.req.deadline {
-                            finalize(&entry, Outcome::TimedOut, now);
+                            finalize(&mut entry, Outcome::TimedOut, now);
                         } else {
-                            finalize(&entry, Outcome::Completed { tier: inf.tier }, now);
+                            finalize(&mut entry, Outcome::Completed { tier: inf.tier }, now);
                         }
                     }
                     Some(e) => {
                         breaker.on_failure(now);
                         sc_telemetry::event!("serve.attempt_failed", now, e);
                         if entry.attempts >= self.config.retry.max_attempts {
-                            finalize(&entry, Outcome::Failed, now);
+                            finalize(&mut entry, Outcome::Failed, now);
                         } else {
                             let wait = self.config.retry.backoff(entry.req.id, entry.attempts);
                             entry.not_before = now + wait;
                             if entry.not_before >= entry.req.deadline {
-                                finalize(&entry, Outcome::TimedOut, now);
-                            } else if let Some(victim) = queue.push(entry) {
-                                finalize(&victim, Outcome::Shed, now);
+                                finalize(&mut entry, Outcome::TimedOut, now);
+                            } else if let Some(mut victim) = queue.push(entry) {
+                                finalize(&mut victim, Outcome::Shed, now);
                             }
                         }
                     }
@@ -282,22 +420,22 @@ impl Server {
             }
 
             // 2. Expired deadlines among the queued.
-            for dead in queue.drop_expired(now) {
-                finalize(&dead, Outcome::TimedOut, now);
+            for mut dead in queue.drop_expired(now) {
+                finalize(&mut dead, Outcome::TimedOut, now);
             }
 
             // 3. Arrivals at this tick.
             while requests.get(next_arrival).is_some_and(|r| r.arrival <= now) {
                 let req = requests[next_arrival];
                 next_arrival += 1;
-                let entry = Queued::fresh(req);
+                let mut entry = Queued::fresh(req);
                 if req.deadline <= now {
-                    finalize(&entry, Outcome::TimedOut, now);
+                    finalize(&mut entry, Outcome::TimedOut, now);
                     continue;
                 }
                 m.admitted.incr(1);
-                if let Some(victim) = queue.push(entry) {
-                    finalize(&victim, Outcome::Shed, now);
+                if let Some(mut victim) = queue.push(entry) {
+                    finalize(&mut victim, Outcome::Shed, now);
                 }
                 max_queue_depth = max_queue_depth.max(queue.len());
             }
@@ -309,19 +447,23 @@ impl Server {
             while inflight.is_none() {
                 let (tier, bits) = self.config.degrade.tier_for(queue.len(), queue.capacity());
                 let Some(mut entry) = queue.pop_ready(now) else { break };
+                // The wait that just ended becomes a segment; the
+                // marker now sits at the dispatch tick.
+                settle_wait(&mut entry, now);
                 entry.attempts += 1;
                 if entry.attempts > 1 {
                     retries += 1;
                     m.retry.incr(1);
                 }
                 if !breaker.admits(now) {
+                    entry.acct.segments.push(Segment::Breaker { at: now });
                     if entry.attempts >= self.config.retry.max_attempts {
-                        finalize(&entry, Outcome::BreakerOpen, now);
+                        finalize(&mut entry, Outcome::BreakerOpen, now);
                     } else {
                         let wait = self.config.retry.backoff(entry.req.id, entry.attempts);
                         entry.not_before = now + wait;
                         if entry.not_before >= entry.req.deadline {
-                            finalize(&entry, Outcome::TimedOut, now);
+                            finalize(&mut entry, Outcome::TimedOut, now);
                         } else {
                             // Space is guaranteed: we just popped.
                             let victim = queue.push(entry);
@@ -342,14 +484,19 @@ impl Server {
                     None => backend.serve(entry.req.payload, bits),
                 };
                 inflight = Some(match result {
-                    Ok(reply) => {
-                        Inflight { finish_at: now + reply.cycles.max(1), entry, tier, error: None }
-                    }
+                    Ok(reply) => Inflight {
+                        finish_at: now + reply.cycles.max(1),
+                        entry,
+                        tier,
+                        error: None,
+                        profile: Some(reply.profile),
+                    },
                     Err(e) => Inflight {
                         finish_at: now + self.config.failure_ticks.max(1),
                         entry,
                         tier,
                         error: Some(e),
+                        profile: None,
                     },
                 });
             }
@@ -366,6 +513,7 @@ impl Server {
             breaker_trips: breaker.trips(),
             max_queue_depth,
             horizon: clock.now(),
+            traces,
         }
     }
 }
@@ -410,7 +558,11 @@ mod tests {
                 Some(s) => self.cycles >> (8 - s.min(8)),
                 None => self.cycles,
             };
-            Ok(BackendReply { outputs: vec![payload as i64], cycles })
+            Ok(BackendReply {
+                outputs: vec![payload as i64],
+                cycles,
+                profile: BackendProfile::default(),
+            })
         }
     }
 
@@ -506,6 +658,35 @@ mod tests {
         // would burn its whole retry budget against the dead backend.
         assert!((backend.calls as u64) < 3 * 20, "breaker saved backend calls: {}", backend.calls);
         assert_eq!(report.responses.len(), 20);
+    }
+
+    #[test]
+    fn every_response_carries_an_exactly_attributed_span_tree() {
+        let server = Server::new(ServerConfig {
+            queue_capacity: 4,
+            shed_policy: ShedPolicy::ShedByDeadline,
+            retry: RetryPolicy { max_attempts: 3, base: 16, cap: 64, seed: 5 },
+            failure_ticks: 8,
+            trace_seed: 42,
+            ..ServerConfig::default()
+        });
+        // Overloaded + flaky: the trees must cover queue wait, backoff,
+        // failed attempts, and service windows.
+        let mut backend = MockBackend { cycles: 300, fail_first: 3, calls: 0 };
+        let report = server.run(&mut backend, trace(30, 40, 2_000));
+        assert_eq!(report.traces.len(), report.responses.len());
+        for (r, t) in report.responses.iter().zip(&report.traces) {
+            t.validate().expect("well-formed span tree");
+            assert_eq!(t.trace_id(), TraceId::derive(42, r.id), "trace ids are pure functions");
+            assert_eq!(t.attribution(), r.attribution);
+            assert_eq!(
+                r.attribution.total(),
+                r.latency,
+                "request {}: every latency cycle must be attributed exactly once",
+                r.id
+            );
+        }
+        assert!(report.retries > 0, "the workload must exercise the retry path");
     }
 
     #[test]

@@ -9,9 +9,11 @@
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::manifest::RunManifest;
+use crate::json::Json;
+use crate::manifest::{RunManifest, TraceSummary};
 use crate::metrics;
 use crate::span;
+use crate::trace::SpanTree;
 
 /// Per-run context handed to the body of [`bench_run`].
 #[derive(Debug)]
@@ -95,6 +97,63 @@ impl BenchCtx {
         self.manifest.artifacts.push(path.as_ref().display().to_string());
     }
 
+    /// Writes the bench's bare results JSON (`<out_dir>/<bench>.json`)
+    /// and records it as a manifest artifact. All benches route their
+    /// summary rows through this so the `results/` layout stays
+    /// uniform.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn results_json(&mut self, value: &Json) -> io::Result<()> {
+        let path = self.out_dir.join(format!("{}.json", self.manifest.bench));
+        crate::export::write_json(&path, value)?;
+        self.record_artifact(&path);
+        println!("wrote {}", path.display());
+        Ok(())
+    }
+
+    /// Exports request span trees as a Chrome Trace Format file
+    /// (`<out_dir>/<bench>.trace.json`, loadable in Perfetto /
+    /// `chrome://tracing`), records it as an artifact, and fills the
+    /// manifest's [`TraceSummary`]. Each `(name, trees)` pair becomes
+    /// one process lane group; display lanes are labelled after this
+    /// run's `sc-par` workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_trace(&mut self, processes: &[(&str, &[SpanTree])]) -> io::Result<PathBuf> {
+        let path = self.out_dir.join(format!("{}.trace.json", self.manifest.bench));
+        let json = crate::chrome::chrome_trace(processes, self.manifest.par_threads as usize);
+        crate::export::write_json(&path, &json)?;
+        self.record_artifact(&path);
+        let mut summary = TraceSummary {
+            file: path.display().to_string(),
+            requests: 0,
+            spans: 0,
+            total_cycles: 0,
+            attributed_cycles: 0,
+        };
+        for (_, trees) in processes {
+            for tree in *trees {
+                summary.requests += 1;
+                summary.spans += tree.spans().len() as u64;
+                summary.total_cycles += tree.total_cycles();
+                summary.attributed_cycles += tree.leaf_cycles();
+            }
+        }
+        println!(
+            "wrote {} ({} request(s), {} span(s), {:.1}% of cycles attributed)",
+            path.display(),
+            summary.requests,
+            summary.spans,
+            summary.coverage() * 100.0
+        );
+        self.manifest.trace = Some(summary);
+        Ok(path)
+    }
+
     /// Where this run's manifest will be written.
     pub fn manifest_path(&self) -> PathBuf {
         self.out_dir.join(format!("{}.manifest.json", self.manifest.bench))
@@ -150,6 +209,16 @@ pub fn bench_run_in(
 
     metrics::set_enabled(false);
     ctx.manifest.metrics = metrics::snapshot();
+    // The per-category cycle-attribution rollup gets its own manifest
+    // field so report tooling need not know the counter namespace.
+    ctx.manifest.attribution = ctx
+        .manifest
+        .metrics
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("attr.cycles."))
+        .cloned()
+        .collect();
     let path = ctx.manifest_path();
     match ctx.manifest.write(&path) {
         Ok(()) => println!("\nmanifest: {}", path.display()),
@@ -183,6 +252,42 @@ mod tests {
         assert_eq!(m.artifacts.len(), 1);
         assert!(m.metrics.counters.iter().any(|(k, v)| k == "unit.bench.counter" && *v == 3));
         assert!(!metrics::enabled(), "bench_run must disable metrics on exit");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bench_run_exports_traces_results_json_and_attribution() {
+        use crate::trace::{CycleCategory, TraceId};
+        let _g = crate::test_guard();
+        let dir = std::env::temp_dir().join("sc_telemetry_bench_trace_test");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        bench_run_in("unit_trace_bench", "Unit trace bench", &dir, |ctx| {
+            let trace = TraceId::derive(7, 0);
+            let mut t = SpanTree::new(trace, "request 0", CycleCategory::Request, 0, 100);
+            let root = t.root().id;
+            t.add(root, "queue wait", CycleCategory::QueueWait, 0, 10);
+            t.add(root, "mac", CycleCategory::MacStream, 10, 100);
+            t.validate().unwrap();
+            crate::trace::record_attribution(&t.attribution());
+            ctx.write_trace(&[("storm", std::slice::from_ref(&t))]).unwrap();
+            ctx.results_json(&Json::obj(vec![("ok", Json::Bool(true))])).unwrap();
+        });
+
+        let m = RunManifest::read(dir.join("unit_trace_bench.manifest.json")).unwrap();
+        let trace = m.trace.expect("write_trace must fill the manifest summary");
+        assert_eq!(trace.requests, 1);
+        assert_eq!(trace.spans, 3);
+        assert_eq!(trace.total_cycles, 100);
+        assert_eq!(trace.attributed_cycles, 100, "leaves partition the root");
+        assert!((trace.coverage() - 1.0).abs() < 1e-12);
+        assert!(Path::new(&trace.file).exists());
+        assert_eq!(m.artifacts.len(), 2, "trace + results JSON recorded");
+        assert!(m.attribution.iter().any(|(k, v)| k == "attr.cycles.queue_wait" && *v == 10));
+        assert!(m.attribution.iter().any(|(k, v)| k == "attr.cycles.mac_stream" && *v == 90));
+        // The bare results JSON parses back.
+        let raw = std::fs::read_to_string(dir.join("unit_trace_bench.json")).unwrap();
+        assert_eq!(Json::parse(&raw).unwrap().get("ok").and_then(Json::as_bool), Some(true));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,177 @@
+//! Chrome Trace Format export for [`crate::trace::SpanTree`]s.
+//!
+//! Emits the JSON-array trace-event format Perfetto and
+//! `chrome://tracing` load directly: one `"X"` (complete) event per
+//! span with `ts`/`dur` in virtual cycles (rendered as microseconds —
+//! 1 µs on screen = 1 accelerator cycle), plus `"M"` metadata events
+//! naming processes and lanes.
+//!
+//! Span trees are deterministic and carry no thread identity, so lane
+//! (`tid`) assignment happens here, at export time, purely for display:
+//! requests are laid out greedily by root interval (first-fit interval
+//! partitioning), each request's whole tree on one lane, overlapping
+//! requests on different lanes. The first `worker_lanes` lanes are
+//! labelled after the run's `sc-par` workers — concurrent-resident
+//! requests beyond that land on overflow lanes. Changing `SC_THREADS`
+//! relabels lanes; it never changes the spans.
+
+use crate::json::Json;
+use crate::trace::SpanTree;
+
+/// Builds the Chrome-trace JSON for one or more scenario groups. Each
+/// `(name, trees)` pair becomes one process (`pid` = index + 1) so
+/// scenarios stay separable in the Perfetto timeline; `worker_lanes` is
+/// the run's `sc-par` worker count used to label display lanes.
+pub fn chrome_trace(processes: &[(&str, &[SpanTree])], worker_lanes: usize) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    for (pi, (pname, trees)) in processes.iter().enumerate() {
+        let pid = (pi + 1) as u64;
+        events.push(meta_event("process_name", pid, None, pname));
+        events.push(Json::obj(vec![
+            ("ph", Json::Str("M".to_string())),
+            ("name", Json::Str("process_sort_index".to_string())),
+            ("pid", Json::UInt(pid)),
+            ("args", Json::obj(vec![("sort_index", Json::UInt(pid))])),
+        ]));
+        let lanes = assign_lanes(trees);
+        let lane_count = lanes.iter().copied().max().map_or(0, |m| m + 1);
+        for lane in 0..lane_count {
+            let label = if lane < worker_lanes {
+                format!("sc-par worker {lane}")
+            } else {
+                format!("overflow lane {}", lane - worker_lanes)
+            };
+            let tid = (lane + 1) as u64;
+            events.push(meta_event("thread_name", pid, Some(tid), &label));
+            events.push(Json::obj(vec![
+                ("ph", Json::Str("M".to_string())),
+                ("name", Json::Str("thread_sort_index".to_string())),
+                ("pid", Json::UInt(pid)),
+                ("tid", Json::UInt(tid)),
+                ("args", Json::obj(vec![("sort_index", Json::UInt(tid))])),
+            ]));
+        }
+        for (tree, &lane) in trees.iter().zip(&lanes) {
+            let tid = (lane + 1) as u64;
+            for span in tree.spans() {
+                events.push(Json::obj(vec![
+                    ("ph", Json::Str("X".to_string())),
+                    ("name", Json::Str(span.name.clone())),
+                    ("cat", Json::Str(span.category.name().to_string())),
+                    ("ts", Json::UInt(span.start)),
+                    ("dur", Json::UInt(span.cycles())),
+                    ("pid", Json::UInt(pid)),
+                    ("tid", Json::UInt(tid)),
+                    (
+                        "args",
+                        Json::obj(vec![
+                            ("trace", Json::Str(format!("{:#018x}", tree.trace_id().0))),
+                            ("span", Json::Str(format!("{:#018x}", span.id.0))),
+                        ]),
+                    ),
+                ]));
+            }
+        }
+    }
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ms".to_string())),
+        (
+            "metadata",
+            Json::obj(vec![
+                (
+                    "clock",
+                    Json::Str("virtual accelerator cycles (1 event \u{b5}s = 1 cycle)".to_string()),
+                ),
+                ("worker_lanes", Json::UInt(worker_lanes as u64)),
+            ]),
+        ),
+    ])
+}
+
+/// First-fit interval partitioning over root spans, in (start, end,
+/// trace-id) order: returns one display lane per tree such that trees
+/// sharing a lane never overlap in time. Deterministic — a pure
+/// function of the trees.
+pub fn assign_lanes(trees: &[SpanTree]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..trees.len()).collect();
+    order.sort_by_key(|&i| (trees[i].root().start, trees[i].root().end, trees[i].trace_id().0));
+    let mut lane_free_at: Vec<u64> = Vec::new();
+    let mut lanes = vec![0usize; trees.len()];
+    for i in order {
+        let root = trees[i].root();
+        let lane = match lane_free_at.iter().position(|&end| end <= root.start) {
+            Some(l) => l,
+            None => {
+                lane_free_at.push(0);
+                lane_free_at.len() - 1
+            }
+        };
+        // A zero-length root still reserves its tick so coincident
+        // zero-length requests spread across lanes readably.
+        lane_free_at[lane] = root.end.max(root.start + 1);
+        lanes[i] = lane;
+    }
+    lanes
+}
+
+fn meta_event(name: &str, pid: u64, tid: Option<u64>, value: &str) -> Json {
+    let mut pairs = vec![
+        ("ph", Json::Str("M".to_string())),
+        ("name", Json::Str(name.to_string())),
+        ("pid", Json::UInt(pid)),
+    ];
+    if let Some(tid) = tid {
+        pairs.push(("tid", Json::UInt(tid)));
+    }
+    pairs.push(("args", Json::obj(vec![("name", Json::Str(value.to_string()))])));
+    Json::obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CycleCategory, TraceId};
+
+    fn tree(seed: u64, id: u64, start: u64, end: u64) -> SpanTree {
+        let trace = TraceId::derive(seed, id);
+        let mut t =
+            SpanTree::new(trace, format!("request {id}"), CycleCategory::Request, start, end);
+        let root = t.root().id;
+        t.add(root, "service", CycleCategory::MacStream, start, end);
+        t
+    }
+
+    #[test]
+    fn overlapping_requests_take_distinct_lanes() {
+        let trees = vec![tree(0, 0, 0, 100), tree(0, 1, 50, 150), tree(0, 2, 120, 200)];
+        let lanes = assign_lanes(&trees);
+        assert_ne!(lanes[0], lanes[1], "overlapping roots must not share a lane");
+        // Request 2 starts after request 0 ends: lane 0 is reusable.
+        assert_eq!(lanes[2], lanes[0]);
+    }
+
+    #[test]
+    fn lane_assignment_is_deterministic() {
+        let trees = vec![tree(3, 0, 0, 10), tree(3, 1, 0, 10), tree(3, 2, 5, 30)];
+        assert_eq!(assign_lanes(&trees), assign_lanes(&trees));
+    }
+
+    #[test]
+    fn export_parses_back_and_counts_events() {
+        let trees = vec![tree(1, 0, 0, 100), tree(1, 1, 20, 60)];
+        let json = chrome_trace(&[("storm", &trees)], 2);
+        let reparsed = Json::parse(&json.render_pretty()).expect("valid JSON");
+        let events = reparsed.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+        let xs = events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("X")).count();
+        assert_eq!(xs, 4, "two trees x two spans");
+        // Every X event carries the deterministic trace id in args.
+        assert!(events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .all(|e| e.get("args").and_then(|a| a.get("trace")).is_some()));
+        let metas =
+            events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("M")).count();
+        assert!(metas >= 3, "process + lane metadata present, got {metas}");
+    }
+}

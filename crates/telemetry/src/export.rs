@@ -52,6 +52,27 @@ pub fn write_json<P: AsRef<Path>>(path: P, value: &Json) -> io::Result<()> {
     std::fs::write(path, value.render_pretty())
 }
 
+/// Canonical path of a bench's bare results file:
+/// `results/<bench>.json`, next to its manifest.
+pub fn results_json_path(bench: &str) -> std::path::PathBuf {
+    Path::new("results").join(format!("{bench}.json"))
+}
+
+/// Writes a bench's bare results JSON to [`results_json_path`] and
+/// returns the path written. This is the single writer all benches
+/// share so the `results/` layout stays uniform; prefer
+/// `BenchCtx::results_json`, which also records the file as a manifest
+/// artifact.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_results_json(bench: &str, value: &Json) -> io::Result<std::path::PathBuf> {
+    let path = results_json_path(bench);
+    write_json(&path, value)?;
+    Ok(path)
+}
+
 /// Serializes a metrics snapshot to JSON.
 pub fn metrics_to_json(snap: &MetricsSnapshot) -> Json {
     Json::obj(vec![
@@ -82,6 +103,13 @@ pub fn metrics_to_json(snap: &MetricsSnapshot) -> Json {
                                 ),
                                 ("count", Json::UInt(h.count)),
                                 ("sum", Json::UInt(h.sum)),
+                                ("max", Json::UInt(h.max)),
+                                // Derived quantiles, recomputed on read:
+                                // written for human and tooling
+                                // convenience only.
+                                ("p50", Json::UInt(h.p50())),
+                                ("p90", Json::UInt(h.p90())),
+                                ("p99", Json::UInt(h.p99())),
                             ]),
                         )
                     })
@@ -119,6 +147,10 @@ pub fn metrics_from_json(json: &Json) -> Option<MetricsSnapshot> {
                     buckets: u64s("buckets")?,
                     count: v.get("count")?.as_u64()?,
                     sum: v.get("sum")?.as_u64()?,
+                    // Absent in snapshots written before quantile
+                    // support; the p50/p90/p99 keys are derived and
+                    // deliberately ignored here.
+                    max: v.get("max").and_then(Json::as_u64).unwrap_or(0),
                 },
             ))
         })
@@ -158,11 +190,49 @@ mod tests {
                     buckets: vec![1, 0, 3, 2],
                     count: 6,
                     sum: 9001,
+                    max: 8000,
                 },
             )],
         };
         let json = metrics_to_json(&snap);
         let reparsed = Json::parse(&json.render_pretty()).unwrap();
         assert_eq!(metrics_from_json(&reparsed), Some(snap));
+    }
+
+    #[test]
+    fn histogram_json_carries_derived_quantiles() {
+        let snap = MetricsSnapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![(
+                "serve.latency".into(),
+                HistogramSnapshot {
+                    bounds: vec![1, 2, 4, 8],
+                    buckets: vec![0, 0, 4, 0, 0],
+                    count: 4,
+                    sum: 12,
+                    max: 3,
+                },
+            )],
+        };
+        let json = metrics_to_json(&snap);
+        let h = json.get("histograms").and_then(|hs| hs.get("serve.latency")).unwrap();
+        assert_eq!(h.get("max").and_then(Json::as_u64), Some(3));
+        assert_eq!(h.get("p50").and_then(Json::as_u64), Some(3), "bucket bound clamps to max");
+        assert_eq!(h.get("p99").and_then(Json::as_u64), Some(3));
+        // Snapshots from before quantile support (no max key) parse
+        // with max defaulting to 0.
+        let mut legacy = json.clone();
+        if let Json::Obj(pairs) = &mut legacy {
+            if let Some((_, Json::Obj(hs))) = pairs.iter_mut().find(|(k, _)| k == "histograms") {
+                if let Some((_, Json::Obj(fields))) =
+                    hs.iter_mut().find(|(k, _)| k == "serve.latency")
+                {
+                    fields.retain(|(k, _)| k != "max" && !k.starts_with('p'));
+                }
+            }
+        }
+        let parsed = metrics_from_json(&legacy).unwrap();
+        assert_eq!(parsed.histograms[0].1.max, 0);
     }
 }

@@ -40,15 +40,21 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod chrome;
 pub mod export;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 pub use bench::{bench_run, BenchCtx};
-pub use manifest::{RunManifest, MANIFEST_SCHEMA_VERSION};
+pub use manifest::{RunManifest, TraceSummary, MANIFEST_SCHEMA_VERSION};
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
+pub use trace::{
+    record_attribution, BackendProfile, CycleAttribution, CycleCategory, CycleSpan, LayerProfile,
+    SpanId, SpanTree, TileProfile, TraceId,
+};
 
 /// Serializes tests that flip the process-global subscriber/metrics
 /// state so they can't race each other.

@@ -19,7 +19,61 @@ use crate::metrics::MetricsSnapshot;
 /// a field is added, removed, or changes meaning; consumers (`scripts/
 /// ci.sh`, external tooling) key their expectations on it. Version 1 is
 /// the pre-versioning era: manifests with no `schema_version` field.
-pub const MANIFEST_SCHEMA_VERSION: u64 = 2;
+/// Version 3 adds the `trace` summary and `attribution` breakdown.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 3;
+
+/// Summary of a Chrome-trace export attached to a run (schema v3).
+///
+/// `attributed_cycles` is the sum of leaf-span cycles across every
+/// request tree; `total_cycles` the sum of root-span durations. The
+/// span-tree validity invariant makes the two equal by construction,
+/// so [`TraceSummary::coverage`] is the honest "how much of the run's
+/// latency does the trace explain" ratio for external tooling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Path of the `.trace.json` artifact, relative to the repo root.
+    pub file: String,
+    /// Number of request span trees exported.
+    pub requests: u64,
+    /// Total spans across all trees.
+    pub spans: u64,
+    /// Sum of root-span durations (virtual cycles).
+    pub total_cycles: u64,
+    /// Sum of leaf-span durations (virtual cycles).
+    pub attributed_cycles: u64,
+}
+
+impl TraceSummary {
+    /// Fraction of total request cycles covered by leaf spans (1.0 when
+    /// there are no cycles to attribute).
+    pub fn coverage(&self) -> f64 {
+        if self.total_cycles == 0 {
+            1.0
+        } else {
+            self.attributed_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("file", Json::Str(self.file.clone())),
+            ("requests", Json::UInt(self.requests)),
+            ("spans", Json::UInt(self.spans)),
+            ("total_cycles", Json::UInt(self.total_cycles)),
+            ("attributed_cycles", Json::UInt(self.attributed_cycles)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Option<TraceSummary> {
+        Some(TraceSummary {
+            file: json.get("file")?.as_str()?.to_string(),
+            requests: json.get("requests")?.as_u64()?,
+            spans: json.get("spans")?.as_u64()?,
+            total_cycles: json.get("total_cycles")?.as_u64()?,
+            attributed_cycles: json.get("attributed_cycles")?.as_u64()?,
+        })
+    }
+}
 
 /// Provenance record for one bench run.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +111,12 @@ pub struct RunManifest {
     pub artifacts: Vec<String>,
     /// Metrics recorded during the run.
     pub metrics: MetricsSnapshot,
+    /// Chrome-trace export summary, when the bench wrote one (schema
+    /// v3; `None` in older manifests and trace-less benches).
+    pub trace: Option<TraceSummary>,
+    /// Per-category cycle attribution totals (`attr.cycles.*` counter
+    /// values at exit), in name order. Empty before schema v3.
+    pub attribution: Vec<(String, u64)>,
 }
 
 impl RunManifest {
@@ -81,6 +141,8 @@ impl RunManifest {
             tier1_status: std::env::var("SC_TIER1_STATUS").ok(),
             artifacts: Vec::new(),
             metrics: MetricsSnapshot::default(),
+            trace: None,
+            attribution: Vec::new(),
         }
     }
 
@@ -118,6 +180,13 @@ impl RunManifest {
             ),
             ("artifacts", Json::Arr(self.artifacts.iter().map(|a| Json::Str(a.clone())).collect())),
             ("metrics", metrics_to_json(&self.metrics)),
+            ("trace", self.trace.as_ref().map_or(Json::Null, TraceSummary::to_json)),
+            (
+                "attribution",
+                Json::Obj(
+                    self.attribution.iter().map(|(k, v)| (k.clone(), Json::UInt(*v))).collect(),
+                ),
+            ),
         ])
     }
 
@@ -158,6 +227,19 @@ impl RunManifest {
             },
             artifacts: strings(json.get("artifacts")?)?,
             metrics: metrics_from_json(json.get("metrics")?)?,
+            // Schema v2 and earlier carry neither field.
+            trace: match json.get("trace") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(TraceSummary::from_json(v)?),
+            },
+            attribution: match json.get("attribution") {
+                None => Vec::new(),
+                Some(Json::Obj(pairs)) => pairs
+                    .iter()
+                    .map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+                    .collect::<Option<Vec<_>>>()?,
+                Some(_) => return None,
+            },
         })
     }
 
@@ -246,9 +328,21 @@ mod tests {
                         buckets: vec![5, 2, 0],
                         count: 7,
                         sum: 700,
+                        max: 300,
                     },
                 )],
             },
+            trace: Some(TraceSummary {
+                file: "results/fig5.trace.json".to_string(),
+                requests: 12,
+                spans: 80,
+                total_cycles: 4096,
+                attributed_cycles: 4096,
+            }),
+            attribution: vec![
+                ("attr.cycles.mac_stream".to_string(), 3000),
+                ("attr.cycles.queue_wait".to_string(), 1096),
+            ],
         }
     }
 
@@ -273,8 +367,40 @@ mod tests {
         let mut m = sample();
         m.seed = None;
         m.tier1_status = None;
+        m.trace = None;
         let reparsed = Json::parse(&m.to_json().render()).unwrap();
         assert_eq!(RunManifest::from_json(&reparsed), Some(m));
+    }
+
+    #[test]
+    fn v2_manifests_without_trace_fields_still_parse() {
+        let mut m = sample();
+        let mut json = m.to_json();
+        if let Json::Obj(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "trace" && k != "attribution");
+            if let Some((_, v)) = pairs.iter_mut().find(|(k, _)| k == "schema_version") {
+                *v = Json::UInt(2);
+            }
+        }
+        let parsed = RunManifest::from_json(&json).expect("v2 manifests must stay readable");
+        m.schema_version = 2;
+        m.trace = None;
+        m.attribution = Vec::new();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn trace_summary_coverage() {
+        let t = sample().trace.unwrap();
+        assert!((t.coverage() - 1.0).abs() < 1e-12);
+        let empty = TraceSummary {
+            file: String::new(),
+            requests: 0,
+            spans: 0,
+            total_cycles: 0,
+            attributed_cycles: 0,
+        };
+        assert_eq!(empty.coverage(), 1.0, "no cycles means nothing unexplained");
     }
 
     #[test]

@@ -84,6 +84,7 @@ pub struct Histogram {
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
     sum: AtomicU64,
+    max: AtomicU64,
 }
 
 impl Histogram {
@@ -95,6 +96,7 @@ impl Histogram {
             buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
         }
     }
 
@@ -108,6 +110,7 @@ impl Histogram {
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// The configured bucket upper bounds.
@@ -123,8 +126,16 @@ impl Histogram {
             buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Power-of-two bucket bounds `1, 2, 4, …, 2^max_exp` — the standard
+/// bounds for latency histograms, giving ~constant relative quantile
+/// error across six decades.
+pub fn log2_bounds(max_exp: u32) -> Vec<u64> {
+    (0..=max_exp.min(63)).map(|e| 1u64 << e).collect()
 }
 
 /// Frozen histogram state.
@@ -139,6 +150,9 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of recorded values.
     pub sum: u64,
+    /// Largest recorded value (0 if empty; absent in manifests written
+    /// before quantile support and defaulted to 0 on read).
+    pub max: u64,
 }
 
 impl HistogramSnapshot {
@@ -149,6 +163,42 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Nearest-rank quantile estimate for `q ∈ (0, 1]`: the upper bound
+    /// of the bucket holding the rank, clamped to the recorded maximum
+    /// (so an overflow-bucket or sparse-top rank reports `max`, not an
+    /// arbitrary bound). 0 when empty. With log2 bounds the estimate is
+    /// within 2× of the true quantile by construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let bound = self.bounds.get(i).copied().unwrap_or(u64::MAX);
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
     }
 }
 
@@ -242,6 +292,7 @@ pub fn reset() {
         }
         h.count.store(0, Ordering::Relaxed);
         h.sum.store(0, Ordering::Relaxed);
+        h.max.store(0, Ordering::Relaxed);
     }
 }
 
@@ -291,7 +342,41 @@ mod tests {
         assert_eq!(s.buckets, vec![2, 2, 2, 1]);
         assert_eq!(s.count, 7);
         assert_eq!(s.sum, 10 + 11 + 100 + 101 + 1000 + 1001);
+        assert_eq!(s.max, 1001);
         assert!((s.mean() - s.sum as f64 / 7.0).abs() < 1e-12);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn log2_bounds_are_powers_of_two() {
+        assert_eq!(log2_bounds(4), vec![1, 2, 4, 8, 16]);
+        assert_eq!(log2_bounds(0), vec![1]);
+        assert_eq!(log2_bounds(200).len(), 64, "exponents clamp at u64 width");
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank_bucket_bounds_clamped_to_max() {
+        let _g = crate::test_guard();
+        set_enabled(true);
+        let h = histogram("test.hist.quantiles", &log2_bounds(10));
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Rank 50 lands in the (32, 64] bucket; the bound overestimates
+        // within 2x of the true median 50.
+        assert_eq!(s.p50(), 64);
+        assert_eq!(s.p90(), 100, "top-bucket ranks clamp to the recorded max");
+        assert_eq!(s.p99(), 100);
+        assert_eq!(s.quantile(1.0), 100);
+        assert_eq!(s.max, 100);
+        // Values beyond the last bound land in the overflow bucket and
+        // report max.
+        let o = histogram("test.hist.quantiles.overflow", &[4]);
+        o.record(1_000_000);
+        assert_eq!(o.snapshot().quantile(0.5), 1_000_000);
+        // Empty histogram: all quantiles 0.
+        assert_eq!(histogram("test.hist.quantiles.empty", &[1]).snapshot().p99(), 0);
         set_enabled(false);
     }
 

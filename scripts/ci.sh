@@ -117,17 +117,64 @@ c = m["metrics"]["counters"]
 assert c.get("fault.injected.serve.backend", 0) > 0, "serve faults were not injected"
 EOF
 
-echo "==> manifest gate: every emitted manifest carries the current schema version"
+echo "==> manifest gate: every emitted manifest carries a supported schema version"
 python3 - <<'EOF'
 import glob, json, os
 stamp = os.path.getmtime(os.environ["CI_STAMP"])
 paths = sorted(p for p in glob.glob("results/*.manifest.json") if os.path.getmtime(p) >= stamp)
 assert paths, "no manifests emitted this run; bench gates did not execute"
+# v3 added `trace` and `attribution`; v2 manifests from benches that have
+# not been re-run since remain readable. Unknown top-level fields are an
+# error only for v3 — that is the version this tree emits, so a stray
+# field there means a writer/validator mismatch in the current code.
+KNOWN_V3 = {
+    "schema_version", "bench", "config", "seed", "quick", "args",
+    "git_describe", "timestamp_unix", "par_threads", "elapsed_seconds",
+    "tier1_status", "artifacts", "metrics", "trace", "attribution",
+}
 for p in paths:
-    v = json.load(open(p)).get("schema_version")
-    assert v == 2, f"{p}: schema_version {v!r} != 2 (bump MANIFEST_SCHEMA_VERSION consumers together)"
-print(f"    {len(paths)} manifest(s) emitted this run, all at schema version 2")
+    m = json.load(open(p))
+    v = m.get("schema_version")
+    assert v in (2, 3), f"{p}: schema_version {v!r} not in (2, 3)"
+    if v == 3:
+        unknown = sorted(set(m) - KNOWN_V3)
+        assert not unknown, f"{p}: unknown top-level field(s) {unknown} in a v3 manifest"
+print(f"    {len(paths)} manifest(s) emitted this run, all at schema version 2 or 3")
 EOF
+
+echo "==> report gate: clean quick benches, then sc_report against results/baseline"
+# The fault-armed serve_storm run above overwrote its manifest with an
+# sc_faults config entry, which sc_report treats as config drift — so
+# regenerate the baselined benches clean (same SC_THREADS as the
+# baseline) before diffing.
+env -u SC_FAULTS SC_THREADS=4 \
+    cargo run --release -q -p sc-bench --bin serve_storm -- --quick >/dev/null
+env -u SC_FAULTS SC_THREADS=4 \
+    cargo run --release -q -p sc-bench --bin fault_sweep -- --quick >/dev/null
+cargo run --release -q -p sc-bench --bin sc_report
+
+echo "==> report gate: a perturbed baseline must fail the gate"
+PERTURBED="$(mktemp -d)"
+cp results/baseline/*.manifest.json "$PERTURBED"/
+python3 - "$PERTURBED" <<'EOF'
+import glob, json, sys
+p = sorted(glob.glob(sys.argv[1] + "/*.manifest.json"))[0]
+m = json.load(open(p))
+for name in sorted(m["metrics"]["counters"]):
+    if not name.startswith("par."):
+        m["metrics"]["counters"][name] += 1
+        break
+else:
+    raise SystemExit("no perturbable counter found in " + p)
+json.dump(m, open(p, "w"))
+EOF
+if cargo run --release -q -p sc-bench --bin sc_report -- --baseline "$PERTURBED" >/dev/null 2>&1; then
+    echo "sc_report accepted a perturbed baseline; the regression gate is broken" >&2
+    rm -rf "$PERTURBED"
+    exit 1
+fi
+rm -rf "$PERTURBED"
+echo "    perturbed baseline rejected as expected"
 
 echo "==> fault gate: zero-rate plan is bitwise identical to no plan"
 # The determinism suite asserts unarmed == zero-rate fingerprints and

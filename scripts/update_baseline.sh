@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Refresh the committed perf baselines in results/baseline/.
+#
+# Runs the baselined benches clean (no SC_FAULTS) in --quick mode at
+# SC_THREADS=4 — the same configuration scripts/ci.sh diffs against —
+# then copies their manifests into results/baseline/. Commit the result
+# together with the change that moved the numbers, so `sc_report` (and
+# the ci.sh report gate) goes green again with an auditable diff.
+#
+# Usage: scripts/update_baseline.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHES=(serve_storm fault_sweep)
+
+for bench in "${BENCHES[@]}"; do
+    echo "==> $bench --quick (clean, SC_THREADS=4)"
+    # Unset (not empty) SC_FAULTS: manifests record even an empty spec,
+    # and the gate treats that as config drift against an unset run.
+    env -u SC_FAULTS SC_THREADS=4 \
+        cargo run --release -q -p sc-bench --bin "$bench" -- --quick >/dev/null
+done
+
+mkdir -p results/baseline
+for bench in "${BENCHES[@]}"; do
+    cp "results/$bench.manifest.json" results/baseline/
+    echo "    baselined results/baseline/$bench.manifest.json"
+done
+
+echo "Done. Review the diff and commit results/baseline/ with your change."
