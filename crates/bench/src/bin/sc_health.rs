@@ -1,0 +1,104 @@
+//! `sc_health` — health exposition over bench run manifests.
+//!
+//! Reads every `results/*.manifest.json`, writes one Prometheus
+//! text-format dump per manifest (`results/<bench>.prom`: the full
+//! metrics snapshot, plus `sc_health_*` gauges when the run carried a
+//! health summary), and prints a per-bench health table — objectives,
+//! windows, breaches, recoveries, incidents, verdict, and time spent at
+//! each degradation-tier floor.
+//!
+//! ```text
+//! sc_health [--results DIR]
+//! ```
+//!
+//! Exits nonzero when the results directory holds no manifests or a
+//! dump cannot be written, so CI can gate on it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sc_health::prom;
+use sc_telemetry::RunManifest;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let results = PathBuf::from(arg_value(&args, "--results").unwrap_or_else(|| "results".into()));
+
+    let entries = match std::fs::read_dir(&results) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("sc_health: cannot read {}: {e}", results.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_file()
+                && p.file_name().is_some_and(|n| n.to_string_lossy().ends_with(".manifest.json"))
+        })
+        .collect();
+    paths.sort();
+
+    let mut manifests: Vec<RunManifest> = Vec::new();
+    for path in &paths {
+        match RunManifest::read(path) {
+            Ok(m) => manifests.push(m),
+            Err(e) => {
+                eprintln!("sc_health: skipping {}: {e}", path.display());
+            }
+        }
+    }
+    if manifests.is_empty() {
+        eprintln!("sc_health: no readable manifests under {}", results.display());
+        return ExitCode::from(2);
+    }
+
+    for m in &manifests {
+        let mut text = prom::render(&m.bench, &m.metrics);
+        if let Some(h) = &m.health {
+            text.push_str(&prom::render_health(&m.bench, h));
+        }
+        let path = results.join(format!("{}.prom", m.bench));
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("sc_health: could not write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+    }
+
+    println!();
+    println!(
+        "{:>20} | {:>4} {:>7} {:>6} {:>7} {:>8} | verdict, time in tier",
+        "bench", "objs", "windows", "breach", "recover", "incident"
+    );
+    for m in &manifests {
+        match &m.health {
+            None => println!("{:>20} | (no health summary)", m.bench),
+            Some(h) => {
+                let tiers: Vec<String> = h
+                    .time_in_tier
+                    .iter()
+                    .map(|(tier, cycles)| format!("{tier}={cycles}"))
+                    .collect();
+                println!(
+                    "{:>20} | {:>4} {:>7} {:>6} {:>7} {:>8} | {} [{}]",
+                    m.bench,
+                    h.objectives,
+                    h.windows,
+                    h.breaches,
+                    h.recoveries,
+                    h.incidents,
+                    h.verdict,
+                    tiers.join(" ")
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

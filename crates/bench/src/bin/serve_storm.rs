@@ -30,6 +30,7 @@ use sc_accel::{AccelArithmetic, ConvGeometry, TileEngine, Tiling};
 use sc_bench::cli;
 use sc_core::mac::EarlyTerminationScMac;
 use sc_core::Precision;
+use sc_health::{HealthConfig, Objective};
 use sc_neural::layers::{Conv2d, LayerKind, Relu};
 use sc_neural::net::Network;
 use sc_neural::tensor::Tensor;
@@ -38,6 +39,7 @@ use sc_serve::{
     Request, RetryPolicy, Server, ServerConfig, ShedPolicy,
 };
 use sc_telemetry::json::Json;
+use sc_telemetry::metrics::{histogram, log2_bounds};
 
 const N_BITS: u32 = 8;
 const QUEUE_CAPACITY: usize = 16;
@@ -64,7 +66,36 @@ fn protected_config() -> ServerConfig {
         degrade: ladder(),
         failure_ticks: 64,
         trace_seed: 0xACE5,
+        health: HealthConfig::disabled(),
     }
+}
+
+/// SLOs every clean storm must hold: zero backend-path errors on a 2%
+/// budget, and a p99 bounded by the deadline slack (`6·s`). Both are
+/// provably green against a clean backend — completions are always
+/// within their deadline and nothing produces an error — so the clean
+/// ramp must yield zero incident snapshots.
+fn clean_objectives(s: u64) -> Vec<Objective> {
+    vec![
+        Objective::error_rate("error-rate", 0.02).with_spans(2, 6).with_recovery(3),
+        Objective::p99("p99", 6 * s).with_spans(2, 6).with_recovery(3),
+    ]
+}
+
+/// The faulted storm additionally declares a goodput objective. With 90%
+/// of backend calls failing, the error budget burns orders of magnitude
+/// past threshold, so an SLO breach — and its frozen incident snapshot —
+/// is guaranteed deterministically.
+fn faulted_objectives(s: u64) -> Vec<Objective> {
+    let mut objectives = clean_objectives(s);
+    objectives.push(Objective::goodput("goodput", 0.5).with_spans(2, 6).with_recovery(3));
+    objectives
+}
+
+/// The protected config with live health monitoring armed: windows of
+/// `2·s` cycles, breach-driven degradation floor, flight recorder on.
+fn monitored_config(s: u64, objectives: Vec<Objective>) -> ServerConfig {
+    ServerConfig { health: HealthConfig::with_objectives(2 * s, objectives), ..protected_config() }
 }
 
 /// The no-protection baseline: a queue big enough to never shed, no
@@ -137,6 +168,36 @@ struct ScenarioRow {
     name: &'static str,
     requests: usize,
     report: sc_serve::ServeReport,
+    /// Bucketed p50/p99 over *this scenario's* slice of the shared
+    /// `serve.latency` registry histogram, via the windowed-quantile
+    /// fast path (one fused pass against a pre-scenario baseline).
+    window_p50: u64,
+    window_p99: u64,
+}
+
+/// Runs one storm scenario, bracketing it with registry-histogram
+/// snapshots so the row carries per-scenario windowed quantiles.
+fn run_scenario(
+    name: &'static str,
+    config: ServerConfig,
+    backend: &mut dyn Backend,
+    requests: Vec<Request>,
+) -> ScenarioRow {
+    let lat = histogram("serve.latency", &log2_bounds(24));
+    let base = lat.snapshot();
+    let report = Server::new(config).run(backend, requests.clone());
+    let (window_p50, window_p99) =
+        (lat.quantile_at_window(&base, 0.50), lat.quantile_at_window(&base, 0.99));
+    if report.completed() > 0 {
+        // The bucket upper bound can never undercut the exact
+        // nearest-rank percentile computed from the responses.
+        assert!(
+            window_p99 >= report.latency_percentile(99.0),
+            "{name}: windowed p99 {window_p99} < exact {}",
+            report.latency_percentile(99.0)
+        );
+    }
+    ScenarioRow { name, requests: requests.len(), report, window_p50, window_p99 }
 }
 
 impl ScenarioRow {
@@ -157,7 +218,7 @@ impl ScenarioRow {
             .iter()
             .map(|(c, cycles)| (c.name().to_string(), Json::UInt(cycles)))
             .collect();
-        Json::obj(vec![
+        let mut pairs = vec![
             ("scenario", Json::Str(self.name.to_string())),
             ("requests", Json::UInt(self.requests as u64)),
             ("completed", Json::UInt(r.completed())),
@@ -176,9 +237,25 @@ impl ScenarioRow {
             ("p50_ticks", Json::UInt(r.latency_percentile(50.0))),
             ("p95_ticks", Json::UInt(r.latency_percentile(95.0))),
             ("p99_ticks", Json::UInt(r.latency_percentile(99.0))),
+            ("window_p50_ticks", Json::UInt(self.window_p50)),
+            ("window_p99_ticks", Json::UInt(self.window_p99)),
             ("horizon_ticks", Json::UInt(r.horizon)),
             ("attribution", Json::Obj(attribution)),
-        ])
+        ];
+        if let Some(h) = &r.health {
+            pairs.push((
+                "health",
+                Json::obj(vec![
+                    ("verdict", Json::Str(h.verdict().label().to_string())),
+                    ("windows", Json::UInt(h.closed_windows())),
+                    ("breaches", Json::UInt(h.breaches())),
+                    ("recoveries", Json::UInt(h.recoveries())),
+                    ("incidents", Json::UInt(h.incidents.len() as u64)),
+                    ("transitions", Json::UInt(h.transitions.len() as u64)),
+                ]),
+            ));
+        }
+        Json::obj(pairs)
     }
 }
 
@@ -213,6 +290,20 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
     let (ramp_n, background, burst) = if quick { (40, 12, 48) } else { (120, 24, 96) };
     let n = precision();
 
+    // Remove stale incident snapshots up front so the set on disk after
+    // this run is exactly the set this run froze.
+    if let Some(dir) = ctx.manifest_path().parent() {
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for e in entries.flatten() {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with("incident_") && name.ends_with(".json") {
+                    let _ = std::fs::remove_file(e.path());
+                }
+            }
+        }
+    }
+
     // Calibrate the virtual time scale: one full-precision service of
     // the mid-size payload.
     let s = backend().serve(1, None).expect("clean backend serves").cycles;
@@ -235,35 +326,82 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
 
     // Ramp: the ladder engages as load crosses saturation.
     let ramp = ramp_trace(ramp_n, s);
-    let report = Server::new(protected_config()).run(&mut backend(), ramp.clone());
-    assert_eq!(report.responses.len(), ramp.len(), "every request finalized exactly once");
-    assert!(report.max_queue_depth <= QUEUE_CAPACITY, "queue growth is bounded");
-    rows.push(ScenarioRow { name: "ramp", requests: ramp.len(), report });
+    let row = run_scenario("ramp", monitored_config(s, clean_objectives(s)), &mut backend(), ramp);
+    assert_eq!(row.report.responses.len(), row.requests, "every request finalized exactly once");
+    assert!(row.report.max_queue_depth <= QUEUE_CAPACITY, "queue growth is bounded");
+    rows.push(row);
     print_row(rows.last().unwrap());
 
-    // Spike, naive vs protected.
+    // Spike, naive vs protected. The naive baseline serves unmonitored.
     let spike = spike_trace(background, burst, s);
-    let naive = Server::new(naive_config(spike.len())).run(&mut backend(), spike.clone());
-    rows.push(ScenarioRow { name: "spike-naive", requests: spike.len(), report: naive });
+    let row = run_scenario("spike-naive", naive_config(spike.len()), &mut backend(), spike.clone());
+    rows.push(row);
     print_row(rows.last().unwrap());
 
-    let protected = Server::new(protected_config()).run(&mut backend(), spike.clone());
-    assert_eq!(protected.responses.len(), spike.len());
-    assert!(protected.max_queue_depth <= QUEUE_CAPACITY, "queue growth is bounded");
-    rows.push(ScenarioRow { name: "spike-protected", requests: spike.len(), report: protected });
+    let row = run_scenario(
+        "spike-protected",
+        monitored_config(s, clean_objectives(s)),
+        &mut backend(),
+        spike.clone(),
+    );
+    assert_eq!(row.report.responses.len(), spike.len());
+    assert!(row.report.max_queue_depth <= QUEUE_CAPACITY, "queue growth is bounded");
+    rows.push(row);
     print_row(rows.last().unwrap());
 
-    // Faulted spike: most backend calls fail; the breaker fails fast.
-    let faulted = {
+    // Faulted spike: most backend calls fail; the breaker fails fast and
+    // the SLO engine must breach, freeze an incident, and floor the tier.
+    let row = {
         let _g = sc_fault::scoped(
             sc_fault::FaultPlan::parse("serve.backend:flip@0.9;seed=7").expect("valid spec"),
         );
-        Server::new(protected_config()).run(&mut backend(), spike.clone())
+        run_scenario(
+            "spike-faulted",
+            monitored_config(s, faulted_objectives(s)),
+            &mut backend(),
+            spike.clone(),
+        )
     };
-    assert!(faulted.retries > 0, "a mostly-dead backend must drive retries");
-    assert!(faulted.breaker_trips >= 1, "sustained failures must trip the breaker");
-    rows.push(ScenarioRow { name: "spike-faulted", requests: spike.len(), report: faulted });
+    assert!(row.report.retries > 0, "a mostly-dead backend must drive retries");
+    assert!(row.report.breaker_trips >= 1, "sustained failures must trip the breaker");
+    rows.push(row);
     print_row(rows.last().unwrap());
+
+    // The health verdicts the storms must deterministically produce:
+    // the faulted spike breaches (and its breach drives a tier-floor
+    // raise); the clean storms stay green — asserted only when no
+    // ambient fault plan is armed, since `SC_FAULTS` may legitimately
+    // push backend-path errors into the clean scenarios.
+    let health_of = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .and_then(|r| r.report.health.as_ref())
+            .unwrap_or_else(|| panic!("{name} ran with monitoring enabled"))
+    };
+    let fh = health_of("spike-faulted");
+    assert!(fh.breaches() >= 1, "the 90% fault storm must breach an SLO");
+    assert!(!fh.incidents.is_empty(), "a breach must freeze an incident snapshot");
+    assert!(
+        fh.transitions.iter().any(|t| t.to > t.from),
+        "the breach must raise the verdict-driven tier floor"
+    );
+    println!(
+        "\ncheck: faulted spike breached {} objective window(s), froze {} incident(s), \
+         floor peaked at tier {}  [ok]",
+        fh.breaches(),
+        fh.incidents.len(),
+        fh.transitions.iter().map(|t| t.to).max().unwrap_or(0)
+    );
+    let ambient_clean = std::env::var("SC_FAULTS").map_or(true, |v| v.trim().is_empty());
+    if ambient_clean {
+        for name in ["ramp", "spike-protected"] {
+            let h = health_of(name);
+            assert_eq!(h.breaches(), 0, "{name} must stay green on a clean backend");
+            assert!(h.incidents.is_empty(), "{name} must freeze no incidents");
+            assert_eq!(h.verdict().label(), "green");
+        }
+        println!("check: clean ramp and protected spike stayed green (0 incidents)  [ok]");
+    }
 
     // The headline resilience claims, asserted (not just printed).
     let find = |name: &str| &rows.iter().find(|r| r.name == name).unwrap().report;
@@ -316,10 +454,13 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
     ctx.write_trace(&processes).expect("write chrome trace");
     println!("check: span trees cover {:.1}% of request cycles  [ok]", coverage * 100.0);
 
-    // Zero-rate identity: a @0 serve fault plan is bitwise invisible.
+    // Zero-rate identity: a @0 serve fault plan is bitwise invisible —
+    // including the health report, which rides in the fingerprint.
     let run_scoped = |spec: &str| {
         let _g = sc_fault::scoped(sc_fault::FaultPlan::parse(spec).expect("valid spec"));
-        Server::new(protected_config()).run(&mut backend(), spike.clone()).fingerprint()
+        Server::new(monitored_config(s, faulted_objectives(s)))
+            .run(&mut backend(), spike.clone())
+            .fingerprint()
     };
     assert_eq!(
         run_scoped(""),
@@ -335,6 +476,27 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
     // Neural serving: the full tier agrees exactly with full-precision
     // inference; degraded tiers report their agreement.
     let agreement = neural_agreement(ctx, quick);
+
+    // Flight-recorder incident snapshots: one JSON file per frozen
+    // incident, numbered across scenarios in run order. The manifest
+    // carries the faulted storm's health rollup.
+    let out_dir = ctx.manifest_path().parent().expect("manifest has a parent").to_path_buf();
+    let mut seq = 0u64;
+    for row in &rows {
+        let Some(h) = &row.report.health else { continue };
+        for inc in &h.incidents {
+            let path = out_dir.join(format!("incident_{seq}.json"));
+            let json = Json::obj(vec![
+                ("scenario", Json::Str(row.name.to_string())),
+                ("incident", inc.to_json()),
+            ]);
+            sc_telemetry::export::write_json(&path, &json).expect("write incident snapshot");
+            ctx.record_artifact(&path);
+            seq += 1;
+        }
+    }
+    println!("wrote {seq} incident snapshot(s)");
+    ctx.health(health_of("spike-faulted").summary());
 
     let json = Json::obj(vec![
         ("service_ticks", Json::UInt(s)),

@@ -209,6 +209,7 @@ fn serve_layer_identical_across_thread_counts() {
         ]),
         failure_ticks: 32,
         trace_seed: 0x17,
+        ..ServerConfig::default()
     };
     // Scoped inside the closure: armed only while THREADS_LOCK is held.
     let run_with = |spec: &str| {
@@ -275,6 +276,7 @@ fn span_trees_and_attribution_identical_and_exact_across_thread_counts() {
         degrade: DegradePolicy::new(vec![DegradeTier { occupancy: 0.5, effective_bits: 5 }]),
         failure_ticks: 32,
         trace_seed: TRACE_SEED,
+        ..ServerConfig::default()
     };
     let trace: Vec<Request> = (0..32)
         .map(|i| Request { id: i, arrival: 100 + (i / 6) * 40, deadline: 35_000, payload: 0 })
@@ -305,6 +307,78 @@ fn span_trees_and_attribution_identical_and_exact_across_thread_counts() {
     };
     with_threads("span trees clean", || run_with(""));
     with_threads("span trees faulted", || run_with("serve.backend:flip@0.3;seed=11"));
+}
+
+/// The live-health contract: the windowed time series, every SLO
+/// breach's cycle stamp, and each frozen incident snapshot are bitwise
+/// identical at every `SC_THREADS`, clean and with `serve.backend`
+/// faults armed.
+#[test]
+fn health_windows_and_incidents_identical_across_thread_counts() {
+    use sc_health::{HealthConfig, Objective};
+    use sc_serve::{
+        AccelBackend, AccelPayload, BreakerConfig, Request, RetryPolicy, Server, ServerConfig,
+        ShedPolicy,
+    };
+    let n = Precision::new(8).unwrap();
+    let geometry = ConvGeometry { z: 2, in_h: 7, in_w: 7, m: 3, k: 3, stride: 1 };
+    let payload = AccelPayload {
+        input: (0..geometry.z * geometry.in_h * geometry.in_w)
+            .map(|i| ((i as i32 * 23 + 9) % 33) - 16)
+            .collect(),
+        weights: (0..geometry.m * geometry.depth())
+            .map(|i| ((i as i32 * 11 + 3) % 25) - 12)
+            .collect(),
+        geometry,
+    };
+    let backend = || {
+        let engine = TileEngine::new(
+            n,
+            Tiling { t_m: 2, t_r: 3, t_c: 3 },
+            AccelArithmetic::ProposedSerial,
+            4,
+        );
+        AccelBackend::new(engine, vec![payload.clone()])
+    };
+    let config = || ServerConfig {
+        queue_capacity: 8,
+        shed_policy: ShedPolicy::ShedByDeadline,
+        retry: RetryPolicy { max_attempts: 2, base: 128, cap: 1024, seed: 0x33 },
+        breaker: BreakerConfig { failure_threshold: 4, cooldown: 2048 },
+        failure_ticks: 32,
+        health: HealthConfig::with_objectives(
+            2_000,
+            vec![
+                Objective::goodput("goodput", 0.5).with_spans(2, 4).with_recovery(2),
+                Objective::error_rate("error-rate", 0.02).with_spans(1, 3).with_recovery(2),
+                Objective::p99("p99", 30_000).with_spans(2, 4),
+            ],
+        ),
+        ..ServerConfig::default()
+    };
+    let trace: Vec<Request> = (0..36)
+        .map(|i| Request { id: i, arrival: 100 + (i / 6) * 60, deadline: 45_000, payload: 0 })
+        .collect();
+    // The fingerprint covers only the health report (series, objective
+    // states, signal cycle stamps, incidents, floor transitions), so a
+    // divergence here is unambiguously a health-telemetry bug.
+    let run_with = |spec: &str| {
+        let _s = sc_fault::scoped(sc_fault::FaultPlan::parse(spec).unwrap());
+        let report = Server::new(config()).run(&mut backend(), trace.clone());
+        let health = report.health.expect("monitoring enabled");
+        let mut fp = health.fingerprint();
+        fp.push(health.digest());
+        (health, fp)
+    };
+    with_threads("health clean", || run_with("").1);
+    with_threads("health faulted", || {
+        let (health, fp) = run_with("serve.backend:flip@0.8;seed=5");
+        // The faulted storm must actually exercise the breach machinery
+        // — otherwise the determinism claim here is vacuous.
+        assert!(health.breaches() >= 1, "the 80% fault storm must breach an SLO");
+        assert!(!health.incidents.is_empty(), "a breach must freeze an incident snapshot");
+        fp
+    });
 }
 
 #[test]

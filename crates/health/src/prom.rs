@@ -1,0 +1,168 @@
+//! Prometheus text-format exposition for metric snapshots and health
+//! summaries.
+//!
+//! Renders the subset of the format the ecosystem tooling actually
+//! parses: `# TYPE` lines, one sample per line, histograms as
+//! cumulative `_bucket{le=…}` series plus `_sum`/`_count`. Metric names
+//! are sanitized (anything outside `[a-zA-Z0-9_:]` becomes `_`), and
+//! every sample carries a `bench` label so dumps from several benches
+//! can be concatenated or scraped into one corpus.
+
+use sc_telemetry::manifest::HealthSummary;
+use sc_telemetry::metrics::MetricsSnapshot;
+
+/// Sanitizes a dotted metric name into a legal Prometheus identifier.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        let digit_start = i == 0 && c.is_ascii_digit();
+        if ok && !digit_start {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a full metrics snapshot as Prometheus text, labelling every
+/// sample with `bench="<bench>"`.
+pub fn render(bench: &str, snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} counter\n"));
+        out.push_str(&format!("{n}{{bench=\"{bench}\"}} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} gauge\n"));
+        out.push_str(&format!("{n}{{bench=\"{bench}\"}} {}\n", fmt_f64(*value)));
+    }
+    for (name, h) in &snap.histograms {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, bound) in h.bounds.iter().enumerate() {
+            cumulative += h.buckets[i];
+            out.push_str(&format!("{n}_bucket{{bench=\"{bench}\",le=\"{bound}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{n}_bucket{{bench=\"{bench}\",le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{n}_sum{{bench=\"{bench}\"}} {}\n", h.sum));
+        out.push_str(&format!("{n}_count{{bench=\"{bench}\"}} {}\n", h.count));
+    }
+    out
+}
+
+/// Renders a manifest health summary as Prometheus gauges (appended to
+/// the [`render`] output by the `sc_health` bin).
+pub fn render_health(bench: &str, h: &HealthSummary) -> String {
+    let mut out = String::new();
+    let mut gauge = |name: &str, value: String| {
+        out.push_str(&format!("# TYPE {name} gauge\n"));
+        out.push_str(&format!("{name}{{bench=\"{bench}\"}} {value}\n"));
+    };
+    gauge("sc_health_window_cycles", h.window.to_string());
+    gauge("sc_health_windows", h.windows.to_string());
+    gauge("sc_health_objectives", h.objectives.to_string());
+    gauge("sc_health_breaches", h.breaches.to_string());
+    gauge("sc_health_recoveries", h.recoveries.to_string());
+    gauge("sc_health_incidents", h.incidents.to_string());
+    // Verdict as a one-hot enum gauge, the Prometheus idiom for states.
+    for v in ["green", "burning", "breached"] {
+        out.push_str("# TYPE sc_health_verdict gauge\n");
+        out.push_str(&format!(
+            "sc_health_verdict{{bench=\"{bench}\",verdict=\"{v}\"}} {}\n",
+            (h.verdict == v) as u64
+        ));
+    }
+    for (tier, cycles) in &h.time_in_tier {
+        out.push_str("# TYPE sc_health_time_in_tier_cycles gauge\n");
+        out.push_str(&format!(
+            "sc_health_time_in_tier_cycles{{bench=\"{bench}\",tier=\"{}\"}} {cycles}\n",
+            sanitize(tier)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_telemetry::metrics::HistogramSnapshot;
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(sanitize("serve.latency"), "serve_latency");
+        assert_eq!(sanitize("fault.injected.serve.backend"), "fault_injected_serve_backend");
+        assert_eq!(sanitize("9lives"), "_lives");
+        assert_eq!(sanitize("ok_name:sub"), "ok_name:sub");
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_cumulative_histograms() {
+        let snap = MetricsSnapshot {
+            counters: vec![("serve.completed".to_string(), 42)],
+            gauges: vec![("serve.goodput".to_string(), 0.5)],
+            histograms: vec![(
+                "serve.latency".to_string(),
+                HistogramSnapshot {
+                    bounds: vec![1, 2, 4],
+                    buckets: vec![1, 2, 0, 3],
+                    count: 6,
+                    sum: 100,
+                    max: 50,
+                },
+            )],
+        };
+        let text = render("storm", &snap);
+        assert!(text.contains("# TYPE serve_completed counter\n"));
+        assert!(text.contains("serve_completed{bench=\"storm\"} 42\n"));
+        assert!(text.contains("serve_goodput{bench=\"storm\"} 0.5\n"));
+        // Buckets are cumulative: 1, 3, 3, then +Inf carries the total.
+        assert!(text.contains("serve_latency_bucket{bench=\"storm\",le=\"1\"} 1\n"));
+        assert!(text.contains("serve_latency_bucket{bench=\"storm\",le=\"2\"} 3\n"));
+        assert!(text.contains("serve_latency_bucket{bench=\"storm\",le=\"4\"} 3\n"));
+        assert!(text.contains("serve_latency_bucket{bench=\"storm\",le=\"+Inf\"} 6\n"));
+        assert!(text.contains("serve_latency_sum{bench=\"storm\"} 100\n"));
+        assert!(text.contains("serve_latency_count{bench=\"storm\"} 6\n"));
+    }
+
+    #[test]
+    fn integral_gauges_keep_a_decimal_point() {
+        let snap = MetricsSnapshot {
+            counters: vec![],
+            gauges: vec![("par.utilization".to_string(), 3.0)],
+            histograms: vec![],
+        };
+        assert!(render("b", &snap).contains("par_utilization{bench=\"b\"} 3.0\n"));
+    }
+
+    #[test]
+    fn health_summary_renders_verdict_one_hot() {
+        let h = HealthSummary {
+            window: 4096,
+            windows: 10,
+            objectives: 3,
+            breaches: 2,
+            recoveries: 1,
+            incidents: 2,
+            verdict: "breached".to_string(),
+            time_in_tier: vec![("tier0".to_string(), 100), ("tier1".to_string(), 50)],
+        };
+        let text = render_health("storm", &h);
+        assert!(text.contains("sc_health_breaches{bench=\"storm\"} 2\n"));
+        assert!(text.contains("sc_health_verdict{bench=\"storm\",verdict=\"breached\"} 1\n"));
+        assert!(text.contains("sc_health_verdict{bench=\"storm\",verdict=\"green\"} 0\n"));
+        assert!(text.contains("sc_health_time_in_tier_cycles{bench=\"storm\",tier=\"tier1\"} 50\n"));
+    }
+}

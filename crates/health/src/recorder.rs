@@ -1,0 +1,358 @@
+//! A deterministic flight recorder: bounded ring buffers of recent
+//! telemetry events, span summaries, and closed windows, frozen into an
+//! incident snapshot when an SLO breaches.
+//!
+//! Everything here is driven by the virtual clock, so an incident
+//! snapshot — including which events survive in the rings at freeze
+//! time — is a pure function of the workload, bitwise identical across
+//! reruns and `SC_THREADS` settings.
+
+use std::collections::VecDeque;
+
+use sc_telemetry::json::Json;
+
+use crate::slo::Signal;
+use crate::window::WindowStats;
+use crate::{fnv1a, hash_str, FNV_OFFSET};
+
+/// One point event kept by the recorder (breaker trips, SLO edges,
+/// tier-floor moves, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecEvent {
+    /// Virtual cycle of the event.
+    pub cycle: u64,
+    /// Event name (dotted, e.g. `slo.breach`).
+    pub name: String,
+    /// Free-form detail string.
+    pub detail: String,
+}
+
+impl RecEvent {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cycle", Json::UInt(self.cycle)),
+            ("name", Json::Str(self.name.clone())),
+            ("detail", Json::Str(self.detail.clone())),
+        ])
+    }
+
+    fn fingerprint(&self) -> [u64; 3] {
+        [self.cycle, hash_str(&self.name), hash_str(&self.detail)]
+    }
+}
+
+/// A finalized request in one line: the flight-recorder view of a span
+/// tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// Request id.
+    pub id: u64,
+    /// Terminal outcome name (`completed`, `shed`, …).
+    pub outcome: String,
+    /// Sojourn time in virtual cycles.
+    pub latency: u64,
+    /// Dispatch attempts made.
+    pub attempts: u32,
+    /// Finalization cycle.
+    pub finished_at: u64,
+}
+
+impl SpanSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::UInt(self.id)),
+            ("outcome", Json::Str(self.outcome.clone())),
+            ("latency", Json::UInt(self.latency)),
+            ("attempts", Json::UInt(self.attempts as u64)),
+            ("finished_at", Json::UInt(self.finished_at)),
+        ])
+    }
+
+    fn fingerprint(&self) -> [u64; 5] {
+        [self.id, hash_str(&self.outcome), self.latency, self.attempts as u64, self.finished_at]
+    }
+}
+
+/// The serving-side state captured alongside an incident.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemState {
+    /// Admission-queue depth at capture time.
+    pub queue_depth: usize,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Requests occupying the backend.
+    pub inflight: usize,
+    /// Circuit-breaker state name (`closed` / `open` / `half-open`).
+    pub breaker: String,
+    /// Breaker trips so far.
+    pub breaker_trips: u64,
+    /// Verdict-driven degradation tier floor in force.
+    pub tier_floor: usize,
+}
+
+impl SystemState {
+    /// A zeroed state for monitors running outside a server.
+    pub fn idle() -> SystemState {
+        SystemState {
+            queue_depth: 0,
+            queue_capacity: 0,
+            inflight: 0,
+            breaker: "closed".to_string(),
+            breaker_trips: 0,
+            tier_floor: 0,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("queue_depth", Json::UInt(self.queue_depth as u64)),
+            ("queue_capacity", Json::UInt(self.queue_capacity as u64)),
+            ("inflight", Json::UInt(self.inflight as u64)),
+            ("breaker", Json::Str(self.breaker.clone())),
+            ("breaker_trips", Json::UInt(self.breaker_trips)),
+            ("tier_floor", Json::UInt(self.tier_floor as u64)),
+        ])
+    }
+
+    fn fingerprint(&self) -> [u64; 6] {
+        [
+            self.queue_depth as u64,
+            self.queue_capacity as u64,
+            self.inflight as u64,
+            hash_str(&self.breaker),
+            self.breaker_trips,
+            self.tier_floor as u64,
+        ]
+    }
+}
+
+/// A frozen post-mortem record of one SLO breach.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidentSnapshot {
+    /// Incident sequence number (0-based, order of occurrence).
+    pub seq: u64,
+    /// Breach cycle stamp (the triggering window's end boundary).
+    pub cycle: u64,
+    /// Name of the breached objective.
+    pub objective: String,
+    /// Fast-span burn rate at the breach.
+    pub fast_burn: f64,
+    /// Slow-span burn rate at the breach.
+    pub slow_burn: f64,
+    /// The most recent closed windows (triggering window last).
+    pub windows: Vec<WindowStats>,
+    /// Recent recorder events, oldest first.
+    pub events: Vec<RecEvent>,
+    /// Recent finalized-request summaries, oldest first.
+    pub spans: Vec<SpanSummary>,
+    /// Serving-side state at the breach.
+    pub state: SystemState,
+}
+
+impl IncidentSnapshot {
+    /// Serializes the full snapshot (this is the `incident_<n>.json`
+    /// payload).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seq", Json::UInt(self.seq)),
+            ("cycle", Json::UInt(self.cycle)),
+            ("objective", Json::Str(self.objective.clone())),
+            ("fast_burn", Json::Num(self.fast_burn)),
+            ("slow_burn", Json::Num(self.slow_burn)),
+            ("windows", Json::Arr(self.windows.iter().map(WindowStats::to_json).collect())),
+            ("events", Json::Arr(self.events.iter().map(RecEvent::to_json).collect())),
+            ("spans", Json::Arr(self.spans.iter().map(SpanSummary::to_json).collect())),
+            ("state", self.state.to_json()),
+        ])
+    }
+
+    /// Flattens the entire snapshot into `u64`s for bitwise-determinism
+    /// assertions.
+    pub fn fingerprint(&self) -> Vec<u64> {
+        let mut fp = vec![
+            self.seq,
+            self.cycle,
+            hash_str(&self.objective),
+            self.fast_burn.to_bits(),
+            self.slow_burn.to_bits(),
+        ];
+        for w in &self.windows {
+            fp.extend(w.fingerprint());
+        }
+        for e in &self.events {
+            fp.extend(e.fingerprint());
+        }
+        for s in &self.spans {
+            fp.extend(s.fingerprint());
+        }
+        fp.extend(self.state.fingerprint());
+        fp
+    }
+
+    /// Order-sensitive hash of [`IncidentSnapshot::fingerprint`].
+    pub fn digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for w in self.fingerprint() {
+            h = fnv1a(h, &w.to_le_bytes());
+        }
+        h
+    }
+}
+
+/// Bounded ring buffers plus the frozen incidents.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    events: VecDeque<RecEvent>,
+    spans: VecDeque<SpanSummary>,
+    windows: VecDeque<WindowStats>,
+    event_capacity: usize,
+    span_capacity: usize,
+    window_capacity: usize,
+    incidents: Vec<IncidentSnapshot>,
+    max_incidents: usize,
+    dropped_incidents: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `events`/`spans`/`windows` entries
+    /// and at most `max_incidents` frozen snapshots.
+    pub fn new(
+        events: usize,
+        spans: usize,
+        windows: usize,
+        max_incidents: usize,
+    ) -> FlightRecorder {
+        FlightRecorder {
+            events: VecDeque::with_capacity(events),
+            spans: VecDeque::with_capacity(spans),
+            windows: VecDeque::with_capacity(windows),
+            event_capacity: events.max(1),
+            span_capacity: spans.max(1),
+            window_capacity: windows.max(1),
+            incidents: Vec::new(),
+            max_incidents,
+            dropped_incidents: 0,
+        }
+    }
+
+    /// Records a point event (evicting the oldest at capacity).
+    pub fn push_event(&mut self, cycle: u64, name: &str, detail: String) {
+        if self.events.len() == self.event_capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(RecEvent { cycle, name: name.to_string(), detail });
+    }
+
+    /// Records a finalized-request summary.
+    pub fn push_span(&mut self, span: SpanSummary) {
+        if self.spans.len() == self.span_capacity {
+            self.spans.pop_front();
+        }
+        self.spans.push_back(span);
+    }
+
+    /// Records a closed window.
+    pub fn push_window(&mut self, w: WindowStats) {
+        if self.windows.len() == self.window_capacity {
+            self.windows.pop_front();
+        }
+        self.windows.push_back(w);
+    }
+
+    /// Freezes an incident snapshot for a breach `signal`. Returns
+    /// whether it was kept (`false` once `max_incidents` is reached;
+    /// the drop is counted, not silent).
+    pub fn freeze(&mut self, signal: &Signal, state: &SystemState) -> bool {
+        if self.incidents.len() >= self.max_incidents {
+            self.dropped_incidents += 1;
+            return false;
+        }
+        self.incidents.push(IncidentSnapshot {
+            seq: self.incidents.len() as u64,
+            cycle: signal.cycle,
+            objective: signal.objective.clone(),
+            fast_burn: signal.fast_burn,
+            slow_burn: signal.slow_burn,
+            windows: self.windows.iter().cloned().collect(),
+            events: self.events.iter().cloned().collect(),
+            spans: self.spans.iter().cloned().collect(),
+            state: state.clone(),
+        });
+        true
+    }
+
+    /// The frozen incidents, in order of occurrence.
+    pub fn incidents(&self) -> &[IncidentSnapshot] {
+        &self.incidents
+    }
+
+    /// Breaches that arrived after the incident cap was hit.
+    pub fn dropped_incidents(&self) -> u64 {
+        self.dropped_incidents
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::SignalKind;
+
+    fn breach(cycle: u64) -> Signal {
+        Signal {
+            cycle,
+            window: cycle / 100,
+            objective: "errors".to_string(),
+            kind: SignalKind::Breach,
+            fast_burn: 2.0,
+            slow_burn: 1.5,
+        }
+    }
+
+    #[test]
+    fn rings_evict_oldest_first() {
+        let mut r = FlightRecorder::new(2, 2, 2, 4);
+        for c in 0..5 {
+            r.push_event(c, "tick", format!("n={c}"));
+        }
+        r.freeze(&breach(500), &SystemState::idle());
+        let inc = &r.incidents()[0];
+        let cycles: Vec<u64> = inc.events.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![3, 4], "only the newest survive, oldest first");
+    }
+
+    #[test]
+    fn incident_cap_counts_drops() {
+        let mut r = FlightRecorder::new(2, 2, 2, 1);
+        assert!(r.freeze(&breach(100), &SystemState::idle()));
+        assert!(!r.freeze(&breach(200), &SystemState::idle()));
+        assert_eq!(r.incidents().len(), 1);
+        assert_eq!(r.dropped_incidents(), 1);
+    }
+
+    #[test]
+    fn snapshot_json_and_digest_cover_the_state() {
+        let mut r = FlightRecorder::new(4, 4, 4, 4);
+        r.push_event(10, "breaker.trip", "failures=4".to_string());
+        r.push_span(SpanSummary {
+            id: 7,
+            outcome: "failed".to_string(),
+            latency: 321,
+            attempts: 3,
+            finished_at: 90,
+        });
+        let mut state = SystemState::idle();
+        state.queue_depth = 5;
+        r.freeze(&breach(100), &state);
+        let inc = &r.incidents()[0];
+        let json = inc.to_json();
+        assert_eq!(json.get("objective").and_then(|j| j.as_str()), Some("errors"));
+        assert_eq!(
+            json.get("state").and_then(|s| s.get("queue_depth")).and_then(|j| j.as_u64()),
+            Some(5)
+        );
+        let d = inc.digest();
+        let mut other = inc.clone();
+        other.state.breaker_trips = 1;
+        assert_ne!(d, other.digest());
+    }
+}

@@ -48,6 +48,17 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+impl BreakerState {
+    /// Lowercase label used in health snapshots and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
 /// Deterministic circuit breaker for one backend.
 #[derive(Debug, Clone)]
 pub struct CircuitBreaker {

@@ -70,6 +70,18 @@ impl DegradePolicy {
         &self.tiers
     }
 
+    /// The effective bits for serving at `tier` directly (tier 0 and
+    /// out-of-range tiers are full precision). This is how a
+    /// verdict-driven tier *floor* resolves to a stream length when it
+    /// overrides the occupancy-sampled tier.
+    pub fn bits_for(&self, tier: usize) -> Option<u32> {
+        if tier == 0 {
+            None
+        } else {
+            self.tiers.get(tier - 1).map(|t| t.effective_bits)
+        }
+    }
+
     /// The tier for a queue of `depth` entries out of `capacity`:
     /// returns `(tier index, effective bits)` where tier 0 / `None` is
     /// full precision.
@@ -113,6 +125,17 @@ mod tests {
         let p = DegradePolicy::none();
         assert_eq!(p.tier_count(), 1);
         assert_eq!(p.tier_for(10, 10), (0, None));
+        assert_eq!(p.bits_for(0), None);
+        assert_eq!(p.bits_for(1), None, "out-of-range tiers fall back to full precision");
+    }
+
+    #[test]
+    fn bits_for_resolves_floored_tiers() {
+        let p = ladder();
+        assert_eq!(p.bits_for(0), None);
+        assert_eq!(p.bits_for(1), Some(6));
+        assert_eq!(p.bits_for(2), Some(4));
+        assert_eq!(p.bits_for(3), None);
     }
 
     #[test]

@@ -33,6 +33,18 @@
 //!   inference ([`NeuralBackend`]);
 //! * [`report`] — per-run outcome accounting and latency percentiles.
 //!
+//! ## Live health telemetry
+//!
+//! [`ServerConfig::health`] arms an [`sc_health`] monitor inside the
+//! serving loop: request finalizations land in tumbling windows on the
+//! virtual clock, declarative SLOs (goodput, p99 latency, error rate)
+//! are evaluated per window with SRE-style dual-window burn rates, and
+//! a breach freezes a flight-recorder incident snapshot *and* raises a
+//! degradation-tier **floor** on top of the occupancy ladder — the
+//! server degrades on burn and recovers only on sustained green. The
+//! full [`sc_health::HealthReport`] rides home on
+//! [`ServeReport::health`].
+//!
 //! ## Fault injection
 //!
 //! The serving path registers the [`sites::BACKEND`] injection site:
@@ -69,6 +81,7 @@ pub use degrade::{DegradePolicy, DegradeTier};
 pub use queue::{AdmissionQueue, ShedPolicy};
 pub use report::{Outcome, Response, ServeReport};
 pub use retry::RetryPolicy;
+pub use sc_health::{HealthConfig, HealthReport, Objective};
 pub use server::{Backend, BackendReply, Request, Server, ServerConfig};
 
 /// Canonical `sc-fault` site names registered by this crate.

@@ -12,6 +12,7 @@
 //! derived from the [`RequestAcct`] timeline the server keeps per
 //! request.
 
+use sc_health::HealthReport;
 use sc_telemetry::{BackendProfile, CycleAttribution, SpanTree};
 
 /// One accounted slice of a request's lifetime, recorded by the server
@@ -159,6 +160,9 @@ pub struct ServeReport {
     /// One causal span tree per request, in finalization order (same
     /// order as `responses`).
     pub traces: Vec<SpanTree>,
+    /// The health monitor's report (window series, SLO verdicts,
+    /// incidents), when [`crate::ServerConfig::health`] enables it.
+    pub health: Option<HealthReport>,
 }
 
 impl ServeReport {
@@ -214,6 +218,9 @@ impl ServeReport {
         for t in &self.traces {
             fp.extend(t.fingerprint());
         }
+        if let Some(h) = &self.health {
+            fp.extend(h.fingerprint());
+        }
         fp
     }
 }
@@ -248,6 +255,7 @@ mod tests {
             max_queue_depth: 1,
             horizon: 1000,
             traces: vec![],
+            health: None,
         };
         assert_eq!(report.latency_percentile(50.0), 500);
         assert_eq!(report.latency_percentile(99.0), 990);
@@ -270,6 +278,7 @@ mod tests {
             max_queue_depth: 0,
             horizon: 0,
             traces: vec![],
+            health: None,
         };
         assert_eq!(report.latency_percentile(99.0), 0);
     }
@@ -288,6 +297,7 @@ mod tests {
             max_queue_depth: 1,
             horizon: 10,
             traces: vec![],
+            health: None,
         };
         let fp = a.fingerprint();
         a.responses[0].latency = 11;

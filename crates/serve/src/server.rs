@@ -18,6 +18,7 @@
 
 use std::sync::{Arc, OnceLock};
 
+use sc_health::{HealthConfig, HealthMonitor, Sample, SpanSummary, SystemState};
 use sc_telemetry::metrics::{counter, histogram, log2_bounds, Counter, Histogram};
 use sc_telemetry::{BackendProfile, CycleCategory, SpanId, SpanTree, TraceId};
 
@@ -88,6 +89,10 @@ pub struct ServerConfig {
     /// Seed mixed into every [`TraceId`] minted at admission; two runs
     /// with the same seed produce bitwise-identical trace ids.
     pub trace_seed: u64,
+    /// Live health monitoring: windowed SLO evaluation whose verdict
+    /// drives a degradation-tier *floor* on top of the occupancy ladder
+    /// (disabled by default).
+    pub health: HealthConfig,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +105,7 @@ impl Default for ServerConfig {
             degrade: DegradePolicy::none(),
             failure_ticks: 64,
             trace_seed: 0,
+            health: HealthConfig::disabled(),
         }
     }
 }
@@ -114,6 +120,11 @@ struct ServeMetrics {
     failed: Counter,
     breaker_final: Counter,
     latency: Arc<Histogram>,
+    health_windows: Counter,
+    health_breach: Counter,
+    health_recover: Counter,
+    health_incident: Counter,
+    health_floor_raise: Counter,
 }
 
 fn metrics() -> &'static ServeMetrics {
@@ -130,6 +141,11 @@ fn metrics() -> &'static ServeMetrics {
         // Power-of-two buckets so the histogram supports nearest-rank
         // quantiles (p50/p90/p99) within a 2× bound.
         latency: histogram("serve.latency", &log2_bounds(24)),
+        health_windows: counter("health.windows"),
+        health_breach: counter("health.breach"),
+        health_recover: counter("health.recover"),
+        health_incident: counter("health.incident"),
+        health_floor_raise: counter("health.floor_raise"),
     })
 }
 
@@ -283,6 +299,9 @@ impl Server {
         let mut queue = AdmissionQueue::new(self.config.queue_capacity, self.config.shed_policy);
         let mut breaker = CircuitBreaker::new(self.config.breaker);
         let fault = sc_fault::site(crate::sites::BACKEND);
+        let mut monitor =
+            HealthMonitor::new(self.config.health.clone(), self.config.degrade.tier_count() - 1);
+        let mut noted_trips = 0u64;
 
         let mut inflight: Option<Inflight> = None;
         let mut next_arrival = 0usize;
@@ -297,63 +316,83 @@ impl Server {
         let mut traces: Vec<SpanTree> = Vec::with_capacity(requests.len());
         let trace_seed = self.config.trace_seed;
 
-        let mut finalize = |entry: &mut Queued, outcome: Outcome, now: u64| {
-            // Close the open wait interval so the accounting timeline
-            // covers the request's whole lifetime.
-            settle_wait(entry, now);
-            let latency = now.saturating_sub(entry.req.arrival);
-            match outcome {
-                Outcome::Completed { tier } => {
-                    completed_by_tier[tier] += 1;
-                    m.completed.incr(1);
-                    if tier > 0 {
-                        m.degraded.incr(1);
+        // The monitor is threaded through as an explicit parameter (not
+        // captured) so the loop can also advance it between finalizations.
+        let mut finalize =
+            |entry: &mut Queued, outcome: Outcome, now: u64, mon: &mut Option<HealthMonitor>| {
+                // Close the open wait interval so the accounting timeline
+                // covers the request's whole lifetime.
+                settle_wait(entry, now);
+                let latency = now.saturating_sub(entry.req.arrival);
+                match outcome {
+                    Outcome::Completed { tier } => {
+                        completed_by_tier[tier] += 1;
+                        m.completed.incr(1);
+                        if tier > 0 {
+                            m.degraded.incr(1);
+                        }
+                        m.latency.record(latency);
                     }
-                    m.latency.record(latency);
+                    Outcome::Shed => {
+                        shed += 1;
+                        m.shed.incr(1);
+                    }
+                    Outcome::TimedOut => {
+                        timed_out += 1;
+                        m.timeout.incr(1);
+                    }
+                    Outcome::BreakerOpen => {
+                        breaker_rejected += 1;
+                        m.breaker_final.incr(1);
+                    }
+                    Outcome::Failed => {
+                        failed += 1;
+                        m.failed.incr(1);
+                    }
                 }
-                Outcome::Shed => {
-                    shed += 1;
-                    m.shed.incr(1);
+                let tree = build_trace(trace_seed, entry, now);
+                debug_assert_eq!(
+                    tree.validate(),
+                    Ok(()),
+                    "span tree for request {} is malformed",
+                    entry.req.id
+                );
+                let attribution = tree.attribution();
+                debug_assert_eq!(
+                    attribution.total(),
+                    latency,
+                    "request {}: attribution must sum to latency",
+                    entry.req.id
+                );
+                sc_telemetry::record_attribution(&attribution);
+                responses.push(Response {
+                    id: entry.req.id,
+                    payload: entry.req.payload,
+                    outcome,
+                    attempts: entry.attempts,
+                    finished_at: now,
+                    latency,
+                    attribution,
+                });
+                traces.push(tree);
+                if let Some(hm) = mon.as_mut() {
+                    hm.sample(match outcome {
+                        Outcome::Completed { tier } => {
+                            Sample::Completed { latency, degraded: tier > 0 }
+                        }
+                        Outcome::Shed => Sample::Shed,
+                        Outcome::TimedOut => Sample::TimedOut,
+                        Outcome::BreakerOpen | Outcome::Failed => Sample::Error,
+                    });
+                    hm.record_span(SpanSummary {
+                        id: entry.req.id,
+                        outcome: outcome.name().to_string(),
+                        latency,
+                        attempts: entry.attempts,
+                        finished_at: now,
+                    });
                 }
-                Outcome::TimedOut => {
-                    timed_out += 1;
-                    m.timeout.incr(1);
-                }
-                Outcome::BreakerOpen => {
-                    breaker_rejected += 1;
-                    m.breaker_final.incr(1);
-                }
-                Outcome::Failed => {
-                    failed += 1;
-                    m.failed.incr(1);
-                }
-            }
-            let tree = build_trace(trace_seed, entry, now);
-            debug_assert_eq!(
-                tree.validate(),
-                Ok(()),
-                "span tree for request {} is malformed",
-                entry.req.id
-            );
-            let attribution = tree.attribution();
-            debug_assert_eq!(
-                attribution.total(),
-                latency,
-                "request {}: attribution must sum to latency",
-                entry.req.id
-            );
-            sc_telemetry::record_attribution(&attribution);
-            responses.push(Response {
-                id: entry.req.id,
-                payload: entry.req.payload,
-                outcome,
-                attempts: entry.attempts,
-                finished_at: now,
-                latency,
-                attribution,
-            });
-            traces.push(tree);
-        };
+            };
 
         loop {
             // Next event: the in-flight completion, the next arrival, or
@@ -379,6 +418,21 @@ impl Server {
             let now = t.max(clock.now());
             clock.advance_to(now);
 
+            // Health windows close on the boundary *before* events at
+            // `now` are processed, so window membership is a pure
+            // function of cycle time.
+            if let Some(hm) = monitor.as_mut() {
+                let state = SystemState {
+                    queue_depth: queue.len(),
+                    queue_capacity: queue.capacity(),
+                    inflight: inflight.is_some() as usize,
+                    breaker: breaker.state().name().to_string(),
+                    breaker_trips: breaker.trips(),
+                    tier_floor: hm.tier_floor(),
+                };
+                hm.advance(now, &state);
+            }
+
             // 1. Completion (before arrivals at the same tick).
             if let Some(inf) = inflight.take_if(|inf| inf.finish_at <= now) {
                 let mut entry = inf.entry;
@@ -396,32 +450,45 @@ impl Server {
                     None => {
                         breaker.on_success(now);
                         if now >= entry.req.deadline {
-                            finalize(&mut entry, Outcome::TimedOut, now);
+                            finalize(&mut entry, Outcome::TimedOut, now, &mut monitor);
                         } else {
-                            finalize(&mut entry, Outcome::Completed { tier: inf.tier }, now);
+                            finalize(
+                                &mut entry,
+                                Outcome::Completed { tier: inf.tier },
+                                now,
+                                &mut monitor,
+                            );
                         }
                     }
                     Some(e) => {
                         breaker.on_failure(now);
                         sc_telemetry::event!("serve.attempt_failed", now, e);
                         if entry.attempts >= self.config.retry.max_attempts {
-                            finalize(&mut entry, Outcome::Failed, now);
+                            finalize(&mut entry, Outcome::Failed, now, &mut monitor);
                         } else {
                             let wait = self.config.retry.backoff(entry.req.id, entry.attempts);
                             entry.not_before = now + wait;
                             if entry.not_before >= entry.req.deadline {
-                                finalize(&mut entry, Outcome::TimedOut, now);
+                                finalize(&mut entry, Outcome::TimedOut, now, &mut monitor);
                             } else if let Some(mut victim) = queue.push(entry) {
-                                finalize(&mut victim, Outcome::Shed, now);
+                                finalize(&mut victim, Outcome::Shed, now, &mut monitor);
                             }
                         }
+                    }
+                }
+                // Surface breaker trips to the flight recorder as they
+                // happen (trip count only moves on failures).
+                if let Some(hm) = monitor.as_mut() {
+                    if breaker.trips() > noted_trips {
+                        noted_trips = breaker.trips();
+                        hm.note(now, "serve.breaker.trip", format!("trips={noted_trips}"));
                     }
                 }
             }
 
             // 2. Expired deadlines among the queued.
             for mut dead in queue.drop_expired(now) {
-                finalize(&mut dead, Outcome::TimedOut, now);
+                finalize(&mut dead, Outcome::TimedOut, now, &mut monitor);
             }
 
             // 3. Arrivals at this tick.
@@ -430,12 +497,12 @@ impl Server {
                 next_arrival += 1;
                 let mut entry = Queued::fresh(req);
                 if req.deadline <= now {
-                    finalize(&mut entry, Outcome::TimedOut, now);
+                    finalize(&mut entry, Outcome::TimedOut, now, &mut monitor);
                     continue;
                 }
                 m.admitted.incr(1);
                 if let Some(mut victim) = queue.push(entry) {
-                    finalize(&mut victim, Outcome::Shed, now);
+                    finalize(&mut victim, Outcome::Shed, now, &mut monitor);
                 }
                 max_queue_depth = max_queue_depth.max(queue.len());
             }
@@ -445,7 +512,17 @@ impl Server {
             // before the pop, so the dispatched request itself counts
             // toward the pressure it is served under.
             while inflight.is_none() {
-                let (tier, bits) = self.config.degrade.tier_for(queue.len(), queue.capacity());
+                let (occ_tier, occ_bits) =
+                    self.config.degrade.tier_for(queue.len(), queue.capacity());
+                // The SLO verdict imposes a *floor* on the occupancy
+                // tier: a burning error budget keeps the dial degraded
+                // even while the queue itself looks shallow.
+                let floor = monitor.as_ref().map_or(0, HealthMonitor::tier_floor);
+                let (tier, bits) = if floor > occ_tier {
+                    (floor, self.config.degrade.bits_for(floor))
+                } else {
+                    (occ_tier, occ_bits)
+                };
                 let Some(mut entry) = queue.pop_ready(now) else { break };
                 // The wait that just ended becomes a segment; the
                 // marker now sits at the dispatch tick.
@@ -458,12 +535,12 @@ impl Server {
                 if !breaker.admits(now) {
                     entry.acct.segments.push(Segment::Breaker { at: now });
                     if entry.attempts >= self.config.retry.max_attempts {
-                        finalize(&mut entry, Outcome::BreakerOpen, now);
+                        finalize(&mut entry, Outcome::BreakerOpen, now, &mut monitor);
                     } else {
                         let wait = self.config.retry.backoff(entry.req.id, entry.attempts);
                         entry.not_before = now + wait;
                         if entry.not_before >= entry.req.deadline {
-                            finalize(&mut entry, Outcome::TimedOut, now);
+                            finalize(&mut entry, Outcome::TimedOut, now, &mut monitor);
                         } else {
                             // Space is guaranteed: we just popped.
                             let victim = queue.push(entry);
@@ -502,6 +579,25 @@ impl Server {
             }
         }
 
+        let health = monitor.map(|hm| {
+            let state = SystemState {
+                queue_depth: queue.len(),
+                queue_capacity: queue.capacity(),
+                inflight: 0,
+                breaker: breaker.state().name().to_string(),
+                breaker_trips: breaker.trips(),
+                tier_floor: hm.tier_floor(),
+            };
+            let report = hm.finish(clock.now(), &state);
+            m.health_windows.incr(report.closed_windows());
+            m.health_breach.incr(report.breaches());
+            m.health_recover.incr(report.recoveries());
+            m.health_incident.incr(report.incidents.len() as u64);
+            m.health_floor_raise
+                .incr(report.transitions.iter().filter(|t| t.to > t.from).count() as u64);
+            report
+        });
+
         ServeReport {
             responses,
             completed_by_tier,
@@ -514,6 +610,7 @@ impl Server {
             max_queue_depth,
             horizon: clock.now(),
             traces,
+            health,
         }
     }
 }
@@ -699,6 +796,96 @@ mod tests {
         assert_eq!(report.timed_out, 1);
         assert_eq!(report.completed(), 0);
         assert_eq!(report.responses[0].finished_at, 500);
+    }
+
+    #[test]
+    fn health_monitoring_reports_green_on_a_healthy_run() {
+        let server = Server::new(ServerConfig {
+            health: sc_health::HealthConfig::with_objectives(
+                1_000,
+                vec![
+                    sc_health::Objective::goodput("goodput", 0.9).with_spans(2, 4),
+                    sc_health::Objective::error_rate("errors", 0.05).with_spans(2, 4),
+                ],
+            ),
+            ..ServerConfig::default()
+        });
+        let report = server.run(&mut MockBackend::healthy(100), trace(20, 200, 2_000));
+        let health = report.health.expect("monitoring was enabled");
+        assert_eq!(health.breaches(), 0);
+        assert_eq!(health.incidents.len(), 0);
+        assert_eq!(health.verdict(), sc_health::Verdict::Green);
+        assert!(health.closed_windows() >= 3, "the run spans several windows");
+        assert!(health.transitions.is_empty(), "no verdict-driven tier moves on a green run");
+        // Every completion landed in some window.
+        assert_eq!(health.series.iter().map(|w| w.completed).sum::<u64>(), 20);
+        assert_eq!(health.time_in_tier.iter().sum::<u64>(), health.horizon);
+    }
+
+    #[test]
+    fn slo_breach_floors_the_degradation_tier_until_recovery() {
+        // Dead-then-healed backend: errors breach the SLO early, and the
+        // verdict-driven floor must degrade dispatches even though the
+        // queue never crosses the 90% occupancy threshold.
+        let server = Server::new(ServerConfig {
+            queue_capacity: 64,
+            retry: RetryPolicy { max_attempts: 1, base: 16, cap: 64, seed: 3 },
+            breaker: crate::breaker::BreakerConfig { failure_threshold: 1_000, cooldown: 1_000 },
+            degrade: DegradePolicy::new(vec![DegradeTier { occupancy: 0.9, effective_bits: 4 }]),
+            failure_ticks: 40,
+            health: sc_health::HealthConfig::with_objectives(
+                500,
+                vec![sc_health::Objective::error_rate("errors", 0.05)
+                    .with_spans(1, 2)
+                    .with_recovery(2)],
+            ),
+            ..ServerConfig::default()
+        });
+        let mut backend = MockBackend { cycles: 100, fail_first: 25, calls: 0 };
+        let report = server.run(&mut backend, trace(60, 50, 20_000));
+        let health = report.health.as_ref().expect("monitoring was enabled");
+        assert!(health.breaches() >= 1, "the failure storm must breach the error SLO");
+        assert_eq!(health.incidents.len() as u64, health.breaches().min(8));
+        let first = &health.transitions[0];
+        assert_eq!((first.from, first.to), (0, 1), "breach raises the floor");
+        assert!(
+            health.transitions.iter().any(|t| t.to < t.from),
+            "sustained green clears the floor again"
+        );
+        assert!(
+            report.degraded() > 0,
+            "floored dispatches are served at tier 1 despite a shallow queue"
+        );
+        assert!(report.max_queue_depth < 58, "occupancy alone never reaches the 90% tier");
+        // The incident captures the serving-side state at breach time.
+        let inc = &health.incidents[0];
+        assert_eq!(inc.objective, "errors");
+        assert!(!inc.windows.is_empty() && !inc.spans.is_empty());
+    }
+
+    #[test]
+    fn health_reports_are_bitwise_reproducible() {
+        let run = || {
+            let server = Server::new(ServerConfig {
+                retry: RetryPolicy { max_attempts: 2, base: 16, cap: 64, seed: 7 },
+                failure_ticks: 32,
+                health: sc_health::HealthConfig::with_objectives(
+                    750,
+                    vec![
+                        sc_health::Objective::goodput("goodput", 0.7).with_spans(1, 3),
+                        sc_health::Objective::p99("latency", 4_000).with_spans(2, 4),
+                    ],
+                ),
+                ..ServerConfig::default()
+            });
+            let mut backend = MockBackend { cycles: 150, fail_first: 10, calls: 0 };
+            server.run(&mut backend, trace(50, 60, 5_000))
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let (ha, hb) = (a.health.unwrap(), b.health.unwrap());
+        assert_eq!(ha.digest(), hb.digest());
+        assert_eq!(ha.fingerprint(), hb.fingerprint());
     }
 
     #[test]

@@ -35,8 +35,11 @@ impl BenchCtx {
     /// Returns the value following `--<name>` parsed as `T`, if present.
     ///
     /// An absent flag is silently `None`; a flag whose value is missing
-    /// or fails to parse is *also* `None` but warns on stderr — a typo'd
-    /// `--samples 10O` must not silently run with the built-in default.
+    /// or fails to parse is *also* `None` but warns on stderr and bumps
+    /// the `bench.arg_warnings` counter — a typo'd `--samples 10O` must
+    /// not silently run with the built-in default, and the counter makes
+    /// the drift visible to `sc_report` (the harness registers it at 0
+    /// on every run, so a nonzero value diffs against the baseline).
     pub fn arg_value<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
         let flag = format!("--{name}");
         let mut args = self.manifest.args.iter();
@@ -47,6 +50,7 @@ impl BenchCtx {
             return match args.next() {
                 None => {
                     eprintln!("warning: {flag} is missing its value; using the default");
+                    metrics::counter("bench.arg_warnings").incr(1);
                     None
                 }
                 Some(v) => match v.parse() {
@@ -56,6 +60,7 @@ impl BenchCtx {
                             "warning: could not parse {flag} value {v:?} as {}; using the default",
                             std::any::type_name::<T>()
                         );
+                        metrics::counter("bench.arg_warnings").incr(1);
                         None
                     }
                 },
@@ -154,6 +159,13 @@ impl BenchCtx {
         Ok(path)
     }
 
+    /// Attaches the live-health rollup to the run manifest (benches
+    /// that drive the sc-health monitor call this with their final
+    /// summary; last write wins).
+    pub fn health(&mut self, summary: crate::manifest::HealthSummary) {
+        self.manifest.health = Some(summary);
+    }
+
     /// Where this run's manifest will be written.
     pub fn manifest_path(&self) -> PathBuf {
         self.out_dir.join(format!("{}.manifest.json", self.manifest.bench))
@@ -184,6 +196,10 @@ pub fn bench_run_in(
     span::init_from_env();
     metrics::reset();
     metrics::set_enabled(true);
+    // Register the CLI-drift counter up front so every manifest (and
+    // therefore every baseline) carries it at 0: a later warning then
+    // diffs as a regressed value, not an ignorable added metric.
+    let _ = metrics::counter("bench.arg_warnings");
 
     let mut ctx = BenchCtx::new(name, out_dir);
     // A result produced under fault injection must say so: the spec is
@@ -296,6 +312,24 @@ mod tests {
         let _g = crate::test_guard();
         let ctx = BenchCtx::new("x", Path::new("results"));
         assert_eq!(ctx.arg_value::<u32>("definitely-not-a-flag"), None);
+    }
+
+    #[test]
+    fn arg_value_warnings_are_counted_for_cli_drift_detection() {
+        let _g = crate::test_guard();
+        metrics::reset();
+        metrics::set_enabled(true);
+        let warnings = crate::counter("bench.arg_warnings");
+        let before = warnings.get();
+        let mut ctx = BenchCtx::new("x", Path::new("results"));
+        ctx.manifest.args =
+            vec!["--rate".to_string(), "not-a-number".to_string(), "--dangling".to_string()];
+        assert_eq!(ctx.arg_value::<u64>("rate"), None);
+        assert_eq!(ctx.arg_value::<u32>("dangling"), None);
+        // Absent flags are not drift and must stay uncounted.
+        assert_eq!(ctx.arg_value::<u32>("absent"), None);
+        assert_eq!(warnings.get() - before, 2, "one count per emitted warning");
+        metrics::set_enabled(false);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod span;
 pub mod trace;
 
 pub use bench::{bench_run, BenchCtx};
-pub use manifest::{RunManifest, TraceSummary, MANIFEST_SCHEMA_VERSION};
+pub use manifest::{HealthSummary, RunManifest, TraceSummary, MANIFEST_SCHEMA_VERSION};
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
 pub use trace::{
     record_attribution, BackendProfile, CycleAttribution, CycleCategory, CycleSpan, LayerProfile,

@@ -20,7 +20,10 @@ use crate::metrics::MetricsSnapshot;
 /// ci.sh`, external tooling) key their expectations on it. Version 1 is
 /// the pre-versioning era: manifests with no `schema_version` field.
 /// Version 3 adds the `trace` summary and `attribution` breakdown.
-pub const MANIFEST_SCHEMA_VERSION: u64 = 3;
+/// Version 4 adds the `health` summary (SLO verdicts, breach/incident
+/// counts, time-in-tier) written by benches that run the sc-health
+/// monitor.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 4;
 
 /// Summary of a Chrome-trace export attached to a run (schema v3).
 ///
@@ -75,6 +78,74 @@ impl TraceSummary {
     }
 }
 
+/// Summary of a run's live-health evaluation (schema v4).
+///
+/// This is the manifest-side rollup of an `sc-health` report: enough
+/// for gates and dashboards (did anything breach? how long was the
+/// system degraded?) without embedding the full window series, which
+/// lives in the bench's results JSON and incident snapshots. Plain data
+/// so the manifest writer keeps zero dependencies on the health engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSummary {
+    /// Window width in virtual cycles.
+    pub window: u64,
+    /// Closed (full) windows evaluated.
+    pub windows: u64,
+    /// Declared objectives.
+    pub objectives: u64,
+    /// `slo.breach` signals emitted.
+    pub breaches: u64,
+    /// `slo.recover` signals emitted.
+    pub recoveries: u64,
+    /// Incident snapshots frozen by the flight recorder.
+    pub incidents: u64,
+    /// Final overall verdict (`"green"`, `"burning"`, or `"breached"`).
+    pub verdict: String,
+    /// Virtual cycles spent at each degradation tier floor, keyed by
+    /// tier label (`"tier0"`, `"tier1"`, …), in label order.
+    pub time_in_tier: Vec<(String, u64)>,
+}
+
+impl HealthSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("window", Json::UInt(self.window)),
+            ("windows", Json::UInt(self.windows)),
+            ("objectives", Json::UInt(self.objectives)),
+            ("breaches", Json::UInt(self.breaches)),
+            ("recoveries", Json::UInt(self.recoveries)),
+            ("incidents", Json::UInt(self.incidents)),
+            ("verdict", Json::Str(self.verdict.clone())),
+            (
+                "time_in_tier",
+                Json::Obj(
+                    self.time_in_tier.iter().map(|(k, v)| (k.clone(), Json::UInt(*v))).collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Option<HealthSummary> {
+        let time_in_tier = match json.get("time_in_tier")? {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
+        Some(HealthSummary {
+            window: json.get("window")?.as_u64()?,
+            windows: json.get("windows")?.as_u64()?,
+            objectives: json.get("objectives")?.as_u64()?,
+            breaches: json.get("breaches")?.as_u64()?,
+            recoveries: json.get("recoveries")?.as_u64()?,
+            incidents: json.get("incidents")?.as_u64()?,
+            verdict: json.get("verdict")?.as_str()?.to_string(),
+            time_in_tier,
+        })
+    }
+}
+
 /// Provenance record for one bench run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunManifest {
@@ -117,6 +188,9 @@ pub struct RunManifest {
     /// Per-category cycle attribution totals (`attr.cycles.*` counter
     /// values at exit), in name order. Empty before schema v3.
     pub attribution: Vec<(String, u64)>,
+    /// Live-health rollup, when the bench ran the sc-health monitor
+    /// (schema v4; `None` in older manifests and unmonitored benches).
+    pub health: Option<HealthSummary>,
 }
 
 impl RunManifest {
@@ -143,6 +217,7 @@ impl RunManifest {
             metrics: MetricsSnapshot::default(),
             trace: None,
             attribution: Vec::new(),
+            health: None,
         }
     }
 
@@ -187,6 +262,7 @@ impl RunManifest {
                     self.attribution.iter().map(|(k, v)| (k.clone(), Json::UInt(*v))).collect(),
                 ),
             ),
+            ("health", self.health.as_ref().map_or(Json::Null, HealthSummary::to_json)),
         ])
     }
 
@@ -239,6 +315,11 @@ impl RunManifest {
                     .map(|(k, v)| Some((k.clone(), v.as_u64()?)))
                     .collect::<Option<Vec<_>>>()?,
                 Some(_) => return None,
+            },
+            // Schema v3 and earlier carry no health field.
+            health: match json.get("health") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(HealthSummary::from_json(v)?),
             },
         })
     }
@@ -343,6 +424,16 @@ mod tests {
                 ("attr.cycles.mac_stream".to_string(), 3000),
                 ("attr.cycles.queue_wait".to_string(), 1096),
             ],
+            health: Some(HealthSummary {
+                window: 4096,
+                windows: 12,
+                objectives: 3,
+                breaches: 1,
+                recoveries: 1,
+                incidents: 1,
+                verdict: "green".to_string(),
+                time_in_tier: vec![("tier0".to_string(), 40000), ("tier1".to_string(), 9152)],
+            }),
         }
     }
 
@@ -368,8 +459,25 @@ mod tests {
         m.seed = None;
         m.tier1_status = None;
         m.trace = None;
+        m.health = None;
         let reparsed = Json::parse(&m.to_json().render()).unwrap();
         assert_eq!(RunManifest::from_json(&reparsed), Some(m));
+    }
+
+    #[test]
+    fn v3_manifests_without_health_still_parse() {
+        let mut m = sample();
+        let mut json = m.to_json();
+        if let Json::Obj(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "health");
+            if let Some((_, v)) = pairs.iter_mut().find(|(k, _)| k == "schema_version") {
+                *v = Json::UInt(3);
+            }
+        }
+        let parsed = RunManifest::from_json(&json).expect("v3 manifests must stay readable");
+        m.schema_version = 3;
+        m.health = None;
+        assert_eq!(parsed, m);
     }
 
     #[test]
@@ -377,7 +485,7 @@ mod tests {
         let mut m = sample();
         let mut json = m.to_json();
         if let Json::Obj(pairs) = &mut json {
-            pairs.retain(|(k, _)| k != "trace" && k != "attribution");
+            pairs.retain(|(k, _)| k != "trace" && k != "attribution" && k != "health");
             if let Some((_, v)) = pairs.iter_mut().find(|(k, _)| k == "schema_version") {
                 *v = Json::UInt(2);
             }
@@ -386,6 +494,7 @@ mod tests {
         m.schema_version = 2;
         m.trace = None;
         m.attribution = Vec::new();
+        m.health = None;
         assert_eq!(parsed, m);
     }
 

@@ -118,6 +118,41 @@ impl Histogram {
         &self.bounds
     }
 
+    /// Nearest-rank quantile of only the values recorded **since**
+    /// `prev` was snapshotted from this same histogram — the windowed
+    /// quantile path. One pass over the live buckets, subtracting the
+    /// baseline as it goes: no intermediate snapshot allocation and no
+    /// re-scan of the full recorded history per tick.
+    ///
+    /// Returns 0 for an empty window (`prev` equals the current state).
+    /// The estimate is the matching bucket's upper bound clamped to the
+    /// *overall* recorded maximum (the per-window maximum is not
+    /// tracked), so it shares [`HistogramSnapshot::quantile`]'s 2×
+    /// bound under log2 bucketing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prev` was taken from a histogram with different
+    /// bucket bounds.
+    pub fn quantile_at_window(&self, prev: &HistogramSnapshot, q: f64) -> u64 {
+        assert_eq!(prev.bounds, self.bounds, "window baseline is from a different histogram");
+        let count = self.count.load(Ordering::Relaxed).wrapping_sub(prev.count);
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let max = self.max.load(Ordering::Relaxed);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed).wrapping_sub(prev.buckets[i]);
+            if seen >= rank {
+                let bound = self.bounds.get(i).copied().unwrap_or(u64::MAX);
+                return bound.min(max);
+            }
+        }
+        max
+    }
+
     /// A point-in-time copy of the bucket counts (one extra overflow
     /// slot), total count, and sum.
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -178,6 +213,33 @@ impl HistogramSnapshot {
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
+            if seen >= rank {
+                let bound = self.bounds.get(i).copied().unwrap_or(u64::MAX);
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Nearest-rank quantile of only the values recorded between `prev`
+    /// and this snapshot (both taken from the same histogram). The
+    /// frozen-state counterpart of [`Histogram::quantile_at_window`],
+    /// for code that already holds two snapshots. Returns 0 on an empty
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds differ.
+    pub fn quantile_since(&self, prev: &HistogramSnapshot, q: f64) -> u64 {
+        assert_eq!(prev.bounds, self.bounds, "window baseline is from a different histogram");
+        let count = self.count.wrapping_sub(prev.count);
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c.wrapping_sub(prev.buckets[i]);
             if seen >= rank {
                 let bound = self.bounds.get(i).copied().unwrap_or(u64::MAX);
                 return bound.min(self.max);
@@ -378,6 +440,63 @@ mod tests {
         // Empty histogram: all quantiles 0.
         assert_eq!(histogram("test.hist.quantiles.empty", &[1]).snapshot().p99(), 0);
         set_enabled(false);
+    }
+
+    #[test]
+    fn windowed_quantiles_see_only_values_after_the_baseline() {
+        let _g = crate::test_guard();
+        set_enabled(true);
+        let h = histogram("test.hist.window", &log2_bounds(10));
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let baseline = h.snapshot();
+        // Empty window: nothing recorded since the baseline.
+        assert_eq!(h.quantile_at_window(&baseline, 0.99), 0);
+        assert_eq!(h.snapshot().quantile_since(&baseline, 0.99), 0);
+        // The window sees only the three new values, not the hundred
+        // before the baseline.
+        for v in [3, 3, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_at_window(&baseline, 0.50), 4);
+        assert_eq!(h.quantile_at_window(&baseline, 0.99), 4);
+        let now = h.snapshot();
+        assert_eq!(now.quantile_since(&baseline, 0.50), 4);
+        assert_eq!(now.quantile_since(&baseline, 0.99), 4);
+        // The full-history quantile still reflects everything.
+        assert_eq!(now.p99(), 100);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn windowed_quantiles_single_bucket_edge_cases() {
+        let _g = crate::test_guard();
+        set_enabled(true);
+        // One bound, so two buckets: [0, 8] and overflow.
+        let h = histogram("test.hist.window.single", &[8]);
+        let empty = h.snapshot();
+        assert_eq!(h.quantile_at_window(&empty, 0.5), 0, "empty window on empty histogram");
+        h.record(5);
+        // Single in-bounds value: every quantile is the bucket bound
+        // clamped to the recorded max.
+        assert_eq!(h.quantile_at_window(&empty, 0.01), 5);
+        assert_eq!(h.quantile_at_window(&empty, 1.0), 5);
+        let after_first = h.snapshot();
+        // Next window holds a single overflow value and reports the max.
+        h.record(1_000);
+        assert_eq!(h.quantile_at_window(&after_first, 0.5), 1_000);
+        assert_eq!(h.snapshot().quantile_since(&after_first, 0.5), 1_000);
+        set_enabled(false);
+    }
+
+    #[test]
+    #[should_panic(expected = "different histogram")]
+    fn windowed_quantile_rejects_foreign_baseline() {
+        let _g = crate::test_guard();
+        let h = histogram("test.hist.window.foreign.a", &[1, 2]);
+        let other = histogram("test.hist.window.foreign.b", &[1, 2, 4]).snapshot();
+        let _ = h.quantile_at_window(&other, 0.5);
     }
 
     #[test]

@@ -123,23 +123,25 @@ import glob, json, os
 stamp = os.path.getmtime(os.environ["CI_STAMP"])
 paths = sorted(p for p in glob.glob("results/*.manifest.json") if os.path.getmtime(p) >= stamp)
 assert paths, "no manifests emitted this run; bench gates did not execute"
-# v3 added `trace` and `attribution`; v2 manifests from benches that have
-# not been re-run since remain readable. Unknown top-level fields are an
-# error only for v3 — that is the version this tree emits, so a stray
-# field there means a writer/validator mismatch in the current code.
+# v3 added `trace` and `attribution`; v4 added the `health` summary
+# block. v2/v3 manifests from benches that have not been re-run since
+# remain readable. Unknown top-level fields are an error only for v4 —
+# that is the version this tree emits, so a stray field there means a
+# writer/validator mismatch in the current code.
 KNOWN_V3 = {
     "schema_version", "bench", "config", "seed", "quick", "args",
     "git_describe", "timestamp_unix", "par_threads", "elapsed_seconds",
     "tier1_status", "artifacts", "metrics", "trace", "attribution",
 }
+KNOWN_V4 = KNOWN_V3 | {"health"}
 for p in paths:
     m = json.load(open(p))
     v = m.get("schema_version")
-    assert v in (2, 3), f"{p}: schema_version {v!r} not in (2, 3)"
-    if v == 3:
-        unknown = sorted(set(m) - KNOWN_V3)
-        assert not unknown, f"{p}: unknown top-level field(s) {unknown} in a v3 manifest"
-print(f"    {len(paths)} manifest(s) emitted this run, all at schema version 2 or 3")
+    assert v in (2, 3, 4), f"{p}: schema_version {v!r} not in (2, 3, 4)"
+    if v == 4:
+        unknown = sorted(set(m) - KNOWN_V4)
+        assert not unknown, f"{p}: unknown top-level field(s) {unknown} in a v4 manifest"
+print(f"    {len(paths)} manifest(s) emitted this run, all at schema version 2, 3, or 4")
 EOF
 
 echo "==> report gate: clean quick benches, then sc_report against results/baseline"
@@ -152,6 +154,42 @@ env -u SC_FAULTS SC_THREADS=4 \
 env -u SC_FAULTS SC_THREADS=4 \
     cargo run --release -q -p sc-bench --bin fault_sweep -- --quick >/dev/null
 cargo run --release -q -p sc-bench --bin sc_report
+
+echo "==> health gate: incident snapshots, manifest health block, prom exposition"
+# The clean serve_storm regen above still arms a scoped flip@0.9 plan
+# inside its spike-faulted scenario, so that storm must freeze at least
+# one incident snapshot while the clean ramp freezes none; the run
+# manifest must carry the v4 health summary with a breached verdict.
+python3 - <<'EOF'
+import glob, json
+snaps = [json.load(open(p)) for p in sorted(glob.glob("results/incident_*.json"))]
+assert snaps, "serve_storm wrote no incident snapshots"
+scenarios = {s["scenario"] for s in snaps}
+assert "spike-faulted" in scenarios, \
+    "faulted-backend storm froze no incident snapshot"
+assert "ramp" not in scenarios, \
+    "clean ramp froze an incident snapshot; clean objectives must stay green"
+for s in snaps:
+    inc = s["incident"]
+    for key in ("objective", "cycle", "windows", "spans", "state"):
+        assert key in inc, f"incident snapshot missing {key!r}"
+m = json.load(open("results/serve_storm.manifest.json"))
+h = m.get("health")
+assert h is not None, "serve_storm manifest carries no health summary"
+assert h["verdict"] == "breached" and h["incidents"] >= 1, \
+    f"expected a breached verdict with incidents, got {h}"
+print(f"    {len(snaps)} incident snapshot(s), scenarios {sorted(scenarios)}")
+EOF
+cargo run --release -q -p sc-bench --bin sc_health >/dev/null
+python3 - <<'EOF'
+import glob
+proms = sorted(glob.glob("results/*.prom"))
+assert proms, "sc_health wrote no prometheus dumps"
+text = open("results/serve_storm.prom").read()
+for needle in ("# TYPE", "sc_health_verdict", "sc_health_breaches"):
+    assert needle in text, f"serve_storm.prom missing {needle!r}"
+print(f"    {len(proms)} prometheus dump(s) written")
+EOF
 
 echo "==> report gate: a perturbed baseline must fail the gate"
 PERTURBED="$(mktemp -d)"
