@@ -5,6 +5,7 @@ use std::sync::{Arc, OnceLock};
 
 use crate::layer::{ConvGeometry, Tiling};
 use crate::memory::{ParitySram, Traffic};
+use sc_core::bitplane::{self, EngineKind};
 use sc_core::mac::{EarlyTerminationScMac, SaturatingAccumulator};
 use sc_core::mvm::{BiscMvm, BitParallelMvm};
 use sc_core::{Error, Precision};
@@ -27,15 +28,18 @@ pub mod sites {
 /// cycles it took.
 type AccumulateFn<'a> = dyn FnMut(i32, &[i32]) -> Result<u64, Error> + 'a;
 
-/// A tile's verified result: the cycle breakdown, the accepted output
-/// writes, and whether they came from the degraded (truncated-stream)
-/// recompute.
-type VerifiedTile = (TileProfile, Vec<(usize, i64)>, bool);
+/// A tile's verified result: the cycle breakdown, the bitplane words
+/// scanned (base compute plus any degraded recompute), the accepted
+/// output writes, and whether they came from the degraded
+/// (truncated-stream) recompute.
+type VerifiedTile = (TileProfile, u64, Vec<(usize, i64)>, bool);
 
 /// A tile's raw compute result: billed cycles, cycles the truncated
 /// stream saved versus the full serial schedule (0 outside EDT mode),
-/// and the write-back list.
-type ComputedTile = (u64, u64, Vec<(usize, i64)>);
+/// packed bitplane words the popcount engine scanned for the tile
+/// (0 under `SC_ENGINE=cycle` and for fixed-point arithmetic), and the
+/// write-back list.
+type ComputedTile = (u64, u64, u64, Vec<(usize, i64)>);
 
 /// Cached metric handles for the engine hot loops (name lookup happens
 /// once; recording is a flag check + relaxed atomic).
@@ -49,6 +53,7 @@ struct EngineMetrics {
     verify_cycles: Counter,
     degraded_cycles: Counter,
     edt_saved: Counter,
+    bitplane_words: Counter,
 }
 
 fn engine_metrics() -> &'static EngineMetrics {
@@ -63,6 +68,7 @@ fn engine_metrics() -> &'static EngineMetrics {
         verify_cycles: counter("accel.cycles.verify"),
         degraded_cycles: counter("accel.cycles.degraded"),
         edt_saved: counter("accel.edt.saved_cycles"),
+        bitplane_words: counter("accel.bitplane.words"),
     })
 }
 
@@ -284,7 +290,7 @@ impl TileEngine {
                 p,
                 effective_bits,
             )?;
-            let (profile, writes, degraded) = match &tile_site {
+            let (profile, bitplane_words, writes, degraded) = match &tile_site {
                 Some(site) => self.verify_tile(
                     site,
                     t,
@@ -301,6 +307,7 @@ impl TileEngine {
                 None => (
                     TileProfile { compute: clean.0, verify: 0, recompute: 0, edt_saved: clean.1 },
                     clean.2,
+                    clean.3,
                     false,
                 ),
             };
@@ -308,6 +315,7 @@ impl TileEngine {
                 input_words: (g.z * patch_h * patch_w) as u64,
                 weight_words: ((m_hi - m1) * g.depth()) as u64,
                 output_words: ((m_hi - m1) * (r_hi - r1) * (c_hi - c1)) as u64,
+                bitplane_words,
                 profile,
                 writes,
                 degraded,
@@ -333,6 +341,7 @@ impl TileEngine {
             metrics.verify_cycles.incr(done.profile.verify);
             metrics.degraded_cycles.incr(done.profile.recompute);
             metrics.edt_saved.incr(done.profile.edt_saved);
+            metrics.bitplane_words.incr(done.bitplane_words);
             sc_telemetry::event!("accel.tile.done", m1, r1, c1, tile_cycles);
             if done.degraded {
                 degraded_tiles.push(t);
@@ -396,7 +405,7 @@ impl TileEngine {
         p: usize,
         effective_bits: Option<u32>,
     ) -> Result<VerifiedTile, Error> {
-        let (base_cycles, base_saved, clean_writes) = clean;
+        let (base_cycles, base_saved, base_words, clean_writes) = clean;
         let acc = SaturatingAccumulator::new(self.n, self.extra_bits);
         let (lo, hi) = acc.range();
         let width = acc.width();
@@ -420,7 +429,7 @@ impl TileEngine {
             if a != clean_writes {
                 sc_fault::record_masked(1);
             }
-            return Ok((profile, a, false));
+            return Ok((profile, base_words, a, false));
         }
         if !self.policy.degrade {
             return Err(Error::RetryExhausted { what: format!("tile {t} outputs"), attempts });
@@ -433,11 +442,11 @@ impl TileEngine {
             .degrade_bits
             .clamp(1, self.n.bits())
             .min(effective_bits.unwrap_or(u32::MAX));
-        let (deg_cycles, deg_saved, deg_writes) =
+        let (deg_cycles, deg_saved, deg_words, deg_writes) =
             self.run_tile(g, input, weights, m_range, r_range, c_range, p, Some(s))?;
         profile.recompute = deg_cycles;
         profile.edt_saved += deg_saved;
-        Ok((profile, deg_writes, true))
+        Ok((profile, base_words + deg_words, deg_writes, true))
     }
 
     /// Applies the `accel.tile.output` fault draws to one replica of a
@@ -500,6 +509,11 @@ impl TileEngine {
         let mut xs = vec![0i32; p];
         let mut tile_cycles = 0u64;
         let mut tile_full = 0u64;
+        // Bitplane work is billed as a sum over all T_M units and lanes
+        // (real popcount work), unlike cycles, which are the max over
+        // the lock-stepped units (latency).
+        let bp_on = bitplane::engine() == EngineKind::Bitplane;
+        let mut tile_words = 0u64;
         let mut writes = Vec::with_capacity((m_hi - m1) * (r_hi - r1) * (c_hi - c1));
 
         for m in m1..m_hi {
@@ -547,6 +561,10 @@ impl TileEngine {
                         term_cycles = product.cycles;
                         acc.add(product.value);
                     }
+                    if bp_on {
+                        // Each lane scans the truncated prefix.
+                        tile_words += bitplane::words_in_prefix(term_cycles) * p as u64;
+                    }
                     Ok(term_cycles)
                 })?;
                 accs.iter().map(|a| a.value()).collect()
@@ -554,12 +572,29 @@ impl TileEngine {
                 match self.arithmetic {
                     AccelArithmetic::ProposedSerial => {
                         let mut mvm = BiscMvm::new(self.n, p, self.extra_bits);
-                        run_unit(&mut |w, xs| mvm.accumulate(w, xs))?;
+                        run_unit(&mut |w, xs| {
+                            let k = mvm.accumulate(w, xs)?;
+                            if bp_on {
+                                // The |w|-cycle prefix is scanned once per
+                                // term: the occupancy counts are shared
+                                // across all lanes.
+                                tile_words += bitplane::words_in_prefix(k);
+                            }
+                            Ok(k)
+                        })?;
                         mvm.read()
                     }
                     AccelArithmetic::ProposedParallel(b) => {
                         let mut mvm = BitParallelMvm::new(self.n, p, self.extra_bits, b)?;
-                        run_unit(&mut |w, xs| mvm.accumulate(w, xs))?;
+                        run_unit(&mut |w, xs| {
+                            let cycles = mvm.accumulate(w, xs)?;
+                            if bp_on {
+                                let k = w.unsigned_abs() as u64;
+                                tile_words +=
+                                    bitplane::words_in_parallel_term(k, b as u64) * p as u64;
+                            }
+                            Ok(cycles)
+                        })?;
                         mvm.read()
                     }
                     AccelArithmetic::Fixed => {
@@ -591,7 +626,7 @@ impl TileEngine {
             }
         }
         // Outside EDT mode tile_full stays 0, so savings read 0.
-        Ok((tile_cycles, tile_full.saturating_sub(tile_cycles), writes))
+        Ok((tile_cycles, tile_full.saturating_sub(tile_cycles), tile_words, writes))
     }
 }
 
@@ -601,6 +636,9 @@ struct TileDone {
     input_words: u64,
     weight_words: u64,
     output_words: u64,
+    /// Packed bitplane words the popcount engine scanned for this tile
+    /// (0 under the cycle engine and for fixed-point arithmetic).
+    bitplane_words: u64,
     profile: TileProfile,
     writes: Vec<(usize, i64)>,
     degraded: bool,

@@ -1,0 +1,85 @@
+//! Cross-engine golden check for the tile engine: a full convolution
+//! layer must be bitwise identical — outputs, cycles, traffic, and tile
+//! profiles — whichever execution engine evaluates the MACs.
+//!
+//! Engine selection is process-global; the tests here serialize on a
+//! lock and restore the default engine on exit (even panicking exits).
+
+use std::sync::Mutex;
+
+use sc_accel::engine::{AccelArithmetic, TileEngine};
+use sc_accel::layer::{ConvGeometry, Tiling};
+use sc_core::bitplane::{self, EngineKind};
+use sc_core::Precision;
+use sc_telemetry::metrics::counter;
+
+static ENGINE_LOCK: Mutex<()> = Mutex::new(());
+
+struct Restore;
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        bitplane::set_engine(None);
+        sc_telemetry::metrics::set_enabled(false);
+    }
+}
+
+fn layer_inputs(g: &ConvGeometry, half: i32) -> (Vec<i32>, Vec<i32>) {
+    let input =
+        (0..g.z * g.in_h * g.in_w).map(|i| ((i as i32 * 37 + 11) % (2 * half)) - half).collect();
+    let weights = (0..g.m * g.depth()).map(|i| ((i as i32 * 13 + 5) % 21) - 10).collect();
+    (input, weights)
+}
+
+#[test]
+fn run_layer_bitwise_identical_across_engines() {
+    let _g = ENGINE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _r = Restore;
+    // Counter recording is off by default outside bench runs; a clean
+    // scoped plan keeps an ambient SC_FAULTS (the CI fault gate) from
+    // perturbing the word-billing assertions.
+    sc_telemetry::metrics::set_enabled(true);
+    let _clean = sc_fault::scoped(sc_fault::FaultPlan::parse("").unwrap());
+    let n = Precision::new(8).unwrap();
+    let g = ConvGeometry { z: 4, in_h: 10, in_w: 10, m: 6, k: 3, stride: 1 };
+    let (input, weights) = layer_inputs(&g, n.half_scale() as i32);
+    let words = counter("accel.bitplane.words");
+    for arithmetic in [
+        AccelArithmetic::ProposedSerial,
+        AccelArithmetic::ProposedParallel(8),
+        AccelArithmetic::Fixed,
+    ] {
+        let engine = TileEngine::new(n, Tiling::default(), arithmetic, 2);
+        let run = |e| {
+            bitplane::set_engine(Some(e));
+            engine.run_layer(&g, &input, &weights).unwrap()
+        };
+        let before = words.get();
+        let cycle = run(EngineKind::CycleAccurate);
+        assert_eq!(words.get(), before, "cycle engine billed bitplane words: {arithmetic:?}");
+        let bitplane = run(EngineKind::Bitplane);
+        assert_eq!(cycle, bitplane, "layer runs diverged across engines: {arithmetic:?}");
+        if arithmetic != AccelArithmetic::Fixed {
+            assert!(words.get() > before, "bitplane run billed no words: {arithmetic:?}");
+        }
+    }
+}
+
+#[test]
+fn degraded_tier_bitwise_identical_across_engines() {
+    // The serve ladder's EDT tiers (effective bits 6 and 4) go through
+    // run_layer_at; the truncated prefixes must agree across engines.
+    let _g = ENGINE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _r = Restore;
+    let n = Precision::new(8).unwrap();
+    let g = ConvGeometry { z: 3, in_h: 8, in_w: 8, m: 4, k: 3, stride: 1 };
+    let (input, weights) = layer_inputs(&g, n.half_scale() as i32);
+    let engine = TileEngine::new(n, Tiling::default(), AccelArithmetic::ProposedSerial, 2);
+    for s in [6u32, 4] {
+        let run = |e| {
+            bitplane::set_engine(Some(e));
+            engine.run_layer_at(&g, &input, &weights, Some(s)).unwrap()
+        };
+        assert_eq!(run(EngineKind::CycleAccurate), run(EngineKind::Bitplane), "effective_bits={s}");
+    }
+}

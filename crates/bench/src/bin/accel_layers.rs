@@ -27,6 +27,7 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
     let n = Precision::new(8).expect("valid precision");
     let tiling = Tiling::default();
     ctx.config("precision", n.bits());
+    ctx.config("engine", sc_core::bitplane::engine().name());
     ctx.config("extra_bits", 2);
     ctx.seed(42);
 

@@ -1,10 +1,22 @@
-//! Serial-vs-parallel throughput of the accelerator tile loop.
+//! Serial-vs-parallel throughput of the accelerator tile loop, plus the
+//! execution-engine comparison benches.
 //!
 //! Times `TileEngine::run_layer` with the `sc-par` pool pinned to one
 //! worker (the inline path) against the configured thread count, checks
 //! the two runs are bit-exact, and appends the measured speedup to
 //! `results/parallel.json` so CI hardware accumulates a history of
 //! parallel-efficiency data points.
+//!
+//! Two further pairs gate the bitplane engine's reason to exist:
+//!
+//! * `mvm_n8`: an N=8, 512-lane `BiscMvmRtl` term sequence under
+//!   `SC_ENGINE=cycle` vs the bitplane popcount engine (outputs checked
+//!   bitwise-identical first). The speedup lands in the
+//!   `bench.speedup.mvm_n8_bitplane` gauge, is hard-asserted ≥ 8× here,
+//!   and is floor-gated again by `sc_report` so it cannot silently rot.
+//! * `fig5_and_scan`: the Fig. 5 AND-multiplier snapshot scan — naive
+//!   AND-buffer plus per-snapshot popcount rescan vs the fused
+//!   single-pass `bitplane::and_ones_at` kernel.
 //!
 //! `--quick` shrinks the layer.
 
@@ -13,8 +25,11 @@ use std::time::{SystemTime, UNIX_EPOCH};
 use sc_accel::engine::{AccelArithmetic, TileEngine};
 use sc_accel::layer::{ConvGeometry, Tiling};
 use sc_bench::microbench::Group;
+use sc_core::bitplane::{self, EngineKind};
 use sc_core::Precision;
+use sc_rtlsim::mvm::BiscMvmRtl;
 use sc_telemetry::json::Json;
+use sc_telemetry::metrics::gauge;
 
 fn main() {
     sc_telemetry::bench_run(
@@ -37,6 +52,7 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
     let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     ctx.config("threads", threads);
     ctx.config("host_parallelism", host);
+    ctx.config("engine", bitplane::engine().name());
     ctx.config("geometry", format!("{}x{}x{} -> m={} k={}", g.z, g.in_h, g.in_w, g.m, g.k));
     println!("layer: {} MACs, {} threads (host parallelism {host})\n", g.macs(), threads);
 
@@ -105,4 +121,136 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
     sc_telemetry::export::write_json(path, &Json::Arr(entries)).expect("write parallel.json");
     ctx.record_artifact(path);
     println!("recorded -> {path}");
+
+    engine_benches(quick, n, half);
+}
+
+/// The cycle-accurate vs bitplane engine pairs: bitwise cross-check
+/// first, then wall-clock comparison. The MVM speedup is hard-asserted
+/// here *and* floor-gated by `sc_report` (gauge
+/// `bench.speedup.mvm_n8_bitplane`, floor 8.0).
+fn engine_benches(quick: bool, n: Precision, half: i32) {
+    // Pin the pool to one worker for the engine pairs: the comparison is
+    // engine-vs-engine, not threads-vs-serial, and the cycle-accurate
+    // path is serial by construction.
+    sc_par::set_threads(1);
+    // 512 lanes: above the MVM fast path's PAR_LANE_THRESHOLD, so the
+    // shared-occupancy path also exercises the sc-par lane map.
+    let p_lanes = 512usize;
+    let terms = if quick { 24 } else { 64 };
+    let mvm_xs: Vec<i32> =
+        (0..p_lanes as i32).map(|i| ((i * 37 + 11) % (2 * half)) - half).collect();
+    // Large-|w| weights (|w| ∈ [half−32, half−1]) of alternating sign:
+    // convolution weights cluster away from zero after training, and long
+    // terms are where the serial walk's k·p cycle cost actually lives.
+    let mvm_ws: Vec<i32> = (0..terms)
+        .map(|i| {
+            let mag = half - 1 - ((i * 7) % 32);
+            if i % 2 == 0 {
+                mag
+            } else {
+                -mag
+            }
+        })
+        .collect();
+    // Instances are constructed once and recycled with `clear_outputs`
+    // (here and in the timed pair below) so the measured region is the
+    // term stream itself, not the constructor: fault-site resolution and
+    // lane allocation are identical under both engines and would only
+    // dilute the ratio.
+    let mut mvm = BiscMvmRtl::new(n, p_lanes, 8);
+    let mut run_mvm = |engine: EngineKind| {
+        bitplane::set_engine(Some(engine));
+        mvm.clear_outputs();
+        for &w in &mvm_ws {
+            mvm.load(w, &mvm_xs).expect("codes in range");
+            mvm.run_to_done();
+        }
+        bitplane::set_engine(None);
+        (mvm.read(), mvm.total_cycles())
+    };
+
+    // The golden cross-check before any timing: identical outputs and
+    // identical billed cycles under both engines.
+    let (cycle_out, cycle_cycles) = run_mvm(EngineKind::CycleAccurate);
+    let (bp_out, bp_cycles) = run_mvm(EngineKind::Bitplane);
+    assert_eq!(cycle_out, bp_out, "engines must produce bitwise-identical MVM outputs");
+    assert_eq!(cycle_cycles, bp_cycles, "engines must bill identical cycle counts");
+    println!("engine cross-check: {terms}-term {p_lanes}-lane N=8 MVM bitwise identical\n");
+
+    let mut group = Group::new("execution_engines");
+    let mut mvm_a = BiscMvmRtl::new(n, p_lanes, 8);
+    let mut mvm_b = BiscMvmRtl::new(n, p_lanes, 8);
+    let mvm_pair = group.bench_pair(
+        "cycle",
+        "bitplane",
+        "mvm_n8",
+        || {
+            bitplane::set_engine(Some(EngineKind::CycleAccurate));
+            mvm_a.clear_outputs();
+            for &w in &mvm_ws {
+                mvm_a.load(w, &mvm_xs).expect("codes in range");
+                mvm_a.run_to_done();
+            }
+            bitplane::set_engine(None);
+            mvm_a.total_cycles()
+        },
+        || {
+            bitplane::set_engine(Some(EngineKind::Bitplane));
+            mvm_b.clear_outputs();
+            for &w in &mvm_ws {
+                mvm_b.load(w, &mvm_xs).expect("codes in range");
+                mvm_b.run_to_done();
+            }
+            bitplane::set_engine(None);
+            mvm_b.total_cycles()
+        },
+    );
+
+    // The Fig. 5 snapshot scan: naive AND-buffer + per-snapshot prefix
+    // popcount rescan (O(W·S) per pair) vs the fused single pass
+    // (O(W + S)). Buffers hoisted outside both closures, as the sweep
+    // hoists them per chunk.
+    let n10 = Precision::new(10).expect("valid precision");
+    let words = (n10.stream_len() / 64) as usize;
+    let row: Vec<u64> = (0..words as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5DEE_CE66_D1CE_4CB5)
+        .collect();
+    let col: Vec<u64> = (0..words as u64)
+        .map(|i| i.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ 0x94D0_49BB_1331_11EB)
+        .collect();
+    let cuts: Vec<u64> = (0..=n10.bits()).map(|s| 1u64 << s).collect();
+    let mut and_words = vec![0u64; words];
+    let mut ones_at = vec![0u64; cuts.len()];
+    let mut naive = || {
+        for ((o, a), b) in and_words.iter_mut().zip(&row).zip(&col) {
+            *o = a & b;
+        }
+        cuts.iter().map(|&c| sc_core::sng::count_ones_prefix(&and_words, c)).sum::<u64>()
+    };
+    let mut fused = || {
+        bitplane::and_ones_at(&row, &col, &cuts, &mut ones_at);
+        ones_at.iter().sum::<u64>()
+    };
+    assert_eq!(naive(), fused(), "fused AND-scan must match the naive rescan");
+    let and_pair = group.bench_pair("rescan", "fused", "fig5_and_scan", naive, fused);
+    group.finish();
+    sc_par::set_threads(0); // back to SC_THREADS / host default
+
+    let mvm_speedup = mvm_pair.speedup();
+    gauge("bench.speedup.mvm_n8_bitplane").set(mvm_speedup);
+    gauge("bench.time.mvm_n8.cycle_ns").set(mvm_pair.baseline.min_ns);
+    gauge("bench.time.mvm_n8.bitplane_ns").set(mvm_pair.contender.min_ns);
+    let and_speedup = and_pair.speedup();
+    gauge("bench.speedup.fig5_and_scan").set(and_speedup);
+    gauge("bench.time.fig5_and_scan.rescan_ns").set(and_pair.baseline.min_ns);
+    gauge("bench.time.fig5_and_scan.fused_ns").set(and_pair.contender.min_ns);
+
+    println!("mvm_n8 bitplane speedup: {mvm_speedup:.2}x (floor 8.0, gated by sc_report)");
+    println!("fig5_and_scan fused speedup: {and_speedup:.2}x");
+    assert!(
+        mvm_speedup >= 8.0,
+        "bitplane engine must be >= 8x faster than cycle-accurate on the N=8 MVM \
+         (measured {mvm_speedup:.2}x)"
+    );
 }

@@ -58,6 +58,7 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
     let (pairs, reps_sc, reps_fixed) = if quick { (48, 2, 512) } else { (128, 4, 1024) };
     let seed = 1234u64;
     ctx.config("precision", n.bits());
+    ctx.config("engine", sc_core::bitplane::engine().name());
     ctx.config("pairs", pairs);
     ctx.config("reps_sc", reps_sc);
     ctx.config("reps_fixed", reps_fixed);

@@ -14,11 +14,17 @@
 //! default 0: the benches are deterministic, so exact is the norm).
 //! `--all` additionally fails when a baselined bench has no current
 //! manifest, for use after a full bench sweep.
+//!
+//! Besides the baseline diff, current manifests from benches named in
+//! [`sc_bench::report::FLOORS`] are checked against hard minimums on
+//! their `bench.speedup.*` gauges — a measured speedup falling below
+//! its floor (or the gauge disappearing) fails the gate even though
+//! wall-clock numbers are never exact-diffed.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use sc_bench::report::{append_trajectory, compare_dirs, render_table};
+use sc_bench::report::{append_trajectory, compare_dirs, floor_violations, render_table, FLOORS};
 use sc_telemetry::RunManifest;
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -76,8 +82,48 @@ fn main() -> ExitCode {
         }
     }
 
-    if report.regressions() > 0 {
-        eprintln!("sc_report: {} regression(s) against baseline", report.regressions());
+    // Performance floors: hard minimums on `bench.speedup.*` gauges in
+    // the *current* manifests, checked independently of any baseline
+    // (wall-clock ratios cannot be exact-diffed, but they must never
+    // fall below their floor).
+    let mut floor_failures = 0usize;
+    for &(bench, _, _) in FLOORS {
+        let manifest_path = results.join(format!("{bench}.manifest.json"));
+        if !manifest_path.exists() {
+            // A floor bench with no current run is not a failure here —
+            // ci.sh decides which benches must run; `--all` covers
+            // baselined benches only.
+            continue;
+        }
+        let m = match RunManifest::read(&manifest_path) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("sc_report: read {}: {e}", manifest_path.display());
+                floor_failures += 1;
+                continue;
+            }
+        };
+        let violations = floor_violations(&m);
+        for v in &violations {
+            eprintln!("sc_report: FLOOR {v}");
+        }
+        floor_failures += violations.len();
+        if violations.is_empty() {
+            println!("floor check: {bench} passes");
+        }
+        // Floor benches are not baseline-diffed (their timing counters
+        // are nondeterministic), so record their trajectory row here.
+        if !report.comparisons.iter().any(|c| c.bench == bench) {
+            match append_trajectory(&results, &m, violations.len()) {
+                Ok(path) => println!("appended trajectory row to {}", path.display()),
+                Err(e) => eprintln!("sc_report: trajectory for {bench}: {e}"),
+            }
+        }
+    }
+
+    let total = report.regressions() + floor_failures;
+    if total > 0 {
+        eprintln!("sc_report: {total} regression(s) against baseline/floors");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -308,6 +308,7 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
     // the mid-size payload.
     let s = backend().serve(1, None).expect("clean backend serves").cycles;
     ctx.config("precision", n.bits());
+    ctx.config("engine", sc_core::bitplane::engine().name());
     ctx.config("service_ticks", s);
     ctx.config("queue_capacity", QUEUE_CAPACITY);
     ctx.config("ramp_requests", ramp_n);

@@ -23,7 +23,39 @@ use sc_telemetry::json::Json;
 use sc_telemetry::RunManifest;
 
 /// Metric prefixes excluded from comparison (scheduling noise).
-pub const NOISE_PREFIXES: &[&str] = &["par."];
+/// `bench.time.*` gauges are raw wall-clock nanoseconds — they vary
+/// with the host and load, while the `bench.speedup.*` ratios they
+/// feed are gated by [`FLOORS`] instead of exact diffing.
+pub const NOISE_PREFIXES: &[&str] = &["par.", "bench.time."];
+
+/// Performance floors: `(bench, gauge, minimum)`. A manifest from the
+/// named bench must carry the gauge at or above the minimum; a missing
+/// gauge is a violation too (a silently vanished speedup measurement
+/// is exactly the rot this gate exists to catch). Checked by
+/// [`floor_violations`] over *current* manifests, independent of any
+/// baseline — wall-clock ratios are not baseline-diffable at
+/// tolerance 0, but they must never fall below the floor.
+pub const FLOORS: &[(&str, &str, f64)] =
+    &[("bench_parallel", "bench.speedup.mvm_n8_bitplane", 8.0)];
+
+/// Checks one manifest against every [`FLOORS`] entry for its bench.
+/// Returns one human-readable violation per failed (or missing) floor.
+pub fn floor_violations(m: &RunManifest) -> Vec<String> {
+    let mut out = Vec::new();
+    for &(bench, metric, min) in FLOORS {
+        if m.bench != bench {
+            continue;
+        }
+        match m.metrics.gauges.iter().find(|(k, _)| k == metric) {
+            None => out.push(format!("{bench}: floor gauge {metric} missing (must be >= {min})")),
+            Some((_, v)) if *v < min => {
+                out.push(format!("{bench}: {metric} = {v:.2} below floor {min}"))
+            }
+            Some(_) => {}
+        }
+    }
+    out
+}
 
 /// What happened to one metric between baseline and current.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -450,6 +482,42 @@ mod tests {
         assert_eq!(by_name("accel.cycles"), DeltaStatus::Removed);
         assert_eq!(by_name("serve.new_metric"), DeltaStatus::Added);
         assert_eq!(cmp.regressions(), 1);
+    }
+
+    #[test]
+    fn floors_gate_speedup_gauges() {
+        // Below the floor: one violation.
+        let mut m = manifest("bench_parallel", 1);
+        m.bench = "bench_parallel".to_string();
+        m.metrics.gauges = vec![("bench.speedup.mvm_n8_bitplane".to_string(), 3.5)];
+        let v = floor_violations(&m);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("below floor"));
+        // At/above the floor: clean.
+        m.metrics.gauges[0].1 = 8.0;
+        assert!(floor_violations(&m).is_empty());
+        m.metrics.gauges[0].1 = 42.0;
+        assert!(floor_violations(&m).is_empty());
+        // Gauge vanished: the measurement rotting away is a violation.
+        m.metrics.gauges.clear();
+        let v = floor_violations(&m);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("missing"));
+        // Other benches are not subject to this floor.
+        let other = manifest("storm", 1);
+        assert!(floor_violations(&other).is_empty());
+    }
+
+    #[test]
+    fn bench_time_gauges_are_noise_but_speedups_are_not() {
+        let mut m = manifest("bench_parallel", 1);
+        m.metrics.gauges = vec![
+            ("bench.time.mvm_n8.cycle_ns".to_string(), 123456.0),
+            ("bench.speedup.mvm_n8_bitplane".to_string(), 12.0),
+        ];
+        let flat = flatten_metrics(&m);
+        assert!(!flat.contains_key("bench.time.mvm_n8.cycle_ns"));
+        assert!(flat.contains_key("bench.speedup.mvm_n8_bitplane"));
     }
 
     #[test]

@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod bitplane;
 pub mod conventional;
 mod error;
 pub mod mac;

@@ -11,8 +11,8 @@
 //! `N−s` yields a product estimate at `s`-bit weight resolution in a
 //! `2^(N−s)`-fold shorter time.
 
+use crate::bitplane::{self, EngineKind};
 use crate::mac::SignedProduct;
-use crate::seq;
 use crate::{Error, Precision};
 
 /// The proposed signed SC-MAC with early termination after `s` effective
@@ -69,6 +69,10 @@ impl EarlyTerminationScMac {
     /// Multiplies signed codes with early termination: runs
     /// `t = ⌊|w|/2^(N−s)⌋` cycles and left-shifts the counter by `N−s`.
     ///
+    /// The truncated prefix `P_t` is evaluated on the active execution
+    /// engine ([`bitplane::engine`]) — for the bitplane engine, EDT is
+    /// just a shorter prefix mask over the packed words.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::CodeOutOfRange`] if either code is out of range.
@@ -79,7 +83,10 @@ impl EarlyTerminationScMac {
         let k = wc.code().unsigned_abs() as u64;
         let t = k >> shift;
         let u = xc.to_offset_binary();
-        let p = seq::prefix_sum(u, self.n, t) as i64;
+        let p = match bitplane::engine() {
+            EngineKind::Bitplane => bitplane::prefix_ones(u, self.n, t),
+            EngineKind::CycleAccurate => bitplane::prefix_ones_serial(u, self.n, t),
+        } as i64;
         let raw = (2 * p - t as i64) << shift;
         let value = if wc.code() < 0 { -raw } else { raw };
         Ok(SignedProduct { value, cycles: t })

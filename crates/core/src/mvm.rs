@@ -11,6 +11,7 @@
 //! (contrary to SNG sharing in conventional SC): every lane produces
 //! bit-exactly what a standalone [`crate::mac::SignedScMac`] would.
 
+use crate::bitplane::{self, EngineKind};
 use crate::mac::{BitParallelScMac, SaturatingAccumulator, SignedScMac};
 use crate::seq;
 use crate::{Error, Precision};
@@ -69,8 +70,12 @@ impl BiscMvm {
     }
 
     /// Accumulates one scalar-vector product `w·x⃗` into the lane counters
-    /// using the closed-form product per lane (fast behavioural path;
-    /// saturation is applied per product).
+    /// (fast behavioural path; saturation is applied per product).
+    ///
+    /// On the bitplane engine the weight is decoded once and every lane
+    /// reduces to one packed-word prefix popcount; on the cycle-accurate
+    /// engine each lane runs the serial per-cycle walk. Both are bitwise
+    /// identical.
     ///
     /// Returns the cycles this term took (`|w_code|`).
     ///
@@ -82,12 +87,35 @@ impl BiscMvm {
         if xs.len() != self.lanes.len() {
             return Err(Error::LengthMismatch { expected: self.lanes.len(), actual: xs.len() });
         }
-        let mut k = 0;
-        for (lane, &x) in self.lanes.iter_mut().zip(xs) {
-            let prod = self.mac.multiply(w, x)?;
-            lane.add(prod.value);
-            k = prod.cycles;
-        }
+        let k = match bitplane::engine() {
+            EngineKind::Bitplane => {
+                // Shared decode: one down-counter load, one sign flag —
+                // and one shared occupancy scan: the per-selector cycle
+                // counts of the prefix are lane-independent, so each
+                // lane's ones count is a few nibble-table reads.
+                let wc = self.n.check_signed(w as i64)?;
+                let k = wc.code().unsigned_abs() as u64;
+                let w_neg = wc.code() < 0;
+                let counts = bitplane::RangeCounts::new(self.n, 0, k);
+                for (lane, &x) in self.lanes.iter_mut().zip(xs) {
+                    let u = self.n.check_signed(x as i64)?.to_offset_binary();
+                    let p = counts.ones(u) as i64;
+                    let raw = 2 * p - k as i64;
+                    lane.add(if w_neg { -raw } else { raw });
+                }
+                k
+            }
+            EngineKind::CycleAccurate => {
+                // The shared down counter runs |w| cycles regardless of
+                // lane count — decode w first so both engines agree.
+                let k = self.n.check_signed(w as i64)?.code().unsigned_abs() as u64;
+                for (lane, &x) in self.lanes.iter_mut().zip(xs) {
+                    let prod = self.mac.multiply(w, x)?;
+                    lane.add(prod.value);
+                }
+                k
+            }
+        };
         self.cycles += k;
         Ok(k)
     }
@@ -208,9 +236,19 @@ impl UnsignedBiscMvm {
             return Err(Error::LengthMismatch { expected: self.lanes.len(), actual: xs.len() });
         }
         self.n.check_unsigned(w as u64)?;
+        // Shared occupancy scan on the bitplane engine, like the signed
+        // MVM: one `RangeCounts` per term serves every lane.
+        let counts = match bitplane::engine() {
+            EngineKind::Bitplane => Some(bitplane::RangeCounts::new(self.n, 0, w as u64)),
+            EngineKind::CycleAccurate => None,
+        };
         for (lane, &x) in self.lanes.iter_mut().zip(xs) {
             self.n.check_unsigned(x as u64)?;
-            lane.add(seq::prefix_sum(x, self.n, w as u64) as i64);
+            let ones = match &counts {
+                Some(c) => c.ones(x),
+                None => bitplane::prefix_ones_serial(x, self.n, w as u64),
+            };
+            lane.add(ones as i64);
         }
         self.cycles += w as u64;
         Ok(w as u64)

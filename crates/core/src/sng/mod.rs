@@ -69,15 +69,11 @@ pub fn collect_stream_words<G: BitstreamGenerator + ?Sized>(gen: &mut G, code: u
 }
 
 /// Counts the ones in the first `k` bits of a packed stream produced by
-/// [`collect_stream_words`].
+/// [`collect_stream_words`]. Thin alias of
+/// [`crate::bitplane::count_ones_prefix`], the generalized home of the
+/// packed-popcount idiom.
 pub fn count_ones_prefix(words: &[u64], k: u64) -> u64 {
-    let full = (k / 64) as usize;
-    let mut ones: u64 = words[..full].iter().map(|w| w.count_ones() as u64).sum();
-    let rem = k % 64;
-    if rem > 0 {
-        ones += (words[full] & ((1u64 << rem) - 1)).count_ones() as u64;
-    }
-    ones
+    crate::bitplane::count_ones_prefix(words, k)
 }
 
 #[cfg(test)]

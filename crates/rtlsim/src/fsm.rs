@@ -47,6 +47,14 @@ impl CycleFsm {
         }
     }
 
+    /// Advances `k` clock edges at once without producing selects — the
+    /// bitplane fast path's register update. After `advance(k)` the FSM
+    /// state (and every future select) is identical to `k` calls of
+    /// [`clock`](Self::clock).
+    pub fn advance(&mut self, k: u64) {
+        self.t += k;
+    }
+
     /// Synchronous reset.
     pub fn reset(&mut self) {
         self.t = 0;

@@ -29,6 +29,20 @@
 //!   register (`rtlsim.mac.stream`, `rtlsim.mac.acc`, `rtlsim.fsm.state`,
 //!   `rtlsim.halton.state`, `rtlsim.mvm.lane`). With no `SC_FAULTS` plan
 //!   armed every datapath is bit-identical to the fault-free model.
+//!
+//! ## Execution engines
+//!
+//! The proposed-datapath `run_to_done` loops dispatch on
+//! [`sc_core::bitplane::engine`]: under the default **bitplane** engine a
+//! whole run collapses into packed-`u64` popcount scans (64 cycles per
+//! word) guarded so that saturation, FSM state, and telemetry cycle
+//! attribution stay bit-identical to the per-cycle walk; under the
+//! **cycle** engine (`SC_ENGINE=cycle`) every clock edge is simulated —
+//! the golden reference. Armed fault sites always force the per-cycle
+//! path, so fault draws observe real per-cycle state under either
+//! engine. The stateful conventional datapath
+//! ([`mac::ConventionalMacRtl`]) is inherently serial (its LFSR/Halton
+//! SNGs carry state across cycles) and always clocks cycle-by-cycle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -69,6 +83,15 @@ pub(crate) mod telemetry_hooks {
         /// Output up/down-counter update operations (one per lane per
         /// cycle; the counting/accumulation stage).
         pub(crate) acc_updates: Counter,
+        /// Packed 64-cycle bitplane words scanned by the popcount fast
+        /// paths (the bitplane engine's unit of work — compare with
+        /// `rtlsim.*.cycles` to see the ~64× work reduction).
+        pub(crate) bp_words: Counter,
+        /// `run_to_done` calls served entirely by the bitplane fast path.
+        pub(crate) bp_fast: Counter,
+        /// Lanes (or single-MAC runs) that failed the saturation
+        /// trajectory guard and fell back to the per-cycle walk.
+        pub(crate) bp_fallback: Counter,
     }
 
     pub(crate) fn sim_counters() -> &'static SimCounters {
@@ -82,6 +105,9 @@ pub(crate) mod telemetry_hooks {
             sng_bits: counter("rtlsim.sng.bits"),
             fsm_steps: counter("rtlsim.fsm.steps"),
             acc_updates: counter("rtlsim.acc.updates"),
+            bp_words: counter("rtlsim.bitplane.words"),
+            bp_fast: counter("rtlsim.bitplane.fastpath"),
+            bp_fallback: counter("rtlsim.bitplane.fallback"),
         })
     }
 }

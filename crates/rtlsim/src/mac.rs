@@ -5,6 +5,7 @@
 use crate::faults::MacFaults;
 use crate::fsm::{operand_mux, CycleFsm};
 use crate::halton_rtl::HaltonRtl;
+use sc_core::bitplane::{self, EngineKind};
 use sc_core::mac::SaturatingAccumulator;
 use sc_core::sng::{BitstreamGenerator, LfsrSng};
 use sc_core::{Error, Precision};
@@ -121,11 +122,37 @@ impl ProposedMacRtl {
     }
 
     /// Clocks until done; returns the number of cycles consumed.
+    ///
+    /// Under the bitplane engine (and with no fault site armed) the whole
+    /// run is served by one packed-word scan: the net counter delta is
+    /// applied in a single `add`, proven safe by the scan's trajectory
+    /// bounds (no intermediate cycle could have clamped), and the FSM
+    /// register advances by the same `k` edges. If the bounds cannot rule
+    /// out mid-run saturation, the run falls back to the per-cycle walk.
+    /// Telemetry cycle attribution is identical on every path.
     pub fn run_to_done(&mut self) -> u64 {
-        let mut c = 0;
+        let c = self.down;
+        let mut bp_words = 0u64;
+        let mut bp_fast = 0u64;
+        let mut bp_fallback = 0u64;
+        if self.down > 0 && bitplane::engine() == EngineKind::Bitplane && !self.faults.armed() {
+            let t0 = self.fsm.cycles();
+            let scan =
+                bitplane::scan_signed_range(self.x_reg, self.n, t0, t0 + self.down, self.w_sign);
+            let (lo, hi) = self.acc.range();
+            let v0 = self.acc.value();
+            bp_words = scan.words;
+            if v0 + scan.lo_bound >= lo && v0 + scan.hi_bound <= hi {
+                self.acc.add(scan.delta);
+                self.fsm.advance(self.down);
+                self.down = 0;
+                bp_fast = 1;
+            } else {
+                bp_fallback = 1;
+            }
+        }
         while !self.done() {
             self.clock();
-            c += 1;
         }
         let counters = crate::telemetry_hooks::sim_counters();
         counters.mac_cycles.incr(c);
@@ -134,6 +161,9 @@ impl ProposedMacRtl {
         counters.fsm_steps.incr(c);
         counters.sng_bits.incr(c);
         counters.acc_updates.incr(c);
+        counters.bp_words.incr(bp_words);
+        counters.bp_fast.incr(bp_fast);
+        counters.bp_fallback.incr(bp_fallback);
         c
     }
 
@@ -288,6 +318,11 @@ impl ConventionalMacRtl {
     }
 
     /// Clocks until done; returns the cycles consumed (always `2^N`).
+    ///
+    /// Always cycle-accurate: the LFSR/Halton SNGs carry state from one
+    /// cycle to the next, so there is no closed per-word form to
+    /// vectorize — the conventional datapath is the baseline the paper's
+    /// latency advantage is measured against, on either engine.
     pub fn run_to_done(&mut self) -> u64 {
         let mut c = 0;
         while !self.done() {
@@ -363,11 +398,23 @@ impl UnsignedMacRtl {
     }
 
     /// Clocks until done; returns cycles consumed (`w`).
+    ///
+    /// The plain bit counter cannot saturate, so under the bitplane
+    /// engine the whole run is always one masked popcount scan.
     pub fn run_to_done(&mut self) -> u64 {
-        let mut c = 0;
+        let c = self.down;
+        let mut bp_words = 0u64;
+        let mut bp_fast = 0u64;
+        if self.down > 0 && bitplane::engine() == EngineKind::Bitplane {
+            let t0 = self.fsm.cycles();
+            self.counter += bitplane::range_ones(self.x_reg, self.n, t0, t0 + self.down);
+            bp_words = bitplane::words_in_range(t0, t0 + self.down);
+            bp_fast = 1;
+            self.fsm.advance(self.down);
+            self.down = 0;
+        }
         while !self.done() {
             self.clock();
-            c += 1;
         }
         let counters = crate::telemetry_hooks::sim_counters();
         counters.mac_cycles.incr(c);
@@ -375,6 +422,8 @@ impl UnsignedMacRtl {
         counters.fsm_steps.incr(c);
         counters.sng_bits.incr(c);
         counters.acc_updates.incr(c);
+        counters.bp_words.incr(bp_words);
+        counters.bp_fast.incr(bp_fast);
         c
     }
 

@@ -3,9 +3,15 @@
 
 use crate::faults::MacFaults;
 use crate::fsm::{operand_mux, CycleFsm};
+use sc_core::bitplane::{self, EngineKind};
 use sc_core::mac::SaturatingAccumulator;
-use sc_core::{Error, Precision};
+use sc_core::{seq, Error, Precision};
 use sc_fault::{FaultKind, FaultSite};
+
+/// Lane count at or above which the bitplane fast path chunks the lanes
+/// on the `sc-par` pool. The threshold (like the chunk plan itself) is a
+/// pure function of input length, so results are thread-invariant.
+const PAR_LANE_THRESHOLD: usize = 256;
 
 /// The vectorized SC-MAC array at the register-transfer level.
 ///
@@ -158,11 +164,86 @@ impl BiscMvmRtl {
     }
 
     /// Clocks until the current term completes; returns cycles consumed.
+    ///
+    /// Under the bitplane engine — with no per-cycle fault site armed and
+    /// no lane-defect site installed — the whole term collapses into one
+    /// shared occupancy scan: the per-selector cycle counts of the range
+    /// `(t0, t0+k]` are lane-independent, so they are computed **once**
+    /// per term ([`bitplane::RangeCounts`]) and each lane's stream-ones
+    /// count reduces to a few nibble-table reads. The counter absorbs its
+    /// net delta in a single `add`, guarded by the ±k trajectory band
+    /// (every cycle steps the counter by ±1, so a band that fits inside
+    /// the counter range rules out mid-run saturation; lanes whose band
+    /// does not fit re-run the per-cycle walk individually). At
+    /// [`PAR_LANE_THRESHOLD`] lanes and above — on a pool with more than
+    /// one worker — lanes are mapped on the `sc-par` pool and merged in
+    /// lane order; otherwise they are updated in place (identical math
+    /// either way, so results stay thread-invariant). Armed fault plans always
+    /// take the per-cycle path, so fault draws see real per-cycle state
+    /// and identical draw indices on both engines.
     pub fn run_to_done(&mut self) -> u64 {
-        let mut c = 0;
+        let c = self.down;
+        let mut bp_words = 0u64;
+        let mut bp_fast = 0u64;
+        let mut bp_fallback = 0u64;
+        if self.down > 0
+            && bitplane::engine() == EngineKind::Bitplane
+            && !self.faults.armed()
+            && self.lane_site.is_none()
+        {
+            let t0 = self.fsm.cycles();
+            let k = self.down;
+            let ki = k as i64;
+            let n = self.n;
+            let w_sign = self.w_sign;
+            // The shared part of the scan, billed once per term: the
+            // packed words cover the cycle range regardless of lane count.
+            bp_words = bitplane::words_in_range(t0, t0 + k);
+            let counts = bitplane::RangeCounts::new(n, t0, t0 + k);
+            // One lane's fast path: table-read the ones count, guard, add
+            // — or per-cycle walk. Returns 1 if the lane fell back.
+            let lane_scan = |a: &mut SaturatingAccumulator, u: u32| {
+                let (lo, hi) = a.range();
+                let v0 = a.value();
+                if v0 + ki <= hi && v0 - ki >= lo {
+                    let ones = counts.ones(u) as i64;
+                    a.add(if w_sign { ki - 2 * ones } else { 2 * ones - ki });
+                    0u64
+                } else {
+                    for t in t0 + 1..=t0 + k {
+                        a.count(seq::stream_bit(u, n, t) ^ w_sign);
+                    }
+                    1u64
+                }
+            };
+            let lanes = self.accs.len();
+            let pool = sc_par::Pool::global();
+            if lanes >= PAR_LANE_THRESHOLD && pool.threads() > 1 {
+                let x_regs = &self.x_regs;
+                let accs = &self.accs;
+                let results: Vec<(SaturatingAccumulator, u64)> = pool.parallel_map(lanes, |j| {
+                    let mut a = accs[j];
+                    let fellback = lane_scan(&mut a, x_regs[j]);
+                    (a, fellback)
+                });
+                for (j, (a, fellback)) in results.into_iter().enumerate() {
+                    self.accs[j] = a;
+                    bp_fallback += fellback;
+                }
+            } else {
+                // Single worker (or few lanes): update counters in place —
+                // same math, no per-lane result buffer.
+                for (a, &u) in self.accs.iter_mut().zip(&self.x_regs) {
+                    bp_fallback += lane_scan(a, u);
+                }
+            }
+            bp_fast = 1;
+            self.fsm.advance(k);
+            self.total_cycles += k;
+            self.down = 0;
+        }
         while !self.done() {
             self.clock();
-            c += 1;
         }
         let counters = crate::telemetry_hooks::sim_counters();
         counters.mvm_cycles.incr(c);
@@ -173,6 +254,9 @@ impl BiscMvmRtl {
         counters.fsm_steps.incr(c);
         counters.sng_bits.incr(c * lanes);
         counters.acc_updates.incr(c * lanes);
+        counters.bp_words.incr(bp_words);
+        counters.bp_fast.incr(bp_fast);
+        counters.bp_fallback.incr(bp_fallback);
         c
     }
 

@@ -46,6 +46,19 @@ SC_THREADS=1 cargo test --workspace -q
 echo "==> cargo test (SC_THREADS=4)"
 SC_THREADS=4 cargo test --workspace -q
 
+echo "==> engine gate: golden cross-check under both execution engines"
+# The bitplane popcount fast paths must stay bitwise identical to the
+# cycle-accurate reference whichever engine SC_ENGINE selects, at both
+# CI thread counts. The selection is latched once per process, so every
+# combination gets a fresh test process.
+for eng in cycle bitplane; do
+    for t in 1 4; do
+        echo "    SC_ENGINE=$eng SC_THREADS=$t"
+        SC_ENGINE="$eng" SC_THREADS="$t" cargo test -q -p sc-rtlsim --test bitplane
+        SC_ENGINE="$eng" SC_THREADS="$t" cargo test -q -p sc-accel --test engines
+    done
+done
+
 echo "==> fault gate: workspace suite under a nonzero SC_FAULTS plan"
 # Tests that depend on clean arithmetic install their own scoped plans
 # (which override the env), so the suite must stay green with ambient
@@ -153,6 +166,11 @@ env -u SC_FAULTS SC_THREADS=4 \
     cargo run --release -q -p sc-bench --bin serve_storm -- --quick >/dev/null
 env -u SC_FAULTS SC_THREADS=4 \
     cargo run --release -q -p sc-bench --bin fault_sweep -- --quick >/dev/null
+# bench_parallel self-asserts the >=8x bitplane MVM speedup and records
+# the bench.speedup.* gauges that sc_report floor-gates (its wall-clock
+# manifest is floor-checked, not baseline-diffed).
+env -u SC_FAULTS SC_THREADS=4 \
+    cargo run --release -q -p sc-bench --bin bench_parallel -- --quick >/dev/null
 cargo run --release -q -p sc-bench --bin sc_report
 
 echo "==> health gate: incident snapshots, manifest health block, prom exposition"
