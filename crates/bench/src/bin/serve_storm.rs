@@ -35,14 +35,16 @@ use sc_neural::layers::{Conv2d, LayerKind, Relu};
 use sc_neural::net::Network;
 use sc_neural::tensor::Tensor;
 use sc_serve::{
-    AccelBackend, AccelPayload, Backend, BreakerConfig, DegradePolicy, DegradeTier, NeuralBackend,
-    Request, RetryPolicy, Server, ServerConfig, ShedPolicy,
+    AccelBackend, AccelPayload, Backend, BreakerConfig, DegradePolicy, DegradeTier, Fleet,
+    FleetConfig, HedgePolicy, NeuralBackend, Outcome, Request, RetryPolicy, Server, ServerConfig,
+    ShedPolicy,
 };
 use sc_telemetry::json::Json;
 use sc_telemetry::metrics::{histogram, log2_bounds};
 
 const N_BITS: u32 = 8;
 const QUEUE_CAPACITY: usize = 16;
+const REPLICAS: usize = 3;
 
 fn precision() -> Precision {
     Precision::new(N_BITS).expect("valid precision")
@@ -277,6 +279,395 @@ fn print_row(row: &ScenarioRow) {
     );
 }
 
+/// Shard-level SLOs: each replica's own monitor watches its goodput and
+/// error budget, so a shard that absorbs a storm freezes its *own*
+/// incident snapshot.
+fn shard_objectives(_s: u64) -> Vec<Objective> {
+    vec![
+        Objective::goodput("shard-goodput", 0.5).with_spans(2, 6).with_recovery(3),
+        Objective::error_rate("shard-error-rate", 0.25).with_spans(2, 6).with_recovery(3),
+    ]
+}
+
+/// Fleet-level SLOs the clean and minority-kill storms must hold green:
+/// goodput with a 40% budget (failover + hedging must keep rescuing
+/// requests), and a p99 at the deadline slack (trivially green — the
+/// real objective is goodput; it documents the bound).
+fn fleet_objectives(s: u64) -> Vec<Objective> {
+    vec![
+        Objective::goodput("fleet-goodput", 0.6).with_spans(2, 6).with_recovery(3),
+        Objective::p99("fleet-p99", 6 * s).with_spans(2, 6).with_recovery(3),
+    ]
+}
+
+/// The strict SLO the majority-kill storm serves under: a tight p99 that
+/// provably cannot hold while two of three replicas are down — the
+/// survivor keeps completing (degraded, queued) but past the latency
+/// target, so the fleet monitor must breach, freeze incidents, and then
+/// recover once the crash window closes.
+fn strict_fleet_objectives(s: u64) -> Vec<Objective> {
+    vec![
+        Objective::goodput("fleet-goodput", 0.9).with_spans(2, 6).with_recovery(3),
+        Objective::p99("fleet-p99", 2 * s).with_spans(2, 6).with_recovery(3),
+    ]
+}
+
+/// Fleet front-end: the protected per-shard config with shard monitors,
+/// hedging at 1.5x the payload's full-precision service estimate, and a
+/// fleet-level monitor over the given objectives.
+fn fleet_config(s: u64, estimates: &[u64], fleet_slos: Vec<Objective>) -> FleetConfig {
+    FleetConfig {
+        server: monitored_config(s, shard_objectives(s)),
+        replicas: REPLICAS,
+        placement_seed: 0xF1EE7,
+        hedge: Some(HedgePolicy { numerator: 3, denominator: 2, min_delay: s / 4 }),
+        estimates: estimates.to_vec(),
+        fleet_health: HealthConfig::with_objectives(2 * s, fleet_slos),
+        flap_epoch: 4 * s,
+        brownout_factor: 4,
+    }
+}
+
+fn fleet_backends() -> Vec<Box<dyn Backend>> {
+    (0..REPLICAS).map(|_| Box::new(backend()) as Box<dyn Backend>).collect()
+}
+
+/// Uniform-arrival fleet trace with the given spacing. Spacing `s/2`
+/// puts aggregate demand at 2x one replica's capacity (far past a
+/// single server, comfortable for three); spacing `s` is steady demand
+/// one replica could just barely absorb alone.
+fn fleet_trace(n: u64, s: u64, spacing: u64) -> Vec<Request> {
+    (0..n)
+        .map(|i| {
+            let t = (i + 1) * spacing;
+            Request { id: i, arrival: t, deadline: t + 6 * s, payload: (i % 3) as usize }
+        })
+        .collect()
+}
+
+/// Replicas whose phased draw fires under the currently armed plan for
+/// `site_name` (probed at tick 1, inside every storm's chaos window).
+fn fired_replicas(site_name: &str) -> Vec<usize> {
+    let Some(site) = sc_fault::site(site_name) else { return Vec::new() };
+    (0..REPLICAS).filter(|&r| site.phased(r as u64, 0, 1).is_some()).collect()
+}
+
+/// The chaos plan for the kill storms: replica crashes over the window,
+/// optionally with brownouts (4x service cycles) on the same window.
+fn kill_spec(seed: u64, window_end: u64, with_brownout: bool) -> String {
+    let mut spec = format!("serve.replica.crash:flip@0.5@0..{window_end}");
+    if with_brownout {
+        spec.push_str(&format!(";serve.replica.brownout:flip@0.5@0..{window_end}"));
+    }
+    spec.push_str(&format!(";seed={seed}"));
+    spec
+}
+
+/// Scans seeds until the crash draw downs exactly `want_down` replicas
+/// (and, when brownouts are armed, at least one *surviving* replica is
+/// browned out — that is what makes hedges fire). The scan is a pure
+/// function of the site-draw math, so every run lands on the same seed.
+fn kill_seed(want_down: usize, window_end: u64, with_brownout: bool) -> (u64, Vec<usize>) {
+    for seed in 1..128 {
+        let _g = sc_fault::scoped(
+            sc_fault::FaultPlan::parse(&kill_spec(seed, window_end, with_brownout))
+                .expect("valid spec"),
+        );
+        let down = fired_replicas(sc_serve::sites::REPLICA_CRASH);
+        let brown = fired_replicas(sc_serve::sites::REPLICA_BROWNOUT);
+        if down.len() == want_down && (!with_brownout || brown.iter().any(|r| !down.contains(r))) {
+            return (seed, down);
+        }
+    }
+    unreachable!("no seed under 128 downs exactly {want_down} of {REPLICAS} replicas")
+}
+
+struct FleetRow {
+    name: &'static str,
+    requests: usize,
+    report: sc_serve::FleetReport,
+}
+
+impl FleetRow {
+    fn to_json(&self) -> Json {
+        let r = &self.report;
+        let health_json = |h: &sc_serve::HealthReport| {
+            Json::obj(vec![
+                ("verdict", Json::Str(h.verdict().label().to_string())),
+                ("windows", Json::UInt(h.closed_windows())),
+                ("breaches", Json::UInt(h.breaches())),
+                ("recoveries", Json::UInt(h.recoveries())),
+                ("incidents", Json::UInt(h.incidents.len() as u64)),
+            ])
+        };
+        let shards = r
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, sh)| {
+                let mut pairs = vec![
+                    ("replica", Json::UInt(i as u64)),
+                    ("dispatched", Json::UInt(sh.dispatched)),
+                    ("completed", Json::UInt(sh.completed)),
+                    ("cancelled", Json::UInt(sh.cancelled)),
+                    ("failed_attempts", Json::UInt(sh.failed_attempts)),
+                    ("hedges_launched", Json::UInt(sh.hedges_launched)),
+                    ("breaker_trips", Json::UInt(sh.breaker_trips)),
+                    ("breaker_state", Json::Str(sh.breaker_state.clone())),
+                    ("max_queue_depth", Json::UInt(sh.max_queue_depth as u64)),
+                ];
+                if let Some(h) = &sh.health {
+                    pairs.push(("health", health_json(h)));
+                }
+                Json::obj(pairs)
+            })
+            .collect();
+        let mut pairs = vec![
+            ("scenario", Json::Str(self.name.to_string())),
+            ("requests", Json::UInt(self.requests as u64)),
+            ("completed", Json::UInt(r.completed())),
+            (
+                "completed_by_tier",
+                Json::Arr(r.completed_by_tier.iter().map(|&c| Json::UInt(c)).collect()),
+            ),
+            ("degraded", Json::UInt(r.degraded())),
+            ("shed", Json::UInt(r.shed)),
+            ("timed_out", Json::UInt(r.timed_out)),
+            ("failed", Json::UInt(r.failed)),
+            ("breaker_rejected", Json::UInt(r.breaker_rejected)),
+            ("retries", Json::UInt(r.retries)),
+            ("failovers", Json::UInt(r.failovers)),
+            ("hedges_launched", Json::UInt(r.hedges_launched)),
+            ("hedges_won", Json::UInt(r.hedges_won)),
+            ("hedges_cancelled", Json::UInt(r.hedges_cancelled)),
+            ("hedges_adopted", Json::UInt(r.hedges_adopted)),
+            ("hedges_failed", Json::UInt(r.hedges_failed)),
+            ("hedges_skipped", Json::UInt(r.hedges_skipped)),
+            ("hedge_wasted_cycles", Json::UInt(r.hedge_wasted_cycles)),
+            ("max_queue_depth", Json::UInt(r.max_queue_depth as u64)),
+            ("p50_ticks", Json::UInt(r.latency_percentile(50.0))),
+            ("p99_ticks", Json::UInt(r.latency_percentile(99.0))),
+            ("horizon_ticks", Json::UInt(r.horizon)),
+            ("shards", Json::Arr(shards)),
+        ];
+        if let Some(h) = &r.health {
+            pairs.push(("fleet_health", health_json(h)));
+        }
+        Json::obj(pairs)
+    }
+}
+
+fn print_fleet_row(row: &FleetRow) {
+    let r = &row.report;
+    println!(
+        "{:>18} | {:>4} | {:>5} {:>5} {:>4} {:>5} {:>4} | {:>4} {:>6} {:>4} | {:>8}",
+        row.name,
+        row.requests,
+        r.completed(),
+        r.degraded(),
+        r.shed,
+        r.timed_out,
+        r.failed,
+        r.failovers,
+        r.hedges_launched,
+        r.hedges_won,
+        r.latency_percentile(99.0),
+    );
+}
+
+/// The sharded-fleet storms: clean scale-out, minority kill (fleet SLO
+/// green through failover + hedging), majority kill (degradation,
+/// per-shard incidents, clean recovery), and a flap storm — all on the
+/// same arrival trace, all deterministic.
+fn fleet_storms(
+    ctx: &mut sc_telemetry::BenchCtx,
+    s: u64,
+    quick: bool,
+    ambient_clean: bool,
+) -> Vec<FleetRow> {
+    let fleet_n: u64 = if quick { 60 } else { 150 };
+    // The surge trace overloads a single server 2x; the steady trace is
+    // what the chaos storms run on — load the fleet holds comfortably,
+    // so any SLO damage is attributable to the injected chaos alone.
+    let surge = fleet_trace(fleet_n, s, s / 2);
+    let steady = fleet_trace(fleet_n, s, s);
+    let window_end = (fleet_n + 1) * s / 2;
+    // Full-precision per-payload service estimates drive the hedge delay.
+    let estimates: Vec<u64> = {
+        let mut b = backend();
+        (0..3).map(|p| b.serve(p, None).expect("estimate probe").cycles).collect()
+    };
+    ctx.config("fleet_replicas", REPLICAS as u64);
+    ctx.config("fleet_requests", fleet_n);
+
+    println!("\nfleet storms: {REPLICAS} replicas, chaos window 0..{window_end} ticks");
+    let header = format!(
+        "{:>18} | {:>4} | {:>5} {:>5} {:>4} {:>5} {:>4} | {:>4} {:>6} {:>4} | {:>8}",
+        "scenario", "reqs", "done", "degr", "shed", "tout", "fail", "fo", "hedge", "won", "p99"
+    );
+    println!("{header}");
+    cli::rule(&header);
+
+    let mut rows: Vec<FleetRow> = Vec::new();
+
+    // Scale-out: the same 2x-single-capacity trace through one server,
+    // then through the fleet. Three replicas must absorb what drowns one.
+    let single = Server::new(protected_config()).run(&mut backend(), surge.clone());
+    let report = Fleet::new(fleet_config(s, &estimates, fleet_objectives(s)))
+        .run(&mut fleet_backends(), surge.clone());
+    let row = FleetRow { name: "fleet-scale-out", requests: surge.len(), report };
+    assert_eq!(row.report.responses.len(), surge.len(), "every request finalized exactly once");
+    if ambient_clean {
+        assert!(
+            row.report.completed() > single.completed(),
+            "three replicas must out-serve one at 2x single capacity: {} vs {}",
+            row.report.completed(),
+            single.completed()
+        );
+        let fh = row.report.health.as_ref().expect("fleet monitored");
+        assert_eq!(fh.verdict().label(), "green", "the clean scale-out must stay green");
+        assert_eq!(fh.breaches(), 0);
+    }
+    rows.push(row);
+    print_fleet_row(rows.last().unwrap());
+
+    // Minority kill: exactly one replica crashes for the first half of
+    // the storm, and at least one survivor browns out (4x cycles) — the
+    // slow survivor is what makes hedges fire. The fleet SLO must hold
+    // green the whole way: failover routes around the corpse, hedges
+    // race the brownout.
+    let (seed, down) = kill_seed(1, window_end, true);
+    let report = {
+        let _g = sc_fault::scoped(
+            sc_fault::FaultPlan::parse(&kill_spec(seed, window_end, true)).expect("valid spec"),
+        );
+        Fleet::new(fleet_config(s, &estimates, fleet_objectives(s)))
+            .run(&mut fleet_backends(), steady.clone())
+    };
+    rows.push(FleetRow { name: "fleet-minority-kill", requests: steady.len(), report });
+    print_fleet_row(rows.last().unwrap());
+    let row = rows.last().unwrap();
+    let fh = row.report.health.as_ref().expect("fleet monitored");
+    assert_eq!(
+        fh.verdict().label(),
+        "green",
+        "minority kill (replica {down:?} down, seed {seed}) must hold the fleet SLO green"
+    );
+    assert_eq!(fh.breaches(), 0, "fleet objectives must never breach during a minority kill");
+    assert!(row.report.failovers >= 1, "a dead replica must force failovers");
+    assert!(row.report.hedges_launched >= 1, "browned-out service must trigger hedges");
+    for &r in &down {
+        assert!(row.report.shards[r].breaker_trips >= 1, "crashed replica {r} must trip");
+    }
+
+    // Majority kill, under the strict SLO: two of three replicas crash
+    // for the first half. The survivor keeps serving — degraded through
+    // the EDT ladder, queue bounded — but past the tight p99 target, so
+    // the fleet monitor breaches, the flight recorders freeze fleet and
+    // shard snapshots, and the verdict recovers once the window closes.
+    let (seed, down) = kill_seed(2, window_end, false);
+    let report = {
+        let _g = sc_fault::scoped(
+            sc_fault::FaultPlan::parse(&kill_spec(seed, window_end, false)).expect("valid spec"),
+        );
+        Fleet::new(fleet_config(s, &estimates, strict_fleet_objectives(s)))
+            .run(&mut fleet_backends(), steady.clone())
+    };
+    rows.push(FleetRow { name: "fleet-majority-kill", requests: steady.len(), report });
+    print_fleet_row(rows.last().unwrap());
+    let row = rows.last().unwrap();
+    let fh = row.report.health.as_ref().expect("fleet monitored");
+    assert!(fh.breaches() >= 1, "losing 2 of 3 replicas must breach the strict fleet SLO");
+    assert!(!fh.incidents.is_empty(), "the fleet breach must freeze an incident snapshot");
+    assert!(fh.recoveries() >= 1, "the fleet must recover once the crash window closes");
+    assert!(row.report.degraded() > 0, "the EDT ladder must engage under majority loss");
+    assert!(
+        row.report
+            .shards
+            .iter()
+            .any(|sh| sh.health.as_ref().is_some_and(|h| !h.incidents.is_empty())),
+        "majority kill must freeze at least one per-shard incident snapshot"
+    );
+    let recovered = row
+        .report
+        .meta
+        .iter()
+        .zip(&row.report.responses)
+        .filter(|(m, r)| {
+            matches!(r.outcome, Outcome::Completed { .. })
+                && r.finished_at > window_end
+                && m.replica.is_some_and(|q| down.contains(&q))
+        })
+        .count();
+    assert!(recovered > 0, "crashed replicas {down:?} must serve again after the window");
+
+    // Flap storm: the up/down draw re-keys every flap epoch, so replicas
+    // bounce between healthy and dead across the window. Everything must
+    // still finalize exactly once with bounded queues.
+    let report = {
+        let _g = sc_fault::scoped(
+            sc_fault::FaultPlan::parse(&format!(
+                "serve.replica.flap:flip@0.5@0..{window_end};seed=6"
+            ))
+            .expect("valid spec"),
+        );
+        Fleet::new(fleet_config(s, &estimates, fleet_objectives(s)))
+            .run(&mut fleet_backends(), steady.clone())
+    };
+    rows.push(FleetRow { name: "fleet-flap", requests: steady.len(), report });
+    print_fleet_row(rows.last().unwrap());
+    let row = rows.last().unwrap();
+    assert_eq!(row.report.responses.len(), steady.len(), "every request finalized exactly once");
+    assert!(row.report.failovers >= 1, "flapping replicas must force failovers");
+
+    // Every fleet storm: well-formed span trees, the extended
+    // attribution identity (total = latency + concurrent hedge shadows),
+    // and per-shard bounded queues.
+    for row in &rows {
+        assert_eq!(row.report.traces.len(), row.report.responses.len());
+        for (resp, tree) in row.report.responses.iter().zip(&row.report.traces) {
+            tree.validate().unwrap_or_else(|e| panic!("{}: bad span tree: {e}", row.name));
+            assert_eq!(
+                resp.attribution.total(),
+                resp.latency + resp.attribution.concurrent_total(),
+                "{}: request {} must attribute exactly (latency + hedge shadows)",
+                row.name,
+                resp.id
+            );
+        }
+        for (i, sh) in row.report.shards.iter().enumerate() {
+            assert!(
+                sh.max_queue_depth <= QUEUE_CAPACITY,
+                "{}: shard {i} queue growth is bounded",
+                row.name
+            );
+        }
+    }
+    println!(
+        "check: fleet attribution identity holds (incl. {} wasted hedge cycles)  [ok]",
+        rows.iter().map(|r| r.report.hedge_wasted_cycles).sum::<u64>()
+    );
+
+    // Zero-rate identity across every replica chaos site.
+    let run_scoped = |spec: &str| {
+        let _g = sc_fault::scoped(sc_fault::FaultPlan::parse(spec).expect("valid spec"));
+        Fleet::new(fleet_config(s, &estimates, fleet_objectives(s)))
+            .run(&mut fleet_backends(), steady.clone())
+            .fingerprint()
+    };
+    assert_eq!(
+        run_scoped(""),
+        run_scoped(
+            "serve.replica.crash:flip@0;serve.replica.brownout:flip@0;\
+             serve.replica.flap:flip@0;seed=5"
+        ),
+        "zero-rate replica chaos must be bitwise identical to unarmed"
+    );
+    println!("check: zero-rate replica-chaos plan is bitwise invisible  [ok]");
+
+    rows
+}
+
 fn main() {
     sc_telemetry::bench_run(
         "serve_storm",
@@ -428,6 +819,10 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
         naive.latency_percentile(99.0)
     );
 
+    // The sharded fleet storms: scale-out, minority/majority kills, and
+    // flap — failover, hedging, and per-shard flight recorders.
+    let frows = fleet_storms(ctx, s, quick, ambient_clean);
+
     // Causal tracing: every scenario's span trees are structurally
     // valid, attribute every latency cycle exactly, and export together
     // as one Perfetto-loadable Chrome trace.
@@ -450,8 +845,9 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
     }
     let coverage = if traced_total == 0 { 1.0 } else { traced_leaves as f64 / traced_total as f64 };
     assert!(coverage >= 0.95, "span trees must cover >=95% of request cycles, got {coverage}");
-    let processes: Vec<(&str, &[sc_telemetry::SpanTree])> =
+    let mut processes: Vec<(&str, &[sc_telemetry::SpanTree])> =
         rows.iter().map(|r| (r.name, r.report.traces.as_slice())).collect();
+    processes.extend(frows.iter().map(|r| (r.name, r.report.traces.as_slice())));
     ctx.write_trace(&processes).expect("write chrome trace");
     println!("check: span trees cover {:.1}% of request cycles  [ok]", coverage * 100.0);
 
@@ -496,12 +892,43 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
             seq += 1;
         }
     }
+    // Fleet flight recorders: the fleet monitor's incidents plus every
+    // shard monitor's, tagged with the owning shard.
+    for row in &frows {
+        let mut sources: Vec<(Option<usize>, &sc_serve::HealthReport)> = Vec::new();
+        if let Some(h) = &row.report.health {
+            sources.push((None, h));
+        }
+        for (i, sh) in row.report.shards.iter().enumerate() {
+            if let Some(h) = &sh.health {
+                sources.push((Some(i), h));
+            }
+        }
+        for (shard, h) in sources {
+            for inc in &h.incidents {
+                let path = out_dir.join(format!("incident_{seq}.json"));
+                let shard_json = match shard {
+                    Some(i) => Json::UInt(i as u64),
+                    None => Json::Str("fleet".to_string()),
+                };
+                let json = Json::obj(vec![
+                    ("scenario", Json::Str(row.name.to_string())),
+                    ("shard", shard_json),
+                    ("incident", inc.to_json()),
+                ]);
+                sc_telemetry::export::write_json(&path, &json).expect("write incident snapshot");
+                ctx.record_artifact(&path);
+                seq += 1;
+            }
+        }
+    }
     println!("wrote {seq} incident snapshot(s)");
     ctx.health(health_of("spike-faulted").summary());
 
     let json = Json::obj(vec![
         ("service_ticks", Json::UInt(s)),
         ("scenarios", Json::Arr(rows.iter().map(ScenarioRow::to_json).collect())),
+        ("fleet_scenarios", Json::Arr(frows.iter().map(FleetRow::to_json).collect())),
         ("neural_agreement", agreement),
     ]);
     ctx.results_json(&json).expect("write serve_storm.json");

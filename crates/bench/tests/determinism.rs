@@ -381,6 +381,122 @@ fn health_windows_and_incidents_identical_across_thread_counts() {
     });
 }
 
+/// The fleet contract: rendezvous placement, deterministic failover,
+/// hedged requests, and per-shard health are bitwise identical at every
+/// `SC_THREADS`, clean and with replica-chaos sites armed.
+#[test]
+fn fleet_identical_across_thread_counts() {
+    use sc_health::{HealthConfig, Objective};
+    use sc_serve::{
+        AccelBackend, AccelPayload, Backend, BreakerConfig, DegradePolicy, DegradeTier, Fleet,
+        FleetConfig, HedgePolicy, Request, RetryPolicy, ServerConfig, ShedPolicy,
+    };
+    let n = Precision::new(8).unwrap();
+    let geometry = ConvGeometry { z: 2, in_h: 7, in_w: 7, m: 3, k: 3, stride: 1 };
+    let payload = AccelPayload {
+        input: (0..geometry.z * geometry.in_h * geometry.in_w)
+            .map(|i| ((i as i32 * 31 + 5) % 33) - 16)
+            .collect(),
+        weights: (0..geometry.m * geometry.depth())
+            .map(|i| ((i as i32 * 19 + 9) % 25) - 12)
+            .collect(),
+        geometry,
+    };
+    let backends = || -> Vec<Box<dyn Backend>> {
+        (0..3)
+            .map(|_| {
+                let engine = TileEngine::new(
+                    n,
+                    Tiling { t_m: 2, t_r: 3, t_c: 3 },
+                    AccelArithmetic::ProposedSerial,
+                    4,
+                );
+                Box::new(AccelBackend::new(engine, vec![payload.clone()])) as Box<dyn Backend>
+            })
+            .collect()
+    };
+    let estimate = {
+        let mut probe = backends();
+        probe[0].serve(0, None).expect("estimate probe").cycles
+    };
+    let config = || FleetConfig {
+        server: ServerConfig {
+            queue_capacity: 6,
+            shed_policy: ShedPolicy::ShedByDeadline,
+            retry: RetryPolicy { max_attempts: 3, base: 128, cap: 1024, seed: 0xA7 },
+            breaker: BreakerConfig { failure_threshold: 2, cooldown: 2048 },
+            degrade: DegradePolicy::new(vec![DegradeTier { occupancy: 0.5, effective_bits: 5 }]),
+            failure_ticks: 32,
+            trace_seed: 0x2B,
+            health: HealthConfig::with_objectives(
+                2 * estimate,
+                vec![Objective::goodput("shard-goodput", 0.5).with_spans(2, 4).with_recovery(2)],
+            ),
+        },
+        replicas: 3,
+        placement_seed: 0xF1EE7,
+        hedge: Some(HedgePolicy { numerator: 3, denominator: 2, min_delay: 64 }),
+        estimates: vec![estimate],
+        fleet_health: HealthConfig::with_objectives(
+            2 * estimate,
+            vec![Objective::error_rate("fleet-errors", 0.25).with_spans(2, 4).with_recovery(2)],
+        ),
+        flap_epoch: 2 * estimate,
+        brownout_factor: 4,
+    };
+    // Bursty arrivals: queueing, degradation, hedging, and failover all
+    // participate in the fingerprint.
+    let trace: Vec<Request> = (0..36)
+        .map(|i| Request {
+            id: i,
+            arrival: 100 + (i / 6) * estimate,
+            deadline: 100 + (i / 6) * estimate + 12 * estimate,
+            payload: 0,
+        })
+        .collect();
+    let window = 10 * estimate;
+    // Scoped inside the closure: armed only while THREADS_LOCK is held.
+    let run_with = |spec: &str| {
+        let _s = sc_fault::scoped(sc_fault::FaultPlan::parse(spec).unwrap());
+        let report = Fleet::new(config()).run(&mut backends(), trace.clone());
+        assert_eq!(report.responses.len(), trace.len());
+        for (resp, tree) in report.responses.iter().zip(&report.traces) {
+            tree.validate().expect("span trees must stay well-formed");
+            assert_eq!(
+                resp.attribution.total(),
+                resp.latency + resp.attribution.concurrent_total(),
+                "request {}: attribution must equal latency plus hedge shadows",
+                resp.id
+            );
+        }
+        report.fingerprint()
+    };
+    let mut clean: Option<Vec<u64>> = None;
+    with_threads("fleet unarmed", || {
+        let fp = run_with("");
+        clean.get_or_insert_with(|| fp.clone());
+        fp
+    });
+    let clean = clean.unwrap();
+    with_threads("fleet zero-rate", || {
+        let fp = run_with(
+            "serve.replica.crash:flip@0;serve.replica.brownout:flip@0;\
+             serve.replica.flap:flip@0;seed=8",
+        );
+        assert_eq!(fp, clean, "zero-rate replica chaos must be bitwise identical to unarmed");
+        fp
+    });
+    // Fixed chaos spec + seed: crash, brownout, and flap draws all armed
+    // — the whole fleet report (responses, traces, shard health) must
+    // still be bitwise reproducible across thread counts.
+    with_threads("fleet chaos", || {
+        run_with(&format!(
+            "serve.replica.crash:flip@0.4@0..{window};serve.replica.brownout:flip@0.5;\
+             serve.replica.flap:flip@0.3@0..{window};seed=8"
+        ))
+    });
+}
+
 #[test]
 fn fig5_sweep_identical_across_thread_counts() {
     let n = Precision::new(5).unwrap();

@@ -77,9 +77,14 @@ static OVERRIDE: AtomicU8 = AtomicU8::new(0);
 fn env_engine() -> EngineKind {
     static ENV: OnceLock<EngineKind> = OnceLock::new();
     *ENV.get_or_init(|| match std::env::var("SC_ENGINE") {
+        // A typo'd engine name silently falling back to the default
+        // would swap execution engines without a trace: hard error.
+        Ok(v) if v.trim().is_empty() => EngineKind::Bitplane,
         Ok(v) => EngineKind::parse(&v).unwrap_or_else(|| {
-            eprintln!("sc-core: unknown SC_ENGINE value {v:?}; using bitplane");
-            EngineKind::Bitplane
+            panic!(
+                "invalid SC_ENGINE value {v:?}: expected one of \"cycle\", \"cycle-accurate\", \
+                 \"cycle_accurate\", or \"bitplane\""
+            )
         }),
         Err(_) => EngineKind::Bitplane,
     })

@@ -69,6 +69,14 @@ pub enum Error {
         /// Number of attempts made (initial compute + retries).
         attempts: u32,
     },
+    /// A user-supplied configuration value (serving tuning, degradation
+    /// ladder, SLO objective, fleet shape) failed validation.
+    InvalidConfig {
+        /// The configuration knob that was rejected.
+        what: String,
+        /// Why the value was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -102,6 +110,9 @@ impl fmt::Display for Error {
             }
             Error::RetryExhausted { what, attempts } => {
                 write!(f, "verification of {what} still failing after {attempts} attempts")
+            }
+            Error::InvalidConfig { what, reason } => {
+                write!(f, "invalid configuration for {what}: {reason}")
             }
         }
     }

@@ -67,7 +67,14 @@ fn ensure_env_loaded() {
     if let Ok(spec) = std::env::var("SC_FAULTS") {
         match FaultPlan::parse(&spec) {
             Ok(plan) => set_plan(Some(Arc::new(plan))),
-            Err(e) => eprintln!("warning: ignoring invalid SC_FAULTS spec: {e}"),
+            // A malformed plan silently ignored would run the process
+            // fault-free while the operator believes faults are armed:
+            // hard error, naming the grammar.
+            Err(e) => panic!(
+                "invalid SC_FAULTS spec {spec:?}: {e}; expected \
+                 `<site>:<kind>@<rate>[@<start>..<end>]` entries separated by `;`, with kinds \
+                 flip|stuck0|stuck1|starve and an optional trailing `seed=<n>`"
+            ),
         }
     }
 }
@@ -191,6 +198,33 @@ impl FaultSite {
     pub fn transient(&self, instance: u64, index: u64) -> Option<u64> {
         if let Some((start, end)) = self.window {
             if index < start || index >= end {
+                return None;
+            }
+        }
+        let r = split_mix(
+            self.key
+                ^ instance.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ index.wrapping_mul(0xD1B5_4A32_D192_ED03),
+        );
+        let u = (r >> 11) as f64 / (1u64 << 53) as f64;
+        if u >= self.rate {
+            return None;
+        }
+        self.record(instance, index);
+        Some(split_mix(r))
+    }
+
+    /// Draws a *phased* fault: the draw is a pure function of
+    /// `(instance, index)` — like [`FaultSite::transient`] — but the
+    /// spec's `@start..end` window gates on `at` (a virtual-clock tick)
+    /// instead of on the draw index. This is the replica-chaos shape:
+    /// "replica `instance` is down during `[start, end)`" draws once per
+    /// `(replica, epoch)` yet switches on and off with simulated time,
+    /// so a crashed replica recovers cleanly when the window closes.
+    #[inline]
+    pub fn phased(&self, instance: u64, index: u64, at: u64) -> Option<u64> {
+        if let Some((start, end)) = self.window {
+            if at < start || at >= end {
                 return None;
             }
         }
@@ -338,6 +372,31 @@ mod tests {
         assert!(s.transient(0, 100).is_some());
         assert!(s.transient(0, 199).is_some());
         assert!(s.transient(0, 200).is_none());
+    }
+
+    #[test]
+    fn phased_draw_windows_on_the_clock_not_the_index() {
+        // scoped() serializes installs: the first guard must drop
+        // before the second plan installs.
+        {
+            let _guard = scoped(FaultPlan::parse("replica:flip@1.0@100..200;seed=5").unwrap());
+            let s = site("replica").unwrap();
+            // The window gates on `at`: the same (instance, index) draw
+            // is dormant before the window, firing inside it, and
+            // recovers cleanly after it closes.
+            assert!(s.phased(3, 0, 99).is_none());
+            assert!(s.phased(3, 0, 100).is_some());
+            assert!(s.phased(3, 0, 199).is_some());
+            assert!(s.phased(3, 0, 200).is_none());
+            // Inside the window the draw is pure in (instance, index).
+            assert_eq!(s.phased(3, 0, 150), s.phased(3, 0, 180));
+        }
+        let _guard = scoped(FaultPlan::parse("replica:flip@0.5@0..1000;seed=5").unwrap());
+        let s = site("replica").unwrap();
+        let fired: Vec<bool> = (0..64).map(|r| s.phased(r, 0, 500).is_some()).collect();
+        let again: Vec<bool> = (0..64).map(|r| s.phased(r, 0, 900).is_some()).collect();
+        assert_eq!(fired, again, "the per-instance draw is stable across the window");
+        assert!(fired.iter().any(|&b| b) && !fired.iter().all(|&b| b));
     }
 
     #[test]

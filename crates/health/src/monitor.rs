@@ -166,6 +166,30 @@ impl HealthMonitor {
     ///
     /// Panics on a malformed objective (see [`Objective::validate`]).
     pub fn new(cfg: HealthConfig, max_tier: usize) -> Option<HealthMonitor> {
+        HealthMonitor::try_new(cfg, max_tier).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`HealthMonitor::new`], for user-supplied SLO
+    /// configs: `Ok(None)` when `cfg` disables monitoring.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed objective's validation error instead
+    /// of panicking.
+    pub fn try_new(
+        cfg: HealthConfig,
+        max_tier: usize,
+    ) -> Result<Option<HealthMonitor>, sc_core::Error> {
+        if !cfg.enabled() {
+            return Ok(None);
+        }
+        for o in &cfg.objectives {
+            o.validated()?;
+        }
+        Ok(Self::build(cfg, max_tier))
+    }
+
+    fn build(cfg: HealthConfig, max_tier: usize) -> Option<HealthMonitor> {
         if !cfg.enabled() {
             return None;
         }

@@ -157,22 +157,44 @@ impl Objective {
         self
     }
 
-    /// Panics unless the objective is well-formed (positive budget,
-    /// `1 ≤ fast ≤ slow`, positive threshold and recovery streak).
+    /// Panics unless the objective is well-formed — the asserting form
+    /// of [`Objective::validated`], for statically-known objectives.
     pub fn validate(&self) {
-        assert!(self.kind.budget() > 0.0, "objective {:?} has a zero error budget", self.name);
-        assert!(self.fast_windows >= 1, "objective {:?}: fast span must be >= 1", self.name);
-        assert!(
-            self.fast_windows <= self.slow_windows,
-            "objective {:?}: fast span wider than slow span",
-            self.name
-        );
-        assert!(self.burn_threshold > 0.0, "objective {:?}: non-positive threshold", self.name);
-        assert!(
-            self.recover_windows >= 1,
-            "objective {:?}: recovery streak must be >= 1",
-            self.name
-        );
+        if let Err(e) = self.validated() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks that the objective is well-formed: positive budget,
+    /// `1 ≤ fast ≤ slow`, positive threshold and recovery streak.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sc_core::Error::InvalidConfig`] naming the objective
+    /// and the violated rule, so user-supplied SLO configs surface as
+    /// errors instead of panics.
+    pub fn validated(&self) -> Result<(), sc_core::Error> {
+        let invalid = |reason: String| sc_core::Error::InvalidConfig {
+            what: format!("SLO objective {:?}", self.name),
+            reason,
+        };
+        let budget = self.kind.budget();
+        if budget.is_nan() || budget <= 0.0 {
+            return Err(invalid("zero error budget".to_string()));
+        }
+        if self.fast_windows < 1 {
+            return Err(invalid("fast span must be >= 1".to_string()));
+        }
+        if self.fast_windows > self.slow_windows {
+            return Err(invalid("fast span wider than slow span".to_string()));
+        }
+        if self.burn_threshold.is_nan() || self.burn_threshold <= 0.0 {
+            return Err(invalid("non-positive threshold".to_string()));
+        }
+        if self.recover_windows < 1 {
+            return Err(invalid("recovery streak must be >= 1".to_string()));
+        }
+        Ok(())
     }
 }
 

@@ -109,6 +109,19 @@ impl CircuitBreaker {
         }
     }
 
+    /// Whether a dispatch at `now` *would* be admitted, without moving
+    /// the FSM or recording telemetry — the placement-liveness probe:
+    /// the fleet ranks replicas by asking each breaker this question,
+    /// and only the replica actually dispatched to pays the
+    /// state-mutating [`CircuitBreaker::admits`] call.
+    pub fn would_admit(&self, now: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => now >= self.open_until,
+            BreakerState::HalfOpen => !self.probing,
+        }
+    }
+
     /// Whether a dispatch at `now` may reach the backend. Open → false
     /// (fail fast; counted as a rejection) until the cooldown elapses,
     /// at which point the breaker half-opens and admits one probe;

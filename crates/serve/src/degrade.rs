@@ -39,25 +39,42 @@ impl DegradePolicy {
     ///
     /// # Panics
     ///
-    /// Panics if a threshold is outside `(0, 1]` or if effective bits do
-    /// not strictly decrease as occupancy rises (a deeper queue must
-    /// never *raise* quality — that would invert the dial).
-    pub fn new(mut tiers: Vec<DegradeTier>) -> Self {
+    /// Panics if [`DegradePolicy::try_new`] rejects the ladder.
+    pub fn new(tiers: Vec<DegradeTier>) -> Self {
+        DegradePolicy::try_new(tiers).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`DegradePolicy::new`], for user-supplied
+    /// ladders.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite thresholds, thresholds outside `(0, 1]`, and
+    /// effective bits that do not strictly decrease as occupancy rises
+    /// (a deeper queue must never *raise* quality — that would invert
+    /// the dial).
+    pub fn try_new(mut tiers: Vec<DegradeTier>) -> Result<Self, sc_core::Error> {
+        let invalid = |reason: String| sc_core::Error::InvalidConfig {
+            what: "degradation ladder".to_string(),
+            reason,
+        };
+        if tiers.iter().any(|t| !t.occupancy.is_finite()) {
+            return Err(invalid("occupancy thresholds must be finite".to_string()));
+        }
         tiers.sort_by(|a, b| a.occupancy.partial_cmp(&b.occupancy).expect("finite thresholds"));
         for pair in tiers.windows(2) {
-            assert!(
-                pair[1].effective_bits < pair[0].effective_bits,
-                "effective bits must strictly decrease with occupancy"
-            );
+            if pair[1].effective_bits >= pair[0].effective_bits {
+                return Err(invalid(
+                    "effective bits must strictly decrease with occupancy".to_string(),
+                ));
+            }
         }
         for t in &tiers {
-            assert!(
-                t.occupancy > 0.0 && t.occupancy <= 1.0,
-                "threshold {} not in (0, 1]",
-                t.occupancy
-            );
+            if !(t.occupancy > 0.0 && t.occupancy <= 1.0) {
+                return Err(invalid(format!("threshold {} not in (0, 1]", t.occupancy)));
+            }
         }
-        DegradePolicy { tiers }
+        Ok(DegradePolicy { tiers })
     }
 
     /// Number of tiers including the full-precision tier 0.

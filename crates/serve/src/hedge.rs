@@ -1,0 +1,90 @@
+//! Deterministic hedged-request policy.
+//!
+//! A hedged request is the classic tail-latency defence: if the primary
+//! attempt has not completed after a delay, launch a second attempt on
+//! another replica and let the first completion win. On a wall clock the
+//! hedge timer is a race; here the delay is a pure function of the
+//! request's *weight-aware cycle estimate* — the full-precision service
+//! cycles the fleet expects the payload to cost — so the hedge fires at
+//! the same virtual tick in every run. A request still in flight at
+//! `dispatch + delay(estimate)` is presumed slow (queue pressure,
+//! brownout, or an undetected failure) and worth duplicating.
+//!
+//! The losing side's cycles are not free: the fleet bills them to the
+//! concurrent [`sc_telemetry::CycleCategory::HedgeWasted`] bucket, so
+//! the cost of the tail defence is visible in every span tree.
+
+/// When to launch a hedge, as a rational multiple of the payload's cycle
+/// estimate with an absolute floor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HedgePolicy {
+    /// Numerator of the estimate multiplier.
+    pub numerator: u64,
+    /// Denominator of the estimate multiplier.
+    pub denominator: u64,
+    /// Minimum hedge delay in ticks (also the floor when the estimate
+    /// is tiny or missing).
+    pub min_delay: u64,
+}
+
+impl Default for HedgePolicy {
+    /// Hedge after 1.5× the estimated service time, but never sooner
+    /// than 64 ticks.
+    fn default() -> Self {
+        HedgePolicy { numerator: 3, denominator: 2, min_delay: 64 }
+    }
+}
+
+impl HedgePolicy {
+    /// Ticks after dispatch at which the hedge launches for a payload
+    /// whose full-precision service estimate is `estimate` cycles.
+    /// Always at least 1: a zero-delay hedge would duplicate every
+    /// request unconditionally.
+    pub fn delay(&self, estimate: u64) -> u64 {
+        let scaled = estimate.saturating_mul(self.numerator) / self.denominator.max(1);
+        scaled.max(self.min_delay).max(1)
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero denominator.
+    pub fn validated(&self) -> Result<(), sc_core::Error> {
+        if self.denominator == 0 {
+            return Err(sc_core::Error::InvalidConfig {
+                what: "hedge policy".to_string(),
+                reason: "delay denominator must be positive".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_scales_with_the_estimate_above_the_floor() {
+        let h = HedgePolicy { numerator: 3, denominator: 2, min_delay: 100 };
+        assert_eq!(h.delay(0), 100, "floor applies to tiny estimates");
+        assert_eq!(h.delay(60), 100, "90 < floor");
+        assert_eq!(h.delay(1_000), 1_500);
+        assert_eq!(h.delay(2_001), 3_001, "integer scaling, no rounding drift");
+    }
+
+    #[test]
+    fn delay_is_never_zero() {
+        let h = HedgePolicy { numerator: 1, denominator: 4, min_delay: 0 };
+        assert_eq!(h.delay(0), 1);
+        assert_eq!(h.delay(2), 1, "scaled 0 clamps to 1");
+    }
+
+    #[test]
+    fn zero_denominator_is_rejected() {
+        let h = HedgePolicy { numerator: 1, denominator: 0, min_delay: 1 };
+        let e = h.validated().unwrap_err();
+        assert!(e.to_string().contains("denominator"), "{e}");
+    }
+}

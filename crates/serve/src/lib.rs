@@ -69,6 +69,9 @@ pub mod backend;
 pub mod breaker;
 pub mod clock;
 pub mod degrade;
+pub mod fleet;
+pub mod hedge;
+pub mod placement;
 pub mod queue;
 pub mod report;
 pub mod retry;
@@ -78,6 +81,9 @@ pub use backend::{AccelBackend, AccelPayload, NeuralBackend};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use clock::VirtualClock;
 pub use degrade::{DegradePolicy, DegradeTier};
+pub use fleet::{Fleet, FleetConfig, FleetReport, ResponseMeta, ShardReport};
+pub use hedge::HedgePolicy;
+pub use placement::Placement;
 pub use queue::{AdmissionQueue, ShedPolicy};
 pub use report::{Outcome, Response, ServeReport};
 pub use retry::RetryPolicy;
@@ -90,4 +96,20 @@ pub mod sites {
     /// each dispatch draws per `(request id, attempt)` and a firing draw
     /// fails the call before it reaches the backend.
     pub const BACKEND: &str = "serve.backend";
+
+    /// Fleet replica crash: the draw is keyed on the replica index
+    /// alone, so a firing replica is down for the entire armed window
+    /// (`@start..end` gates on the virtual clock). Dispatches against it
+    /// fail after the configured detection latency.
+    pub const REPLICA_CRASH: &str = "serve.replica.crash";
+
+    /// Fleet replica brownout: while firing for a replica, successful
+    /// service on it costs [`crate::FleetConfig::brownout_factor`]×
+    /// the cycles — slow, not dead.
+    pub const REPLICA_BROWNOUT: &str = "serve.replica.brownout";
+
+    /// Fleet replica flap: the up/down draw is re-keyed every
+    /// [`crate::FleetConfig::flap_epoch`] ticks, so a replica bounces
+    /// between healthy and dead across epochs inside the armed window.
+    pub const REPLICA_FLAP: &str = "serve.replica.flap";
 }

@@ -73,8 +73,24 @@ impl AdmissionQueue {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize, policy: ShedPolicy) -> Self {
-        assert!(capacity > 0, "queue capacity must be positive");
-        AdmissionQueue { capacity, policy, entries: Vec::with_capacity(capacity) }
+        AdmissionQueue::try_new(capacity, policy).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`AdmissionQueue::new`], for user-supplied
+    /// capacities.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero capacity (a queue that can hold nothing would shed
+    /// every arrival).
+    pub fn try_new(capacity: usize, policy: ShedPolicy) -> Result<Self, sc_core::Error> {
+        if capacity == 0 {
+            return Err(sc_core::Error::InvalidConfig {
+                what: "admission queue".to_string(),
+                reason: "capacity must be positive".to_string(),
+            });
+        }
+        Ok(AdmissionQueue { capacity, policy, entries: Vec::with_capacity(capacity) })
     }
 
     /// Waiting entries.
@@ -175,6 +191,13 @@ impl AdmissionQueue {
     /// which [`Self::drop_expired`] would remove someone.
     pub fn next_deadline_at(&self) -> Option<u64> {
         self.entries.iter().map(|q| q.req.deadline).min()
+    }
+
+    /// Iterates the waiting entries in storage order (arbitrary but
+    /// deterministic). Used by fleet placement to price a replica's
+    /// outstanding queued work in estimated cycles.
+    pub fn iter(&self) -> impl Iterator<Item = &Queued> {
+        self.entries.iter()
     }
 
     fn min_index<K: Ord>(&self, key: impl Fn(&Queued) -> K) -> Option<usize> {

@@ -133,6 +133,22 @@ pub struct Response {
     pub attribution: CycleAttribution,
 }
 
+/// Nearest-rank percentile over completed responses' latencies, shared
+/// by the single-server and fleet reports.
+pub(crate) fn latency_percentile_of(responses: &[Response], p: f64) -> u64 {
+    let mut lat: Vec<u64> = responses
+        .iter()
+        .filter(|r| matches!(r.outcome, Outcome::Completed { .. }))
+        .map(|r| r.latency)
+        .collect();
+    if lat.is_empty() {
+        return 0;
+    }
+    lat.sort_unstable();
+    let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
+    lat[rank.clamp(1, lat.len()) - 1]
+}
+
 /// Aggregated result of one [`crate::Server::run`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
@@ -179,18 +195,7 @@ impl ServeReport {
     /// The `p`-th percentile (0 < p ≤ 100, nearest-rank) of completed
     /// requests' virtual latencies; 0 when nothing completed.
     pub fn latency_percentile(&self, p: f64) -> u64 {
-        let mut lat: Vec<u64> = self
-            .responses
-            .iter()
-            .filter(|r| matches!(r.outcome, Outcome::Completed { .. }))
-            .map(|r| r.latency)
-            .collect();
-        if lat.is_empty() {
-            return 0;
-        }
-        lat.sort_unstable();
-        let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
-        lat[rank.clamp(1, lat.len()) - 1]
+        latency_percentile_of(&self.responses, p)
     }
 
     /// Flattens the whole report — aggregates and every response — into

@@ -110,24 +110,24 @@ impl Default for ServerConfig {
     }
 }
 
-struct ServeMetrics {
-    admitted: Counter,
-    shed: Counter,
-    timeout: Counter,
-    retry: Counter,
-    completed: Counter,
-    degraded: Counter,
-    failed: Counter,
-    breaker_final: Counter,
-    latency: Arc<Histogram>,
-    health_windows: Counter,
-    health_breach: Counter,
-    health_recover: Counter,
-    health_incident: Counter,
-    health_floor_raise: Counter,
+pub(crate) struct ServeMetrics {
+    pub(crate) admitted: Counter,
+    pub(crate) shed: Counter,
+    pub(crate) timeout: Counter,
+    pub(crate) retry: Counter,
+    pub(crate) completed: Counter,
+    pub(crate) degraded: Counter,
+    pub(crate) failed: Counter,
+    pub(crate) breaker_final: Counter,
+    pub(crate) latency: Arc<Histogram>,
+    pub(crate) health_windows: Counter,
+    pub(crate) health_breach: Counter,
+    pub(crate) health_recover: Counter,
+    pub(crate) health_incident: Counter,
+    pub(crate) health_floor_raise: Counter,
 }
 
-fn metrics() -> &'static ServeMetrics {
+pub(crate) fn metrics() -> &'static ServeMetrics {
     static M: OnceLock<ServeMetrics> = OnceLock::new();
     M.get_or_init(|| ServeMetrics {
         admitted: counter("serve.admitted"),
@@ -165,7 +165,7 @@ struct Inflight {
 /// Closes the open wait interval `[marker, now)` on `entry` as a
 /// [`Segment::Wait`], split at the backoff-gate expiry: the portion
 /// before `not_before` was backoff, the rest dispatchable queue wait.
-fn settle_wait(entry: &mut Queued, now: u64) {
+pub(crate) fn settle_wait(entry: &mut Queued, now: u64) {
     let start = entry.acct.marker;
     if now <= start {
         return;
@@ -179,7 +179,7 @@ fn settle_wait(entry: &mut Queued, now: u64) {
 /// span tree. Segments are contiguous on the virtual clock by
 /// construction, so the tree satisfies [`SpanTree::validate`]'s tiling
 /// invariant and its attribution sums exactly to the request's latency.
-fn build_trace(trace_seed: u64, entry: &Queued, now: u64) -> SpanTree {
+pub(crate) fn build_trace(trace_seed: u64, entry: &Queued, now: u64) -> SpanTree {
     let trace = TraceId::derive(trace_seed, entry.req.id);
     let mut tree = SpanTree::new(
         trace,
@@ -281,17 +281,37 @@ impl Server {
     ///
     /// # Panics
     ///
-    /// Panics if a request names a payload the backend does not have.
-    pub fn run(&self, backend: &mut dyn Backend, mut requests: Vec<Request>) -> ServeReport {
+    /// Panics if a request names a payload the backend does not have
+    /// (use [`Server::try_run`] to get an error instead).
+    pub fn run(&self, backend: &mut dyn Backend, requests: Vec<Request>) -> ServeReport {
+        self.try_run(backend, requests).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Server::run`], for externally-supplied
+    /// workloads.
+    ///
+    /// # Errors
+    ///
+    /// Rejects the workload if a request names a payload index the
+    /// backend does not have.
+    pub fn try_run(
+        &self,
+        backend: &mut dyn Backend,
+        mut requests: Vec<Request>,
+    ) -> Result<ServeReport, sc_core::Error> {
         let m = metrics();
         for r in &requests {
-            assert!(
-                r.payload < backend.payloads(),
-                "request {} names payload {} but the backend has {}",
-                r.id,
-                r.payload,
-                backend.payloads()
-            );
+            if r.payload >= backend.payloads() {
+                return Err(sc_core::Error::InvalidConfig {
+                    what: "serve workload".to_string(),
+                    reason: format!(
+                        "request {} names payload {} but the backend has {}",
+                        r.id,
+                        r.payload,
+                        backend.payloads()
+                    ),
+                });
+            }
         }
         requests.sort_by_key(|r| (r.arrival, r.id));
 
@@ -598,7 +618,7 @@ impl Server {
             report
         });
 
-        ServeReport {
+        Ok(ServeReport {
             responses,
             completed_by_tier,
             shed,
@@ -611,7 +631,7 @@ impl Server {
             horizon: clock.now(),
             traces,
             health,
-        }
+        })
     }
 }
 

@@ -347,6 +347,27 @@ impl RunManifest {
     }
 }
 
+/// Parses an `SC_THREADS` value: `None` (unset/blank) means "use the
+/// host's parallelism"; otherwise the value must be a positive integer.
+///
+/// # Errors
+///
+/// Returns a message naming the accepted form on anything else.
+pub fn parse_par_threads(value: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = value else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        _ => Err(format!(
+            "invalid SC_THREADS value {raw:?}: expected a positive integer (e.g. SC_THREADS=4) \
+             or unset for the host's available parallelism"
+        )),
+    }
+}
+
 /// The `SC_THREADS` contract: the worker-thread count `sc-par` pools
 /// default to, and the value recorded as [`RunManifest::par_threads`] —
 /// `SC_THREADS` when set to a positive integer, otherwise the host's
@@ -355,12 +376,19 @@ impl RunManifest {
 /// This lives here rather than in `sc-par` because the manifest writer
 /// must not depend on the pool; `sc-par` calls this function so the two
 /// always agree.
+///
+/// # Panics
+///
+/// Panics when `SC_THREADS` is set to anything other than a positive
+/// integer — a malformed thread count silently falling back to the
+/// host's parallelism would change results without a trace.
 pub fn default_par_threads() -> usize {
-    std::env::var("SC_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    let env = std::env::var("SC_THREADS").ok();
+    match parse_par_threads(env.as_deref()) {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// `git describe --always --dirty`, or `"unknown"` when git or the
@@ -562,5 +590,24 @@ mod tests {
     #[test]
     fn default_par_threads_is_positive() {
         assert!(default_par_threads() >= 1);
+    }
+
+    #[test]
+    fn par_threads_parses_positive_integers_and_blanks() {
+        assert_eq!(parse_par_threads(None), Ok(None));
+        assert_eq!(parse_par_threads(Some("")), Ok(None));
+        assert_eq!(parse_par_threads(Some("   ")), Ok(None));
+        assert_eq!(parse_par_threads(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_par_threads(Some(" 7 ")), Ok(Some(7)));
+    }
+
+    #[test]
+    fn par_threads_rejects_malformed_values_naming_the_accepted_form() {
+        for bad in ["0", "-2", "four", "4.5", "4 threads"] {
+            let err = parse_par_threads(Some(bad)).unwrap_err();
+            assert!(err.contains("invalid SC_THREADS value"), "{err}");
+            assert!(err.contains("positive integer"), "{err}");
+            assert!(err.contains(bad), "{err}");
+        }
     }
 }

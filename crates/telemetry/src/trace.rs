@@ -108,11 +108,17 @@ pub enum CycleCategory {
     /// the scrub rides the SRAM read port — but kept in the taxonomy so
     /// the accounting is explicit about it.
     ParityScrub,
+    /// Replica cycles burned on the losing side of a hedged request (or
+    /// on a superseded attempt's overlap with its adopter). Concurrent
+    /// with the foreground timeline: these spans sit *beside* the
+    /// critical path, so a request's attribution sums to
+    /// `latency + hedge_wasted`.
+    HedgeWasted,
 }
 
 impl CycleCategory {
     /// Every category, in stable `code()` order.
-    pub const ALL: [CycleCategory; 12] = [
+    pub const ALL: [CycleCategory; 13] = [
         CycleCategory::Request,
         CycleCategory::QueueWait,
         CycleCategory::BackoffWait,
@@ -125,6 +131,7 @@ impl CycleCategory {
         CycleCategory::DmrVerify,
         CycleCategory::EdtRecompute,
         CycleCategory::ParityScrub,
+        CycleCategory::HedgeWasted,
     ];
 
     /// Stable small code (the index in [`CycleCategory::ALL`]).
@@ -148,6 +155,7 @@ impl CycleCategory {
             CycleCategory::DmrVerify => "dmr_verify",
             CycleCategory::EdtRecompute => "edt_recompute",
             CycleCategory::ParityScrub => "parity_scrub",
+            CycleCategory::HedgeWasted => "hedge_wasted",
         }
     }
 
@@ -161,6 +169,15 @@ impl CycleCategory {
                 | CycleCategory::Layer
                 | CycleCategory::Tile
         )
+    }
+
+    /// Whether spans of this category run *concurrently* with the
+    /// foreground timeline (a hedge racing the primary attempt). A
+    /// concurrent child is exempt from the contiguous-tiling check —
+    /// it only has to lie within its parent's bounds — and its cycles
+    /// land *on top of* the foreground attribution.
+    pub fn is_concurrent(self) -> bool {
+        matches!(self, CycleCategory::HedgeWasted)
     }
 }
 
@@ -189,6 +206,13 @@ impl CycleAttribution {
     /// Total attributed cycles across every bucket.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
+    }
+
+    /// Cycles in concurrent buckets ([`CycleCategory::is_concurrent`])
+    /// — the shadow work beside the critical path. For a well-formed
+    /// request trace, `total() == latency + concurrent_total()`.
+    pub fn concurrent_total(&self) -> u64 {
+        CycleCategory::ALL.iter().filter(|c| c.is_concurrent()).map(|&c| self.get(c)).sum()
     }
 
     /// Folds another attribution into this one.
@@ -323,10 +347,15 @@ impl SpanTree {
 
     /// Checks the structural invariant: span ids unique, exactly one
     /// root, every span well-ordered (`start ≤ end`), and every parent
-    /// tiled *exactly* by its children — chronological, gap-free,
-    /// ending where the parent ends. A valid tree's leaves partition the
-    /// root, which is what makes [`SpanTree::attribution`] sum to
-    /// [`SpanTree::total_cycles`] with nothing lost or double-counted.
+    /// tiled *exactly* by its non-concurrent children — chronological,
+    /// gap-free, ending where the parent ends. Concurrent children
+    /// ([`CycleCategory::is_concurrent`], e.g. the losing side of a
+    /// hedged request) are exempt from the tiling: they only have to lie
+    /// within the parent's bounds. A valid tree's foreground leaves
+    /// therefore partition the root, which is what makes
+    /// [`SpanTree::attribution`] sum to
+    /// `total_cycles + concurrent leaf cycles` with nothing lost or
+    /// double-counted.
     ///
     /// # Errors
     ///
@@ -352,8 +381,21 @@ impl SpanTree {
             if kids.is_empty() {
                 continue;
             }
+            for k in kids.iter().filter(|k| k.category.is_concurrent()) {
+                if k.start < parent.start || k.end > parent.end {
+                    return Err(format!(
+                        "concurrent child {} of {} ([{}, {})) overhangs the parent ([{}, {}))",
+                        k.name, parent.name, k.start, k.end, parent.start, parent.end
+                    ));
+                }
+            }
+            let foreground: Vec<&&CycleSpan> =
+                kids.iter().filter(|k| !k.category.is_concurrent()).collect();
+            if foreground.is_empty() {
+                continue;
+            }
             let mut cursor = parent.start;
-            for k in &kids {
+            for k in &foreground {
                 if k.start != cursor {
                     return Err(format!(
                         "child {} of {} starts at {} (expected {cursor}): children must tile \
@@ -533,6 +575,31 @@ mod tests {
         let root = short.root().id;
         short.add(root, "a", CycleCategory::QueueWait, 0, 90);
         assert!(short.validate().is_err(), "children ending early must fail");
+    }
+
+    #[test]
+    fn concurrent_spans_are_exempt_from_tiling_but_bounded() {
+        let trace = TraceId::derive(0, 9);
+        let mut tree = SpanTree::new(trace, "r", CycleCategory::Request, 0, 100);
+        let root = tree.root().id;
+        tree.add(root, "wait", CycleCategory::QueueWait, 0, 40);
+        let svc = tree.add(root, "service", CycleCategory::Service, 40, 100);
+        tree.add(svc, "mac stream", CycleCategory::MacStream, 40, 100);
+        // A hedge loser overlapping the foreground timeline: valid as
+        // long as it stays inside the parent.
+        tree.add(root, "hedge loser", CycleCategory::HedgeWasted, 55, 100);
+        tree.validate().expect("concurrent child inside the parent is valid");
+        let attr = tree.attribution();
+        assert_eq!(attr.get(CycleCategory::HedgeWasted), 45);
+        assert_eq!(attr.concurrent_total(), 45);
+        assert_eq!(attr.total(), tree.total_cycles() + attr.concurrent_total());
+
+        // But it must not overhang the parent.
+        let mut bad = SpanTree::new(trace, "r", CycleCategory::Request, 0, 100);
+        let root = bad.root().id;
+        bad.add(root, "wait", CycleCategory::QueueWait, 0, 100);
+        bad.add(root, "hedge loser", CycleCategory::HedgeWasted, 90, 130);
+        assert!(bad.validate().is_err(), "overhanging concurrent child must fail");
     }
 
     #[test]

@@ -209,6 +209,36 @@ for needle in ("# TYPE", "sc_health_verdict", "sc_health_breaches"):
 print(f"    {len(proms)} prometheus dump(s) written")
 EOF
 
+echo "==> chaos gate: minority-kill stays green, majority-kill breaches with shard snapshots"
+# The fleet storms are self-asserting inside serve_storm; this gate
+# re-checks the contract from the emitted artifacts so a regression in
+# the JSON export (not just the in-process asserts) also fails CI. The
+# clean regen above produced results/serve_storm.json and the
+# incident_*.json flight-recorder files.
+python3 - <<'EOF'
+import glob, json
+r = json.load(open("results/serve_storm.json"))
+fleet = {s["scenario"]: s for s in r["fleet_scenarios"]}
+mk = fleet["fleet-minority-kill"]
+assert mk["fleet_health"]["verdict"] == "green", \
+    f"minority-kill fleet verdict is {mk['fleet_health']['verdict']!r}, not green"
+assert mk["fleet_health"]["breaches"] == 0, "minority-kill must not breach the fleet SLO"
+assert mk["failovers"] >= 1, "minority-kill recorded no failovers"
+assert mk["hedges_launched"] >= 1, "minority-kill launched no hedged requests"
+mj = fleet["fleet-majority-kill"]
+assert mj["fleet_health"]["breaches"] >= 1, "majority-kill must breach the strict fleet SLO"
+assert mj["fleet_health"]["recoveries"] >= 1, "majority-kill must recover after the window"
+assert mj["degraded"] >= 1, "majority-kill must serve degraded through the EDT ladder"
+snaps = [json.load(open(p)) for p in sorted(glob.glob("results/incident_*.json"))]
+shard_snaps = [s for s in snaps if s.get("scenario") == "fleet-majority-kill" and "shard" in s]
+assert shard_snaps, "majority-kill froze no per-shard incident snapshots"
+assert any(isinstance(s["shard"], int) for s in shard_snaps), \
+    "no majority-kill incident snapshot is tagged with a replica index"
+print(f"    minority-kill green ({mk['failovers']} failover(s), {mk['hedges_launched']} hedge(s)); "
+      f"majority-kill {mj['fleet_health']['breaches']} breach(es), "
+      f"{len(shard_snaps)} shard snapshot(s)")
+EOF
+
 echo "==> report gate: a perturbed baseline must fail the gate"
 PERTURBED="$(mktemp -d)"
 cp results/baseline/*.manifest.json "$PERTURBED"/
