@@ -21,10 +21,20 @@
 //! degradation tier, and full-tier neural serving agreeing exactly with
 //! full-precision inference — and that every response's span tree
 //! validates with its cycle attribution summing exactly to latency,
-//! covering ≥95% of total request cycles. Emits
-//! `results/serve_storm.json`, a Perfetto-loadable
-//! `results/serve_storm.trace.json` (one process per scenario), plus
-//! the usual manifest; `--quick` shrinks the traces.
+//! covering ≥95% of total request cycles.
+//!
+//! The fleet section adds the sharded storms (scale-out, minority and
+//! majority kills, flap) and the **recovery storms**: a rolling restart
+//! walking every replica through backoff → probation → rejoin under
+//! live traffic, a crash-restart loop whose blocked restarts re-enter
+//! backoff until the crash window closes (stranded work replayed, fleet
+//! SLO green), and a restart-fail storm where the
+//! `serve.replica.restart_fail` site deterministically blocks the first
+//! restart attempts. Emits `results/serve_storm.json`, a
+//! Perfetto-loadable `results/serve_storm.trace.json` (one process per
+//! scenario), frozen incident snapshots under `results/incidents/`
+//! (scenario-derived names plus an `index.json` manifest), plus the
+//! usual manifest; `--quick` shrinks the traces.
 
 use sc_accel::{AccelArithmetic, ConvGeometry, TileEngine, Tiling};
 use sc_bench::cli;
@@ -36,8 +46,8 @@ use sc_neural::net::Network;
 use sc_neural::tensor::Tensor;
 use sc_serve::{
     AccelBackend, AccelPayload, Backend, BreakerConfig, DegradePolicy, DegradeTier, Fleet,
-    FleetConfig, HedgePolicy, NeuralBackend, Outcome, Request, RetryPolicy, Server, ServerConfig,
-    ShedPolicy,
+    FleetConfig, HedgePolicy, NeuralBackend, Outcome, PlannedRestart, RecoveryPolicy, Request,
+    RetryPolicy, Server, ServerConfig, ShedPolicy,
 };
 use sc_telemetry::json::Json;
 use sc_telemetry::metrics::{histogram, log2_bounds};
@@ -325,6 +335,7 @@ fn fleet_config(s: u64, estimates: &[u64], fleet_slos: Vec<Objective>) -> FleetC
         fleet_health: HealthConfig::with_objectives(2 * s, fleet_slos),
         flap_epoch: 4 * s,
         brownout_factor: 4,
+        recovery: None,
     }
 }
 
@@ -415,6 +426,8 @@ impl FleetRow {
                     ("breaker_trips", Json::UInt(sh.breaker_trips)),
                     ("breaker_state", Json::Str(sh.breaker_state.clone())),
                     ("max_queue_depth", Json::UInt(sh.max_queue_depth as u64)),
+                    ("lifecycle", Json::Str(sh.lifecycle.clone())),
+                    ("rejoins", Json::UInt(sh.rejoins)),
                 ];
                 if let Some(h) = &sh.health {
                     pairs.push(("health", health_json(h)));
@@ -444,6 +457,20 @@ impl FleetRow {
             ("hedges_failed", Json::UInt(r.hedges_failed)),
             ("hedges_skipped", Json::UInt(r.hedges_skipped)),
             ("hedge_wasted_cycles", Json::UInt(r.hedge_wasted_cycles)),
+            (
+                "recovery",
+                Json::obj(vec![
+                    ("downs", Json::UInt(r.recovery.downs)),
+                    ("restarts_attempted", Json::UInt(r.recovery.restarts_attempted)),
+                    ("restarts_failed", Json::UInt(r.recovery.restarts_failed)),
+                    ("rejoins", Json::UInt(r.recovery.rejoins)),
+                    ("promotions", Json::UInt(r.recovery.promotions)),
+                    ("probation_retries", Json::UInt(r.recovery.probation_retries)),
+                    ("replayed_inflight", Json::UInt(r.recovery.replayed_inflight)),
+                    ("replayed_queued", Json::UInt(r.recovery.replayed_queued)),
+                    ("replay_cycles", Json::UInt(r.recovery.replay_cycles)),
+                ]),
+            ),
             ("max_queue_depth", Json::UInt(r.max_queue_depth as u64)),
             ("p50_ticks", Json::UInt(r.latency_percentile(50.0))),
             ("p99_ticks", Json::UInt(r.latency_percentile(99.0))),
@@ -477,8 +504,10 @@ fn print_fleet_row(row: &FleetRow) {
 
 /// The sharded-fleet storms: clean scale-out, minority kill (fleet SLO
 /// green through failover + hedging), majority kill (degradation,
-/// per-shard incidents, clean recovery), and a flap storm — all on the
-/// same arrival trace, all deterministic.
+/// per-shard incidents, clean recovery), a flap storm, and the three
+/// recovery storms (rolling restart, crash-restart loop, restart-fail
+/// backoff re-entry) — all on the same arrival traces, all
+/// deterministic.
 fn fleet_storms(
     ctx: &mut sc_telemetry::BenchCtx,
     s: u64,
@@ -620,6 +649,163 @@ fn fleet_storms(
     assert_eq!(row.report.responses.len(), steady.len(), "every request finalized exactly once");
     assert!(row.report.failovers >= 1, "flapping replicas must force failovers");
 
+    // Recovery policy tuned to the storm's virtual time scale: backoff
+    // from s/4 to 2s, a two-stage probation ladder (5/16 then 11/16 of
+    // score buckets) at the first degraded tier, each stage 2s wide.
+    let recovery_config = |slos: Vec<Objective>, restarts: Vec<PlannedRestart>| FleetConfig {
+        recovery: Some(RecoveryPolicy {
+            base: (s / 4).max(1),
+            cap: 2 * s,
+            probation_window: 2 * s,
+            probation_buckets: vec![5, 11],
+            probation_tier: 1,
+            restarts,
+            ..RecoveryPolicy::default()
+        }),
+        ..fleet_config(s, &estimates, slos)
+    };
+
+    // Rolling restart: every replica is taken down in turn under live
+    // traffic, staggered so each has walked probation back to full
+    // weight before the next goes down. No request may be lost and the
+    // fleet SLO must hold green the whole way.
+    let restarts: Vec<PlannedRestart> =
+        (0..REPLICAS).map(|r| PlannedRestart { at: (10 + 8 * r as u64) * s, replica: r }).collect();
+    let report = Fleet::new(recovery_config(fleet_objectives(s), restarts))
+        .run(&mut fleet_backends(), steady.clone());
+    rows.push(FleetRow { name: "fleet-rolling-restart", requests: steady.len(), report });
+    print_fleet_row(rows.last().unwrap());
+    let row = rows.last().unwrap();
+    let rec = row.report.recovery;
+    assert_eq!(rec.downs, REPLICAS as u64, "every replica must go down exactly once");
+    assert_eq!(rec.rejoins, REPLICAS as u64, "every replica must rejoin");
+    assert_eq!(rec.promotions, REPLICAS as u64, "every replica must walk probation to full weight");
+    for (i, sh) in row.report.shards.iter().enumerate() {
+        assert_eq!(sh.lifecycle, "live", "replica {i} must end the storm live");
+        assert_eq!(sh.rejoins, 1, "replica {i} must rejoin exactly once");
+    }
+    assert_eq!(row.report.responses.len(), steady.len(), "every request finalized exactly once");
+    assert_eq!(
+        row.report.shed + row.report.timed_out + row.report.failed,
+        0,
+        "a rolling restart must lose no accepted request"
+    );
+    let fh = row.report.health.as_ref().expect("fleet monitored");
+    assert_eq!(fh.verdict().label(), "green", "the rolling restart must hold the fleet SLO green");
+    assert_eq!(fh.breaches(), 0, "fleet objectives must never breach during a rolling restart");
+
+    // Crash-restart loop: one replica crashes mid-storm with the crash
+    // window held open, so every restart attempt inside the window is
+    // blocked and re-enters backoff — the crash-restart loop — until
+    // the window closes and the replica rejoins through probation. Run
+    // on the surge trace so the crash strands real work: the journaled
+    // in-flight/queued entries must be replayed, the fleet SLO must
+    // hold green, and every accepted request must still finalize.
+    // The crash draw is a pure function of `(plan seed, site, replica)`
+    // — the spec window only gates on the tick — so the fired set can
+    // be probed under any window. The window is then opened `s/8` ticks
+    // after an arrival that provably lands on the crashed replica: a
+    // strict rendezvous-bucket win (placed there regardless of load)
+    // with a service estimate longer than the arrival spacing, so the
+    // first in-window probe finds the work still outstanding.
+    let place = sc_serve::Placement::new(0xF1EE7, REPLICAS);
+    let strands_on = |r: usize| {
+        surge.iter().find(|req| {
+            req.arrival >= 4 * s
+                && estimates[req.payload] >= s
+                && (0..REPLICAS)
+                    .all(|q| q == r || place.bucket(req.id, r) > place.bucket(req.id, q))
+        })
+    };
+    let (seed, crashed, loop_start) = (1..128)
+        .find_map(|seed| {
+            let spec = format!("serve.replica.crash:flip@0.5@0..{window_end};seed={seed}");
+            let _g = sc_fault::scoped(sc_fault::FaultPlan::parse(&spec).expect("valid spec"));
+            let fired = fired_replicas(sc_serve::sites::REPLICA_CRASH);
+            let [r] = fired[..] else { return None };
+            strands_on(r).map(|req| (seed, r, req.arrival + s / 8))
+        })
+        .expect("a seed under 128 downs exactly one replica with strandable work");
+    let loop_spec = format!("serve.replica.crash:flip@0.5@{loop_start}..{window_end};seed={seed}");
+    let report = {
+        let _g = sc_fault::scoped(sc_fault::FaultPlan::parse(&loop_spec).expect("valid spec"));
+        Fleet::new(recovery_config(fleet_objectives(s), Vec::new()))
+            .run(&mut fleet_backends(), surge.clone())
+    };
+    rows.push(FleetRow { name: "fleet-crash-restart-loop", requests: surge.len(), report });
+    print_fleet_row(rows.last().unwrap());
+    let row = rows.last().unwrap();
+    let rec = row.report.recovery;
+    assert!(
+        rec.restarts_failed >= 2,
+        "restarts inside the crash window must be blocked back into backoff, got {}",
+        rec.restarts_failed
+    );
+    assert!(rec.rejoins >= 1, "the crashed replica must rejoin once the window closes");
+    assert!(rec.promotions >= 1, "the rejoined replica must walk probation to full weight");
+    assert!(
+        rec.replayed_inflight + rec.replayed_queued >= 1,
+        "the crash must strand work that gets journaled and replayed"
+    );
+    assert_eq!(row.report.shards[crashed].lifecycle, "live", "replica {crashed} must end live");
+    assert!(row.report.shards[crashed].rejoins >= 1);
+    assert_eq!(row.report.responses.len(), surge.len(), "no accepted request may be lost");
+    let fh = row.report.health.as_ref().expect("fleet monitored");
+    assert_eq!(
+        fh.verdict().label(),
+        "green",
+        "crash-restart loop (replica {crashed}, seed {seed}) must hold the fleet SLO green"
+    );
+    assert_eq!(fh.breaches(), 0, "fleet objectives must never breach during the crash loop");
+    let replay_total =
+        row.report.responses.iter().map(|r| r.attribution.concurrent_total()).sum::<u64>();
+    assert!(
+        replay_total >= rec.replay_cycles,
+        "replayed cycles must surface as concurrent attribution shadows"
+    );
+
+    // Restart-fail storm: a planned restart whose first attempts are
+    // deterministically blocked by the `serve.replica.restart_fail`
+    // site, re-entering backoff each time. The seed is scanned so at
+    // least the first two attempts fail — the backoff re-entry the
+    // recovery ledger must show — before the site clears and the
+    // replica rejoins.
+    let fail_spec = |seed: u64| format!("serve.replica.restart_fail:flip@0.6;seed={seed}");
+    let (seed, lead) = (0..128)
+        .find_map(|seed| {
+            let _g =
+                sc_fault::scoped(sc_fault::FaultPlan::parse(&fail_spec(seed)).expect("valid spec"));
+            let site = sc_fault::site(sc_serve::sites::RESTART_FAIL).expect("armed");
+            let lead = (1..64).take_while(|&k| site.transient(0, k).is_some()).count() as u64;
+            (lead >= 2).then_some((seed, lead))
+        })
+        .expect("a seed under 128 blocks the first two restart attempts");
+    let report = {
+        let _g =
+            sc_fault::scoped(sc_fault::FaultPlan::parse(&fail_spec(seed)).expect("valid spec"));
+        Fleet::new(recovery_config(
+            fleet_objectives(s),
+            vec![PlannedRestart { at: 6 * s, replica: 0 }],
+        ))
+        .run(&mut fleet_backends(), steady.clone())
+    };
+    rows.push(FleetRow { name: "fleet-restart-fail", requests: steady.len(), report });
+    print_fleet_row(rows.last().unwrap());
+    let row = rows.last().unwrap();
+    let rec = row.report.recovery;
+    assert_eq!(rec.restarts_failed, lead, "seed {seed}: the first {lead} attempts must fail");
+    assert_eq!(rec.restarts_attempted, lead + 1, "the attempt after the site clears must land");
+    assert_eq!((rec.downs, rec.rejoins, rec.promotions), (1, 1, 1));
+    assert_eq!(row.report.shards[0].lifecycle, "live", "replica 0 must end the storm live");
+    assert_eq!(row.report.responses.len(), steady.len(), "every request finalized exactly once");
+    println!(
+        "check: recovery storms — rolling restart green, crash loop replayed \
+         {} stranded entr(ies), restart-fail re-entered backoff {}x  [ok]",
+        rows[rows.len() - 2].report.recovery.replayed_inflight
+            + rows[rows.len() - 2].report.recovery.replayed_queued,
+        lead
+    );
+
     // Every fleet storm: well-formed span trees, the extended
     // attribution identity (total = latency + concurrent hedge shadows),
     // and per-shard bounded queues.
@@ -682,8 +868,11 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
     let n = precision();
 
     // Remove stale incident snapshots up front so the set on disk after
-    // this run is exactly the set this run froze.
+    // this run is exactly the set this run froze — both the current
+    // `incidents/` directory and any flat `incident_*.json` files left
+    // by the pre-directory layout.
     if let Some(dir) = ctx.manifest_path().parent() {
+        let _ = std::fs::remove_dir_all(dir.join("incidents"));
         if let Ok(entries) = std::fs::read_dir(dir) {
             for e in entries.flatten() {
                 let name = e.file_name();
@@ -875,21 +1064,57 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
     let agreement = neural_agreement(ctx, quick);
 
     // Flight-recorder incident snapshots: one JSON file per frozen
-    // incident, numbered across scenarios in run order. The manifest
-    // carries the faulted storm's health rollup.
+    // incident under `results/incidents/`, named after the scenario
+    // (and owning shard) that froze it, with a per-scenario sequence
+    // suffix. `incidents/index.json` is the manifest over the set. The
+    // bench manifest carries the faulted storm's health rollup.
     let out_dir = ctx.manifest_path().parent().expect("manifest has a parent").to_path_buf();
-    let mut seq = 0u64;
+    let incidents_dir = out_dir.join("incidents");
+    std::fs::create_dir_all(&incidents_dir).expect("create results/incidents");
+    let mut index: Vec<Json> = Vec::new();
+    let write_incident = |ctx: &mut sc_telemetry::BenchCtx,
+                          index: &mut Vec<Json>,
+                          scenario: &str,
+                          shard: Option<usize>,
+                          inc: &sc_health::IncidentSnapshot| {
+        let fleet_scenario = scenario.starts_with("fleet");
+        let owner = match shard {
+            Some(i) => format!("shard{i}"),
+            None if fleet_scenario => "fleet".to_string(),
+            None => "server".to_string(),
+        };
+        // Single-server scenarios have no shard dimension; fleet
+        // scenarios name the owning monitor explicitly.
+        let stem =
+            if fleet_scenario { format!("{scenario}-{owner}") } else { scenario.to_string() };
+        let seq = index.len(); // global run order
+        let file = format!("{stem}-{seq:02}.json");
+        let path = incidents_dir.join(&file);
+        let mut pairs = vec![("scenario", Json::Str(scenario.to_string()))];
+        if fleet_scenario {
+            pairs.push((
+                "shard",
+                match shard {
+                    Some(i) => Json::UInt(i as u64),
+                    None => Json::Str("fleet".to_string()),
+                },
+            ));
+        }
+        pairs.push(("incident", inc.to_json()));
+        let json = Json::obj(pairs);
+        sc_telemetry::export::write_json(&path, &json).expect("write incident snapshot");
+        ctx.record_artifact(&path);
+        index.push(Json::obj(vec![
+            ("file", Json::Str(file)),
+            ("scenario", Json::Str(scenario.to_string())),
+            ("owner", Json::Str(owner)),
+            ("cycle", Json::UInt(inc.cycle)),
+        ]));
+    };
     for row in &rows {
         let Some(h) = &row.report.health else { continue };
         for inc in &h.incidents {
-            let path = out_dir.join(format!("incident_{seq}.json"));
-            let json = Json::obj(vec![
-                ("scenario", Json::Str(row.name.to_string())),
-                ("incident", inc.to_json()),
-            ]);
-            sc_telemetry::export::write_json(&path, &json).expect("write incident snapshot");
-            ctx.record_artifact(&path);
-            seq += 1;
+            write_incident(ctx, &mut index, row.name, None, inc);
         }
     }
     // Fleet flight recorders: the fleet monitor's incidents plus every
@@ -906,23 +1131,19 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
         }
         for (shard, h) in sources {
             for inc in &h.incidents {
-                let path = out_dir.join(format!("incident_{seq}.json"));
-                let shard_json = match shard {
-                    Some(i) => Json::UInt(i as u64),
-                    None => Json::Str("fleet".to_string()),
-                };
-                let json = Json::obj(vec![
-                    ("scenario", Json::Str(row.name.to_string())),
-                    ("shard", shard_json),
-                    ("incident", inc.to_json()),
-                ]);
-                sc_telemetry::export::write_json(&path, &json).expect("write incident snapshot");
-                ctx.record_artifact(&path);
-                seq += 1;
+                write_incident(ctx, &mut index, row.name, shard, inc);
             }
         }
     }
-    println!("wrote {seq} incident snapshot(s)");
+    let count = index.len() as u64;
+    let index_path = incidents_dir.join("index.json");
+    sc_telemetry::export::write_json(
+        &index_path,
+        &Json::obj(vec![("count", Json::UInt(count)), ("incidents", Json::Arr(index))]),
+    )
+    .expect("write incidents/index.json");
+    ctx.record_artifact(&index_path);
+    println!("wrote {count} incident snapshot(s) to {}", incidents_dir.display());
     ctx.health(health_of("spike-faulted").summary());
 
     let json = Json::obj(vec![

@@ -443,6 +443,7 @@ fn fleet_identical_across_thread_counts() {
         ),
         flap_epoch: 2 * estimate,
         brownout_factor: 4,
+        recovery: None,
     };
     // Bursty arrivals: queueing, degradation, hedging, and failover all
     // participate in the fingerprint.
@@ -493,6 +494,47 @@ fn fleet_identical_across_thread_counts() {
         run_with(&format!(
             "serve.replica.crash:flip@0.4@0..{window};serve.replica.brownout:flip@0.5;\
              serve.replica.flap:flip@0.3@0..{window};seed=8"
+        ))
+    });
+    // Recovery armed: a planned rolling restart plus crash/restart-fail
+    // chaos drive the full replica lifecycle (down → backoff → probing
+    // → live) with stranded-work replay — the report, including the
+    // recovery ledger in its fingerprint, must stay bitwise identical.
+    use sc_serve::{PlannedRestart, RecoveryPolicy};
+    let recovery_config = || FleetConfig {
+        recovery: Some(RecoveryPolicy {
+            base: (estimate / 2).max(1),
+            cap: 4 * estimate,
+            probation_window: 2 * estimate,
+            probation_buckets: vec![6, 12],
+            probation_tier: 1,
+            restarts: vec![PlannedRestart { at: 100 + 2 * estimate, replica: 1 }],
+            ..RecoveryPolicy::default()
+        }),
+        ..config()
+    };
+    let run_recovery = |spec: &str| {
+        let _s = sc_fault::scoped(sc_fault::FaultPlan::parse(spec).unwrap());
+        let report = Fleet::new(recovery_config()).run(&mut backends(), trace.clone());
+        assert_eq!(report.responses.len(), trace.len());
+        for (resp, tree) in report.responses.iter().zip(&report.traces) {
+            tree.validate().expect("span trees must stay well-formed");
+            assert_eq!(
+                resp.attribution.total(),
+                resp.latency + resp.attribution.concurrent_total(),
+                "request {}: identity must hold with replay shadows",
+                resp.id
+            );
+        }
+        assert!(report.recovery.downs >= 1, "the planned restart must fire");
+        assert!(report.recovery.rejoins >= 1, "the restarted replica must rejoin");
+        report.fingerprint()
+    };
+    with_threads("fleet recovery clean", || run_recovery(""));
+    with_threads("fleet recovery chaos", || {
+        run_recovery(&format!(
+            "serve.replica.crash:flip@0.4@0..{window};\
+             serve.replica.restart_fail:flip@0.5;seed=8"
         ))
     });
 }

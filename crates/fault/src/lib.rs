@@ -52,7 +52,7 @@ pub use damage::{FaultModel, FaultTarget};
 pub use plan::{FaultKind, FaultPlan, SiteSpec};
 pub use site::{
     clear, install, installed_spec, record_corrected, record_degraded, record_detected,
-    record_masked, scoped, site, FaultSite, ScopedPlan,
+    record_masked, scoped, site, try_load_env, FaultSite, ScopedPlan,
 };
 
 /// SplitMix64 finalizer — the workspace's counter-based fault RNG. Kept

@@ -59,23 +59,49 @@ pub fn clear() {
     set_plan(None);
 }
 
-fn ensure_env_loaded() {
+/// Consumes `SC_FAULTS` (if set and not already consumed) and installs
+/// the parsed plan — the fallible form of the lazy env load every site
+/// resolution performs.
+///
+/// Call this once at process startup to surface a malformed operator
+/// spec as a typed error instead of the panic the lazy path raises.
+///
+/// # Errors
+///
+/// Returns [`sc_core::Error::FaultSpecParse`] naming the grammar when
+/// the spec does not parse; the variable is still marked consumed, so
+/// later site resolutions run fault-free rather than re-panicking.
+pub fn try_load_env() -> Result<(), sc_core::Error> {
     let g = global();
     if g.env_read.swap(true, Ordering::AcqRel) {
-        return;
+        return Ok(());
     }
-    if let Ok(spec) = std::env::var("SC_FAULTS") {
-        match FaultPlan::parse(&spec) {
-            Ok(plan) => set_plan(Some(Arc::new(plan))),
-            // A malformed plan silently ignored would run the process
-            // fault-free while the operator believes faults are armed:
-            // hard error, naming the grammar.
-            Err(e) => panic!(
-                "invalid SC_FAULTS spec {spec:?}: {e}; expected \
-                 `<site>:<kind>@<rate>[@<start>..<end>]` entries separated by `;`, with kinds \
-                 flip|stuck0|stuck1|starve and an optional trailing `seed=<n>`"
-            ),
+    let Ok(spec) = std::env::var("SC_FAULTS") else { return Ok(()) };
+    match FaultPlan::parse(&spec) {
+        Ok(plan) => {
+            set_plan(Some(Arc::new(plan)));
+            Ok(())
         }
+        Err(sc_core::Error::FaultSpecParse { entry, reason }) => {
+            Err(sc_core::Error::FaultSpecParse {
+                entry,
+                reason: format!(
+                    "{reason}; expected `<site>:<kind>@<rate>[@<start>..<end>]` entries separated \
+                 by `;`, with kinds flip|stuck0|stuck1|starve and an optional trailing `seed=<n>`"
+                ),
+            })
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn ensure_env_loaded() {
+    // A malformed plan silently ignored would run the process
+    // fault-free while the operator believes faults are armed: the lazy
+    // path hard-errors, naming the grammar. Startup code that prefers a
+    // typed error calls `try_load_env` first.
+    if let Err(e) = try_load_env() {
+        panic!("invalid SC_FAULTS spec: {e}");
     }
 }
 

@@ -47,6 +47,10 @@ pub struct HealthConfig {
     /// Incident snapshots kept before further breaches are counted but
     /// dropped.
     pub max_incidents: usize,
+    /// Retention mode for the incident cap: `false` (default) drops
+    /// breaches past `max_incidents`; `true` evicts the oldest snapshot
+    /// by virtual clock so the latest `max_incidents` are always kept.
+    pub evict_oldest_incidents: bool,
     /// Whether a breach raises the degradation tier floor (and full
     /// recovery clears it).
     pub degrade_on_breach: bool,
@@ -62,6 +66,7 @@ impl HealthConfig {
             recorder_spans: 0,
             incident_windows: 0,
             max_incidents: 0,
+            evict_oldest_incidents: false,
             degrade_on_breach: false,
         }
     }
@@ -77,6 +82,7 @@ impl HealthConfig {
             recorder_spans: 32,
             incident_windows: 8,
             max_incidents: 8,
+            evict_oldest_incidents: false,
             degrade_on_breach: true,
         }
     }
@@ -155,6 +161,7 @@ pub struct HealthMonitor {
     time_in_tier: Vec<u64>,
     transitions: Vec<TierTransition>,
     last_state: SystemState,
+    reseeds: u64,
 }
 
 impl HealthMonitor {
@@ -204,7 +211,8 @@ impl HealthMonitor {
             cfg.recorder_spans,
             cfg.incident_windows,
             cfg.max_incidents,
-        );
+        )
+        .evict_oldest(cfg.evict_oldest_incidents);
         let slots = cfg.objectives.len();
         let window = cfg.window;
         Some(HealthMonitor {
@@ -220,6 +228,7 @@ impl HealthMonitor {
             time_in_tier: vec![0; max_tier + 1],
             transitions: Vec::new(),
             last_state: SystemState::idle(),
+            reseeds: 0,
         })
     }
 
@@ -353,6 +362,34 @@ impl HealthMonitor {
         self.recorder.push_event(cycle, name, detail);
     }
 
+    /// Reseeds the monitor for a replica rejoin: every objective's
+    /// verdict state machine restarts green (a restarted replica must
+    /// not inherit its pre-crash breach streaks) and any verdict-driven
+    /// tier floor is cleared. The window series, recorder rings, frozen
+    /// incidents, and time-in-tier accounting all survive — reseeding
+    /// forgets *verdict* history, not *observed* history. The open
+    /// window keeps accumulating across the reseed.
+    pub fn reseed(&mut self, cycle: u64, reason: &str) {
+        self.states = self
+            .cfg
+            .objectives
+            .iter()
+            .enumerate()
+            .map(|(slot, o)| ObjectiveState::new(o.clone(), slot))
+            .collect();
+        if self.floor != 0 {
+            self.move_floor(cycle, 0, format!("reseed: {reason}"));
+        }
+        self.reseeds += 1;
+        self.recorder.push_event(cycle, "health.reseed", reason.to_string());
+        sc_telemetry::event!("health.reseed", cycle, reason);
+    }
+
+    /// Times this monitor's verdict state has been reseeded.
+    pub fn reseeds(&self) -> u64 {
+        self.reseeds
+    }
+
     /// Closes windows up to `horizon`, flushes the trailing partial
     /// window (reported, never SLO-evaluated), and produces the report.
     pub fn finish(mut self, horizon: u64, state: &SystemState) -> HealthReport {
@@ -370,8 +407,10 @@ impl HealthMonitor {
             signals: self.signals,
             incidents: self.recorder.incidents().to_vec(),
             dropped_incidents: self.recorder.dropped_incidents(),
+            evicted_incidents: self.recorder.evicted_incidents(),
             transitions: self.transitions,
             time_in_tier: self.time_in_tier,
+            reseeds: self.reseeds,
         }
     }
 }
@@ -393,10 +432,14 @@ pub struct HealthReport {
     pub incidents: Vec<IncidentSnapshot>,
     /// Breaches dropped after the incident cap.
     pub dropped_incidents: u64,
+    /// Snapshots evicted by the retention cap (evict-oldest mode).
+    pub evicted_incidents: u64,
     /// Verdict-driven tier-floor moves, in order.
     pub transitions: Vec<TierTransition>,
     /// Virtual cycles spent at each tier floor (index = tier).
     pub time_in_tier: Vec<u64>,
+    /// Verdict-state reseeds performed (replica rejoins).
+    pub reseeds: u64,
 }
 
 impl HealthReport {
@@ -430,6 +473,7 @@ impl HealthReport {
             recoveries: self.recoveries(),
             incidents: self.incidents.len() as u64,
             verdict: self.verdict().label().to_string(),
+            reseeds: self.reseeds,
             time_in_tier: self
                 .time_in_tier
                 .iter()
@@ -455,6 +499,8 @@ impl HealthReport {
             ("signals", Json::Arr(self.signals.iter().map(Signal::to_json).collect())),
             ("incidents", Json::UInt(self.incidents.len() as u64)),
             ("dropped_incidents", Json::UInt(self.dropped_incidents)),
+            ("evicted_incidents", Json::UInt(self.evicted_incidents)),
+            ("reseeds", Json::UInt(self.reseeds)),
             (
                 "transitions",
                 Json::Arr(self.transitions.iter().map(TierTransition::to_json).collect()),
@@ -466,7 +512,13 @@ impl HealthReport {
     /// Flattens the whole report — series, verdicts, signals, incidents,
     /// transitions — into `u64`s for bitwise-determinism assertions.
     pub fn fingerprint(&self) -> Vec<u64> {
-        let mut fp = vec![self.window, self.horizon, self.dropped_incidents];
+        let mut fp = vec![
+            self.window,
+            self.horizon,
+            self.dropped_incidents,
+            self.evicted_incidents,
+            self.reseeds,
+        ];
         for w in &self.series {
             fp.extend(w.fingerprint());
         }

@@ -77,6 +77,7 @@ pub fn render_health(bench: &str, h: &HealthSummary) -> String {
     gauge("sc_health_breaches", h.breaches.to_string());
     gauge("sc_health_recoveries", h.recoveries.to_string());
     gauge("sc_health_incidents", h.incidents.to_string());
+    gauge("sc_health_reseeds", h.reseeds.to_string());
     // Verdict as a one-hot enum gauge, the Prometheus idiom for states.
     for v in ["green", "burning", "breached"] {
         out.push_str("# TYPE sc_health_verdict gauge\n");
@@ -157,10 +158,12 @@ mod tests {
             recoveries: 1,
             incidents: 2,
             verdict: "breached".to_string(),
+            reseeds: 4,
             time_in_tier: vec![("tier0".to_string(), 100), ("tier1".to_string(), 50)],
         };
         let text = render_health("storm", &h);
         assert!(text.contains("sc_health_breaches{bench=\"storm\"} 2\n"));
+        assert!(text.contains("sc_health_reseeds{bench=\"storm\"} 4\n"));
         assert!(text.contains("sc_health_verdict{bench=\"storm\",verdict=\"breached\"} 1\n"));
         assert!(text.contains("sc_health_verdict{bench=\"storm\",verdict=\"green\"} 0\n"));
         assert!(text.contains("sc_health_time_in_tier_cycles{bench=\"storm\",tier=\"tier1\"} 50\n"));

@@ -88,6 +88,11 @@ pub struct SystemState {
     pub breaker_trips: u64,
     /// Verdict-driven degradation tier floor in force.
     pub tier_floor: usize,
+    /// Replica lifecycle phase (`live` / `down` / `probing`; always
+    /// `live` for servers without the fleet recovery subsystem).
+    pub lifecycle: String,
+    /// Successful replica rejoins so far.
+    pub rejoins: u64,
 }
 
 impl SystemState {
@@ -100,6 +105,8 @@ impl SystemState {
             breaker: "closed".to_string(),
             breaker_trips: 0,
             tier_floor: 0,
+            lifecycle: "live".to_string(),
+            rejoins: 0,
         }
     }
 
@@ -111,10 +118,12 @@ impl SystemState {
             ("breaker", Json::Str(self.breaker.clone())),
             ("breaker_trips", Json::UInt(self.breaker_trips)),
             ("tier_floor", Json::UInt(self.tier_floor as u64)),
+            ("lifecycle", Json::Str(self.lifecycle.clone())),
+            ("rejoins", Json::UInt(self.rejoins)),
         ])
     }
 
-    fn fingerprint(&self) -> [u64; 6] {
+    fn fingerprint(&self) -> [u64; 8] {
         [
             self.queue_depth as u64,
             self.queue_capacity as u64,
@@ -122,6 +131,8 @@ impl SystemState {
             hash_str(&self.breaker),
             self.breaker_trips,
             self.tier_floor as u64,
+            hash_str(&self.lifecycle),
+            self.rejoins,
         ]
     }
 }
@@ -210,7 +221,10 @@ pub struct FlightRecorder {
     window_capacity: usize,
     incidents: Vec<IncidentSnapshot>,
     max_incidents: usize,
+    evict_oldest_incidents: bool,
+    frozen_total: u64,
     dropped_incidents: u64,
+    evicted_incidents: u64,
 }
 
 impl FlightRecorder {
@@ -231,8 +245,22 @@ impl FlightRecorder {
             window_capacity: windows.max(1),
             incidents: Vec::new(),
             max_incidents,
+            evict_oldest_incidents: false,
+            frozen_total: 0,
             dropped_incidents: 0,
+            evicted_incidents: 0,
         }
+    }
+
+    /// Switches the incident cap from drop-newest (the default: breaches
+    /// past the cap are counted, not kept) to evict-oldest retention:
+    /// the oldest snapshot by virtual clock makes room for the new one,
+    /// so the recorder always holds the *latest* `max_incidents`
+    /// breaches. Sequence numbers keep counting monotonically either
+    /// way.
+    pub fn evict_oldest(mut self, on: bool) -> FlightRecorder {
+        self.evict_oldest_incidents = on;
+        self
     }
 
     /// Records a point event (evicting the oldest at capacity).
@@ -260,15 +288,23 @@ impl FlightRecorder {
     }
 
     /// Freezes an incident snapshot for a breach `signal`. Returns
-    /// whether it was kept (`false` once `max_incidents` is reached;
-    /// the drop is counted, not silent).
+    /// whether it was kept: `false` once `max_incidents` is reached in
+    /// the default drop-newest mode (the drop is counted, not silent);
+    /// in evict-oldest mode ([`FlightRecorder::evict_oldest`]) the
+    /// oldest snapshot is evicted instead and the new one is kept.
     pub fn freeze(&mut self, signal: &Signal, state: &SystemState) -> bool {
         if self.incidents.len() >= self.max_incidents {
-            self.dropped_incidents += 1;
-            return false;
+            if !self.evict_oldest_incidents || self.max_incidents == 0 {
+                self.dropped_incidents += 1;
+                return false;
+            }
+            // Incidents are frozen in virtual-clock order, so the front
+            // is the oldest.
+            self.incidents.remove(0);
+            self.evicted_incidents += 1;
         }
         self.incidents.push(IncidentSnapshot {
-            seq: self.incidents.len() as u64,
+            seq: self.frozen_total,
             cycle: signal.cycle,
             objective: signal.objective.clone(),
             fast_burn: signal.fast_burn,
@@ -278,6 +314,7 @@ impl FlightRecorder {
             spans: self.spans.iter().cloned().collect(),
             state: state.clone(),
         });
+        self.frozen_total += 1;
         true
     }
 
@@ -289,6 +326,11 @@ impl FlightRecorder {
     /// Breaches that arrived after the incident cap was hit.
     pub fn dropped_incidents(&self) -> u64 {
         self.dropped_incidents
+    }
+
+    /// Snapshots evicted by the retention cap (evict-oldest mode only).
+    pub fn evicted_incidents(&self) -> u64 {
+        self.evicted_incidents
     }
 }
 
@@ -327,6 +369,19 @@ mod tests {
         assert!(!r.freeze(&breach(200), &SystemState::idle()));
         assert_eq!(r.incidents().len(), 1);
         assert_eq!(r.dropped_incidents(), 1);
+        assert_eq!(r.evicted_incidents(), 0);
+    }
+
+    #[test]
+    fn evict_oldest_retention_keeps_the_latest_incidents() {
+        let mut r = FlightRecorder::new(2, 2, 2, 2).evict_oldest(true);
+        for c in [100, 200, 300, 400] {
+            assert!(r.freeze(&breach(c), &SystemState::idle()), "evict-oldest always keeps");
+        }
+        let kept: Vec<(u64, u64)> = r.incidents().iter().map(|i| (i.seq, i.cycle)).collect();
+        assert_eq!(kept, vec![(2, 300), (3, 400)], "oldest-by-clock evicted, seq monotonic");
+        assert_eq!(r.evicted_incidents(), 2);
+        assert_eq!(r.dropped_incidents(), 0, "evictions are not drops");
     }
 
     #[test]

@@ -30,14 +30,27 @@
 //!   as the new primary — failover without re-queueing.
 //! * **Chaos sites** ([`crate::sites`]): `serve.replica.crash` downs a
 //!   drawn replica for the armed window, `serve.replica.brownout`
-//!   multiplies its service time, and `serve.replica.flap` re-draws
-//!   up/down per `flap_epoch`. All draws are pure functions of
+//!   multiplies its service time, `serve.replica.flap` re-draws up/down
+//!   per `flap_epoch`, and `serve.replica.restart_fail` blocks recovery
+//!   restart attempts. All draws are pure functions of
 //!   `(plan seed, replica, epoch)`.
+//! * **Recovery** ([`crate::recovery`]): with
+//!   [`FleetConfig::recovery`] armed, a crashed (or administratively
+//!   restarted) replica is taken out of placement, its in-flight and
+//!   queued entries are journaled and re-dispatched to live replicas
+//!   (the stranded burn billed to the concurrent
+//!   [`CycleCategory::RecoveryReplay`] bucket), and the replica walks
+//!   down → backoff → probing → live: capped-exponential-backoff
+//!   restarts, then a ramped probation admission weight at a degraded
+//!   tier until clean SLO windows promote it back to full weight. Its
+//!   breaker and SLO verdict state reseed on rejoin.
 //!
-//! Event order within a tick is fixed: monitors advance, completions in
-//! replica-index order (the deterministic race winner), queued-deadline
-//! expiries, arrivals + placement, due hedge launches in request-id
-//! order, then a dispatch sweep per replica in index order.
+//! Event order within a tick is fixed: monitors advance, recovery
+//! lifecycle transitions (downs + stranding, restart attempts,
+//! probation promotions), completions in replica-index order (the
+//! deterministic race winner), queued-deadline expiries, arrivals +
+//! placement, due hedge launches in request-id order, then a dispatch
+//! sweep per replica in index order.
 
 use std::collections::BTreeMap;
 
@@ -50,6 +63,7 @@ use crate::clock::VirtualClock;
 use crate::hedge::HedgePolicy;
 use crate::placement::Placement;
 use crate::queue::{AdmissionQueue, Queued};
+use crate::recovery::{RecoveryManager, RecoveryPolicy, RecoveryStats, ReplicaPhase};
 use crate::report::{latency_percentile_of, Outcome, Response, Segment};
 use crate::server::{build_trace, metrics, settle_wait, Backend, Request, ServerConfig};
 
@@ -80,6 +94,10 @@ pub struct FleetConfig {
     /// Service-cycle multiplier applied while `serve.replica.brownout`
     /// fires for a replica.
     pub brownout_factor: u64,
+    /// Replica lifecycle recovery (restart backoff, warm-up probation,
+    /// replay-safe rejoin). `None` (the default) keeps PR-era behavior:
+    /// a crashed replica stays down and is only routed around.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl Default for FleetConfig {
@@ -93,6 +111,7 @@ impl Default for FleetConfig {
             fleet_health: HealthConfig::disabled(),
             flap_epoch: 4096,
             brownout_factor: 4,
+            recovery: None,
         }
     }
 }
@@ -116,6 +135,11 @@ pub struct ShardReport {
     pub breaker_state: String,
     /// Peak admission-queue depth on this replica.
     pub max_queue_depth: usize,
+    /// Final lifecycle phase (`live` / `down` / `probing`; always
+    /// `live` when recovery is disabled).
+    pub lifecycle: String,
+    /// Successful recovery rejoins this replica made.
+    pub rejoins: u64,
     /// The shard monitor's report, when `server.health` enables it.
     pub health: Option<HealthReport>,
 }
@@ -131,6 +155,14 @@ impl ShardReport {
             self.breaker_trips,
             self.breaker_state.len() as u64,
             self.max_queue_depth as u64,
+            // "live" and "down" have equal length, so fingerprint the
+            // phase as a code, not the label's length.
+            match self.lifecycle.as_str() {
+                "down" => 1,
+                "probing" => 2,
+                _ => 0,
+            },
+            self.rejoins,
         ];
         if let Some(h) = &self.health {
             fp.extend(h.fingerprint());
@@ -202,6 +234,9 @@ pub struct FleetReport {
     /// The fleet-level monitor's report, when
     /// [`FleetConfig::fleet_health`] enables it.
     pub health: Option<HealthReport>,
+    /// Replica-lifecycle recovery totals (all zeros when
+    /// [`FleetConfig::recovery`] is disabled).
+    pub recovery: RecoveryStats,
 }
 
 impl FleetReport {
@@ -263,6 +298,7 @@ impl FleetReport {
         if let Some(h) = &self.health {
             fp.extend(h.fingerprint());
         }
+        fp.extend(self.recovery.fingerprint());
         fp
     }
 }
@@ -291,8 +327,21 @@ struct HedgeTrack {
     active: Option<(usize, u64)>,
     /// Closed `[start, end)` windows burned by losing sides.
     shadows: Vec<(u64, u64)>,
+    /// Closed `[start, end)` windows of attempts stranded on a crashing
+    /// replica and replayed — billed to the concurrent
+    /// `recovery_replay` bucket at finalization.
+    replays: Vec<(u64, u64)>,
     /// Duplicates launched over the request's lifetime.
     launched: u32,
+}
+
+/// A request's flattened shadow bookkeeping (hedge-loser and
+/// recovery-replay windows), handed to finalization when its track
+/// closes.
+#[derive(Default)]
+struct TrackClose {
+    shadows: Vec<(u64, u64)>,
+    replays: Vec<(u64, u64)>,
 }
 
 /// Hedge dispatches draw faults at a distinct index so a duplicate's
@@ -304,6 +353,7 @@ struct FleetSites {
     crash: Option<sc_fault::FaultSite>,
     brownout: Option<sc_fault::FaultSite>,
     flap: Option<sc_fault::FaultSite>,
+    restart_fail: Option<sc_fault::FaultSite>,
 }
 
 struct FleetCounters {
@@ -365,8 +415,10 @@ impl Fleet {
     /// # Errors
     ///
     /// Rejects a zero replica count, a zero flap epoch, a zero brownout
-    /// factor, an invalid hedge policy, an invalid queue capacity, and
-    /// invalid SLO objectives (shard or fleet level).
+    /// factor, an invalid hedge policy, an invalid queue capacity,
+    /// invalid SLO objectives (shard or fleet level), an invalid
+    /// recovery policy, and a planned restart naming a replica out of
+    /// range.
     pub fn try_new(config: FleetConfig) -> Result<Self, sc_core::Error> {
         let invalid = |reason: &str| sc_core::Error::InvalidConfig {
             what: "serving fleet".to_string(),
@@ -387,6 +439,17 @@ impl Fleet {
         AdmissionQueue::try_new(config.server.queue_capacity, config.server.shed_policy)?;
         for o in config.server.health.objectives.iter().chain(&config.fleet_health.objectives) {
             o.validated()?;
+        }
+        if let Some(rp) = &config.recovery {
+            rp.validated()?;
+            for p in &rp.restarts {
+                if p.replica >= config.replicas {
+                    return Err(invalid(&format!(
+                        "planned restart names replica {} of {}",
+                        p.replica, config.replicas
+                    )));
+                }
+            }
         }
         Ok(Fleet { config })
     }
@@ -517,9 +580,12 @@ impl Fleet {
             crash: sc_fault::site(crate::sites::REPLICA_CRASH),
             brownout: sc_fault::site(crate::sites::REPLICA_BROWNOUT),
             flap: sc_fault::site(crate::sites::REPLICA_FLAP),
+            restart_fail: sc_fault::site(crate::sites::RESTART_FAIL),
         };
         let cfg = &self.config.server;
         let placement = Placement::new(self.config.placement_seed, n);
+        let mut recovery: Option<RecoveryManager> =
+            self.config.recovery.clone().map(|p| RecoveryManager::new(p, n));
 
         let mut clock = VirtualClock::new();
         let mut queues: Vec<AdmissionQueue> =
@@ -562,16 +628,16 @@ impl Fleet {
         let mut shard_max_depth = vec![0usize; n];
         let trace_seed = cfg.trace_seed;
 
-        // Finalization: close the timeline, graft shadow (hedge-loser)
-        // spans onto the trace, and feed both the shard and the fleet
-        // monitors. Monitors are parameters so the loop can also advance
-        // them between finalizations.
+        // Finalization: close the timeline, graft shadow (hedge-loser
+        // and recovery-replay) spans onto the trace, and feed both the
+        // shard and the fleet monitors. Monitors are parameters so the
+        // loop can also advance them between finalizations.
         #[allow(clippy::too_many_arguments)]
         let mut finalize = |entry: &mut Queued,
                             outcome: Outcome,
                             now: u64,
                             replica: Option<usize>,
-                            shadows: Vec<(u64, u64)>,
+                            closed: TrackClose,
                             hedged: bool,
                             hedge_won: bool,
                             shard_mons: &mut [Option<HealthMonitor>],
@@ -609,8 +675,13 @@ impl Fleet {
             }
             let mut tree = build_trace(trace_seed, entry, now);
             let root = tree.root().id;
-            for (s, e) in &shadows {
+            for (s, e) in &closed.shadows {
                 tree.add(root, "hedge loser", CycleCategory::HedgeWasted, *s, *e);
+            }
+            // Zero-length replay windows (stranded the tick they
+            // started) carry no burn and would be malformed spans.
+            for (s, e) in closed.replays.iter().filter(|(s, e)| e > s) {
+                tree.add(root, "recovery replay", CycleCategory::RecoveryReplay, *s, *e);
             }
             debug_assert_eq!(
                 tree.validate(),
@@ -622,7 +693,7 @@ impl Fleet {
             debug_assert_eq!(
                 attribution.total(),
                 latency + attribution.concurrent_total(),
-                "request {}: attribution must sum to latency + hedge_wasted",
+                "request {}: attribution must sum to latency + concurrent shadows",
                 entry.req.id
             );
             sc_telemetry::record_attribution(&attribution);
@@ -660,39 +731,65 @@ impl Fleet {
             }
         };
 
-        // Removes and flattens a request's hedge bookkeeping for its
-        // finalization. Any still-active duplicate must have been dealt
-        // with by the caller first.
-        let close_track = |tracks: &mut BTreeMap<u64, HedgeTrack>,
-                           id: u64|
-         -> (Vec<(u64, u64)>, bool) {
+        // Removes and flattens a request's hedge/replay bookkeeping for
+        // its finalization. Any still-active duplicate must have been
+        // dealt with by the caller first.
+        let close_track = |tracks: &mut BTreeMap<u64, HedgeTrack>, id: u64| -> (TrackClose, bool) {
             match tracks.remove(&id) {
                 Some(t) => {
                     debug_assert!(t.active.is_none(), "request {id} finalized with a live hedge");
-                    (t.shadows, t.launched > 0)
+                    (TrackClose { shadows: t.shadows, replays: t.replays }, t.launched > 0)
                 }
-                None => (Vec::new(), false),
+                None => (TrackClose::default(), false),
             }
         };
 
         loop {
             // Next event over the whole fleet: completions, the next
             // arrival, ready queue entries on idle replicas, queued
-            // deadlines, and pending hedge launches.
+            // deadlines, pending hedge launches, and recovery lifecycle
+            // events (restart attempts, probation boundaries, planned
+            // restarts).
             let mut event: Option<u64> = None;
             let mut consider = |t: u64| event = Some(event.map_or(t, |e: u64| e.min(t)));
+            // With every request served and every queue drained, the run
+            // only continues for pending lifecycle transitions — and a
+            // replica whose crash window never closes can never restart,
+            // so its backoff ladder must not keep the loop alive.
+            let traffic_done = next_arrival >= requests.len()
+                && inflight.iter().all(Option::is_none)
+                && queues.iter().all(AdmissionQueue::is_empty);
             for r in 0..n {
                 match &inflight[r] {
                     Some(inf) => consider(inf.finish_at),
                     None => {
-                        if let Some(t) = queues[r].next_ready_at() {
-                            consider(t);
+                        let down = recovery.as_ref().is_some_and(|rm| rm.is_down(r));
+                        if !down {
+                            if let Some(t) = queues[r].next_ready_at() {
+                                consider(t);
+                            }
                         }
                     }
                 }
                 if let Some(t) = queues[r].next_deadline_at() {
                     consider(t);
                 }
+                if let Some(rm) = recovery.as_ref() {
+                    let hopeless = traffic_done
+                        && rm.is_down(r)
+                        && sites
+                            .crash
+                            .as_ref()
+                            .is_some_and(|s| s.phased(r as u64, 0, u64::MAX).is_some());
+                    if !hopeless {
+                        if let Some(t) = rm.next_event_at(r) {
+                            consider(t);
+                        }
+                    }
+                }
+            }
+            if let Some(t) = recovery.as_ref().and_then(RecoveryManager::next_planned_at) {
+                consider(t);
             }
             if let Some(r) = requests.get(next_arrival) {
                 consider(r.arrival);
@@ -715,6 +812,12 @@ impl Fleet {
                         breaker: breakers[r].state().name().to_string(),
                         breaker_trips: breakers[r].trips(),
                         tier_floor: hm.tier_floor(),
+                        lifecycle: recovery
+                            .as_ref()
+                            .map_or(ReplicaPhase::Live, |rm| rm.phase(r))
+                            .label()
+                            .to_string(),
+                        rejoins: recovery.as_ref().map_or(0, |rm| rm.rejoins_of(r)),
                     };
                     hm.advance(now, &state);
                 }
@@ -727,8 +830,233 @@ impl Fleet {
                     breaker: worst_breaker(&breakers).to_string(),
                     breaker_trips: breakers.iter().map(CircuitBreaker::trips).sum(),
                     tier_floor: hm.tier_floor(),
+                    lifecycle: fleet_lifecycle(&recovery, n).to_string(),
+                    rejoins: recovery.as_ref().map_or(0, |rm| rm.stats().rejoins),
                 };
                 hm.advance(now, &state);
+            }
+
+            // Recovery lifecycle transitions run before completions so a
+            // crash at `now` strands the replica's work rather than
+            // letting it complete.
+            if let Some(rm) = recovery.as_mut() {
+                // Downs: planned restarts due now, plus replicas whose
+                // crash window just opened.
+                let mut downs = rm.due_planned(now);
+                for r in 0..n {
+                    if !rm.is_down(r)
+                        && sites
+                            .crash
+                            .as_ref()
+                            .is_some_and(|s| s.phased(r as u64, 0, now).is_some())
+                    {
+                        downs.push(r);
+                    }
+                }
+                downs.sort_unstable();
+                downs.dedup();
+                for r in downs {
+                    if !rm.mark_down(r, now) {
+                        continue;
+                    }
+                    let detail = format!("replica={r}");
+                    if let Some(hm) = shard_mons[r].as_mut() {
+                        hm.note(now, "serve.recovery.down", detail.clone());
+                    }
+                    if let Some(hm) = fleet_mon.as_mut() {
+                        hm.note(now, "serve.recovery.down", detail);
+                    }
+                    // Strand the in-flight attempt — unless it finishes
+                    // at `now` exactly, in which case the completion
+                    // pass below would have raced the crash and the
+                    // crash must not un-complete it. (It runs after this
+                    // block, so leave it in place.)
+                    if inflight[r].as_ref().is_some_and(|i| i.finish_at > now) {
+                        let inf = inflight[r].take().expect("checked above");
+                        let id = inf.request_id;
+                        match inf.entry {
+                            Some(mut entry) => {
+                                if let Some((r2, th)) =
+                                    tracks.get_mut(&id).and_then(|t| t.active.take())
+                                {
+                                    // A live duplicate adopts ownership:
+                                    // failover without re-queueing, the
+                                    // stranded overlap billed exactly
+                                    // like a failed primary's.
+                                    entry.acct.segments.push(Segment::Attempt {
+                                        start: entry.acct.marker,
+                                        end: now,
+                                        ok: false,
+                                        profile: inf.profile,
+                                    });
+                                    entry.acct.marker = now;
+                                    tracks
+                                        .get_mut(&id)
+                                        .expect("track exists")
+                                        .shadows
+                                        .push((th, now));
+                                    hedge_wasted += now - th;
+                                    fc.hedge_wasted.incr(now - th);
+                                    hedges_adopted += 1;
+                                    fc.hedge_adopted.incr(1);
+                                    let adopted =
+                                        inflight[r2].as_mut().expect("hedge track out of sync");
+                                    debug_assert_eq!(adopted.request_id, id);
+                                    adopted.entry = Some(entry);
+                                } else {
+                                    // Journal the stranded window as
+                                    // concurrent replay burn and
+                                    // re-dispatch. The foreground
+                                    // timeline keeps its marker, so the
+                                    // stranded window is *also* billed
+                                    // as queue wait on the next dispatch
+                                    // — the identity stays exact because
+                                    // replay is concurrent, like a
+                                    // hedge loser's burn.
+                                    let track = tracks.entry(id).or_default();
+                                    track.hedge_at = None;
+                                    track.replays.push((inf.start, now));
+                                    rm.note_replayed_inflight(now - inf.start);
+                                    entry.not_before = now;
+                                    let loads = self.loads(now, &inflight, &queues);
+                                    let order = placement.rank(id, &loads);
+                                    let target = order
+                                        .iter()
+                                        .copied()
+                                        .find(|&c| {
+                                            c != r
+                                                && is_live(&breakers, &shard_mons, c, now)
+                                                && rm.admits_bucket(c, placement.bucket(id, c))
+                                        })
+                                        .or_else(|| {
+                                            order
+                                                .iter()
+                                                .copied()
+                                                .find(|&c| c != r && !rm.is_down(c))
+                                        })
+                                        .unwrap_or(order[0]);
+                                    if target != r {
+                                        failovers += 1;
+                                        fc.failover.incr(1);
+                                    }
+                                    if let Some(mut victim) = queues[target].push(entry) {
+                                        let vid = victim.req.id;
+                                        let (closed, hedged) = close_track(&mut tracks, vid);
+                                        finalize(
+                                            &mut victim,
+                                            Outcome::Shed,
+                                            now,
+                                            Some(target),
+                                            closed,
+                                            hedged,
+                                            false,
+                                            &mut shard_mons,
+                                            &mut fleet_mon,
+                                        );
+                                    }
+                                    shard_max_depth[target] =
+                                        shard_max_depth[target].max(queues[target].len());
+                                    max_queue_depth = max_queue_depth.max(queues[target].len());
+                                }
+                            }
+                            // A stranded hedge duplicate dies quietly:
+                            // shadow burn, the owner runs on elsewhere.
+                            None => {
+                                if let Some(t) = tracks.get_mut(&id) {
+                                    t.active = None;
+                                    t.shadows.push((inf.start, now));
+                                }
+                                hedge_wasted += now - inf.start;
+                                fc.hedge_wasted.incr(now - inf.start);
+                                hedges_failed += 1;
+                                fc.hedge_failed.incr(1);
+                                shard_cancelled[r] += 1;
+                            }
+                        }
+                    }
+                    // Drain the queue: every stranded entry re-places
+                    // onto a surviving replica, keeping its backoff.
+                    for entry in queues[r].drain() {
+                        let id = entry.req.id;
+                        rm.note_replayed_queued();
+                        if let Some(t) = tracks.get_mut(&id) {
+                            t.hedge_at = None;
+                        }
+                        let loads = self.loads(now, &inflight, &queues);
+                        let order = placement.rank(id, &loads);
+                        let target = order
+                            .iter()
+                            .copied()
+                            .find(|&c| {
+                                c != r
+                                    && is_live(&breakers, &shard_mons, c, now)
+                                    && rm.admits_bucket(c, placement.bucket(id, c))
+                            })
+                            .or_else(|| order.iter().copied().find(|&c| c != r && !rm.is_down(c)))
+                            .unwrap_or(order[0]);
+                        if target != r {
+                            failovers += 1;
+                            fc.failover.incr(1);
+                        }
+                        if let Some(mut victim) = queues[target].push(entry) {
+                            let vid = victim.req.id;
+                            let (closed, hedged) = close_track(&mut tracks, vid);
+                            finalize(
+                                &mut victim,
+                                Outcome::Shed,
+                                now,
+                                Some(target),
+                                closed,
+                                hedged,
+                                false,
+                                &mut shard_mons,
+                                &mut fleet_mon,
+                            );
+                        }
+                        shard_max_depth[target] = shard_max_depth[target].max(queues[target].len());
+                        max_queue_depth = max_queue_depth.max(queues[target].len());
+                    }
+                }
+                // Restart attempts due: blocked while the crash window
+                // is still open or the restart-fail site fires for this
+                // (replica, attempt); a success reseeds the replica's
+                // breaker and SLO verdict state for a fresh probation.
+                for r in 0..n {
+                    let ReplicaPhase::Down { attempt, restart_at, .. } = rm.phase(r) else {
+                        continue;
+                    };
+                    if restart_at > now {
+                        continue;
+                    }
+                    let blocked =
+                        sites.crash.as_ref().is_some_and(|s| s.phased(r as u64, 0, now).is_some())
+                            || sites.restart_fail.as_ref().is_some_and(|s| {
+                                s.transient(r as u64, u64::from(attempt + 1)).is_some()
+                            });
+                    if rm.try_restart(r, now, blocked) {
+                        breakers[r] = CircuitBreaker::new(cfg.breaker);
+                        noted_trips[r] = 0;
+                        if let Some(hm) = shard_mons[r].as_mut() {
+                            hm.reseed(now, &format!("replica {r} rejoin"));
+                        }
+                        if let Some(hm) = fleet_mon.as_mut() {
+                            hm.note(now, "serve.recovery.rejoin", format!("replica={r}"));
+                        }
+                    }
+                }
+                // Probation boundaries due: a breached shard SLO (or a
+                // failed attempt during the stage) reruns the stage.
+                for (r, mon) in shard_mons.iter().enumerate() {
+                    let ReplicaPhase::Probing { promote_at, .. } = rm.phase(r) else {
+                        continue;
+                    };
+                    if promote_at > now {
+                        continue;
+                    }
+                    let slo_ok =
+                        mon.as_ref().is_none_or(|hm| hm.verdict() != sc_health::Verdict::Breached);
+                    rm.evaluate_probation(r, now, slo_ok);
+                }
             }
 
             // 1. Completions, in replica-index order — the deterministic
@@ -775,7 +1103,7 @@ impl Fleet {
                                     fc.hedge_cancelled.incr(1);
                                     shard_cancelled[r2] += 1;
                                 }
-                                let (shadows, hedged) = close_track(&mut tracks, id);
+                                let (closed, hedged) = close_track(&mut tracks, id);
                                 let outcome = if now >= entry.req.deadline {
                                     Outcome::TimedOut
                                 } else {
@@ -786,7 +1114,7 @@ impl Fleet {
                                     outcome,
                                     now,
                                     Some(r),
-                                    shadows,
+                                    closed,
                                     hedged,
                                     false,
                                     &mut shard_mons,
@@ -795,6 +1123,9 @@ impl Fleet {
                             }
                             Some(e) => {
                                 breakers[r].on_failure(now);
+                                if let Some(rm) = recovery.as_mut() {
+                                    rm.note_attempt_failure(r);
+                                }
                                 shard_failed[r] += 1;
                                 sc_telemetry::event!("serve.attempt_failed", now, e);
                                 // A live duplicate is adopted as the new
@@ -817,13 +1148,13 @@ impl Fleet {
                                     debug_assert_eq!(adopted.request_id, id);
                                     adopted.entry = Some(entry);
                                 } else if entry.attempts >= cfg.retry.max_attempts {
-                                    let (shadows, hedged) = close_track(&mut tracks, id);
+                                    let (closed, hedged) = close_track(&mut tracks, id);
                                     finalize(
                                         &mut entry,
                                         Outcome::Failed,
                                         now,
                                         Some(r),
-                                        shadows,
+                                        closed,
                                         hedged,
                                         false,
                                         &mut shard_mons,
@@ -833,13 +1164,13 @@ impl Fleet {
                                     let wait = cfg.retry.backoff(id, entry.attempts);
                                     entry.not_before = now + wait;
                                     if entry.not_before >= entry.req.deadline {
-                                        let (shadows, hedged) = close_track(&mut tracks, id);
+                                        let (closed, hedged) = close_track(&mut tracks, id);
                                         finalize(
                                             &mut entry,
                                             Outcome::TimedOut,
                                             now,
                                             Some(r),
-                                            shadows,
+                                            closed,
                                             hedged,
                                             false,
                                             &mut shard_mons,
@@ -847,7 +1178,9 @@ impl Fleet {
                                         );
                                     } else {
                                         // Retry placement: first live
-                                        // replica in hash order.
+                                        // (and, under recovery,
+                                        // admitting) replica in hash
+                                        // order.
                                         if let Some(t) = tracks.get_mut(&id) {
                                             t.hedge_at = None;
                                         }
@@ -856,7 +1189,17 @@ impl Fleet {
                                         let target = order
                                             .iter()
                                             .copied()
-                                            .find(|&c| is_live(&breakers, &shard_mons, c, now))
+                                            .find(|&c| {
+                                                admits(
+                                                    &breakers,
+                                                    &shard_mons,
+                                                    &recovery,
+                                                    &placement,
+                                                    id,
+                                                    c,
+                                                    now,
+                                                )
+                                            })
                                             .unwrap_or(order[0]);
                                         if target != r {
                                             failovers += 1;
@@ -864,13 +1207,13 @@ impl Fleet {
                                         }
                                         if let Some(mut victim) = queues[target].push(entry) {
                                             let vid = victim.req.id;
-                                            let (shadows, hedged) = close_track(&mut tracks, vid);
+                                            let (closed, hedged) = close_track(&mut tracks, vid);
                                             finalize(
                                                 &mut victim,
                                                 Outcome::Shed,
                                                 now,
                                                 Some(target),
-                                                shadows,
+                                                closed,
                                                 hedged,
                                                 false,
                                                 &mut shard_mons,
@@ -931,7 +1274,7 @@ impl Fleet {
                                     profile: inf.profile,
                                 });
                                 entry.acct.marker = now;
-                                let (shadows, hedged) = close_track(&mut tracks, id);
+                                let (closed, hedged) = close_track(&mut tracks, id);
                                 let outcome = if now >= entry.req.deadline {
                                     Outcome::TimedOut
                                 } else {
@@ -942,7 +1285,7 @@ impl Fleet {
                                     outcome,
                                     now,
                                     Some(r),
-                                    shadows,
+                                    closed,
                                     hedged,
                                     true,
                                     &mut shard_mons,
@@ -954,6 +1297,9 @@ impl Fleet {
                                 // breaker hears the failure, the burn is
                                 // shadow-billed, and the owner runs on.
                                 breakers[r].on_failure(now);
+                                if let Some(rm) = recovery.as_mut() {
+                                    rm.note_attempt_failure(r);
+                                }
                                 shard_failed[r] += 1;
                                 debug_assert!(owner.is_some(), "lost hedge {id} with no owner");
                                 if let Some(t) = tracks.get_mut(&id) {
@@ -987,13 +1333,13 @@ impl Fleet {
             // 2. Expired deadlines among the queued, per replica.
             for (r, queue) in queues.iter_mut().enumerate() {
                 for mut dead in queue.drop_expired(now) {
-                    let (shadows, hedged) = close_track(&mut tracks, dead.req.id);
+                    let (closed, hedged) = close_track(&mut tracks, dead.req.id);
                     finalize(
                         &mut dead,
                         Outcome::TimedOut,
                         now,
                         Some(r),
-                        shadows,
+                        closed,
                         hedged,
                         false,
                         &mut shard_mons,
@@ -1003,8 +1349,9 @@ impl Fleet {
             }
 
             // 3. Arrivals: place by rendezvous hash, skipping non-live
-            // replicas (breaker would reject, or shard SLO breached) —
-            // each skip is a failover.
+            // replicas (breaker would reject, or shard SLO breached)
+            // and replicas whose recovery phase does not admit the
+            // request's score bucket — each skip is a failover.
             while requests.get(next_arrival).is_some_and(|r| r.arrival <= now) {
                 let req = requests[next_arrival];
                 next_arrival += 1;
@@ -1015,7 +1362,7 @@ impl Fleet {
                         Outcome::TimedOut,
                         now,
                         None,
-                        Vec::new(),
+                        TrackClose::default(),
                         false,
                         false,
                         &mut shard_mons,
@@ -1029,7 +1376,9 @@ impl Fleet {
                 let chosen = order
                     .iter()
                     .copied()
-                    .find(|&c| is_live(&breakers, &shard_mons, c, now))
+                    .find(|&c| {
+                        admits(&breakers, &shard_mons, &recovery, &placement, req.id, c, now)
+                    })
                     .unwrap_or(order[0]);
                 if chosen != order[0] {
                     failovers += 1;
@@ -1037,13 +1386,13 @@ impl Fleet {
                 }
                 if let Some(mut victim) = queues[chosen].push(entry) {
                     let vid = victim.req.id;
-                    let (shadows, hedged) = close_track(&mut tracks, vid);
+                    let (closed, hedged) = close_track(&mut tracks, vid);
                     finalize(
                         &mut victim,
                         Outcome::Shed,
                         now,
                         Some(chosen),
-                        shadows,
+                        closed,
                         hedged,
                         false,
                         &mut shard_mons,
@@ -1055,8 +1404,9 @@ impl Fleet {
             }
 
             // 4. Due hedge launches, in request-id order. A hedge only
-            // launches onto an *idle* live replica distinct from the
-            // owner's — it never queues, and it never evicts real work.
+            // launches onto an *idle*, live, full-weight replica
+            // distinct from the owner's — it never queues, never evicts
+            // real work, and never targets a probing replica.
             let due: Vec<u64> = tracks
                 .iter()
                 .filter(|(_, t)| t.hedge_at.is_some_and(|h| h <= now))
@@ -1077,7 +1427,10 @@ impl Fleet {
                 let loads = self.loads(now, &inflight, &queues);
                 let order = placement.rank(id, &loads);
                 let Some(r2) = order.iter().copied().find(|&c| {
-                    c != rp && inflight[c].is_none() && is_live(&breakers, &shard_mons, c, now)
+                    c != rp
+                        && inflight[c].is_none()
+                        && is_live(&breakers, &shard_mons, c, now)
+                        && recovery.as_ref().is_none_or(|rm| rm.is_full_weight(c))
                 }) else {
                     hedges_skipped += 1;
                     fc.hedge_skipped.incr(1);
@@ -1129,12 +1482,18 @@ impl Fleet {
             // 5. Dispatch sweep, per replica in index order. The tier is
             // sampled from occupancy before the pop (the dispatched
             // request counts toward its own pressure), floored by the
-            // worse of the shard and fleet SLO verdict floors.
+            // worse of the shard and fleet SLO verdict floors — and by
+            // the probation tier while the replica is probing. Down
+            // replicas dispatch nothing.
             for r in 0..n {
+                if recovery.as_ref().is_some_and(|rm| rm.is_down(r)) {
+                    continue;
+                }
                 while inflight[r].is_none() {
                     let (occ_tier, occ_bits) =
                         cfg.degrade.tier_for(queues[r].len(), queues[r].capacity());
-                    let floor = effective_floor(&shard_mons, &fleet_mon, r);
+                    let floor = effective_floor(&shard_mons, &fleet_mon, r)
+                        .max(recovery.as_ref().map_or(0, |rm| rm.tier_floor(r, max_tier)));
                     let (tier, bits) = if floor > occ_tier {
                         (floor, cfg.degrade.bits_for(floor))
                     } else {
@@ -1151,13 +1510,13 @@ impl Fleet {
                     if !breakers[r].admits(now) {
                         entry.acct.segments.push(Segment::Breaker { at: now });
                         if entry.attempts >= cfg.retry.max_attempts {
-                            let (shadows, hedged) = close_track(&mut tracks, id);
+                            let (closed, hedged) = close_track(&mut tracks, id);
                             finalize(
                                 &mut entry,
                                 Outcome::BreakerOpen,
                                 now,
                                 Some(r),
-                                shadows,
+                                closed,
                                 hedged,
                                 false,
                                 &mut shard_mons,
@@ -1166,14 +1525,14 @@ impl Fleet {
                             continue;
                         }
                         // Breaker failover: hand the entry to the next
-                        // live replica immediately; only when nobody is
-                        // live does it back off on this queue.
+                        // live (and admitting) replica immediately; only
+                        // when nobody is does it back off on this queue.
                         let loads = self.loads(now, &inflight, &queues);
                         let order = placement.rank(id, &loads);
-                        let target = order
-                            .iter()
-                            .copied()
-                            .find(|&c| c != r && is_live(&breakers, &shard_mons, c, now));
+                        let target = order.iter().copied().find(|&c| {
+                            c != r
+                                && admits(&breakers, &shard_mons, &recovery, &placement, id, c, now)
+                        });
                         match target {
                             Some(rc) => {
                                 failovers += 1;
@@ -1181,13 +1540,13 @@ impl Fleet {
                                 entry.not_before = now;
                                 if let Some(mut victim) = queues[rc].push(entry) {
                                     let vid = victim.req.id;
-                                    let (shadows, hedged) = close_track(&mut tracks, vid);
+                                    let (closed, hedged) = close_track(&mut tracks, vid);
                                     finalize(
                                         &mut victim,
                                         Outcome::Shed,
                                         now,
                                         Some(rc),
-                                        shadows,
+                                        closed,
                                         hedged,
                                         false,
                                         &mut shard_mons,
@@ -1201,13 +1560,13 @@ impl Fleet {
                                 let wait = cfg.retry.backoff(id, entry.attempts);
                                 entry.not_before = now + wait;
                                 if entry.not_before >= entry.req.deadline {
-                                    let (shadows, hedged) = close_track(&mut tracks, id);
+                                    let (closed, hedged) = close_track(&mut tracks, id);
                                     finalize(
                                         &mut entry,
                                         Outcome::TimedOut,
                                         now,
                                         Some(r),
-                                        shadows,
+                                        closed,
                                         hedged,
                                         false,
                                         &mut shard_mons,
@@ -1272,6 +1631,12 @@ impl Fleet {
 
         let shards: Vec<ShardReport> = (0..n)
             .map(|r| {
+                let lifecycle = recovery
+                    .as_ref()
+                    .map_or(ReplicaPhase::Live, |rm| rm.phase(r))
+                    .label()
+                    .to_string();
+                let rejoins = recovery.as_ref().map_or(0, |rm| rm.rejoins_of(r));
                 let health = shard_mons[r].take().map(|hm| {
                     let state = SystemState {
                         queue_depth: queues[r].len(),
@@ -1280,6 +1645,8 @@ impl Fleet {
                         breaker: breakers[r].state().name().to_string(),
                         breaker_trips: breakers[r].trips(),
                         tier_floor: hm.tier_floor(),
+                        lifecycle: lifecycle.clone(),
+                        rejoins,
                     };
                     finish_health(hm, &state)
                 });
@@ -1292,6 +1659,8 @@ impl Fleet {
                     breaker_trips: breakers[r].trips(),
                     breaker_state: breakers[r].state().name().to_string(),
                     max_queue_depth: shard_max_depth[r],
+                    lifecycle,
+                    rejoins,
                     health,
                 }
             })
@@ -1304,6 +1673,8 @@ impl Fleet {
                 breaker: worst_breaker(&breakers).to_string(),
                 breaker_trips: breakers.iter().map(CircuitBreaker::trips).sum(),
                 tier_floor: hm.tier_floor(),
+                lifecycle: fleet_lifecycle(&recovery, n).to_string(),
+                rejoins: recovery.as_ref().map_or(0, |rm| rm.stats().rejoins),
             };
             finish_health(hm, &state)
         });
@@ -1330,6 +1701,7 @@ impl Fleet {
             traces,
             shards,
             health,
+            recovery: recovery.as_ref().map(RecoveryManager::stats).unwrap_or_default(),
         })
     }
 }
@@ -1345,6 +1717,38 @@ fn is_live(
 ) -> bool {
     breakers[r].would_admit(now)
         && shard_mons[r].as_ref().is_none_or(|hm| hm.verdict() != sc_health::Verdict::Breached)
+}
+
+/// A replica admits `request_id` when it is live *and*, under an armed
+/// recovery policy, its lifecycle phase admits the request's
+/// rendezvous-score bucket: probing replicas take only their stage's
+/// ramped fraction, down replicas take nothing. Placement, retry, and
+/// breaker failover all route through this.
+fn admits(
+    breakers: &[CircuitBreaker],
+    shard_mons: &[Option<HealthMonitor>],
+    recovery: &Option<RecoveryManager>,
+    placement: &Placement,
+    request_id: u64,
+    r: usize,
+    now: u64,
+) -> bool {
+    is_live(breakers, shard_mons, r, now)
+        && recovery.as_ref().is_none_or(|rm| rm.admits_bucket(r, placement.bucket(request_id, r)))
+}
+
+/// Fleet-level lifecycle for the fleet monitor's system-state capture:
+/// any down replica reads "down", else any probing replica reads
+/// "probing", else "live".
+fn fleet_lifecycle(recovery: &Option<RecoveryManager>, n: usize) -> &'static str {
+    let Some(rm) = recovery.as_ref() else { return "live" };
+    if (0..n).any(|r| rm.is_down(r)) {
+        "down"
+    } else if (0..n).any(|r| !rm.is_full_weight(r)) {
+        "probing"
+    } else {
+        "live"
+    }
 }
 
 /// The degradation-tier floor in force for a dispatch on replica `r`:
@@ -1377,6 +1781,8 @@ fn worst_breaker(breakers: &[CircuitBreaker]) -> &'static str {
 mod tests {
     use super::*;
     use crate::breaker::BreakerConfig;
+    use crate::degrade::{DegradePolicy, DegradeTier};
+    use crate::recovery::PlannedRestart;
     use crate::retry::RetryPolicy;
     use crate::server::BackendReply;
     use sc_fault::{scoped, FaultPlan};
@@ -1688,5 +2094,235 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(e.contains("payload 9"), "{e}");
+        assert!(err(FleetConfig {
+            recovery: Some(RecoveryPolicy { base: 0, ..RecoveryPolicy::default() }),
+            ..FleetConfig::default()
+        })
+        .contains("backoff base"));
+        assert!(err(FleetConfig {
+            recovery: Some(RecoveryPolicy {
+                restarts: vec![PlannedRestart { at: 10, replica: 7 }],
+                ..RecoveryPolicy::default()
+            }),
+            ..FleetConfig::default()
+        })
+        .contains("replica 7"));
+    }
+
+    #[test]
+    fn idle_recovery_is_bitwise_identical_to_disabled() {
+        let _guard = no_faults();
+        let run = |recovery: Option<RecoveryPolicy>| {
+            let fleet = Fleet::new(FleetConfig { replicas: 3, recovery, ..FleetConfig::default() });
+            fleet.run(&mut backends(&[100, 150, 100]), trace(40, 25, 5_000))
+        };
+        let off = run(None);
+        let armed = run(Some(RecoveryPolicy::default()));
+        // No crash, no planned restart: every replica stays Live, every
+        // bucket admits, no lifecycle event ever schedules — the armed
+        // run must be indistinguishable from the disabled one.
+        assert_eq!(off.fingerprint(), armed.fingerprint());
+        assert_eq!(armed.recovery, RecoveryStats::default(), "no transitions, all-zero stats");
+        for s in &armed.shards {
+            assert_eq!((s.lifecycle.as_str(), s.rejoins), ("live", 0));
+        }
+    }
+
+    #[test]
+    fn planned_restart_walks_probation_at_a_degraded_tier_and_rejoins() {
+        let _guard = no_faults();
+        let fleet = Fleet::new(FleetConfig {
+            server: ServerConfig {
+                // One degrade tier so probation's floor is visible: the
+                // 0.9 occupancy threshold keeps organic pressure at
+                // tier 0, so any tier-1 completion is probation's.
+                degrade: DegradePolicy::new(vec![DegradeTier {
+                    occupancy: 0.9,
+                    effective_bits: 5,
+                }]),
+                ..ServerConfig::default()
+            },
+            replicas: 3,
+            recovery: Some(RecoveryPolicy {
+                probation_window: 512,
+                probation_buckets: vec![8, 16],
+                probation_tier: 1,
+                // Mid-service (arrivals every 100, service 300 — the
+                // fleet runs at full load), so the replica goes down
+                // with work to strand.
+                restarts: vec![PlannedRestart { at: 2_050, replica: 0 }],
+                ..RecoveryPolicy::default()
+            }),
+            ..FleetConfig::default()
+        });
+        let report = fleet.run(&mut backends(&[300, 300, 300]), trace(60, 100, 8_000));
+        // Zero lost accepted requests: everything the fleet admitted
+        // completes, through the down window and the probation ramp.
+        assert_eq!(report.completed(), 60);
+        assert_eq!(report.shed + report.timed_out + report.failed, 0);
+        let s = report.recovery;
+        assert_eq!((s.downs, s.rejoins, s.promotions), (1, 1, 1));
+        assert_eq!(s.restarts_attempted, 1, "nothing blocks the restart");
+        assert_eq!(s.restarts_failed, 0);
+        assert_eq!(report.shards[0].lifecycle, "live", "promoted before the run ends");
+        assert_eq!(report.shards[0].rejoins, 1);
+        // The replica had work when it went down (arrivals every 100,
+        // service 100): the strand was journaled and replayed.
+        assert!(s.replayed_inflight + s.replayed_queued >= 1, "stranded work was journaled");
+        // Probation traffic really was served degraded: tier 1
+        // completions exist, and only probation can floor to tier 1.
+        assert!(report.completed_by_tier[1] >= 1, "probation serves at the degraded tier");
+        for (r, t) in report.responses.iter().zip(&report.traces) {
+            t.validate().expect("well-formed span tree");
+            assert_eq!(
+                r.attribution.total(),
+                r.latency + r.attribution.concurrent_total(),
+                "request {} attribution identity with replays in the tree",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn stranded_work_is_replayed_and_billed_to_recovery_replay() {
+        let _guard = no_faults();
+        let seed = 0;
+        let p = Placement::new(seed, 2);
+        let id_a = id_on_replica(seed, 2, 0);
+        // A second id that prefers replica 0 *strictly* (no bucket tie),
+        // so it queues behind `id_a` there even while replica 0 is busy.
+        let id_b = (0..10_000)
+            .find(|&id| id != id_a && p.bucket(id, 0) > p.bucket(id, 1))
+            .expect("id exists");
+        let fleet = Fleet::new(FleetConfig {
+            replicas: 2,
+            placement_seed: seed,
+            estimates: vec![1_000; 4],
+            recovery: Some(RecoveryPolicy {
+                probation_window: 512,
+                probation_buckets: vec![16],
+                probation_tier: 0,
+                restarts: vec![PlannedRestart { at: 500, replica: 0 }],
+                ..RecoveryPolicy::default()
+            }),
+            ..FleetConfig::default()
+        });
+        let report = fleet.run(
+            &mut backends(&[1_000, 1_000]),
+            vec![
+                Request { id: id_a, arrival: 0, deadline: 10_000, payload: 0 },
+                Request { id: id_b, arrival: 100, deadline: 10_000, payload: 0 },
+            ],
+        );
+        assert_eq!(report.completed(), 2, "both stranded requests are rescued");
+        let s = report.recovery;
+        assert_eq!(s.replayed_inflight, 1, "id_a was mid-service on the crashing replica");
+        assert_eq!(s.replayed_queued, 1, "id_b was queued behind it");
+        assert_eq!(s.replay_cycles, 500, "the stranded window [0, 500) is replay burn");
+        let a = report.responses.iter().find(|r| r.id == id_a).expect("id_a responded");
+        assert_eq!(
+            a.attribution.concurrent_total(),
+            500,
+            "the stranded burn rides the response as a concurrent replay shadow"
+        );
+        assert_eq!(a.attribution.total(), a.latency + 500, "identity holds exactly");
+        assert_eq!(a.attempts, 2, "the replay dispatch is a retry");
+        let b = report.responses.iter().find(|r| r.id == id_b).expect("id_b responded");
+        assert_eq!(b.attribution.concurrent_total(), 0, "queued replay burns nothing");
+        assert_eq!(b.attribution.total(), b.latency);
+        // Both re-dispatches landed on the survivor; the crashed replica
+        // walked probation back to full weight with no traffic left.
+        assert_eq!(report.shards[1].completed, 2);
+        assert_eq!(report.shards[0].lifecycle, "live");
+        assert_eq!((s.downs, s.rejoins, s.promotions), (1, 1, 1));
+        for t in &report.traces {
+            t.validate().expect("replay shadows keep trees well-formed");
+        }
+    }
+
+    #[test]
+    fn blocked_restarts_re_enter_backoff_until_the_site_clears() {
+        // The restart-fail site draws per (replica, attempt), not
+        // window-gated: scan for a plan seed that blocks at least the
+        // first attempt, then hold the fleet to exactly that ledger.
+        let (lead, _guard) = (0..64)
+            .find_map(|seed| {
+                let guard = scoped(
+                    FaultPlan::parse(&format!("serve.replica.restart_fail:flip@0.7;seed={seed}"))
+                        .unwrap(),
+                );
+                let site = sc_fault::site(crate::sites::RESTART_FAIL).expect("armed");
+                let lead = (1..64).take_while(|&k| site.transient(0, k).is_some()).count() as u64;
+                (lead >= 1).then_some((lead, guard))
+            })
+            .expect("some seed blocks the first restart attempt");
+        let fleet = Fleet::new(FleetConfig {
+            replicas: 2,
+            recovery: Some(RecoveryPolicy {
+                base: 64,
+                cap: 256,
+                probation_window: 512,
+                probation_buckets: vec![16],
+                restarts: vec![PlannedRestart { at: 100, replica: 0 }],
+                ..RecoveryPolicy::default()
+            }),
+            ..FleetConfig::default()
+        });
+        let report = fleet.run(&mut backends(&[100, 100]), trace(8, 200, 8_000));
+        let s = report.recovery;
+        assert_eq!(s.restarts_failed, lead, "every blocked draw re-enters backoff");
+        assert_eq!(s.restarts_attempted, lead + 1, "then the first clean draw rejoins");
+        assert_eq!((s.downs, s.rejoins, s.promotions), (1, 1, 1));
+        assert_eq!(report.completed(), 8, "the survivor carries traffic meanwhile");
+        for shard in &report.shards {
+            assert_eq!(shard.lifecycle, "live");
+        }
+    }
+
+    #[test]
+    fn probing_replicas_never_receive_hedges_across_repeated_restarts() {
+        let _guard = no_faults();
+        // Replica 1 is administratively restarted at tick 0 and again
+        // mid-probation; with a probation window longer than the whole
+        // traffic span it is never full-weight while any request is in
+        // flight — so the hedge budget must route around it entirely,
+        // even though it *does* serve probation traffic.
+        let fleet = Fleet::new(FleetConfig {
+            replicas: 3,
+            hedge: Some(HedgePolicy { numerator: 1, denominator: 2, min_delay: 50 }),
+            estimates: vec![300; 4],
+            recovery: Some(RecoveryPolicy {
+                probation_window: 100_000,
+                probation_buckets: vec![16],
+                probation_tier: 0,
+                restarts: vec![
+                    PlannedRestart { at: 0, replica: 1 },
+                    PlannedRestart { at: 4_000, replica: 1 },
+                ],
+                ..RecoveryPolicy::default()
+            }),
+            ..FleetConfig::default()
+        });
+        let report = fleet.run(&mut backends(&[300, 300, 300]), trace(48, 150, 6_000));
+        assert!(report.hedges_launched >= 1, "the workload must actually exercise hedging");
+        assert_eq!(
+            report.shards[1].hedges_launched, 0,
+            "a replica that is never full-weight never hosts a hedge duplicate"
+        );
+        assert!(
+            report.shards[1].completed >= 1,
+            "probation still admits its bucket fraction of primaries"
+        );
+        assert_eq!(report.shards[1].rejoins, 2, "down → probing twice");
+        assert_eq!(report.recovery.downs, 2);
+        // Interleaved failovers and recoveries never confuse the probe
+        // budget: healthy replicas' breakers never move.
+        assert_eq!(report.shards[0].breaker_trips, 0);
+        assert_eq!(report.shards[2].breaker_trips, 0);
+        assert_eq!(report.shed + report.timed_out + report.failed, 0, "no lost requests");
+        for (r, t) in report.responses.iter().zip(&report.traces) {
+            t.validate().expect("well-formed span tree");
+            assert_eq!(r.attribution.total(), r.latency + r.attribution.concurrent_total());
+        }
     }
 }

@@ -73,6 +73,7 @@ pub mod fleet;
 pub mod hedge;
 pub mod placement;
 pub mod queue;
+pub mod recovery;
 pub mod report;
 pub mod retry;
 pub mod server;
@@ -85,6 +86,7 @@ pub use fleet::{Fleet, FleetConfig, FleetReport, ResponseMeta, ShardReport};
 pub use hedge::HedgePolicy;
 pub use placement::Placement;
 pub use queue::{AdmissionQueue, ShedPolicy};
+pub use recovery::{PlannedRestart, RecoveryManager, RecoveryPolicy, RecoveryStats, ReplicaPhase};
 pub use report::{Outcome, Response, ServeReport};
 pub use retry::RetryPolicy;
 pub use sc_health::{HealthConfig, HealthReport, Objective};
@@ -112,4 +114,11 @@ pub mod sites {
     /// [`crate::FleetConfig::flap_epoch`] ticks, so a replica bounces
     /// between healthy and dead across epochs inside the armed window.
     pub const REPLICA_FLAP: &str = "serve.replica.flap";
+
+    /// Replica restart failure: when a downed replica's restart attempt
+    /// comes due, the recovery loop draws per `(replica, attempt)` and a
+    /// firing draw fails the restart, re-entering capped exponential
+    /// backoff. Only consulted when [`crate::FleetConfig::recovery`] is
+    /// armed.
+    pub const RESTART_FAIL: &str = "serve.replica.restart_fail";
 }

@@ -60,6 +60,16 @@ impl Placement {
         )
     }
 
+    /// The quantized score bucket of `(request_id, replica)` — the top
+    /// `BUCKET_BITS` bits of the score, in `0..16`. This is the same
+    /// quantization [`Placement::rank`] sorts on; the recovery
+    /// subsystem's probation ladder admits a probing replica for score
+    /// buckets below its current stage threshold, so the admitted
+    /// fraction ramps in sixteenths.
+    pub fn bucket(&self, request_id: u64, replica: usize) -> u64 {
+        self.score(request_id, replica) >> (64 - BUCKET_BITS)
+    }
+
     /// Every replica, ranked best-first for `request_id`: by quantized
     /// rendezvous score (descending), then ascending load (the
     /// cycle-clock tiebreak; `loads[r]` is replica `r`'s outstanding

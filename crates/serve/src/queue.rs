@@ -181,6 +181,15 @@ impl AdmissionQueue {
         expired
     }
 
+    /// Removes and returns every waiting entry, in id order — the
+    /// recovery journal drain when a replica crashes: its queued work is
+    /// re-dispatched deterministically onto live replicas.
+    pub fn drain(&mut self) -> Vec<Queued> {
+        let mut drained = std::mem::take(&mut self.entries);
+        drained.sort_by_key(|q| q.req.id);
+        drained
+    }
+
     /// The earliest tick at which any waiting entry becomes ready, if
     /// the queue is non-empty.
     pub fn next_ready_at(&self) -> Option<u64> {

@@ -449,6 +449,8 @@ impl Server {
                     breaker: breaker.state().name().to_string(),
                     breaker_trips: breaker.trips(),
                     tier_floor: hm.tier_floor(),
+                    lifecycle: "live".to_string(),
+                    rejoins: 0,
                 };
                 hm.advance(now, &state);
             }
@@ -607,6 +609,8 @@ impl Server {
                 breaker: breaker.state().name().to_string(),
                 breaker_trips: breaker.trips(),
                 tier_floor: hm.tier_floor(),
+                lifecycle: "live".to_string(),
+                rejoins: 0,
             };
             let report = hm.finish(clock.now(), &state);
             m.health_windows.incr(report.closed_windows());

@@ -22,8 +22,9 @@ use crate::metrics::MetricsSnapshot;
 /// Version 3 adds the `trace` summary and `attribution` breakdown.
 /// Version 4 adds the `health` summary (SLO verdicts, breach/incident
 /// counts, time-in-tier) written by benches that run the sc-health
-/// monitor.
-pub const MANIFEST_SCHEMA_VERSION: u64 = 4;
+/// monitor. Version 5 adds `reseeds` (replica-rejoin verdict resets) to
+/// the health summary.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 5;
 
 /// Summary of a Chrome-trace export attached to a run (schema v3).
 ///
@@ -101,6 +102,9 @@ pub struct HealthSummary {
     pub incidents: u64,
     /// Final overall verdict (`"green"`, `"burning"`, or `"breached"`).
     pub verdict: String,
+    /// Verdict-state reseeds performed for replica rejoins (schema v5;
+    /// 0 in older manifests).
+    pub reseeds: u64,
     /// Virtual cycles spent at each degradation tier floor, keyed by
     /// tier label (`"tier0"`, `"tier1"`, …), in label order.
     pub time_in_tier: Vec<(String, u64)>,
@@ -116,6 +120,7 @@ impl HealthSummary {
             ("recoveries", Json::UInt(self.recoveries)),
             ("incidents", Json::UInt(self.incidents)),
             ("verdict", Json::Str(self.verdict.clone())),
+            ("reseeds", Json::UInt(self.reseeds)),
             (
                 "time_in_tier",
                 Json::Obj(
@@ -141,6 +146,8 @@ impl HealthSummary {
             recoveries: json.get("recoveries")?.as_u64()?,
             incidents: json.get("incidents")?.as_u64()?,
             verdict: json.get("verdict")?.as_str()?.to_string(),
+            // Absent before schema v5.
+            reseeds: json.get("reseeds").and_then(Json::as_u64).unwrap_or(0),
             time_in_tier,
         })
     }
@@ -460,6 +467,7 @@ mod tests {
                 recoveries: 1,
                 incidents: 1,
                 verdict: "green".to_string(),
+                reseeds: 2,
                 time_in_tier: vec![("tier0".to_string(), 40000), ("tier1".to_string(), 9152)],
             }),
         }

@@ -33,7 +33,9 @@ pub trait Subscriber: Send + Sync {
 
 /// Installs `sub` as the global subscriber (replacing any previous one).
 pub fn set_subscriber(sub: Arc<dyn Subscriber>) {
-    *SUBSCRIBER.write().unwrap() = Some(sub);
+    // Poison-proof: a subscriber panicking mid-notification must not
+    // wedge every later install/clear behind a poisoned lock.
+    *SUBSCRIBER.write().unwrap_or_else(|p| p.into_inner()) = Some(sub);
     ACTIVE.store(true, Ordering::Release);
 }
 
@@ -41,7 +43,7 @@ pub fn set_subscriber(sub: Arc<dyn Subscriber>) {
 /// path.
 pub fn clear_subscriber() {
     ACTIVE.store(false, Ordering::Release);
-    *SUBSCRIBER.write().unwrap() = None;
+    *SUBSCRIBER.write().unwrap_or_else(|p| p.into_inner()) = None;
 }
 
 /// Whether a subscriber is currently installed.
@@ -64,7 +66,7 @@ pub fn init_from_env() -> bool {
 }
 
 fn with_subscriber(f: impl FnOnce(&dyn Subscriber)) {
-    if let Some(sub) = SUBSCRIBER.read().unwrap().as_ref() {
+    if let Some(sub) = SUBSCRIBER.read().unwrap_or_else(|p| p.into_inner()).as_ref() {
         f(sub.as_ref());
     }
 }
@@ -227,11 +229,11 @@ impl CollectingSubscriber {
 
     /// Returns a copy of everything collected so far.
     pub fn records(&self) -> Vec<SpanRecord> {
-        self.records.lock().unwrap().clone()
+        self.records.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
 
     fn push(&self, kind: RecordKind, name: &str, fields: &str, depth: usize, nanos: u128) {
-        self.records.lock().unwrap().push(SpanRecord {
+        self.records.lock().unwrap_or_else(|p| p.into_inner()).push(SpanRecord {
             kind,
             name: name.to_string(),
             fields: fields.to_string(),

@@ -114,11 +114,19 @@ pub enum CycleCategory {
     /// critical path, so a request's attribution sums to
     /// `latency + hedge_wasted`.
     HedgeWasted,
+    /// Cycles a request spent stranded on a crashed replica before the
+    /// recovery subsystem replayed it onto a live one. Concurrent with
+    /// the foreground timeline for the same reason as
+    /// [`CycleCategory::HedgeWasted`]: the stranded window overlaps the
+    /// request's own queue-wait accounting, so it sits beside the
+    /// critical path and the identity
+    /// `total() == latency + concurrent_total()` still holds exactly.
+    RecoveryReplay,
 }
 
 impl CycleCategory {
     /// Every category, in stable `code()` order.
-    pub const ALL: [CycleCategory; 13] = [
+    pub const ALL: [CycleCategory; 14] = [
         CycleCategory::Request,
         CycleCategory::QueueWait,
         CycleCategory::BackoffWait,
@@ -132,6 +140,7 @@ impl CycleCategory {
         CycleCategory::EdtRecompute,
         CycleCategory::ParityScrub,
         CycleCategory::HedgeWasted,
+        CycleCategory::RecoveryReplay,
     ];
 
     /// Stable small code (the index in [`CycleCategory::ALL`]).
@@ -156,6 +165,7 @@ impl CycleCategory {
             CycleCategory::EdtRecompute => "edt_recompute",
             CycleCategory::ParityScrub => "parity_scrub",
             CycleCategory::HedgeWasted => "hedge_wasted",
+            CycleCategory::RecoveryReplay => "recovery_replay",
         }
     }
 
@@ -177,7 +187,7 @@ impl CycleCategory {
     /// it only has to lie within its parent's bounds — and its cycles
     /// land *on top of* the foreground attribution.
     pub fn is_concurrent(self) -> bool {
-        matches!(self, CycleCategory::HedgeWasted)
+        matches!(self, CycleCategory::HedgeWasted | CycleCategory::RecoveryReplay)
     }
 }
 
@@ -297,7 +307,8 @@ impl SpanTree {
     }
 
     /// Appends a child of `parent` covering `[start, end)` and returns
-    /// its id.
+    /// its id — the asserting form of [`SpanTree::try_add`], for
+    /// statically-known parents.
     ///
     /// # Panics
     ///
@@ -310,11 +321,38 @@ impl SpanTree {
         start: u64,
         end: u64,
     ) -> SpanId {
-        assert!(self.spans.iter().any(|s| s.id == parent), "parent span must exist");
+        match self.try_add(parent, name, category, start, end) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Appends a child of `parent` covering `[start, end)` and returns
+    /// its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description naming the missing parent if `parent` is
+    /// not in the tree, so externally-assembled trees surface bad span
+    /// references as errors instead of panics.
+    pub fn try_add(
+        &mut self,
+        parent: SpanId,
+        name: impl Into<String>,
+        category: CycleCategory,
+        start: u64,
+        end: u64,
+    ) -> Result<SpanId, String> {
         let name = name.into();
+        if !self.spans.iter().any(|s| s.id == parent) {
+            return Err(format!(
+                "parent span {:?} of {:?} does not exist in trace {:?}",
+                parent, name, self.trace
+            ));
+        }
         let id = SpanId::derive(self.trace, &name, self.spans.len() as u64);
         self.spans.push(CycleSpan { id, parent: Some(parent), name, category, start, end });
-        id
+        Ok(id)
     }
 
     /// The direct children of `id`, in insertion order.
@@ -600,6 +638,38 @@ mod tests {
         bad.add(root, "wait", CycleCategory::QueueWait, 0, 100);
         bad.add(root, "hedge loser", CycleCategory::HedgeWasted, 90, 130);
         assert!(bad.validate().is_err(), "overhanging concurrent child must fail");
+    }
+
+    #[test]
+    fn try_add_rejects_unknown_parents_without_panicking() {
+        let trace = TraceId::derive(0, 3);
+        let mut tree = SpanTree::new(trace, "r", CycleCategory::Request, 0, 10);
+        let bogus = SpanId(0xDEAD_BEEF);
+        let err = tree
+            .try_add(bogus, "orphan", CycleCategory::QueueWait, 0, 10)
+            .expect_err("unknown parent must be a typed error");
+        assert!(err.contains("does not exist"), "error names the failure: {err}");
+        assert_eq!(tree.spans().len(), 1, "failed add must not mutate the tree");
+        let root = tree.root().id;
+        tree.try_add(root, "child", CycleCategory::QueueWait, 0, 10).expect("valid parent");
+        tree.validate().expect("well-formed after try_add");
+    }
+
+    #[test]
+    fn recovery_replay_is_concurrent_like_hedge_wasted() {
+        let trace = TraceId::derive(0, 4);
+        let mut tree = SpanTree::new(trace, "r", CycleCategory::Request, 0, 100);
+        let root = tree.root().id;
+        tree.add(root, "wait", CycleCategory::QueueWait, 0, 100);
+        // A replayed request's stranded window overlaps its own
+        // queue-wait accounting — legal precisely because the category
+        // is concurrent.
+        tree.add(root, "recovery replay", CycleCategory::RecoveryReplay, 10, 60);
+        tree.validate().expect("concurrent replay shadow is valid");
+        let attr = tree.attribution();
+        assert_eq!(attr.get(CycleCategory::RecoveryReplay), 50);
+        assert_eq!(attr.concurrent_total(), 50);
+        assert_eq!(attr.total(), tree.total_cycles() + attr.concurrent_total());
     }
 
     #[test]

@@ -137,24 +137,25 @@ stamp = os.path.getmtime(os.environ["CI_STAMP"])
 paths = sorted(p for p in glob.glob("results/*.manifest.json") if os.path.getmtime(p) >= stamp)
 assert paths, "no manifests emitted this run; bench gates did not execute"
 # v3 added `trace` and `attribution`; v4 added the `health` summary
-# block. v2/v3 manifests from benches that have not been re-run since
-# remain readable. Unknown top-level fields are an error only for v4 —
-# that is the version this tree emits, so a stray field there means a
-# writer/validator mismatch in the current code.
+# block; v5 added the health summary's `reseeds` counter (same
+# top-level shape as v4). v2..v4 manifests from benches that have not
+# been re-run since remain readable. Unknown top-level fields are an
+# error only for v5 — that is the version this tree emits, so a stray
+# field there means a writer/validator mismatch in the current code.
 KNOWN_V3 = {
     "schema_version", "bench", "config", "seed", "quick", "args",
     "git_describe", "timestamp_unix", "par_threads", "elapsed_seconds",
     "tier1_status", "artifacts", "metrics", "trace", "attribution",
 }
-KNOWN_V4 = KNOWN_V3 | {"health"}
+KNOWN_V5 = KNOWN_V3 | {"health"}
 for p in paths:
     m = json.load(open(p))
     v = m.get("schema_version")
-    assert v in (2, 3, 4), f"{p}: schema_version {v!r} not in (2, 3, 4)"
-    if v == 4:
-        unknown = sorted(set(m) - KNOWN_V4)
-        assert not unknown, f"{p}: unknown top-level field(s) {unknown} in a v4 manifest"
-print(f"    {len(paths)} manifest(s) emitted this run, all at schema version 2, 3, or 4")
+    assert v in (2, 3, 4, 5), f"{p}: schema_version {v!r} not in (2, 3, 4, 5)"
+    if v == 5:
+        unknown = sorted(set(m) - KNOWN_V5)
+        assert not unknown, f"{p}: unknown top-level field(s) {unknown} in a v5 manifest"
+print(f"    {len(paths)} manifest(s) emitted this run, all at schema version 2..5")
 EOF
 
 echo "==> report gate: clean quick benches, then sc_report against results/baseline"
@@ -180,8 +181,16 @@ echo "==> health gate: incident snapshots, manifest health block, prom expositio
 # manifest must carry the v4 health summary with a breached verdict.
 python3 - <<'EOF'
 import glob, json
-snaps = [json.load(open(p)) for p in sorted(glob.glob("results/incident_*.json"))]
+paths = sorted(p for p in glob.glob("results/incidents/*.json")
+               if not p.endswith("index.json"))
+snaps = [json.load(open(p)) for p in paths]
 assert snaps, "serve_storm wrote no incident snapshots"
+idx = json.load(open("results/incidents/index.json"))
+assert idx["count"] == len(snaps), \
+    f"incidents/index.json counts {idx['count']}, found {len(snaps)} snapshot files"
+indexed = sorted(e["file"] for e in idx["incidents"])
+assert indexed == sorted(p.split("/")[-1] for p in paths), \
+    "incidents/index.json does not list exactly the snapshot files on disk"
 scenarios = {s["scenario"] for s in snaps}
 assert "spike-faulted" in scenarios, \
     "faulted-backend storm froze no incident snapshot"
@@ -214,7 +223,7 @@ echo "==> chaos gate: minority-kill stays green, majority-kill breaches with sha
 # re-checks the contract from the emitted artifacts so a regression in
 # the JSON export (not just the in-process asserts) also fails CI. The
 # clean regen above produced results/serve_storm.json and the
-# incident_*.json flight-recorder files.
+# results/incidents/ flight-recorder files.
 python3 - <<'EOF'
 import glob, json
 r = json.load(open("results/serve_storm.json"))
@@ -229,7 +238,8 @@ mj = fleet["fleet-majority-kill"]
 assert mj["fleet_health"]["breaches"] >= 1, "majority-kill must breach the strict fleet SLO"
 assert mj["fleet_health"]["recoveries"] >= 1, "majority-kill must recover after the window"
 assert mj["degraded"] >= 1, "majority-kill must serve degraded through the EDT ladder"
-snaps = [json.load(open(p)) for p in sorted(glob.glob("results/incident_*.json"))]
+snaps = [json.load(open(p)) for p in sorted(glob.glob("results/incidents/*.json"))
+         if not p.endswith("index.json")]
 shard_snaps = [s for s in snaps if s.get("scenario") == "fleet-majority-kill" and "shard" in s]
 assert shard_snaps, "majority-kill froze no per-shard incident snapshots"
 assert any(isinstance(s["shard"], int) for s in shard_snaps), \
@@ -237,6 +247,61 @@ assert any(isinstance(s["shard"], int) for s in shard_snaps), \
 print(f"    minority-kill green ({mk['failovers']} failover(s), {mk['hedges_launched']} hedge(s)); "
       f"majority-kill {mj['fleet_health']['breaches']} breach(es), "
       f"{len(shard_snaps)} shard snapshot(s)")
+EOF
+
+echo "==> recovery gate: crash loop rejoins green, restart-fail re-enters backoff"
+# The recovery storms are self-asserting inside serve_storm; this gate
+# re-checks the replica-lifecycle contract from the emitted artifacts:
+# the crash-restart-loop storm must end SLO-green with every replica
+# live, at least one rejoin through probation, replayed stranded work,
+# and zero lost accepted requests; the restart-fail storm must show
+# blocked restarts re-entering backoff before the site clears.
+python3 - <<'EOF'
+import json
+r = json.load(open("results/serve_storm.json"))
+fleet = {s["scenario"]: s for s in r["fleet_scenarios"]}
+
+loop = fleet["fleet-crash-restart-loop"]
+rec = loop["recovery"]
+assert loop["fleet_health"]["verdict"] == "green", \
+    f"crash-restart-loop verdict is {loop['fleet_health']['verdict']!r}, not green"
+assert loop["fleet_health"]["breaches"] == 0, "crash-restart-loop must not breach the fleet SLO"
+assert rec["rejoins"] >= 1, "the crashed replica never rejoined"
+assert rec["promotions"] >= 1, "the rejoined replica never walked probation to full weight"
+assert rec["restarts_failed"] >= 2, \
+    "restarts inside the open crash window must be blocked back into backoff"
+assert rec["replayed_inflight"] + rec["replayed_queued"] >= 1, \
+    "the crash stranded no journaled work to replay"
+accounted = loop["completed"] + loop["shed"] + loop["timed_out"] + loop["failed"]
+assert accounted == loop["requests"], \
+    f"crash-restart-loop lost requests: {accounted} accounted of {loop['requests']}"
+assert all(sh["lifecycle"] == "live" for sh in loop["shards"]), \
+    "a replica ended the crash-restart-loop storm not live"
+
+roll = fleet["fleet-rolling-restart"]
+rrec = roll["recovery"]
+n = len(roll["shards"])
+assert (rrec["downs"], rrec["rejoins"], rrec["promotions"]) == (n, n, n), \
+    f"rolling restart must cycle every replica once, got {rrec}"
+assert roll["shed"] + roll["timed_out"] + roll["failed"] == 0, \
+    "a rolling restart must lose no accepted request"
+assert roll["fleet_health"]["verdict"] == "green", "rolling restart must stay SLO-green"
+
+rf = fleet["fleet-restart-fail"]["recovery"]
+assert rf["restarts_failed"] >= 2, \
+    "the restart_fail site must block at least two attempts (backoff re-entry)"
+assert rf["restarts_attempted"] == rf["restarts_failed"] + 1, \
+    "the attempt after the site clears must land"
+assert rf["rejoins"] == 1, "the blocked replica must eventually rejoin"
+
+m = json.load(open("results/serve_storm.manifest.json"))["metrics"]["counters"]
+for k in ("serve.recovery.down", "serve.recovery.rejoin", "serve.recovery.promote",
+          "serve.recovery.restart_fail", "attr.cycles.recovery_replay"):
+    assert m.get(k, 0) > 0, f"serve_storm manifest missing {k}"
+print(f"    crash loop: {rec['restarts_failed']} blocked restart(s), "
+      f"{rec['replayed_inflight'] + rec['replayed_queued']} replayed entr(ies); "
+      f"rolling restart cycled {n} replica(s); "
+      f"restart-fail re-entered backoff {rf['restarts_failed']}x")
 EOF
 
 echo "==> report gate: a perturbed baseline must fail the gate"
