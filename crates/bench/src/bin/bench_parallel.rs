@@ -112,13 +112,16 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
         ("quick", Json::Bool(quick)),
     ]);
     let path = "results/parallel.json";
+    // Accept both the versioned wrapper and the legacy bare array so an
+    // existing history file keeps accumulating.
     let mut entries: Vec<Json> = std::fs::read_to_string(path)
         .ok()
         .and_then(|t| Json::parse(&t).ok())
-        .and_then(|j| j.as_arr().map(<[Json]>::to_vec))
+        .and_then(|j| j.get("rows").or(Some(&j)).and_then(Json::as_arr).map(<[Json]>::to_vec))
         .unwrap_or_default();
     entries.push(entry);
-    sc_telemetry::export::write_json(path, &Json::Arr(entries)).expect("write parallel.json");
+    let wrapped = sc_telemetry::export::with_schema_version(&Json::Arr(entries));
+    sc_telemetry::export::write_json(path, &wrapped).expect("write parallel.json");
     ctx.record_artifact(path);
     println!("recorded -> {path}");
 

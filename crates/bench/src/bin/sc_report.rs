@@ -20,12 +20,20 @@
 //! their `bench.speedup.*` gauges — a measured speedup falling below
 //! its floor (or the gauge disappearing) fails the gate even though
 //! wall-clock numbers are never exact-diffed.
+//!
+//! **Differential profiling:** every committed `results/baseline/
+//! <bench>.folded` cycle profile is diffed against the current
+//! `results/obs/<bench>.folded` stack-by-stack. A stack whose share of
+//! total cycles drifts past `--profile-tolerance` (default 0.01), or a
+//! baselined stack that vanishes, is an attribution regression and
+//! fails the gate — the deterministic-cycle analogue of a flamegraph
+//! diff.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use sc_bench::report::{append_trajectory, compare_dirs, floor_violations, render_table, FLOORS};
-use sc_telemetry::RunManifest;
+use sc_telemetry::{folded_share_regressions, FoldedStacks, RunManifest};
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
@@ -41,6 +49,14 @@ fn main() -> ExitCode {
         Some(Ok(t)) => t,
         Some(Err(e)) => {
             eprintln!("sc_report: bad --tolerance value: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let profile_tolerance: f64 = match arg_value(&args, "--profile-tolerance").map(|v| v.parse()) {
+        None => 0.01,
+        Some(Ok(t)) => t,
+        Some(Err(e)) => {
+            eprintln!("sc_report: bad --profile-tolerance value: {e}");
             return ExitCode::from(2);
         }
     };
@@ -121,9 +137,60 @@ fn main() -> ExitCode {
         }
     }
 
-    let total = report.regressions() + floor_failures;
+    // Differential cycle profiles: diff every committed baseline folded
+    // stack against the current run's `results/obs/` counterpart.
+    let mut profile_failures = 0usize;
+    let mut folded_baselines: Vec<PathBuf> = std::fs::read_dir(&baseline)
+        .map(|entries| {
+            entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "folded"))
+                .collect()
+        })
+        .unwrap_or_default();
+    folded_baselines.sort();
+    for base_path in &folded_baselines {
+        let stem = base_path.file_stem().unwrap_or_default().to_string_lossy().to_string();
+        let cur_path = results.join("obs").join(format!("{stem}.folded"));
+        let parse = |path: &PathBuf| -> Result<FoldedStacks, String> {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            FoldedStacks::parse(&text)
+        };
+        let base_folded = match parse(base_path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("sc_report: {e}");
+                profile_failures += 1;
+                continue;
+            }
+        };
+        let cur_folded = match parse(&cur_path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("sc_report: PROFILE {stem}: {e} (baseline profile has no current run)");
+                profile_failures += 1;
+                continue;
+            }
+        };
+        let drifts = folded_share_regressions(&base_folded, &cur_folded, profile_tolerance);
+        for d in &drifts {
+            eprintln!("sc_report: PROFILE {stem}: {}", d.describe());
+        }
+        profile_failures += drifts.len();
+        if drifts.is_empty() {
+            println!(
+                "profile check: {stem} attribution shares within {profile_tolerance} of baseline \
+                 ({} stacks)",
+                base_folded.iter().count()
+            );
+        }
+    }
+
+    let total = report.regressions() + floor_failures + profile_failures;
     if total > 0 {
-        eprintln!("sc_report: {total} regression(s) against baseline/floors");
+        eprintln!("sc_report: {total} regression(s) against baseline/floors/profiles");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -45,16 +45,26 @@ use sc_neural::layers::{Conv2d, LayerKind, Relu};
 use sc_neural::net::Network;
 use sc_neural::tensor::Tensor;
 use sc_serve::{
-    AccelBackend, AccelPayload, Backend, BreakerConfig, DegradePolicy, DegradeTier, Fleet,
-    FleetConfig, HedgePolicy, NeuralBackend, Outcome, PlannedRestart, RecoveryPolicy, Request,
-    RetryPolicy, Server, ServerConfig, ShedPolicy,
+    AccelBackend, AccelPayload, Backend, BackendReply, BreakerConfig, DegradePolicy, DegradeTier,
+    Fleet, FleetConfig, HedgePolicy, NeuralBackend, Outcome, PlannedRestart, RecoveryPolicy,
+    Request, RetryPolicy, Server, ServerConfig, ShedPolicy,
 };
 use sc_telemetry::json::Json;
 use sc_telemetry::metrics::{histogram, log2_bounds};
+use sc_telemetry::{BackendProfile, ObsConfig, ObsLog, ScenarioSummary, TileProfile, TraceId};
 
 const N_BITS: u32 = 8;
 const QUEUE_CAPACITY: usize = 16;
 const REPLICAS: usize = 3;
+/// Trace-id seed shared by every storm: event records, incident
+/// exemplars, and the `sc_obs` query surface all derive trace ids from
+/// the same seed, so a trace id seen in one artifact resolves in all.
+const TRACE_SEED: u64 = 0xACE5;
+/// Seed folded into every obs-plane sampling draw (reservoirs, bucket
+/// exemplars).
+const OBS_SEED: u64 = 0x0B5_EED;
+/// Tumbling-window width (virtual ticks) for the obs-plane series.
+const OBS_WINDOW: u64 = 1 << 14;
 
 fn precision() -> Precision {
     Precision::new(N_BITS).expect("valid precision")
@@ -77,7 +87,7 @@ fn protected_config() -> ServerConfig {
         breaker: BreakerConfig { failure_threshold: 4, cooldown: 8192 },
         degrade: ladder(),
         failure_ticks: 64,
-        trace_seed: 0xACE5,
+        trace_seed: TRACE_SEED,
         health: HealthConfig::disabled(),
     }
 }
@@ -178,7 +188,13 @@ fn spike_trace(background: u64, burst: u64, s: u64) -> Vec<Request> {
 
 struct ScenarioRow {
     name: &'static str,
+    /// The fault site armed for this scenario ("" when clean) — the
+    /// label the obs plane slices on.
+    site: &'static str,
     requests: usize,
+    /// The arrival trace the scenario answered, kept so event records
+    /// can recover per-request deadlines.
+    workload: Vec<Request>,
     report: sc_serve::ServeReport,
     /// Bucketed p50/p99 over *this scenario's* slice of the shared
     /// `serve.latency` registry histogram, via the windowed-quantile
@@ -191,6 +207,7 @@ struct ScenarioRow {
 /// snapshots so the row carries per-scenario windowed quantiles.
 fn run_scenario(
     name: &'static str,
+    site: &'static str,
     config: ServerConfig,
     backend: &mut dyn Backend,
     requests: Vec<Request>,
@@ -209,7 +226,15 @@ fn run_scenario(
             report.latency_percentile(99.0)
         );
     }
-    ScenarioRow { name, requests: requests.len(), report, window_p50, window_p99 }
+    ScenarioRow {
+        name,
+        site,
+        requests: requests.len(),
+        workload: requests,
+        report,
+        window_p50,
+        window_p99,
+    }
 }
 
 impl ScenarioRow {
@@ -336,6 +361,7 @@ fn fleet_config(s: u64, estimates: &[u64], fleet_slos: Vec<Objective>) -> FleetC
         flap_epoch: 4 * s,
         brownout_factor: 4,
         recovery: None,
+        keep_traces: true,
     }
 }
 
@@ -395,7 +421,12 @@ fn kill_seed(want_down: usize, window_end: u64, with_brownout: bool) -> (u64, Ve
 
 struct FleetRow {
     name: &'static str,
+    /// The replica-chaos site armed for this storm ("" when clean).
+    site: &'static str,
     requests: usize,
+    /// The arrival trace the storm answered (for event-record
+    /// deadlines).
+    workload: Vec<Request>,
     report: sc_serve::FleetReport,
 }
 
@@ -544,7 +575,13 @@ fn fleet_storms(
     let single = Server::new(protected_config()).run(&mut backend(), surge.clone());
     let report = Fleet::new(fleet_config(s, &estimates, fleet_objectives(s)))
         .run(&mut fleet_backends(), surge.clone());
-    let row = FleetRow { name: "fleet-scale-out", requests: surge.len(), report };
+    let row = FleetRow {
+        name: "fleet-scale-out",
+        site: "",
+        requests: surge.len(),
+        workload: surge.clone(),
+        report,
+    };
     assert_eq!(row.report.responses.len(), surge.len(), "every request finalized exactly once");
     if ambient_clean {
         assert!(
@@ -573,7 +610,13 @@ fn fleet_storms(
         Fleet::new(fleet_config(s, &estimates, fleet_objectives(s)))
             .run(&mut fleet_backends(), steady.clone())
     };
-    rows.push(FleetRow { name: "fleet-minority-kill", requests: steady.len(), report });
+    rows.push(FleetRow {
+        name: "fleet-minority-kill",
+        site: sc_serve::sites::REPLICA_CRASH,
+        requests: steady.len(),
+        workload: steady.clone(),
+        report,
+    });
     print_fleet_row(rows.last().unwrap());
     let row = rows.last().unwrap();
     let fh = row.report.health.as_ref().expect("fleet monitored");
@@ -602,7 +645,13 @@ fn fleet_storms(
         Fleet::new(fleet_config(s, &estimates, strict_fleet_objectives(s)))
             .run(&mut fleet_backends(), steady.clone())
     };
-    rows.push(FleetRow { name: "fleet-majority-kill", requests: steady.len(), report });
+    rows.push(FleetRow {
+        name: "fleet-majority-kill",
+        site: sc_serve::sites::REPLICA_CRASH,
+        requests: steady.len(),
+        workload: steady.clone(),
+        report,
+    });
     print_fleet_row(rows.last().unwrap());
     let row = rows.last().unwrap();
     let fh = row.report.health.as_ref().expect("fleet monitored");
@@ -643,7 +692,13 @@ fn fleet_storms(
         Fleet::new(fleet_config(s, &estimates, fleet_objectives(s)))
             .run(&mut fleet_backends(), steady.clone())
     };
-    rows.push(FleetRow { name: "fleet-flap", requests: steady.len(), report });
+    rows.push(FleetRow {
+        name: "fleet-flap",
+        site: sc_serve::sites::REPLICA_FLAP,
+        requests: steady.len(),
+        workload: steady.clone(),
+        report,
+    });
     print_fleet_row(rows.last().unwrap());
     let row = rows.last().unwrap();
     assert_eq!(row.report.responses.len(), steady.len(), "every request finalized exactly once");
@@ -673,7 +728,13 @@ fn fleet_storms(
         (0..REPLICAS).map(|r| PlannedRestart { at: (10 + 8 * r as u64) * s, replica: r }).collect();
     let report = Fleet::new(recovery_config(fleet_objectives(s), restarts))
         .run(&mut fleet_backends(), steady.clone());
-    rows.push(FleetRow { name: "fleet-rolling-restart", requests: steady.len(), report });
+    rows.push(FleetRow {
+        name: "fleet-rolling-restart",
+        site: "",
+        requests: steady.len(),
+        workload: steady.clone(),
+        report,
+    });
     print_fleet_row(rows.last().unwrap());
     let row = rows.last().unwrap();
     let rec = row.report.recovery;
@@ -732,7 +793,13 @@ fn fleet_storms(
         Fleet::new(recovery_config(fleet_objectives(s), Vec::new()))
             .run(&mut fleet_backends(), surge.clone())
     };
-    rows.push(FleetRow { name: "fleet-crash-restart-loop", requests: surge.len(), report });
+    rows.push(FleetRow {
+        name: "fleet-crash-restart-loop",
+        site: sc_serve::sites::REPLICA_CRASH,
+        requests: surge.len(),
+        workload: surge.clone(),
+        report,
+    });
     print_fleet_row(rows.last().unwrap());
     let row = rows.last().unwrap();
     let rec = row.report.recovery;
@@ -789,7 +856,13 @@ fn fleet_storms(
         ))
         .run(&mut fleet_backends(), steady.clone())
     };
-    rows.push(FleetRow { name: "fleet-restart-fail", requests: steady.len(), report });
+    rows.push(FleetRow {
+        name: "fleet-restart-fail",
+        site: sc_serve::sites::RESTART_FAIL,
+        requests: steady.len(),
+        workload: steady.clone(),
+        report,
+    });
     print_fleet_row(rows.last().unwrap());
     let row = rows.last().unwrap();
     let rec = row.report.recovery;
@@ -854,6 +927,156 @@ fn fleet_storms(
     rows
 }
 
+/// Synthetic heavy-tailed backend for the big observability storm. Per
+/// payload the full-precision cost is `base << k` where `k` is
+/// geometrically distributed (trailing zeros of a SplitMix64 draw,
+/// capped at 8), so a few payloads cost 256x the cheap ones — the
+/// data-dependent BISC latency distribution, exaggerated to make tails
+/// worth profiling. Degraded tiers scale the cost by
+/// `effective_bits / N`, exactly like the truncated-stream EDT path,
+/// and the reply's profile tiles the service window so span trees graft
+/// and fold.
+struct HeavyTailBackend {
+    costs: Vec<u64>,
+}
+
+impl HeavyTailBackend {
+    fn new(seed: u64, payloads: usize, base: u64) -> HeavyTailBackend {
+        let costs = (0..payloads as u64)
+            .map(|i| base << TraceId::derive(seed, i).0.trailing_zeros().min(8))
+            .collect();
+        HeavyTailBackend { costs }
+    }
+}
+
+impl Backend for HeavyTailBackend {
+    fn payloads(&self) -> usize {
+        self.costs.len()
+    }
+
+    fn serve(
+        &mut self,
+        payload: usize,
+        effective_bits: Option<u32>,
+    ) -> Result<BackendReply, sc_core::Error> {
+        let full = self.costs[payload];
+        let bits = u64::from(effective_bits.unwrap_or(N_BITS).min(N_BITS));
+        let cycles = (full * bits / u64::from(N_BITS)).max(1);
+        let profile = BackendProfile::single_layer(
+            "synth",
+            vec![TileProfile {
+                compute: cycles,
+                verify: 0,
+                recompute: 0,
+                edt_saved: full - cycles,
+            }],
+        );
+        Ok(BackendReply { outputs: vec![payload as i64, cycles as i64], cycles, profile })
+    }
+}
+
+/// Heavy-tail/flash-crowd arrival trace for the obs storm: blocks of
+/// 250 requests, each opening with a 40-request flash crowd on a single
+/// tick followed by steadily spaced arrivals. Payloads are drawn from
+/// the trace seed, so the cost mix is uniform across the run.
+fn obs_trace(n: u64, payloads: usize) -> Vec<Request> {
+    const SPACING: u64 = 200;
+    const DEADLINE: u64 = 8_000;
+    let mut t = 0u64;
+    (0..n)
+        .map(|i| {
+            // The crowd leader (i % 250 == 0) advances the clock; the
+            // 39 followers land on the same tick.
+            if i % 250 == 0 || i % 250 >= 40 {
+                t += SPACING;
+            }
+            let payload = (TraceId::derive(OBS_SEED, i).0 >> 33) as usize % payloads;
+            Request { id: i, arrival: t, deadline: t + DEADLINE, payload }
+        })
+        .collect()
+}
+
+/// The tentpole storm: one ≥100k-request heavy-tail/flash-crowd trace
+/// replayed through fleets of 2, 4, and 8 replicas with span-tree
+/// retention off, every finalized request streamed into the obs plane.
+/// Gated on capacity scaling: goodput must not fall and the bucketed
+/// p99 must not rise as replicas are added. Returns the compact JSON
+/// rows for `serve_storm.json`.
+fn obs_storms(ctx: &mut sc_telemetry::BenchCtx, obs: &mut ObsLog, quick: bool) -> Vec<Json> {
+    let n: u64 = if quick { 12_000 } else { 100_000 };
+    let payloads = 64usize;
+    let backend = HeavyTailBackend::new(OBS_SEED, payloads, 64);
+    let trace = obs_trace(n, payloads);
+    ctx.config("obs_requests", n);
+    ctx.config("obs_payloads", payloads as u64);
+    println!("\nobs storm: {n} heavy-tail requests replayed at 2/4/8 replicas");
+
+    let mut rows = Vec::new();
+    let mut prev: Option<(usize, ScenarioSummary)> = None;
+    for replicas in [2usize, 4, 8] {
+        // Span trees for 100k requests would be O(requests · spans)
+        // memory; the folded profile and event records survive without
+        // them.
+        let config = FleetConfig {
+            server: protected_config(),
+            replicas,
+            placement_seed: 0xF1EE7,
+            hedge: None,
+            estimates: backend.costs.clone(),
+            fleet_health: HealthConfig::disabled(),
+            flap_epoch: OBS_WINDOW,
+            brownout_factor: 4,
+            recovery: None,
+            keep_traces: false,
+        };
+        let mut backends: Vec<Box<dyn Backend>> = (0..replicas)
+            .map(|_| {
+                Box::new(HeavyTailBackend { costs: backend.costs.clone() }) as Box<dyn Backend>
+            })
+            .collect();
+        let report = Fleet::new(config).run(&mut backends, trace.clone());
+        assert_eq!(report.responses.len(), trace.len(), "every request finalized exactly once");
+        assert!(report.traces.is_empty(), "keep_traces off must retain no span trees");
+
+        let idx = obs.scenario(format!("obs-heavy-tail-x{replicas}"), "", replicas as u64);
+        obs.ingest(idx, &report.event_records(TRACE_SEED, &trace));
+        obs.fold(idx, &report.folded);
+        let sum = obs.summary(idx);
+        println!(
+            "  x{replicas}: goodput {:.4}, p99 {} ticks, max {} ticks, {} windows",
+            sum.goodput, sum.p99, sum.max_latency, sum.windows
+        );
+        if let Some((pr, p)) = prev {
+            assert!(
+                sum.goodput >= p.goodput,
+                "goodput must not fall when scaling {pr} -> {replicas} replicas: \
+                 {:.4} -> {:.4}",
+                p.goodput,
+                sum.goodput
+            );
+            assert!(
+                sum.p99 <= p.p99,
+                "p99 must not rise when scaling {pr} -> {replicas} replicas: {} -> {}",
+                p.p99,
+                sum.p99
+            );
+        }
+        prev = Some((replicas, sum));
+        rows.push(Json::obj(vec![
+            ("scenario", Json::Str(format!("obs-heavy-tail-x{replicas}"))),
+            ("replicas", Json::UInt(replicas as u64)),
+            ("requests", Json::UInt(sum.requests)),
+            ("completed", Json::UInt(sum.completed)),
+            ("goodput", Json::Num(sum.goodput)),
+            ("p99_ticks", Json::UInt(sum.p99)),
+            ("max_latency_ticks", Json::UInt(sum.max_latency)),
+            ("windows", Json::UInt(sum.windows)),
+        ]));
+    }
+    println!("check: goodput nondecreasing, p99 nonincreasing across 2/4/8 replicas  [ok]");
+    rows
+}
+
 fn main() {
     sc_telemetry::bench_run(
         "serve_storm",
@@ -907,7 +1130,8 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
 
     // Ramp: the ladder engages as load crosses saturation.
     let ramp = ramp_trace(ramp_n, s);
-    let row = run_scenario("ramp", monitored_config(s, clean_objectives(s)), &mut backend(), ramp);
+    let row =
+        run_scenario("ramp", "", monitored_config(s, clean_objectives(s)), &mut backend(), ramp);
     assert_eq!(row.report.responses.len(), row.requests, "every request finalized exactly once");
     assert!(row.report.max_queue_depth <= QUEUE_CAPACITY, "queue growth is bounded");
     rows.push(row);
@@ -915,12 +1139,14 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
 
     // Spike, naive vs protected. The naive baseline serves unmonitored.
     let spike = spike_trace(background, burst, s);
-    let row = run_scenario("spike-naive", naive_config(spike.len()), &mut backend(), spike.clone());
+    let row =
+        run_scenario("spike-naive", "", naive_config(spike.len()), &mut backend(), spike.clone());
     rows.push(row);
     print_row(rows.last().unwrap());
 
     let row = run_scenario(
         "spike-protected",
+        "",
         monitored_config(s, clean_objectives(s)),
         &mut backend(),
         spike.clone(),
@@ -938,6 +1164,7 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
         );
         run_scenario(
             "spike-faulted",
+            "serve.backend",
             monitored_config(s, faulted_objectives(s)),
             &mut backend(),
             spike.clone(),
@@ -1063,12 +1290,70 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
     // inference; degraded tiers report their agreement.
     let agreement = neural_agreement(ctx, quick);
 
+    // The deterministic observability plane: one append-only event log
+    // over every storm in this run — the single-server scenarios, the
+    // fleet storms, and the heavy-tail obs storm — all under the shared
+    // trace seed, written to `results/obs/` with its folded-stack cycle
+    // profile.
+    let mut obs = ObsLog::new("serve_storm", ObsConfig::new(OBS_WINDOW, OBS_SEED));
+    for row in &rows {
+        let idx = obs.scenario(row.name, row.site, 1);
+        obs.ingest(idx, &row.report.event_records(TRACE_SEED, &row.workload));
+        for tree in &row.report.traces {
+            obs.fold_tree(idx, tree);
+        }
+    }
+    for row in &frows {
+        let idx = obs.scenario(row.name, row.site, REPLICAS as u64);
+        obs.ingest(idx, &row.report.event_records(TRACE_SEED, &row.workload));
+        obs.fold(idx, &row.report.folded);
+    }
+    let obs_rows = obs_storms(ctx, &mut obs, quick);
+
+    let out_dir = ctx.manifest_path().parent().expect("manifest has a parent").to_path_buf();
+    let (events_path, folded_path) = obs.write(&out_dir.join("obs")).expect("write results/obs");
+    ctx.record_artifact(&events_path);
+    ctx.record_artifact(&folded_path);
+    let log_text = std::fs::read_to_string(&events_path).expect("read back event log");
+    let log_lines = log_text.lines().count();
+    assert!(
+        log_lines <= obs.line_bound(),
+        "event log must stay bounded: {log_lines} lines > bound {}",
+        obs.line_bound()
+    );
+    // Every reported p99 links to a concrete request: each scenario
+    // summary line with completions carries a p99 exemplar trace id.
+    let mut summaries = 0usize;
+    for line in log_text.lines() {
+        let j = Json::parse(line).expect("event-log lines are JSON");
+        if j.get("kind").and_then(Json::as_str) != Some("scenario") {
+            continue;
+        }
+        if j.get("completed").and_then(Json::as_u64).unwrap_or(0) > 0 {
+            assert!(
+                j.get("p99_exemplar").is_some(),
+                "scenario {:?} reports a p99 without an exemplar trace",
+                j.get("name")
+            );
+            summaries += 1;
+        }
+    }
+    assert!(summaries > 0, "the event log must carry scenario summaries");
+    // The written log round-trips through the query engine.
+    let view = sc_telemetry::ObsView::load(&events_path).expect("event log parses");
+    assert_eq!(view.bench(), "serve_storm");
+    println!(
+        "obs plane: {log_lines} log lines (bound {}), folded profile {} cycles -> {}",
+        obs.line_bound(),
+        obs.folded_total().total(),
+        events_path.display()
+    );
+
     // Flight-recorder incident snapshots: one JSON file per frozen
     // incident under `results/incidents/`, named after the scenario
     // (and owning shard) that froze it, with a per-scenario sequence
     // suffix. `incidents/index.json` is the manifest over the set. The
     // bench manifest carries the faulted storm's health rollup.
-    let out_dir = ctx.manifest_path().parent().expect("manifest has a parent").to_path_buf();
     let incidents_dir = out_dir.join("incidents");
     std::fs::create_dir_all(&incidents_dir).expect("create results/incidents");
     let mut index: Vec<Json> = Vec::new();
@@ -1100,6 +1385,15 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
                 },
             ));
         }
+        // The snapshot's worst-latency spans, as trace ids under the
+        // run's shared seed — the link from an alert verdict into the
+        // obs plane (`sc_obs top` surfaces the same ids).
+        let exemplars: Vec<Json> = inc
+            .exemplar_span_ids(3)
+            .iter()
+            .map(|&id| Json::Str(format!("0x{:016x}", TraceId::derive(TRACE_SEED, id).0)))
+            .collect();
+        pairs.push(("exemplar_traces", Json::Arr(exemplars.clone())));
         pairs.push(("incident", inc.to_json()));
         let json = Json::obj(pairs);
         sc_telemetry::export::write_json(&path, &json).expect("write incident snapshot");
@@ -1109,6 +1403,7 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
             ("scenario", Json::Str(scenario.to_string())),
             ("owner", Json::Str(owner)),
             ("cycle", Json::UInt(inc.cycle)),
+            ("exemplar_traces", Json::Arr(exemplars)),
         ]));
     };
     for row in &rows {
@@ -1150,6 +1445,14 @@ fn run(ctx: &mut sc_telemetry::BenchCtx) {
         ("service_ticks", Json::UInt(s)),
         ("scenarios", Json::Arr(rows.iter().map(ScenarioRow::to_json).collect())),
         ("fleet_scenarios", Json::Arr(frows.iter().map(FleetRow::to_json).collect())),
+        (
+            "obs",
+            Json::obj(vec![
+                ("events", Json::Str(events_path.display().to_string())),
+                ("folded", Json::Str(folded_path.display().to_string())),
+                ("scenarios", Json::Arr(obs_rows)),
+            ]),
+        ),
         ("neural_agreement", agreement),
     ]);
     ctx.results_json(&json).expect("write serve_storm.json");

@@ -444,6 +444,7 @@ fn fleet_identical_across_thread_counts() {
         flap_epoch: 2 * estimate,
         brownout_factor: 4,
         recovery: None,
+        keep_traces: true,
     };
     // Bursty arrivals: queueing, degradation, hedging, and failover all
     // participate in the fingerprint.

@@ -24,8 +24,8 @@
 //!   driving event loop, owning the verdict-driven degradation tier
 //!   floor that `sc-serve` consults in its occupancy ladder, and
 //!   producing the end-of-run [`monitor::HealthReport`].
-//! * [`prom`] — Prometheus text exposition for metric snapshots and
-//!   manifest health summaries (`results/<bench>.prom`).
+//! * [`prom`] — re-export of the single shared Prometheus writer in
+//!   [`sc_telemetry::prom`] (`results/<bench>.prom`).
 //!
 //! The motivating workload is BISC-MVM serving, where latency is
 //! data-dependent (`t = Σ|2^(N-1)·w|`): healthy cycle budgets are
@@ -36,7 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod monitor;
-pub mod prom;
+pub use sc_telemetry::prom;
 pub mod recorder;
 pub mod slo;
 pub mod window;

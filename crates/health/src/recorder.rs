@@ -208,6 +208,18 @@ impl IncidentSnapshot {
         }
         h
     }
+
+    /// The request ids of the `k` worst-latency spans in the snapshot
+    /// (latency descending, id ascending on ties) — the concrete
+    /// requests an incident links as exemplars. Under a deterministic
+    /// trace seed the caller can derive each one's trace id
+    /// (`TraceId::derive(seed, id)`), tying a breach to specific
+    /// entries in the observability event log.
+    pub fn exemplar_span_ids(&self, k: usize) -> Vec<u64> {
+        let mut ranked: Vec<(u64, u64)> = self.spans.iter().map(|s| (s.latency, s.id)).collect();
+        ranked.sort_by_key(|&(latency, id)| (std::cmp::Reverse(latency), id));
+        ranked.into_iter().take(k).map(|(_, id)| id).collect()
+    }
 }
 
 /// Bounded ring buffers plus the frozen incidents.
@@ -360,6 +372,26 @@ mod tests {
         let inc = &r.incidents()[0];
         let cycles: Vec<u64> = inc.events.iter().map(|e| e.cycle).collect();
         assert_eq!(cycles, vec![3, 4], "only the newest survive, oldest first");
+    }
+
+    #[test]
+    fn exemplar_span_ids_rank_worst_latency_first() {
+        let mut r = FlightRecorder::new(8, 8, 8, 4);
+        for (id, latency) in [(1u64, 50u64), (2, 900), (3, 900), (4, 10), (5, 400)] {
+            r.push_span(SpanSummary {
+                id,
+                outcome: "completed".to_string(),
+                latency,
+                attempts: 1,
+                finished_at: 1000 + id,
+            });
+        }
+        r.freeze(&breach(1100), &SystemState::idle());
+        let inc = &r.incidents()[0];
+        // Latency descending, id ascending on the 900-tick tie.
+        assert_eq!(inc.exemplar_span_ids(3), vec![2, 3, 5]);
+        assert_eq!(inc.exemplar_span_ids(0), Vec::<u64>::new());
+        assert_eq!(inc.exemplar_span_ids(99).len(), 5, "k past the ring returns all spans");
     }
 
     #[test]

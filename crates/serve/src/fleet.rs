@@ -56,7 +56,7 @@ use std::collections::BTreeMap;
 
 use sc_health::{HealthConfig, HealthMonitor, HealthReport, Sample, SpanSummary, SystemState};
 use sc_telemetry::metrics::{counter, Counter};
-use sc_telemetry::{BackendProfile, CycleCategory, SpanTree};
+use sc_telemetry::{BackendProfile, CycleCategory, EventRecord, FoldedStacks, SpanTree};
 
 use crate::breaker::{BreakerState, CircuitBreaker};
 use crate::clock::VirtualClock;
@@ -98,6 +98,12 @@ pub struct FleetConfig {
     /// replay-safe rejoin). `None` (the default) keeps PR-era behavior:
     /// a crashed replica stays down and is only routed around.
     pub recovery: Option<RecoveryPolicy>,
+    /// Whether to retain every request's span tree in
+    /// [`FleetReport::traces`]. Event records and the folded profile
+    /// are always produced (they are O(requests) *work* but O(samples)
+    /// *state* downstream); disabling this keeps 10⁵–10⁶-request
+    /// observability storms out of O(requests · spans) memory.
+    pub keep_traces: bool,
 }
 
 impl Default for FleetConfig {
@@ -112,6 +118,7 @@ impl Default for FleetConfig {
             flap_epoch: 4096,
             brownout_factor: 4,
             recovery: None,
+            keep_traces: true,
         }
     }
 }
@@ -227,8 +234,13 @@ pub struct FleetReport {
     pub max_queue_depth: usize,
     /// Virtual tick at which the last event was processed.
     pub horizon: u64,
-    /// One causal span tree per request, in finalization order.
+    /// One causal span tree per request, in finalization order (empty
+    /// when [`FleetConfig::keep_traces`] is off).
     pub traces: Vec<SpanTree>,
+    /// Folded-stack cycle profile over every request's span tree —
+    /// bounded by the distinct request shapes, so it survives
+    /// `keep_traces: false` storms intact.
+    pub folded: FoldedStacks,
     /// Per-shard aggregates, indexed by replica.
     pub shards: Vec<ShardReport>,
     /// The fleet-level monitor's report, when
@@ -253,6 +265,20 @@ impl FleetReport {
     /// The `p`-th percentile (nearest-rank) of completed latencies.
     pub fn latency_percentile(&self, p: f64) -> u64 {
         latency_percentile_of(&self.responses, p)
+    }
+
+    /// One observability [`EventRecord`] per response, in finalization
+    /// order: [`crate::report::event_records_of`] with the fleet's
+    /// routing meta (replica, hedging) layered on top. Derived on
+    /// demand so the report never stores a second O(requests) copy.
+    pub fn event_records(&self, trace_seed: u64, requests: &[Request]) -> Vec<EventRecord> {
+        let mut recs = crate::report::event_records_of(trace_seed, &self.responses, requests);
+        for (rec, m) in recs.iter_mut().zip(&self.meta) {
+            rec.replica = m.replica.map(|x| x as u64);
+            rec.hedged = m.hedged;
+            rec.hedge_won = m.hedge_won;
+        }
+        recs
     }
 
     /// Flattens the whole report into a `Vec<u64>` for
@@ -292,6 +318,7 @@ impl FleetReport {
         for t in &self.traces {
             fp.extend(t.fingerprint());
         }
+        fp.extend(self.folded.fingerprint());
         for s in &self.shards {
             fp.extend(s.fingerprint());
         }
@@ -604,7 +631,10 @@ impl Fleet {
 
         let mut responses: Vec<Response> = Vec::with_capacity(requests.len());
         let mut meta: Vec<ResponseMeta> = Vec::with_capacity(requests.len());
-        let mut traces: Vec<SpanTree> = Vec::with_capacity(requests.len());
+        let keep_traces = self.config.keep_traces;
+        let mut traces: Vec<SpanTree> =
+            Vec::with_capacity(if keep_traces { requests.len() } else { 0 });
+        let mut folded = FoldedStacks::new();
         let mut completed_by_tier = vec![0u64; cfg.degrade.tier_count()];
         let mut shed = 0u64;
         let mut timed_out = 0u64;
@@ -707,7 +737,10 @@ impl Fleet {
                 attribution,
             });
             meta.push(ResponseMeta { id: entry.req.id, replica, hedged, hedge_won });
-            traces.push(tree);
+            folded.add_tree(&tree);
+            if keep_traces {
+                traces.push(tree);
+            }
             let sample = match outcome {
                 Outcome::Completed { tier } => Sample::Completed { latency, degraded: tier > 0 },
                 Outcome::Shed => Sample::Shed,
@@ -1699,6 +1732,7 @@ impl Fleet {
             max_queue_depth,
             horizon: clock.now(),
             traces,
+            folded,
             shards,
             health,
             recovery: recovery.as_ref().map(RecoveryManager::stats).unwrap_or_default(),

@@ -12,8 +12,12 @@
 //! derived from the [`RequestAcct`] timeline the server keeps per
 //! request.
 
+use std::collections::BTreeMap;
+
 use sc_health::HealthReport;
-use sc_telemetry::{BackendProfile, CycleAttribution, SpanTree};
+use sc_telemetry::{BackendProfile, CycleAttribution, EventRecord, SpanTree, TraceId};
+
+use crate::server::Request;
 
 /// One accounted slice of a request's lifetime, recorded by the server
 /// as events happen and replayed into a [`SpanTree`] at finalization.
@@ -149,6 +153,43 @@ pub(crate) fn latency_percentile_of(responses: &[Response], p: f64) -> u64 {
     lat[rank.clamp(1, lat.len()) - 1]
 }
 
+/// Builds one observability [`EventRecord`] per response (finalization
+/// order) from a response list and the workload it answered, under the
+/// run's trace seed. Replica and hedge facts default to "single
+/// unsharded server"; the fleet report layers its routing meta on top.
+pub fn event_records_of(
+    trace_seed: u64,
+    responses: &[Response],
+    requests: &[Request],
+) -> Vec<EventRecord> {
+    let deadlines: BTreeMap<u64, u64> = requests.iter().map(|r| (r.id, r.deadline)).collect();
+    responses
+        .iter()
+        .map(|r| {
+            let tier = match r.outcome {
+                Outcome::Completed { tier } => Some(tier as u64),
+                _ => None,
+            };
+            let deadline = deadlines.get(&r.id).copied().unwrap_or(u64::MAX);
+            EventRecord {
+                id: r.id,
+                trace: TraceId::derive(trace_seed, r.id).0,
+                replica: None,
+                tier,
+                outcome: r.outcome.name().to_string(),
+                attempts: r.attempts as u64,
+                hedged: false,
+                hedge_won: false,
+                arrival: r.finished_at - r.latency,
+                finished_at: r.finished_at,
+                latency: r.latency,
+                deadline_slack: deadline as i64 - r.finished_at as i64,
+                attribution: r.attribution,
+            }
+        })
+        .collect()
+}
+
 /// Aggregated result of one [`crate::Server::run`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
@@ -196,6 +237,12 @@ impl ServeReport {
     /// requests' virtual latencies; 0 when nothing completed.
     pub fn latency_percentile(&self, p: f64) -> u64 {
         latency_percentile_of(&self.responses, p)
+    }
+
+    /// One observability [`EventRecord`] per response (see
+    /// [`event_records_of`]).
+    pub fn event_records(&self, trace_seed: u64, requests: &[Request]) -> Vec<EventRecord> {
+        event_records_of(trace_seed, &self.responses, requests)
     }
 
     /// Flattens the whole report — aggregates and every response — into

@@ -103,16 +103,19 @@ impl BenchCtx {
     }
 
     /// Writes the bench's bare results JSON (`<out_dir>/<bench>.json`)
-    /// and records it as a manifest artifact. All benches route their
-    /// summary rows through this so the `results/` layout stays
-    /// uniform.
+    /// and records it as a manifest artifact, stamping
+    /// [`crate::export::RESULTS_SCHEMA_VERSION`] via
+    /// [`crate::export::with_schema_version`] (top-level arrays are
+    /// wrapped as `{"schema_version", "rows"}`). All benches route
+    /// their summary rows through this so the `results/` layout stays
+    /// uniform and versioned.
     ///
     /// # Errors
     ///
     /// Returns any underlying I/O error.
     pub fn results_json(&mut self, value: &Json) -> io::Result<()> {
         let path = self.out_dir.join(format!("{}.json", self.manifest.bench));
-        crate::export::write_json(&path, value)?;
+        crate::export::write_json(&path, &crate::export::with_schema_version(value))?;
         self.record_artifact(&path);
         println!("wrote {}", path.display());
         Ok(())

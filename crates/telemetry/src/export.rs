@@ -52,6 +52,33 @@ pub fn write_json<P: AsRef<Path>>(path: P, value: &Json) -> io::Result<()> {
     std::fs::write(path, value.render_pretty())
 }
 
+/// Schema version stamped into every bare results JSON written via
+/// [`write_results_json`] / `BenchCtx::results_json` (validated by
+/// ci.sh alongside the manifest schema).
+pub const RESULTS_SCHEMA_VERSION: u64 = 1;
+
+/// Stamps [`RESULTS_SCHEMA_VERSION`] onto a bare results value: an
+/// object gains a leading `schema_version` key (existing keys win — a
+/// bench may pin its own), and any other shape is wrapped as
+/// `{"schema_version": N, "rows": <value>}` so top-level arrays are
+/// versioned too.
+pub fn with_schema_version(value: &Json) -> Json {
+    match value {
+        Json::Obj(pairs) => {
+            if pairs.iter().any(|(k, _)| k == "schema_version") {
+                return value.clone();
+            }
+            let mut out = vec![("schema_version".to_string(), Json::UInt(RESULTS_SCHEMA_VERSION))];
+            out.extend(pairs.iter().cloned());
+            Json::Obj(out)
+        }
+        other => Json::obj(vec![
+            ("schema_version", Json::UInt(RESULTS_SCHEMA_VERSION)),
+            ("rows", other.clone()),
+        ]),
+    }
+}
+
 /// Canonical path of a bench's bare results file:
 /// `results/<bench>.json`, next to its manifest.
 pub fn results_json_path(bench: &str) -> std::path::PathBuf {
@@ -59,7 +86,8 @@ pub fn results_json_path(bench: &str) -> std::path::PathBuf {
 }
 
 /// Writes a bench's bare results JSON to [`results_json_path`] and
-/// returns the path written. This is the single writer all benches
+/// returns the path written, stamping [`RESULTS_SCHEMA_VERSION`] via
+/// [`with_schema_version`]. This is the single writer all benches
 /// share so the `results/` layout stays uniform; prefer
 /// `BenchCtx::results_json`, which also records the file as a manifest
 /// artifact.
@@ -69,7 +97,7 @@ pub fn results_json_path(bench: &str) -> std::path::PathBuf {
 /// Returns any underlying I/O error.
 pub fn write_results_json(bench: &str, value: &Json) -> io::Result<std::path::PathBuf> {
     let path = results_json_path(bench);
-    write_json(&path, value)?;
+    write_json(&path, &with_schema_version(value))?;
     Ok(path)
 }
 

@@ -25,6 +25,13 @@
 //! * [`bench`] — [`bench::bench_run`]: the shared harness all
 //!   `sc-bench` binaries route through (preamble, `--quick`/`--csv`
 //!   parsing, tracing/metrics setup from `SC_TRACE`, manifest emission).
+//! * [`obs`] — the deterministic observability plane: bounded
+//!   per-request event logs ([`obs::ObsLog`]) with counter-keyed
+//!   reservoir/exemplar sampling, folded-stack cycle flamegraphs
+//!   ([`obs::FoldedStacks`]), and the [`obs::ObsView`] query engine
+//!   behind the `sc_obs` CLI.
+//! * [`prom`] — the single Prometheus text-exposition writer shared by
+//!   every `.prom` emitter in the workspace.
 //!
 //! ## Enabling tracing
 //!
@@ -45,12 +52,18 @@ pub mod export;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
+pub mod obs;
+pub mod prom;
 pub mod span;
 pub mod trace;
 
 pub use bench::{bench_run, BenchCtx};
 pub use manifest::{HealthSummary, RunManifest, TraceSummary, MANIFEST_SCHEMA_VERSION};
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
+pub use obs::{
+    folded_share_regressions, EventRecord, FoldedStacks, ObsConfig, ObsLog, ObsQuery, ObsView,
+    ScenarioSummary, OBS_SCHEMA_VERSION,
+};
 pub use trace::{
     record_attribution, BackendProfile, CycleAttribution, CycleCategory, CycleSpan, LayerProfile,
     SpanId, SpanTree, TileProfile, TraceId,

@@ -491,6 +491,57 @@ mod tests {
     }
 
     #[test]
+    fn windowed_quantiles_collapse_when_one_bucket_holds_the_window() {
+        let _g = crate::test_guard();
+        set_enabled(true);
+        let h = histogram("test.hist.window.onebucket", &log2_bounds(10));
+        h.record(1_000); // pre-baseline history in a high bucket
+        let baseline = h.snapshot();
+        // Every post-baseline value lands in the (8, 16] bucket, so all
+        // quantiles collapse to that bucket's upper bound.
+        for v in [9, 11, 13, 16] {
+            h.record(v);
+        }
+        for q in [0.01, 0.25, 0.50, 0.99, 1.0] {
+            assert_eq!(h.quantile_at_window(&baseline, q), 16, "q={q}");
+            assert_eq!(h.snapshot().quantile_since(&baseline, q), 16, "q={q}");
+        }
+        set_enabled(false);
+    }
+
+    #[test]
+    fn windowed_quantile_max_clamp_spans_window_rotations() {
+        let _g = crate::test_guard();
+        set_enabled(true);
+        let h = histogram("test.hist.window.maxclamp", &log2_bounds(10));
+        // First window: a single mid-bucket value. The clamp uses the
+        // overall max (per-window maxima are not tracked), which right
+        // now equals this value.
+        let w0 = h.snapshot();
+        h.record(5);
+        assert_eq!(h.quantile_at_window(&w0, 1.0), 5);
+        let w1 = h.snapshot();
+        // Second window raises the overall max into the overflow range;
+        // the windowed quantile reports it exactly.
+        h.record(2_000);
+        assert_eq!(h.quantile_at_window(&w1, 0.5), 2_000);
+        let w2 = h.snapshot();
+        // Third window: only small values, but the quantile's bucket
+        // bound (8 for value 6) is below the stale overall max, so the
+        // clamp is inert and the answer stays window-accurate.
+        h.record(6);
+        assert_eq!(h.quantile_at_window(&w2, 1.0), 8);
+        // A fourth window whose values share the overflow bucket with
+        // the stale max reports the *overall* max, not the window max —
+        // the documented approximation of not tracking per-window
+        // maxima.
+        let w3 = h.snapshot();
+        h.record(1_500);
+        assert_eq!(h.quantile_at_window(&w3, 1.0), 2_000);
+        set_enabled(false);
+    }
+
+    #[test]
     #[should_panic(expected = "different histogram")]
     fn windowed_quantile_rejects_foreign_baseline() {
         let _g = crate::test_guard();

@@ -1,0 +1,1419 @@
+//! Deterministic observability plane: a bounded per-request event log.
+//!
+//! The serving layer finalizes 10⁵–10⁶ requests per storm, and BISC
+//! latency is data-dependent (`t = Σ|2^(N-1)·w|`), so the latency
+//! distribution is heavy-tailed *by construction* — the interesting
+//! question is never "what was the mean" but "which requests made p99
+//! spike, and where did their cycles go". This module answers it in
+//! **O(windows + samples)** memory, not O(requests):
+//!
+//! * [`EventRecord`] — one compact record per finalized request: trace
+//!   id, replica (shard), degradation tier, outcome, retries/hedges,
+//!   deadline slack, latency, and the full 14-category
+//!   [`CycleAttribution`].
+//! * [`ObsLog`] — the streaming accumulator. Each record updates
+//!   tumbling virtual-clock windows, per-dimension aggregates
+//!   (outcome / tier / replica), a deterministic reservoir sample, an
+//!   exact top-k-slowest set, per-latency-bucket **exemplars**, and a
+//!   folded-stack profile — then is dropped. Nothing in here scales
+//!   with the request count.
+//! * [`FoldedStacks`] — inferno/speedscope-compatible folded stacks
+//!   (`frame;frame;frame cycles`) accumulated from request span trees;
+//!   the input to differential cycle-flamegraph profiling.
+//! * [`ObsView`] — the query engine over a written log:
+//!   top-k-slowest-with-exemplars, attribution breakdowns, and
+//!   windowed goodput/p99 series, all rendered as deterministic text.
+//!
+//! ## Determinism
+//!
+//! Every sampling decision is a counter-keyed SplitMix64 draw
+//! (Algorithm R keyed on the per-stream record index — never wall
+//! clock, never thread identity), and every aggregate lives in a
+//! `BTreeMap`. Two runs of the same workload therefore serialize to
+//! **byte-identical** logs at any `SC_THREADS` and under either
+//! `SC_ENGINE` — the property the ci.sh obs gate asserts.
+//!
+//! ## Latency semantics
+//!
+//! Counts cover every finalization; latency statistics (buckets,
+//! quantiles, exemplars, top-k) cover **completed** requests only,
+//! matching the `serve.latency` registry histogram and
+//! `latency_percentile` on the serve reports.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+use crate::metrics::log2_bounds;
+use crate::trace::{fnv1a, split_mix, CycleAttribution, CycleCategory, SpanTree};
+
+/// Schema version stamped into the event-log header (and validated by
+/// the ci.sh obs gate alongside the manifest schema).
+pub const OBS_SCHEMA_VERSION: u64 = 1;
+
+/// The outcome name [`EventRecord`]s use for completed requests.
+pub const OUTCOME_COMPLETED: &str = "completed";
+
+fn hex_trace(t: u64) -> String {
+    format!("0x{t:016x}")
+}
+
+fn parse_hex_trace(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
+}
+
+/// One compact record per finalized request — everything a post-mortem
+/// needs, nothing request-sized (no span tree, no payload data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Request id.
+    pub id: u64,
+    /// The request's deterministic [`crate::TraceId`] bits.
+    pub trace: u64,
+    /// Replica (shard) that finalized the request; `None` when it died
+    /// before reaching one (shed, dead on arrival) or was served by a
+    /// single unsharded server.
+    pub replica: Option<u64>,
+    /// Degradation tier served at (`Some` only for completions; 0 =
+    /// full precision).
+    pub tier: Option<u64>,
+    /// Terminal outcome short name (`completed`, `shed`, `timed-out`,
+    /// `breaker-open`, `failed`).
+    pub outcome: String,
+    /// Dispatch attempts made (0 if the request never reached one).
+    pub attempts: u64,
+    /// Whether a hedge duplicate was ever launched for this request.
+    pub hedged: bool,
+    /// Whether a hedge duplicate won the race outright.
+    pub hedge_won: bool,
+    /// Arrival tick on the virtual clock.
+    pub arrival: u64,
+    /// Finalization tick on the virtual clock.
+    pub finished_at: u64,
+    /// `finished_at − arrival`: sojourn time in ticks.
+    pub latency: u64,
+    /// `deadline − finished_at`: non-negative when the request beat its
+    /// deadline, negative when it was finalized past it.
+    pub deadline_slack: i64,
+    /// Where every latency cycle went, bucketed by
+    /// [`CycleCategory`] (concurrent buckets ride on top).
+    pub attribution: CycleAttribution,
+}
+
+impl EventRecord {
+    /// Retry dispatches (attempts beyond the first).
+    pub fn retries(&self) -> u64 {
+        self.attempts.saturating_sub(1)
+    }
+
+    /// Whether the request completed (any tier).
+    pub fn completed(&self) -> bool {
+        self.outcome == OUTCOME_COMPLETED
+    }
+
+    /// Flat form for bitwise-determinism fingerprints.
+    pub fn fingerprint(&self) -> Vec<u64> {
+        let mut fp = vec![
+            self.id,
+            self.trace,
+            self.replica.map_or(u64::MAX, |r| r),
+            self.tier.map_or(u64::MAX, |t| t),
+            fnv1a(&self.outcome),
+            self.attempts,
+            self.hedged as u64,
+            self.hedge_won as u64,
+            self.arrival,
+            self.finished_at,
+            self.latency,
+            self.deadline_slack as u64,
+        ];
+        fp.extend(self.attribution.fingerprint());
+        fp
+    }
+
+    /// The record's field pairs, shared by the `sample` and `top` log
+    /// lines.
+    fn json_fields(&self) -> Vec<(&'static str, Json)> {
+        let attr: Vec<(String, Json)> = self
+            .attribution
+            .iter()
+            .map(|(c, cycles)| (c.name().to_string(), Json::UInt(cycles)))
+            .collect();
+        vec![
+            ("id", Json::UInt(self.id)),
+            ("trace", Json::Str(hex_trace(self.trace))),
+            ("replica", self.replica.map_or(Json::Null, Json::UInt)),
+            ("tier", self.tier.map_or(Json::Null, Json::UInt)),
+            ("outcome", Json::Str(self.outcome.clone())),
+            ("attempts", Json::UInt(self.attempts)),
+            ("hedged", Json::Bool(self.hedged)),
+            ("hedge_won", Json::Bool(self.hedge_won)),
+            ("arrival", Json::UInt(self.arrival)),
+            ("finished_at", Json::UInt(self.finished_at)),
+            ("latency", Json::UInt(self.latency)),
+            ("deadline_slack", Json::Num(self.deadline_slack as f64)),
+            ("attr", Json::Obj(attr)),
+        ]
+    }
+
+    /// Parses a record back out of a `sample`/`top` log line.
+    /// Returns `None` on shape mismatch.
+    pub fn from_json(j: &Json) -> Option<EventRecord> {
+        let mut attribution = CycleAttribution::new();
+        if let Some(Json::Obj(pairs)) = j.get("attr") {
+            for (name, v) in pairs {
+                let c = CycleCategory::ALL.iter().find(|c| c.name() == name)?;
+                attribution.add(*c, v.as_u64()?);
+            }
+        }
+        Some(EventRecord {
+            id: j.get("id")?.as_u64()?,
+            trace: parse_hex_trace(j.get("trace")?.as_str()?)?,
+            replica: j.get("replica").and_then(Json::as_u64),
+            tier: j.get("tier").and_then(Json::as_u64),
+            outcome: j.get("outcome")?.as_str()?.to_string(),
+            attempts: j.get("attempts")?.as_u64()?,
+            hedged: j.get("hedged")?.as_bool()?,
+            hedge_won: j.get("hedge_won")?.as_bool()?,
+            arrival: j.get("arrival")?.as_u64()?,
+            finished_at: j.get("finished_at")?.as_u64()?,
+            latency: j.get("latency")?.as_u64()?,
+            deadline_slack: j.get("deadline_slack")?.as_f64()? as i64,
+            attribution,
+        })
+    }
+}
+
+/// Folded call stacks over the virtual cycle clock — the
+/// inferno/speedscope flamegraph interchange format: one line per
+/// distinct root-to-leaf frame path, `frame;frame;frame <cycles>`.
+///
+/// Frames are **category names** (plus the layer's own name for
+/// `Layer` spans, which are low-cardinality labels like `conv0`), so
+/// the map stays bounded by the distinct shapes a request can take,
+/// not by the request count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FoldedStacks {
+    stacks: BTreeMap<String, u64>,
+}
+
+impl FoldedStacks {
+    /// An empty profile.
+    pub fn new() -> FoldedStacks {
+        FoldedStacks::default()
+    }
+
+    /// Adds `cycles` to the stack named by `path` (frames already
+    /// `;`-joined). Zero-cycle additions are dropped — they would add
+    /// noise frames (e.g. breaker markers) with no area.
+    pub fn add(&mut self, path: &str, cycles: u64) {
+        if cycles > 0 {
+            *self.stacks.entry(path.to_string()).or_insert(0) += cycles;
+        }
+    }
+
+    /// Folds one request's span tree: every leaf contributes its cycles
+    /// under its root-to-leaf frame path.
+    pub fn add_tree(&mut self, tree: &SpanTree) {
+        let spans = tree.spans();
+        for (i, s) in spans.iter().enumerate() {
+            let is_leaf = !spans.iter().any(|c| c.parent == Some(s.id));
+            if !is_leaf || s.cycles() == 0 {
+                continue;
+            }
+            // Walk parents up to the root, then reverse into a path.
+            let mut frames: Vec<&str> = Vec::new();
+            let mut cursor = Some(i);
+            while let Some(ci) = cursor {
+                let span = &spans[ci];
+                frames.push(match span.category {
+                    CycleCategory::Layer => span.name.as_str(),
+                    c => c.name(),
+                });
+                cursor = span.parent.and_then(|pid| spans.iter().position(|p| p.id == pid));
+            }
+            frames.reverse();
+            self.add(&frames.join(";"), s.cycles());
+        }
+    }
+
+    /// Merges another profile into this one.
+    pub fn merge(&mut self, other: &FoldedStacks) {
+        for (path, cycles) in &other.stacks {
+            self.add(path, *cycles);
+        }
+    }
+
+    /// The distinct stacks and their cycles, sorted by path.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.stacks.iter().map(|(p, &c)| (p.as_str(), c))
+    }
+
+    /// Total cycles across every stack.
+    pub fn total(&self) -> u64 {
+        self.stacks.values().sum()
+    }
+
+    /// Renders the inferno text form (sorted by path, one stack per
+    /// line, trailing newline when non-empty).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (path, cycles) in &self.stacks {
+            out.push_str(path);
+            out.push(' ');
+            out.push_str(&cycles.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text form written by [`FoldedStacks::render`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<FoldedStacks, String> {
+        let mut folded = FoldedStacks::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (path, count) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("line {}: no cycle count in {line:?}", i + 1))?;
+            let cycles: u64 = count
+                .parse()
+                .map_err(|e| format!("line {}: bad cycle count {count:?}: {e}", i + 1))?;
+            folded.add(path, cycles);
+        }
+        Ok(folded)
+    }
+
+    /// Each stack's share of the total cycles (empty profile → empty
+    /// map).
+    pub fn shares(&self) -> BTreeMap<String, f64> {
+        let total = self.total();
+        if total == 0 {
+            return BTreeMap::new();
+        }
+        self.stacks.iter().map(|(p, &c)| (p.clone(), c as f64 / total as f64)).collect()
+    }
+
+    /// Flat form for bitwise-determinism fingerprints.
+    pub fn fingerprint(&self) -> Vec<u64> {
+        let mut fp = vec![self.stacks.len() as u64];
+        for (path, cycles) in &self.stacks {
+            fp.extend([fnv1a(path), *cycles]);
+        }
+        fp
+    }
+}
+
+/// One attribution-share drift between two folded profiles, as found by
+/// [`folded_share_regressions`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShareDrift {
+    /// The frame path whose share moved.
+    pub stack: String,
+    /// Baseline share of total cycles (0 when the stack is new).
+    pub base_share: f64,
+    /// Current share of total cycles (0 when the stack vanished).
+    pub cur_share: f64,
+}
+
+impl ShareDrift {
+    /// Human-readable one-liner for the report table.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}: share {:.4}% -> {:.4}% ({:+.4} pp)",
+            self.stack,
+            self.base_share * 100.0,
+            self.cur_share * 100.0,
+            (self.cur_share - self.base_share) * 100.0
+        )
+    }
+}
+
+/// Differential profile: every stack whose share of total cycles moved
+/// by more than `tolerance` (absolute share, e.g. `0.01` = one
+/// percentage point) between `base` and `current` — including stacks
+/// that appeared or vanished. The benches are deterministic, so the
+/// default gate runs this at tolerance 0: any drift is a real change
+/// in where the cycles go.
+pub fn folded_share_regressions(
+    base: &FoldedStacks,
+    current: &FoldedStacks,
+    tolerance: f64,
+) -> Vec<ShareDrift> {
+    let (bs, cs) = (base.shares(), current.shares());
+    let mut stacks: Vec<&String> = bs.keys().chain(cs.keys()).collect();
+    stacks.sort();
+    stacks.dedup();
+    // Strict inequality plus an epsilon so tolerance 0 still accepts
+    // bit-identical floating shares.
+    let slop = tolerance.max(0.0) + 1e-12;
+    stacks
+        .into_iter()
+        .filter_map(|stack| {
+            let base_share = bs.get(stack).copied().unwrap_or(0.0);
+            let cur_share = cs.get(stack).copied().unwrap_or(0.0);
+            ((cur_share - base_share).abs() > slop).then(|| ShareDrift {
+                stack: stack.clone(),
+                base_share,
+                cur_share,
+            })
+        })
+        .collect()
+}
+
+/// Sampling/windowing parameters for one [`ObsLog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Tumbling-window width in virtual cycles (windows key on
+    /// `finished_at / window`).
+    pub window: u64,
+    /// Reservoir size: how many full records each scenario stream keeps
+    /// (Algorithm R, counter-keyed draws).
+    pub reservoir: usize,
+    /// How many slowest completed requests each scenario keeps exactly.
+    pub top_k: usize,
+    /// Seed folded into every sampling draw.
+    pub seed: u64,
+    /// Latency bucket upper bounds (one extra overflow bucket is
+    /// implied). Defaults to the `serve.latency` log2 bounds so bucket
+    /// exemplars line up with the registry histogram.
+    pub bounds: Vec<u64>,
+}
+
+impl ObsConfig {
+    /// A config with the standard sizes: 64-record reservoir, top-10,
+    /// `serve.latency`-compatible log2(24) bounds.
+    pub fn new(window: u64, seed: u64) -> ObsConfig {
+        ObsConfig { window: window.max(1), reservoir: 64, top_k: 10, seed, bounds: log2_bounds(24) }
+    }
+}
+
+/// One latency-bucket exemplar: a concrete request behind an aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Exemplar {
+    trace: u64,
+    id: u64,
+    latency: u64,
+}
+
+/// A bounded aggregate over a slice of the record stream (one window,
+/// one group key, or a whole scenario): outcome counts, completed
+/// latency buckets with per-bucket exemplars, and merged attribution.
+#[derive(Debug, Clone, PartialEq)]
+struct Agg {
+    /// Draw key: distinguishes this aggregate's exemplar reservoirs
+    /// from every other aggregate's.
+    key: u64,
+    count: u64,
+    completed: u64,
+    degraded: u64,
+    shed: u64,
+    timed_out: u64,
+    errors: u64,
+    missed_deadline: u64,
+    hedged: u64,
+    retries: u64,
+    /// Completed-latency counts per bucket (+1 overflow).
+    buckets: Vec<u64>,
+    latency_sum: u64,
+    max: u64,
+    /// One reservoir-1 exemplar per bucket (completed records only).
+    exemplars: Vec<Option<Exemplar>>,
+    attr: CycleAttribution,
+}
+
+impl Agg {
+    fn new(key: u64, bounds: usize) -> Agg {
+        Agg {
+            key,
+            count: 0,
+            completed: 0,
+            degraded: 0,
+            shed: 0,
+            timed_out: 0,
+            errors: 0,
+            missed_deadline: 0,
+            hedged: 0,
+            retries: 0,
+            buckets: vec![0; bounds + 1],
+            latency_sum: 0,
+            max: 0,
+            exemplars: vec![None; bounds + 1],
+            attr: CycleAttribution::new(),
+        }
+    }
+
+    fn record(&mut self, rec: &EventRecord, bounds: &[u64], seed: u64) {
+        self.count += 1;
+        self.attr.merge(&rec.attribution);
+        if rec.deadline_slack < 0 {
+            self.missed_deadline += 1;
+        }
+        self.hedged += rec.hedged as u64;
+        self.retries += rec.retries();
+        match rec.outcome.as_str() {
+            OUTCOME_COMPLETED => {
+                self.completed += 1;
+                if rec.tier.unwrap_or(0) > 0 {
+                    self.degraded += 1;
+                }
+                let idx = bounds.partition_point(|&b| b < rec.latency);
+                self.buckets[idx] += 1;
+                self.latency_sum += rec.latency;
+                self.max = self.max.max(rec.latency);
+                // Reservoir of size 1 per bucket: the n-th completed
+                // record in the bucket replaces the exemplar with
+                // probability 1/n, decided by a counter-keyed SplitMix64
+                // draw — deterministic, uniform over the bucket, O(1).
+                let n = self.buckets[idx];
+                let take =
+                    n == 1 || split_mix(seed ^ self.key ^ (idx as u64) << 32 ^ n).is_multiple_of(n);
+                if take {
+                    self.exemplars[idx] =
+                        Some(Exemplar { trace: rec.trace, id: rec.id, latency: rec.latency });
+                }
+            }
+            "shed" => self.shed += 1,
+            "timed-out" => self.timed_out += 1,
+            _ => self.errors += 1,
+        }
+    }
+
+    /// Nearest-rank quantile over the completed-latency buckets,
+    /// clamped to the tracked maximum (per-aggregate, so window and
+    /// group maxima are exact, unlike the registry histogram's
+    /// overall-max clamp).
+    fn quantile(&self, bounds: &[u64], q: f64) -> u64 {
+        if self.completed == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.completed as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bounds.get(i).copied().unwrap_or(u64::MAX).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The exemplar witnessing quantile `q`: the one from the bucket
+    /// holding the rank, falling back to the nearest occupied bucket
+    /// above, then below. `Some` whenever any request completed, so
+    /// every reported p99 links to at least one concrete trace id.
+    fn quantile_exemplar(&self, q: f64) -> Option<Exemplar> {
+        if self.completed == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.completed as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        let mut hit = self.buckets.len() - 1;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                hit = i;
+                break;
+            }
+        }
+        (hit..self.buckets.len()).chain((0..hit).rev()).find_map(|i| self.exemplars[i])
+    }
+
+    fn goodput(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.count as f64
+        }
+    }
+
+    fn attr_json(&self) -> Json {
+        Json::Obj(
+            self.attr
+                .iter()
+                .map(|(c, cycles)| (c.name().to_string(), Json::UInt(cycles)))
+                .collect(),
+        )
+    }
+
+    /// The aggregate's common JSON fields (counts + latency stats +
+    /// p50/p99 with the p99 exemplar).
+    fn json_fields(&self, bounds: &[u64]) -> Vec<(&'static str, Json)> {
+        let mut pairs = vec![
+            ("count", Json::UInt(self.count)),
+            ("completed", Json::UInt(self.completed)),
+            ("degraded", Json::UInt(self.degraded)),
+            ("shed", Json::UInt(self.shed)),
+            ("timed_out", Json::UInt(self.timed_out)),
+            ("errors", Json::UInt(self.errors)),
+            ("missed_deadline", Json::UInt(self.missed_deadline)),
+            ("hedged", Json::UInt(self.hedged)),
+            ("retries", Json::UInt(self.retries)),
+            ("goodput", Json::Num(self.goodput())),
+            ("latency_sum", Json::UInt(self.latency_sum)),
+            ("max", Json::UInt(self.max)),
+            ("p50", Json::UInt(self.quantile(bounds, 0.50))),
+            ("p99", Json::UInt(self.quantile(bounds, 0.99))),
+        ];
+        if let Some(e) = self.quantile_exemplar(0.99) {
+            pairs.push(("p99_exemplar", Json::Str(hex_trace(e.trace))));
+            pairs.push(("p99_exemplar_id", Json::UInt(e.id)));
+        }
+        pairs.push(("attr", self.attr_json()));
+        pairs
+    }
+}
+
+/// One scenario's bounded accumulator inside an [`ObsLog`].
+#[derive(Debug, Clone, PartialEq)]
+struct ScenarioObs {
+    name: String,
+    site: String,
+    replicas: u64,
+    seen: u64,
+    total: Agg,
+    windows: BTreeMap<u64, Agg>,
+    by_outcome: BTreeMap<String, Agg>,
+    by_tier: BTreeMap<u64, Agg>,
+    by_replica: BTreeMap<u64, Agg>,
+    reservoir: Vec<EventRecord>,
+    /// Exact top-k slowest completed requests, keyed `(latency, id)`.
+    top: BTreeMap<(u64, u64), EventRecord>,
+    folded: FoldedStacks,
+}
+
+/// Summary numbers for one scenario stream, for gating asserts without
+/// re-parsing the written log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioSummary {
+    /// Records ingested.
+    pub requests: u64,
+    /// Completed requests.
+    pub completed: u64,
+    /// `completed / requests` (0 when empty).
+    pub goodput: f64,
+    /// Bucketed nearest-rank p99 over completed latencies.
+    pub p99: u64,
+    /// Exact maximum completed latency.
+    pub max_latency: u64,
+    /// Closed tumbling windows the stream touched.
+    pub windows: u64,
+}
+
+/// The streaming, bounded observability accumulator for one bench run.
+/// See the module docs for the memory model and determinism contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsLog {
+    bench: String,
+    cfg: ObsConfig,
+    scenarios: Vec<ScenarioObs>,
+}
+
+impl ObsLog {
+    /// A new empty log for `bench` under `cfg`.
+    pub fn new(bench: impl Into<String>, cfg: ObsConfig) -> ObsLog {
+        ObsLog { bench: bench.into(), cfg, scenarios: Vec::new() }
+    }
+
+    /// Opens a new scenario stream and returns its index. `site` names
+    /// the fault site armed for the scenario (empty when clean) — the
+    /// label `sc_obs` slices on.
+    pub fn scenario(
+        &mut self,
+        name: impl Into<String>,
+        site: impl Into<String>,
+        replicas: u64,
+    ) -> usize {
+        let name = name.into();
+        let key = split_mix(self.cfg.seed ^ fnv1a(&name));
+        let bounds = self.cfg.bounds.len();
+        self.scenarios.push(ScenarioObs {
+            name,
+            site: site.into(),
+            replicas,
+            seen: 0,
+            total: Agg::new(key, bounds),
+            windows: BTreeMap::new(),
+            by_outcome: BTreeMap::new(),
+            by_tier: BTreeMap::new(),
+            by_replica: BTreeMap::new(),
+            reservoir: Vec::new(),
+            top: BTreeMap::new(),
+            folded: FoldedStacks::new(),
+        });
+        self.scenarios.len() - 1
+    }
+
+    /// Streams one finalized-request record into scenario `idx`. O(log
+    /// windows) time, O(1) added memory (amortized zero once the
+    /// windows and groups exist).
+    pub fn record(&mut self, idx: usize, rec: &EventRecord) {
+        let (seed, bounds) = (self.cfg.seed, self.cfg.bounds.clone());
+        let (window, reservoir, top_k) = (self.cfg.window, self.cfg.reservoir, self.cfg.top_k);
+        let sc = &mut self.scenarios[idx];
+        sc.seen += 1;
+        sc.total.record(rec, &bounds, seed);
+        let base = sc.total.key;
+        let w = rec.finished_at / window;
+        sc.windows
+            .entry(w)
+            .or_insert_with(|| Agg::new(split_mix(base ^ w), bounds.len()))
+            .record(rec, &bounds, seed);
+        sc.by_outcome
+            .entry(rec.outcome.clone())
+            .or_insert_with(|| Agg::new(split_mix(base ^ fnv1a(&rec.outcome)), bounds.len()))
+            .record(rec, &bounds, seed);
+        if let Some(t) = rec.tier {
+            sc.by_tier
+                .entry(t)
+                .or_insert_with(|| Agg::new(split_mix(base ^ 0x7139 ^ t), bounds.len()))
+                .record(rec, &bounds, seed);
+        }
+        if let Some(r) = rec.replica {
+            sc.by_replica
+                .entry(r)
+                .or_insert_with(|| Agg::new(split_mix(base ^ 0x9e37 ^ r), bounds.len()))
+                .record(rec, &bounds, seed);
+        }
+        // Algorithm R over the stream: record n (1-based) replaces a
+        // uniformly-drawn slot with probability K/n. The draw is keyed
+        // on the per-stream record index, so the sample is a pure
+        // function of the stream.
+        if sc.reservoir.len() < reservoir {
+            sc.reservoir.push(rec.clone());
+        } else if reservoir > 0 {
+            let j = split_mix(seed ^ base ^ sc.seen) % sc.seen;
+            if (j as usize) < reservoir {
+                sc.reservoir[j as usize] = rec.clone();
+            }
+        }
+        if rec.completed() && top_k > 0 {
+            sc.top.insert((rec.latency, rec.id), rec.clone());
+            while sc.top.len() > top_k {
+                let first = *sc.top.keys().next().expect("non-empty");
+                sc.top.remove(&first);
+            }
+        }
+    }
+
+    /// Streams a batch of records into scenario `idx`.
+    pub fn ingest(&mut self, idx: usize, events: &[EventRecord]) {
+        for rec in events {
+            self.record(idx, rec);
+        }
+    }
+
+    /// Merges a folded-stack profile into scenario `idx` (the serving
+    /// layer folds each span tree as it finalizes, so trees need not
+    /// be retained).
+    pub fn fold(&mut self, idx: usize, folded: &FoldedStacks) {
+        self.scenarios[idx].folded.merge(folded);
+    }
+
+    /// Folds one span tree directly into scenario `idx`.
+    pub fn fold_tree(&mut self, idx: usize, tree: &SpanTree) {
+        self.scenarios[idx].folded.add_tree(tree);
+    }
+
+    /// Summary numbers for scenario `idx`.
+    pub fn summary(&self, idx: usize) -> ScenarioSummary {
+        let sc = &self.scenarios[idx];
+        ScenarioSummary {
+            requests: sc.seen,
+            completed: sc.total.completed,
+            goodput: sc.total.goodput(),
+            p99: sc.total.quantile(&self.cfg.bounds, 0.99),
+            max_latency: sc.total.max,
+            windows: sc.windows.len() as u64,
+        }
+    }
+
+    /// The folded profile merged across every scenario — what the
+    /// differential profiler diffs against `results/baseline/`.
+    pub fn folded_total(&self) -> FoldedStacks {
+        let mut all = FoldedStacks::new();
+        for sc in &self.scenarios {
+            all.merge(&sc.folded);
+        }
+        all
+    }
+
+    /// Upper bound on emitted log lines — a pure function of windows,
+    /// groups, and sample sizes, independent of the request count.
+    pub fn line_bound(&self) -> usize {
+        let b = self.cfg.bounds.len() + 1;
+        1 + self
+            .scenarios
+            .iter()
+            .map(|sc| {
+                2 + sc.windows.len()
+                    + sc.by_outcome.len()
+                    + sc.by_tier.len()
+                    + sc.by_replica.len()
+                    + sc.reservoir.len()
+                    + sc.top.len()
+                    + b
+            })
+            .sum::<usize>()
+    }
+
+    /// Renders the append-only JSONL event log: a header line, then per
+    /// scenario its meta/summary line followed by `window`, `group`,
+    /// `exemplar`, `top`, and `sample` lines — every line one compact
+    /// JSON object, every sequence sorted, the whole text a pure
+    /// function of the ingested stream.
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        let mut line = |j: Json| {
+            out.push_str(&j.render());
+            out.push('\n');
+        };
+        line(Json::obj(vec![
+            ("kind", Json::Str("header".into())),
+            ("schema_version", Json::UInt(OBS_SCHEMA_VERSION)),
+            ("bench", Json::Str(self.bench.clone())),
+            ("window", Json::UInt(self.cfg.window)),
+            ("reservoir", Json::UInt(self.cfg.reservoir as u64)),
+            ("top_k", Json::UInt(self.cfg.top_k as u64)),
+            ("seed", Json::UInt(self.cfg.seed)),
+            ("bounds", Json::Arr(self.cfg.bounds.iter().map(|&b| Json::UInt(b)).collect())),
+            ("scenarios", Json::UInt(self.scenarios.len() as u64)),
+        ]));
+        for (i, sc) in self.scenarios.iter().enumerate() {
+            let i = i as u64;
+            let mut pairs = vec![
+                ("kind", Json::Str("scenario".into())),
+                ("scenario", Json::UInt(i)),
+                ("name", Json::Str(sc.name.clone())),
+                ("site", Json::Str(sc.site.clone())),
+                ("replicas", Json::UInt(sc.replicas)),
+                ("requests", Json::UInt(sc.seen)),
+            ];
+            pairs.extend(sc.total.json_fields(&self.cfg.bounds));
+            line(Json::obj(pairs));
+            for (w, agg) in &sc.windows {
+                let mut pairs = vec![
+                    ("kind", Json::Str("window".into())),
+                    ("scenario", Json::UInt(i)),
+                    ("index", Json::UInt(*w)),
+                    ("start", Json::UInt(w * self.cfg.window)),
+                    ("end", Json::UInt((w + 1) * self.cfg.window)),
+                ];
+                pairs.extend(agg.json_fields(&self.cfg.bounds));
+                line(Json::obj(pairs));
+            }
+            let mut group = |by: &str, key: Json, agg: &Agg| {
+                let mut pairs = vec![
+                    ("kind", Json::Str("group".into())),
+                    ("scenario", Json::UInt(i)),
+                    ("by", Json::Str(by.into())),
+                    ("key", key),
+                ];
+                pairs.extend(agg.json_fields(&self.cfg.bounds));
+                line(Json::obj(pairs));
+            };
+            for (k, agg) in &sc.by_outcome {
+                group("outcome", Json::Str(k.clone()), agg);
+            }
+            for (k, agg) in &sc.by_tier {
+                group("tier", Json::UInt(*k), agg);
+            }
+            for (k, agg) in &sc.by_replica {
+                group("replica", Json::UInt(*k), agg);
+            }
+            for (b, e) in sc.total.exemplars.iter().enumerate() {
+                let Some(e) = e else { continue };
+                line(Json::obj(vec![
+                    ("kind", Json::Str("exemplar".into())),
+                    ("scenario", Json::UInt(i)),
+                    (
+                        "le",
+                        self.cfg.bounds.get(b).map_or(Json::Str("+inf".into()), |&v| Json::UInt(v)),
+                    ),
+                    ("bucket_count", Json::UInt(sc.total.buckets[b])),
+                    ("trace", Json::Str(hex_trace(e.trace))),
+                    ("id", Json::UInt(e.id)),
+                    ("latency", Json::UInt(e.latency)),
+                ]));
+            }
+            for (rank, (_, rec)) in sc.top.iter().rev().enumerate() {
+                let mut pairs = vec![
+                    ("kind", Json::Str("top".into())),
+                    ("scenario", Json::UInt(i)),
+                    ("rank", Json::UInt(rank as u64 + 1)),
+                ];
+                pairs.extend(rec.json_fields());
+                line(Json::obj(pairs));
+            }
+            for (seq, rec) in sc.reservoir.iter().enumerate() {
+                let mut pairs = vec![
+                    ("kind", Json::Str("sample".into())),
+                    ("scenario", Json::UInt(i)),
+                    ("seq", Json::UInt(seq as u64)),
+                ];
+                pairs.extend(rec.json_fields());
+                line(Json::obj(pairs));
+            }
+        }
+        out
+    }
+
+    /// Writes `<dir>/<bench>.events.jsonl` and `<dir>/<bench>.folded`
+    /// and returns both paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write(&self, dir: &Path) -> io::Result<(PathBuf, PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let events = dir.join(format!("{}.events.jsonl", self.bench));
+        std::fs::write(&events, self.render_jsonl())?;
+        let folded = dir.join(format!("{}.folded", self.bench));
+        std::fs::write(&folded, self.folded_total().render())?;
+        Ok((events, folded))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Query engine
+// ---------------------------------------------------------------------
+
+/// Record-level and scenario-level filters for [`ObsView`] queries.
+/// Scenario/site select streams; outcome/tier/replica select records
+/// and group rows within them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsQuery {
+    /// Keep only the scenario with this exact name.
+    pub scenario: Option<String>,
+    /// Keep only scenarios whose fault-site label matches exactly
+    /// (empty string = clean scenarios).
+    pub site: Option<String>,
+    /// Keep only records/groups with this outcome.
+    pub outcome: Option<String>,
+    /// Keep only records/groups on this replica.
+    pub replica: Option<u64>,
+    /// Keep only records/groups at this degradation tier.
+    pub tier: Option<u64>,
+}
+
+/// One parsed scenario stream inside an [`ObsView`].
+#[derive(Debug, Clone)]
+struct ScenarioLines {
+    meta: Json,
+    windows: Vec<Json>,
+    groups: Vec<Json>,
+    exemplars: Vec<Json>,
+    tops: Vec<(Json, EventRecord)>,
+    samples: Vec<EventRecord>,
+}
+
+impl ScenarioLines {
+    fn name(&self) -> &str {
+        self.meta.get("name").and_then(Json::as_str).unwrap_or("")
+    }
+
+    fn site(&self) -> &str {
+        self.meta.get("site").and_then(Json::as_str).unwrap_or("")
+    }
+
+    fn selected(&self, q: &ObsQuery) -> bool {
+        q.scenario.as_deref().is_none_or(|s| s == self.name())
+            && q.site.as_deref().is_none_or(|s| s == self.site())
+    }
+}
+
+fn record_selected(rec: &EventRecord, q: &ObsQuery) -> bool {
+    q.outcome.as_deref().is_none_or(|o| o == rec.outcome)
+        && q.replica.is_none_or(|r| rec.replica == Some(r))
+        && q.tier.is_none_or(|t| rec.tier == Some(t))
+}
+
+fn uint_of(j: &Json, key: &str) -> u64 {
+    j.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn num_of(j: &Json, key: &str) -> f64 {
+    j.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn str_of<'a>(j: &'a Json, key: &str) -> &'a str {
+    j.get(key).and_then(Json::as_str).unwrap_or("")
+}
+
+/// The query engine over a written event log: parses the JSONL text
+/// back into its line kinds and renders deterministic text answers for
+/// the `sc_obs` CLI (and for tests).
+#[derive(Debug, Clone)]
+pub struct ObsView {
+    header: Json,
+    scenarios: Vec<ScenarioLines>,
+}
+
+impl ObsView {
+    /// Parses the text of a `<bench>.events.jsonl` file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or out-of-order
+    /// line, or a header schema mismatch.
+    pub fn parse(text: &str) -> Result<ObsView, String> {
+        let mut header: Option<Json> = None;
+        let mut scenarios: Vec<ScenarioLines> = Vec::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let at = ln + 1;
+            let j = Json::parse(raw).map_err(|e| format!("line {at}: {e}"))?;
+            let kind = str_of(&j, "kind").to_string();
+            match kind.as_str() {
+                "header" => {
+                    let v = uint_of(&j, "schema_version");
+                    if v != OBS_SCHEMA_VERSION {
+                        return Err(format!(
+                            "line {at}: event-log schema_version {v} (supported: \
+                             {OBS_SCHEMA_VERSION})"
+                        ));
+                    }
+                    header = Some(j);
+                }
+                "scenario" => scenarios.push(ScenarioLines {
+                    meta: j,
+                    windows: Vec::new(),
+                    groups: Vec::new(),
+                    exemplars: Vec::new(),
+                    tops: Vec::new(),
+                    samples: Vec::new(),
+                }),
+                _ => {
+                    let sc = scenarios
+                        .last_mut()
+                        .ok_or_else(|| format!("line {at}: {kind} line before any scenario"))?;
+                    match kind.as_str() {
+                        "window" => sc.windows.push(j),
+                        "group" => sc.groups.push(j),
+                        "exemplar" => sc.exemplars.push(j),
+                        "top" => {
+                            let rec = EventRecord::from_json(&j)
+                                .ok_or_else(|| format!("line {at}: malformed top record"))?;
+                            sc.tops.push((j, rec));
+                        }
+                        "sample" => sc.samples.push(
+                            EventRecord::from_json(&j)
+                                .ok_or_else(|| format!("line {at}: malformed sample record"))?,
+                        ),
+                        other => return Err(format!("line {at}: unknown line kind {other:?}")),
+                    }
+                }
+            }
+        }
+        let header = header.ok_or_else(|| "event log has no header line".to_string())?;
+        Ok(ObsView { header, scenarios })
+    }
+
+    /// Reads and parses an event-log file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O or parse failure as a description.
+    pub fn load(path: &Path) -> Result<ObsView, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        ObsView::parse(&text)
+    }
+
+    /// The bench the log was written by.
+    pub fn bench(&self) -> &str {
+        str_of(&self.header, "bench")
+    }
+
+    fn selected(&self, q: &ObsQuery) -> Vec<&ScenarioLines> {
+        self.scenarios.iter().filter(|sc| sc.selected(q)).collect()
+    }
+
+    /// `summary`: one row per selected scenario — requests, goodput,
+    /// p50/p99 (with the p99 exemplar trace), windows, and the armed
+    /// fault site.
+    pub fn summary(&self, q: &ObsQuery) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>9} {:>9} {:>8} {:>9} {:>9} {:>8} {:<18} {}\n",
+            "scenario",
+            "requests",
+            "complete",
+            "goodput",
+            "p50",
+            "p99",
+            "windows",
+            "p99-exemplar",
+            "site"
+        ));
+        for sc in self.selected(q) {
+            let m = &sc.meta;
+            let exemplar = str_of(m, "p99_exemplar");
+            out.push_str(&format!(
+                "{:<24} {:>9} {:>9} {:>8.4} {:>9} {:>9} {:>8} {:<18} {}\n",
+                sc.name(),
+                uint_of(m, "requests"),
+                uint_of(m, "completed"),
+                num_of(m, "goodput"),
+                uint_of(m, "p50"),
+                uint_of(m, "p99"),
+                sc.windows.len(),
+                exemplar,
+                sc.site(),
+            ));
+        }
+        out
+    }
+
+    /// `top`: the `k` slowest completed requests per selected scenario
+    /// (record-level filters apply), each with its exemplar-grade
+    /// identity: trace id, replica, tier, attempts, hedging, deadline
+    /// slack, and its two largest attribution buckets.
+    pub fn top(&self, q: &ObsQuery, k: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>4} {:>9} {:<18} {:>7} {:>4} {:>8} {:>6} {:>12} {}\n",
+            "scenario",
+            "rank",
+            "latency",
+            "trace",
+            "replica",
+            "tier",
+            "attempts",
+            "hedged",
+            "slack",
+            "hottest"
+        ));
+        for sc in self.selected(q) {
+            let mut rank = 0usize;
+            for (line, rec) in &sc.tops {
+                if !record_selected(rec, q) {
+                    continue;
+                }
+                rank += 1;
+                if rank > k {
+                    break;
+                }
+                let mut buckets: Vec<(CycleCategory, u64)> = rec.attribution.iter().collect();
+                buckets.sort_by_key(|&(c, cycles)| (std::cmp::Reverse(cycles), c.code()));
+                let hottest = buckets
+                    .iter()
+                    .take(2)
+                    .map(|(c, cycles)| format!("{}={cycles}", c.name()))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                out.push_str(&format!(
+                    "{:<24} {:>4} {:>9} {:<18} {:>7} {:>4} {:>8} {:>6} {:>12} {}\n",
+                    sc.name(),
+                    uint_of(line, "rank"),
+                    rec.latency,
+                    hex_trace(rec.trace),
+                    rec.replica.map_or("-".to_string(), |r| r.to_string()),
+                    rec.tier.map_or("-".to_string(), |t| t.to_string()),
+                    rec.attempts,
+                    if rec.hedged { "yes" } else { "no" },
+                    rec.deadline_slack,
+                    hottest,
+                ));
+            }
+        }
+        out
+    }
+
+    /// `breakdown`: per selected scenario, one row per `by` group
+    /// (`outcome`, `tier`, or `replica`) with counts, goodput, p99 (and
+    /// its exemplar), and the group's cycle-attribution split.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an unknown `by` dimension.
+    pub fn breakdown(&self, q: &ObsQuery, by: &str) -> Result<String, String> {
+        if !["outcome", "tier", "replica"].contains(&by) {
+            return Err(format!("unknown breakdown dimension {by:?} (outcome|tier|replica)"));
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:<12} {:>9} {:>8} {:>9} {:<18} {}\n",
+            "scenario", by, "count", "goodput", "p99", "p99-exemplar", "attribution"
+        ));
+        for sc in self.selected(q) {
+            for g in &sc.groups {
+                if str_of(g, "by") != by {
+                    continue;
+                }
+                let key = match g.get("key") {
+                    Some(Json::Str(s)) => s.clone(),
+                    Some(v) => v.render(),
+                    None => String::new(),
+                };
+                if by == "outcome" && q.outcome.as_deref().is_some_and(|o| o != key) {
+                    continue;
+                }
+                if by == "tier" && q.tier.is_some_and(|t| t.to_string() != key) {
+                    continue;
+                }
+                if by == "replica" && q.replica.is_some_and(|r| r.to_string() != key) {
+                    continue;
+                }
+                let attr = match g.get("attr") {
+                    Some(Json::Obj(pairs)) => pairs
+                        .iter()
+                        .filter_map(|(k, v)| v.as_u64().map(|c| format!("{k}={c}")))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    _ => String::new(),
+                };
+                out.push_str(&format!(
+                    "{:<24} {:<12} {:>9} {:>8.4} {:>9} {:<18} {}\n",
+                    sc.name(),
+                    key,
+                    uint_of(g, "count"),
+                    num_of(g, "goodput"),
+                    uint_of(g, "p99"),
+                    str_of(g, "p99_exemplar"),
+                    attr,
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// `series`: the windowed goodput/p99 time series per selected
+    /// scenario — one row per tumbling virtual-clock window, each p99
+    /// with its exemplar trace.
+    pub fn series(&self, q: &ObsQuery) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>12} {:>9} {:>9} {:>8} {:>9} {:<18}\n",
+            "scenario", "window", "start", "count", "complete", "goodput", "p99", "p99-exemplar"
+        ));
+        for sc in self.selected(q) {
+            for w in &sc.windows {
+                out.push_str(&format!(
+                    "{:<24} {:>8} {:>12} {:>9} {:>9} {:>8.4} {:>9} {:<18}\n",
+                    sc.name(),
+                    uint_of(w, "index"),
+                    uint_of(w, "start"),
+                    uint_of(w, "count"),
+                    uint_of(w, "completed"),
+                    num_of(w, "goodput"),
+                    uint_of(w, "p99"),
+                    str_of(w, "p99_exemplar"),
+                ));
+            }
+        }
+        out
+    }
+
+    /// `exemplars`: the per-latency-bucket exemplar table per selected
+    /// scenario — the concrete trace id behind each occupied
+    /// `serve.latency`-compatible bucket.
+    pub fn exemplars(&self, q: &ObsQuery) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>12} {:<18} {:>12} {:>9}\n",
+            "scenario", "le", "bucket-count", "trace", "id", "latency"
+        ));
+        for sc in self.selected(q) {
+            for e in &sc.exemplars {
+                let le = match e.get("le") {
+                    Some(Json::Str(s)) => s.clone(),
+                    Some(v) => v.render(),
+                    None => String::new(),
+                };
+                out.push_str(&format!(
+                    "{:<24} {:>12} {:>12} {:<18} {:>12} {:>9}\n",
+                    sc.name(),
+                    le,
+                    uint_of(e, "bucket_count"),
+                    str_of(e, "trace"),
+                    uint_of(e, "id"),
+                    uint_of(e, "latency"),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceId;
+
+    fn rec(id: u64, outcome: &str, latency: u64, finished_at: u64) -> EventRecord {
+        let mut attribution = CycleAttribution::new();
+        attribution.add(CycleCategory::QueueWait, latency / 4);
+        attribution.add(CycleCategory::MacStream, latency - latency / 4);
+        EventRecord {
+            id,
+            trace: TraceId::derive(7, id).0,
+            replica: Some(id % 3),
+            tier: (outcome == OUTCOME_COMPLETED).then_some(id % 2),
+            outcome: outcome.to_string(),
+            attempts: 1 + id % 2,
+            hedged: id.is_multiple_of(5),
+            hedge_won: false,
+            arrival: finished_at.saturating_sub(latency),
+            finished_at,
+            latency,
+            deadline_slack: 100 - latency as i64,
+            attribution,
+        }
+    }
+
+    fn sample_log(n: u64) -> ObsLog {
+        let mut log = ObsLog::new("unit", ObsConfig::new(1000, 0xC0FFEE));
+        let idx = log.scenario("storm", "serve.backend", 3);
+        for i in 0..n {
+            let outcome = if i % 10 == 9 { "shed" } else { OUTCOME_COMPLETED };
+            // Heavy-ish tail: latency grows with a power-of-two kick.
+            let latency = 10 + (i % 7) * 30 + if i % 100 == 42 { 4000 } else { 0 };
+            log.record(idx, &rec(i, outcome, latency, 50 + i * 37));
+        }
+        log
+    }
+
+    #[test]
+    fn log_memory_is_bounded_by_windows_and_samples() {
+        let small = sample_log(500);
+        let large = sample_log(50_000);
+        // 100x the requests: the line bound grows only with the window
+        // count (finished_at span), never with the request count.
+        let small_sc = &small.scenarios[0];
+        let large_sc = &large.scenarios[0];
+        assert_eq!(small_sc.reservoir.len(), small.cfg.reservoir);
+        assert_eq!(large_sc.reservoir.len(), large.cfg.reservoir);
+        assert_eq!(large_sc.top.len(), large.cfg.top_k);
+        assert!(large.line_bound() < 4000, "bound {} is windows+samples", large.line_bound());
+        let ratio = large.line_bound() as f64 / small.line_bound() as f64;
+        let window_ratio = large_sc.windows.len() as f64 / small_sc.windows.len() as f64;
+        assert!(ratio <= window_ratio + 1.0, "line growth tracks windows, not requests");
+    }
+
+    #[test]
+    fn reservoir_and_exemplars_are_deterministic() {
+        let a = sample_log(5000);
+        let b = sample_log(5000);
+        assert_eq!(a.render_jsonl(), b.render_jsonl(), "same stream, byte-identical log");
+        // The reservoir holds records from across the stream, not just
+        // its head (Algorithm R replaced some of the first K).
+        let ids: Vec<u64> = a.scenarios[0].reservoir.iter().map(|r| r.id).collect();
+        assert!(ids.iter().any(|&id| id >= 64), "reservoir must sample past the first K");
+    }
+
+    #[test]
+    fn top_k_is_exact_and_sorted_slowest_first() {
+        let log = sample_log(5000);
+        let tops: Vec<&EventRecord> = log.scenarios[0].top.values().collect();
+        // All retained tops are the 4000+ tail spikes.
+        assert_eq!(tops.len(), 10);
+        let slowest: Vec<u64> =
+            log.scenarios[0].top.iter().rev().map(|((lat, _), _)| *lat).collect();
+        assert!(slowest.windows(2).all(|w| w[0] >= w[1]), "descending latency");
+        assert!(slowest.iter().all(|&l| l >= 4000), "top-k catches the heavy tail");
+    }
+
+    #[test]
+    fn every_reported_p99_carries_an_exemplar() {
+        let log = sample_log(5000);
+        let sc = &log.scenarios[0];
+        assert!(sc.total.quantile_exemplar(0.99).is_some());
+        for (w, agg) in &sc.windows {
+            if agg.completed > 0 {
+                assert!(agg.quantile_exemplar(0.99).is_some(), "window {w} p99 has no exemplar");
+            }
+        }
+        for (k, agg) in &sc.by_outcome {
+            if agg.completed > 0 {
+                assert!(agg.quantile_exemplar(0.99).is_some(), "group {k} p99 has no exemplar");
+            }
+        }
+    }
+
+    #[test]
+    fn log_round_trips_through_the_query_engine() {
+        let log = sample_log(2000);
+        let text = log.render_jsonl();
+        let view = ObsView::parse(&text).expect("parse back");
+        let q = ObsQuery::default();
+        let summary = view.summary(&q);
+        assert!(summary.contains("storm"), "{summary}");
+        assert!(summary.contains("serve.backend"), "{summary}");
+        let top = view.top(&q, 5);
+        assert!(top.contains("0x"), "top rows carry trace ids: {top}");
+        let breakdown = view.breakdown(&q, "outcome").expect("valid dimension");
+        assert!(breakdown.contains("completed") && breakdown.contains("shed"), "{breakdown}");
+        assert!(view.breakdown(&q, "bogus").is_err());
+        let series = view.series(&q);
+        assert!(series.lines().count() > 2, "windowed series has rows: {series}");
+        // Filters select deterministically.
+        let filtered =
+            view.top(&ObsQuery { outcome: Some("completed".into()), ..ObsQuery::default() }, 3);
+        assert!(filtered.lines().count() <= 4);
+        let none =
+            view.summary(&ObsQuery { scenario: Some("absent".into()), ..ObsQuery::default() });
+        assert_eq!(none.lines().count(), 1, "header only");
+    }
+
+    #[test]
+    fn folded_stacks_fold_merge_render_and_parse() {
+        let trace = TraceId::derive(1, 5);
+        let mut tree = SpanTree::new(trace, "request 5", CycleCategory::Request, 100, 400);
+        let root = tree.root().id;
+        tree.add(root, "queue wait", CycleCategory::QueueWait, 100, 150);
+        let svc = tree.add(root, "attempt 1", CycleCategory::Service, 150, 400);
+        let layer = tree.add(svc, "conv0", CycleCategory::Layer, 150, 400);
+        let tile = tree.add(layer, "tile 0", CycleCategory::Tile, 150, 400);
+        tree.add(tile, "mac stream", CycleCategory::MacStream, 150, 380);
+        tree.add(tile, "dmr verify", CycleCategory::DmrVerify, 380, 400);
+        let mut folded = FoldedStacks::new();
+        folded.add_tree(&tree);
+        assert_eq!(folded.total(), 300, "leaves partition the root");
+        let text = folded.render();
+        assert!(text.contains("request;queue_wait 50\n"), "{text}");
+        assert!(text.contains("request;service;conv0;tile;mac_stream 230\n"), "{text}");
+        let parsed = FoldedStacks::parse(&text).expect("round trip");
+        assert_eq!(parsed, folded);
+        let mut merged = folded.clone();
+        merged.merge(&folded);
+        assert_eq!(merged.total(), 600);
+        assert!(FoldedStacks::parse("nocount\n").is_err());
+    }
+
+    #[test]
+    fn share_regressions_catch_injected_drift_and_pass_identity() {
+        let base = FoldedStacks::parse("a;b 900\na;c 100\n").unwrap();
+        assert!(folded_share_regressions(&base, &base, 0.0).is_empty(), "identity is clean");
+        let drifted = FoldedStacks::parse("a;b 800\na;c 200\n").unwrap();
+        let found = folded_share_regressions(&base, &drifted, 0.0);
+        assert_eq!(found.len(), 2, "both shares moved");
+        assert!(folded_share_regressions(&base, &drifted, 0.2).is_empty(), "inside tolerance");
+        // A stack that vanishes (or appears) is a drift even at loose
+        // tolerance when its share is material.
+        let vanished = FoldedStacks::parse("a;b 1000\n").unwrap();
+        let found = folded_share_regressions(&base, &vanished, 0.05);
+        assert!(found.iter().any(|d| d.stack == "a;c" && d.cur_share == 0.0));
+        assert!(!found[0].describe().is_empty());
+    }
+
+    #[test]
+    fn event_record_json_round_trips() {
+        let r = rec(42, OUTCOME_COMPLETED, 77, 1000);
+        let j = Json::obj(r.json_fields().into_iter().collect());
+        let back = EventRecord::from_json(&j).expect("round trip");
+        assert_eq!(back, r);
+        assert_eq!(back.retries(), r.attempts - 1);
+        // A shed record has no replica? (ours does; null fields parse
+        // as None when absent)
+        let shed = rec(9, "shed", 0, 500);
+        let j = Json::obj(shed.json_fields().into_iter().collect());
+        assert_eq!(EventRecord::from_json(&j), Some(shed));
+    }
+}

@@ -7,9 +7,13 @@
 //! are sanitized (anything outside `[a-zA-Z0-9_:]` becomes `_`), and
 //! every sample carries a `bench` label so dumps from several benches
 //! can be concatenated or scraped into one corpus.
+//!
+//! This is the **only** Prometheus writer in the workspace: the bench
+//! bins and the `sc_health` bin both route their `.prom` output through
+//! here (sc-health re-exports this module for back-compat).
 
-use sc_telemetry::manifest::HealthSummary;
-use sc_telemetry::metrics::MetricsSnapshot;
+use crate::manifest::HealthSummary;
+use crate::metrics::MetricsSnapshot;
 
 /// Sanitizes a dotted metric name into a legal Prometheus identifier.
 pub fn sanitize(name: &str) -> String {
@@ -99,7 +103,7 @@ pub fn render_health(bench: &str, h: &HealthSummary) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sc_telemetry::metrics::HistogramSnapshot;
+    use crate::metrics::HistogramSnapshot;
 
     #[test]
     fn sanitize_maps_dots_and_leading_digits() {

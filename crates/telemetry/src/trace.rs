@@ -33,8 +33,10 @@ const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// SplitMix64 finalizer: a bijective avalanche over `u64`. Hand-rolled
 /// here (rather than borrowed from `sc-fault`) because `sc-telemetry`
-/// sits below every other crate and must stay dependency-free.
-fn split_mix(mut z: u64) -> u64 {
+/// sits below every other crate and must stay dependency-free. Shared
+/// with [`crate::obs`], whose reservoir/exemplar draws use the same
+/// counter-keyed discipline.
+pub(crate) fn split_mix(mut z: u64) -> u64 {
     z = z.wrapping_add(GOLDEN);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -42,7 +44,7 @@ fn split_mix(mut z: u64) -> u64 {
 }
 
 /// FNV-1a over a site/span name: stable, order-sensitive, no allocation.
-fn fnv1a(s: &str) -> u64 {
+pub(crate) fn fnv1a(s: &str) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
     for b in s.bytes() {
         h ^= b as u64;

@@ -174,6 +174,20 @@ env -u SC_FAULTS SC_THREADS=4 \
     cargo run --release -q -p sc-bench --bin bench_parallel -- --quick >/dev/null
 cargo run --release -q -p sc-bench --bin sc_report
 
+echo "==> results gate: bare JSON exports carry schema_version"
+# Every results/<bench>.json goes through the shared results_json
+# writer, which stamps schema_version (wrapping top-level arrays as
+# {"schema_version": N, "rows": [...]}). The clean regen above
+# refreshed all three, so a missing stamp means a bench bypassed the
+# shared writer.
+python3 - <<'EOF'
+import json
+for p in ("results/serve_storm.json", "results/fault_sweep.json", "results/parallel.json"):
+    v = json.load(open(p)).get("schema_version")
+    assert v == 1, f"{p}: schema_version {v!r}, expected 1"
+print("    3 results export(s) stamped at schema version 1")
+EOF
+
 echo "==> health gate: incident snapshots, manifest health block, prom exposition"
 # The clean serve_storm regen above still arms a scoped flip@0.9 plan
 # inside its spike-faulted scenario, so that storm must freeze at least
@@ -200,6 +214,13 @@ for s in snaps:
     inc = s["incident"]
     for key in ("objective", "cycle", "windows", "spans", "state"):
         assert key in inc, f"incident snapshot missing {key!r}"
+    ex = s.get("exemplar_traces")
+    assert ex and all(t.startswith("0x") for t in ex), \
+        f"incident snapshot carries no exemplar trace ids: {ex!r}"
+for e in idx["incidents"]:
+    ex = e.get("exemplar_traces")
+    assert ex and all(t.startswith("0x") for t in ex), \
+        f"incidents/index.json entry {e['file']} carries no exemplar trace ids"
 m = json.load(open("results/serve_storm.manifest.json"))
 h = m.get("health")
 assert h is not None, "serve_storm manifest carries no health summary"
@@ -304,6 +325,48 @@ print(f"    crash loop: {rec['restarts_failed']} blocked restart(s), "
       f"restart-fail re-entered backoff {rf['restarts_failed']}x")
 EOF
 
+echo "==> obs gate: event log and sc_obs answers byte-identical across engines and threads"
+# The observability plane is part of the deterministic contract: the
+# per-request event log, the folded cycle profile, and every sc_obs
+# answer must come out byte for byte the same whichever engine or
+# worker count served the storm. The clean SC_THREADS=4 regen above
+# (default engine = bitplane) is the reference; replay the storm across
+# the engine/thread matrix and byte-compare. The matrix ends on
+# bitplane/4, so the artifacts left on disk match the report-gate regen.
+OBS_REF="$(mktemp -d)"
+cp results/obs/serve_storm.events.jsonl results/obs/serve_storm.folded "$OBS_REF"/
+obs_queries() {
+    local out="$1"
+    cargo run --release -q -p sc-bench --bin sc_obs -- summary > "$out/summary.txt"
+    cargo run --release -q -p sc-bench --bin sc_obs -- top --k 5 \
+        --scenario obs-heavy-tail-x8 > "$out/top.txt"
+    cargo run --release -q -p sc-bench --bin sc_obs -- breakdown --by tier > "$out/breakdown.txt"
+    cargo run --release -q -p sc-bench --bin sc_obs -- series \
+        --scenario obs-heavy-tail-x4 > "$out/series.txt"
+    cargo run --release -q -p sc-bench --bin sc_obs -- exemplars \
+        --scenario spike-faulted > "$out/exemplars.txt"
+}
+obs_queries "$OBS_REF"
+for eng in cycle bitplane; do
+    for t in 1 4; do
+        env -u SC_FAULTS SC_ENGINE="$eng" SC_THREADS="$t" \
+            cargo run --release -q -p sc-bench --bin serve_storm -- --quick >/dev/null
+        cmp results/obs/serve_storm.events.jsonl "$OBS_REF/serve_storm.events.jsonl" \
+            || { echo "event log differs under SC_ENGINE=$eng SC_THREADS=$t" >&2; exit 1; }
+        cmp results/obs/serve_storm.folded "$OBS_REF/serve_storm.folded" \
+            || { echo "folded profile differs under SC_ENGINE=$eng SC_THREADS=$t" >&2; exit 1; }
+        OBS_CUR="$(mktemp -d)"
+        obs_queries "$OBS_CUR"
+        for f in summary top breakdown series exemplars; do
+            cmp "$OBS_CUR/$f.txt" "$OBS_REF/$f.txt" \
+                || { echo "sc_obs $f differs under SC_ENGINE=$eng SC_THREADS=$t" >&2; exit 1; }
+        done
+        rm -rf "$OBS_CUR"
+        echo "    SC_ENGINE=$eng SC_THREADS=$t: 2 artifacts + 5 sc_obs answers identical"
+    done
+done
+rm -rf "$OBS_REF"
+
 echo "==> report gate: a perturbed baseline must fail the gate"
 PERTURBED="$(mktemp -d)"
 cp results/baseline/*.manifest.json "$PERTURBED"/
@@ -326,6 +389,30 @@ if cargo run --release -q -p sc-bench --bin sc_report -- --baseline "$PERTURBED"
 fi
 rm -rf "$PERTURBED"
 echo "    perturbed baseline rejected as expected"
+
+echo "==> profile gate: a perturbed folded baseline must fail the differential profiler"
+# Inflate the hottest stack in a copy of the committed cycle profile:
+# its share of total cycles shifts well past --profile-tolerance, so
+# sc_report's flamegraph diff must reject it even though the manifest
+# counters still match exactly.
+PERTURBED="$(mktemp -d)"
+cp results/baseline/*.manifest.json results/baseline/*.folded "$PERTURBED"/
+python3 - "$PERTURBED" <<'EOF'
+import glob, sys
+p = sorted(glob.glob(sys.argv[1] + "/*.folded"))[0]
+lines = open(p).read().splitlines()
+i = max(range(len(lines)), key=lambda j: int(lines[j].rsplit(" ", 1)[1]))
+stack, count = lines[i].rsplit(" ", 1)
+lines[i] = f"{stack} {int(count) * 10}"
+open(p, "w").write("\n".join(lines) + "\n")
+EOF
+if cargo run --release -q -p sc-bench --bin sc_report -- --baseline "$PERTURBED" >/dev/null 2>&1; then
+    echo "sc_report accepted a perturbed cycle profile; the differential profiler is broken" >&2
+    rm -rf "$PERTURBED"
+    exit 1
+fi
+rm -rf "$PERTURBED"
+echo "    perturbed folded profile rejected as expected"
 
 echo "==> fault gate: zero-rate plan is bitwise identical to no plan"
 # The determinism suite asserts unarmed == zero-rate fingerprints and

@@ -26,6 +26,13 @@ mkdir -p results/baseline
 for bench in "${BENCHES[@]}"; do
     cp "results/$bench.manifest.json" results/baseline/
     echo "    baselined results/baseline/$bench.manifest.json"
+    # Folded-stack cycle profile for the differential profiler, when
+    # the bench emits one (sc_report diffs attribution shares, which
+    # are deterministic even though --quick shrinks absolute cycles).
+    if [[ -f "results/obs/$bench.folded" ]]; then
+        cp "results/obs/$bench.folded" results/baseline/
+        echo "    baselined results/baseline/$bench.folded"
+    fi
 done
 
 echo "Done. Review the diff and commit results/baseline/ with your change."
